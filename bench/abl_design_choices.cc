@@ -1,0 +1,188 @@
+// Ablations over MONARCH's design choices (§III-A/B), measuring each of
+// the decisions the paper argues for:
+//
+//   A1 full-file fetch on partial reads  — ON (paper) vs OFF: with the
+//      64 KiB chunked reads TensorFlow issues, OFF means record files
+//      never stage from partial reads, so every epoch keeps hammering
+//      the PFS.
+//   A2 placement-pool width — the paper configures 6 threads; sweep
+//      1/2/6/12 and watch epoch-1 time and time-to-fully-staged.
+//   A3 eviction — the paper deliberately never evicts under random
+//      per-epoch access; the LRU-eviction arm shows the tier-to-tier
+//      churn ("I/O trashing") replacement would add when the dataset
+//      exceeds the cache.
+//
+// One model (LeNet, the most I/O-bound) keeps the runtime small.
+#include <iostream>
+
+#include "bench_common.h"
+#include "core/placement_policy.h"
+#include "dlsim/monarch_opener.h"
+#include "storage/engine_factory.h"
+
+namespace monarch::bench {
+namespace {
+
+using dlsim::ExperimentConfig;
+
+struct AblationArm {
+  std::string name;
+  bool fetch_full_file = true;
+  int placement_threads = 6;
+  bool enable_eviction = false;
+  bool partial_dataset = false;  ///< use the 200 GiB-scale dataset
+  bool prestage = false;         ///< §III-A option (i): stage before training
+};
+
+int Run() {
+  BenchEnv env = BenchEnv::FromEnvironment("ablation");
+  env.runs = EnvInt("MONARCH_BENCH_RUNS", 1);
+  std::cout << "abl_design_choices: runs=" << env.runs
+            << " scale=" << env.scale << " epochs=" << env.epochs << "\n";
+
+  const std::vector<AblationArm> arms{
+      {"baseline (paper: full-fetch, 6 threads, no eviction)"},
+      {"A1: no full-file fetch", false, 6, false, false},
+      {"A2: 1 placement thread", true, 1, false, false},
+      {"A2: 2 placement threads", true, 2, false, false},
+      {"A2: 12 placement threads", true, 12, false, false},
+      {"A3: baseline on partial dataset", true, 6, false, true},
+      {"A3: LRU eviction on partial dataset", true, 6, true, true},
+      {"A4: pre-stage before training", true, 6, false, false, true},
+  };
+
+  PrintBanner(std::cout, "Design-choice ablations (LeNet)");
+  Table table({"arm", "prestage_s", "total_s", "epoch1_s", "steady_epoch_s",
+               "pfs_reads", "pfs_MiB", "placed", "evictions",
+               "tier_writes"});
+
+  for (const AblationArm& arm : arms) {
+    RunningSummary total_s;
+    RunningSummary epoch1_s;
+    RunningSummary steady_s;
+    RunningSummary pfs_reads;
+    RunningSummary placed;
+    RunningSummary evictions;
+    RunningSummary tier_writes;
+    RunningSummary pfs_mib;     ///< bytes pulled from the PFS, in MiB
+    RunningSummary prestage_s;  ///< time spent staging before training
+
+    for (int run = 0; run < env.runs; ++run) {
+      ExperimentConfig config;
+      config.dataset = arm.partial_dataset
+                           ? workload::DatasetSpec::ImageNet200GiB(env.scale)
+                           : workload::DatasetSpec::ImageNet100GiB(env.scale);
+      config.model = dlsim::ModelProfile::LeNet();
+      config.epochs = env.epochs;
+      config.local_quota_bytes = static_cast<std::uint64_t>(
+          115.0 * env.scale * static_cast<double>(kMiB));
+      config.run_seed = static_cast<std::uint64_t>(9000 + run);
+      config.placement_threads = arm.placement_threads;
+
+      // MakeMonarchSetup does not expose every placement option, so wire
+      // the middleware manually for the ablation arms.
+      auto manifest = dlsim::EnsureDataset(
+          env.work_dir / ("pfs" + std::to_string(run) +
+                          (arm.partial_dataset ? "b" : "a")),
+          config.dataset);
+      if (!manifest.ok()) {
+        std::cerr << "dataset failed: " << manifest.status() << "\n";
+        return 1;
+      }
+      const auto pfs_root = env.work_dir / ("pfs" + std::to_string(run) +
+                                            (arm.partial_dataset ? "b" : "a"));
+      auto pfs_engine =
+          storage::MakeLustreEngine(pfs_root, config.run_seed, true);
+      auto local_engine = storage::MakeLocalSsdEngine(
+          env.work_dir / ("local_" + std::to_string(&arm - arms.data()) +
+                          "_r" + std::to_string(run)));
+
+      core::MonarchConfig monarch_config;
+      monarch_config.cache_tiers.push_back(core::TierSpec{
+          "local-ssd", local_engine, config.local_quota_bytes});
+      monarch_config.pfs = core::TierSpec{"lustre", pfs_engine, 0};
+      monarch_config.dataset_dir = config.dataset.directory;
+      monarch_config.placement.num_threads = arm.placement_threads;
+      monarch_config.placement.fetch_full_file_on_partial_read =
+          arm.fetch_full_file;
+      monarch_config.placement.enable_eviction = arm.enable_eviction;
+      auto monarch = core::Monarch::Create(std::move(monarch_config));
+      if (!monarch.ok()) {
+        std::cerr << "monarch failed: " << monarch.status() << "\n";
+        return 1;
+      }
+
+      dlsim::TrainerConfig tc;
+      tc.model = config.model;
+      tc.epochs = config.epochs;
+      tc.batch_size = config.batch_size;
+      tc.num_gpus = config.num_gpus;
+      tc.loader.reader_threads = config.reader_threads;
+      tc.loader.read_chunk_bytes = config.read_chunk_bytes;
+      tc.loader.shuffle_seed = config.run_seed;
+      if (arm.prestage) {
+        const Stopwatch stage_timer;
+        monarch.value()->Prestage(/*block=*/true);
+        prestage_s.Add(stage_timer.ElapsedSeconds());
+      }
+
+      dlsim::Trainer trainer(
+          manifest.value().file_paths,
+          std::make_unique<dlsim::MonarchOpener>(*monarch.value()), tc);
+      auto result = trainer.Train();
+      if (!result.ok()) {
+        std::cerr << "training failed: " << result.status() << "\n";
+        return 1;
+      }
+      monarch.value()->DrainPlacements();
+
+      const auto stats = monarch.value()->Stats();
+      total_s.Add(result.value().total_seconds);
+      epoch1_s.Add(result.value().EpochSeconds(1));
+      double steady = 0;
+      for (int e = 2; e <= env.epochs; ++e) {
+        steady += result.value().EpochSeconds(e);
+      }
+      steady_s.Add(steady / std::max(1, env.epochs - 1));
+      pfs_reads.Add(static_cast<double>(stats.pfs_reads()));
+      pfs_mib.Add(static_cast<double>(
+                      pfs_engine->Stats().Snapshot().bytes_read) /
+                  static_cast<double>(kMiB));
+      placed.Add(static_cast<double>(stats.placement.completed));
+      evictions.Add(static_cast<double>(stats.placement.evictions));
+      tier_writes.Add(
+          static_cast<double>(local_engine->Stats().Snapshot().write_ops));
+    }
+
+    table.AddRow({arm.name,
+                  arm.prestage ? MeanSd(prestage_s) : std::string("-"),
+                  MeanSd(total_s), MeanSd(epoch1_s), MeanSd(steady_s),
+                  MeanSd(pfs_reads, 0), MeanSd(pfs_mib, 1),
+                  MeanSd(placed, 0), MeanSd(evictions, 0),
+                  MeanSd(tier_writes, 0)});
+    std::cout << "  done: " << arm.name << "\n";
+  }
+
+  table.PrintAscii(std::cout);
+  std::cout <<
+      "\nReadings: A1-OFF leaves steady-state epochs at vanilla-lustre "
+      "speed (nothing stages from\n64 KiB chunk reads). A2: a 1-thread "
+      "pool stages slower, stretching the time until reads\nshift to the "
+      "local tier; beyond ~6 threads the PFS bandwidth is the limit. A3: "
+      "eviction\nturns the cache into a churn pump — several times the "
+      "tier writes and more bytes pulled\nfrom the PFS every epoch (the "
+      "paper's 'I/O trashing'); any wall-clock win it shows here\ncomes "
+      "from the full-file fetch converting chunked PFS reads into "
+      "streaming ones, at the\ncost of sustained PFS/byte pressure that "
+      "a shared cluster pays for. A4: pre-staging\nmoves epoch-1's "
+      "staging cost in front of training; total time-to-trained-model "
+      "is the\nsame or worse, which is why the paper places during "
+      "epoch 1.\n";
+  env.Cleanup();
+  return 0;
+}
+
+}  // namespace
+}  // namespace monarch::bench
+
+int main() { return monarch::bench::Run(); }

@@ -1,0 +1,165 @@
+// Shared harness for the figure/table reproduction benches.
+//
+// Every figure bench follows the same recipe: build the experiment
+// setups, run N repetitions of an E-epoch training simulation, and print
+// (a) a human-readable per-epoch table with mean +/- stddev — the shape
+// of the paper's bar charts — and (b) a CSV block for re-plotting.
+//
+// Environment knobs (so CI can run quick sanity passes):
+//   MONARCH_BENCH_RUNS   repetitions per cell   (default 2; paper used 7)
+//   MONARCH_BENCH_SCALE  dataset scale factor   (default 0.5)
+//   MONARCH_BENCH_EPOCHS training epochs        (default 3, as the paper)
+#pragma once
+
+#include <cstdlib>
+#include <filesystem>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "dlsim/setups.h"
+#include "util/byte_units.h"
+#include "util/histogram.h"
+#include "util/table.h"
+
+namespace monarch::bench {
+
+struct BenchEnv {
+  int runs = 2;
+  double scale = 0.5;
+  int epochs = 3;
+  std::filesystem::path work_dir;
+
+  static BenchEnv FromEnvironment(const std::string& bench_name);
+
+  /// Remove the working directory tree.
+  void Cleanup() const;
+};
+
+inline int EnvInt(const char* name, int fallback) {
+  if (const char* value = std::getenv(name)) {
+    return std::max(1, std::atoi(value));
+  }
+  return fallback;
+}
+
+inline double EnvDouble(const char* name, double fallback) {
+  if (const char* value = std::getenv(name)) {
+    const double parsed = std::atof(value);
+    if (parsed > 0) return parsed;
+  }
+  return fallback;
+}
+
+inline BenchEnv BenchEnv::FromEnvironment(const std::string& bench_name) {
+  BenchEnv env;
+  env.runs = EnvInt("MONARCH_BENCH_RUNS", 2);
+  env.scale = EnvDouble("MONARCH_BENCH_SCALE", 0.5);
+  env.epochs = EnvInt("MONARCH_BENCH_EPOCHS", 3);
+  env.work_dir = std::filesystem::temp_directory_path() /
+                 ("monarch_bench_" + bench_name + "_" +
+                  std::to_string(::getpid()));
+  std::filesystem::create_directories(env.work_dir);
+  return env;
+}
+
+inline void BenchEnv::Cleanup() const {
+  std::error_code ec;
+  std::filesystem::remove_all(work_dir, ec);
+}
+
+/// Per-epoch summaries of repeated runs of one (setup, model) cell.
+struct CellResult {
+  std::string setup;
+  std::string model;
+  std::vector<RunningSummary> epoch_seconds;  ///< one per epoch
+  RunningSummary total_seconds;
+  RunningSummary cpu_utilisation;   ///< averaged over epochs, per run
+  RunningSummary gpu_utilisation;
+  RunningSummary peak_memory_mib;
+  // PFS pressure, summed over the whole run.
+  RunningSummary pfs_read_ops;
+  RunningSummary pfs_total_ops;
+  RunningSummary local_read_ops;
+
+  void Accumulate(const dlsim::TrainingResult& result,
+                  const storage::IoStatsSnapshot& pfs,
+                  const storage::IoStatsSnapshot& local, int epochs) {
+    if (epoch_seconds.empty()) {
+      epoch_seconds.resize(static_cast<std::size_t>(epochs));
+    }
+    double cpu = 0;
+    double gpu = 0;
+    double peak_mem = 0;
+    for (std::size_t e = 0; e < result.epochs.size(); ++e) {
+      epoch_seconds[e].Add(result.epochs[e].wall_seconds);
+      cpu += result.epochs[e].cpu_utilisation;
+      gpu += result.epochs[e].gpu_utilisation;
+      peak_mem = std::max(
+          peak_mem,
+          static_cast<double>(result.epochs[e].peak_memory_bytes) /
+              static_cast<double>(kMiB));
+    }
+    const auto n = static_cast<double>(result.epochs.size());
+    total_seconds.Add(result.total_seconds);
+    cpu_utilisation.Add(cpu / n);
+    gpu_utilisation.Add(gpu / n);
+    peak_memory_mib.Add(peak_mem);
+    pfs_read_ops.Add(static_cast<double>(pfs.read_ops));
+    pfs_total_ops.Add(static_cast<double>(pfs.total_ops()));
+    local_read_ops.Add(static_cast<double>(local.read_ops));
+  }
+};
+
+/// "mean±sd" cell text.
+inline std::string MeanSd(const RunningSummary& summary, int precision = 2) {
+  return Table::Num(summary.mean(), precision) + "±" +
+         Table::Num(summary.stddev(), precision);
+}
+
+/// Print the per-epoch training-time table (the bar heights of the
+/// paper's Figures 1/3/4) followed by its CSV form.
+inline void PrintEpochTable(const std::string& title,
+                            const std::vector<CellResult>& cells,
+                            int epochs) {
+  PrintBanner(std::cout, title);
+  std::vector<std::string> headers{"setup", "model"};
+  for (int e = 1; e <= epochs; ++e) {
+    headers.push_back("epoch" + std::to_string(e) + "_s");
+  }
+  headers.push_back("total_s");
+  Table table(headers);
+  for (const CellResult& cell : cells) {
+    std::vector<std::string> row{cell.setup, cell.model};
+    for (const auto& epoch : cell.epoch_seconds) {
+      row.push_back(MeanSd(epoch));
+    }
+    row.push_back(MeanSd(cell.total_seconds));
+    table.AddRow(std::move(row));
+  }
+  table.PrintAscii(std::cout);
+  std::cout << "\nCSV:\n";
+  table.PrintCsv(std::cout);
+}
+
+/// Print the PFS-pressure table (reads and total ops per setup).
+inline void PrintPfsPressureTable(const std::string& title,
+                                  const std::vector<CellResult>& cells) {
+  PrintBanner(std::cout, title);
+  Table table({"setup", "model", "pfs_reads", "pfs_total_ops",
+               "local_reads"});
+  for (const CellResult& cell : cells) {
+    table.AddRow({cell.setup, cell.model, MeanSd(cell.pfs_read_ops, 0),
+                  MeanSd(cell.pfs_total_ops, 0),
+                  MeanSd(cell.local_read_ops, 0)});
+  }
+  table.PrintAscii(std::cout);
+}
+
+/// Relative change text, e.g. "-33.1%" of b versus a.
+inline std::string RelativeChange(double baseline, double measured) {
+  if (baseline <= 0) return "n/a";
+  return Table::Pct((measured - baseline) / baseline);
+}
+
+}  // namespace monarch::bench

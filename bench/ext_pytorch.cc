@@ -1,0 +1,154 @@
+// Extension experiment (§VI future work): MONARCH under a PyTorch-style
+// map-style DataLoader instead of the tf.data pipeline.
+//
+// The access pattern is maximally hostile to file-level staging: the
+// sampler permutes SAMPLE indices across the whole dataset, so workers
+// issue small random-offset reads spread over every record file and no
+// file is ever streamed sequentially to its end. Two consequences to
+// measure:
+//   - the §III-B full-file fetch is *essential* here — with it disabled,
+//     nothing ever stages (every read is partial) and MONARCH degrades
+//     to vanilla;
+//   - with it enabled, the very first sample drawn from a file stages
+//     the whole file, so the PFS share of reads decays rapidly even
+//     within epoch 1.
+#include <iostream>
+
+#include "bench_common.h"
+#include "dlsim/map_style_loader.h"
+#include "dlsim/monarch_opener.h"
+#include "storage/engine_factory.h"
+
+namespace monarch::bench {
+namespace {
+
+struct ArmResult {
+  double epoch_seconds_mean = 0;
+  double epoch1_seconds = 0;
+  std::uint64_t pfs_reads = 0;
+  std::uint64_t placed = 0;
+};
+
+int Run() {
+  BenchEnv env = BenchEnv::FromEnvironment("pytorch");
+  const double scale = EnvDouble("MONARCH_BENCH_SCALE", 0.5) * 0.5;
+  std::cout << "ext_pytorch: scale=" << scale << " epochs=" << env.epochs
+            << "\n";
+
+  const auto spec = workload::DatasetSpec::ImageNet100GiB(scale);
+  const auto local_quota = static_cast<std::uint64_t>(
+      115.0 * scale * static_cast<double>(kMiB));
+
+  struct Arm {
+    std::string name;
+    bool use_monarch;
+    bool full_fetch;
+  };
+  const std::vector<Arm> arms{
+      {"vanilla-lustre", false, true},
+      {"monarch", true, true},
+      {"monarch (full-fetch OFF)", true, false},
+  };
+
+  PrintBanner(std::cout,
+              "PyTorch-style map-style loading (random per-sample access)");
+  Table table({"arm", "epoch1_s", "mean_epoch_s", "pfs_reads",
+               "files_placed"});
+
+  for (const Arm& arm : arms) {
+    const auto pfs_root = env.work_dir / "pfs";
+    auto manifest = dlsim::EnsureDataset(pfs_root, spec);
+    if (!manifest.ok()) {
+      std::cerr << "dataset failed: " << manifest.status() << "\n";
+      return 1;
+    }
+    auto pfs_engine = storage::MakeLustreEngine(pfs_root, 11, true);
+
+    std::unique_ptr<core::Monarch> monarch;
+    dlsim::RecordFileOpenerPtr opener;
+    if (arm.use_monarch) {
+      auto local_engine = storage::MakeLocalSsdEngine(
+          env.work_dir / ("local_" + std::to_string(&arm - arms.data())));
+      core::MonarchConfig config;
+      config.cache_tiers.push_back(
+          core::TierSpec{"local-ssd", local_engine, local_quota});
+      config.pfs = core::TierSpec{"lustre", pfs_engine, 0};
+      config.dataset_dir = spec.directory;
+      config.placement.fetch_full_file_on_partial_read = arm.full_fetch;
+      auto created = core::Monarch::Create(std::move(config));
+      if (!created.ok()) {
+        std::cerr << "monarch failed: " << created.status() << "\n";
+        return 1;
+      }
+      monarch = std::move(created).value();
+      opener = std::make_unique<dlsim::MonarchOpener>(*monarch);
+    } else {
+      opener = std::make_unique<dlsim::EngineOpener>(pfs_engine);
+    }
+
+    // Index once (untimed — PyTorch users ship precomputed .idx files),
+    // through a raw engine so indexing cost doesn't pollute PFS stats.
+    auto raw = storage::MakeRawEngine(pfs_root);
+    dlsim::EngineOpener raw_opener(raw);
+    auto dataset =
+        dlsim::IndexedDataset::Build(manifest->file_paths, raw_opener);
+    if (!dataset.ok()) {
+      std::cerr << "index failed: " << dataset.status() << "\n";
+      return 1;
+    }
+
+    const auto pfs_before = pfs_engine->Stats().Snapshot();
+    double epoch1 = 0;
+    double total = 0;
+    for (int e = 1; e <= env.epochs; ++e) {
+      dlsim::ResourceMonitor monitor(4, 1);
+      dlsim::MapLoaderConfig loader_config;
+      loader_config.num_workers = 4;
+      loader_config.shuffle_seed = 77;
+      loader_config.preprocess_per_sample = Micros(150);
+
+      const Stopwatch wall;
+      dlsim::MapStyleEpoch epoch(*dataset, e, *opener, monitor,
+                                 loader_config);
+      std::uint64_t consumed = 0;
+      while (epoch.queue().Pop().has_value()) ++consumed;
+      epoch.Finish();
+      if (!epoch.status().ok()) {
+        std::cerr << "epoch failed: " << epoch.status() << "\n";
+        return 1;
+      }
+      const double seconds = wall.ElapsedSeconds();
+      if (e == 1) epoch1 = seconds;
+      total += seconds;
+      if (monarch) monarch->DrainPlacements();
+    }
+
+    ArmResult result;
+    result.epoch1_seconds = epoch1;
+    result.epoch_seconds_mean = total / env.epochs;
+    result.pfs_reads =
+        (pfs_engine->Stats().Snapshot() - pfs_before).read_ops;
+    result.placed = monarch ? monarch->Stats().placement.completed : 0;
+
+    table.AddRow({arm.name, Table::Num(result.epoch1_seconds, 2),
+                  Table::Num(result.epoch_seconds_mean, 2),
+                  std::to_string(result.pfs_reads),
+                  std::to_string(result.placed)});
+    std::cout << "  done: " << arm.name << "\n";
+  }
+
+  table.PrintAscii(std::cout);
+  std::cout <<
+      "\nReading: under per-sample random access every read is partial, "
+      "so the full-file\nfetch is the only staging trigger — disabling it "
+      "leaves MONARCH at vanilla speed\nwith zero files placed, while the "
+      "paper's configuration stages the dataset from\nthe first samples "
+      "drawn and pulls steady-state epochs down to local speed.\n";
+  env.Cleanup();
+  return 0;
+}
+
+}  // namespace
+}  // namespace monarch::bench
+
+int main() { return monarch::bench::Run(); }

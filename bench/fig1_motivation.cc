@@ -1,0 +1,121 @@
+// Figure 1 (motivation, §II): average per-epoch training time for the
+// vanilla-lustre / vanilla-local / vanilla-caching setups across LeNet,
+// AlexNet and ResNet-50 on the 100 GiB-scale ImageNet dataset.
+//
+// Shape targets from the paper:
+//   - vanilla-local beats vanilla-lustre by ~46% (LeNet) / ~18% (AlexNet)
+//     over three epochs; ResNet-50 is flat (compute-bound);
+//   - vanilla-caching pays a first-epoch penalty versus vanilla-lustre
+//     (inline copy to local), then matches vanilla-local in epochs 2-3;
+//   - vanilla-lustre shows the largest run-to-run spread (contention).
+#include <functional>
+#include <iostream>
+
+#include "bench_common.h"
+
+namespace monarch::bench {
+namespace {
+
+using dlsim::ExperimentConfig;
+using dlsim::Setup;
+
+int Run() {
+  BenchEnv env = BenchEnv::FromEnvironment("fig1");
+  std::cout << "fig1_motivation: runs=" << env.runs
+            << " scale=" << env.scale << " epochs=" << env.epochs << "\n";
+
+  const std::vector<dlsim::ModelProfile> models{
+      dlsim::ModelProfile::LeNet(), dlsim::ModelProfile::AlexNet(),
+      dlsim::ModelProfile::ResNet50()};
+
+  struct SetupKind {
+    std::string name;
+    std::function<Result<Setup>(const ExperimentConfig&, int run)> make;
+  };
+  const std::vector<SetupKind> setups{
+      {"vanilla-lustre",
+       [&](const ExperimentConfig& config, int run) {
+         return dlsim::MakeVanillaLustreSetup(
+             env.work_dir / ("pfs_r" + std::to_string(run)), config);
+       }},
+      {"vanilla-local",
+       [&](const ExperimentConfig& config, int run) {
+         return dlsim::MakeVanillaLocalSetup(
+             env.work_dir / ("pfs_r" + std::to_string(run)),
+             env.work_dir / ("local_vl" + std::to_string(run)), config);
+       }},
+      {"vanilla-caching",
+       [&](const ExperimentConfig& config, int run) {
+         return dlsim::MakeVanillaCachingSetup(
+             env.work_dir / ("pfs_r" + std::to_string(run)),
+             env.work_dir / ("local_vc" + std::to_string(run) + "_" +
+                             config.model.name),
+             config);
+       }},
+  };
+
+  std::vector<CellResult> cells;
+  for (const SetupKind& kind : setups) {
+    for (const auto& model : models) {
+      CellResult cell;
+      cell.setup = kind.name;
+      cell.model = model.name;
+      for (int run = 0; run < env.runs; ++run) {
+        ExperimentConfig config;
+        config.dataset = workload::DatasetSpec::ImageNet100GiB(env.scale);
+        config.model = model;
+        config.epochs = env.epochs;
+        config.local_quota_bytes = static_cast<std::uint64_t>(
+            115.0 * env.scale * static_cast<double>(kMiB));
+        config.run_seed = static_cast<std::uint64_t>(1000 + run);
+
+        auto setup = kind.make(config, run);
+        if (!setup.ok()) {
+          std::cerr << "setup failed: " << setup.status() << "\n";
+          return 1;
+        }
+        auto result = setup.value().trainer->Train();
+        if (!result.ok()) {
+          std::cerr << "training failed: " << result.status() << "\n";
+          return 1;
+        }
+        const auto pfs =
+            setup.value().pfs_engine
+                ? setup.value().pfs_engine->Stats().Snapshot()
+                : storage::IoStatsSnapshot{};
+        const auto local =
+            setup.value().local_engine
+                ? setup.value().local_engine->Stats().Snapshot()
+                : storage::IoStatsSnapshot{};
+        cell.Accumulate(result.value(), pfs, local, env.epochs);
+      }
+      std::cout << "  done: " << kind.name << " / " << model.name << "\n";
+      cells.push_back(std::move(cell));
+    }
+  }
+
+  PrintEpochTable("Figure 1: per-epoch training time (seconds, mean±sd)",
+                  cells, env.epochs);
+
+  // The paper's §II headline deltas.
+  PrintBanner(std::cout,
+              "Figure 1 summary: total-time change vs vanilla-lustre");
+  Table summary({"model", "vanilla-local", "vanilla-caching"});
+  for (std::size_t m = 0; m < models.size(); ++m) {
+    const double lustre = cells[m].total_seconds.mean();
+    const double local = cells[models.size() + m].total_seconds.mean();
+    const double caching = cells[2 * models.size() + m].total_seconds.mean();
+    summary.AddRow({models[m].name, RelativeChange(lustre, local),
+                    RelativeChange(lustre, caching)});
+  }
+  summary.PrintAscii(std::cout);
+
+  PrintPfsPressureTable("Figure 1: backend I/O operations per run", cells);
+  env.Cleanup();
+  return 0;
+}
+
+}  // namespace
+}  // namespace monarch::bench
+
+int main() { return monarch::bench::Run(); }

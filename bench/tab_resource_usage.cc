@@ -1,0 +1,157 @@
+// §II-A / §IV-B resource-usage tables: CPU and GPU utilisation plus peak
+// pipeline memory for every setup and model, on both datasets.
+//
+// Shape targets from the paper (percentages of node CPU / GPU):
+//   100 GiB dataset —
+//     LeNet:   lustre 30/22, local 57/39, caching 37/28, monarch 44/31
+//     AlexNet: lustre 31/58, local 42/72, caching 34/63, monarch 37/68
+//     ResNet:  ~10/90 everywhere (compute-bound)
+//   200 GiB dataset —
+//     LeNet:   lustre 36/30 -> monarch 46/38
+//     AlexNet: lustre 31/63 -> monarch 33/69
+//     ResNet:  ~9/90 both
+//   Memory stays flat across setups (~10 GiB; ours: the prefetch buffer).
+//
+// The orderings to reproduce: faster storage => higher CPU and GPU
+// utilisation for the I/O-bound models; ResNet-50 pinned at high GPU /
+// low CPU everywhere; memory flat.
+#include <functional>
+#include <iostream>
+
+#include "bench_common.h"
+
+namespace monarch::bench {
+namespace {
+
+using dlsim::ExperimentConfig;
+using dlsim::Setup;
+
+int Run() {
+  BenchEnv env = BenchEnv::FromEnvironment("tab_resource");
+  // Utilisation ratios converge with one repetition; keep this bench fast.
+  env.runs = EnvInt("MONARCH_BENCH_RUNS", 1);
+  std::cout << "tab_resource_usage: runs=" << env.runs
+            << " scale=" << env.scale << " epochs=" << env.epochs << "\n";
+
+  const std::vector<dlsim::ModelProfile> models{
+      dlsim::ModelProfile::LeNet(), dlsim::ModelProfile::AlexNet(),
+      dlsim::ModelProfile::ResNet50()};
+
+  struct Arm {
+    std::string dataset;
+    std::string setup;
+  };
+
+  std::vector<CellResult> cells;
+  std::vector<Arm> arms;
+
+  auto run_cell = [&](const std::string& dataset_name,
+                      const workload::DatasetSpec& spec,
+                      const std::string& setup_name,
+                      const std::function<Result<Setup>(
+                          const ExperimentConfig&, int)>& make) -> int {
+    for (const auto& model : models) {
+      CellResult cell;
+      cell.setup = setup_name;
+      cell.model = model.name;
+      for (int run = 0; run < env.runs; ++run) {
+        ExperimentConfig config;
+        config.dataset = spec;
+        config.model = model;
+        config.epochs = env.epochs;
+        config.local_quota_bytes = static_cast<std::uint64_t>(
+            115.0 * env.scale * static_cast<double>(kMiB));
+        config.run_seed = static_cast<std::uint64_t>(7000 + run);
+        auto setup = make(config, run);
+        if (!setup.ok()) {
+          std::cerr << "setup failed: " << setup.status() << "\n";
+          return 1;
+        }
+        auto result = setup.value().trainer->Train();
+        if (!result.ok()) {
+          std::cerr << "training failed: " << result.status() << "\n";
+          return 1;
+        }
+        cell.Accumulate(result.value(), {}, {}, env.epochs);
+      }
+      std::cout << "  done: " << dataset_name << " / " << setup_name << " / "
+                << model.name << "\n";
+      cells.push_back(std::move(cell));
+      arms.push_back(Arm{dataset_name, setup_name});
+    }
+    return 0;
+  };
+
+  const auto spec100 = workload::DatasetSpec::ImageNet100GiB(env.scale);
+  const auto spec200 = workload::DatasetSpec::ImageNet200GiB(env.scale);
+  int rc = 0;
+  rc |= run_cell("100GiB", spec100, "vanilla-lustre",
+                 [&](const ExperimentConfig& c, int r) {
+                   return dlsim::MakeVanillaLustreSetup(
+                       env.work_dir / ("pfs100_r" + std::to_string(r)), c);
+                 });
+  rc |= run_cell("100GiB", spec100, "vanilla-local",
+                 [&](const ExperimentConfig& c, int r) {
+                   return dlsim::MakeVanillaLocalSetup(
+                       env.work_dir / ("pfs100_r" + std::to_string(r)),
+                       env.work_dir / ("l_vl" + std::to_string(r)), c);
+                 });
+  rc |= run_cell("100GiB", spec100, "vanilla-caching",
+                 [&](const ExperimentConfig& c, int r) {
+                   return dlsim::MakeVanillaCachingSetup(
+                       env.work_dir / ("pfs100_r" + std::to_string(r)),
+                       env.work_dir /
+                           ("l_vc" + c.model.name + std::to_string(r)),
+                       c);
+                 });
+  rc |= run_cell("100GiB", spec100, "monarch",
+                 [&](const ExperimentConfig& c, int r) {
+                   return dlsim::MakeMonarchSetup(
+                       env.work_dir / ("pfs100_r" + std::to_string(r)),
+                       env.work_dir /
+                           ("l_mn" + c.model.name + std::to_string(r)),
+                       c);
+                 });
+  rc |= run_cell("200GiB", spec200, "vanilla-lustre",
+                 [&](const ExperimentConfig& c, int r) {
+                   return dlsim::MakeVanillaLustreSetup(
+                       env.work_dir / ("pfs200_r" + std::to_string(r)), c);
+                 });
+  rc |= run_cell("200GiB", spec200, "monarch",
+                 [&](const ExperimentConfig& c, int r) {
+                   return dlsim::MakeMonarchSetup(
+                       env.work_dir / ("pfs200_r" + std::to_string(r)),
+                       env.work_dir /
+                           ("l2_mn" + c.model.name + std::to_string(r)),
+                       c);
+                 });
+  if (rc != 0) return rc;
+
+  PrintBanner(std::cout,
+              "Resource usage (§II-A, §IV-B): CPU%, GPU%, peak memory");
+  Table table({"dataset", "setup", "model", "cpu_pct", "gpu_pct",
+               "peak_mem_MiB"});
+  for (std::size_t i = 0; i < cells.size(); ++i) {
+    table.AddRow({arms[i].dataset, arms[i].setup, cells[i].model,
+                  Table::Num(cells[i].cpu_utilisation.mean() * 100, 1),
+                  Table::Num(cells[i].gpu_utilisation.mean() * 100, 1),
+                  Table::Num(cells[i].peak_memory_mib.mean(), 1)});
+  }
+  table.PrintAscii(std::cout);
+  std::cout << "\nCSV:\n";
+  table.PrintCsv(std::cout);
+
+  std::cout <<
+      "\nExpected orderings (paper): for LeNet/AlexNet both CPU%% and "
+      "GPU%% rise with faster storage\n(local > monarch > caching > "
+      "lustre); ResNet-50 stays ~constant at high GPU / low CPU;\npeak "
+      "memory is flat across setups (bounded prefetch buffer).\n";
+
+  env.Cleanup();
+  return 0;
+}
+
+}  // namespace
+}  // namespace monarch::bench
+
+int main() { return monarch::bench::Run(); }

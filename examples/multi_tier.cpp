@@ -1,0 +1,105 @@
+// Multi-tier example: the paper's §VI "consider more storage layers"
+// direction — a three-level hierarchy (RAM above local SSD above the
+// PFS), configured through the INI interface a system designer would
+// write. Files spill downward: RAM fills first, then the SSD, and the
+// overflow stays on the PFS.
+//
+// Build & run:  ./build/examples/multi_tier
+#include <filesystem>
+#include <iostream>
+#include <vector>
+
+#include "core/config.h"
+#include "util/byte_units.h"
+#include "storage/engine_factory.h"
+#include "util/table.h"
+#include "workload/dataset_generator.h"
+
+namespace fs = std::filesystem;
+using namespace monarch;
+
+int main() {
+  const fs::path work = fs::temp_directory_path() / "monarch_multitier";
+  fs::remove_all(work);
+
+  // Dataset: 48 files x ~8 KiB. RAM holds ~16 files, SSD ~24, the
+  // remaining ~8 stay on the PFS.
+  workload::DatasetSpec spec = workload::DatasetSpec::Tiny();
+  spec.directory = "dataset";
+  spec.num_files = 48;
+  spec.samples_per_file = 4;
+  spec.mean_sample_bytes = 2048;
+  spec.sample_size_jitter = 0.0;
+  {
+    auto raw = storage::MakeRawEngine(work / "pfs");
+    auto manifest = workload::GenerateDataset(*raw, spec);
+    if (!manifest.ok()) {
+      std::cerr << "dataset generation failed: " << manifest.status() << "\n";
+      return 1;
+    }
+    std::cout << "dataset: " << manifest->num_files() << " files, "
+              << FormatByteSize(manifest->total_bytes) << "\n";
+  }
+
+  // The whole hierarchy declared as configuration (§III-B: the system
+  // designer specifies the tiers before execution).
+  const std::string ini =
+      "[monarch]\n"
+      "dataset_dir = dataset\n"
+      "placement_threads = 4\n"
+      "[tier.0]\n"
+      "name = ram\n"
+      "profile = ram\n"
+      "quota = 133KiB\n"   // ~16 files
+      "[tier.1]\n"
+      "name = local-ssd\n"
+      "profile = ssd\n"
+      "root = " + (work / "ssd").string() + "\n"
+      "quota = 200KiB\n"   // ~24 files
+      "[pfs]\n"
+      "name = lustre\n"
+      "profile = lustre-quiet\n"
+      "root = " + (work / "pfs").string() + "\n";
+
+  auto monarch = core::MonarchFromIni(ini);
+  if (!monarch.ok()) {
+    std::cerr << "config failed: " << monarch.status() << "\n";
+    return 1;
+  }
+
+  // One epoch of reads triggers placement across all writable tiers.
+  std::vector<std::byte> buffer(16 * 1024);
+  for (std::uint64_t f = 0; f < spec.num_files; ++f) {
+    auto read = (*monarch)->Read(workload::RecordFilePath(spec, f), 0, buffer);
+    if (!read.ok()) {
+      std::cerr << "read failed: " << read.status() << "\n";
+      return 1;
+    }
+  }
+  (*monarch)->DrainPlacements();
+
+  // Second epoch: reads are spread across the hierarchy.
+  for (std::uint64_t f = 0; f < spec.num_files; ++f) {
+    (void)(*monarch)->Read(workload::RecordFilePath(spec, f), 0, buffer);
+  }
+
+  const auto stats = (*monarch)->Stats();
+  Table table({"level", "tier", "reads", "occupancy", "quota"});
+  for (std::size_t i = 0; i < stats.levels.size(); ++i) {
+    const auto& level = stats.levels[i];
+    table.AddRow({std::to_string(i), level.tier_name,
+                  std::to_string(level.reads),
+                  FormatByteSize(level.occupancy_bytes),
+                  level.quota_bytes == 0 ? "-"
+                                         : FormatByteSize(level.quota_bytes)});
+  }
+  table.PrintAscii(std::cout);
+  std::cout << "placed=" << stats.placement.completed
+            << " unplaceable=" << stats.placement.rejected_no_space << "\n";
+  std::cout << "\nFirst-fit placement filled RAM, spilled to the SSD, and "
+               "left the overflow on the\nPFS — ordering tiers by "
+               "performance, exactly as §III-A describes.\n";
+  (*monarch)->Shutdown();
+  fs::remove_all(work);
+  return 0;
+}

@@ -1,0 +1,85 @@
+// Partial-cache example: the paper's 200 GiB scenario — a dataset larger
+// than the local tier. TensorFlow's Dataset.cache refuses this outright
+// (it needs the whole dataset to fit); MONARCH caches what fits and keeps
+// serving the remainder from the PFS, still cutting PFS traffic roughly
+// in half.
+//
+// Build & run:  ./build/examples/partial_cache
+#include <filesystem>
+#include <iostream>
+
+#include "dlsim/caching_opener.h"
+#include "dlsim/setups.h"
+#include "util/byte_units.h"
+#include "util/table.h"
+
+namespace fs = std::filesystem;
+using namespace monarch;
+
+int main() {
+  const double scale = 0.12;
+  const fs::path work = fs::temp_directory_path() / "monarch_partial";
+  fs::remove_all(work);
+
+  dlsim::ExperimentConfig config;
+  config.dataset = workload::DatasetSpec::ImageNet200GiB(scale);
+  config.model = dlsim::ModelProfile::LeNet();
+  config.epochs = 3;
+  // The local tier holds only ~half the dataset, as on the Frontera node.
+  config.local_quota_bytes =
+      static_cast<std::uint64_t>(115.0 * scale * 1024 * 1024);
+  config.run_seed = 21;
+
+  std::cout << "dataset ~" << FormatByteSize(config.dataset.approx_total_bytes())
+            << ", local tier quota "
+            << FormatByteSize(config.local_quota_bytes) << "\n\n";
+
+  // TensorFlow's cache transformation cannot handle this dataset at all:
+  auto caching = dlsim::MakeVanillaCachingSetup(work / "pfs", work / "ssd_c",
+                                                config);
+  std::cout << "vanilla-caching: "
+            << (caching.ok() ? "accepted (unexpected!)"
+                             : caching.status().ToString())
+            << "\n\n";
+
+  // MONARCH handles it by caching what fits.
+  auto setup = dlsim::MakeMonarchSetup(work / "pfs", work / "ssd", config);
+  if (!setup.ok()) {
+    std::cerr << "setup failed: " << setup.status() << "\n";
+    return 1;
+  }
+  std::cout << "training with MONARCH (3 epochs)..." << std::endl;
+  auto result = setup->trainer->Train();
+  if (!result.ok()) {
+    std::cerr << "training failed: " << result.status() << "\n";
+    return 1;
+  }
+  setup->monarch->DrainPlacements();
+
+  const auto stats = setup->monarch->Stats();
+  Table table({"metric", "value"});
+  table.AddRow({"files indexed", std::to_string(stats.files_indexed)});
+  table.AddRow({"files placed on local tier",
+                std::to_string(stats.placement.completed)});
+  table.AddRow({"files left on the PFS",
+                std::to_string(stats.placement.rejected_no_space)});
+  table.AddRow({"local tier occupancy",
+                FormatByteSize(stats.levels[0].occupancy_bytes) + " / " +
+                    FormatByteSize(stats.levels[0].quota_bytes)});
+  table.AddRow({"reads served by local tier",
+                std::to_string(stats.levels[0].reads)});
+  table.AddRow({"reads served by PFS", std::to_string(stats.pfs_reads())});
+  for (const auto& epoch : result->epochs) {
+    table.AddRow({"epoch " + std::to_string(epoch.epoch) + " time",
+                  Table::Num(epoch.wall_seconds, 2) + " s"});
+  }
+  table.PrintAscii(std::cout);
+
+  std::cout << "\nThe local tier filled to its quota during epoch 1 and "
+               "then held steady (no\nevictions, §III-A); every epoch "
+               "after the first reads the placed half locally\nand only "
+               "the overflow from the PFS.\n";
+  setup->monarch->Shutdown();
+  fs::remove_all(work);
+  return 0;
+}

@@ -1,0 +1,103 @@
+// Quickstart: the smallest end-to-end MONARCH program.
+//
+//   1. Generate a tiny TFRecord dataset into a directory standing in for
+//      the shared PFS.
+//   2. Configure a two-level hierarchy (simulated local SSD above a
+//      simulated, contended Lustre) — the paper's §III-B configuration.
+//   3. Read files through Monarch::Read and watch the middleware stage
+//      them: the first pass is served by the PFS, the second by the
+//      local tier.
+//
+// Build & run:  ./build/examples/quickstart
+#include <filesystem>
+#include <iostream>
+#include <vector>
+
+#include "core/monarch.h"
+#include "storage/engine_factory.h"
+#include "util/byte_units.h"
+#include "workload/dataset_generator.h"
+
+namespace fs = std::filesystem;
+using namespace monarch;
+
+namespace {
+
+void PrintTierStats(const core::MonarchStats& stats, const char* moment) {
+  std::cout << "\n-- tier stats " << moment << " --\n";
+  for (const auto& level : stats.levels) {
+    std::cout << "  " << level.tier_name << ": reads=" << level.reads
+              << " bytes=" << FormatByteSize(level.bytes)
+              << " occupancy=" << FormatByteSize(level.occupancy_bytes);
+    if (level.quota_bytes > 0) {
+      std::cout << "/" << FormatByteSize(level.quota_bytes);
+    }
+    std::cout << "\n";
+  }
+  std::cout << "  placements: completed=" << stats.placement.completed
+            << " bytes-staged=" << FormatByteSize(stats.placement.bytes_staged)
+            << "\n";
+}
+
+}  // namespace
+
+int main() {
+  const fs::path work = fs::temp_directory_path() / "monarch_quickstart";
+  fs::remove_all(work);
+
+  // 1. Stage a small dataset on the "PFS" directory (untimed, raw speed).
+  auto raw = storage::MakeRawEngine(work / "pfs");
+  auto spec = workload::DatasetSpec::Tiny();
+  auto manifest = workload::GenerateDataset(*raw, spec);
+  if (!manifest.ok()) {
+    std::cerr << "dataset generation failed: " << manifest.status() << "\n";
+    return 1;
+  }
+  std::cout << "generated " << manifest->num_files() << " record files ("
+            << FormatByteSize(manifest->total_bytes) << ") under "
+            << (work / "pfs") << "\n";
+
+  // 2. Two-level hierarchy: local SSD (quota'd) over contended Lustre.
+  core::MonarchConfig config;
+  config.cache_tiers.push_back(core::TierSpec{
+      "local-ssd", storage::MakeLocalSsdEngine(work / "ssd"), 64 * kMiB});
+  config.pfs = core::TierSpec{
+      "lustre", storage::MakeLustreEngine(work / "pfs", /*seed=*/42), 0};
+  config.dataset_dir = spec.directory;
+  config.placement.num_threads = 4;
+
+  auto monarch = core::Monarch::Create(std::move(config));
+  if (!monarch.ok()) {
+    std::cerr << "monarch init failed: " << monarch.status() << "\n";
+    return 1;
+  }
+  std::cout << "indexed " << (*monarch)->Stats().files_indexed
+            << " files in " << (*monarch)->Stats().metadata_init_seconds
+            << "s\n";
+
+  // 3. Epoch 1: every first read is intercepted, served from the PFS and
+  //    staged to the SSD in the background.
+  std::vector<std::byte> buffer(4096);
+  for (const auto& path : manifest->file_paths) {
+    auto read = (*monarch)->Read(path, 0, buffer);
+    if (!read.ok()) {
+      std::cerr << "read failed: " << read.status() << "\n";
+      return 1;
+    }
+  }
+  (*monarch)->DrainPlacements();
+  PrintTierStats((*monarch)->Stats(), "after epoch 1");
+
+  // Epoch 2: the same reads now come from the local tier.
+  for (const auto& path : manifest->file_paths) {
+    (void)(*monarch)->Read(path, 0, buffer);
+  }
+  PrintTierStats((*monarch)->Stats(), "after epoch 2");
+
+  std::cout << "\nNote how the PFS read count stopped growing after epoch 1"
+            << " — that is the\nI/O-pressure reduction the paper measures."
+            << "\n";
+  (*monarch)->Shutdown();
+  fs::remove_all(work);
+  return 0;
+}

@@ -1,0 +1,105 @@
+// Trace-replay example: capture the I/O pattern a training epoch issues,
+// serialize it, and replay it against two different storage stacks to
+// compare their capacity for the exact same access pattern — a common
+// storage-research workflow built from this repo's pieces.
+//
+// Build & run:  ./build/examples/trace_replay
+#include <filesystem>
+#include <iostream>
+
+#include "dlsim/data_loader.h"
+#include "util/byte_units.h"
+#include "dlsim/record_opener.h"
+#include "storage/engine_factory.h"
+#include "util/table.h"
+#include "workload/dataset_generator.h"
+#include "workload/trace.h"
+
+namespace fs = std::filesystem;
+using namespace monarch;
+
+int main() {
+  const fs::path work = fs::temp_directory_path() / "monarch_trace";
+  fs::remove_all(work);
+
+  // Dataset on a raw directory.
+  workload::DatasetSpec spec = workload::DatasetSpec::Tiny();
+  spec.num_files = 24;
+  spec.samples_per_file = 8;
+  spec.mean_sample_bytes = 8192;
+  auto raw = storage::MakeRawEngine(work / "data");
+  auto manifest = workload::GenerateDataset(*raw, spec);
+  if (!manifest.ok()) {
+    std::cerr << "dataset generation failed: " << manifest.status() << "\n";
+    return 1;
+  }
+
+  // 1. Capture: run one loader epoch over a traced raw engine.
+  workload::TraceRecorder recorder;
+  auto traced =
+      std::make_shared<workload::TracingEngine>(raw, recorder);
+  dlsim::EngineOpener opener(traced);
+  dlsim::ResourceMonitor monitor(4, 1);
+  dlsim::LoaderConfig loader_config;
+  loader_config.reader_threads = 4;
+  loader_config.read_chunk_bytes = 16 * 1024;
+  {
+    dlsim::EpochLoader loader(manifest->file_paths, 1, opener, monitor,
+                              loader_config);
+    std::uint64_t samples = 0;
+    while (loader.queue().Pop().has_value()) ++samples;
+    loader.Finish();
+    if (!loader.status().ok()) {
+      std::cerr << "capture epoch failed: " << loader.status() << "\n";
+      return 1;
+    }
+    std::cout << "captured epoch: " << samples << " samples\n";
+  }
+  const auto events = recorder.Drain();
+  const std::string serialized = workload::SerializeTrace(events);
+  std::cout << "trace: " << events.size() << " events, "
+            << FormatByteSize(serialized.size()) << " serialized\n";
+  std::cout << "first lines:\n"
+            << serialized.substr(0, serialized.find('\n', serialized.find(
+                                          '\n', serialized.find('\n') + 1) +
+                                          1) + 1);
+
+  // 2. Round-trip through the text form (a real workflow would save it).
+  auto parsed = workload::ParseTrace(serialized);
+  if (!parsed.ok()) {
+    std::cerr << "parse failed: " << parsed.status() << "\n";
+    return 1;
+  }
+
+  // 3. Replay the identical pattern against two device models.
+  Table table({"backend", "read_ops", "bytes", "elapsed_s", "MB/s"});
+  struct Arm {
+    std::string name;
+    storage::StorageEnginePtr engine;
+  };
+  for (Arm& arm : std::vector<Arm>{
+           {"lustre-sim (contended)",
+            storage::MakeLustreEngine(work / "data", 7)},
+           {"local-ssd-sim", storage::MakeLocalSsdEngine(work / "data")}}) {
+    auto stats = workload::ReplayTrace(parsed.value(), *arm.engine,
+                                       /*parallelism=*/4);
+    if (!stats.ok()) {
+      std::cerr << "replay failed: " << stats.status() << "\n";
+      return 1;
+    }
+    const double mbps = stats->elapsed_seconds > 0
+                            ? static_cast<double>(stats->bytes) / 1e6 /
+                                  stats->elapsed_seconds
+                            : 0;
+    table.AddRow({arm.name, std::to_string(stats->ops),
+                  FormatByteSize(stats->bytes),
+                  Table::Num(stats->elapsed_seconds, 2),
+                  Table::Num(mbps, 1)});
+  }
+  table.PrintAscii(std::cout);
+  std::cout << "\nSame request stream, two device models: the SSD profile "
+               "sustains several times\nthe throughput of the contended "
+               "PFS profile — the gap MONARCH exploits.\n";
+  fs::remove_all(work);
+  return 0;
+}

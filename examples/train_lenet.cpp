@@ -1,0 +1,97 @@
+// Train-LeNet example: the paper's headline scenario as a program.
+//
+// Runs the full training simulation (LeNet, 3 epochs, 4 simulated GPUs,
+// tf.data-style input pipeline) twice over the same synthetic ImageNet
+// shard set — once reading straight from the simulated Lustre PFS
+// (vanilla-lustre) and once through MONARCH — and prints the per-epoch
+// times and the PFS I/O counters side by side.
+//
+// Build & run:  ./build/examples/train_lenet
+// Knobs: MONARCH_EXAMPLE_SCALE (default 0.12 for a ~30 s run)
+#include <cstdlib>
+#include <filesystem>
+#include <iostream>
+
+#include "dlsim/setups.h"
+#include "util/byte_units.h"
+#include "util/table.h"
+
+namespace fs = std::filesystem;
+using namespace monarch;
+
+int main() {
+  double scale = 0.12;
+  if (const char* env = std::getenv("MONARCH_EXAMPLE_SCALE")) {
+    scale = std::max(0.05, std::atof(env));
+  }
+  const fs::path work = fs::temp_directory_path() / "monarch_train_lenet";
+  fs::remove_all(work);
+
+  dlsim::ExperimentConfig config;
+  config.dataset = workload::DatasetSpec::ImageNet100GiB(scale);
+  config.model = dlsim::ModelProfile::LeNet();
+  config.epochs = 3;
+  config.local_quota_bytes =
+      static_cast<std::uint64_t>(115.0 * scale * 1024 * 1024);
+  config.run_seed = 11;
+
+  std::cout << "dataset: " << config.dataset.num_files << " record files, ~"
+            << FormatByteSize(config.dataset.approx_total_bytes()) << "\n\n";
+
+  Table table({"setup", "epoch1_s", "epoch2_s", "epoch3_s", "total_s",
+               "pfs_reads"});
+
+  // Arm 1: vanilla-lustre.
+  {
+    auto setup = dlsim::MakeVanillaLustreSetup(work / "pfs", config);
+    if (!setup.ok()) {
+      std::cerr << "setup failed: " << setup.status() << "\n";
+      return 1;
+    }
+    std::cout << "training vanilla-lustre..." << std::endl;
+    auto result = setup->trainer->Train();
+    if (!result.ok()) {
+      std::cerr << "training failed: " << result.status() << "\n";
+      return 1;
+    }
+    table.AddRow({"vanilla-lustre", Table::Num(result->EpochSeconds(1), 2),
+                  Table::Num(result->EpochSeconds(2), 2),
+                  Table::Num(result->EpochSeconds(3), 2),
+                  Table::Num(result->total_seconds, 2),
+                  std::to_string(
+                      setup->pfs_engine->Stats().Snapshot().read_ops)});
+  }
+
+  // Arm 2: MONARCH (same dataset directory, fresh contention seed).
+  {
+    auto setup = dlsim::MakeMonarchSetup(work / "pfs", work / "ssd", config);
+    if (!setup.ok()) {
+      std::cerr << "setup failed: " << setup.status() << "\n";
+      return 1;
+    }
+    std::cout << "training with MONARCH..." << std::endl;
+    auto result = setup->trainer->Train();
+    if (!result.ok()) {
+      std::cerr << "training failed: " << result.status() << "\n";
+      return 1;
+    }
+    setup->monarch->DrainPlacements();
+    const auto stats = setup->monarch->Stats();
+    table.AddRow({"monarch", Table::Num(result->EpochSeconds(1), 2),
+                  Table::Num(result->EpochSeconds(2), 2),
+                  Table::Num(result->EpochSeconds(3), 2),
+                  Table::Num(result->total_seconds, 2),
+                  std::to_string(stats.pfs_reads())});
+    std::cout << "\nMONARCH staged " << stats.placement.completed
+              << " files (" << FormatByteSize(stats.placement.bytes_staged)
+              << ") to the local tier during epoch 1;\nmetadata init took "
+              << stats.metadata_init_seconds << "s.\n\n";
+  }
+
+  table.PrintAscii(std::cout);
+  std::cout << "\nExpect MONARCH's epochs 2-3 (and usually epoch 1, thanks "
+               "to the full-record\nbackground fetch) to run faster, with "
+               "far fewer PFS reads.\n";
+  fs::remove_all(work);
+  return 0;
+}

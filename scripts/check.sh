@@ -1,0 +1,25 @@
+#!/usr/bin/env bash
+# Full verification: release build + tests + benches, then TSan and
+# ASan/UBSan builds of the test suite. Mirrors what CI should run.
+set -euo pipefail
+cd "$(dirname "$0")"
+
+cmake -B build -G Ninja
+cmake --build build
+ctest --test-dir build --output-on-failure
+
+cmake -B build-tsan -G Ninja -DCMAKE_CXX_FLAGS="-fsanitize=thread -g" \
+      -DMONARCH_BUILD_BENCHMARKS=OFF -DMONARCH_BUILD_EXAMPLES=OFF
+cmake --build build-tsan
+./build-tsan/tests/monarch_tests
+
+cmake -B build-asan -G Ninja \
+      -DCMAKE_CXX_FLAGS="-fsanitize=address,undefined -fno-sanitize-recover=all -g" \
+      -DMONARCH_BUILD_BENCHMARKS=OFF -DMONARCH_BUILD_EXAMPLES=OFF
+cmake --build build-asan
+./build-asan/tests/monarch_tests
+
+echo "benches (quick pass):"
+MONARCH_BENCH_RUNS=1 MONARCH_BENCH_SCALE=0.15 MONARCH_BENCH_EPOCHS=2 \
+  bash -c 'for b in build/bench/*; do "$b"; done' > /dev/null
+echo "ALL CHECKS PASSED"

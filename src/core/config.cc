@@ -1,0 +1,226 @@
+#include "core/config.h"
+
+#include <algorithm>
+#include <cctype>
+#include <charconv>
+#include <sstream>
+
+#include "storage/engine_factory.h"
+#include "util/byte_units.h"
+
+namespace monarch::core {
+
+namespace {
+
+std::string Trim(const std::string& s) {
+  std::size_t begin = 0;
+  std::size_t end = s.size();
+  while (begin < end && std::isspace(static_cast<unsigned char>(s[begin]))) {
+    ++begin;
+  }
+  while (end > begin && std::isspace(static_cast<unsigned char>(s[end - 1]))) {
+    --end;
+  }
+  return s.substr(begin, end - begin);
+}
+
+Result<bool> ParseBool(const std::string& value, int line_no) {
+  if (value == "true" || value == "1" || value == "yes") return true;
+  if (value == "false" || value == "0" || value == "no") return false;
+  return InvalidArgumentError("line " + std::to_string(line_no) +
+                              ": bad boolean '" + value + "'");
+}
+
+Result<std::uint64_t> ParseU64(const std::string& value, int line_no) {
+  std::uint64_t out = 0;
+  auto [p, ec] =
+      std::from_chars(value.data(), value.data() + value.size(), out);
+  if (ec != std::errc{} || p != value.data() + value.size()) {
+    return InvalidArgumentError("line " + std::to_string(line_no) +
+                                ": bad integer '" + value + "'");
+  }
+  return out;
+}
+
+Status ApplyTierKey(ParsedTier& tier, const std::string& key,
+                    const std::string& value, int line_no) {
+  if (key == "name") {
+    tier.name = value;
+  } else if (key == "profile") {
+    tier.profile = value;
+  } else if (key == "root") {
+    tier.root = value;
+  } else if (key == "quota") {
+    MONARCH_ASSIGN_OR_RETURN(tier.quota_bytes, ParseByteSize(value));
+  } else if (key == "seed") {
+    MONARCH_ASSIGN_OR_RETURN(tier.seed, ParseU64(value, line_no));
+  } else {
+    return InvalidArgumentError("line " + std::to_string(line_no) +
+                                ": unknown tier key '" + key + "'");
+  }
+  return Status::Ok();
+}
+
+}  // namespace
+
+Result<ParsedConfig> ParseConfig(const std::string& ini_text) {
+  ParsedConfig config;
+  // tier.<index> sections may appear in any order; collect then sort.
+  std::map<int, ParsedTier> tiers;
+  bool saw_pfs = false;
+
+  enum class Section { kNone, kMonarch, kTier, kPfs };
+  Section section = Section::kNone;
+  int tier_index = -1;
+
+  std::istringstream stream(ini_text);
+  std::string raw_line;
+  int line_no = 0;
+  while (std::getline(stream, raw_line)) {
+    ++line_no;
+    // Strip comments (';' or '#') and whitespace.
+    const std::size_t comment = raw_line.find_first_of(";#");
+    std::string line =
+        Trim(comment == std::string::npos ? raw_line
+                                          : raw_line.substr(0, comment));
+    if (line.empty()) continue;
+
+    if (line.front() == '[') {
+      if (line.back() != ']') {
+        return InvalidArgumentError("line " + std::to_string(line_no) +
+                                    ": unterminated section header");
+      }
+      const std::string name = Trim(line.substr(1, line.size() - 2));
+      if (name == "monarch") {
+        section = Section::kMonarch;
+      } else if (name == "pfs") {
+        section = Section::kPfs;
+        saw_pfs = true;
+      } else if (name.starts_with("tier.")) {
+        MONARCH_ASSIGN_OR_RETURN(
+            const std::uint64_t idx,
+            ParseU64(name.substr(5), line_no));
+        section = Section::kTier;
+        tier_index = static_cast<int>(idx);
+        tiers.try_emplace(tier_index);
+      } else {
+        return InvalidArgumentError("line " + std::to_string(line_no) +
+                                    ": unknown section '" + name + "'");
+      }
+      continue;
+    }
+
+    const std::size_t eq = line.find('=');
+    if (eq == std::string::npos) {
+      return InvalidArgumentError("line " + std::to_string(line_no) +
+                                  ": expected key = value");
+    }
+    const std::string key = Trim(line.substr(0, eq));
+    const std::string value = Trim(line.substr(eq + 1));
+
+    switch (section) {
+      case Section::kNone:
+        return InvalidArgumentError("line " + std::to_string(line_no) +
+                                    ": key outside any section");
+      case Section::kMonarch:
+        if (key == "dataset_dir") {
+          config.dataset_dir = value;
+        } else if (key == "placement_threads") {
+          MONARCH_ASSIGN_OR_RETURN(const std::uint64_t n,
+                                   ParseU64(value, line_no));
+          config.placement_threads = static_cast<int>(n);
+        } else if (key == "fetch_full_file") {
+          MONARCH_ASSIGN_OR_RETURN(config.fetch_full_file,
+                                   ParseBool(value, line_no));
+        } else {
+          return InvalidArgumentError("line " + std::to_string(line_no) +
+                                      ": unknown monarch key '" + key + "'");
+        }
+        break;
+      case Section::kTier:
+        MONARCH_RETURN_IF_ERROR(
+            ApplyTierKey(tiers[tier_index], key, value, line_no));
+        break;
+      case Section::kPfs:
+        MONARCH_RETURN_IF_ERROR(ApplyTierKey(config.pfs, key, value, line_no));
+        break;
+    }
+  }
+
+  if (!saw_pfs) return InvalidArgumentError("missing [pfs] section");
+  if (tiers.empty()) {
+    return InvalidArgumentError("need at least one [tier.N] section");
+  }
+  int expected = 0;
+  for (auto& [idx, tier] : tiers) {
+    if (idx != expected) {
+      return InvalidArgumentError("tier indices must be contiguous from 0 "
+                                  "(missing tier." +
+                                  std::to_string(expected) + ")");
+    }
+    ++expected;
+    config.cache_tiers.push_back(std::move(tier));
+  }
+  if (config.dataset_dir.empty()) {
+    return InvalidArgumentError("[monarch] dataset_dir is required");
+  }
+  return config;
+}
+
+namespace {
+
+Result<storage::StorageEnginePtr> MakeEngine(const ParsedTier& tier) {
+  if (tier.profile == "ssd") {
+    if (tier.root.empty()) {
+      return InvalidArgumentError("tier '" + tier.name + "': ssd needs root");
+    }
+    return storage::MakeLocalSsdEngine(tier.root);
+  }
+  if (tier.profile == "ram") return storage::MakeRamEngine();
+  if (tier.profile == "lustre" || tier.profile == "lustre-quiet") {
+    if (tier.root.empty()) {
+      return InvalidArgumentError("tier '" + tier.name +
+                                  "': lustre needs root");
+    }
+    return storage::MakeLustreEngine(tier.root, tier.seed,
+                                     tier.profile == "lustre");
+  }
+  if (tier.profile == "raw") {
+    if (tier.root.empty()) {
+      return InvalidArgumentError("tier '" + tier.name + "': raw needs root");
+    }
+    return storage::MakeRawEngine(tier.root);
+  }
+  return InvalidArgumentError("tier '" + tier.name + "': unknown profile '" +
+                              tier.profile + "'");
+}
+
+}  // namespace
+
+Result<MonarchConfig> BuildMonarchConfig(const ParsedConfig& parsed) {
+  MonarchConfig config;
+  config.dataset_dir = parsed.dataset_dir;
+  config.placement.num_threads = parsed.placement_threads;
+  config.placement.fetch_full_file_on_partial_read = parsed.fetch_full_file;
+
+  for (const ParsedTier& tier : parsed.cache_tiers) {
+    TierSpec spec;
+    spec.name = tier.name.empty() ? tier.profile : tier.name;
+    MONARCH_ASSIGN_OR_RETURN(spec.engine, MakeEngine(tier));
+    spec.quota_bytes = tier.quota_bytes;
+    config.cache_tiers.push_back(std::move(spec));
+  }
+  TierSpec pfs;
+  pfs.name = parsed.pfs.name.empty() ? "pfs" : parsed.pfs.name;
+  MONARCH_ASSIGN_OR_RETURN(pfs.engine, MakeEngine(parsed.pfs));
+  config.pfs = std::move(pfs);
+  return config;
+}
+
+Result<std::unique_ptr<Monarch>> MonarchFromIni(const std::string& ini_text) {
+  MONARCH_ASSIGN_OR_RETURN(const ParsedConfig parsed, ParseConfig(ini_text));
+  MONARCH_ASSIGN_OR_RETURN(MonarchConfig config, BuildMonarchConfig(parsed));
+  return Monarch::Create(std::move(config));
+}
+
+}  // namespace monarch::core

@@ -1,0 +1,64 @@
+// Declarative hierarchy configuration.
+//
+// The paper has "the system designer specify the main MONARCH
+// configuration, defining the storage tiers" before execution (§III-B).
+// This module parses a small INI dialect into tier specs and builds a
+// ready MonarchConfig from it, e.g.:
+//
+//   [monarch]
+//   dataset_dir = imagenet_100g
+//   placement_threads = 6
+//   fetch_full_file = true
+//
+//   [tier.0]
+//   name = local-ssd
+//   profile = ssd           ; ssd | ram | raw
+//   root = /tmp/monarch/ssd
+//   quota = 115MiB
+//
+//   [pfs]
+//   name = lustre
+//   profile = lustre        ; lustre | lustre-quiet | raw
+//   root = /tmp/monarch/pfs
+//   seed = 42
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "core/monarch.h"
+#include "util/status.h"
+
+namespace monarch::core {
+
+/// Parsed, engine-free view of the configuration (tests inspect this).
+struct ParsedTier {
+  std::string name;
+  std::string profile;   ///< ssd | ram | lustre | lustre-quiet | raw
+  std::string root;      ///< host directory (unused for ram)
+  std::uint64_t quota_bytes = 0;
+  std::uint64_t seed = 42;
+};
+
+struct ParsedConfig {
+  std::string dataset_dir;
+  int placement_threads = 6;
+  bool fetch_full_file = true;
+  std::vector<ParsedTier> cache_tiers;  ///< level order
+  ParsedTier pfs;
+};
+
+/// Parse the INI text. Unknown sections/keys are errors (config typos
+/// should fail loudly before a multi-hour training job starts).
+Result<ParsedConfig> ParseConfig(const std::string& ini_text);
+
+/// Instantiate engines per each tier's profile and assemble the
+/// MonarchConfig (policy defaults to first-fit).
+Result<MonarchConfig> BuildMonarchConfig(const ParsedConfig& parsed);
+
+/// Convenience: parse + build + Monarch::Create.
+Result<std::unique_ptr<Monarch>> MonarchFromIni(const std::string& ini_text);
+
+}  // namespace monarch::core

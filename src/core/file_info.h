@@ -1,0 +1,67 @@
+// FileInfo: the per-file entry of MONARCH's virtual namespace (§III-A,
+// "metadata container"). Tracks the file's size and which storage level
+// currently serves it, plus the placement state machine that makes the
+// first-epoch staging race-free:
+//
+//   kPfsOnly --(first read seen)--> kFetching --(copy done)--> kPlaced
+//        ^                              |
+//        +------(copy failed)----------+
+//
+// The kPfsOnly->kFetching transition is a CAS, so concurrent reads of the
+// same file schedule exactly one background copy.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <string>
+
+namespace monarch::core {
+
+enum class PlacementState : int {
+  kPfsOnly = 0,   ///< only the PFS copy exists
+  kFetching = 1,  ///< a background copy to an upper tier is in flight
+  kPlaced = 2,    ///< an upper-tier copy exists and serves reads
+  kUnplaceable = 3, ///< no upper tier had room; reads stay on the PFS
+};
+
+struct FileInfo {
+  FileInfo(std::string name_in, std::uint64_t size_in, int pfs_level)
+      : name(std::move(name_in)), size(size_in), level(pfs_level) {}
+
+  const std::string name;       ///< hierarchy-relative path
+  const std::uint64_t size;     ///< bytes (fixed for the job's lifetime)
+
+  /// Storage level whose driver currently serves reads of this file.
+  /// Starts at the PFS level; updated once placement completes (⑤ in the
+  /// paper's operation flow).
+  std::atomic<int> level;
+
+  std::atomic<PlacementState> state{PlacementState::kPfsOnly};
+
+  /// Monotonic access stamp, maintained for the eviction-policy ablation
+  /// (the paper's design deliberately never evicts; §III-A).
+  std::atomic<std::uint64_t> last_access{0};
+
+  /// One-way CAS used by the read path to claim the background fetch.
+  bool TryBeginFetch() noexcept {
+    PlacementState expected = PlacementState::kPfsOnly;
+    return state.compare_exchange_strong(expected, PlacementState::kFetching,
+                                         std::memory_order_acq_rel);
+  }
+
+  void FinishFetch(int new_level) noexcept {
+    level.store(new_level, std::memory_order_release);
+    state.store(PlacementState::kPlaced, std::memory_order_release);
+  }
+
+  void AbortFetch(bool permanently) noexcept {
+    state.store(permanently ? PlacementState::kUnplaceable
+                            : PlacementState::kPfsOnly,
+                std::memory_order_release);
+  }
+};
+
+using FileInfoPtr = std::shared_ptr<FileInfo>;
+
+}  // namespace monarch::core

@@ -1,0 +1,206 @@
+#include "core/monarch.h"
+
+#include <utility>
+
+#include "util/logging.h"
+
+namespace monarch::core {
+
+Result<std::unique_ptr<Monarch>> Monarch::Create(MonarchConfig config) {
+  if (!config.pfs.engine) {
+    return InvalidArgumentError("config.pfs.engine must be set");
+  }
+  if (config.cache_tiers.empty()) {
+    return InvalidArgumentError(
+        "config needs at least one cache tier above the PFS");
+  }
+
+  std::vector<StorageDriverPtr> drivers;
+  drivers.reserve(config.cache_tiers.size() + 1);
+  for (TierSpec& tier : config.cache_tiers) {
+    if (!tier.engine) {
+      return InvalidArgumentError("cache tier '" + tier.name +
+                                  "' has no engine");
+    }
+    if (tier.quota_bytes == 0) {
+      return InvalidArgumentError("cache tier '" + tier.name +
+                                  "' needs a nonzero quota");
+    }
+    drivers.push_back(std::make_unique<StorageDriver>(
+        tier.name, tier.engine, tier.quota_bytes, /*read_only=*/false));
+  }
+  drivers.push_back(std::make_unique<StorageDriver>(
+      config.pfs.name.empty() ? "pfs" : config.pfs.name, config.pfs.engine,
+      /*quota_bytes=*/0, /*read_only=*/true));
+
+  MONARCH_ASSIGN_OR_RETURN(auto hierarchy,
+                           StorageHierarchy::Create(std::move(drivers)));
+
+  std::unique_ptr<Monarch> monarch(
+      new Monarch(std::move(config), std::move(hierarchy)));
+
+  // Metadata initialization phase: walk the dataset directory on the PFS
+  // and build the virtual namespace (§III-B startup flow).
+  MONARCH_ASSIGN_OR_RETURN(
+      const std::uint64_t indexed,
+      monarch->metadata_.Populate(monarch->hierarchy_->Pfs().engine(),
+                                  monarch->config_.dataset_dir,
+                                  monarch->hierarchy_->pfs_level()));
+  MLOG_INFO << "monarch: indexed " << indexed << " files from '"
+            << monarch->config_.dataset_dir << "' in "
+            << monarch->metadata_.init_seconds() << "s";
+  return monarch;
+}
+
+Monarch::Monarch(MonarchConfig config,
+                 std::unique_ptr<StorageHierarchy> hierarchy)
+    : config_(std::move(config)), hierarchy_(std::move(hierarchy)) {
+  if (!config_.policy) config_.policy = MakeFirstFitPolicy();
+  placement_ = std::make_unique<PlacementHandler>(
+      *hierarchy_, metadata_, std::move(config_.policy), config_.placement);
+  served_.reserve(hierarchy_->num_levels());
+  for (std::size_t i = 0; i < hierarchy_->num_levels(); ++i) {
+    served_.push_back(std::make_unique<LevelCounters>());
+  }
+}
+
+Monarch::~Monarch() { Shutdown(); }
+
+Result<std::size_t> Monarch::Read(const std::string& name,
+                                  std::uint64_t offset,
+                                  std::span<std::byte> dst) {
+  FileInfoPtr info = metadata_.Lookup(name);
+  if (!info) {
+    // File not in the startup namespace: discover it lazily from the PFS
+    // (keeps the middleware usable when files appear mid-job).
+    MONARCH_ASSIGN_OR_RETURN(const std::uint64_t size,
+                             hierarchy_->Pfs().engine().FileSize(name));
+    metadata_.Register(name, size, hierarchy_->pfs_level());
+    info = metadata_.Lookup(name);
+    if (!info) return InternalError("metadata race on '" + name + "'");
+  }
+
+  info->last_access.store(
+      access_clock_.fetch_add(1, std::memory_order_relaxed) + 1,
+      std::memory_order_relaxed);
+
+  // ① consult the namespace for the file's current level, ② read from
+  // that tier's driver.
+  int level = info->level.load(std::memory_order_acquire);
+  auto read = hierarchy_->Level(level).Read(name, offset, dst);
+  if (!read.ok() && level != hierarchy_->pfs_level() &&
+      read.status().code() == StatusCode::kNotFound) {
+    // The tier copy vanished between the level lookup and the read (an
+    // eviction race, possible only in the ablation-mode configuration).
+    // The PFS always holds the authoritative copy: fall back to it.
+    level = hierarchy_->pfs_level();
+    read = hierarchy_->Level(level).Read(name, offset, dst);
+  }
+  if (!read.ok()) return read;
+
+  auto& counters = *served_[static_cast<std::size_t>(level)];
+  counters.reads.fetch_add(1, std::memory_order_relaxed);
+  counters.bytes.fetch_add(read.value(), std::memory_order_relaxed);
+
+  // First access to a PFS-resident file: claim it and stage a copy in the
+  // background (③/④). When the framework's request already covered the
+  // whole file, hand those bytes to the placement task so the PFS is not
+  // read twice; otherwise the task fetches the full content itself — the
+  // §III-B partial-read optimisation (disabled => only full reads stage).
+  if (level == hierarchy_->pfs_level() && !placement_->stopped()) {
+    const bool full_read = offset == 0 && read.value() == info->size;
+    if (full_read || placement_->options().fetch_full_file_on_partial_read) {
+      if (info->TryBeginFetch()) {
+        std::optional<std::vector<std::byte>> content;
+        if (full_read) {
+          content.emplace(dst.begin(), dst.begin() + read.value());
+        }
+        placement_->SchedulePlacement(info, std::move(content));
+      }
+    }
+  }
+  return read;
+}
+
+Result<std::uint64_t> Monarch::FileSize(const std::string& name) {
+  if (FileInfoPtr info = metadata_.Lookup(name)) return info->size;
+  return hierarchy_->Pfs().engine().FileSize(name);
+}
+
+std::uint64_t Monarch::Prestage(bool block) {
+  std::uint64_t scheduled = 0;
+  for (const auto& entry : metadata_.Snapshot()) {
+    FileInfoPtr info = metadata_.Lookup(entry.name);
+    if (!info || !info->TryBeginFetch()) continue;
+    placement_->SchedulePlacement(std::move(info), std::nullopt);
+    ++scheduled;
+  }
+  if (block) placement_->Drain();
+  return scheduled;
+}
+
+void Monarch::StopPlacement() noexcept { placement_->StopScheduling(); }
+
+void Monarch::DrainPlacements() { placement_->Drain(); }
+
+std::uint64_t Monarch::CleanupStagedCopies() {
+  // Quiesce staging first so no copy lands after its delete.
+  placement_->StopScheduling();
+  placement_->Drain();
+
+  const int pfs_level = hierarchy_->pfs_level();
+  std::uint64_t removed = 0;
+  for (const auto& entry : metadata_.Snapshot()) {
+    if (entry.state != PlacementState::kPlaced) continue;
+    FileInfoPtr info = metadata_.Lookup(entry.name);
+    if (!info) continue;
+    // Claim the file (kPlaced -> kFetching) so concurrent readers stop
+    // trusting the tier copy, then revert it to PFS-resident.
+    PlacementState expected = PlacementState::kPlaced;
+    if (!info->state.compare_exchange_strong(expected,
+                                             PlacementState::kFetching,
+                                             std::memory_order_acq_rel)) {
+      continue;
+    }
+    const int level = info->level.load(std::memory_order_acquire);
+    info->level.store(pfs_level, std::memory_order_release);
+    info->AbortFetch(/*permanently=*/false);
+    StorageDriver& tier = hierarchy_->Level(level);
+    if (tier.Delete(info->name).ok()) {
+      tier.Release(info->size);
+      ++removed;
+    }
+  }
+  return removed;
+}
+
+void Monarch::Shutdown() {
+  if (shut_down_) return;
+  shut_down_ = true;
+  if (config_.cleanup_staged_on_shutdown) CleanupStagedCopies();
+  placement_->StopScheduling();
+  placement_->Drain();
+}
+
+MonarchStats Monarch::Stats() const {
+  MonarchStats stats;
+  stats.levels.reserve(hierarchy_->num_levels());
+  for (std::size_t i = 0; i < hierarchy_->num_levels(); ++i) {
+    const StorageDriver& driver =
+        hierarchy_->Level(static_cast<int>(i));
+    LevelReadStats level;
+    level.tier_name = driver.name();
+    level.reads = served_[i]->reads.load(std::memory_order_relaxed);
+    level.bytes = served_[i]->bytes.load(std::memory_order_relaxed);
+    level.occupancy_bytes = driver.occupancy_bytes();
+    level.quota_bytes = driver.quota_bytes();
+    stats.levels.push_back(std::move(level));
+  }
+  stats.placement = placement_->Stats();
+  stats.files_indexed = metadata_.FileCount();
+  stats.dataset_bytes = metadata_.TotalBytes();
+  stats.metadata_init_seconds = metadata_.init_seconds();
+  return stats;
+}
+
+}  // namespace monarch::core

@@ -1,0 +1,162 @@
+// Monarch: the middleware facade (the public API of this library).
+//
+// A Monarch instance sits between a DL framework and the storage
+// hierarchy. The framework replaces its POSIX pread with Monarch::Read —
+// the paper's TensorFlow integration is exactly that swap (6 LoC) — and
+// everything else (tier selection, background staging, namespace
+// bookkeeping) happens behind this interface:
+//
+//   auto monarch = Monarch::Create(std::move(config));
+//   ...
+//   monarch->Read("imagenet/train-00001.tfrecord", offset, buffer);
+//
+// Lifecycle: Create() builds the hierarchy and populates the metadata
+// container by walking the PFS dataset directory (the timed metadata-
+// initialization phase). Reads then flow per §III-B: look up the file's
+// current level, serve from that tier, and — first time a file is seen —
+// kick a background task that copies the whole file to the best tier
+// with room. Shutdown() (or the destructor) drains in-flight staging.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "core/metadata_container.h"
+#include "core/placement_handler.h"
+#include "core/placement_policy.h"
+#include "core/storage_hierarchy.h"
+#include "util/status.h"
+
+namespace monarch::core {
+
+/// One tier of the hierarchy, as the system designer specifies it before
+/// the job starts (§III-B "MONARCH is tuned with two storage tiers...").
+struct TierSpec {
+  std::string name;
+  storage::StorageEnginePtr engine;
+  /// Byte budget on this tier (ignored for the PFS level).
+  std::uint64_t quota_bytes = 0;
+};
+
+struct MonarchConfig {
+  /// Writable cache tiers, fastest first (level 0, 1, ...).
+  std::vector<TierSpec> cache_tiers;
+  /// The PFS holding the dataset (becomes the read-only last level).
+  TierSpec pfs;
+  /// Directory on the PFS to index at startup.
+  std::string dataset_dir;
+  PlacementOptions placement;
+  /// Placement policy; FirstFit (the paper's) when null.
+  PlacementPolicyPtr policy;
+  /// Remove staged copies from the cache tiers on Shutdown (§III-A's
+  /// ephemeral job model). Off by default so post-mortem inspection of
+  /// the tiers remains possible.
+  bool cleanup_staged_on_shutdown = false;
+};
+
+/// Per-level share of read traffic, for the PFS-pressure tables.
+struct LevelReadStats {
+  std::string tier_name;
+  std::uint64_t reads = 0;
+  std::uint64_t bytes = 0;
+  std::uint64_t occupancy_bytes = 0;
+  std::uint64_t quota_bytes = 0;
+};
+
+struct MonarchStats {
+  std::vector<LevelReadStats> levels;  ///< indexed by hierarchy level
+  PlacementStats placement;
+  std::uint64_t files_indexed = 0;
+  std::uint64_t dataset_bytes = 0;
+  double metadata_init_seconds = 0;
+
+  /// Reads served by the last level (the shared PFS).
+  [[nodiscard]] std::uint64_t pfs_reads() const {
+    return levels.empty() ? 0 : levels.back().reads;
+  }
+  [[nodiscard]] std::uint64_t total_reads() const {
+    std::uint64_t total = 0;
+    for (const auto& l : levels) total += l.reads;
+    return total;
+  }
+};
+
+class Monarch {
+ public:
+  /// Build the hierarchy, index the dataset, start the placement pool.
+  static Result<std::unique_ptr<Monarch>> Create(MonarchConfig config);
+
+  ~Monarch();
+  Monarch(const Monarch&) = delete;
+  Monarch& operator=(const Monarch&) = delete;
+
+  /// The custom read operation that replaces POSIX pread (§III).
+  /// Contrary to pread it takes the *filename*, not a descriptor. Returns
+  /// bytes read (0 at EOF). Thread-safe; called concurrently by all of
+  /// the framework's reader threads.
+  Result<std::size_t> Read(const std::string& name, std::uint64_t offset,
+                           std::span<std::byte> dst);
+
+  /// File size from the virtual namespace (no backend round trip for
+  /// indexed files).
+  Result<std::uint64_t> FileSize(const std::string& name);
+
+  /// Stage the dataset into the cache tiers BEFORE training — the
+  /// §III-A placement-timing alternative (i). Schedules a background
+  /// copy for every indexed PFS-resident file (in namespace order) and,
+  /// when `block` is true, waits for staging to finish. The paper
+  /// chooses during-training placement instead to avoid delaying the
+  /// first epoch; `bench/abl_design_choices` measures the trade.
+  /// Returns the number of files scheduled.
+  std::uint64_t Prestage(bool block = true);
+
+  /// Stop new placements (integration layer may call this at the end of
+  /// the first epoch; optional — placement also self-terminates when the
+  /// tiers fill or every file is placed).
+  void StopPlacement() noexcept;
+
+  /// Block until no background staging is in flight (tests/benches use
+  /// this to observe the post-epoch-1 steady state deterministically).
+  void DrainPlacements();
+
+  /// Delete every staged copy from the writable tiers and reset their
+  /// occupancy — the ephemeral teardown of §III-A (HPC jobs leave the
+  /// node's scratch storage clean). Files revert to PFS-resident state,
+  /// so the instance remains usable. Returns the number of copies
+  /// removed. Called automatically by Shutdown() when
+  /// MonarchConfig::cleanup_staged_on_shutdown is set.
+  std::uint64_t CleanupStagedCopies();
+
+  /// Drain staging and stop the pool. Idempotent; the destructor calls it.
+  void Shutdown();
+
+  [[nodiscard]] MonarchStats Stats() const;
+
+  [[nodiscard]] const MetadataContainer& metadata() const noexcept {
+    return metadata_;
+  }
+  [[nodiscard]] StorageHierarchy& hierarchy() noexcept { return *hierarchy_; }
+
+ private:
+  explicit Monarch(MonarchConfig config,
+                   std::unique_ptr<StorageHierarchy> hierarchy);
+
+  MonarchConfig config_;
+  std::unique_ptr<StorageHierarchy> hierarchy_;
+  MetadataContainer metadata_;
+  std::unique_ptr<PlacementHandler> placement_;
+
+  std::atomic<std::uint64_t> access_clock_{0};
+  /// reads/bytes served per hierarchy level (vector sized at Create).
+  struct LevelCounters {
+    std::atomic<std::uint64_t> reads{0};
+    std::atomic<std::uint64_t> bytes{0};
+  };
+  std::vector<std::unique_ptr<LevelCounters>> served_;
+  bool shut_down_ = false;
+};
+
+}  // namespace monarch::core

@@ -1,0 +1,142 @@
+#include "core/placement_handler.h"
+
+#include <algorithm>
+#include <utility>
+
+#include "util/logging.h"
+
+namespace monarch::core {
+
+PlacementHandler::PlacementHandler(StorageHierarchy& hierarchy,
+                                   MetadataContainer& metadata,
+                                   PlacementPolicyPtr policy,
+                                   PlacementOptions options)
+    : hierarchy_(hierarchy),
+      metadata_(metadata),
+      policy_(std::move(policy)),
+      options_(options),
+      pool_(static_cast<std::size_t>(std::max(1, options.num_threads))) {}
+
+PlacementHandler::~PlacementHandler() {
+  StopScheduling();
+  pool_.Shutdown();
+}
+
+void PlacementHandler::SchedulePlacement(
+    FileInfoPtr file, std::optional<std::vector<std::byte>> content) {
+  if (stopped_.load(std::memory_order_relaxed)) {
+    file->AbortFetch(/*permanently=*/false);
+    return;
+  }
+  scheduled_.fetch_add(1, std::memory_order_relaxed);
+  // The task owns the FileInfo reference and (optionally) the content the
+  // read path already fetched, avoiding a second PFS read (§III-B, ③/④).
+  pool_.Submit([this, file = std::move(file),
+                content = std::move(content)]() mutable {
+    PlaceFile(file, std::move(content));
+  });
+}
+
+void PlacementHandler::PlaceFile(
+    const FileInfoPtr& file, std::optional<std::vector<std::byte>> content) {
+  // 1. Choose (and reserve) the destination level.
+  std::optional<int> level = policy_->PickLevel(hierarchy_, file->size);
+  if (!level.has_value() && options_.enable_eviction) {
+    level = EvictAndReserve(file->size);
+  }
+  if (!level.has_value()) {
+    // No tier can hold the file: it stays PFS-resident for the whole job
+    // (the 200 GiB-dataset scenario). Mark it so the read path stops
+    // retrying placement on every access.
+    rejected_no_space_.fetch_add(1, std::memory_order_relaxed);
+    file->AbortFetch(/*permanently=*/true);
+    return;
+  }
+
+  StorageDriver& destination = hierarchy_.Level(*level);
+
+  // 2. Obtain the full content if the triggering read was partial.
+  if (!content.has_value()) {
+    std::vector<std::byte> buffer(file->size);
+    auto read = hierarchy_.Pfs().Read(file->name, 0, buffer);
+    if (!read.ok() || read.value() != file->size) {
+      MLOG_WARN << "placement read of '" << file->name
+                << "' failed: " << read.status();
+      destination.Release(file->size);
+      failed_.fetch_add(1, std::memory_order_relaxed);
+      file->AbortFetch(/*permanently=*/false);
+      return;
+    }
+    content = std::move(buffer);
+  }
+
+  // 3. Write the staged copy and publish the new location (⑤/⑥).
+  const Status written = destination.Write(file->name, *content);
+  if (!written.ok()) {
+    MLOG_WARN << "placement write of '" << file->name << "' to tier '"
+              << destination.name() << "' failed: " << written;
+    destination.Release(file->size);
+    failed_.fetch_add(1, std::memory_order_relaxed);
+    file->AbortFetch(/*permanently=*/false);
+    return;
+  }
+
+  file->FinishFetch(*level);
+  completed_.fetch_add(1, std::memory_order_relaxed);
+  bytes_staged_.fetch_add(file->size, std::memory_order_relaxed);
+}
+
+std::optional<int> PlacementHandler::EvictAndReserve(std::uint64_t needed) {
+  // Collect placed files ordered by last access (oldest first).
+  struct Victim {
+    FileInfoPtr file;
+    std::uint64_t stamp;
+  };
+  std::vector<Victim> victims;
+  for (const auto& entry : metadata_.Snapshot()) {
+    if (entry.state != PlacementState::kPlaced) continue;
+    FileInfoPtr info = metadata_.Lookup(entry.name);
+    if (!info) continue;
+    victims.push_back(
+        Victim{info, info->last_access.load(std::memory_order_relaxed)});
+  }
+  std::sort(victims.begin(), victims.end(),
+            [](const Victim& a, const Victim& b) { return a.stamp < b.stamp; });
+
+  for (const Victim& victim : victims) {
+    FileInfo& vf = *victim.file;
+    // Claim the victim: kPlaced -> kFetching blocks concurrent readers
+    // from trusting its level while we delete the copy.
+    PlacementState expected = PlacementState::kPlaced;
+    if (!vf.state.compare_exchange_strong(expected, PlacementState::kFetching,
+                                          std::memory_order_acq_rel)) {
+      continue;
+    }
+    const int victim_level = vf.level.load(std::memory_order_acquire);
+    StorageDriver& tier = hierarchy_.Level(victim_level);
+    vf.level.store(hierarchy_.pfs_level(), std::memory_order_release);
+    vf.AbortFetch(/*permanently=*/false);  // back to PFS-only
+    if (tier.Delete(vf.name).ok()) {
+      tier.Release(vf.size);
+      evictions_.fetch_add(1, std::memory_order_relaxed);
+    }
+    // Retry the policy after each eviction.
+    if (auto level = policy_->PickLevel(hierarchy_, needed)) return level;
+  }
+  return std::nullopt;
+}
+
+void PlacementHandler::Drain() { pool_.Drain(); }
+
+PlacementStats PlacementHandler::Stats() const {
+  PlacementStats s;
+  s.scheduled = scheduled_.load(std::memory_order_relaxed);
+  s.completed = completed_.load(std::memory_order_relaxed);
+  s.rejected_no_space = rejected_no_space_.load(std::memory_order_relaxed);
+  s.failed = failed_.load(std::memory_order_relaxed);
+  s.bytes_staged = bytes_staged_.load(std::memory_order_relaxed);
+  s.evictions = evictions_.load(std::memory_order_relaxed);
+  return s;
+}
+
+}  // namespace monarch::core

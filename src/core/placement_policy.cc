@@ -1,0 +1,37 @@
+#include "core/placement_policy.h"
+
+namespace monarch::core {
+
+std::optional<int> FirstFitPolicy::PickLevel(StorageHierarchy& hierarchy,
+                                             std::uint64_t bytes) {
+  const int pfs = hierarchy.pfs_level();
+  for (int level = 0; level < pfs; ++level) {
+    if (hierarchy.Level(level).Reserve(bytes)) return level;
+  }
+  return std::nullopt;
+}
+
+std::optional<int> RoundRobinPolicy::PickLevel(StorageHierarchy& hierarchy,
+                                               std::uint64_t bytes) {
+  const int writable = hierarchy.pfs_level();
+  if (writable <= 0) return std::nullopt;
+  const auto start =
+      next_.fetch_add(1, std::memory_order_relaxed) %
+      static_cast<std::uint64_t>(writable);
+  for (int i = 0; i < writable; ++i) {
+    const int level =
+        static_cast<int>((start + static_cast<std::uint64_t>(i)) %
+                         static_cast<std::uint64_t>(writable));
+    if (hierarchy.Level(level).Reserve(bytes)) return level;
+  }
+  return std::nullopt;
+}
+
+PlacementPolicyPtr MakeFirstFitPolicy() {
+  return std::make_unique<FirstFitPolicy>();
+}
+PlacementPolicyPtr MakeRoundRobinPolicy() {
+  return std::make_unique<RoundRobinPolicy>();
+}
+
+}  // namespace monarch::core

@@ -1,0 +1,61 @@
+// Placement policies: which writable level receives a fetched file.
+//
+// The paper's policy (§III-A) is hierarchical first-fit: fill level 0
+// until its capacity is reached, then level 1, ... until all local levels
+// are full; never evict. RoundRobin and the eviction variant exist for
+// the ablation benches that measure *why* the paper's choice wins.
+//
+// PickLevel both selects a level and reserves the quota on it (the
+// reservation is the only way the decision can be made race-free under a
+// concurrent thread pool); the caller must Release on failure.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <optional>
+#include <string>
+
+#include "core/storage_hierarchy.h"
+
+namespace monarch::core {
+
+class PlacementPolicy {
+ public:
+  virtual ~PlacementPolicy() = default;
+
+  /// Choose a writable level with room for `bytes` and reserve the quota.
+  /// nullopt when no level can hold the file.
+  virtual std::optional<int> PickLevel(StorageHierarchy& hierarchy,
+                                       std::uint64_t bytes) = 0;
+
+  [[nodiscard]] virtual std::string Name() const = 0;
+};
+
+using PlacementPolicyPtr = std::unique_ptr<PlacementPolicy>;
+
+/// The paper's policy: descend from level 0, take the first tier that has
+/// room.
+class FirstFitPolicy final : public PlacementPolicy {
+ public:
+  std::optional<int> PickLevel(StorageHierarchy& hierarchy,
+                               std::uint64_t bytes) override;
+  [[nodiscard]] std::string Name() const override { return "first-fit"; }
+};
+
+/// Ablation: spread files across writable tiers round-robin instead of
+/// filling the fastest first (shows why ordering by performance matters).
+class RoundRobinPolicy final : public PlacementPolicy {
+ public:
+  std::optional<int> PickLevel(StorageHierarchy& hierarchy,
+                               std::uint64_t bytes) override;
+  [[nodiscard]] std::string Name() const override { return "round-robin"; }
+
+ private:
+  std::atomic<std::uint64_t> next_{0};
+};
+
+PlacementPolicyPtr MakeFirstFitPolicy();
+PlacementPolicyPtr MakeRoundRobinPolicy();
+
+}  // namespace monarch::core

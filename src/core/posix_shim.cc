@@ -1,0 +1,49 @@
+#include "core/posix_shim.h"
+
+namespace monarch::core {
+
+Result<int> PosixShim::Open(const std::string& name) {
+  // Validate existence up front so Open mirrors open(2)'s ENOENT.
+  MONARCH_RETURN_IF_ERROR(monarch_.FileSize(name).status());
+  std::lock_guard<std::mutex> lock(mu_);
+  const int fd = next_fd_++;
+  open_files_.emplace(fd, name);
+  return fd;
+}
+
+Result<std::string> PosixShim::NameFor(int fd) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = open_files_.find(fd);
+  if (it == open_files_.end()) {
+    return FailedPreconditionError("bad file descriptor " +
+                                   std::to_string(fd));
+  }
+  return it->second;
+}
+
+Result<std::size_t> PosixShim::Pread(int fd, std::uint64_t offset,
+                                     std::span<std::byte> dst) {
+  MONARCH_ASSIGN_OR_RETURN(const std::string name, NameFor(fd));
+  return monarch_.Read(name, offset, dst);
+}
+
+Result<std::uint64_t> PosixShim::Fstat(int fd) {
+  MONARCH_ASSIGN_OR_RETURN(const std::string name, NameFor(fd));
+  return monarch_.FileSize(name);
+}
+
+Status PosixShim::Close(int fd) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (open_files_.erase(fd) == 0) {
+    return FailedPreconditionError("close of bad file descriptor " +
+                                   std::to_string(fd));
+  }
+  return Status::Ok();
+}
+
+std::size_t PosixShim::open_count() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return open_files_.size();
+}
+
+}  // namespace monarch::core

@@ -1,0 +1,52 @@
+// POSIX-style shim over Monarch: open/pread/close with integer
+// descriptors. Monarch::Read takes a filename (unlike pread), so a
+// framework whose storage driver traffics in file descriptors — like the
+// TensorFlow POSIX driver the paper patched — needs this thin fd-to-name
+// table at the interception point. The shim demonstrates that the
+// middleware really can live "at the POSIX layer" (§III).
+#pragma once
+
+#include <cstdint>
+#include <mutex>
+#include <span>
+#include <string>
+#include <unordered_map>
+
+#include "core/monarch.h"
+
+namespace monarch::core {
+
+class PosixShim {
+ public:
+  explicit PosixShim(Monarch& monarch) : monarch_(monarch) {}
+
+  PosixShim(const PosixShim&) = delete;
+  PosixShim& operator=(const PosixShim&) = delete;
+
+  /// Open `name` for reading; NOT_FOUND when the file is unknown to both
+  /// the namespace and the PFS. Returns a descriptor (>= 3, like real
+  /// fds past stdio).
+  Result<int> Open(const std::string& name);
+
+  /// pread(2) semantics: read dst.size() bytes at `offset` from `fd`.
+  Result<std::size_t> Pread(int fd, std::uint64_t offset,
+                            std::span<std::byte> dst);
+
+  /// fstat-like size query.
+  Result<std::uint64_t> Fstat(int fd);
+
+  /// Close `fd`. FAILED_PRECONDITION on double close / bad fd.
+  Status Close(int fd);
+
+  [[nodiscard]] std::size_t open_count() const;
+
+ private:
+  Result<std::string> NameFor(int fd) const;
+
+  Monarch& monarch_;
+  mutable std::mutex mu_;
+  std::unordered_map<int, std::string> open_files_;
+  int next_fd_ = 3;
+};
+
+}  // namespace monarch::core

@@ -1,0 +1,55 @@
+#include "core/storage_driver.h"
+
+namespace monarch::core {
+
+StorageDriver::StorageDriver(std::string name,
+                             storage::StorageEnginePtr engine,
+                             std::uint64_t quota_bytes, bool read_only)
+    : name_(std::move(name)),
+      engine_(std::move(engine)),
+      quota_(quota_bytes),
+      read_only_(read_only) {}
+
+bool StorageDriver::Reserve(std::uint64_t bytes) noexcept {
+  if (read_only_) return false;
+  if (quota_ == 0) {  // unlimited
+    occupancy_.fetch_add(bytes, std::memory_order_relaxed);
+    return true;
+  }
+  std::uint64_t current = occupancy_.load(std::memory_order_relaxed);
+  for (;;) {
+    if (current + bytes > quota_) return false;
+    if (occupancy_.compare_exchange_weak(current, current + bytes,
+                                         std::memory_order_acq_rel)) {
+      return true;
+    }
+  }
+}
+
+void StorageDriver::Release(std::uint64_t bytes) noexcept {
+  occupancy_.fetch_sub(bytes, std::memory_order_relaxed);
+}
+
+std::uint64_t StorageDriver::free_bytes() const noexcept {
+  if (quota_ == 0) return UINT64_MAX;
+  const std::uint64_t used = occupancy_.load(std::memory_order_relaxed);
+  return used >= quota_ ? 0 : quota_ - used;
+}
+
+Status StorageDriver::Write(const std::string& path,
+                            std::span<const std::byte> data) {
+  if (read_only_) {
+    return FailedPreconditionError("write to read-only tier '" + name_ + "'");
+  }
+  return engine_->Write(path, data);
+}
+
+Status StorageDriver::Delete(const std::string& path) {
+  if (read_only_) {
+    return FailedPreconditionError("delete on read-only tier '" + name_ +
+                                   "'");
+  }
+  return engine_->Delete(path);
+}
+
+}  // namespace monarch::core

@@ -1,0 +1,66 @@
+// StorageDriver: one level of the storage hierarchy (§III-A). Wraps a
+// storage engine with the tier's governing properties — mount path
+// semantics come from the engine; the driver adds the storage quota and
+// its race-free occupancy accounting.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <span>
+#include <string>
+
+#include "storage/storage_engine.h"
+#include "util/status.h"
+
+namespace monarch::core {
+
+class StorageDriver {
+ public:
+  /// `quota_bytes == 0` means unlimited (used for the PFS level, which is
+  /// a read-only data source and never receives placements).
+  StorageDriver(std::string name, storage::StorageEnginePtr engine,
+                std::uint64_t quota_bytes, bool read_only);
+
+  /// Atomically reserve `bytes` of quota. Fails (false) when the tier
+  /// would overflow — the caller then tries the next level down.
+  [[nodiscard]] bool Reserve(std::uint64_t bytes) noexcept;
+
+  /// Return reserved quota (placement failed or file evicted).
+  void Release(std::uint64_t bytes) noexcept;
+
+  Result<std::size_t> Read(const std::string& path, std::uint64_t offset,
+                           std::span<std::byte> dst) {
+    return engine_->Read(path, offset, dst);
+  }
+
+  /// Write a staged copy. The caller must hold a successful Reserve for
+  /// data.size() — the driver checks read_only but trusts the accounting.
+  Status Write(const std::string& path, std::span<const std::byte> data);
+
+  Status Delete(const std::string& path);
+
+  [[nodiscard]] const std::string& name() const noexcept { return name_; }
+  [[nodiscard]] bool read_only() const noexcept { return read_only_; }
+  [[nodiscard]] std::uint64_t quota_bytes() const noexcept { return quota_; }
+  [[nodiscard]] std::uint64_t occupancy_bytes() const noexcept {
+    return occupancy_.load(std::memory_order_relaxed);
+  }
+  [[nodiscard]] std::uint64_t free_bytes() const noexcept;
+
+  [[nodiscard]] storage::StorageEngine& engine() noexcept { return *engine_; }
+  [[nodiscard]] storage::IoStatsSnapshot StatsSnapshot() const {
+    return engine_->Stats().Snapshot();
+  }
+
+ private:
+  std::string name_;
+  storage::StorageEnginePtr engine_;
+  std::uint64_t quota_;
+  bool read_only_;
+  std::atomic<std::uint64_t> occupancy_{0};
+};
+
+using StorageDriverPtr = std::unique_ptr<StorageDriver>;
+
+}  // namespace monarch::core

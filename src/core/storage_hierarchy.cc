@@ -1,0 +1,34 @@
+#include "core/storage_hierarchy.h"
+
+namespace monarch::core {
+
+Result<std::unique_ptr<StorageHierarchy>> StorageHierarchy::Create(
+    std::vector<StorageDriverPtr> drivers) {
+  if (drivers.size() < 2) {
+    return InvalidArgumentError(
+        "a hierarchy needs at least one local tier plus the PFS level");
+  }
+  if (!drivers.back()->read_only()) {
+    return InvalidArgumentError(
+        "the last hierarchy level must be the read-only PFS source");
+  }
+  for (std::size_t i = 0; i + 1 < drivers.size(); ++i) {
+    if (drivers[i]->read_only()) {
+      return InvalidArgumentError("tier '" + drivers[i]->name() +
+                                  "' (level " + std::to_string(i) +
+                                  ") must be writable");
+    }
+  }
+  return std::unique_ptr<StorageHierarchy>(
+      new StorageHierarchy(std::move(drivers)));
+}
+
+std::uint64_t StorageHierarchy::TotalWritableFreeBytes() const noexcept {
+  std::uint64_t total = 0;
+  for (std::size_t i = 0; i + 1 < drivers_.size(); ++i) {
+    total += drivers_[i]->free_bytes();
+  }
+  return total;
+}
+
+}  // namespace monarch::core

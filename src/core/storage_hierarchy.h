@@ -1,0 +1,54 @@
+// StorageHierarchy: the ordered set of storage tiers (§III-A). Level 0 is
+// the fastest writable tier; the last level is the read-only PFS that
+// holds the full dataset. The system designer fixes the order at
+// configuration time (this repo orders by descending performance, as the
+// paper does, but any criterion works).
+#pragma once
+
+#include <cstddef>
+#include <memory>
+#include <vector>
+
+#include "core/storage_driver.h"
+#include "util/status.h"
+
+namespace monarch::core {
+
+class StorageHierarchy {
+ public:
+  /// `drivers` ordered level 0..N-1; the last must be the read-only PFS
+  /// level and every other level must be writable.
+  static Result<std::unique_ptr<StorageHierarchy>> Create(
+      std::vector<StorageDriverPtr> drivers);
+
+  [[nodiscard]] std::size_t num_levels() const noexcept {
+    return drivers_.size();
+  }
+  /// Index of the PFS (source) level == num_levels()-1.
+  [[nodiscard]] int pfs_level() const noexcept {
+    return static_cast<int>(drivers_.size()) - 1;
+  }
+
+  [[nodiscard]] StorageDriver& Level(int level) noexcept {
+    return *drivers_[static_cast<std::size_t>(level)];
+  }
+  [[nodiscard]] const StorageDriver& Level(int level) const noexcept {
+    return *drivers_[static_cast<std::size_t>(level)];
+  }
+
+  [[nodiscard]] StorageDriver& Pfs() noexcept {
+    return *drivers_.back();
+  }
+
+  /// Sum of free bytes over writable levels — placement stops for a file
+  /// bigger than this.
+  [[nodiscard]] std::uint64_t TotalWritableFreeBytes() const noexcept;
+
+ private:
+  explicit StorageHierarchy(std::vector<StorageDriverPtr> drivers)
+      : drivers_(std::move(drivers)) {}
+
+  std::vector<StorageDriverPtr> drivers_;
+};
+
+}  // namespace monarch::core

@@ -1,0 +1,139 @@
+#include "dlsim/cluster.h"
+
+#include <mutex>
+#include <thread>
+
+#include "dlsim/monarch_opener.h"
+#include "dlsim/record_opener.h"
+#include "storage/device_model.h"
+#include "storage/engine_factory.h"
+#include "storage/posix_engine.h"
+#include "storage/throttled_engine.h"
+
+namespace monarch::dlsim {
+
+namespace fs = std::filesystem;
+
+double ClusterResult::MeanEpochSeconds() const {
+  double total = 0;
+  std::size_t epochs = 0;
+  for (const JobResult& job : jobs) {
+    for (const EpochResult& epoch : job.training.epochs) {
+      total += epoch.wall_seconds;
+      ++epochs;
+    }
+  }
+  return epochs == 0 ? 0 : total / static_cast<double>(epochs);
+}
+
+double ClusterResult::MeanTotalSeconds() const {
+  double total = 0;
+  for (const JobResult& job : jobs) total += job.training.total_seconds;
+  return jobs.empty() ? 0 : total / static_cast<double>(jobs.size());
+}
+
+std::uint64_t ClusterResult::TotalPfsReadOps() const {
+  std::uint64_t total = 0;
+  for (const JobResult& job : jobs) total += job.pfs_stats.read_ops;
+  return total;
+}
+
+Result<ClusterResult> RunClusterExperiment(const fs::path& pfs_root,
+                                           const fs::path& local_root,
+                                           const ClusterConfig& config) {
+  if (config.num_jobs < 1) {
+    return InvalidArgumentError("cluster needs at least one job");
+  }
+
+  // Stage the dataset once at host speed.
+  {
+    storage::PosixEngine raw(pfs_root, "dataset-gen");
+    auto existing = workload::LoadManifest(raw, config.dataset);
+    if (!existing.ok()) {
+      MONARCH_RETURN_IF_ERROR(
+          workload::GenerateDataset(raw, config.dataset).status());
+    }
+  }
+  storage::PosixEngine listing(pfs_root, "listing");
+  MONARCH_ASSIGN_OR_RETURN(const auto manifest,
+                           workload::LoadManifest(listing, config.dataset));
+
+  // ONE shared PFS device: every job's engine wrapper shares this token
+  // bucket, so job B's reads slow job A's — real cross-job contention,
+  // no synthetic process needed.
+  auto shared_pfs_device =
+      std::make_shared<storage::DeviceModel>(storage::DeviceProfile::LustrePfs());
+
+  struct Job {
+    storage::StorageEnginePtr pfs_engine;
+    storage::StorageEnginePtr local_engine;
+    std::unique_ptr<core::Monarch> monarch;
+    std::unique_ptr<Trainer> trainer;
+  };
+  std::vector<Job> jobs(static_cast<std::size_t>(config.num_jobs));
+
+  for (int j = 0; j < config.num_jobs; ++j) {
+    Job& job = jobs[static_cast<std::size_t>(j)];
+    job.pfs_engine = std::make_shared<storage::ThrottledEngine>(
+        std::make_shared<storage::PosixEngine>(pfs_root,
+                                               "pfs-job" + std::to_string(j)),
+        shared_pfs_device);
+
+    TrainerConfig tc;
+    tc.model = config.model;
+    tc.epochs = config.epochs;
+    tc.batch_size = config.batch_size;
+    tc.num_gpus = config.num_gpus;
+    tc.loader.reader_threads = config.reader_threads;
+    tc.loader.read_chunk_bytes = config.read_chunk_bytes;
+    tc.loader.shuffle_seed = config.seed * 97 + static_cast<std::uint64_t>(j);
+
+    RecordFileOpenerPtr opener;
+    if (config.use_monarch) {
+      job.local_engine = storage::MakeLocalSsdEngine(
+          local_root / ("job" + std::to_string(j)));
+      core::MonarchConfig monarch_config;
+      monarch_config.cache_tiers.push_back(core::TierSpec{
+          "local-ssd", job.local_engine, config.local_quota_bytes});
+      monarch_config.pfs = core::TierSpec{"lustre", job.pfs_engine, 0};
+      monarch_config.dataset_dir = config.dataset.directory;
+      monarch_config.placement.num_threads = config.placement_threads;
+      MONARCH_ASSIGN_OR_RETURN(
+          job.monarch, core::Monarch::Create(std::move(monarch_config)));
+      opener = std::make_unique<MonarchOpener>(*job.monarch);
+    } else {
+      opener = std::make_unique<EngineOpener>(job.pfs_engine);
+    }
+    job.trainer = std::make_unique<Trainer>(manifest.file_paths,
+                                            std::move(opener), tc);
+  }
+
+  // Run every job on its own host thread (a "compute node").
+  std::vector<Result<TrainingResult>> outcomes(
+      static_cast<std::size_t>(config.num_jobs),
+      Result<TrainingResult>(InternalError("not run")));
+  std::vector<std::thread> threads;
+  threads.reserve(jobs.size());
+  for (std::size_t j = 0; j < jobs.size(); ++j) {
+    threads.emplace_back(
+        [&, j] { outcomes[j] = jobs[j].trainer->Train(); });
+  }
+  for (std::thread& t : threads) t.join();
+
+  ClusterResult result;
+  for (std::size_t j = 0; j < jobs.size(); ++j) {
+    MONARCH_RETURN_IF_ERROR(outcomes[j].status());
+    JobResult job_result;
+    job_result.job_index = static_cast<int>(j);
+    job_result.training = std::move(outcomes[j]).value();
+    job_result.pfs_stats = jobs[j].pfs_engine->Stats().Snapshot();
+    if (jobs[j].monarch) {
+      jobs[j].monarch->DrainPlacements();
+      job_result.monarch_stats = jobs[j].monarch->Stats();
+    }
+    result.jobs.push_back(std::move(job_result));
+  }
+  return result;
+}
+
+}  // namespace monarch::dlsim

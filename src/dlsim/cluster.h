@@ -1,0 +1,69 @@
+// Multi-job cluster simulation.
+//
+// The paper's motivation is that a *shared* PFS saturates when several
+// I/O-intensive jobs run concurrently (§I), and its future-work section
+// asks how MONARCH behaves beyond a single node (§VI). This module
+// simulates exactly that: K training jobs on K simulated compute nodes
+// (each with its own local tier and its own MONARCH instance) all
+// pulling from ONE shared PFS device — one bandwidth token bucket, so
+// the jobs contend with each other instead of with a synthetic
+// contention process.
+//
+// The experiment this enables (bench/ext_multijob): per-job epoch time
+// as a function of job count, with and without MONARCH. Vanilla jobs
+// keep hammering the PFS every epoch, so each added job slows everyone;
+// MONARCH jobs drop off the PFS after epoch 1 and largely decouple.
+#pragma once
+
+#include <cstdint>
+#include <filesystem>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/monarch.h"
+#include "dlsim/trainer.h"
+#include "workload/dataset_generator.h"
+
+namespace monarch::dlsim {
+
+struct ClusterConfig {
+  int num_jobs = 2;
+  bool use_monarch = true;
+  workload::DatasetSpec dataset;     ///< each job trains the same dataset
+  ModelProfile model;
+  int epochs = 3;
+  std::uint64_t batch_size = 256;
+  int num_gpus = 4;
+  int reader_threads = 6;
+  std::size_t read_chunk_bytes = 64 * 1024;
+  std::uint64_t local_quota_bytes = 115ULL * 1024 * 1024;
+  int placement_threads = 6;
+  std::uint64_t seed = 1;
+};
+
+struct JobResult {
+  int job_index = 0;
+  TrainingResult training;
+  storage::IoStatsSnapshot pfs_stats;   ///< this job's PFS traffic
+  core::MonarchStats monarch_stats;     ///< zero-initialised for vanilla
+};
+
+struct ClusterResult {
+  std::vector<JobResult> jobs;
+
+  [[nodiscard]] double MeanEpochSeconds() const;
+  [[nodiscard]] double MeanTotalSeconds() const;
+  [[nodiscard]] std::uint64_t TotalPfsReadOps() const;
+};
+
+/// Run `config.num_jobs` training jobs concurrently (one host thread
+/// each) against a shared PFS device rooted at `pfs_root`. Per-job local
+/// tiers live under `local_root`/job<i>. The dataset is generated under
+/// `pfs_root` if missing. Jobs see *real* cross-job contention through
+/// the shared device's token bucket.
+Result<ClusterResult> RunClusterExperiment(
+    const std::filesystem::path& pfs_root,
+    const std::filesystem::path& local_root, const ClusterConfig& config);
+
+}  // namespace monarch::dlsim

@@ -1,0 +1,64 @@
+// ComputeModel: batch-level step-time models for the paper's three
+// networks, run data-parallel across the node's (simulated) GPUs.
+//
+// We do not train networks — the figures depend only on how long a
+// training step occupies the accelerators versus how long the input
+// pipeline takes to produce a batch. Profiles are calibrated (see
+// bench/fig1_motivation.cc and EXPERIMENTS.md) so that, at simulation
+// scale, LeNet is strongly I/O-bound, AlexNet mildly I/O-bound, and
+// ResNet-50 compute-bound — the regimes the paper's utilisation numbers
+// establish (§II-A).
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "util/clock.h"
+
+namespace monarch::dlsim {
+
+struct ModelProfile {
+  std::string name = "model";
+  /// Wall time one global batch spends on the GPUs (all-GPU data-parallel
+  /// step, gradient sync included).
+  Duration step_time = Millis(10);
+  /// CPU cost to decode/augment ONE sample (runs in the reader threads,
+  /// like tf.data's parallel map).
+  Duration preprocess_per_sample = Micros(100);
+
+  static ModelProfile LeNet();
+  static ModelProfile AlexNet();
+  static ModelProfile ResNet50();
+};
+
+/// Occupies the simulated GPUs for one step per batch and accounts GPU
+/// busy time. Single consumer thread drives it (the framework's training
+/// loop); data parallelism is folded into the profile's step_time.
+class ComputeEngine {
+ public:
+  ComputeEngine(ModelProfile profile, int num_gpus)
+      : profile_(std::move(profile)), num_gpus_(num_gpus) {}
+
+  /// Run one training step on a batch of `batch_size` samples.
+  void Step(std::uint64_t batch_size);
+
+  [[nodiscard]] const ModelProfile& profile() const noexcept {
+    return profile_;
+  }
+  [[nodiscard]] int num_gpus() const noexcept { return num_gpus_; }
+  [[nodiscard]] Duration busy_time() const noexcept { return busy_; }
+  [[nodiscard]] std::uint64_t steps() const noexcept { return steps_; }
+
+  void ResetAccounting() noexcept {
+    busy_ = kZeroDuration;
+    steps_ = 0;
+  }
+
+ private:
+  ModelProfile profile_;
+  int num_gpus_;
+  Duration busy_ = kZeroDuration;
+  std::uint64_t steps_ = 0;
+};
+
+}  // namespace monarch::dlsim

@@ -1,0 +1,121 @@
+// Map-style (PyTorch-like) data loading.
+//
+// The paper's §VI names PyTorch integration as the next validation step
+// for MONARCH's portability. PyTorch's DataLoader differs from tf.data
+// in the I/O pattern it generates: a map-style dataset is an indexed
+// collection, the sampler permutes SAMPLE indices (not files), and each
+// worker fetches individual samples by random access — so the storage
+// layer sees small reads at random offsets spread across all record
+// files for the entire epoch, not sequential streams per file.
+//
+// That pattern is the hardest case for MONARCH's first-epoch staging
+// (every read is partial, no file is ever streamed to its end), which is
+// exactly why the §III-B full-file-fetch optimisation matters: the first
+// random sample read out of a file stages the whole file, and every
+// later sample from it is local.
+//
+// Pipeline shape mirrors torch.utils.data.DataLoader(num_workers=N):
+//   index build (once) -> per-epoch permutation of sample indices ->
+//   N workers fetch+decode samples -> bounded prefetch queue -> consumer.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "dlsim/data_loader.h"
+#include "dlsim/record_opener.h"
+#include "dlsim/resource_monitor.h"
+#include "tfrecord/index.h"
+#include "util/bounded_queue.h"
+#include "util/status.h"
+
+namespace monarch::dlsim {
+
+/// One addressable sample: which file, where in it, how big.
+struct SampleRef {
+  std::uint32_t file_index = 0;
+  std::uint64_t offset = 0;        ///< record header offset in the file
+  std::uint64_t payload_size = 0;
+};
+
+/// Indexed view over a set of record files (the PyTorch `Dataset`).
+/// Building the index costs one metadata+header pass per file (PyTorch
+/// users typically ship a precomputed .idx; both paths are supported).
+class IndexedDataset {
+ public:
+  /// Scan every file through `opener` and build the sample index.
+  static Result<IndexedDataset> Build(const std::vector<std::string>& files,
+                                      RecordFileOpener& opener);
+
+  [[nodiscard]] std::uint64_t size() const noexcept {
+    return samples_.size();
+  }
+  [[nodiscard]] const SampleRef& at(std::uint64_t i) const {
+    return samples_[i];
+  }
+  [[nodiscard]] const std::string& file(std::uint32_t index) const {
+    return files_[index];
+  }
+  [[nodiscard]] const std::vector<std::string>& files() const noexcept {
+    return files_;
+  }
+
+ private:
+  std::vector<std::string> files_;
+  std::vector<SampleRef> samples_;
+};
+
+struct MapLoaderConfig {
+  int num_workers = 4;
+  std::size_t prefetch_samples = 256;
+  std::uint64_t shuffle_seed = 1;
+  bool verify_checksums = true;
+  Duration preprocess_per_sample = kZeroDuration;
+};
+
+/// One epoch of map-style loading: a fresh permutation of all sample
+/// indices, fetched by `num_workers` threads. Consume via queue() until
+/// nullopt, then Finish().
+class MapStyleEpoch {
+ public:
+  MapStyleEpoch(const IndexedDataset& dataset, int epoch,
+                RecordFileOpener& opener, ResourceMonitor& monitor,
+                MapLoaderConfig config);
+  ~MapStyleEpoch();
+
+  MapStyleEpoch(const MapStyleEpoch&) = delete;
+  MapStyleEpoch& operator=(const MapStyleEpoch&) = delete;
+
+  [[nodiscard]] BoundedQueue<Sample>& queue() noexcept { return queue_; }
+
+  void Finish();
+  [[nodiscard]] Status status() const;
+  [[nodiscard]] std::uint64_t samples_produced() const noexcept {
+    return produced_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  void WorkerLoop();
+  void RecordError(const Status& status);
+
+  const IndexedDataset& dataset_;
+  RecordFileOpener& opener_;
+  ResourceMonitor& monitor_;
+  MapLoaderConfig config_;
+
+  std::vector<std::uint64_t> permutation_;
+  std::atomic<std::uint64_t> next_{0};
+  std::atomic<std::uint64_t> produced_{0};
+  std::atomic<int> active_workers_{0};
+  BoundedQueue<Sample> queue_;
+
+  mutable std::mutex error_mu_;
+  Status first_error_;
+  std::vector<std::thread> workers_;
+};
+
+}  // namespace monarch::dlsim

@@ -1,0 +1,43 @@
+// MonarchOpener: the framework-side MONARCH integration.
+//
+// This file is the repo's analogue of the paper's 6-LoC TensorFlow patch
+// (§III-C): the framework keeps its whole input pipeline, and only the
+// byte source behind each record file changes — pread becomes
+// Monarch.read(filename, ...). The optional epoch hook mirrors the
+// framework signalling the end of the first epoch so MONARCH can stop
+// scheduling placements once the dataset is staged (or the tiers filled).
+#pragma once
+
+#include <string>
+
+#include "core/monarch.h"
+#include "core/monarch_source.h"
+#include "dlsim/record_opener.h"
+
+namespace monarch::dlsim {
+
+class MonarchOpener final : public RecordFileOpener {
+ public:
+  explicit MonarchOpener(core::Monarch& monarch,
+                         bool stop_placement_after_first_epoch = false)
+      : monarch_(monarch),
+        stop_after_first_epoch_(stop_placement_after_first_epoch) {}
+
+  Result<tfrecord::RandomAccessSourcePtr> Open(
+      const std::string& path) override {
+    return tfrecord::RandomAccessSourcePtr(
+        std::make_unique<core::MonarchSource>(monarch_, path));
+  }
+
+  void OnEpochStart(int epoch) override {
+    if (stop_after_first_epoch_ && epoch > 1) monarch_.StopPlacement();
+  }
+
+  [[nodiscard]] std::string Name() const override { return "monarch"; }
+
+ private:
+  core::Monarch& monarch_;
+  bool stop_after_first_epoch_;
+};
+
+}  // namespace monarch::dlsim

@@ -1,0 +1,66 @@
+#include "dlsim/trainer.h"
+
+#include <utility>
+
+namespace monarch::dlsim {
+
+Trainer::Trainer(std::vector<std::string> files, RecordFileOpenerPtr opener,
+                 TrainerConfig config)
+    : files_(std::move(files)),
+      opener_(std::move(opener)),
+      config_(std::move(config)) {
+  config_.loader.preprocess_per_sample = config_.model.preprocess_per_sample;
+}
+
+Result<TrainingResult> Trainer::Train() {
+  TrainingResult result;
+  for (int epoch = 1; epoch <= config_.epochs; ++epoch) {
+    opener_->OnEpochStart(epoch);
+    MONARCH_ASSIGN_OR_RETURN(EpochResult epoch_result, RunEpoch(epoch));
+    result.total_seconds += epoch_result.wall_seconds;
+    result.epochs.push_back(epoch_result);
+  }
+  return result;
+}
+
+Result<EpochResult> Trainer::RunEpoch(int epoch) {
+  ResourceMonitor monitor(config_.loader.reader_threads, config_.num_gpus);
+  ComputeEngine compute(config_.model, config_.num_gpus);
+
+  const Stopwatch wall;
+  EpochLoader loader(files_, epoch, *opener_, monitor, config_.loader);
+
+  // The framework's training loop: pop samples, form global batches, run
+  // one GPU step per batch. The bounded queue overlaps this with the
+  // reader threads, so epoch time converges to max(I/O+preproc, compute).
+  std::uint64_t samples = 0;
+  std::uint64_t in_batch = 0;
+  while (auto sample = loader.queue().Pop()) {
+    monitor.AddMemory(-static_cast<std::int64_t>(sample->payload.size()));
+    ++samples;
+    if (++in_batch == config_.batch_size) {
+      compute.Step(in_batch);
+      in_batch = 0;
+    }
+  }
+  if (in_batch > 0) compute.Step(in_batch);  // final partial batch
+  loader.Finish();
+  MONARCH_RETURN_IF_ERROR(loader.status());
+
+  monitor.AddBusy(Resource::kGpu,
+                  compute.busy_time() * static_cast<std::int64_t>(
+                                            config_.num_gpus));
+
+  EpochResult result;
+  result.epoch = epoch;
+  result.wall_seconds = wall.ElapsedSeconds();
+  result.samples = samples;
+  result.steps = compute.steps();
+  const auto usage = monitor.Report(wall.Elapsed());
+  result.cpu_utilisation = usage.cpu;
+  result.gpu_utilisation = usage.gpu;
+  result.peak_memory_bytes = usage.peak_memory_bytes;
+  return result;
+}
+
+}  // namespace monarch::dlsim

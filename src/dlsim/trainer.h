@@ -1,0 +1,66 @@
+// Trainer: the simulated training job. Runs E epochs of
+// (shuffle -> parallel read+preprocess -> prefetch -> batched GPU steps)
+// against whatever RecordFileOpener it is given, and reports per-epoch
+// wall time, utilisation and sample counts — the measurements behind
+// every figure in the paper.
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "dlsim/compute_model.h"
+#include "dlsim/data_loader.h"
+#include "dlsim/record_opener.h"
+#include "dlsim/resource_monitor.h"
+#include "util/status.h"
+
+namespace monarch::dlsim {
+
+struct TrainerConfig {
+  ModelProfile model;
+  int epochs = 3;
+  std::uint64_t batch_size = 256;   ///< global batch across all GPUs
+  int num_gpus = 4;                 ///< the Frontera node's 4 GPUs
+  LoaderConfig loader;
+};
+
+struct EpochResult {
+  int epoch = 0;                    ///< 1-based
+  double wall_seconds = 0;
+  std::uint64_t samples = 0;
+  std::uint64_t steps = 0;
+  double cpu_utilisation = 0;       ///< 0..1
+  double gpu_utilisation = 0;       ///< 0..1
+  std::int64_t peak_memory_bytes = 0;
+};
+
+struct TrainingResult {
+  std::vector<EpochResult> epochs;
+  double total_seconds = 0;
+
+  [[nodiscard]] double EpochSeconds(int epoch_1based) const {
+    return epochs.at(static_cast<std::size_t>(epoch_1based - 1)).wall_seconds;
+  }
+};
+
+class Trainer {
+ public:
+  Trainer(std::vector<std::string> files, RecordFileOpenerPtr opener,
+          TrainerConfig config);
+
+  /// Run the configured number of epochs. Returns per-epoch results or
+  /// the first pipeline error.
+  Result<TrainingResult> Train();
+
+  [[nodiscard]] RecordFileOpener& opener() noexcept { return *opener_; }
+
+ private:
+  Result<EpochResult> RunEpoch(int epoch);
+
+  std::vector<std::string> files_;
+  RecordFileOpenerPtr opener_;
+  TrainerConfig config_;
+};
+
+}  // namespace monarch::dlsim

@@ -1,0 +1,88 @@
+#include "storage/contention_model.h"
+
+#include <cassert>
+#include <cmath>
+
+namespace monarch::storage {
+
+ContentionModel::ContentionModel()
+    : states_{LoadState{"steady", 1.0, 1.0, 1.0, {1.0}}}, rng_(0) {}
+
+ContentionModel::ContentionModel(std::vector<LoadState> states,
+                                 std::uint64_t seed,
+                                 std::size_t initial_state)
+    : states_(std::move(states)), rng_(seed), current_(initial_state) {
+  assert(!states_.empty());
+  assert(current_ < states_.size());
+  for ([[maybe_unused]] const LoadState& s : states_) {
+    assert(s.transition_weights.size() == states_.size());
+    assert(s.bandwidth_factor > 0.0 && s.bandwidth_factor <= 1.0);
+    assert(s.latency_multiplier >= 1.0);
+    assert(s.mean_dwell_seconds > 0.0);
+  }
+}
+
+ContentionModel ContentionModel::SharedPfs(std::uint64_t seed) {
+  // Four-state cluster-load model. Dwell times are short relative to an
+  // epoch so several transitions happen per epoch (intra-run variability)
+  // while different seeds land in different mixes (run-to-run spread).
+  std::vector<LoadState> states{
+      //  name      bw    lat   dwell   -> idle light busy storm
+      {"idle",     1.00, 1.0,  2.0, {0.0, 1.0, 0.25, 0.02}},
+      {"light",    0.75, 1.3,  3.0, {0.5, 0.0, 0.50, 0.05}},
+      {"busy",     0.45, 2.0,  2.5, {0.2, 1.0, 0.00, 0.15}},
+      {"storm",    0.20, 4.0,  1.0, {0.1, 0.6, 0.80, 0.00}},
+  };
+  return ContentionModel(std::move(states), seed, /*initial_state=*/1);
+}
+
+ContentionModel::Sample ContentionModel::Current(TimePoint now) {
+  if (IsStatic()) {
+    return Sample{states_[0].bandwidth_factor, states_[0].latency_multiplier,
+                  0};
+  }
+  std::lock_guard<std::mutex> lock(mu_);
+  AdvanceLocked(now);
+  const LoadState& s = states_[current_];
+  return Sample{s.bandwidth_factor, s.latency_multiplier, current_};
+}
+
+void ContentionModel::AdvanceLocked(TimePoint now) {
+  if (!started_) {
+    started_ = true;
+    next_transition_ = now + SampleDwellLocked();
+    return;
+  }
+  // Catch up through any transitions that elapsed since the last call.
+  while (now >= next_transition_) {
+    current_ = SampleNextStateLocked();
+    next_transition_ += SampleDwellLocked();
+  }
+}
+
+Duration ContentionModel::SampleDwellLocked() {
+  // Exponential dwell with the state's mean.
+  const double u = rng_.NextDouble();
+  const double dwell =
+      -states_[current_].mean_dwell_seconds * std::log(1.0 - u);
+  // Clamp so a pathological draw can't freeze the chain.
+  return FromSeconds(std::min(dwell, 60.0));
+}
+
+std::size_t ContentionModel::SampleNextStateLocked() {
+  const std::vector<double>& weights = states_[current_].transition_weights;
+  double total = 0.0;
+  for (std::size_t i = 0; i < weights.size(); ++i) {
+    if (i != current_) total += weights[i];
+  }
+  if (total <= 0.0) return current_;
+  double draw = rng_.NextDouble() * total;
+  for (std::size_t i = 0; i < weights.size(); ++i) {
+    if (i == current_) continue;
+    draw -= weights[i];
+    if (draw <= 0.0) return i;
+  }
+  return current_;
+}
+
+}  // namespace monarch::storage

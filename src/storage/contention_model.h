@@ -1,0 +1,91 @@
+// Background-contention process for the shared-PFS device model.
+//
+// The paper's motivation (§II) hinges on Lustre being "concurrently
+// accessed by other jobs executing in the Frontera supercomputer", which
+// shows up as high run-to-run variability in training time. We model the
+// aggregate load of those other jobs as a Markov-modulated process: the
+// cluster sits in one of a few load states (idle / light / busy / storm),
+// dwells there for an exponentially distributed interval, then jumps.
+// Each state maps to a bandwidth-availability factor and a latency
+// multiplier for *our* job.
+//
+// The process is a deterministic function of (seed, elapsed time), so a
+// run is reproducible, but different seeds reproduce the paper's
+// run-to-run spread.
+#pragma once
+
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "util/clock.h"
+#include "util/rng.h"
+
+namespace monarch::storage {
+
+struct LoadState {
+  std::string name;
+  double bandwidth_factor;   ///< fraction of device bandwidth we get (0..1]
+  double latency_multiplier; ///< per-op latency inflation (>= 1)
+  double mean_dwell_seconds; ///< expected time spent in this state
+  /// Relative transition weights to every state (self-weight ignored).
+  std::vector<double> transition_weights;
+};
+
+class ContentionModel {
+ public:
+  /// Uncontended model: always returns factor 1 / multiplier 1.
+  ContentionModel();
+
+  /// Custom state machine. `states` must be non-empty and every
+  /// transition_weights vector must have states.size() entries.
+  ContentionModel(std::vector<LoadState> states, std::uint64_t seed,
+                  std::size_t initial_state = 0);
+
+  /// A Lustre-like default: mostly light contention with occasional busy
+  /// bursts and rare storms (calibrated in bench/ to reproduce the
+  /// paper's vanilla-lustre error bars).
+  static ContentionModel SharedPfs(std::uint64_t seed);
+
+  /// Movable so models can be passed by value into DeviceModel (the mutex
+  /// is per-instance; moving a model mid-use is not supported).
+  ContentionModel(ContentionModel&& other) noexcept
+      : states_(std::move(other.states_)),
+        rng_(other.rng_),
+        current_(other.current_),
+        next_transition_(other.next_transition_),
+        started_(other.started_) {}
+  ContentionModel& operator=(ContentionModel&&) = delete;
+  ContentionModel(const ContentionModel&) = delete;
+  ContentionModel& operator=(const ContentionModel&) = delete;
+
+  struct Sample {
+    double bandwidth_factor = 1.0;
+    double latency_multiplier = 1.0;
+    std::size_t state_index = 0;
+  };
+
+  /// Advance the chain to `now` and return the current condition.
+  /// Thread-safe; called on every I/O request by the device model.
+  Sample Current(TimePoint now);
+
+  [[nodiscard]] bool IsStatic() const noexcept { return states_.size() <= 1; }
+  [[nodiscard]] const std::vector<LoadState>& states() const noexcept {
+    return states_;
+  }
+
+ private:
+  void AdvanceLocked(TimePoint now);
+  Duration SampleDwellLocked();
+  std::size_t SampleNextStateLocked();
+
+  std::mutex mu_;
+  std::vector<LoadState> states_;
+  Xoshiro256 rng_;
+  std::size_t current_ = 0;
+  TimePoint next_transition_{};
+  bool started_ = false;
+};
+
+}  // namespace monarch::storage

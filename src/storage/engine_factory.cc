@@ -1,0 +1,38 @@
+#include "storage/engine_factory.h"
+
+#include "storage/device_model.h"
+#include "storage/memory_engine.h"
+#include "storage/posix_engine.h"
+#include "storage/throttled_engine.h"
+
+namespace monarch::storage {
+
+StorageEnginePtr MakeLocalSsdEngine(const std::filesystem::path& root) {
+  auto inner = std::make_shared<PosixEngine>(root, "local");
+  auto device = std::make_shared<DeviceModel>(DeviceProfile::LocalSsd());
+  return std::make_shared<ThrottledEngine>(std::move(inner),
+                                           std::move(device));
+}
+
+StorageEnginePtr MakeLustreEngine(const std::filesystem::path& root,
+                                  std::uint64_t seed, bool contended) {
+  auto inner = std::make_shared<PosixEngine>(root, "pfs");
+  auto device = std::make_shared<DeviceModel>(
+      DeviceProfile::LustrePfs(),
+      contended ? ContentionModel::SharedPfs(seed) : ContentionModel());
+  return std::make_shared<ThrottledEngine>(std::move(inner),
+                                           std::move(device));
+}
+
+StorageEnginePtr MakeRamEngine() {
+  auto inner = std::make_shared<MemoryEngine>("ram");
+  auto device = std::make_shared<DeviceModel>(DeviceProfile::RamDisk());
+  return std::make_shared<ThrottledEngine>(std::move(inner),
+                                           std::move(device));
+}
+
+StorageEnginePtr MakeRawEngine(const std::filesystem::path& root) {
+  return std::make_shared<PosixEngine>(root, "raw");
+}
+
+}  // namespace monarch::storage

@@ -1,0 +1,30 @@
+// Convenience constructors wiring engines + device models into the
+// simulated storage stacks the benches and examples use.
+#pragma once
+
+#include <cstdint>
+#include <filesystem>
+#include <memory>
+
+#include "storage/storage_engine.h"
+
+namespace monarch::storage {
+
+/// Host directory behaving like a compute node's local SSD (XFS-on-SSD in
+/// the paper). No contention.
+StorageEnginePtr MakeLocalSsdEngine(const std::filesystem::path& root);
+
+/// Host directory behaving like a shared Lustre mount: slower per-client,
+/// expensive metadata ops, contended by other (simulated) cluster jobs.
+/// `seed` drives the contention process; pass different seeds per run to
+/// reproduce run-to-run variability, or `contended=false` for a quiet PFS.
+StorageEnginePtr MakeLustreEngine(const std::filesystem::path& root,
+                                  std::uint64_t seed, bool contended = true);
+
+/// RAM-backed tier with DRAM-class timing (the §VI extra-layer study).
+StorageEnginePtr MakeRamEngine();
+
+/// Raw host-speed directory engine (tests, dataset generation).
+StorageEnginePtr MakeRawEngine(const std::filesystem::path& root);
+
+}  // namespace monarch::storage

@@ -1,0 +1,101 @@
+// FaultyEngine: failure-injection decorator for tests. Fails operations
+// either probabilistically (seeded) or via an explicit one-shot trigger,
+// returning UNAVAILABLE — the transient-error path tier drivers and the
+// placement handler must survive.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <utility>
+
+#include "storage/storage_engine.h"
+#include "util/rng.h"
+
+namespace monarch::storage {
+
+class FaultyEngine final : public StorageEngine {
+ public:
+  struct FaultSpec {
+    double read_failure_rate = 0.0;
+    double write_failure_rate = 0.0;
+    std::uint64_t seed = 42;
+  };
+
+  FaultyEngine(StorageEnginePtr inner, FaultSpec spec)
+      : inner_(std::move(inner)), spec_(spec), rng_(spec.seed) {}
+
+  /// Make the next `n` reads fail regardless of rates.
+  void FailNextReads(int n) { forced_read_failures_.store(n); }
+  /// Make the next `n` writes fail regardless of rates.
+  void FailNextWrites(int n) { forced_write_failures_.store(n); }
+
+  [[nodiscard]] std::uint64_t injected_failures() const noexcept {
+    return injected_.load();
+  }
+
+  Result<std::size_t> Read(const std::string& path, std::uint64_t offset,
+                           std::span<std::byte> dst) override {
+    if (ShouldFail(forced_read_failures_, spec_.read_failure_rate)) {
+      return UnavailableError("injected read fault on '" + path + "'");
+    }
+    return inner_->Read(path, offset, dst);
+  }
+
+  Status Write(const std::string& path,
+               std::span<const std::byte> data) override {
+    if (ShouldFail(forced_write_failures_, spec_.write_failure_rate)) {
+      return UnavailableError("injected write fault on '" + path + "'");
+    }
+    return inner_->Write(path, data);
+  }
+
+  Status Delete(const std::string& path) override {
+    return inner_->Delete(path);
+  }
+  Result<std::uint64_t> FileSize(const std::string& path) override {
+    return inner_->FileSize(path);
+  }
+  Result<bool> Exists(const std::string& path) override {
+    return inner_->Exists(path);
+  }
+  Result<std::vector<FileStat>> ListFiles(const std::string& dir) override {
+    return inner_->ListFiles(dir);
+  }
+
+  IoStats& Stats() override { return inner_->Stats(); }
+  [[nodiscard]] std::string Name() const override {
+    return inner_->Name() + "+faults";
+  }
+
+ private:
+  bool ShouldFail(std::atomic<int>& forced, double rate) {
+    int n = forced.load();
+    while (n > 0) {
+      if (forced.compare_exchange_weak(n, n - 1)) {
+        injected_.fetch_add(1);
+        return true;
+      }
+    }
+    if (rate > 0.0) {
+      std::lock_guard<std::mutex> lock(rng_mu_);
+      if (rng_.NextDouble() < rate) {
+        injected_.fetch_add(1);
+        return true;
+      }
+    }
+    return false;
+  }
+
+  StorageEnginePtr inner_;
+  FaultSpec spec_;
+  std::mutex rng_mu_;
+  Xoshiro256 rng_;
+  std::atomic<int> forced_read_failures_{0};
+  std::atomic<int> forced_write_failures_{0};
+  std::atomic<std::uint64_t> injected_{0};
+};
+
+}  // namespace monarch::storage

@@ -1,0 +1,41 @@
+#include "storage/io_stats.h"
+
+#include <cstdio>
+
+#include "util/byte_units.h"
+
+namespace monarch::storage {
+
+IoStatsSnapshot& IoStatsSnapshot::operator+=(
+    const IoStatsSnapshot& other) noexcept {
+  read_ops += other.read_ops;
+  write_ops += other.write_ops;
+  metadata_ops += other.metadata_ops;
+  bytes_read += other.bytes_read;
+  bytes_written += other.bytes_written;
+  return *this;
+}
+
+IoStatsSnapshot operator-(IoStatsSnapshot a,
+                          const IoStatsSnapshot& b) noexcept {
+  a.read_ops -= b.read_ops;
+  a.write_ops -= b.write_ops;
+  a.metadata_ops -= b.metadata_ops;
+  a.bytes_read -= b.bytes_read;
+  a.bytes_written -= b.bytes_written;
+  return a;
+}
+
+std::string IoStatsSnapshot::ToString() const {
+  char buf[256];
+  std::snprintf(buf, sizeof buf,
+                "reads=%llu writes=%llu meta=%llu read=%s written=%s",
+                static_cast<unsigned long long>(read_ops),
+                static_cast<unsigned long long>(write_ops),
+                static_cast<unsigned long long>(metadata_ops),
+                FormatByteSize(bytes_read).c_str(),
+                FormatByteSize(bytes_written).c_str());
+  return buf;
+}
+
+}  // namespace monarch::storage

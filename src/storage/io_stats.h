@@ -1,0 +1,87 @@
+// Per-backend I/O instrumentation.
+//
+// The paper's second evaluation question is "can MONARCH reduce the I/O
+// pressure on the PFS backend?" — answered entirely in terms of the
+// counters below (data ops, metadata ops, bytes moved), so every storage
+// engine updates an IoStats and the bench harnesses diff them.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <string>
+
+#include "util/histogram.h"
+
+namespace monarch::storage {
+
+/// Point-in-time copy of the counters (plain integers, safe to subtract).
+struct IoStatsSnapshot {
+  std::uint64_t read_ops = 0;
+  std::uint64_t write_ops = 0;
+  std::uint64_t metadata_ops = 0;   ///< open/stat/list
+  std::uint64_t bytes_read = 0;
+  std::uint64_t bytes_written = 0;
+
+  [[nodiscard]] std::uint64_t data_ops() const noexcept {
+    return read_ops + write_ops;
+  }
+  [[nodiscard]] std::uint64_t total_ops() const noexcept {
+    return data_ops() + metadata_ops;
+  }
+
+  IoStatsSnapshot& operator+=(const IoStatsSnapshot& other) noexcept;
+  friend IoStatsSnapshot operator-(IoStatsSnapshot a,
+                                   const IoStatsSnapshot& b) noexcept;
+
+  [[nodiscard]] std::string ToString() const;
+};
+
+/// Wait-free concurrent counters + a read-latency histogram.
+class IoStats {
+ public:
+  void RecordRead(std::uint64_t bytes, Duration latency) noexcept {
+    read_ops_.fetch_add(1, std::memory_order_relaxed);
+    bytes_read_.fetch_add(bytes, std::memory_order_relaxed);
+    read_latency_.Record(latency);
+  }
+  void RecordWrite(std::uint64_t bytes) noexcept {
+    write_ops_.fetch_add(1, std::memory_order_relaxed);
+    bytes_written_.fetch_add(bytes, std::memory_order_relaxed);
+  }
+  void RecordMetadataOp() noexcept {
+    metadata_ops_.fetch_add(1, std::memory_order_relaxed);
+  }
+
+  [[nodiscard]] IoStatsSnapshot Snapshot() const noexcept {
+    IoStatsSnapshot s;
+    s.read_ops = read_ops_.load(std::memory_order_relaxed);
+    s.write_ops = write_ops_.load(std::memory_order_relaxed);
+    s.metadata_ops = metadata_ops_.load(std::memory_order_relaxed);
+    s.bytes_read = bytes_read_.load(std::memory_order_relaxed);
+    s.bytes_written = bytes_written_.load(std::memory_order_relaxed);
+    return s;
+  }
+
+  [[nodiscard]] LatencyHistogram::Snapshot ReadLatency() const {
+    return read_latency_.TakeSnapshot();
+  }
+
+  void Reset() noexcept {
+    read_ops_.store(0, std::memory_order_relaxed);
+    write_ops_.store(0, std::memory_order_relaxed);
+    metadata_ops_.store(0, std::memory_order_relaxed);
+    bytes_read_.store(0, std::memory_order_relaxed);
+    bytes_written_.store(0, std::memory_order_relaxed);
+    read_latency_.Reset();
+  }
+
+ private:
+  std::atomic<std::uint64_t> read_ops_{0};
+  std::atomic<std::uint64_t> write_ops_{0};
+  std::atomic<std::uint64_t> metadata_ops_{0};
+  std::atomic<std::uint64_t> bytes_read_{0};
+  std::atomic<std::uint64_t> bytes_written_{0};
+  LatencyHistogram read_latency_;
+};
+
+}  // namespace monarch::storage

@@ -1,0 +1,94 @@
+#include "storage/memory_engine.h"
+
+#include <algorithm>
+#include <cstring>
+#include <mutex>
+
+#include "util/clock.h"
+
+namespace monarch::storage {
+
+MemoryEngine::MemoryEngine(std::string name) : name_(std::move(name)) {}
+
+Result<std::size_t> MemoryEngine::Read(const std::string& path,
+                                       std::uint64_t offset,
+                                       std::span<std::byte> dst) {
+  const Stopwatch timer;
+  std::shared_lock lock(mu_);
+  auto it = files_.find(path);
+  if (it == files_.end()) return NotFoundError("read '" + path + "'");
+  const auto& data = it->second;
+  if (offset >= data.size()) {
+    stats_.RecordRead(0, timer.Elapsed());
+    return static_cast<std::size_t>(0);
+  }
+  const std::size_t n =
+      std::min<std::size_t>(dst.size(), data.size() - offset);
+  if (n > 0) {  // an empty span has a null data() — UB to pass to memcpy
+    std::memcpy(dst.data(), data.data() + offset, n);
+  }
+  stats_.RecordRead(n, timer.Elapsed());
+  return n;
+}
+
+Status MemoryEngine::Write(const std::string& path,
+                           std::span<const std::byte> data) {
+  std::unique_lock lock(mu_);
+  files_[path].assign(data.begin(), data.end());
+  stats_.RecordWrite(data.size());
+  return Status::Ok();
+}
+
+Status MemoryEngine::Delete(const std::string& path) {
+  std::unique_lock lock(mu_);
+  stats_.RecordMetadataOp();
+  if (files_.erase(path) == 0) return NotFoundError("remove '" + path + "'");
+  return Status::Ok();
+}
+
+Result<std::uint64_t> MemoryEngine::FileSize(const std::string& path) {
+  std::shared_lock lock(mu_);
+  stats_.RecordMetadataOp();
+  auto it = files_.find(path);
+  if (it == files_.end()) return NotFoundError("stat '" + path + "'");
+  return static_cast<std::uint64_t>(it->second.size());
+}
+
+Result<bool> MemoryEngine::Exists(const std::string& path) {
+  std::shared_lock lock(mu_);
+  stats_.RecordMetadataOp();
+  return files_.contains(path);
+}
+
+Result<std::vector<FileStat>> MemoryEngine::ListFiles(const std::string& dir) {
+  std::shared_lock lock(mu_);
+  stats_.RecordMetadataOp();
+  // Interpret `dir` as a path prefix; "" or "." lists everything.
+  std::string prefix = dir;
+  if (prefix == "." || prefix == "/") prefix.clear();
+  if (!prefix.empty() && prefix.back() != '/') prefix += '/';
+
+  std::vector<FileStat> out;
+  for (const auto& [path, data] : files_) {
+    if (prefix.empty() || path.starts_with(prefix)) {
+      stats_.RecordMetadataOp();
+      out.push_back(FileStat{path, data.size()});
+    }
+  }
+  // A key-value namespace has no empty directories: a prefix with no
+  // entries is indistinguishable from a missing directory, and NotFound
+  // matches PosixEngine's behaviour for the same situation.
+  if (out.empty() && !prefix.empty()) {
+    return NotFoundError("list '" + dir + "'");
+  }
+  return out;
+}
+
+std::uint64_t MemoryEngine::TotalBytes() const {
+  std::shared_lock lock(mu_);
+  std::uint64_t total = 0;
+  for (const auto& [path, data] : files_) total += data.size();
+  return total;
+}
+
+}  // namespace monarch::storage

@@ -1,0 +1,41 @@
+// In-RAM engine: the persistent-memory/RAM tier the paper's §VI suggests
+// exploring, and the fast backend for unit tests.
+#pragma once
+
+#include <map>
+#include <shared_mutex>
+#include <string>
+#include <vector>
+
+#include "storage/storage_engine.h"
+
+namespace monarch::storage {
+
+class MemoryEngine final : public StorageEngine {
+ public:
+  explicit MemoryEngine(std::string name = "ram");
+
+  Result<std::size_t> Read(const std::string& path, std::uint64_t offset,
+                           std::span<std::byte> dst) override;
+  Status Write(const std::string& path,
+               std::span<const std::byte> data) override;
+  Status Delete(const std::string& path) override;
+  Result<std::uint64_t> FileSize(const std::string& path) override;
+  Result<bool> Exists(const std::string& path) override;
+  Result<std::vector<FileStat>> ListFiles(const std::string& dir) override;
+
+  IoStats& Stats() override { return stats_; }
+  [[nodiscard]] std::string Name() const override { return name_; }
+
+  /// Total bytes currently stored (tests assert quota accounting matches).
+  [[nodiscard]] std::uint64_t TotalBytes() const;
+
+ private:
+  std::string name_;
+  IoStats stats_;
+  mutable std::shared_mutex mu_;
+  // Ordered so ListFiles gets sorted output for free.
+  std::map<std::string, std::vector<std::byte>> files_;
+};
+
+}  // namespace monarch::storage

@@ -1,0 +1,153 @@
+#include "storage/posix_engine.h"
+
+#include <fcntl.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <cerrno>
+#include <cstring>
+#include <system_error>
+
+#include "util/clock.h"
+
+namespace monarch::storage {
+
+namespace fs = std::filesystem;
+
+namespace {
+
+Status ErrnoStatus(const std::string& op, const std::string& path, int err) {
+  const std::string msg = op + " '" + path + "': " + std::strerror(err);
+  switch (err) {
+    case ENOENT: return NotFoundError(msg);
+    case EEXIST: return AlreadyExistsError(msg);
+    case ENOSPC: return ResourceExhaustedError(msg);
+    default: return InternalError(msg);
+  }
+}
+
+/// RAII fd.
+class UniqueFd {
+ public:
+  explicit UniqueFd(int fd) noexcept : fd_(fd) {}
+  ~UniqueFd() {
+    if (fd_ >= 0) ::close(fd_);
+  }
+  UniqueFd(const UniqueFd&) = delete;
+  UniqueFd& operator=(const UniqueFd&) = delete;
+  [[nodiscard]] int get() const noexcept { return fd_; }
+
+ private:
+  int fd_;
+};
+
+}  // namespace
+
+PosixEngine::PosixEngine(fs::path root, std::string name)
+    : root_(std::move(root)), name_(std::move(name)) {
+  std::error_code ec;
+  fs::create_directories(root_, ec);
+}
+
+fs::path PosixEngine::Resolve(const std::string& path) const {
+  return root_ / path;
+}
+
+Result<std::size_t> PosixEngine::Read(const std::string& path,
+                                      std::uint64_t offset,
+                                      std::span<std::byte> dst) {
+  const Stopwatch timer;
+  const fs::path full = Resolve(path);
+  UniqueFd fd(::open(full.c_str(), O_RDONLY));
+  if (fd.get() < 0) return ErrnoStatus("open", path, errno);
+
+  std::size_t total = 0;
+  while (total < dst.size()) {
+    const ssize_t n =
+        ::pread(fd.get(), dst.data() + total, dst.size() - total,
+                static_cast<off_t>(offset + total));
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return ErrnoStatus("pread", path, errno);
+    }
+    if (n == 0) break;  // EOF
+    total += static_cast<std::size_t>(n);
+  }
+  stats_.RecordRead(total, timer.Elapsed());
+  return total;
+}
+
+Status PosixEngine::Write(const std::string& path,
+                          std::span<const std::byte> data) {
+  const fs::path full = Resolve(path);
+  std::error_code ec;
+  fs::create_directories(full.parent_path(), ec);
+
+  UniqueFd fd(::open(full.c_str(), O_WRONLY | O_CREAT | O_TRUNC, 0644));
+  if (fd.get() < 0) return ErrnoStatus("open", path, errno);
+
+  std::size_t total = 0;
+  while (total < data.size()) {
+    const ssize_t n =
+        ::write(fd.get(), data.data() + total, data.size() - total);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return ErrnoStatus("write", path, errno);
+    }
+    total += static_cast<std::size_t>(n);
+  }
+  stats_.RecordWrite(data.size());
+  return Status::Ok();
+}
+
+Status PosixEngine::Delete(const std::string& path) {
+  std::error_code ec;
+  if (!fs::remove(Resolve(path), ec)) {
+    if (ec) return InternalError("remove '" + path + "': " + ec.message());
+    return NotFoundError("remove '" + path + "'");
+  }
+  stats_.RecordMetadataOp();
+  return Status::Ok();
+}
+
+Result<std::uint64_t> PosixEngine::FileSize(const std::string& path) {
+  stats_.RecordMetadataOp();
+  std::error_code ec;
+  const auto size = fs::file_size(Resolve(path), ec);
+  if (ec) return NotFoundError("stat '" + path + "': " + ec.message());
+  return static_cast<std::uint64_t>(size);
+}
+
+Result<bool> PosixEngine::Exists(const std::string& path) {
+  stats_.RecordMetadataOp();
+  std::error_code ec;
+  const bool exists = fs::exists(Resolve(path), ec);
+  if (ec) return InternalError("exists '" + path + "': " + ec.message());
+  return exists;
+}
+
+Result<std::vector<FileStat>> PosixEngine::ListFiles(const std::string& dir) {
+  const fs::path base = Resolve(dir);
+  stats_.RecordMetadataOp();
+  std::error_code ec;
+  if (!fs::exists(base, ec) || ec) {
+    return NotFoundError("list '" + dir + "'");
+  }
+
+  std::vector<FileStat> out;
+  for (auto it = fs::recursive_directory_iterator(base, ec);
+       !ec && it != fs::recursive_directory_iterator(); it.increment(ec)) {
+    if (!it->is_regular_file(ec)) continue;
+    stats_.RecordMetadataOp();
+    FileStat st;
+    st.path = fs::relative(it->path(), root_, ec).generic_string();
+    st.size = static_cast<std::uint64_t>(it->file_size(ec));
+    out.push_back(std::move(st));
+  }
+  if (ec) return InternalError("list '" + dir + "': " + ec.message());
+  std::sort(out.begin(), out.end(),
+            [](const FileStat& a, const FileStat& b) { return a.path < b.path; });
+  return out;
+}
+
+}  // namespace monarch::storage

@@ -1,0 +1,42 @@
+// Directory-backed engine using POSIX I/O (open/pread/write), the layer
+// MONARCH intercepts in the paper. No performance model — raw host speed.
+#pragma once
+
+#include <filesystem>
+#include <string>
+
+#include "storage/storage_engine.h"
+
+namespace monarch::storage {
+
+class PosixEngine final : public StorageEngine {
+ public:
+  /// All paths are resolved relative to `root`; the directory is created
+  /// if missing.
+  explicit PosixEngine(std::filesystem::path root, std::string name = "posix");
+
+  Result<std::size_t> Read(const std::string& path, std::uint64_t offset,
+                           std::span<std::byte> dst) override;
+  Status Write(const std::string& path,
+               std::span<const std::byte> data) override;
+  Status Delete(const std::string& path) override;
+  Result<std::uint64_t> FileSize(const std::string& path) override;
+  Result<bool> Exists(const std::string& path) override;
+  Result<std::vector<FileStat>> ListFiles(const std::string& dir) override;
+
+  IoStats& Stats() override { return stats_; }
+  [[nodiscard]] std::string Name() const override { return name_; }
+
+  [[nodiscard]] const std::filesystem::path& root() const noexcept {
+    return root_;
+  }
+
+ private:
+  [[nodiscard]] std::filesystem::path Resolve(const std::string& path) const;
+
+  std::filesystem::path root_;
+  std::string name_;
+  IoStats stats_;
+};
+
+}  // namespace monarch::storage

@@ -1,0 +1,66 @@
+// StorageEngine: the raw backend abstraction every tier driver sits on.
+//
+// Engines are directory-like object stores addressed by relative path.
+// Real bytes always flow (so correctness is end-to-end testable); the
+// *performance* of an engine is what varies — PosixEngine talks straight
+// to the host file system, ThrottledEngine overlays a device model that
+// reproduces SSD- or Lustre-class behaviour, MemoryEngine keeps data in
+// RAM (the §VI "more storage layers" tier).
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "storage/io_stats.h"
+#include "util/status.h"
+
+namespace monarch::storage {
+
+struct FileStat {
+  std::string path;          ///< engine-relative path
+  std::uint64_t size = 0;
+};
+
+class StorageEngine {
+ public:
+  virtual ~StorageEngine() = default;
+
+  /// Read up to `dst.size()` bytes at `offset` from `path` into `dst`.
+  /// Returns the byte count actually read (0 at EOF). Reading at an
+  /// offset past EOF yields 0, not an error, matching POSIX pread.
+  virtual Result<std::size_t> Read(const std::string& path,
+                                   std::uint64_t offset,
+                                   std::span<std::byte> dst) = 0;
+
+  /// Create/overwrite `path` with `data` (single atomic-ish put; tiers
+  /// copy whole files, so no partial-write API is needed).
+  virtual Status Write(const std::string& path,
+                       std::span<const std::byte> data) = 0;
+
+  /// Remove `path`. NotFound if absent.
+  virtual Status Delete(const std::string& path) = 0;
+
+  /// stat(): size of `path`. Counted as a metadata op.
+  virtual Result<std::uint64_t> FileSize(const std::string& path) = 0;
+
+  virtual Result<bool> Exists(const std::string& path) = 0;
+
+  /// Recursively enumerate files (relative paths + sizes), sorted by path.
+  /// Counted as metadata ops (one per directory visited plus one per entry,
+  /// approximating the PFS metadata-server traffic of a namespace walk).
+  virtual Result<std::vector<FileStat>> ListFiles(const std::string& dir) = 0;
+
+  /// Instrumentation shared by all wrappers of the same physical device.
+  virtual IoStats& Stats() = 0;
+
+  /// Human-readable engine identity for logs and reports.
+  [[nodiscard]] virtual std::string Name() const = 0;
+};
+
+using StorageEnginePtr = std::shared_ptr<StorageEngine>;
+
+}  // namespace monarch::storage

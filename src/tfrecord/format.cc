@@ -1,0 +1,67 @@
+#include "tfrecord/format.h"
+
+#include <cassert>
+
+namespace monarch::tfrecord {
+
+void StoreLe64(std::uint64_t v, std::byte* dst) noexcept {
+  for (int i = 0; i < 8; ++i) {
+    dst[i] = static_cast<std::byte>((v >> (8 * i)) & 0xFFU);
+  }
+}
+
+void StoreLe32(std::uint32_t v, std::byte* dst) noexcept {
+  for (int i = 0; i < 4; ++i) {
+    dst[i] = static_cast<std::byte>((v >> (8 * i)) & 0xFFU);
+  }
+}
+
+std::uint64_t LoadLe64(const std::byte* src) noexcept {
+  std::uint64_t v = 0;
+  for (int i = 7; i >= 0; --i) {
+    v = (v << 8) | std::to_integer<std::uint64_t>(src[i]);
+  }
+  return v;
+}
+
+std::uint32_t LoadLe32(const std::byte* src) noexcept {
+  std::uint32_t v = 0;
+  for (int i = 3; i >= 0; --i) {
+    v = (v << 8) | std::to_integer<std::uint32_t>(src[i]);
+  }
+  return v;
+}
+
+void EncodeHeader(std::uint64_t payload_size, std::span<std::byte> dst) {
+  assert(dst.size() >= kHeaderBytes);
+  StoreLe64(payload_size, dst.data());
+  const std::uint32_t crc =
+      MaskCrc(Crc32c(dst.data(), kLengthBytes));
+  StoreLe32(crc, dst.data() + kLengthBytes);
+}
+
+Result<std::uint64_t> DecodeHeader(std::span<const std::byte> src) {
+  if (src.size() < kHeaderBytes) {
+    return OutOfRangeError("truncated TFRecord header");
+  }
+  const std::uint32_t stored = LoadLe32(src.data() + kLengthBytes);
+  const std::uint32_t computed = MaskCrc(Crc32c(src.data(), kLengthBytes));
+  if (stored != computed) {
+    return DataLossError("TFRecord length CRC mismatch");
+  }
+  return LoadLe64(src.data());
+}
+
+std::uint32_t PayloadCrc(std::span<const std::byte> payload) {
+  return MaskCrc(Crc32c(payload));
+}
+
+Status VerifyPayload(std::span<const std::byte> payload,
+                     std::uint32_t stored_masked_crc) {
+  if (PayloadCrc(payload) != stored_masked_crc) {
+    return DataLossError("TFRecord payload CRC mismatch");
+  }
+  return Status::Ok();
+}
+
+}  // namespace monarch::tfrecord

@@ -1,0 +1,37 @@
+#include "tfrecord/index.h"
+
+#include "tfrecord/format.h"
+
+namespace monarch::tfrecord {
+
+std::uint64_t RecordSpan::framed_size() const noexcept {
+  return FramedSize(payload_size);
+}
+
+Result<std::vector<RecordSpan>> BuildIndex(RandomAccessSource& source) {
+  MONARCH_ASSIGN_OR_RETURN(const std::uint64_t file_size, source.Size());
+
+  std::vector<RecordSpan> index;
+  std::uint64_t offset = 0;
+  std::byte header[kHeaderBytes];
+  while (offset < file_size) {
+    MONARCH_ASSIGN_OR_RETURN(const std::size_t n,
+                             source.ReadAt(offset, header));
+    if (n < kHeaderBytes) {
+      return DataLossError("torn TFRecord header at offset " +
+                           std::to_string(offset));
+    }
+    MONARCH_ASSIGN_OR_RETURN(const std::uint64_t length,
+                             DecodeHeader(header));
+    const std::uint64_t framed = FramedSize(length);
+    if (offset + framed > file_size) {
+      return DataLossError("record overruns file at offset " +
+                           std::to_string(offset));
+    }
+    index.push_back(RecordSpan{offset, length});
+    offset += framed;
+  }
+  return index;
+}
+
+}  // namespace monarch::tfrecord

@@ -1,0 +1,24 @@
+// Record index: byte offsets/sizes of every record in a TFRecord file.
+// Used by the dataset generator for validation and by the trace tooling
+// to map byte offsets back to sample indices.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "tfrecord/random_access_source.h"
+#include "util/status.h"
+
+namespace monarch::tfrecord {
+
+struct RecordSpan {
+  std::uint64_t offset = 0;       ///< offset of the record header
+  std::uint64_t payload_size = 0;
+  [[nodiscard]] std::uint64_t framed_size() const noexcept;
+};
+
+/// Scan a record file and return the span of every record, verifying
+/// header CRCs (payloads are not read). DATA_LOSS on a torn/corrupt file.
+Result<std::vector<RecordSpan>> BuildIndex(RandomAccessSource& source);
+
+}  // namespace monarch::tfrecord

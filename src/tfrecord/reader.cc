@@ -1,0 +1,82 @@
+#include "tfrecord/reader.h"
+
+#include <algorithm>
+#include <cstring>
+
+#include "tfrecord/format.h"
+
+namespace monarch::tfrecord {
+
+TFRecordReader::TFRecordReader(RandomAccessSource& source,
+                               ReaderOptions options)
+    : source_(source), options_(options) {
+  if (options_.buffer_bytes > 0) buffer_.resize(options_.buffer_bytes);
+}
+
+Result<std::size_t> TFRecordReader::BufferedRead(std::uint64_t offset,
+                                                 std::span<std::byte> dst) {
+  if (options_.buffer_bytes == 0 || dst.size() >= options_.buffer_bytes) {
+    return source_.ReadAt(offset, dst);
+  }
+
+  std::size_t copied = 0;
+  while (copied < dst.size()) {
+    const std::uint64_t want = offset + copied;
+    if (want >= buffer_start_ && want < buffer_start_ + buffer_len_) {
+      const std::size_t avail =
+          static_cast<std::size_t>(buffer_start_ + buffer_len_ - want);
+      const std::size_t n = std::min(avail, dst.size() - copied);
+      std::memcpy(dst.data() + copied,
+                  buffer_.data() + (want - buffer_start_), n);
+      copied += n;
+      continue;
+    }
+    // Refill the buffer at `want`.
+    auto result = source_.ReadAt(want, buffer_);
+    if (!result.ok()) return result.status();
+    buffer_start_ = want;
+    buffer_len_ = result.value();
+    if (buffer_len_ == 0) break;  // EOF
+  }
+  return copied;
+}
+
+Status TFRecordReader::ReadExact(std::span<std::byte> dst,
+                                 bool at_record_start) {
+  MONARCH_ASSIGN_OR_RETURN(const std::size_t n,
+                           BufferedRead(offset_, dst));
+  if (n == dst.size()) {
+    offset_ += n;
+    return Status::Ok();
+  }
+  if (n == 0 && at_record_start) {
+    at_end_ = true;
+    return OutOfRangeError("end of record file '" + source_.Name() + "'");
+  }
+  return DataLossError("torn TFRecord frame in '" + source_.Name() +
+                       "' at offset " + std::to_string(offset_));
+}
+
+Result<std::vector<std::byte>> TFRecordReader::ReadRecord() {
+  if (at_end_) {
+    return OutOfRangeError("end of record file '" + source_.Name() + "'");
+  }
+
+  std::byte header[kHeaderBytes];
+  MONARCH_RETURN_IF_ERROR(ReadExact(header, /*at_record_start=*/true));
+  MONARCH_ASSIGN_OR_RETURN(const std::uint64_t length,
+                           DecodeHeader(header));
+
+  std::vector<std::byte> payload(length + kFooterBytes);
+  MONARCH_RETURN_IF_ERROR(ReadExact(payload, /*at_record_start=*/false));
+
+  const std::uint32_t stored_crc = LoadLe32(payload.data() + length);
+  payload.resize(length);
+  if (options_.verify_checksums) {
+    MONARCH_RETURN_IF_ERROR(VerifyPayload(payload, stored_crc));
+  }
+  ++records_read_;
+  return payload;
+}
+
+}  // namespace monarch::tfrecord

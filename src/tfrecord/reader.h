@@ -1,0 +1,75 @@
+// TFRecordReader: sequential record iterator over a RandomAccessSource.
+//
+// The reader deliberately issues I/O the way TensorFlow's RecordReader
+// does — a 12-byte header read followed by a payload(+footer) read, i.e.
+// many *partial* reads of a large file — because MONARCH's key first-epoch
+// optimisation (fetch the whole record file in the background when a
+// partial read arrives, §III-B) only matters under exactly this pattern.
+// An optional read-chunk buffer coalesces small reads the way TF's
+// buffered input stream does.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "tfrecord/random_access_source.h"
+#include "util/status.h"
+
+namespace monarch::tfrecord {
+
+struct ReaderOptions {
+  /// When > 0, reads from the source are rounded up to this chunk size and
+  /// buffered (fewer, larger I/Os). When 0, each header/payload is its own
+  /// source read (maximally fragmented I/O).
+  std::size_t buffer_bytes = 64 * 1024;
+
+  /// Verify payload CRCs (TF checks record CRCs by default).
+  bool verify_checksums = true;
+};
+
+class TFRecordReader {
+ public:
+  TFRecordReader(RandomAccessSource& source, ReaderOptions options = {});
+
+  /// Read the next record payload. Returns:
+  ///  - a payload on success,
+  ///  - NOT_FOUND-free empty optional wrapped as OUT_OF_RANGE? No:
+  ///    `Result` with OUT_OF_RANGE status signals clean end-of-file,
+  ///  - DATA_LOSS on corruption (CRC mismatch / torn frame).
+  Result<std::vector<std::byte>> ReadRecord();
+
+  /// True once the reader has consumed the final record.
+  [[nodiscard]] bool AtEnd() const noexcept { return at_end_; }
+
+  /// Records successfully returned so far.
+  [[nodiscard]] std::uint64_t records_read() const noexcept {
+    return records_read_;
+  }
+
+  /// Current byte offset into the file.
+  [[nodiscard]] std::uint64_t offset() const noexcept { return offset_; }
+
+ private:
+  /// Read exactly `dst.size()` bytes at offset_ (through the buffer when
+  /// enabled), advancing offset_. OUT_OF_RANGE on clean EOF at a record
+  /// boundary start, DATA_LOSS on EOF mid-frame.
+  Status ReadExact(std::span<std::byte> dst, bool at_record_start);
+
+  Result<std::size_t> BufferedRead(std::uint64_t offset,
+                                   std::span<std::byte> dst);
+
+  RandomAccessSource& source_;
+  ReaderOptions options_;
+  std::uint64_t offset_ = 0;
+  std::uint64_t records_read_ = 0;
+  bool at_end_ = false;
+
+  // Read-ahead buffer state.
+  std::vector<std::byte> buffer_;
+  std::uint64_t buffer_start_ = 0;
+  std::size_t buffer_len_ = 0;
+};
+
+}  // namespace monarch::tfrecord

@@ -1,0 +1,71 @@
+#include "tfrecord/recordio.h"
+
+#include "tfrecord/format.h"
+
+namespace monarch::tfrecord {
+
+Status RecordIoWriter::Append(std::span<const std::byte> payload) {
+  if (payload.size() > kRecordIoMaxLength) {
+    return InvalidArgumentError(
+        "RecordIO payload exceeds the 29-bit length field");
+  }
+  const std::size_t start = buffer_.size();
+  buffer_.resize(start + RecordIoFramedSize(payload.size()));
+
+  std::byte* p = buffer_.data() + start;
+  StoreLe32(kRecordIoMagic, p);
+  // cflag 0 (complete record) in the top 3 bits.
+  StoreLe32(static_cast<std::uint32_t>(payload.size()), p + 4);
+  std::copy(payload.begin(), payload.end(), p + kRecordIoHeaderBytes);
+  // Remaining bytes are already zero from resize() — the pad.
+  ++count_;
+  return Status::Ok();
+}
+
+Status RecordIoWriter::Flush(storage::StorageEngine& engine,
+                             const std::string& path) {
+  MONARCH_RETURN_IF_ERROR(engine.Write(path, buffer_));
+  buffer_.clear();
+  count_ = 0;
+  return Status::Ok();
+}
+
+Result<std::vector<std::byte>> RecordIoReader::ReadRecord() {
+  if (at_end_) {
+    return OutOfRangeError("end of RecordIO file '" + source_.Name() + "'");
+  }
+
+  std::byte header[kRecordIoHeaderBytes];
+  MONARCH_ASSIGN_OR_RETURN(const std::size_t n,
+                           source_.ReadAt(offset_, header));
+  if (n == 0) {
+    at_end_ = true;
+    return OutOfRangeError("end of RecordIO file '" + source_.Name() + "'");
+  }
+  if (n < kRecordIoHeaderBytes) {
+    return DataLossError("torn RecordIO header at offset " +
+                         std::to_string(offset_));
+  }
+  if (LoadLe32(header) != kRecordIoMagic) {
+    return DataLossError("bad RecordIO magic at offset " +
+                         std::to_string(offset_));
+  }
+  const std::uint32_t lrecord = LoadLe32(header + 4);
+  const std::uint32_t length = lrecord & kRecordIoMaxLength;
+
+  std::vector<std::byte> payload(length);
+  if (length > 0) {
+    MONARCH_ASSIGN_OR_RETURN(
+        const std::size_t got,
+        source_.ReadAt(offset_ + kRecordIoHeaderBytes, payload));
+    if (got < length) {
+      return DataLossError("torn RecordIO payload at offset " +
+                           std::to_string(offset_));
+    }
+  }
+  offset_ += RecordIoFramedSize(length);
+  ++records_read_;
+  return payload;
+}
+
+}  // namespace monarch::tfrecord

@@ -1,0 +1,81 @@
+// MXNet RecordIO wire format.
+//
+// The paper lists MXNet's RecordIO next to TFRecords as the packed
+// formats DL frameworks use (§I); MONARCH is format-agnostic because it
+// intercepts below the record layer. Supporting a second real format
+// demonstrates that: the same middleware serves both framings untouched.
+//
+// A RecordIO file is a sequence of 4-byte-aligned records:
+//
+//   uint32  kMagic (0xced7230a, little-endian)
+//   uint32  lrecord      — cflag in the top 3 bits, payload length in
+//                          the bottom 29 bits
+//   byte[length] payload
+//   byte[pad]    zero padding to the next 4-byte boundary
+//
+// Only complete records (cflag 0) are produced by the writer; the reader
+// accepts any cflag but does not reassemble multi-part records (the
+// dataset generator never emits them).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "storage/storage_engine.h"
+#include "tfrecord/random_access_source.h"
+#include "util/status.h"
+
+namespace monarch::tfrecord {
+
+inline constexpr std::uint32_t kRecordIoMagic = 0xCED7230AU;
+inline constexpr std::size_t kRecordIoHeaderBytes = 8;
+inline constexpr std::uint32_t kRecordIoMaxLength = (1U << 29) - 1;
+
+/// Bytes a payload occupies on disk, padding included.
+constexpr std::uint64_t RecordIoFramedSize(std::uint64_t payload) noexcept {
+  const std::uint64_t unpadded = kRecordIoHeaderBytes + payload;
+  return (unpadded + 3) & ~std::uint64_t{3};
+}
+
+/// Buffers framed records; Flush writes the file image to an engine.
+class RecordIoWriter {
+ public:
+  /// INVALID_ARGUMENT if payload exceeds the 29-bit length field.
+  Status Append(std::span<const std::byte> payload);
+
+  [[nodiscard]] std::size_t record_count() const noexcept { return count_; }
+  [[nodiscard]] std::uint64_t byte_size() const noexcept {
+    return buffer_.size();
+  }
+  [[nodiscard]] std::span<const std::byte> contents() const noexcept {
+    return buffer_;
+  }
+
+  Status Flush(storage::StorageEngine& engine, const std::string& path);
+
+ private:
+  std::vector<std::byte> buffer_;
+  std::size_t count_ = 0;
+};
+
+/// Sequential record iterator; OUT_OF_RANGE at clean EOF, DATA_LOSS on a
+/// bad magic / torn frame.
+class RecordIoReader {
+ public:
+  explicit RecordIoReader(RandomAccessSource& source) : source_(source) {}
+
+  Result<std::vector<std::byte>> ReadRecord();
+
+  [[nodiscard]] bool AtEnd() const noexcept { return at_end_; }
+  [[nodiscard]] std::uint64_t records_read() const noexcept {
+    return records_read_;
+  }
+
+ private:
+  RandomAccessSource& source_;
+  std::uint64_t offset_ = 0;
+  std::uint64_t records_read_ = 0;
+  bool at_end_ = false;
+};
+
+}  // namespace monarch::tfrecord

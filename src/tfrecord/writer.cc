@@ -1,0 +1,28 @@
+#include "tfrecord/writer.h"
+
+#include "tfrecord/format.h"
+
+namespace monarch::tfrecord {
+
+void TFRecordWriter::Append(std::span<const std::byte> payload) {
+  const std::size_t start = buffer_.size();
+  buffer_.resize(start + FramedSize(payload.size()));
+
+  std::byte* p = buffer_.data() + start;
+  EncodeHeader(payload.size(), {p, kHeaderBytes});
+  p += kHeaderBytes;
+  std::copy(payload.begin(), payload.end(), p);
+  p += payload.size();
+  StoreLe32(PayloadCrc(payload), p);
+  ++count_;
+}
+
+Status TFRecordWriter::Flush(storage::StorageEngine& engine,
+                             const std::string& path) {
+  MONARCH_RETURN_IF_ERROR(engine.Write(path, buffer_));
+  buffer_.clear();
+  count_ = 0;
+  return Status::Ok();
+}
+
+}  // namespace monarch::tfrecord

@@ -1,0 +1,45 @@
+// TFRecordWriter: buffers framed records and flushes the finished file to
+// a storage engine. Files are written whole (the dataset generator packs
+// a fixed sample count per file, like ImageNet->TFRecord conversion).
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "storage/storage_engine.h"
+#include "util/status.h"
+
+namespace monarch::tfrecord {
+
+class TFRecordWriter {
+ public:
+  TFRecordWriter() = default;
+
+  /// Frame `payload` and append it to the in-memory file image.
+  void Append(std::span<const std::byte> payload);
+
+  /// Number of records appended so far.
+  [[nodiscard]] std::size_t record_count() const noexcept { return count_; }
+
+  /// Current file-image size in bytes.
+  [[nodiscard]] std::uint64_t byte_size() const noexcept {
+    return buffer_.size();
+  }
+
+  /// View of the encoded file image.
+  [[nodiscard]] std::span<const std::byte> contents() const noexcept {
+    return buffer_;
+  }
+
+  /// Write the file image to `engine` under `path` and clear the buffer.
+  Status Flush(storage::StorageEngine& engine, const std::string& path);
+
+ private:
+  std::vector<std::byte> buffer_;
+  std::size_t count_ = 0;
+};
+
+}  // namespace monarch::tfrecord

@@ -1,0 +1,97 @@
+#include "util/byte_units.h"
+
+#include <array>
+#include <cctype>
+#include <charconv>
+#include <cmath>
+#include <cstdio>
+
+namespace monarch {
+
+namespace {
+
+struct Unit {
+  std::string_view suffix;
+  std::uint64_t multiplier;
+};
+
+// Longest-match-first so "KiB" wins over "B".
+constexpr std::array<Unit, 9> kUnits{{
+    {"TIB", kTiB}, {"GIB", kGiB}, {"MIB", kMiB}, {"KIB", kKiB},
+    {"T", kTiB},   {"G", kGiB},   {"M", kMiB},   {"K", kKiB},
+    {"B", 1},
+}};
+
+std::string ToUpperAscii(std::string_view in) {
+  std::string out;
+  out.reserve(in.size());
+  for (char c : in) {
+    out.push_back(static_cast<char>(
+        std::toupper(static_cast<unsigned char>(c))));
+  }
+  return out;
+}
+
+}  // namespace
+
+Result<std::uint64_t> ParseByteSize(std::string_view text) {
+  // Trim surrounding whitespace.
+  while (!text.empty() && std::isspace(static_cast<unsigned char>(text.front()))) {
+    text.remove_prefix(1);
+  }
+  while (!text.empty() && std::isspace(static_cast<unsigned char>(text.back()))) {
+    text.remove_suffix(1);
+  }
+  if (text.empty()) {
+    return InvalidArgumentError("empty byte-size string");
+  }
+
+  double magnitude = 0.0;
+  const char* begin = text.data();
+  const char* end = text.data() + text.size();
+  auto [rest, ec] = std::from_chars(begin, end, magnitude);
+  if (ec != std::errc{} || magnitude < 0.0) {
+    return InvalidArgumentError("bad byte-size magnitude: '" +
+                                std::string(text) + "'");
+  }
+
+  std::string_view suffix(rest, static_cast<std::size_t>(end - rest));
+  while (!suffix.empty() &&
+         std::isspace(static_cast<unsigned char>(suffix.front()))) {
+    suffix.remove_prefix(1);
+  }
+  if (suffix.empty()) {
+    return static_cast<std::uint64_t>(magnitude);
+  }
+
+  const std::string upper = ToUpperAscii(suffix);
+  for (const Unit& unit : kUnits) {
+    if (upper == unit.suffix) {
+      return static_cast<std::uint64_t>(
+          magnitude * static_cast<double>(unit.multiplier));
+    }
+  }
+  return InvalidArgumentError("unknown byte-size suffix: '" +
+                              std::string(suffix) + "'");
+}
+
+std::string FormatByteSize(std::uint64_t bytes) {
+  constexpr std::array<std::string_view, 5> kNames{"B", "KiB", "MiB", "GiB",
+                                                   "TiB"};
+  double value = static_cast<double>(bytes);
+  std::size_t idx = 0;
+  while (value >= 1024.0 && idx + 1 < kNames.size()) {
+    value /= 1024.0;
+    ++idx;
+  }
+  char buf[48];
+  if (idx == 0) {
+    std::snprintf(buf, sizeof buf, "%llu B",
+                  static_cast<unsigned long long>(bytes));
+  } else {
+    std::snprintf(buf, sizeof buf, "%.1f %s", value, kNames[idx].data());
+  }
+  return buf;
+}
+
+}  // namespace monarch

@@ -1,0 +1,30 @@
+// Byte-size literals, parsing, and formatting ("115MiB" <-> 120586240).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+#include "util/status.h"
+
+namespace monarch {
+
+inline constexpr std::uint64_t kKiB = 1024ULL;
+inline constexpr std::uint64_t kMiB = 1024ULL * kKiB;
+inline constexpr std::uint64_t kGiB = 1024ULL * kMiB;
+inline constexpr std::uint64_t kTiB = 1024ULL * kGiB;
+
+namespace literals {
+constexpr std::uint64_t operator""_KiB(unsigned long long v) { return v * kKiB; }
+constexpr std::uint64_t operator""_MiB(unsigned long long v) { return v * kMiB; }
+constexpr std::uint64_t operator""_GiB(unsigned long long v) { return v * kGiB; }
+}  // namespace literals
+
+/// Parse "512", "64KiB", "100 MiB", "1.5GiB" (case-insensitive, optional
+/// space, optional trailing "B"). Fractional values are rounded down.
+Result<std::uint64_t> ParseByteSize(std::string_view text);
+
+/// Render a byte count with a binary-unit suffix, e.g. "100.0 MiB".
+std::string FormatByteSize(std::uint64_t bytes);
+
+}  // namespace monarch

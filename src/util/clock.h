@@ -1,0 +1,59 @@
+// Time helpers: monotonic stopwatch, precise sleeping, and duration types
+// shared by the device models and the training simulator.
+#pragma once
+
+#include <chrono>
+#include <cstdint>
+#include <thread>
+
+namespace monarch {
+
+using SteadyClock = std::chrono::steady_clock;
+using TimePoint = SteadyClock::time_point;
+using Duration = std::chrono::nanoseconds;
+
+inline constexpr Duration kZeroDuration = Duration::zero();
+
+inline Duration Micros(std::int64_t us) {
+  return std::chrono::duration_cast<Duration>(std::chrono::microseconds(us));
+}
+inline Duration Millis(std::int64_t ms) {
+  return std::chrono::duration_cast<Duration>(std::chrono::milliseconds(ms));
+}
+inline double ToSeconds(Duration d) {
+  return std::chrono::duration<double>(d).count();
+}
+inline Duration FromSeconds(double s) {
+  return std::chrono::duration_cast<Duration>(std::chrono::duration<double>(s));
+}
+
+/// Monotonic elapsed-time measurement.
+class Stopwatch {
+ public:
+  Stopwatch() : start_(SteadyClock::now()) {}
+
+  void Restart() { start_ = SteadyClock::now(); }
+
+  [[nodiscard]] Duration Elapsed() const { return SteadyClock::now() - start_; }
+  [[nodiscard]] double ElapsedSeconds() const { return ToSeconds(Elapsed()); }
+
+ private:
+  TimePoint start_;
+};
+
+/// Sleep that stays accurate for sub-millisecond waits: sleeps the bulk,
+/// spins the tail. Device models issue many ~10-100us waits where plain
+/// sleep_for overshoots badly under CFS.
+inline void PreciseSleep(Duration d) {
+  if (d <= kZeroDuration) return;
+  const TimePoint deadline = SteadyClock::now() + d;
+  constexpr Duration kSpinThreshold = std::chrono::microseconds(120);
+  if (d > kSpinThreshold) {
+    std::this_thread::sleep_for(d - kSpinThreshold);
+  }
+  while (SteadyClock::now() < deadline) {
+    std::this_thread::yield();
+  }
+}
+
+}  // namespace monarch

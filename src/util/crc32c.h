@@ -1,0 +1,39 @@
+// CRC-32C (Castagnoli, polynomial 0x1EDC6F41) — software slice-by-8.
+//
+// The TFRecord wire format frames every record with masked CRC32C
+// checksums of both the length field and the payload; this module provides
+// the checksum and the mask/unmask transform TensorFlow applies so our
+// files are bit-compatible with real TFRecords.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <span>
+
+namespace monarch {
+
+/// CRC32C of `data`, optionally extending a previous crc (pass the prior
+/// return value as `crc` to checksum data in chunks).
+std::uint32_t Crc32c(std::span<const std::byte> data,
+                     std::uint32_t crc = 0) noexcept;
+
+inline std::uint32_t Crc32c(const void* data, std::size_t n,
+                            std::uint32_t crc = 0) noexcept {
+  return Crc32c(
+      std::span<const std::byte>(static_cast<const std::byte*>(data), n), crc);
+}
+
+/// TensorFlow's masked CRC: rotate and add a constant so that CRCs stored
+/// alongside the data they cover don't collide with CRCs *of* that data.
+constexpr std::uint32_t kCrcMaskDelta = 0xA282EAD8U;
+
+constexpr std::uint32_t MaskCrc(std::uint32_t crc) noexcept {
+  return ((crc >> 15) | (crc << 17)) + kCrcMaskDelta;
+}
+
+constexpr std::uint32_t UnmaskCrc(std::uint32_t masked) noexcept {
+  const std::uint32_t rot = masked - kCrcMaskDelta;
+  return (rot >> 17) | (rot << 15);
+}
+
+}  // namespace monarch

@@ -1,0 +1,127 @@
+#include "util/histogram.h"
+
+#include <algorithm>
+#include <bit>
+#include <cmath>
+#include <cstdio>
+
+namespace monarch {
+
+void LatencyHistogram::Record(Duration latency) noexcept {
+  const auto us = static_cast<std::uint64_t>(std::max<std::int64_t>(
+      0, std::chrono::duration_cast<std::chrono::microseconds>(latency)
+             .count()));
+  RecordMicros(us);
+}
+
+void LatencyHistogram::RecordMicros(std::uint64_t us) noexcept {
+  buckets_[BucketIndex(us)].fetch_add(1, std::memory_order_relaxed);
+  count_.fetch_add(1, std::memory_order_relaxed);
+  sum_us_.fetch_add(us, std::memory_order_relaxed);
+
+  std::uint64_t prev = min_us_.load(std::memory_order_relaxed);
+  while (us < prev &&
+         !min_us_.compare_exchange_weak(prev, us, std::memory_order_relaxed)) {
+  }
+  prev = max_us_.load(std::memory_order_relaxed);
+  while (us > prev &&
+         !max_us_.compare_exchange_weak(prev, us, std::memory_order_relaxed)) {
+  }
+}
+
+std::size_t LatencyHistogram::BucketIndex(std::uint64_t us) noexcept {
+  if (us < kSubBuckets) return static_cast<std::size_t>(us);
+  const int msb = 63 - std::countl_zero(us);
+  const int octave = msb - 1;  // values >= kSubBuckets=4 start at octave 1
+  const std::uint64_t sub = (us >> (msb - 2)) & (kSubBuckets - 1);
+  const std::size_t index =
+      static_cast<std::size_t>(octave) * kSubBuckets + sub;
+  return std::min(index, kBucketCount - 1);
+}
+
+std::uint64_t LatencyHistogram::BucketUpperBoundUs(std::size_t index) noexcept {
+  if (index < kSubBuckets) return index;
+  const std::size_t octave = index / kSubBuckets;
+  const std::size_t sub = index % kSubBuckets;
+  return ((sub + 1) << octave) + ((1ULL << octave) - 1);
+}
+
+LatencyHistogram::Snapshot LatencyHistogram::TakeSnapshot() const {
+  Snapshot snap;
+  snap.count = count_.load(std::memory_order_relaxed);
+  if (snap.count == 0) return snap;
+
+  snap.mean_us = static_cast<double>(sum_us_.load(std::memory_order_relaxed)) /
+                 static_cast<double>(snap.count);
+  snap.min_us = min_us_.load(std::memory_order_relaxed);
+  snap.max_us = max_us_.load(std::memory_order_relaxed);
+
+  // Percentiles from bucket counts.
+  std::vector<std::uint64_t> counts(kBucketCount);
+  std::uint64_t total = 0;
+  for (std::size_t i = 0; i < kBucketCount; ++i) {
+    counts[i] = buckets_[i].load(std::memory_order_relaxed);
+    total += counts[i];
+  }
+  auto percentile = [&](double q) -> std::uint64_t {
+    const auto target =
+        static_cast<std::uint64_t>(q * static_cast<double>(total));
+    std::uint64_t seen = 0;
+    for (std::size_t i = 0; i < kBucketCount; ++i) {
+      seen += counts[i];
+      if (seen > target) return BucketUpperBoundUs(i);
+    }
+    return snap.max_us;
+  };
+  snap.p50_us = percentile(0.50);
+  snap.p90_us = percentile(0.90);
+  snap.p99_us = percentile(0.99);
+  return snap;
+}
+
+void LatencyHistogram::Reset() noexcept {
+  for (auto& b : buckets_) b.store(0, std::memory_order_relaxed);
+  count_.store(0, std::memory_order_relaxed);
+  sum_us_.store(0, std::memory_order_relaxed);
+  min_us_.store(UINT64_MAX, std::memory_order_relaxed);
+  max_us_.store(0, std::memory_order_relaxed);
+}
+
+std::string LatencyHistogram::Snapshot::ToString() const {
+  char buf[160];
+  std::snprintf(buf, sizeof buf,
+                "n=%llu mean=%.1fus p50=%lluus p90=%lluus p99=%lluus "
+                "min=%lluus max=%lluus",
+                static_cast<unsigned long long>(count), mean_us,
+                static_cast<unsigned long long>(p50_us),
+                static_cast<unsigned long long>(p90_us),
+                static_cast<unsigned long long>(p99_us),
+                static_cast<unsigned long long>(min_us),
+                static_cast<unsigned long long>(max_us));
+  return buf;
+}
+
+void RunningSummary::Add(double sample) noexcept {
+  if (n_ == 0) {
+    min_ = sample;
+    max_ = sample;
+  } else {
+    min_ = std::min(min_, sample);
+    max_ = std::max(max_, sample);
+  }
+  ++n_;
+  const double delta = sample - mean_;
+  mean_ += delta / static_cast<double>(n_);
+  m2_ += delta * (sample - mean_);
+}
+
+double RunningSummary::variance() const noexcept {
+  if (n_ < 2) return 0.0;
+  return m2_ / static_cast<double>(n_ - 1);
+}
+
+double RunningSummary::stddev() const noexcept {
+  return std::sqrt(variance());
+}
+
+}  // namespace monarch

@@ -1,0 +1,79 @@
+// Lock-free-ish latency histogram with log-spaced buckets, plus a simple
+// running-summary accumulator. Used by the storage engines to report
+// per-operation latency distributions (the paper's variability claims are
+// about exactly these distributions).
+#pragma once
+
+#include <atomic>
+#include <array>
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "util/clock.h"
+
+namespace monarch {
+
+/// Histogram over microsecond latencies. Buckets are base-2 log-spaced
+/// with 4 sub-buckets per octave, covering [1us, ~68s]. Record() is
+/// wait-free (relaxed atomics); Snapshot() is approximate under
+/// concurrent writes, which is fine for reporting.
+class LatencyHistogram {
+ public:
+  static constexpr std::size_t kSubBuckets = 4;
+  static constexpr std::size_t kOctaves = 27;  // 2^27 us ~ 134 s
+  static constexpr std::size_t kBucketCount = kOctaves * kSubBuckets;
+
+  void Record(Duration latency) noexcept;
+  void RecordMicros(std::uint64_t us) noexcept;
+
+  struct Snapshot {
+    std::uint64_t count = 0;
+    double mean_us = 0;
+    std::uint64_t min_us = 0;
+    std::uint64_t max_us = 0;
+    std::uint64_t p50_us = 0;
+    std::uint64_t p90_us = 0;
+    std::uint64_t p99_us = 0;
+
+    [[nodiscard]] std::string ToString() const;
+  };
+
+  [[nodiscard]] Snapshot TakeSnapshot() const;
+
+  void Reset() noexcept;
+
+ private:
+  static std::size_t BucketIndex(std::uint64_t us) noexcept;
+  static std::uint64_t BucketUpperBoundUs(std::size_t index) noexcept;
+
+  std::array<std::atomic<std::uint64_t>, kBucketCount> buckets_{};
+  std::atomic<std::uint64_t> count_{0};
+  std::atomic<std::uint64_t> sum_us_{0};
+  std::atomic<std::uint64_t> min_us_{UINT64_MAX};
+  std::atomic<std::uint64_t> max_us_{0};
+};
+
+/// Welford mean/stddev accumulator for run-to-run summaries (the paper
+/// reports mean +/- stddev over 7 runs).
+class RunningSummary {
+ public:
+  void Add(double sample) noexcept;
+
+  [[nodiscard]] std::size_t count() const noexcept { return n_; }
+  [[nodiscard]] double mean() const noexcept { return mean_; }
+  [[nodiscard]] double variance() const noexcept;
+  [[nodiscard]] double stddev() const noexcept;
+  [[nodiscard]] double min() const noexcept { return min_; }
+  [[nodiscard]] double max() const noexcept { return max_; }
+
+ private:
+  std::size_t n_ = 0;
+  double mean_ = 0;
+  double m2_ = 0;
+  double min_ = 0;
+  double max_ = 0;
+};
+
+}  // namespace monarch

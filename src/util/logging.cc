@@ -1,0 +1,79 @@
+#include "util/logging.h"
+
+#include <atomic>
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <mutex>
+
+namespace monarch {
+
+namespace {
+
+std::atomic<int>& LevelFlag() {
+  static std::atomic<int> level = [] {
+    if (const char* env = std::getenv("MONARCH_LOG_LEVEL")) {
+      if (std::strcmp(env, "debug") == 0) return static_cast<int>(LogLevel::kDebug);
+      if (std::strcmp(env, "info") == 0) return static_cast<int>(LogLevel::kInfo);
+      if (std::strcmp(env, "warning") == 0) return static_cast<int>(LogLevel::kWarning);
+      if (std::strcmp(env, "error") == 0) return static_cast<int>(LogLevel::kError);
+    }
+    return static_cast<int>(LogLevel::kWarning);
+  }();
+  return level;
+}
+
+const char* LevelTag(LogLevel level) {
+  switch (level) {
+    case LogLevel::kDebug: return "D";
+    case LogLevel::kInfo: return "I";
+    case LogLevel::kWarning: return "W";
+    case LogLevel::kError: return "E";
+  }
+  return "?";
+}
+
+const char* Basename(const char* path) {
+  const char* slash = std::strrchr(path, '/');
+  return slash != nullptr ? slash + 1 : path;
+}
+
+std::mutex& EmitMutex() {
+  static std::mutex m;
+  return m;
+}
+
+}  // namespace
+
+void SetLogLevel(LogLevel level) noexcept {
+  LevelFlag().store(static_cast<int>(level), std::memory_order_relaxed);
+}
+
+LogLevel GetLogLevel() noexcept {
+  return static_cast<LogLevel>(LevelFlag().load(std::memory_order_relaxed));
+}
+
+namespace internal {
+
+LogMessage::LogMessage(LogLevel level, const char* file, int line)
+    : level_(level), file_(file), line_(line) {}
+
+LogMessage::~LogMessage() {
+  using namespace std::chrono;
+  const auto now = system_clock::now();
+  const auto secs = time_point_cast<seconds>(now);
+  const auto ms = duration_cast<milliseconds>(now - secs).count();
+  const std::time_t t = system_clock::to_time_t(now);
+  std::tm tm_buf{};
+  localtime_r(&t, &tm_buf);
+
+  std::lock_guard<std::mutex> lock(EmitMutex());
+  std::fprintf(stderr, "%s%02d:%02d:%02d.%03d %s:%d] %s\n", LevelTag(level_),
+               tm_buf.tm_hour, tm_buf.tm_min, tm_buf.tm_sec,
+               static_cast<int>(ms), Basename(file_), line_,
+               stream_.str().c_str());
+}
+
+}  // namespace internal
+}  // namespace monarch

@@ -1,0 +1,63 @@
+// Minimal leveled logging. Thread-safe line-at-a-time emission to stderr;
+// level settable at runtime (MONARCH_LOG_LEVEL env var or SetLogLevel).
+#pragma once
+
+#include <sstream>
+#include <string>
+
+namespace monarch {
+
+enum class LogLevel : int { kDebug = 0, kInfo = 1, kWarning = 2, kError = 3 };
+
+/// Global minimum level; messages below it are discarded.
+void SetLogLevel(LogLevel level) noexcept;
+LogLevel GetLogLevel() noexcept;
+
+namespace internal {
+
+/// Accumulates one log line and emits it (with timestamp, level, and
+/// source location) on destruction.
+class LogMessage {
+ public:
+  LogMessage(LogLevel level, const char* file, int line);
+  ~LogMessage();
+
+  LogMessage(const LogMessage&) = delete;
+  LogMessage& operator=(const LogMessage&) = delete;
+
+  template <typename T>
+  LogMessage& operator<<(const T& value) {
+    stream_ << value;
+    return *this;
+  }
+
+ private:
+  LogLevel level_;
+  const char* file_;
+  int line_;
+  std::ostringstream stream_;
+};
+
+/// Swallows the streamed expression when the level is filtered out.
+struct LogSink {
+  template <typename T>
+  LogSink& operator<<(const T&) { return *this; }
+};
+
+}  // namespace internal
+}  // namespace monarch
+
+#define MONARCH_LOG_ENABLED(level) \
+  (static_cast<int>(level) >= static_cast<int>(::monarch::GetLogLevel()))
+
+#define MONARCH_LOG(level)                                     \
+  if (!MONARCH_LOG_ENABLED(::monarch::LogLevel::level))        \
+    ::monarch::internal::LogSink{};                            \
+  else                                                         \
+    ::monarch::internal::LogMessage(::monarch::LogLevel::level, __FILE__, \
+                                    __LINE__)
+
+#define MLOG_DEBUG MONARCH_LOG(kDebug)
+#define MLOG_INFO MONARCH_LOG(kInfo)
+#define MLOG_WARN MONARCH_LOG(kWarning)
+#define MLOG_ERROR MONARCH_LOG(kError)

@@ -1,0 +1,86 @@
+// Deterministic, fast random number generation for simulations.
+//
+// Every stochastic component in the repo (contention model, dataset
+// generator, shuffling) takes an explicit seed so experiments are
+// reproducible run-to-run; nothing reads global entropy.
+#pragma once
+
+#include <cstdint>
+#include <limits>
+
+namespace monarch {
+
+/// SplitMix64: used to expand a single seed into stream seeds.
+class SplitMix64 {
+ public:
+  explicit constexpr SplitMix64(std::uint64_t seed) noexcept : state_(seed) {}
+
+  constexpr std::uint64_t Next() noexcept {
+    std::uint64_t z = (state_ += 0x9E3779B97F4A7C15ULL);
+    z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ULL;
+    z = (z ^ (z >> 27)) * 0x94D049BB133111EBULL;
+    return z ^ (z >> 31);
+  }
+
+ private:
+  std::uint64_t state_;
+};
+
+/// xoshiro256**: the workhorse generator. Satisfies
+/// std::uniform_random_bit_generator so it plugs into <random> and
+/// std::shuffle.
+class Xoshiro256 {
+ public:
+  using result_type = std::uint64_t;
+
+  explicit Xoshiro256(std::uint64_t seed) noexcept {
+    SplitMix64 sm(seed);
+    for (auto& s : state_) s = sm.Next();
+  }
+
+  static constexpr result_type min() noexcept { return 0; }
+  static constexpr result_type max() noexcept {
+    return std::numeric_limits<result_type>::max();
+  }
+
+  result_type operator()() noexcept {
+    const std::uint64_t result = Rotl(state_[1] * 5, 7) * 9;
+    const std::uint64_t t = state_[1] << 17;
+    state_[2] ^= state_[0];
+    state_[3] ^= state_[1];
+    state_[1] ^= state_[2];
+    state_[0] ^= state_[3];
+    state_[2] ^= t;
+    state_[3] = Rotl(state_[3], 45);
+    return result;
+  }
+
+  /// Uniform double in [0, 1).
+  double NextDouble() noexcept {
+    return static_cast<double>((*this)() >> 11) * 0x1.0p-53;
+  }
+
+  /// Uniform integer in [0, bound) without modulo bias (Lemire's method).
+  std::uint64_t NextBounded(std::uint64_t bound) noexcept {
+    if (bound == 0) return 0;
+    // 128-bit multiply-shift keeps the distribution exact for our use
+    // (bounds are far below 2^63, so the rare rejection loop is cheap).
+    while (true) {
+      const std::uint64_t x = (*this)();
+      const __uint128_t m = static_cast<__uint128_t>(x) * bound;
+      const std::uint64_t lo = static_cast<std::uint64_t>(m);
+      if (lo >= bound || lo >= static_cast<std::uint64_t>(-bound) % bound) {
+        return static_cast<std::uint64_t>(m >> 64);
+      }
+    }
+  }
+
+ private:
+  static constexpr std::uint64_t Rotl(std::uint64_t x, int k) noexcept {
+    return (x << k) | (x >> (64 - k));
+  }
+
+  std::uint64_t state_[4];
+};
+
+}  // namespace monarch

@@ -1,0 +1,41 @@
+// ASCII table / CSV rendering for the benchmark harnesses. Every figure
+// and table reproduction prints both a human-readable table and a CSV
+// block so results can be re-plotted.
+#pragma once
+
+#include <cstddef>
+#include <ostream>
+#include <string>
+#include <vector>
+
+namespace monarch {
+
+class Table {
+ public:
+  explicit Table(std::vector<std::string> headers)
+      : headers_(std::move(headers)) {}
+
+  /// Append a row; it must have exactly as many cells as there are headers.
+  void AddRow(std::vector<std::string> cells);
+
+  /// Convenience: formats doubles with `precision` decimals.
+  static std::string Num(double value, int precision = 1);
+  static std::string Pct(double fraction, int precision = 1);
+
+  /// Boxed, column-aligned rendering.
+  void PrintAscii(std::ostream& os) const;
+
+  /// `header1,header2,...` then one line per row.
+  void PrintCsv(std::ostream& os) const;
+
+  [[nodiscard]] std::size_t row_count() const noexcept { return rows_.size(); }
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+/// Section banner used by bench binaries: `==== title ====`.
+void PrintBanner(std::ostream& os, const std::string& title);
+
+}  // namespace monarch

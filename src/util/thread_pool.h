@@ -1,0 +1,73 @@
+// Fixed-size thread pool in the style of CTPL (the library the MONARCH
+// prototype used for its placement handler, §III-C), re-implemented with
+// C++20 primitives.
+//
+// Semantics the placement handler relies on:
+//  - Submit() never blocks the caller; tasks queue unboundedly.
+//  - Tasks run in FIFO order across the worker set.
+//  - Drain() blocks until every task submitted so far has finished —
+//    used by tests and by Monarch shutdown so no background copy is torn.
+//  - The destructor drains by default (fail-safe against lost writes).
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <functional>
+#include <future>
+#include <mutex>
+#include <thread>
+#include <type_traits>
+#include <vector>
+
+namespace monarch {
+
+class ThreadPool {
+ public:
+  /// Spawns `num_threads` workers (at least 1).
+  explicit ThreadPool(std::size_t num_threads);
+
+  /// Drains outstanding tasks, then joins all workers.
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  /// Enqueue fire-and-forget work.
+  void Submit(std::function<void()> task);
+
+  /// Enqueue work and get a future for its result.
+  template <typename F, typename R = std::invoke_result_t<F&>>
+  std::future<R> Async(F&& fn) {
+    auto task = std::make_shared<std::packaged_task<R()>>(std::forward<F>(fn));
+    std::future<R> result = task->get_future();
+    Submit([task]() mutable { (*task)(); });
+    return result;
+  }
+
+  /// Block until the queue is empty and no task is executing.
+  void Drain();
+
+  /// Stop accepting work, finish queued tasks, join workers. Idempotent.
+  void Shutdown();
+
+  [[nodiscard]] std::size_t num_threads() const noexcept {
+    return workers_.size();
+  }
+
+  /// Tasks currently queued (excludes tasks mid-execution). Monitoring only.
+  [[nodiscard]] std::size_t QueueDepth() const;
+
+ private:
+  void WorkerLoop();
+
+  mutable std::mutex mu_;
+  std::condition_variable work_available_;
+  std::condition_variable idle_;
+  std::deque<std::function<void()>> queue_;
+  std::size_t active_ = 0;    ///< tasks currently executing
+  bool stopping_ = false;
+  std::vector<std::thread> workers_;
+};
+
+}  // namespace monarch

@@ -1,0 +1,151 @@
+#include "workload/dataset_generator.h"
+
+#include <algorithm>
+#include <cstdio>
+
+#include "tfrecord/writer.h"
+#include "util/rng.h"
+
+namespace monarch::workload {
+
+namespace {
+
+/// Stable stream seed for (dataset seed, file, sample).
+std::uint64_t StreamSeed(std::uint64_t seed, std::uint64_t file_index,
+                         std::uint64_t sample_index) {
+  SplitMix64 sm(seed ^ (file_index * 0x9E3779B97F4A7C15ULL) ^
+                (sample_index + 1));
+  return sm.Next();
+}
+
+}  // namespace
+
+DatasetSpec DatasetSpec::ImageNet100GiB(double scale) {
+  DatasetSpec spec;
+  spec.name = "imagenet-100g";
+  spec.directory = "imagenet_100g";
+  // 900k images / 100 GiB in 1024 shards in the paper; scaled we keep the
+  // shard-oriented layout: 128 record files x 900 KiB-ish -> ~112 MiB of
+  // payload below the 115 MiB local quota, matching "fits on the SSD".
+  spec.num_files = std::max<std::uint64_t>(4, static_cast<std::uint64_t>(128 * scale));
+  spec.samples_per_file = 56;
+  spec.mean_sample_bytes = 16 * 1024;
+  spec.sample_size_jitter = 0.30;
+  spec.seed = 100;
+  return spec;
+}
+
+DatasetSpec DatasetSpec::ImageNet200GiB(double scale) {
+  DatasetSpec spec;
+  spec.name = "imagenet-200g";
+  spec.directory = "imagenet_200g";
+  // 3M images / 200 GiB in the paper; scaled: twice the 100G byte volume
+  // (~224 MiB) so roughly half the dataset exceeds the 115 MiB quota.
+  spec.num_files = std::max<std::uint64_t>(4, static_cast<std::uint64_t>(256 * scale));
+  spec.samples_per_file = 56;
+  spec.mean_sample_bytes = 16 * 1024;
+  spec.sample_size_jitter = 0.30;
+  spec.seed = 200;
+  return spec;
+}
+
+DatasetSpec DatasetSpec::Tiny() {
+  DatasetSpec spec;
+  spec.name = "tiny";
+  spec.directory = "tiny";
+  spec.num_files = 8;
+  spec.samples_per_file = 4;
+  spec.mean_sample_bytes = 2 * 1024;
+  spec.sample_size_jitter = 0.5;
+  spec.seed = 1;
+  return spec;
+}
+
+std::string RecordFilePath(const DatasetSpec& spec,
+                           std::uint64_t file_index) {
+  char buf[64];
+  std::snprintf(buf, sizeof buf, "/train-%05llu-of-%05llu.tfrecord",
+                static_cast<unsigned long long>(file_index),
+                static_cast<unsigned long long>(spec.num_files));
+  return spec.directory + buf;
+}
+
+std::vector<std::byte> SamplePayload(const DatasetSpec& spec,
+                                     std::uint64_t file_index,
+                                     std::uint64_t sample_index) {
+  Xoshiro256 rng(StreamSeed(spec.seed, file_index, sample_index));
+
+  // Jittered size, floor 64 bytes for the identity header.
+  const double jitter =
+      1.0 + spec.sample_size_jitter * (2.0 * rng.NextDouble() - 1.0);
+  const auto size = std::max<std::uint64_t>(
+      64, static_cast<std::uint64_t>(
+              static_cast<double>(spec.mean_sample_bytes) * jitter));
+
+  std::vector<std::byte> payload(size);
+  // Identity header: "MNRC" magic + file/sample ids, so any read path can
+  // verify it got the right sample.
+  payload[0] = std::byte{'M'};
+  payload[1] = std::byte{'N'};
+  payload[2] = std::byte{'R'};
+  payload[3] = std::byte{'C'};
+  for (int i = 0; i < 8; ++i) {
+    payload[4 + i] =
+        static_cast<std::byte>((file_index >> (8 * i)) & 0xFFU);
+    payload[12 + i] =
+        static_cast<std::byte>((sample_index >> (8 * i)) & 0xFFU);
+  }
+  // Pseudo-image body: deterministic noise (JPEG-like incompressible).
+  for (std::size_t i = 20; i < payload.size(); i += 8) {
+    const std::uint64_t word = rng();
+    const std::size_t n = std::min<std::size_t>(8, payload.size() - i);
+    for (std::size_t j = 0; j < n; ++j) {
+      payload[i + j] = static_cast<std::byte>((word >> (8 * j)) & 0xFFU);
+    }
+  }
+  return payload;
+}
+
+Result<DatasetManifest> GenerateDataset(storage::StorageEngine& engine,
+                                        const DatasetSpec& spec) {
+  if (spec.num_files == 0 || spec.samples_per_file == 0) {
+    return InvalidArgumentError("dataset spec must have files and samples");
+  }
+
+  DatasetManifest manifest;
+  manifest.spec = spec;
+  manifest.file_paths.reserve(spec.num_files);
+  manifest.file_sizes.reserve(spec.num_files);
+
+  for (std::uint64_t f = 0; f < spec.num_files; ++f) {
+    tfrecord::TFRecordWriter writer;
+    for (std::uint64_t s = 0; s < spec.samples_per_file; ++s) {
+      writer.Append(SamplePayload(spec, f, s));
+    }
+    const std::uint64_t framed_size = writer.byte_size();
+    const std::string path = RecordFilePath(spec, f);
+    MONARCH_RETURN_IF_ERROR(writer.Flush(engine, path));
+    manifest.file_paths.push_back(path);
+    manifest.file_sizes.push_back(framed_size);
+    manifest.total_bytes += framed_size;
+  }
+  return manifest;
+}
+
+Result<DatasetManifest> LoadManifest(storage::StorageEngine& engine,
+                                     const DatasetSpec& spec) {
+  MONARCH_ASSIGN_OR_RETURN(auto files, engine.ListFiles(spec.directory));
+  if (files.empty()) {
+    return NotFoundError("no dataset files under '" + spec.directory + "'");
+  }
+  DatasetManifest manifest;
+  manifest.spec = spec;
+  for (const auto& st : files) {
+    manifest.file_paths.push_back(st.path);
+    manifest.file_sizes.push_back(st.size);
+    manifest.total_bytes += st.size;
+  }
+  return manifest;
+}
+
+}  // namespace monarch::workload

@@ -1,0 +1,79 @@
+// Synthetic dataset generator.
+//
+// Produces ImageNet-like training datasets packed into real TFRecord
+// files: N samples of configurable (jittered) size distributed across M
+// record files, each sample a pseudo-image payload with an embedded
+// (file, sample) identity so readers can verify they received the right
+// bytes regardless of which storage tier served them.
+//
+// The paper's two datasets map onto generator specs at 1/1000 scale:
+//   - "100 GiB ImageNet-1k"  -> ~100 MiB, fits the local tier quota
+//   - "200 GiB ImageNet-1k"  -> ~200 MiB, exceeds the local tier quota
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "storage/storage_engine.h"
+#include "util/status.h"
+
+namespace monarch::workload {
+
+struct DatasetSpec {
+  std::string name = "dataset";
+  std::string directory = "dataset";   ///< engine-relative directory
+  std::uint64_t num_files = 64;        ///< record files ("shards")
+  std::uint64_t samples_per_file = 32;
+  std::uint64_t mean_sample_bytes = 8 * 1024;
+  double sample_size_jitter = 0.25;    ///< +- fraction of the mean
+  std::uint64_t seed = 7;
+
+  [[nodiscard]] std::uint64_t total_samples() const noexcept {
+    return num_files * samples_per_file;
+  }
+  /// Expected total payload bytes (framing overhead excluded).
+  [[nodiscard]] std::uint64_t approx_total_bytes() const noexcept {
+    return total_samples() * mean_sample_bytes;
+  }
+
+  /// Paper-dataset presets, scaled 1/1000. `scale` further multiplies the
+  /// file count for quick tests (default 1.0 = full bench scale).
+  static DatasetSpec ImageNet100GiB(double scale = 1.0);
+  static DatasetSpec ImageNet200GiB(double scale = 1.0);
+  /// Tiny dataset for unit tests and the quickstart example.
+  static DatasetSpec Tiny();
+};
+
+struct DatasetManifest {
+  DatasetSpec spec;
+  std::vector<std::string> file_paths;   ///< engine-relative record files
+  std::vector<std::uint64_t> file_sizes; ///< on-disk framed sizes
+  std::uint64_t total_bytes = 0;
+
+  [[nodiscard]] std::uint64_t num_files() const noexcept {
+    return file_paths.size();
+  }
+};
+
+/// Generate the dataset onto `engine` (typically the raw PFS directory
+/// before simulation starts — dataset staging is not part of any timed
+/// experiment). Deterministic in spec.seed.
+Result<DatasetManifest> GenerateDataset(storage::StorageEngine& engine,
+                                        const DatasetSpec& spec);
+
+/// Rebuild a manifest for an already-generated dataset by listing
+/// `spec.directory` on `engine` (sizes from stat; spec fields trusted).
+Result<DatasetManifest> LoadManifest(storage::StorageEngine& engine,
+                                     const DatasetSpec& spec);
+
+/// The deterministic payload for sample `sample_index` of file
+/// `file_index` — tests regenerate expected bytes with this.
+std::vector<std::byte> SamplePayload(const DatasetSpec& spec,
+                                     std::uint64_t file_index,
+                                     std::uint64_t sample_index);
+
+/// Engine-relative record-file path for `file_index`.
+std::string RecordFilePath(const DatasetSpec& spec, std::uint64_t file_index);
+
+}  // namespace monarch::workload

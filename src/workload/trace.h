@@ -1,0 +1,109 @@
+// I/O trace capture and replay.
+//
+// A trace records every (timestamp, op, path, offset, length) a pipeline
+// issues. Benches use traces for two things: verifying the access pattern
+// of the simulated pipeline matches the one the paper describes (random
+// file order, sequential chunks inside each record file), and replaying a
+// captured pattern against alternative hierarchy configurations without
+// re-running the full training simulation.
+#pragma once
+
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "storage/storage_engine.h"
+#include "util/clock.h"
+#include "util/status.h"
+
+namespace monarch::workload {
+
+enum class TraceOp : std::uint8_t { kRead, kWrite, kStat };
+
+struct TraceEvent {
+  Duration timestamp{};        ///< relative to trace start
+  TraceOp op = TraceOp::kRead;
+  std::string path;
+  std::uint64_t offset = 0;
+  std::uint64_t length = 0;
+};
+
+/// Thread-safe append-only trace recorder.
+class TraceRecorder {
+ public:
+  TraceRecorder() : start_(SteadyClock::now()) {}
+
+  void Record(TraceOp op, const std::string& path, std::uint64_t offset,
+              std::uint64_t length);
+
+  /// Take the accumulated events (sorted by timestamp) and reset.
+  [[nodiscard]] std::vector<TraceEvent> Drain();
+
+  [[nodiscard]] std::size_t Size() const;
+
+ private:
+  TimePoint start_;
+  mutable std::mutex mu_;
+  std::vector<TraceEvent> events_;
+};
+
+/// Serialize/parse a trace as CSV lines: `ts_us,op,path,offset,length`.
+std::string SerializeTrace(const std::vector<TraceEvent>& events);
+Result<std::vector<TraceEvent>> ParseTrace(const std::string& text);
+
+struct ReplayStats {
+  std::uint64_t ops = 0;
+  std::uint64_t bytes = 0;
+  double elapsed_seconds = 0;
+};
+
+/// Replay the read events of a trace against `engine` as fast as the
+/// engine allows (timestamps are ignored; the replay measures the
+/// engine's capacity for the pattern, not the original pacing).
+/// `parallelism` reader threads split the events round-robin.
+Result<ReplayStats> ReplayTrace(const std::vector<TraceEvent>& events,
+                                storage::StorageEngine& engine,
+                                int parallelism = 1);
+
+/// TracingEngine: decorator that records every op into a TraceRecorder.
+class TracingEngine final : public storage::StorageEngine {
+ public:
+  TracingEngine(storage::StorageEnginePtr inner, TraceRecorder& recorder)
+      : inner_(std::move(inner)), recorder_(recorder) {}
+
+  Result<std::size_t> Read(const std::string& path, std::uint64_t offset,
+                           std::span<std::byte> dst) override {
+    recorder_.Record(TraceOp::kRead, path, offset, dst.size());
+    return inner_->Read(path, offset, dst);
+  }
+  Status Write(const std::string& path,
+               std::span<const std::byte> data) override {
+    recorder_.Record(TraceOp::kWrite, path, 0, data.size());
+    return inner_->Write(path, data);
+  }
+  Status Delete(const std::string& path) override {
+    return inner_->Delete(path);
+  }
+  Result<std::uint64_t> FileSize(const std::string& path) override {
+    recorder_.Record(TraceOp::kStat, path, 0, 0);
+    return inner_->FileSize(path);
+  }
+  Result<bool> Exists(const std::string& path) override {
+    return inner_->Exists(path);
+  }
+  Result<std::vector<storage::FileStat>> ListFiles(
+      const std::string& dir) override {
+    return inner_->ListFiles(dir);
+  }
+  storage::IoStats& Stats() override { return inner_->Stats(); }
+  [[nodiscard]] std::string Name() const override {
+    return inner_->Name() + "+trace";
+  }
+
+ private:
+  storage::StorageEnginePtr inner_;
+  TraceRecorder& recorder_;
+};
+
+}  // namespace monarch::workload

@@ -1,0 +1,136 @@
+#include "core/metadata_container.h"
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <thread>
+
+#include "../test_support.h"
+#include "storage/memory_engine.h"
+
+namespace monarch::core {
+namespace {
+
+using monarch::testing::Bytes;
+
+TEST(MetadataContainerTest, StartsEmpty) {
+  MetadataContainer container;
+  EXPECT_EQ(0u, container.FileCount());
+  EXPECT_EQ(0u, container.TotalBytes());
+  EXPECT_EQ(nullptr, container.Lookup("x"));
+  EXPECT_FALSE(container.Contains("x"));
+}
+
+TEST(MetadataContainerTest, RegisterAndLookup) {
+  MetadataContainer container;
+  EXPECT_TRUE(container.Register("dataset/f1", 100, /*pfs_level=*/1));
+  EXPECT_FALSE(container.Register("dataset/f1", 100, 1)) << "no duplicates";
+
+  auto info = container.Lookup("dataset/f1");
+  ASSERT_NE(nullptr, info);
+  EXPECT_EQ("dataset/f1", info->name);
+  EXPECT_EQ(100u, info->size);
+  EXPECT_EQ(1, info->level.load());
+  EXPECT_EQ(PlacementState::kPfsOnly, info->state.load());
+  EXPECT_EQ(1u, container.FileCount());
+  EXPECT_EQ(100u, container.TotalBytes());
+}
+
+TEST(MetadataContainerTest, PopulateWalksDatasetDirectory) {
+  auto engine = std::make_shared<storage::MemoryEngine>();
+  ASSERT_OK(engine->Write("data/f1", Bytes("11")));
+  ASSERT_OK(engine->Write("data/f2", Bytes("2222")));
+  ASSERT_OK(engine->Write("elsewhere/f3", Bytes("x")));
+
+  MetadataContainer container;
+  auto count = container.Populate(*engine, "data", /*pfs_level=*/1);
+  ASSERT_OK(count);
+  EXPECT_EQ(2u, count.value());
+  EXPECT_EQ(2u, container.FileCount());
+  EXPECT_EQ(6u, container.TotalBytes());
+  EXPECT_TRUE(container.Contains("data/f1"));
+  EXPECT_FALSE(container.Contains("elsewhere/f3"));
+  EXPECT_GE(container.init_seconds(), 0.0);
+}
+
+TEST(MetadataContainerTest, PopulateMissingDirFails) {
+  auto engine = std::make_shared<storage::MemoryEngine>();
+  MetadataContainer container;
+  EXPECT_STATUS_CODE(StatusCode::kNotFound,
+                     container.Populate(*engine, "absent", 1));
+}
+
+TEST(MetadataContainerTest, SnapshotIsSortedAndComplete) {
+  MetadataContainer container;
+  container.Register("c", 3, 1);
+  container.Register("a", 1, 1);
+  container.Register("b", 2, 1);
+  const auto snapshot = container.Snapshot();
+  ASSERT_EQ(3u, snapshot.size());
+  EXPECT_EQ("a", snapshot[0].name);
+  EXPECT_EQ("b", snapshot[1].name);
+  EXPECT_EQ("c", snapshot[2].name);
+  EXPECT_EQ(2u, snapshot[1].size);
+  EXPECT_EQ(PlacementState::kPfsOnly, snapshot[0].state);
+}
+
+TEST(FileInfoTest, FetchStateMachine) {
+  FileInfo info("f", 10, /*pfs_level=*/1);
+  EXPECT_TRUE(info.TryBeginFetch());
+  EXPECT_FALSE(info.TryBeginFetch()) << "second claim must fail";
+  EXPECT_EQ(PlacementState::kFetching, info.state.load());
+
+  info.FinishFetch(0);
+  EXPECT_EQ(0, info.level.load());
+  EXPECT_EQ(PlacementState::kPlaced, info.state.load());
+  EXPECT_FALSE(info.TryBeginFetch()) << "placed files are never re-fetched";
+}
+
+TEST(FileInfoTest, AbortFetchRestoresOrPoisons) {
+  FileInfo transient("f", 10, 1);
+  ASSERT_TRUE(transient.TryBeginFetch());
+  transient.AbortFetch(/*permanently=*/false);
+  EXPECT_EQ(PlacementState::kPfsOnly, transient.state.load());
+  EXPECT_TRUE(transient.TryBeginFetch()) << "retry after transient failure";
+
+  FileInfo permanent("g", 10, 1);
+  ASSERT_TRUE(permanent.TryBeginFetch());
+  permanent.AbortFetch(/*permanently=*/true);
+  EXPECT_EQ(PlacementState::kUnplaceable, permanent.state.load());
+  EXPECT_FALSE(permanent.TryBeginFetch()) << "no retry once unplaceable";
+}
+
+TEST(FileInfoTest, ConcurrentClaimGrantsExactlyOne) {
+  for (int round = 0; round < 50; ++round) {
+    FileInfo info("f", 10, 1);
+    std::atomic<int> winners{0};
+    std::vector<std::thread> threads;
+    for (int t = 0; t < 8; ++t) {
+      threads.emplace_back([&] {
+        if (info.TryBeginFetch()) winners.fetch_add(1);
+      });
+    }
+    for (auto& t : threads) t.join();
+    EXPECT_EQ(1, winners.load());
+  }
+}
+
+TEST(MetadataContainerTest, ConcurrentRegisterAndLookup) {
+  MetadataContainer container;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < 4; ++t) {
+    threads.emplace_back([&container, t] {
+      for (int i = 0; i < 1000; ++i) {
+        container.Register("f" + std::to_string(t) + "_" + std::to_string(i),
+                           1, 1);
+        container.Lookup("f0_" + std::to_string(i));
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+  EXPECT_EQ(4000u, container.FileCount());
+  EXPECT_EQ(4000u, container.TotalBytes());
+}
+
+}  // namespace
+}  // namespace monarch::core

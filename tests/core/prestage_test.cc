@@ -1,0 +1,102 @@
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "../test_support.h"
+#include "core/monarch.h"
+#include "storage/memory_engine.h"
+
+namespace monarch::core {
+namespace {
+
+using monarch::testing::Bytes;
+
+class PrestageTest : public ::testing::Test {
+ protected:
+  Result<std::unique_ptr<Monarch>> Build(std::uint64_t quota, int files) {
+    pfs_ = std::make_shared<storage::MemoryEngine>("pfs");
+    local_ = std::make_shared<storage::MemoryEngine>("local");
+    for (int i = 0; i < files; ++i) {
+      EXPECT_TRUE(
+          pfs_->Write("data/f" + std::to_string(i), Bytes("0123456789"))
+              .ok());
+    }
+    MonarchConfig config;
+    config.cache_tiers.push_back(TierSpec{"local", local_, quota});
+    config.pfs = TierSpec{"pfs", pfs_, 0};
+    config.dataset_dir = "data";
+    config.placement.num_threads = 2;
+    return Monarch::Create(std::move(config));
+  }
+
+  std::shared_ptr<storage::MemoryEngine> pfs_;
+  std::shared_ptr<storage::MemoryEngine> local_;
+};
+
+TEST_F(PrestageTest, StagesEverythingBeforeAnyRead) {
+  auto monarch = Build(1000, 5);
+  ASSERT_OK(monarch);
+  EXPECT_EQ(5u, monarch.value()->Prestage());
+
+  const auto stats = monarch.value()->Stats();
+  EXPECT_EQ(5u, stats.placement.completed);
+  EXPECT_EQ(50u, stats.levels[0].occupancy_bytes);
+
+  // The very first framework read is already served locally — the
+  // §III-A option (i) behaviour.
+  std::vector<std::byte> buf(10);
+  ASSERT_OK(monarch.value()->Read("data/f0", 0, buf));
+  EXPECT_EQ(1u, monarch.value()->Stats().levels[0].reads);
+  EXPECT_EQ(0u, monarch.value()->Stats().levels[1].reads);
+}
+
+TEST_F(PrestageTest, RespectsQuota) {
+  auto monarch = Build(25, 5);  // room for 2 of 5 files
+  ASSERT_OK(monarch);
+  EXPECT_EQ(5u, monarch.value()->Prestage());
+  const auto stats = monarch.value()->Stats();
+  EXPECT_EQ(2u, stats.placement.completed);
+  EXPECT_EQ(3u, stats.placement.rejected_no_space);
+  EXPECT_LE(stats.levels[0].occupancy_bytes, 25u);
+}
+
+TEST_F(PrestageTest, IdempotentSecondCallSchedulesNothing) {
+  auto monarch = Build(1000, 4);
+  ASSERT_OK(monarch);
+  EXPECT_EQ(4u, monarch.value()->Prestage());
+  EXPECT_EQ(0u, monarch.value()->Prestage())
+      << "placed/unplaceable files must not re-stage";
+}
+
+TEST_F(PrestageTest, MixesWithDuringTrainingPlacement) {
+  auto monarch = Build(1000, 3);
+  ASSERT_OK(monarch);
+  // Read one file first (claims it through the normal read path)...
+  std::vector<std::byte> buf(10);
+  ASSERT_OK(monarch.value()->Read("data/f1", 0, buf));
+  monarch.value()->DrainPlacements();
+  // ...then prestage the rest: only the two unclaimed files schedule.
+  EXPECT_EQ(2u, monarch.value()->Prestage());
+  EXPECT_EQ(3u, monarch.value()->Stats().placement.completed);
+}
+
+TEST_F(PrestageTest, NonBlockingVariantEventuallyCompletes) {
+  auto monarch = Build(1000, 8);
+  ASSERT_OK(monarch);
+  EXPECT_EQ(8u, monarch.value()->Prestage(/*block=*/false));
+  monarch.value()->DrainPlacements();
+  EXPECT_EQ(8u, monarch.value()->Stats().placement.completed);
+}
+
+TEST_F(PrestageTest, PrestageBytesMatchPfsReads) {
+  auto monarch = Build(1000, 6);
+  ASSERT_OK(monarch);
+  monarch.value()->Prestage();
+  // Each staged file is read from the PFS exactly once (no double
+  // fetches, no retries on the healthy path).
+  EXPECT_EQ(6u, pfs_->Stats().Snapshot().read_ops);
+  EXPECT_EQ(60u, pfs_->Stats().Snapshot().bytes_read);
+}
+
+}  // namespace
+}  // namespace monarch::core

@@ -1,0 +1,97 @@
+#include "core/storage_driver.h"
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <thread>
+#include <vector>
+
+#include "../test_support.h"
+#include "storage/memory_engine.h"
+
+namespace monarch::core {
+namespace {
+
+using monarch::testing::Bytes;
+
+StorageDriver MakeDriver(std::uint64_t quota, bool read_only = false) {
+  return StorageDriver("tier", std::make_shared<storage::MemoryEngine>(),
+                       quota, read_only);
+}
+
+TEST(StorageDriverTest, ReserveWithinQuotaSucceeds) {
+  auto driver = MakeDriver(100);
+  EXPECT_TRUE(driver.Reserve(60));
+  EXPECT_EQ(60u, driver.occupancy_bytes());
+  EXPECT_EQ(40u, driver.free_bytes());
+  EXPECT_TRUE(driver.Reserve(40));
+  EXPECT_EQ(0u, driver.free_bytes());
+}
+
+TEST(StorageDriverTest, ReserveBeyondQuotaFails) {
+  auto driver = MakeDriver(100);
+  EXPECT_TRUE(driver.Reserve(80));
+  EXPECT_FALSE(driver.Reserve(21));
+  EXPECT_EQ(80u, driver.occupancy_bytes()) << "failed reserve must not leak";
+  EXPECT_TRUE(driver.Reserve(20));
+}
+
+TEST(StorageDriverTest, ReleaseReturnsQuota) {
+  auto driver = MakeDriver(100);
+  ASSERT_TRUE(driver.Reserve(100));
+  driver.Release(30);
+  EXPECT_EQ(70u, driver.occupancy_bytes());
+  EXPECT_TRUE(driver.Reserve(30));
+}
+
+TEST(StorageDriverTest, ZeroQuotaMeansUnlimited) {
+  auto driver = MakeDriver(0);
+  EXPECT_TRUE(driver.Reserve(1ULL << 40));
+  EXPECT_EQ(UINT64_MAX, MakeDriver(0).free_bytes());
+}
+
+TEST(StorageDriverTest, ReadOnlyTierRefusesReserveAndWrite) {
+  auto driver = MakeDriver(0, /*read_only=*/true);
+  EXPECT_FALSE(driver.Reserve(1));
+  EXPECT_STATUS_CODE(StatusCode::kFailedPrecondition,
+                     driver.Write("f", Bytes("x")));
+  EXPECT_STATUS_CODE(StatusCode::kFailedPrecondition, driver.Delete("f"));
+}
+
+TEST(StorageDriverTest, WriteReadDeletePassThrough) {
+  auto driver = MakeDriver(1000);
+  ASSERT_OK(driver.Write("f", Bytes("hello")));
+  std::vector<std::byte> buf(5);
+  auto read = driver.Read("f", 0, buf);
+  ASSERT_OK(read);
+  EXPECT_EQ(5u, read.value());
+  ASSERT_OK(driver.Delete("f"));
+  EXPECT_STATUS_CODE(StatusCode::kNotFound, driver.Read("f", 0, buf));
+}
+
+TEST(StorageDriverTest, ConcurrentReservesNeverOverflowQuota) {
+  auto driver = MakeDriver(10000);
+  std::atomic<std::uint64_t> granted{0};
+  std::vector<std::thread> threads;
+  for (int t = 0; t < 8; ++t) {
+    threads.emplace_back([&] {
+      for (int i = 0; i < 1000; ++i) {
+        if (driver.Reserve(7)) granted.fetch_add(7);
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+  EXPECT_EQ(granted.load(), driver.occupancy_bytes());
+  EXPECT_LE(driver.occupancy_bytes(), 10000u);
+  // 8000 attempts x 7 bytes = 56000 demanded; quota must be ~fully used.
+  EXPECT_GE(driver.occupancy_bytes(), 10000u - 6);
+}
+
+TEST(StorageDriverTest, FreeBytesSaturatesAtZero) {
+  auto driver = MakeDriver(10);
+  ASSERT_TRUE(driver.Reserve(10));
+  EXPECT_EQ(0u, driver.free_bytes());
+}
+
+}  // namespace
+}  // namespace monarch::core

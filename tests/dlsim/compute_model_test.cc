@@ -1,0 +1,66 @@
+#include "dlsim/compute_model.h"
+
+#include <gtest/gtest.h>
+
+#include "util/clock.h"
+
+namespace monarch::dlsim {
+namespace {
+
+TEST(ModelProfileTest, PresetsEstablishPaperRegimes) {
+  const auto lenet = ModelProfile::LeNet();
+  const auto alexnet = ModelProfile::AlexNet();
+  const auto resnet = ModelProfile::ResNet50();
+
+  // Step-time ordering: LeNet << AlexNet << ResNet-50 — the axis that
+  // makes LeNet I/O-bound and ResNet-50 compute-bound in the paper.
+  EXPECT_LT(lenet.step_time, alexnet.step_time);
+  EXPECT_LT(alexnet.step_time, resnet.step_time);
+
+  // LeNet leans hardest on CPU preprocessing (highest CPU% in §II).
+  EXPECT_GE(lenet.preprocess_per_sample, alexnet.preprocess_per_sample);
+  EXPECT_GT(alexnet.preprocess_per_sample, resnet.preprocess_per_sample);
+
+  EXPECT_EQ("lenet", lenet.name);
+  EXPECT_EQ("alexnet", alexnet.name);
+  EXPECT_EQ("resnet50", resnet.name);
+}
+
+TEST(ComputeEngineTest, StepOccupiesStepTime) {
+  ModelProfile profile;
+  profile.step_time = Millis(20);
+  ComputeEngine engine(profile, 4);
+
+  const Stopwatch timer;
+  engine.Step(256);
+  EXPECT_GE(timer.Elapsed(), Millis(18));
+  EXPECT_EQ(1u, engine.steps());
+  EXPECT_EQ(Millis(20), engine.busy_time());
+}
+
+TEST(ComputeEngineTest, BusyTimeAccumulates) {
+  ModelProfile profile;
+  profile.step_time = Millis(1);
+  ComputeEngine engine(profile, 4);
+  for (int i = 0; i < 5; ++i) engine.Step(32);
+  EXPECT_EQ(5u, engine.steps());
+  EXPECT_EQ(Millis(5), engine.busy_time());
+}
+
+TEST(ComputeEngineTest, ResetAccountingClears) {
+  ModelProfile profile;
+  profile.step_time = Millis(1);
+  ComputeEngine engine(profile, 2);
+  engine.Step(8);
+  engine.ResetAccounting();
+  EXPECT_EQ(0u, engine.steps());
+  EXPECT_EQ(kZeroDuration, engine.busy_time());
+}
+
+TEST(ComputeEngineTest, ReportsGpuCount) {
+  ComputeEngine engine(ModelProfile::LeNet(), 4);
+  EXPECT_EQ(4, engine.num_gpus());
+}
+
+}  // namespace
+}  // namespace monarch::dlsim

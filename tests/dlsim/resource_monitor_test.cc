@@ -1,0 +1,74 @@
+#include "dlsim/resource_monitor.h"
+
+#include <gtest/gtest.h>
+
+#include <thread>
+#include <vector>
+
+namespace monarch::dlsim {
+namespace {
+
+TEST(ResourceMonitorTest, NoActivityIsZeroUtilisation) {
+  ResourceMonitor monitor(4, 2);
+  const auto report = monitor.Report(Millis(100));
+  EXPECT_DOUBLE_EQ(0.0, report.cpu);
+  EXPECT_DOUBLE_EQ(0.0, report.gpu);
+  EXPECT_EQ(0, report.peak_memory_bytes);
+}
+
+TEST(ResourceMonitorTest, ZeroWallIsSafe) {
+  ResourceMonitor monitor(1, 1);
+  monitor.AddBusy(Resource::kCpu, Millis(5));
+  const auto report = monitor.Report(kZeroDuration);
+  EXPECT_DOUBLE_EQ(0.0, report.cpu);
+}
+
+TEST(ResourceMonitorTest, UtilisationIsBusyOverSlotTime) {
+  ResourceMonitor monitor(/*cpu_slots=*/4, /*gpu_slots=*/2);
+  // 200ms busy across 4 CPU slots over a 100ms window: 50%.
+  monitor.AddBusy(Resource::kCpu, Millis(200));
+  // 100ms of GPU busy on 2 GPUs over 100ms: 50%.
+  monitor.AddBusy(Resource::kGpu, Millis(100));
+  const auto report = monitor.Report(Millis(100));
+  EXPECT_NEAR(0.5, report.cpu, 1e-9);
+  EXPECT_NEAR(0.5, report.gpu, 1e-9);
+}
+
+TEST(ResourceMonitorTest, MemoryPeakTracksHighWater) {
+  ResourceMonitor monitor(1, 1);
+  monitor.AddMemory(100);
+  monitor.AddMemory(200);
+  monitor.AddMemory(-250);
+  monitor.AddMemory(50);
+  const auto report = monitor.Report(Millis(10));
+  EXPECT_EQ(300, report.peak_memory_bytes);
+}
+
+TEST(ResourceMonitorTest, ResetKeepsCurrentMemoryAsNewPeak) {
+  ResourceMonitor monitor(1, 1);
+  monitor.AddMemory(500);
+  monitor.AddMemory(-400);  // current 100, peak 500
+  monitor.Reset();
+  EXPECT_EQ(100, monitor.Report(Millis(1)).peak_memory_bytes);
+}
+
+TEST(ResourceMonitorTest, ConcurrentAccountingSums) {
+  ResourceMonitor monitor(8, 1);
+  std::vector<std::thread> threads;
+  for (int t = 0; t < 8; ++t) {
+    threads.emplace_back([&monitor] {
+      for (int i = 0; i < 1000; ++i) {
+        monitor.AddBusy(Resource::kCpu, Micros(10));
+        monitor.AddMemory(1);
+        monitor.AddMemory(-1);
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+  // 8 threads x 1000 x 10us = 80ms across 8 slots over a 10ms window = 1.0
+  const auto report = monitor.Report(Millis(10));
+  EXPECT_NEAR(1.0, report.cpu, 1e-9);
+}
+
+}  // namespace
+}  // namespace monarch::dlsim

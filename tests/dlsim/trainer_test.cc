@@ -1,0 +1,131 @@
+#include "dlsim/trainer.h"
+
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "../test_support.h"
+#include "storage/memory_engine.h"
+#include "workload/dataset_generator.h"
+
+namespace monarch::dlsim {
+namespace {
+
+class TrainerTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    engine_ = std::make_shared<storage::MemoryEngine>();
+    spec_ = workload::DatasetSpec::Tiny();
+    auto manifest = workload::GenerateDataset(*engine_, spec_);
+    ASSERT_OK(manifest);
+    files_ = manifest.value().file_paths;
+  }
+
+  TrainerConfig FastConfig(int epochs = 2) {
+    TrainerConfig config;
+    config.model.name = "test-model";
+    config.model.step_time = Micros(100);
+    config.model.preprocess_per_sample = Micros(10);
+    config.epochs = epochs;
+    config.batch_size = 8;
+    config.num_gpus = 2;
+    config.loader.reader_threads = 2;
+    config.loader.prefetch_samples = 16;
+    return config;
+  }
+
+  std::shared_ptr<storage::MemoryEngine> engine_;
+  workload::DatasetSpec spec_;
+  std::vector<std::string> files_;
+};
+
+TEST_F(TrainerTest, RunsConfiguredEpochs) {
+  Trainer trainer(files_, std::make_unique<EngineOpener>(engine_),
+                  FastConfig(3));
+  auto result = trainer.Train();
+  ASSERT_OK(result);
+  ASSERT_EQ(3u, result.value().epochs.size());
+  for (int e = 0; e < 3; ++e) {
+    const auto& epoch = result.value().epochs[static_cast<std::size_t>(e)];
+    EXPECT_EQ(e + 1, epoch.epoch);
+    EXPECT_EQ(spec_.total_samples(), epoch.samples);
+    EXPECT_GT(epoch.wall_seconds, 0.0);
+  }
+  EXPECT_NEAR(result.value().total_seconds,
+              result.value().EpochSeconds(1) + result.value().EpochSeconds(2) +
+                  result.value().EpochSeconds(3),
+              1e-9);
+}
+
+TEST_F(TrainerTest, StepCountMatchesBatchMath) {
+  Trainer trainer(files_, std::make_unique<EngineOpener>(engine_),
+                  FastConfig(1));
+  auto result = trainer.Train();
+  ASSERT_OK(result);
+  // 32 samples at batch 8 = exactly 4 steps.
+  EXPECT_EQ(4u, result.value().epochs[0].steps);
+}
+
+TEST_F(TrainerTest, PartialFinalBatchStillSteps) {
+  auto config = FastConfig(1);
+  config.batch_size = 5;  // 32 samples -> 6 full + 1 partial = 7 steps
+  Trainer trainer(files_, std::make_unique<EngineOpener>(engine_), config);
+  auto result = trainer.Train();
+  ASSERT_OK(result);
+  EXPECT_EQ(7u, result.value().epochs[0].steps);
+}
+
+TEST_F(TrainerTest, UtilisationsWithinBounds) {
+  Trainer trainer(files_, std::make_unique<EngineOpener>(engine_),
+                  FastConfig(1));
+  auto result = trainer.Train();
+  ASSERT_OK(result);
+  const auto& epoch = result.value().epochs[0];
+  EXPECT_GE(epoch.cpu_utilisation, 0.0);
+  EXPECT_LE(epoch.cpu_utilisation, 1.05);
+  EXPECT_GT(epoch.gpu_utilisation, 0.0);
+  EXPECT_LE(epoch.gpu_utilisation, 1.05);
+  EXPECT_GE(epoch.peak_memory_bytes, 0);
+}
+
+TEST_F(TrainerTest, ComputeBoundModelDominatedByStepTime) {
+  auto config = FastConfig(1);
+  config.model.step_time = Millis(20);  // 4 steps x 20ms = 80ms floor
+  Trainer trainer(files_, std::make_unique<EngineOpener>(engine_), config);
+  auto result = trainer.Train();
+  ASSERT_OK(result);
+  EXPECT_GE(result.value().epochs[0].wall_seconds, 0.078);
+  EXPECT_GT(result.value().epochs[0].gpu_utilisation, 0.5);
+}
+
+TEST_F(TrainerTest, OpenerEpochHookSeesEveryEpoch) {
+  struct CountingOpener final : RecordFileOpener {
+    explicit CountingOpener(storage::StorageEnginePtr engine)
+        : inner(std::move(engine)) {}
+    Result<tfrecord::RandomAccessSourcePtr> Open(
+        const std::string& path) override {
+      return inner.Open(path);
+    }
+    void OnEpochStart(int epoch) override { epochs_seen.push_back(epoch); }
+    [[nodiscard]] std::string Name() const override { return "counting"; }
+    EngineOpener inner;
+    std::vector<int> epochs_seen;
+  };
+
+  auto opener = std::make_unique<CountingOpener>(engine_);
+  auto* raw = opener.get();
+  Trainer trainer(files_, std::move(opener), FastConfig(3));
+  ASSERT_OK(trainer.Train());
+  EXPECT_EQ((std::vector<int>{1, 2, 3}), raw->epochs_seen);
+}
+
+TEST_F(TrainerTest, MissingFileFailsTraining) {
+  auto files = files_;
+  files.push_back("tiny/nonexistent.tfrecord");
+  Trainer trainer(files, std::make_unique<EngineOpener>(engine_),
+                  FastConfig(1));
+  EXPECT_STATUS_CODE(StatusCode::kNotFound, trainer.Train());
+}
+
+}  // namespace
+}  // namespace monarch::dlsim

@@ -1,0 +1,190 @@
+// Paper-claims suite: each test pins one *qualitative sentence* from the
+// paper to an executable assertion at miniature scale. These are the
+// claims the bench harness reproduces quantitatively; here they gate CI.
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "core/monarch.h"
+#include "dlsim/monarch_opener.h"
+#include "dlsim/setups.h"
+#include "storage/memory_engine.h"
+#include "storage/posix_engine.h"
+#include "test_support.h"
+
+namespace monarch {
+namespace {
+
+using monarch::testing::TempDir;
+
+class PaperClaimsTest : public ::testing::Test {
+ protected:
+  PaperClaimsTest() : dir_("claims") {}
+
+  dlsim::ExperimentConfig MiniConfig() {
+    dlsim::ExperimentConfig config;
+    config.dataset = workload::DatasetSpec::Tiny();
+    config.model.name = "mini";
+    config.model.step_time = Micros(100);
+    config.model.preprocess_per_sample = Micros(10);
+    config.epochs = 3;
+    config.batch_size = 8;
+    config.num_gpus = 2;
+    config.reader_threads = 2;
+    config.read_chunk_bytes = 2048;
+    config.local_quota_bytes = 10ULL * 1024 * 1024;
+    config.placement_threads = 2;
+    config.contended_pfs = false;
+    return config;
+  }
+
+  TempDir dir_;
+};
+
+// §III-A: "this strategy requires the same number of operations to the
+// PFS backend as the first one [staging before training], thus not
+// adding additional I/O pressure on the shared file system."
+TEST_F(PaperClaimsTest, DuringTrainingPlacementAddsNoExtraPfsPressure) {
+  const auto config = MiniConfig();
+
+  // Arm 1: pre-stage everything, then train (no PFS traffic expected
+  // during training beyond the staging reads).
+  auto prestage_arm =
+      dlsim::MakeMonarchSetup(dir_.Sub("pfs"), dir_.Sub("l1"), config);
+  ASSERT_OK(prestage_arm);
+  prestage_arm->monarch->Prestage();
+  const auto prestage_pfs_after_staging =
+      prestage_arm->pfs_engine->Stats().Snapshot();
+  ASSERT_OK(prestage_arm->trainer->Train());
+  const auto prestage_total = prestage_arm->pfs_engine->Stats().Snapshot();
+  EXPECT_EQ(prestage_pfs_after_staging.read_ops, prestage_total.read_ops)
+      << "after pre-staging, training must not touch the PFS";
+
+  // Arm 2: the paper's choice — place during epoch 1.
+  auto during_arm =
+      dlsim::MakeMonarchSetup(dir_.Sub("pfs"), dir_.Sub("l2"), config);
+  ASSERT_OK(during_arm);
+  ASSERT_OK(during_arm->trainer->Train());
+  during_arm->monarch->DrainPlacements();
+  const auto during_total = during_arm->pfs_engine->Stats().Snapshot();
+
+  // Baseline for "not adding additional I/O pressure": what the
+  // framework alone (vanilla, no MONARCH) puts on the PFS in the same
+  // 3-epoch run.
+  auto vanilla_arm = dlsim::MakeVanillaLustreSetup(dir_.Sub("pfs"), config);
+  ASSERT_OK(vanilla_arm);
+  ASSERT_OK(vanilla_arm->trainer->Train());
+  const auto vanilla_total = vanilla_arm->pfs_engine->Stats().Snapshot();
+
+  // During-training placement overlaps the framework's own chunked
+  // epoch-1 reads with its full-file staging reads, so it costs slightly
+  // more than pre-staging's single pass over the dataset — but it must
+  // never exceed TWO passes, and must stay strictly below the pressure
+  // the framework alone generates.
+  EXPECT_LT(during_total.read_ops, vanilla_total.read_ops);
+  EXPECT_LT(during_total.bytes_read, vanilla_total.bytes_read);
+  EXPECT_LT(during_total.bytes_read, 2 * prestage_total.bytes_read);
+}
+
+// §III-B: "subsequent requests to the same file [are] served from a
+// top-level tier instead of the PFS" — after the first epoch, a
+// fitting dataset generates zero further PFS reads.
+TEST_F(PaperClaimsTest, SteadyStateIssuesZeroPfsReadsWhenDatasetFits) {
+  auto setup =
+      dlsim::MakeMonarchSetup(dir_.Sub("pfs"), dir_.Sub("fits"), MiniConfig());
+  ASSERT_OK(setup);
+
+  dlsim::TrainerConfig tc;
+  tc.model = MiniConfig().model;
+  tc.epochs = 1;
+  tc.batch_size = 8;
+  tc.loader.reader_threads = 2;
+  tc.loader.read_chunk_bytes = 2048;
+
+  dlsim::Trainer epoch1(setup->files,
+                        std::make_unique<dlsim::MonarchOpener>(*setup->monarch),
+                        tc);
+  ASSERT_OK(epoch1.Train());
+  setup->monarch->DrainPlacements();
+  const auto after_epoch1 = setup->pfs_engine->Stats().Snapshot();
+
+  dlsim::Trainer epoch2(setup->files,
+                        std::make_unique<dlsim::MonarchOpener>(*setup->monarch),
+                        tc);
+  ASSERT_OK(epoch2.Train());
+  const auto after_epoch2 = setup->pfs_engine->Stats().Snapshot();
+  EXPECT_EQ(after_epoch1.read_ops, after_epoch2.read_ops);
+  EXPECT_EQ(after_epoch1.bytes_read, after_epoch2.bytes_read);
+}
+
+// §II summary: "the current implementation of this [TensorFlow caching]
+// mechanism is only applicable when the full dataset fits on the local
+// disk" — while MONARCH (Abstract) supports "datasets with variable
+// sizes that may or may not be cached entirely".
+TEST_F(PaperClaimsTest, MonarchAcceptsWhatDatasetCacheRefuses) {
+  auto config = MiniConfig();
+  config.local_quota_bytes = 40 * 1024;  // roughly half the tiny dataset
+
+  EXPECT_STATUS_CODE(StatusCode::kInvalidArgument,
+                     dlsim::MakeVanillaCachingSetup(
+                         dir_.Sub("pfs"), dir_.Sub("vc"), config));
+
+  auto monarch_setup =
+      dlsim::MakeMonarchSetup(dir_.Sub("pfs"), dir_.Sub("mn"), config);
+  ASSERT_OK(monarch_setup);
+  ASSERT_OK(monarch_setup->trainer->Train());
+  monarch_setup->monarch->DrainPlacements();
+  const auto stats = monarch_setup->monarch->Stats();
+  EXPECT_GT(stats.placement.completed, 0u) << "partial caching happened";
+  EXPECT_GT(stats.placement.rejected_no_space, 0u)
+      << "and the overflow stayed on the PFS";
+}
+
+// §III-A: "no evictions are made at any level of the storage hierarchy"
+// under the default policy, even when the dataset overflows every tier.
+TEST_F(PaperClaimsTest, DefaultPolicyNeverEvicts) {
+  auto config = MiniConfig();
+  config.local_quota_bytes = 30 * 1024;
+  auto setup =
+      dlsim::MakeMonarchSetup(dir_.Sub("pfs"), dir_.Sub("ne"), config);
+  ASSERT_OK(setup);
+  ASSERT_OK(setup->trainer->Train());
+  setup->monarch->DrainPlacements();
+  EXPECT_EQ(0u, setup->monarch->Stats().placement.evictions);
+
+  // Whatever was placed in epoch 1 is still placed after epoch 3 — the
+  // occupancy high-water mark never recedes.
+  const auto stats = setup->monarch->Stats();
+  EXPECT_EQ(stats.placement.bytes_staged,
+            stats.levels[0].occupancy_bytes);
+}
+
+// §III: MONARCH "resides at the POSIX layer... not impacting the
+// internal operation model of the targeted framework" — the same
+// pipeline code runs unmodified over all openers and yields identical
+// sample counts.
+TEST_F(PaperClaimsTest, FrameworkPipelineIsOpenerAgnostic) {
+  const auto config = MiniConfig();
+  const auto expected = config.dataset.total_samples();
+
+  auto vanilla = dlsim::MakeVanillaLustreSetup(dir_.Sub("pfs"), config);
+  ASSERT_OK(vanilla);
+  auto vanilla_result = vanilla->trainer->Train();
+  ASSERT_OK(vanilla_result);
+
+  auto monarch =
+      dlsim::MakeMonarchSetup(dir_.Sub("pfs"), dir_.Sub("oa"), config);
+  ASSERT_OK(monarch);
+  auto monarch_result = monarch->trainer->Train();
+  ASSERT_OK(monarch_result);
+
+  for (const auto& epoch : vanilla_result->epochs) {
+    EXPECT_EQ(expected, epoch.samples);
+  }
+  for (const auto& epoch : monarch_result->epochs) {
+    EXPECT_EQ(expected, epoch.samples);
+  }
+}
+
+}  // namespace
+}  // namespace monarch

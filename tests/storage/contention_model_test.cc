@@ -1,0 +1,99 @@
+#include "storage/contention_model.h"
+
+#include <gtest/gtest.h>
+
+#include <set>
+#include <thread>
+
+#include "util/clock.h"
+
+namespace monarch::storage {
+namespace {
+
+TEST(ContentionModelTest, DefaultIsStaticAndUncontended) {
+  ContentionModel model;
+  EXPECT_TRUE(model.IsStatic());
+  const auto sample = model.Current(SteadyClock::now());
+  EXPECT_DOUBLE_EQ(1.0, sample.bandwidth_factor);
+  EXPECT_DOUBLE_EQ(1.0, sample.latency_multiplier);
+}
+
+TEST(ContentionModelTest, SharedPfsHasFourStates) {
+  auto model = ContentionModel::SharedPfs(1);
+  EXPECT_FALSE(model.IsStatic());
+  EXPECT_EQ(4u, model.states().size());
+  for (const LoadState& s : model.states()) {
+    EXPECT_GT(s.bandwidth_factor, 0.0);
+    EXPECT_LE(s.bandwidth_factor, 1.0);
+    EXPECT_GE(s.latency_multiplier, 1.0);
+    EXPECT_EQ(4u, s.transition_weights.size());
+  }
+}
+
+TEST(ContentionModelTest, SamplesAlwaysValid) {
+  auto model = ContentionModel::SharedPfs(7);
+  const TimePoint start = SteadyClock::now();
+  for (int i = 0; i < 10000; ++i) {
+    // Walk virtual time forward in 50ms steps (several hundred seconds
+    // of simulated load evolution).
+    const auto sample = model.Current(start + Millis(50) * i);
+    EXPECT_GT(sample.bandwidth_factor, 0.0);
+    EXPECT_LE(sample.bandwidth_factor, 1.0);
+    EXPECT_GE(sample.latency_multiplier, 1.0);
+    EXPECT_LT(sample.state_index, 4u);
+  }
+}
+
+TEST(ContentionModelTest, ChainVisitsMultipleStates) {
+  auto model = ContentionModel::SharedPfs(3);
+  const TimePoint start = SteadyClock::now();
+  std::set<std::size_t> visited;
+  for (int i = 0; i < 5000; ++i) {
+    visited.insert(model.Current(start + Millis(100) * i).state_index);
+  }
+  // Over ~500 simulated seconds the chain must churn through most states.
+  EXPECT_GE(visited.size(), 3u);
+}
+
+TEST(ContentionModelTest, MonotonicTimeNeverGoesBackward) {
+  // Calling Current with an older timestamp (can happen across threads)
+  // must not crash or corrupt the chain.
+  auto model = ContentionModel::SharedPfs(5);
+  const TimePoint start = SteadyClock::now();
+  model.Current(start + Millis(500));
+  const auto sample = model.Current(start);  // older than last call
+  EXPECT_GT(sample.bandwidth_factor, 0.0);
+}
+
+TEST(ContentionModelTest, ThreadSafeUnderConcurrentSampling) {
+  auto model = ContentionModel::SharedPfs(9);
+  std::vector<std::thread> threads;
+  std::atomic<bool> ok{true};
+  const TimePoint start = SteadyClock::now();
+  for (int t = 0; t < 8; ++t) {
+    threads.emplace_back([&, t] {
+      for (int i = 0; i < 5000; ++i) {
+        const auto s = model.Current(start + Millis(t * 7 + i));
+        if (s.bandwidth_factor <= 0.0 || s.latency_multiplier < 1.0) {
+          ok.store(false);
+        }
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+  EXPECT_TRUE(ok.load());
+}
+
+TEST(ContentionModelTest, CustomStatesRespected) {
+  std::vector<LoadState> states{
+      {"only", 0.5, 2.0, 1.0, {1.0}},
+  };
+  ContentionModel model(std::move(states), 1);
+  // Single custom state: IsStatic() treats it as fixed conditions.
+  const auto sample = model.Current(SteadyClock::now());
+  EXPECT_DOUBLE_EQ(0.5, sample.bandwidth_factor);
+  EXPECT_DOUBLE_EQ(2.0, sample.latency_multiplier);
+}
+
+}  // namespace
+}  // namespace monarch::storage

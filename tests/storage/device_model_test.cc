@@ -1,0 +1,112 @@
+#include "storage/device_model.h"
+
+#include <gtest/gtest.h>
+
+#include <thread>
+#include <vector>
+
+#include "util/clock.h"
+
+namespace monarch::storage {
+namespace {
+
+DeviceProfile FastProfile() {
+  DeviceProfile p;
+  p.name = "fast-test";
+  p.read_bandwidth_bps = 100e6;   // 100 MB/s
+  p.write_bandwidth_bps = 100e6;
+  p.read_latency = Micros(50);
+  p.write_latency = Micros(50);
+  p.metadata_latency = Micros(20);
+  return p;
+}
+
+TEST(DeviceProfileTest, PresetsAreOrderedByPerformance) {
+  const auto ram = DeviceProfile::RamDisk();
+  const auto ssd = DeviceProfile::LocalSsd();
+  const auto pfs = DeviceProfile::LustrePfs();
+  EXPECT_GT(ram.read_bandwidth_bps, ssd.read_bandwidth_bps);
+  EXPECT_GT(ssd.read_bandwidth_bps, pfs.read_bandwidth_bps);
+  EXPECT_LT(ram.read_latency, ssd.read_latency);
+  EXPECT_LT(ssd.read_latency, pfs.read_latency);
+  EXPECT_LT(ssd.metadata_latency, pfs.metadata_latency);
+}
+
+TEST(DeviceModelTest, ChargeReadTakesAtLeastLatency) {
+  DeviceModel model(FastProfile());
+  const Stopwatch timer;
+  model.ChargeRead(0);
+  EXPECT_GE(timer.Elapsed(), Micros(40));
+}
+
+TEST(DeviceModelTest, LargeTransferDominatedByBandwidth) {
+  DeviceModel model(FastProfile());
+  // Drain the burst allowance first so the next read pays full price.
+  model.ChargeRead(10 * 1024 * 1024);
+  const Stopwatch timer;
+  model.ChargeRead(5 * 1024 * 1024);  // 5 MiB at 100 MB/s ~ 52 ms
+  const double elapsed = timer.ElapsedSeconds();
+  EXPECT_GT(elapsed, 0.025);
+  EXPECT_LT(elapsed, 0.5);
+}
+
+TEST(DeviceModelTest, PredictReadMatchesProfileMath) {
+  DeviceModel model(FastProfile());
+  const Duration predicted = model.PredictRead(1'000'000);
+  // 1 MB at 100 MB/s = 10 ms, plus 50 us latency.
+  EXPECT_NEAR(0.01005, ToSeconds(predicted), 1e-4);
+}
+
+TEST(DeviceModelTest, ContentionStretchesServiceTime) {
+  // A permanently-degraded contention model (factor 0.25) must make the
+  // same transfer take ~4x longer than the uncontended device.
+  auto degraded_states = std::vector<LoadState>{
+      {"degraded", 0.25, 1.0, 1000.0, {1.0}},
+  };
+
+  DeviceModel quiet(FastProfile());
+  DeviceModel contended(FastProfile(),
+                        ContentionModel(std::move(degraded_states), 1));
+
+  constexpr std::uint64_t kBytes = 4 * 1024 * 1024;
+  // Exhaust both bursts.
+  quiet.ChargeRead(10 * 1024 * 1024);
+  contended.ChargeRead(10 * 1024 * 1024);
+
+  Stopwatch t1;
+  quiet.ChargeRead(kBytes);
+  const double quiet_time = t1.ElapsedSeconds();
+
+  Stopwatch t2;
+  contended.ChargeRead(kBytes);
+  const double contended_time = t2.ElapsedSeconds();
+
+  EXPECT_GT(contended_time, quiet_time * 2.0)
+      << "quiet=" << quiet_time << " contended=" << contended_time;
+}
+
+TEST(DeviceModelTest, MetadataChargeUsesMetadataLatency) {
+  auto profile = FastProfile();
+  profile.metadata_latency = Millis(5);
+  DeviceModel model(profile);
+  const Stopwatch timer;
+  model.ChargeMetadata();
+  EXPECT_GE(timer.Elapsed(), Millis(4));
+}
+
+TEST(DeviceModelTest, SharedBucketSerialisesConcurrentReaders) {
+  // 4 threads x 2 MiB through a 100 MB/s device: the bucket must make the
+  // aggregate take ~80 ms, not ~20 ms.
+  DeviceModel model(FastProfile());
+  model.ChargeRead(10 * 1024 * 1024);  // drain burst
+  const Stopwatch timer;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < 4; ++t) {
+    threads.emplace_back([&model] { model.ChargeRead(2 * 1024 * 1024); });
+  }
+  for (auto& t : threads) t.join();
+  EXPECT_GT(timer.ElapsedSeconds(), 0.05);
+}
+
+}  // namespace
+}  // namespace monarch::storage

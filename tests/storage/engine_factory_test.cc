@@ -1,0 +1,69 @@
+#include "storage/engine_factory.h"
+
+#include <gtest/gtest.h>
+
+#include "../test_support.h"
+#include "storage/throttled_engine.h"
+
+namespace monarch::storage {
+namespace {
+
+using monarch::testing::Bytes;
+using monarch::testing::TempDir;
+
+TEST(EngineFactoryTest, LocalSsdEngineReadsWrites) {
+  TempDir dir("factory_ssd");
+  auto engine = MakeLocalSsdEngine(dir.path());
+  ASSERT_OK(engine->Write("f", Bytes("payload")));
+  std::vector<std::byte> buf(7);
+  ASSERT_OK(engine->Read("f", 0, buf));
+  EXPECT_EQ("local@local-ssd", engine->Name());
+}
+
+TEST(EngineFactoryTest, LustreEngineNamesItsProfile) {
+  TempDir dir("factory_lustre");
+  auto contended = MakeLustreEngine(dir.path(), 1, /*contended=*/true);
+  auto quiet = MakeLustreEngine(dir.path(), 1, /*contended=*/false);
+  EXPECT_EQ("pfs@lustre-pfs", contended->Name());
+  EXPECT_EQ("pfs@lustre-pfs", quiet->Name());
+  ASSERT_OK(contended->Write("f", Bytes("x")));
+  EXPECT_TRUE(quiet->Exists("f").value())
+      << "both wrap the same host directory";
+}
+
+TEST(EngineFactoryTest, RamEngineIsSelfContained) {
+  auto engine = MakeRamEngine();
+  ASSERT_OK(engine->Write("f", Bytes("in-ram")));
+  std::vector<std::byte> buf(6);
+  auto read = engine->Read("f", 0, buf);
+  ASSERT_OK(read);
+  EXPECT_EQ(6u, read.value());
+  EXPECT_EQ("ram@ram", engine->Name());
+}
+
+TEST(EngineFactoryTest, RawEngineHasNoDeviceModel) {
+  TempDir dir("factory_raw");
+  auto engine = MakeRawEngine(dir.path());
+  EXPECT_EQ("raw", engine->Name());
+  // Raw engines are PosixEngine directly, not throttled wrappers.
+  EXPECT_EQ(nullptr, std::dynamic_pointer_cast<ThrottledEngine>(engine));
+}
+
+TEST(EngineFactoryTest, SimulatedEnginesShareDirectoryWithRaw) {
+  // The bench workflow: generate with the raw engine, serve through the
+  // simulated ones. All three views must agree on content.
+  TempDir dir("factory_shared");
+  auto raw = MakeRawEngine(dir.path());
+  ASSERT_OK(raw->Write("data/f", Bytes("shared-bytes")));
+
+  auto ssd = MakeLocalSsdEngine(dir.path());
+  auto lustre = MakeLustreEngine(dir.path(), 3, false);
+  std::vector<std::byte> buf(12);
+  ASSERT_OK(ssd->Read("data/f", 0, buf));
+  EXPECT_EQ("shared-bytes", monarch::testing::Text(buf));
+  ASSERT_OK(lustre->Read("data/f", 0, buf));
+  EXPECT_EQ("shared-bytes", monarch::testing::Text(buf));
+}
+
+}  // namespace
+}  // namespace monarch::storage

@@ -1,0 +1,107 @@
+#include "storage/io_stats.h"
+
+#include <gtest/gtest.h>
+
+#include <thread>
+#include <vector>
+
+namespace monarch::storage {
+namespace {
+
+TEST(IoStatsTest, StartsAtZero) {
+  IoStats stats;
+  const auto snap = stats.Snapshot();
+  EXPECT_EQ(0u, snap.read_ops);
+  EXPECT_EQ(0u, snap.write_ops);
+  EXPECT_EQ(0u, snap.metadata_ops);
+  EXPECT_EQ(0u, snap.total_ops());
+}
+
+TEST(IoStatsTest, RecordsAccumulate) {
+  IoStats stats;
+  stats.RecordRead(100, Micros(10));
+  stats.RecordRead(50, Micros(20));
+  stats.RecordWrite(30);
+  stats.RecordMetadataOp();
+
+  const auto snap = stats.Snapshot();
+  EXPECT_EQ(2u, snap.read_ops);
+  EXPECT_EQ(1u, snap.write_ops);
+  EXPECT_EQ(1u, snap.metadata_ops);
+  EXPECT_EQ(150u, snap.bytes_read);
+  EXPECT_EQ(30u, snap.bytes_written);
+  EXPECT_EQ(3u, snap.data_ops());
+  EXPECT_EQ(4u, snap.total_ops());
+}
+
+TEST(IoStatsTest, ReadLatencyHistogramPopulated) {
+  IoStats stats;
+  stats.RecordRead(1, Micros(500));
+  const auto latency = stats.ReadLatency();
+  EXPECT_EQ(1u, latency.count);
+  EXPECT_EQ(500u, latency.min_us);
+}
+
+TEST(IoStatsTest, SnapshotSubtractionGivesDeltas) {
+  IoStats stats;
+  stats.RecordRead(100, Micros(1));
+  const auto before = stats.Snapshot();
+  stats.RecordRead(200, Micros(1));
+  stats.RecordWrite(50);
+  const auto delta = stats.Snapshot() - before;
+  EXPECT_EQ(1u, delta.read_ops);
+  EXPECT_EQ(1u, delta.write_ops);
+  EXPECT_EQ(200u, delta.bytes_read);
+  EXPECT_EQ(50u, delta.bytes_written);
+}
+
+TEST(IoStatsTest, SnapshotAdditionAggregates) {
+  IoStatsSnapshot a;
+  a.read_ops = 2;
+  a.bytes_read = 10;
+  IoStatsSnapshot b;
+  b.read_ops = 3;
+  b.bytes_read = 5;
+  b.metadata_ops = 1;
+  a += b;
+  EXPECT_EQ(5u, a.read_ops);
+  EXPECT_EQ(15u, a.bytes_read);
+  EXPECT_EQ(1u, a.metadata_ops);
+}
+
+TEST(IoStatsTest, ResetZeroes) {
+  IoStats stats;
+  stats.RecordRead(100, Micros(1));
+  stats.Reset();
+  EXPECT_EQ(0u, stats.Snapshot().total_ops());
+  EXPECT_EQ(0u, stats.ReadLatency().count);
+}
+
+TEST(IoStatsTest, ToStringMentionsCounts) {
+  IoStats stats;
+  stats.RecordRead(2048, Micros(1));
+  const std::string text = stats.Snapshot().ToString();
+  EXPECT_NE(std::string::npos, text.find("reads=1"));
+  EXPECT_NE(std::string::npos, text.find("2.0 KiB"));
+}
+
+TEST(IoStatsTest, ConcurrentRecordingLosesNothing) {
+  IoStats stats;
+  std::vector<std::thread> threads;
+  constexpr int kThreads = 8;
+  constexpr int kOps = 10000;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&stats] {
+      for (int i = 0; i < kOps; ++i) {
+        stats.RecordRead(1, Micros(1));
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+  const auto snap = stats.Snapshot();
+  EXPECT_EQ(static_cast<std::uint64_t>(kThreads * kOps), snap.read_ops);
+  EXPECT_EQ(static_cast<std::uint64_t>(kThreads * kOps), snap.bytes_read);
+}
+
+}  // namespace
+}  // namespace monarch::storage

@@ -1,0 +1,105 @@
+#include "storage/memory_engine.h"
+
+#include <gtest/gtest.h>
+
+#include <thread>
+#include <vector>
+
+#include "../test_support.h"
+
+namespace monarch::storage {
+namespace {
+
+using monarch::testing::Bytes;
+using monarch::testing::Text;
+
+TEST(MemoryEngineTest, WriteReadRoundTrips) {
+  MemoryEngine engine;
+  ASSERT_OK(engine.Write("f", Bytes("payload")));
+  std::vector<std::byte> buf(7);
+  auto read = engine.Read("f", 0, buf);
+  ASSERT_OK(read);
+  EXPECT_EQ(7u, read.value());
+  EXPECT_EQ("payload", Text(buf));
+}
+
+TEST(MemoryEngineTest, OffsetAndEofSemanticsMatchPosix) {
+  MemoryEngine engine;
+  ASSERT_OK(engine.Write("f", Bytes("0123456789")));
+  std::vector<std::byte> buf(4);
+  EXPECT_EQ(4u, engine.Read("f", 2, buf).value());
+  EXPECT_EQ("2345", Text(buf));
+  EXPECT_EQ(2u, engine.Read("f", 8, buf).value());  // short read
+  EXPECT_EQ(0u, engine.Read("f", 50, buf).value()); // past EOF
+}
+
+TEST(MemoryEngineTest, MissingFileErrors) {
+  MemoryEngine engine;
+  std::vector<std::byte> buf(1);
+  EXPECT_STATUS_CODE(StatusCode::kNotFound, engine.Read("x", 0, buf));
+  EXPECT_STATUS_CODE(StatusCode::kNotFound, engine.FileSize("x"));
+  EXPECT_STATUS_CODE(StatusCode::kNotFound, engine.Delete("x"));
+  EXPECT_FALSE(engine.Exists("x").value());
+}
+
+TEST(MemoryEngineTest, DeleteAndTotalBytes) {
+  MemoryEngine engine;
+  ASSERT_OK(engine.Write("a", Bytes("1234")));
+  ASSERT_OK(engine.Write("b", Bytes("56")));
+  EXPECT_EQ(6u, engine.TotalBytes());
+  ASSERT_OK(engine.Delete("a"));
+  EXPECT_EQ(2u, engine.TotalBytes());
+}
+
+TEST(MemoryEngineTest, ListFilesByPrefix) {
+  MemoryEngine engine;
+  ASSERT_OK(engine.Write("data/a", Bytes("1")));
+  ASSERT_OK(engine.Write("data/b", Bytes("22")));
+  ASSERT_OK(engine.Write("other/c", Bytes("333")));
+
+  auto listing = engine.ListFiles("data");
+  ASSERT_OK(listing);
+  ASSERT_EQ(2u, listing.value().size());
+  EXPECT_EQ("data/a", listing.value()[0].path);
+  EXPECT_EQ("data/b", listing.value()[1].path);
+
+  auto all = engine.ListFiles("");
+  ASSERT_OK(all);
+  EXPECT_EQ(3u, all.value().size());
+}
+
+TEST(MemoryEngineTest, OverwriteReplacesContent) {
+  MemoryEngine engine;
+  ASSERT_OK(engine.Write("f", Bytes("oldvalue")));
+  ASSERT_OK(engine.Write("f", Bytes("new")));
+  EXPECT_EQ(3u, engine.FileSize("f").value());
+}
+
+TEST(MemoryEngineTest, ConcurrentMixedOpsAreSafe) {
+  MemoryEngine engine;
+  for (int i = 0; i < 50; ++i) {
+    ASSERT_OK(engine.Write("f" + std::to_string(i), Bytes("contents")));
+  }
+  std::vector<std::thread> threads;
+  std::atomic<bool> ok{true};
+  for (int t = 0; t < 4; ++t) {
+    threads.emplace_back([&engine, &ok, t] {
+      std::vector<std::byte> buf(8);
+      for (int i = 0; i < 500; ++i) {
+        const std::string path = "f" + std::to_string((t * 13 + i) % 50);
+        if (i % 10 == 0) {
+          if (!engine.Write(path, monarch::testing::Bytes("contents")).ok()) {
+            ok.store(false);
+          }
+        } else if (!engine.Read(path, 0, buf).ok()) {
+          ok.store(false);
+        }
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+  EXPECT_TRUE(ok.load());
+}
+
+}  // namespace
+}  // namespace monarch::storage

@@ -1,0 +1,148 @@
+#include "storage/posix_engine.h"
+
+#include <gtest/gtest.h>
+
+#include <thread>
+#include <vector>
+
+#include "../test_support.h"
+
+namespace monarch::storage {
+namespace {
+
+using monarch::testing::Bytes;
+using monarch::testing::TempDir;
+using monarch::testing::Text;
+
+class PosixEngineTest : public ::testing::Test {
+ protected:
+  PosixEngineTest() : dir_("posix"), engine_(dir_.path()) {}
+
+  TempDir dir_;
+  PosixEngine engine_;
+};
+
+TEST_F(PosixEngineTest, WriteThenReadRoundTrips) {
+  ASSERT_OK(engine_.Write("a/b/file.bin", Bytes("hello world")));
+  std::vector<std::byte> buf(11);
+  auto read = engine_.Read("a/b/file.bin", 0, buf);
+  ASSERT_OK(read);
+  EXPECT_EQ(11u, read.value());
+  EXPECT_EQ("hello world", Text(buf));
+}
+
+TEST_F(PosixEngineTest, ReadAtOffset) {
+  ASSERT_OK(engine_.Write("f", Bytes("0123456789")));
+  std::vector<std::byte> buf(4);
+  auto read = engine_.Read("f", 3, buf);
+  ASSERT_OK(read);
+  EXPECT_EQ(4u, read.value());
+  EXPECT_EQ("3456", Text(buf));
+}
+
+TEST_F(PosixEngineTest, ShortReadAtEof) {
+  ASSERT_OK(engine_.Write("f", Bytes("abc")));
+  std::vector<std::byte> buf(10);
+  auto read = engine_.Read("f", 0, buf);
+  ASSERT_OK(read);
+  EXPECT_EQ(3u, read.value());
+}
+
+TEST_F(PosixEngineTest, ReadPastEofYieldsZeroNotError) {
+  ASSERT_OK(engine_.Write("f", Bytes("abc")));
+  std::vector<std::byte> buf(4);
+  auto read = engine_.Read("f", 100, buf);
+  ASSERT_OK(read);
+  EXPECT_EQ(0u, read.value());
+}
+
+TEST_F(PosixEngineTest, ReadMissingFileIsNotFound) {
+  std::vector<std::byte> buf(4);
+  EXPECT_STATUS_CODE(StatusCode::kNotFound, engine_.Read("nope", 0, buf));
+}
+
+TEST_F(PosixEngineTest, OverwriteTruncates) {
+  ASSERT_OK(engine_.Write("f", Bytes("long-original-content")));
+  ASSERT_OK(engine_.Write("f", Bytes("tiny")));
+  EXPECT_EQ(4u, engine_.FileSize("f").value());
+}
+
+TEST_F(PosixEngineTest, EmptyFileSupported) {
+  ASSERT_OK(engine_.Write("empty", {}));
+  EXPECT_EQ(0u, engine_.FileSize("empty").value());
+  std::vector<std::byte> buf(1);
+  EXPECT_EQ(0u, engine_.Read("empty", 0, buf).value());
+}
+
+TEST_F(PosixEngineTest, FileSizeAndExists) {
+  ASSERT_OK(engine_.Write("f", Bytes("12345")));
+  EXPECT_EQ(5u, engine_.FileSize("f").value());
+  EXPECT_TRUE(engine_.Exists("f").value());
+  EXPECT_FALSE(engine_.Exists("g").value());
+  EXPECT_STATUS_CODE(StatusCode::kNotFound, engine_.FileSize("g"));
+}
+
+TEST_F(PosixEngineTest, DeleteRemovesFile) {
+  ASSERT_OK(engine_.Write("f", Bytes("x")));
+  ASSERT_OK(engine_.Delete("f"));
+  EXPECT_FALSE(engine_.Exists("f").value());
+  EXPECT_STATUS_CODE(StatusCode::kNotFound, engine_.Delete("f"));
+}
+
+TEST_F(PosixEngineTest, ListFilesRecursiveSorted) {
+  ASSERT_OK(engine_.Write("d/b.bin", Bytes("22")));
+  ASSERT_OK(engine_.Write("d/a.bin", Bytes("1")));
+  ASSERT_OK(engine_.Write("d/sub/c.bin", Bytes("333")));
+  auto listing = engine_.ListFiles("d");
+  ASSERT_OK(listing);
+  ASSERT_EQ(3u, listing.value().size());
+  EXPECT_EQ("d/a.bin", listing.value()[0].path);
+  EXPECT_EQ(1u, listing.value()[0].size);
+  EXPECT_EQ("d/b.bin", listing.value()[1].path);
+  EXPECT_EQ("d/sub/c.bin", listing.value()[2].path);
+}
+
+TEST_F(PosixEngineTest, ListMissingDirIsNotFound) {
+  EXPECT_STATUS_CODE(StatusCode::kNotFound, engine_.ListFiles("absent"));
+}
+
+TEST_F(PosixEngineTest, StatsCountOps) {
+  ASSERT_OK(engine_.Write("f", Bytes("abcd")));
+  std::vector<std::byte> buf(4);
+  ASSERT_OK(engine_.Read("f", 0, buf));
+  ASSERT_OK(engine_.FileSize("f"));
+  const auto snap = engine_.Stats().Snapshot();
+  EXPECT_EQ(1u, snap.read_ops);
+  EXPECT_EQ(1u, snap.write_ops);
+  EXPECT_GE(snap.metadata_ops, 1u);
+  EXPECT_EQ(4u, snap.bytes_read);
+  EXPECT_EQ(4u, snap.bytes_written);
+}
+
+TEST_F(PosixEngineTest, ConcurrentReadersSeeConsistentBytes) {
+  std::string content;
+  for (int i = 0; i < 1000; ++i) content += static_cast<char>('a' + i % 26);
+  ASSERT_OK(engine_.Write("big", Bytes(content)));
+
+  std::vector<std::thread> threads;
+  std::atomic<bool> ok{true};
+  for (int t = 0; t < 8; ++t) {
+    threads.emplace_back([&, t] {
+      std::vector<std::byte> buf(100);
+      for (int i = 0; i < 50; ++i) {
+        const std::uint64_t off = static_cast<std::uint64_t>((t * 50 + i) % 900);
+        auto read = engine_.Read("big", off, buf);
+        if (!read.ok() || read.value() != 100 ||
+            Text(buf) != content.substr(off, 100)) {
+          ok.store(false);
+          return;
+        }
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+  EXPECT_TRUE(ok.load());
+}
+
+}  // namespace
+}  // namespace monarch::storage

@@ -1,0 +1,109 @@
+#include "storage/throttled_engine.h"
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <vector>
+
+#include "../test_support.h"
+#include "storage/memory_engine.h"
+
+namespace monarch::storage {
+namespace {
+
+using monarch::testing::Bytes;
+using monarch::testing::Text;
+
+DeviceProfile SlowProfile() {
+  DeviceProfile p;
+  p.name = "slow-test";
+  p.read_bandwidth_bps = 1e6;  // 1 MB/s, so timing is observable
+  p.write_bandwidth_bps = 1e6;
+  p.read_latency = Millis(2);
+  p.write_latency = Millis(2);
+  p.metadata_latency = Millis(1);
+  return p;
+}
+
+std::shared_ptr<ThrottledEngine> MakeThrottled() {
+  return std::make_shared<ThrottledEngine>(
+      std::make_shared<MemoryEngine>("inner"),
+      std::make_shared<DeviceModel>(SlowProfile()));
+}
+
+TEST(ThrottledEngineTest, BytesPassThroughUnchanged) {
+  auto engine = MakeThrottled();
+  ASSERT_OK(engine->Write("f", Bytes("the exact payload")));
+  std::vector<std::byte> buf(17);
+  auto read = engine->Read("f", 0, buf);
+  ASSERT_OK(read);
+  EXPECT_EQ("the exact payload", Text(buf));
+}
+
+TEST(ThrottledEngineTest, SemanticsMatchInner) {
+  auto engine = MakeThrottled();
+  std::vector<std::byte> buf(4);
+  EXPECT_STATUS_CODE(StatusCode::kNotFound, engine->Read("absent", 0, buf));
+  ASSERT_OK(engine->Write("f", Bytes("0123456789")));
+  EXPECT_EQ(10u, engine->FileSize("f").value());
+  EXPECT_TRUE(engine->Exists("f").value());
+  EXPECT_EQ(4u, engine->Read("f", 6, buf).value());
+  EXPECT_EQ(0u, engine->Read("f", 99, buf).value());
+  ASSERT_OK(engine->Delete("f"));
+  EXPECT_FALSE(engine->Exists("f").value());
+}
+
+TEST(ThrottledEngineTest, ReadIsSlowedByDeviceModel) {
+  auto engine = MakeThrottled();
+  ASSERT_OK(engine->Write("f", std::vector<std::byte>(200 * 1024)));
+  // Drain the burst so the timed read pays the modelled cost.
+  std::vector<std::byte> big(200 * 1024);
+  ASSERT_OK(engine->Read("f", 0, big));
+
+  const Stopwatch timer;
+  std::vector<std::byte> buf(100 * 1024);
+  ASSERT_OK(engine->Read("f", 0, buf));
+  // 100 KiB at 1 MB/s ~ 100 ms (plus 2 ms latency).
+  EXPECT_GT(timer.ElapsedSeconds(), 0.05);
+}
+
+TEST(ThrottledEngineTest, FailedReadNotCharged) {
+  auto engine = MakeThrottled();
+  const Stopwatch timer;
+  std::vector<std::byte> buf(1024 * 1024);
+  EXPECT_FALSE(engine->Read("absent", 0, buf).ok());
+  // No 1-second transfer charge for a failed read.
+  EXPECT_LT(timer.ElapsedSeconds(), 0.05);
+}
+
+TEST(ThrottledEngineTest, StatsAttributedToWrapper) {
+  auto engine = MakeThrottled();
+  ASSERT_OK(engine->Write("f", Bytes("abc")));
+  std::vector<std::byte> buf(3);
+  ASSERT_OK(engine->Read("f", 0, buf));
+  ASSERT_OK(engine->FileSize("f"));
+  const auto snap = engine->Stats().Snapshot();
+  EXPECT_EQ(1u, snap.read_ops);
+  EXPECT_EQ(1u, snap.write_ops);
+  EXPECT_EQ(1u, snap.metadata_ops);
+  EXPECT_EQ(3u, snap.bytes_read);
+}
+
+TEST(ThrottledEngineTest, ListFilesChargesPerEntryMetadata) {
+  auto engine = MakeThrottled();
+  ASSERT_OK(engine->Write("d/a", Bytes("1")));
+  ASSERT_OK(engine->Write("d/b", Bytes("2")));
+  const auto before = engine->Stats().Snapshot();
+  ASSERT_OK(engine->ListFiles("d"));
+  const auto after = engine->Stats().Snapshot();
+  // One per entry plus one for the directory itself.
+  EXPECT_EQ(3u, after.metadata_ops - before.metadata_ops);
+}
+
+TEST(ThrottledEngineTest, NameCombinesInnerAndDevice) {
+  auto engine = MakeThrottled();
+  EXPECT_EQ("inner@slow-test", engine->Name());
+}
+
+}  // namespace
+}  // namespace monarch::storage

@@ -1,0 +1,84 @@
+#include "tfrecord/format.h"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "../test_support.h"
+
+namespace monarch::tfrecord {
+namespace {
+
+using monarch::testing::Bytes;
+
+TEST(FormatTest, LittleEndianScalarsRoundTrip) {
+  std::byte buf[8];
+  StoreLe64(0x0123456789ABCDEFULL, buf);
+  EXPECT_EQ(0x0123456789ABCDEFULL, LoadLe64(buf));
+  // Byte 0 must be the least-significant byte (true little-endian layout).
+  EXPECT_EQ(std::byte{0xEF}, buf[0]);
+  EXPECT_EQ(std::byte{0x01}, buf[7]);
+
+  StoreLe32(0xA1B2C3D4u, buf);
+  EXPECT_EQ(0xA1B2C3D4u, LoadLe32(buf));
+  EXPECT_EQ(std::byte{0xD4}, buf[0]);
+}
+
+TEST(FormatTest, FramedSizeAddsHeaderAndFooter) {
+  EXPECT_EQ(16u, FramedSize(0));
+  EXPECT_EQ(16u + 100, FramedSize(100));
+  EXPECT_EQ(kHeaderBytes, 12u);
+  EXPECT_EQ(kFooterBytes, 4u);
+}
+
+TEST(FormatTest, HeaderEncodeDecodeRoundTrips) {
+  std::byte header[kHeaderBytes];
+  for (const std::uint64_t size : {0ULL, 1ULL, 255ULL, 65536ULL,
+                                   1ULL << 40}) {
+    EncodeHeader(size, header);
+    auto decoded = DecodeHeader(header);
+    ASSERT_OK(decoded);
+    EXPECT_EQ(size, decoded.value());
+  }
+}
+
+TEST(FormatTest, HeaderCrcDetectsCorruption) {
+  std::byte header[kHeaderBytes];
+  EncodeHeader(1234, header);
+  for (std::size_t i = 0; i < kHeaderBytes; ++i) {
+    std::byte corrupted[kHeaderBytes];
+    std::copy(header, header + kHeaderBytes, corrupted);
+    corrupted[i] ^= std::byte{0x01};
+    SCOPED_TRACE("flip at byte " + std::to_string(i));
+    EXPECT_STATUS_CODE(StatusCode::kDataLoss, DecodeHeader(corrupted));
+  }
+}
+
+TEST(FormatTest, TruncatedHeaderIsOutOfRange) {
+  std::byte header[kHeaderBytes];
+  EncodeHeader(7, header);
+  EXPECT_STATUS_CODE(StatusCode::kOutOfRange,
+                     DecodeHeader({header, kHeaderBytes - 1}));
+}
+
+TEST(FormatTest, PayloadCrcVerifies) {
+  const auto payload = Bytes("record payload bytes");
+  const std::uint32_t crc = PayloadCrc(payload);
+  EXPECT_OK(VerifyPayload(payload, crc));
+
+  auto corrupted = payload;
+  corrupted[5] ^= std::byte{0x80};
+  EXPECT_STATUS_CODE(StatusCode::kDataLoss, VerifyPayload(corrupted, crc));
+}
+
+TEST(FormatTest, PayloadCrcIsMasked) {
+  // The stored CRC must be the masked transform, never the raw CRC32C —
+  // that is what makes our files bit-compatible with TensorFlow's.
+  const auto payload = Bytes("x");
+  const std::uint32_t raw = Crc32c(payload.data(), payload.size());
+  EXPECT_EQ(MaskCrc(raw), PayloadCrc(payload));
+  EXPECT_NE(raw, PayloadCrc(payload));
+}
+
+}  // namespace
+}  // namespace monarch::tfrecord

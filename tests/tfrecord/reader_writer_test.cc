@@ -1,0 +1,241 @@
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "../test_support.h"
+#include "storage/memory_engine.h"
+#include "tfrecord/format.h"
+#include "tfrecord/index.h"
+#include "tfrecord/reader.h"
+#include "tfrecord/writer.h"
+#include "util/rng.h"
+
+namespace monarch::tfrecord {
+namespace {
+
+using monarch::testing::Bytes;
+using monarch::testing::Text;
+
+std::vector<std::byte> RandomPayload(Xoshiro256& rng, std::size_t size) {
+  std::vector<std::byte> payload(size);
+  for (auto& b : payload) b = static_cast<std::byte>(rng() & 0xFF);
+  return payload;
+}
+
+class ReaderWriterTest : public ::testing::Test {
+ protected:
+  ReaderWriterTest() : engine_(std::make_shared<storage::MemoryEngine>()) {}
+
+  /// Write `payloads` as one record file and return a source for it.
+  EngineSource WriteFile(const std::vector<std::vector<std::byte>>& payloads,
+                         const std::string& path = "file.tfrecord") {
+    TFRecordWriter writer;
+    for (const auto& p : payloads) writer.Append(p);
+    EXPECT_EQ(payloads.size(), writer.record_count());
+    EXPECT_TRUE(writer.Flush(*engine_, path).ok());
+    return EngineSource(engine_, path);
+  }
+
+  std::shared_ptr<storage::MemoryEngine> engine_;
+};
+
+TEST_F(ReaderWriterTest, SingleRecordRoundTrips) {
+  auto source = WriteFile({Bytes("hello tfrecord")});
+  TFRecordReader reader(source);
+  auto record = reader.ReadRecord();
+  ASSERT_OK(record);
+  EXPECT_EQ("hello tfrecord", Text(record.value()));
+  EXPECT_STATUS_CODE(StatusCode::kOutOfRange, reader.ReadRecord());
+  EXPECT_TRUE(reader.AtEnd());
+  EXPECT_EQ(1u, reader.records_read());
+}
+
+TEST_F(ReaderWriterTest, ManyRecordsInOrder) {
+  std::vector<std::vector<std::byte>> payloads;
+  for (int i = 0; i < 100; ++i) {
+    payloads.push_back(Bytes("record-" + std::to_string(i)));
+  }
+  auto source = WriteFile(payloads);
+  TFRecordReader reader(source);
+  for (int i = 0; i < 100; ++i) {
+    auto record = reader.ReadRecord();
+    ASSERT_OK(record);
+    EXPECT_EQ("record-" + std::to_string(i), Text(record.value()));
+  }
+  EXPECT_STATUS_CODE(StatusCode::kOutOfRange, reader.ReadRecord());
+}
+
+TEST_F(ReaderWriterTest, EmptyPayloadIsLegal) {
+  auto source = WriteFile({{}, Bytes("after-empty")});
+  TFRecordReader reader(source);
+  auto first = reader.ReadRecord();
+  ASSERT_OK(first);
+  EXPECT_TRUE(first.value().empty());
+  EXPECT_EQ("after-empty", Text(reader.ReadRecord().value()));
+}
+
+TEST_F(ReaderWriterTest, EmptyFileEndsImmediately) {
+  auto source = WriteFile({});
+  TFRecordReader reader(source);
+  EXPECT_STATUS_CODE(StatusCode::kOutOfRange, reader.ReadRecord());
+}
+
+TEST_F(ReaderWriterTest, UnbufferedModeMatchesBuffered) {
+  Xoshiro256 rng(1);
+  std::vector<std::vector<std::byte>> payloads;
+  for (int i = 0; i < 20; ++i) {
+    payloads.push_back(RandomPayload(rng, 100 + (rng() % 5000)));
+  }
+  auto source1 = WriteFile(payloads, "buffered");
+  auto source2 = WriteFile(payloads, "unbuffered");
+
+  TFRecordReader buffered(source1, {.buffer_bytes = 4096});
+  TFRecordReader unbuffered(source2, {.buffer_bytes = 0});
+  for (int i = 0; i < 20; ++i) {
+    auto a = buffered.ReadRecord();
+    auto b = unbuffered.ReadRecord();
+    ASSERT_OK(a);
+    ASSERT_OK(b);
+    EXPECT_EQ(a.value(), b.value()) << "record " << i;
+  }
+}
+
+TEST_F(ReaderWriterTest, BufferingReducesSourceReads) {
+  std::vector<std::vector<std::byte>> payloads(50, Bytes("small"));
+  WriteFile(payloads, "f");
+  const auto baseline = engine_->Stats().Snapshot();
+
+  {
+    EngineSource source(engine_, "f");
+    TFRecordReader reader(source, {.buffer_bytes = 0});
+    while (reader.ReadRecord().ok()) {
+    }
+  }
+  const auto unbuffered_reads =
+      (engine_->Stats().Snapshot() - baseline).read_ops;
+
+  const auto mid = engine_->Stats().Snapshot();
+  {
+    EngineSource source(engine_, "f");
+    TFRecordReader reader(source, {.buffer_bytes = 64 * 1024});
+    while (reader.ReadRecord().ok()) {
+    }
+  }
+  const auto buffered_reads = (engine_->Stats().Snapshot() - mid).read_ops;
+
+  // 50 records unbuffered = 100+ reads (header + payload each); buffered
+  // fits the whole file in one chunk.
+  EXPECT_GT(unbuffered_reads, 90u);
+  EXPECT_LE(buffered_reads, 3u);
+}
+
+TEST_F(ReaderWriterTest, CorruptPayloadDetected) {
+  WriteFile({Bytes("to-be-corrupted")}, "f");
+  // Flip one payload byte on the stored file.
+  std::vector<std::byte> raw(engine_->FileSize("f").value());
+  ASSERT_OK(engine_->Read("f", 0, raw));
+  raw[kHeaderBytes + 3] ^= std::byte{0x40};
+  ASSERT_OK(engine_->Write("f", raw));
+
+  EngineSource source(engine_, "f");
+  TFRecordReader reader(source);
+  EXPECT_STATUS_CODE(StatusCode::kDataLoss, reader.ReadRecord());
+}
+
+TEST_F(ReaderWriterTest, CorruptionIgnoredWhenVerifyDisabled) {
+  WriteFile({Bytes("to-be-corrupted")}, "f");
+  std::vector<std::byte> raw(engine_->FileSize("f").value());
+  ASSERT_OK(engine_->Read("f", 0, raw));
+  raw[kHeaderBytes + 3] ^= std::byte{0x40};
+  ASSERT_OK(engine_->Write("f", raw));
+
+  EngineSource source(engine_, "f");
+  TFRecordReader reader(source, {.verify_checksums = false});
+  EXPECT_OK(reader.ReadRecord());
+}
+
+TEST_F(ReaderWriterTest, TruncatedFileIsDataLoss) {
+  WriteFile({Bytes("a-full-record-payload")}, "f");
+  std::vector<std::byte> raw(engine_->FileSize("f").value());
+  ASSERT_OK(engine_->Read("f", 0, raw));
+  raw.resize(raw.size() - 6);  // cut into the footer
+  ASSERT_OK(engine_->Write("f", raw));
+
+  EngineSource source(engine_, "f");
+  TFRecordReader reader(source);
+  EXPECT_STATUS_CODE(StatusCode::kDataLoss, reader.ReadRecord());
+}
+
+TEST_F(ReaderWriterTest, IndexFindsEveryRecord) {
+  Xoshiro256 rng(2);
+  std::vector<std::vector<std::byte>> payloads;
+  for (int i = 0; i < 30; ++i) {
+    payloads.push_back(RandomPayload(rng, 1 + (rng() % 900)));
+  }
+  auto source = WriteFile(payloads);
+  auto index = BuildIndex(source);
+  ASSERT_OK(index);
+  ASSERT_EQ(30u, index.value().size());
+
+  std::uint64_t expected_offset = 0;
+  for (std::size_t i = 0; i < 30; ++i) {
+    EXPECT_EQ(expected_offset, index.value()[i].offset);
+    EXPECT_EQ(payloads[i].size(), index.value()[i].payload_size);
+    expected_offset += index.value()[i].framed_size();
+  }
+  EXPECT_EQ(source.Size().value(), expected_offset);
+}
+
+TEST_F(ReaderWriterTest, IndexRejectsGarbageFile) {
+  ASSERT_OK(engine_->Write("junk", Bytes("this is not a tfrecord file!!")));
+  EngineSource source(engine_, "junk");
+  EXPECT_STATUS_CODE(StatusCode::kDataLoss, BuildIndex(source));
+}
+
+TEST_F(ReaderWriterTest, WriterFlushResetsState) {
+  TFRecordWriter writer;
+  writer.Append(Bytes("one"));
+  ASSERT_OK(writer.Flush(*engine_, "f1"));
+  EXPECT_EQ(0u, writer.record_count());
+  EXPECT_EQ(0u, writer.byte_size());
+  writer.Append(Bytes("two"));
+  ASSERT_OK(writer.Flush(*engine_, "f2"));
+
+  EngineSource source(engine_, "f2");
+  TFRecordReader reader(source);
+  EXPECT_EQ("two", Text(reader.ReadRecord().value()));
+}
+
+// Property sweep: the round trip must hold across payload sizes that
+// straddle the reader's buffer boundaries.
+class RecordSizeSweep : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(RecordSizeSweep, RoundTripsExactBytes) {
+  const std::size_t size = GetParam();
+  Xoshiro256 rng(size);
+  auto payload = RandomPayload(rng, size);
+
+  auto engine = std::make_shared<storage::MemoryEngine>();
+  TFRecordWriter writer;
+  writer.Append(payload);
+  writer.Append(payload);  // twice, to cross a buffer boundary mid-file
+  ASSERT_OK(writer.Flush(*engine, "f"));
+
+  EngineSource source(engine, "f");
+  TFRecordReader reader(source, {.buffer_bytes = 4096});
+  for (int i = 0; i < 2; ++i) {
+    auto record = reader.ReadRecord();
+    ASSERT_OK(record);
+    EXPECT_EQ(payload, record.value());
+  }
+  EXPECT_STATUS_CODE(StatusCode::kOutOfRange, reader.ReadRecord());
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, RecordSizeSweep,
+                         ::testing::Values(0, 1, 2, 15, 16, 17, 4079, 4080,
+                                           4081, 4096, 5000, 65536, 100000));
+
+}  // namespace
+}  // namespace monarch::tfrecord

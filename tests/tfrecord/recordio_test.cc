@@ -1,0 +1,159 @@
+#include "tfrecord/recordio.h"
+
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "../test_support.h"
+#include "core/monarch.h"
+#include "core/monarch_source.h"
+#include "storage/memory_engine.h"
+#include "tfrecord/format.h"
+#include "util/rng.h"
+
+namespace monarch::tfrecord {
+namespace {
+
+using monarch::testing::Bytes;
+using monarch::testing::Text;
+
+class RecordIoTest : public ::testing::Test {
+ protected:
+  RecordIoTest() : engine_(std::make_shared<storage::MemoryEngine>()) {}
+
+  EngineSource WriteFile(const std::vector<std::vector<std::byte>>& payloads,
+                         const std::string& path = "f.rec") {
+    RecordIoWriter writer;
+    for (const auto& p : payloads) {
+      EXPECT_TRUE(writer.Append(p).ok());
+    }
+    EXPECT_TRUE(writer.Flush(*engine_, path).ok());
+    return EngineSource(engine_, path);
+  }
+
+  std::shared_ptr<storage::MemoryEngine> engine_;
+};
+
+TEST_F(RecordIoTest, FramedSizeIsFourByteAligned) {
+  for (std::uint64_t payload : {0ULL, 1ULL, 2ULL, 3ULL, 4ULL, 5ULL, 100ULL}) {
+    EXPECT_EQ(0u, RecordIoFramedSize(payload) % 4) << payload;
+    EXPECT_GE(RecordIoFramedSize(payload), kRecordIoHeaderBytes + payload);
+    EXPECT_LT(RecordIoFramedSize(payload),
+              kRecordIoHeaderBytes + payload + 4);
+  }
+}
+
+TEST_F(RecordIoTest, RoundTripsRecords) {
+  auto source = WriteFile({Bytes("alpha"), Bytes("beta-longer"), Bytes("c")});
+  RecordIoReader reader(source);
+  EXPECT_EQ("alpha", Text(reader.ReadRecord().value()));
+  EXPECT_EQ("beta-longer", Text(reader.ReadRecord().value()));
+  EXPECT_EQ("c", Text(reader.ReadRecord().value()));
+  EXPECT_STATUS_CODE(StatusCode::kOutOfRange, reader.ReadRecord());
+  EXPECT_TRUE(reader.AtEnd());
+  EXPECT_EQ(3u, reader.records_read());
+}
+
+TEST_F(RecordIoTest, MagicIsOnDiskLittleEndian) {
+  WriteFile({Bytes("x")}, "f");
+  std::vector<std::byte> raw(4);
+  ASSERT_OK(engine_->Read("f", 0, raw));
+  EXPECT_EQ(std::byte{0x0A}, raw[0]);
+  EXPECT_EQ(std::byte{0x23}, raw[1]);
+  EXPECT_EQ(std::byte{0xD7}, raw[2]);
+  EXPECT_EQ(std::byte{0xCE}, raw[3]);
+}
+
+TEST_F(RecordIoTest, EmptyPayloadAndEmptyFile) {
+  auto source = WriteFile({{}});
+  RecordIoReader reader(source);
+  EXPECT_TRUE(reader.ReadRecord().value().empty());
+  EXPECT_STATUS_CODE(StatusCode::kOutOfRange, reader.ReadRecord());
+
+  auto empty = WriteFile({}, "empty");
+  RecordIoReader empty_reader(empty);
+  EXPECT_STATUS_CODE(StatusCode::kOutOfRange, empty_reader.ReadRecord());
+}
+
+TEST_F(RecordIoTest, BadMagicIsDataLoss) {
+  WriteFile({Bytes("payload")}, "f");
+  std::vector<std::byte> raw(engine_->FileSize("f").value());
+  ASSERT_OK(engine_->Read("f", 0, raw));
+  raw[0] = std::byte{0xFF};
+  ASSERT_OK(engine_->Write("f", raw));
+  EngineSource source(engine_, "f");
+  RecordIoReader reader(source);
+  EXPECT_STATUS_CODE(StatusCode::kDataLoss, reader.ReadRecord());
+}
+
+TEST_F(RecordIoTest, TruncatedPayloadIsDataLoss) {
+  WriteFile({Bytes("a-longer-payload")}, "f");
+  std::vector<std::byte> raw(engine_->FileSize("f").value());
+  ASSERT_OK(engine_->Read("f", 0, raw));
+  raw.resize(raw.size() - 8);
+  ASSERT_OK(engine_->Write("f", raw));
+  EngineSource source(engine_, "f");
+  RecordIoReader reader(source);
+  EXPECT_STATUS_CODE(StatusCode::kDataLoss, reader.ReadRecord());
+}
+
+TEST_F(RecordIoTest, OversizedPayloadRejected) {
+  RecordIoWriter writer;
+  // Don't allocate 512 MiB: the length check happens before copying, so
+  // probe it with a fake span over a small buffer. Size is what matters.
+  std::vector<std::byte> tiny(1);
+  std::span<const std::byte> oversized(tiny.data(),
+                                       std::size_t{kRecordIoMaxLength} + 1);
+  EXPECT_STATUS_CODE(StatusCode::kInvalidArgument, writer.Append(oversized));
+}
+
+TEST_F(RecordIoTest, RandomSizedRecordsRoundTrip) {
+  Xoshiro256 rng(21);
+  std::vector<std::vector<std::byte>> payloads;
+  for (int i = 0; i < 40; ++i) {
+    std::vector<std::byte> p(rng.NextBounded(5000));
+    for (auto& b : p) b = static_cast<std::byte>(rng() & 0xFF);
+    payloads.push_back(std::move(p));
+  }
+  auto source = WriteFile(payloads);
+  RecordIoReader reader(source);
+  for (const auto& expected : payloads) {
+    auto record = reader.ReadRecord();
+    ASSERT_OK(record);
+    EXPECT_EQ(expected, record.value());
+  }
+}
+
+TEST_F(RecordIoTest, StreamsThroughMonarchUnchanged) {
+  // The format-agnosticism claim: the SAME middleware serves RecordIO
+  // framing with zero format-specific code in MONARCH.
+  auto pfs = std::make_shared<storage::MemoryEngine>("pfs");
+  auto local = std::make_shared<storage::MemoryEngine>("local");
+  {
+    RecordIoWriter writer;
+    for (int i = 0; i < 20; ++i) {
+      ASSERT_OK(writer.Append(Bytes("rec-" + std::to_string(i))));
+    }
+    ASSERT_OK(writer.Flush(*pfs, "data/shard.rec"));
+  }
+  core::MonarchConfig config;
+  config.cache_tiers.push_back(core::TierSpec{"local", local, 1 << 20});
+  config.pfs = core::TierSpec{"pfs", pfs, 0};
+  config.dataset_dir = "data";
+  auto monarch = core::Monarch::Create(std::move(config));
+  ASSERT_OK(monarch);
+
+  for (int epoch = 0; epoch < 2; ++epoch) {
+    core::MonarchSource source(**monarch, "data/shard.rec");
+    RecordIoReader reader(source);
+    for (int i = 0; i < 20; ++i) {
+      EXPECT_EQ("rec-" + std::to_string(i), Text(reader.ReadRecord().value()));
+    }
+    monarch.value()->DrainPlacements();
+  }
+  EXPECT_EQ(1u, monarch.value()->Stats().placement.completed);
+  EXPECT_TRUE(local->Exists("data/shard.rec").value());
+}
+
+}  // namespace
+}  // namespace monarch::tfrecord

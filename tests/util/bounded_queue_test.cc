@@ -1,0 +1,131 @@
+#include "util/bounded_queue.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <numeric>
+#include <thread>
+#include <vector>
+
+#include "util/clock.h"
+
+namespace monarch {
+namespace {
+
+TEST(BoundedQueueTest, PushPopSingleThread) {
+  BoundedQueue<int> queue(4);
+  EXPECT_TRUE(queue.Push(1));
+  EXPECT_TRUE(queue.Push(2));
+  EXPECT_EQ(1, queue.Pop().value());
+  EXPECT_EQ(2, queue.Pop().value());
+}
+
+TEST(BoundedQueueTest, CapacityAtLeastOne) {
+  BoundedQueue<int> queue(0);
+  EXPECT_EQ(1u, queue.capacity());
+}
+
+TEST(BoundedQueueTest, TryPopOnEmptyReturnsNullopt) {
+  BoundedQueue<int> queue(2);
+  EXPECT_FALSE(queue.TryPop().has_value());
+  queue.Push(9);
+  EXPECT_EQ(9, queue.TryPop().value());
+}
+
+TEST(BoundedQueueTest, PushBlocksWhenFull) {
+  BoundedQueue<int> queue(1);
+  queue.Push(1);
+  std::atomic<bool> pushed{false};
+  std::thread producer([&] {
+    queue.Push(2);
+    pushed.store(true);
+  });
+  std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  EXPECT_FALSE(pushed.load()) << "push must block while the queue is full";
+  EXPECT_EQ(1, queue.Pop().value());
+  producer.join();
+  EXPECT_TRUE(pushed.load());
+  EXPECT_EQ(2, queue.Pop().value());
+}
+
+TEST(BoundedQueueTest, PopBlocksUntilPush) {
+  BoundedQueue<int> queue(2);
+  std::thread producer([&] {
+    std::this_thread::sleep_for(std::chrono::milliseconds(10));
+    queue.Push(7);
+  });
+  EXPECT_EQ(7, queue.Pop().value());  // blocks until the producer runs
+  producer.join();
+}
+
+TEST(BoundedQueueTest, CloseDrainsRemainingItemsThenEnds) {
+  BoundedQueue<int> queue(4);
+  queue.Push(1);
+  queue.Push(2);
+  queue.Close();
+  EXPECT_EQ(1, queue.Pop().value());
+  EXPECT_EQ(2, queue.Pop().value());
+  EXPECT_FALSE(queue.Pop().has_value());
+  EXPECT_TRUE(queue.closed());
+}
+
+TEST(BoundedQueueTest, PushAfterCloseFails) {
+  BoundedQueue<int> queue(2);
+  queue.Close();
+  EXPECT_FALSE(queue.Push(1));
+}
+
+TEST(BoundedQueueTest, CloseReleasesBlockedProducer) {
+  BoundedQueue<int> queue(1);
+  queue.Push(1);
+  std::thread producer([&] { EXPECT_FALSE(queue.Push(2)); });
+  std::this_thread::sleep_for(std::chrono::milliseconds(10));
+  queue.Close();
+  producer.join();
+}
+
+TEST(BoundedQueueTest, CloseReleasesBlockedConsumer) {
+  BoundedQueue<int> queue(1);
+  std::thread consumer([&] { EXPECT_FALSE(queue.Pop().has_value()); });
+  std::this_thread::sleep_for(std::chrono::milliseconds(10));
+  queue.Close();
+  consumer.join();
+}
+
+TEST(BoundedQueueTest, MpmcDeliversEveryItemExactlyOnce) {
+  BoundedQueue<int> queue(16);
+  constexpr int kProducers = 4;
+  constexpr int kConsumers = 3;
+  constexpr int kPerProducer = 5000;
+
+  std::atomic<long long> consumed_sum{0};
+  std::atomic<int> consumed_count{0};
+  std::vector<std::thread> consumers;
+  for (int c = 0; c < kConsumers; ++c) {
+    consumers.emplace_back([&] {
+      while (auto item = queue.Pop()) {
+        consumed_sum.fetch_add(*item, std::memory_order_relaxed);
+        consumed_count.fetch_add(1, std::memory_order_relaxed);
+      }
+    });
+  }
+
+  std::vector<std::thread> producers;
+  for (int p = 0; p < kProducers; ++p) {
+    producers.emplace_back([&, p] {
+      for (int i = 0; i < kPerProducer; ++i) {
+        ASSERT_TRUE(queue.Push(p * kPerProducer + i));
+      }
+    });
+  }
+  for (auto& t : producers) t.join();
+  queue.Close();
+  for (auto& t : consumers) t.join();
+
+  const long long n = kProducers * kPerProducer;
+  EXPECT_EQ(n, consumed_count.load());
+  EXPECT_EQ(n * (n - 1) / 2, consumed_sum.load());
+}
+
+}  // namespace
+}  // namespace monarch

@@ -1,0 +1,67 @@
+#include "util/byte_units.h"
+
+#include <gtest/gtest.h>
+
+#include "../test_support.h"
+
+namespace monarch {
+namespace {
+
+using namespace monarch::literals;
+
+TEST(ByteUnitsTest, LiteralsScaleBinary) {
+  EXPECT_EQ(1024ULL, 1_KiB);
+  EXPECT_EQ(1024ULL * 1024, 1_MiB);
+  EXPECT_EQ(1024ULL * 1024 * 1024, 1_GiB);
+  EXPECT_EQ(115ULL * 1024 * 1024, 115_MiB);
+}
+
+TEST(ParseByteSizeTest, PlainNumbersAreBytes) {
+  auto parsed = ParseByteSize("512");
+  ASSERT_OK(parsed);
+  EXPECT_EQ(512u, parsed.value());
+}
+
+TEST(ParseByteSizeTest, BinarySuffixes) {
+  EXPECT_EQ(64_KiB, ParseByteSize("64KiB").value());
+  EXPECT_EQ(100_MiB, ParseByteSize("100 MiB").value());
+  EXPECT_EQ(2_GiB, ParseByteSize("2GiB").value());
+  EXPECT_EQ(1_KiB, ParseByteSize("1kib").value());  // case-insensitive
+  EXPECT_EQ(3_MiB, ParseByteSize("3M").value());     // short form
+  EXPECT_EQ(7u, ParseByteSize("7B").value());
+}
+
+TEST(ParseByteSizeTest, FractionalValuesRoundDown) {
+  EXPECT_EQ(1536u, ParseByteSize("1.5KiB").value());
+  EXPECT_EQ(static_cast<std::uint64_t>(2.5 * 1024 * 1024),
+            ParseByteSize("2.5 MiB").value());
+}
+
+TEST(ParseByteSizeTest, SurroundingWhitespaceIgnored) {
+  EXPECT_EQ(1_MiB, ParseByteSize("  1MiB  ").value());
+}
+
+TEST(ParseByteSizeTest, RejectsGarbage) {
+  EXPECT_STATUS_CODE(StatusCode::kInvalidArgument, ParseByteSize(""));
+  EXPECT_STATUS_CODE(StatusCode::kInvalidArgument, ParseByteSize("MiB"));
+  EXPECT_STATUS_CODE(StatusCode::kInvalidArgument, ParseByteSize("10XB"));
+  EXPECT_STATUS_CODE(StatusCode::kInvalidArgument, ParseByteSize("-5MiB"));
+}
+
+TEST(FormatByteSizeTest, PicksHumanUnit) {
+  EXPECT_EQ("512 B", FormatByteSize(512));
+  EXPECT_EQ("1.0 KiB", FormatByteSize(1024));
+  EXPECT_EQ("100.0 MiB", FormatByteSize(100_MiB));
+  EXPECT_EQ("1.5 GiB", FormatByteSize(1536_MiB));
+}
+
+TEST(FormatByteSizeTest, RoundTripsThroughParse) {
+  for (const std::uint64_t v : {1_KiB, 64_KiB, 100_MiB, 2_GiB}) {
+    auto parsed = ParseByteSize(FormatByteSize(v));
+    ASSERT_OK(parsed);
+    EXPECT_EQ(v, parsed.value());
+  }
+}
+
+}  // namespace
+}  // namespace monarch

@@ -1,0 +1,112 @@
+#include "util/histogram.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include <thread>
+#include <vector>
+
+namespace monarch {
+namespace {
+
+TEST(LatencyHistogramTest, EmptySnapshotIsZero) {
+  LatencyHistogram hist;
+  const auto snap = hist.TakeSnapshot();
+  EXPECT_EQ(0u, snap.count);
+  EXPECT_EQ(0.0, snap.mean_us);
+}
+
+TEST(LatencyHistogramTest, SingleSample) {
+  LatencyHistogram hist;
+  hist.RecordMicros(100);
+  const auto snap = hist.TakeSnapshot();
+  EXPECT_EQ(1u, snap.count);
+  EXPECT_DOUBLE_EQ(100.0, snap.mean_us);
+  EXPECT_EQ(100u, snap.min_us);
+  EXPECT_EQ(100u, snap.max_us);
+}
+
+TEST(LatencyHistogramTest, MeanMinMaxExact) {
+  LatencyHistogram hist;
+  for (const std::uint64_t us : {10u, 20u, 30u, 40u}) hist.RecordMicros(us);
+  const auto snap = hist.TakeSnapshot();
+  EXPECT_EQ(4u, snap.count);
+  EXPECT_DOUBLE_EQ(25.0, snap.mean_us);
+  EXPECT_EQ(10u, snap.min_us);
+  EXPECT_EQ(40u, snap.max_us);
+}
+
+TEST(LatencyHistogramTest, PercentilesAreBucketApproximate) {
+  LatencyHistogram hist;
+  // 90 fast ops at 10us, 10 slow at 10000us.
+  for (int i = 0; i < 90; ++i) hist.RecordMicros(10);
+  for (int i = 0; i < 10; ++i) hist.RecordMicros(10000);
+  const auto snap = hist.TakeSnapshot();
+  // p50 must land near 10us (log buckets give <= 2x slack), p99 near 10ms.
+  EXPECT_LE(snap.p50_us, 20u);
+  EXPECT_GE(snap.p99_us, 5000u);
+}
+
+TEST(LatencyHistogramTest, RecordDurationConverts) {
+  LatencyHistogram hist;
+  hist.Record(Millis(2));
+  const auto snap = hist.TakeSnapshot();
+  EXPECT_EQ(2000u, snap.min_us);
+}
+
+TEST(LatencyHistogramTest, ResetClearsEverything) {
+  LatencyHistogram hist;
+  hist.RecordMicros(5);
+  hist.Reset();
+  const auto snap = hist.TakeSnapshot();
+  EXPECT_EQ(0u, snap.count);
+}
+
+TEST(LatencyHistogramTest, ConcurrentRecordsAllCounted) {
+  LatencyHistogram hist;
+  constexpr int kThreads = 8;
+  constexpr int kPerThread = 10000;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&hist] {
+      for (int i = 0; i < kPerThread; ++i) {
+        hist.RecordMicros(static_cast<std::uint64_t>(i % 1000));
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+  EXPECT_EQ(static_cast<std::uint64_t>(kThreads * kPerThread),
+            hist.TakeSnapshot().count);
+}
+
+TEST(LatencyHistogramTest, SnapshotToStringMentionsPercentiles) {
+  LatencyHistogram hist;
+  hist.RecordMicros(42);
+  const std::string text = hist.TakeSnapshot().ToString();
+  EXPECT_NE(std::string::npos, text.find("p50"));
+  EXPECT_NE(std::string::npos, text.find("p99"));
+}
+
+TEST(RunningSummaryTest, WelfordMatchesClosedForm) {
+  RunningSummary summary;
+  const std::vector<double> samples{2, 4, 4, 4, 5, 5, 7, 9};
+  for (double s : samples) summary.Add(s);
+  EXPECT_EQ(8u, summary.count());
+  EXPECT_DOUBLE_EQ(5.0, summary.mean());
+  // Sample variance of the classic dataset is 32/7.
+  EXPECT_NEAR(32.0 / 7.0, summary.variance(), 1e-12);
+  EXPECT_NEAR(std::sqrt(32.0 / 7.0), summary.stddev(), 1e-12);
+  EXPECT_DOUBLE_EQ(2.0, summary.min());
+  EXPECT_DOUBLE_EQ(9.0, summary.max());
+}
+
+TEST(RunningSummaryTest, SingleSampleHasZeroVariance) {
+  RunningSummary summary;
+  summary.Add(3.5);
+  EXPECT_DOUBLE_EQ(3.5, summary.mean());
+  EXPECT_DOUBLE_EQ(0.0, summary.variance());
+}
+
+}  // namespace
+}  // namespace monarch

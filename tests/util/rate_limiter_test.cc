@@ -1,0 +1,75 @@
+#include "util/rate_limiter.h"
+
+#include <gtest/gtest.h>
+
+#include <thread>
+#include <vector>
+
+#include "util/clock.h"
+
+namespace monarch {
+namespace {
+
+TEST(RateLimiterTest, BurstPassesImmediately) {
+  RateLimiter limiter(/*rate=*/1000.0, /*burst=*/100.0);
+  EXPECT_EQ(kZeroDuration, limiter.Reserve(50.0));
+  EXPECT_EQ(kZeroDuration, limiter.Reserve(50.0));
+}
+
+TEST(RateLimiterTest, DeficitProducesProportionalWait) {
+  RateLimiter limiter(/*rate=*/1000.0, /*burst=*/10.0);
+  limiter.Acquire(10.0);  // exhaust burst
+  // 500 tokens over at 1000/s -> ~0.5 s wait.
+  const Duration wait = limiter.Reserve(500.0);
+  EXPECT_NEAR(0.5, ToSeconds(wait), 0.05);
+}
+
+TEST(RateLimiterTest, ZeroTokensFree) {
+  RateLimiter limiter(100.0);
+  EXPECT_EQ(kZeroDuration, limiter.Reserve(0.0));
+  EXPECT_EQ(kZeroDuration, limiter.Reserve(-5.0));
+}
+
+TEST(RateLimiterTest, RefillsOverTime) {
+  RateLimiter limiter(/*rate=*/10000.0, /*burst=*/100.0);
+  limiter.Acquire(100.0);
+  PreciseSleep(Millis(20));  // refills ~200 tokens, capped at burst=100
+  EXPECT_EQ(kZeroDuration, limiter.Reserve(90.0));
+}
+
+TEST(RateLimiterTest, SetRateTakesEffect) {
+  RateLimiter limiter(/*rate=*/100.0, /*burst=*/1.0);
+  limiter.SetRate(10000.0);
+  EXPECT_DOUBLE_EQ(10000.0, limiter.rate_per_sec());
+  limiter.Acquire(1.0);
+  const Duration wait = limiter.Reserve(100.0);
+  // 100 tokens at 10000/s -> ~10ms, not ~1s.
+  EXPECT_LT(ToSeconds(wait), 0.1);
+}
+
+TEST(RateLimiterTest, SustainedThroughputMatchesRate) {
+  // Acquire 40 x 25 tokens at rate 5000/s: ideal time 0.2s (minus burst).
+  RateLimiter limiter(/*rate=*/5000.0, /*burst=*/25.0);
+  const Stopwatch timer;
+  for (int i = 0; i < 40; ++i) limiter.Acquire(25.0);
+  const double elapsed = timer.ElapsedSeconds();
+  EXPECT_GT(elapsed, 0.12);
+  EXPECT_LT(elapsed, 0.40);
+}
+
+TEST(RateLimiterTest, ConcurrentAcquirersShareTheRate) {
+  RateLimiter limiter(/*rate=*/10000.0, /*burst=*/100.0);
+  const Stopwatch timer;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < 4; ++t) {
+    threads.emplace_back([&limiter] {
+      for (int i = 0; i < 10; ++i) limiter.Acquire(50.0);
+    });
+  }
+  for (auto& t : threads) t.join();
+  // 2000 tokens total at 10000/s -> >= ~0.19s regardless of thread count.
+  EXPECT_GT(timer.ElapsedSeconds(), 0.12);
+}
+
+}  // namespace
+}  // namespace monarch

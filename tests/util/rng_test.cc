@@ -1,0 +1,97 @@
+#include "util/rng.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <numeric>
+#include <set>
+#include <vector>
+
+namespace monarch {
+namespace {
+
+TEST(SplitMix64Test, DeterministicForSeed) {
+  SplitMix64 a(123);
+  SplitMix64 b(123);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.Next(), b.Next());
+}
+
+TEST(SplitMix64Test, DifferentSeedsDiverge) {
+  SplitMix64 a(1);
+  SplitMix64 b(2);
+  int same = 0;
+  for (int i = 0; i < 64; ++i) {
+    if (a.Next() == b.Next()) ++same;
+  }
+  EXPECT_EQ(0, same);
+}
+
+TEST(Xoshiro256Test, SatisfiesUniformRandomBitGenerator) {
+  static_assert(std::uniform_random_bit_generator<Xoshiro256>);
+  EXPECT_EQ(0u, Xoshiro256::min());
+  EXPECT_EQ(UINT64_MAX, Xoshiro256::max());
+}
+
+TEST(Xoshiro256Test, ReproducibleStreams) {
+  Xoshiro256 a(42);
+  Xoshiro256 b(42);
+  for (int i = 0; i < 1000; ++i) EXPECT_EQ(a(), b());
+}
+
+TEST(Xoshiro256Test, NextDoubleInUnitInterval) {
+  Xoshiro256 rng(7);
+  for (int i = 0; i < 10000; ++i) {
+    const double v = rng.NextDouble();
+    EXPECT_GE(v, 0.0);
+    EXPECT_LT(v, 1.0);
+  }
+}
+
+TEST(Xoshiro256Test, NextDoubleRoughlyUniform) {
+  Xoshiro256 rng(9);
+  double sum = 0;
+  constexpr int kN = 100000;
+  for (int i = 0; i < kN; ++i) sum += rng.NextDouble();
+  EXPECT_NEAR(0.5, sum / kN, 0.01);
+}
+
+TEST(Xoshiro256Test, NextBoundedStaysInBound) {
+  Xoshiro256 rng(3);
+  for (const std::uint64_t bound : {1ULL, 2ULL, 7ULL, 1000ULL, 1ULL << 40}) {
+    for (int i = 0; i < 1000; ++i) {
+      EXPECT_LT(rng.NextBounded(bound), bound);
+    }
+  }
+}
+
+TEST(Xoshiro256Test, NextBoundedZeroIsZero) {
+  Xoshiro256 rng(3);
+  EXPECT_EQ(0u, rng.NextBounded(0));
+}
+
+TEST(Xoshiro256Test, NextBoundedCoversAllResidues) {
+  Xoshiro256 rng(11);
+  std::set<std::uint64_t> seen;
+  for (int i = 0; i < 2000; ++i) seen.insert(rng.NextBounded(10));
+  EXPECT_EQ(10u, seen.size());
+}
+
+TEST(Xoshiro256Test, WorksWithStdShuffleDeterministically) {
+  std::vector<int> v1(50);
+  std::vector<int> v2(50);
+  std::iota(v1.begin(), v1.end(), 0);
+  std::iota(v2.begin(), v2.end(), 0);
+  Xoshiro256 a(5);
+  Xoshiro256 b(5);
+  std::shuffle(v1.begin(), v1.end(), a);
+  std::shuffle(v2.begin(), v2.end(), b);
+  EXPECT_EQ(v1, v2);
+  std::vector<int> sorted = v1;
+  std::sort(sorted.begin(), sorted.end());
+  std::vector<int> expected(50);
+  std::iota(expected.begin(), expected.end(), 0);
+  EXPECT_EQ(expected, sorted) << "shuffle must be a permutation";
+}
+
+}  // namespace
+}  // namespace monarch

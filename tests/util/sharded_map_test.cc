@@ -1,0 +1,114 @@
+#include "util/sharded_map.h"
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <thread>
+#include <vector>
+
+namespace monarch {
+namespace {
+
+TEST(ShardedMapTest, InsertFindErase) {
+  ShardedMap<std::string, int> map;
+  EXPECT_TRUE(map.Insert("a", 1));
+  EXPECT_FALSE(map.Insert("a", 2)) << "duplicate insert must fail";
+  EXPECT_EQ(1, map.Find("a").value());
+  EXPECT_FALSE(map.Find("missing").has_value());
+  EXPECT_TRUE(map.Contains("a"));
+  EXPECT_TRUE(map.Erase("a"));
+  EXPECT_FALSE(map.Erase("a"));
+  EXPECT_FALSE(map.Contains("a"));
+}
+
+TEST(ShardedMapTest, InsertOrAssignOverwrites) {
+  ShardedMap<std::string, int> map;
+  map.InsertOrAssign("k", 1);
+  map.InsertOrAssign("k", 2);
+  EXPECT_EQ(2, map.Find("k").value());
+  EXPECT_EQ(1u, map.Size());
+}
+
+TEST(ShardedMapTest, UpdateMutatesInPlace) {
+  ShardedMap<std::string, int> map;
+  map.Insert("k", 10);
+  EXPECT_TRUE(map.Update("k", [](int& v) { v += 5; }));
+  EXPECT_EQ(15, map.Find("k").value());
+  EXPECT_FALSE(map.Update("absent", [](int&) { FAIL(); }));
+}
+
+TEST(ShardedMapTest, SizeAndClearSpanShards) {
+  ShardedMap<int, int> map(8);
+  for (int i = 0; i < 1000; ++i) map.Insert(i, i);
+  EXPECT_EQ(1000u, map.Size());
+  EXPECT_FALSE(map.Empty());
+  map.Clear();
+  EXPECT_TRUE(map.Empty());
+}
+
+TEST(ShardedMapTest, ShardCountRoundsUpToPowerOfTwo) {
+  ShardedMap<int, int> map(5);
+  EXPECT_EQ(8u, map.shard_count());
+  ShardedMap<int, int> one(1);
+  EXPECT_EQ(1u, one.shard_count());
+}
+
+TEST(ShardedMapTest, ForEachVisitsEveryEntry) {
+  ShardedMap<int, int> map;
+  int expected_sum = 0;
+  for (int i = 0; i < 100; ++i) {
+    map.Insert(i, i * 2);
+    expected_sum += i * 2;
+  }
+  int sum = 0;
+  std::size_t visits = 0;
+  map.ForEach([&](const int&, const int& v) {
+    sum += v;
+    ++visits;
+  });
+  EXPECT_EQ(expected_sum, sum);
+  EXPECT_EQ(100u, visits);
+}
+
+TEST(ShardedMapTest, ConcurrentInsertsAreAllRetained) {
+  ShardedMap<int, int> map(16);
+  constexpr int kThreads = 8;
+  constexpr int kPerThread = 2000;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&map, t] {
+      for (int i = 0; i < kPerThread; ++i) {
+        map.Insert(t * kPerThread + i, i);
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+  EXPECT_EQ(static_cast<std::size_t>(kThreads * kPerThread), map.Size());
+}
+
+TEST(ShardedMapTest, ConcurrentReadersDuringWrites) {
+  ShardedMap<int, int> map(16);
+  for (int i = 0; i < 1000; ++i) map.Insert(i, i);
+
+  std::atomic<std::uint64_t> hits{0};
+  std::vector<std::thread> readers;
+  for (int t = 0; t < 4; ++t) {
+    readers.emplace_back([&] {
+      for (int round = 0; round < 200; ++round) {
+        for (int i = 0; i < 1000; i += 37) {
+          if (auto v = map.Find(i); v.has_value()) {
+            EXPECT_EQ(i, *v % 100000);
+            hits.fetch_add(1, std::memory_order_relaxed);
+          }
+        }
+      }
+    });
+  }
+  for (int i = 1000; i < 3000; ++i) map.Insert(i, i);
+  for (auto& t : readers) t.join();
+  EXPECT_GT(hits.load(), 0u);
+  EXPECT_EQ(3000u, map.Size());
+}
+
+}  // namespace
+}  // namespace monarch

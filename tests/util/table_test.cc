@@ -1,0 +1,57 @@
+#include "util/table.h"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+namespace monarch {
+namespace {
+
+TEST(TableTest, NumFormatsPrecision) {
+  EXPECT_EQ("3.1", Table::Num(3.14159));
+  EXPECT_EQ("3.142", Table::Num(3.14159, 3));
+  EXPECT_EQ("-2.0", Table::Num(-2.0));
+}
+
+TEST(TableTest, PctFormatsFraction) {
+  EXPECT_EQ("45.0%", Table::Pct(0.45));
+  EXPECT_EQ("7.25%", Table::Pct(0.0725, 2));
+}
+
+TEST(TableTest, AsciiAlignsColumns) {
+  Table table({"model", "time"});
+  table.AddRow({"lenet", "1205"});
+  table.AddRow({"resnet50", "9"});
+  std::ostringstream os;
+  table.PrintAscii(os);
+  const std::string out = os.str();
+  EXPECT_NE(std::string::npos, out.find("| model    |"));
+  EXPECT_NE(std::string::npos, out.find("| lenet    |"));
+  EXPECT_NE(std::string::npos, out.find("| resnet50 |"));
+  // Header separator lines: top, under header, bottom.
+  std::size_t separators = 0;
+  for (std::size_t pos = out.find("+--"); pos != std::string::npos;
+       pos = out.find("+--", pos + 1)) {
+    ++separators;
+  }
+  EXPECT_GE(separators, 3u);
+}
+
+TEST(TableTest, CsvMatchesRows) {
+  Table table({"a", "b"});
+  table.AddRow({"1", "2"});
+  table.AddRow({"3", "4"});
+  std::ostringstream os;
+  table.PrintCsv(os);
+  EXPECT_EQ("a,b\n1,2\n3,4\n", os.str());
+  EXPECT_EQ(2u, table.row_count());
+}
+
+TEST(TableTest, BannerWrapsTitle) {
+  std::ostringstream os;
+  PrintBanner(os, "Figure 3");
+  EXPECT_EQ("\n==== Figure 3 ====\n", os.str());
+}
+
+}  // namespace
+}  // namespace monarch

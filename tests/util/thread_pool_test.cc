@@ -1,0 +1,133 @@
+#include "util/thread_pool.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <set>
+#include <thread>
+#include <vector>
+
+namespace monarch {
+namespace {
+
+TEST(ThreadPoolTest, RunsSubmittedTasks) {
+  ThreadPool pool(4);
+  std::atomic<int> counter{0};
+  for (int i = 0; i < 100; ++i) {
+    pool.Submit([&counter] { counter.fetch_add(1); });
+  }
+  pool.Drain();
+  EXPECT_EQ(100, counter.load());
+}
+
+TEST(ThreadPoolTest, AtLeastOneWorkerEvenWhenAskedForZero) {
+  ThreadPool pool(0);
+  EXPECT_EQ(1u, pool.num_threads());
+  std::atomic<bool> ran{false};
+  pool.Submit([&ran] { ran.store(true); });
+  pool.Drain();
+  EXPECT_TRUE(ran.load());
+}
+
+TEST(ThreadPoolTest, AsyncReturnsFutureWithResult) {
+  ThreadPool pool(2);
+  auto future = pool.Async([] { return 6 * 7; });
+  EXPECT_EQ(42, future.get());
+}
+
+TEST(ThreadPoolTest, AsyncPropagatesExceptions) {
+  ThreadPool pool(2);
+  auto future = pool.Async([]() -> int { throw std::runtime_error("boom"); });
+  EXPECT_THROW(future.get(), std::runtime_error);
+}
+
+TEST(ThreadPoolTest, DrainWaitsForInFlightWork) {
+  ThreadPool pool(2);
+  std::atomic<int> finished{0};
+  for (int i = 0; i < 8; ++i) {
+    pool.Submit([&finished] {
+      std::this_thread::sleep_for(std::chrono::milliseconds(5));
+      finished.fetch_add(1);
+    });
+  }
+  pool.Drain();
+  EXPECT_EQ(8, finished.load());
+}
+
+TEST(ThreadPoolTest, DrainOnEmptyPoolReturnsImmediately) {
+  ThreadPool pool(2);
+  pool.Drain();  // must not deadlock
+  SUCCEED();
+}
+
+TEST(ThreadPoolTest, ShutdownFinishesQueuedTasks) {
+  std::atomic<int> counter{0};
+  {
+    ThreadPool pool(1);
+    for (int i = 0; i < 20; ++i) {
+      pool.Submit([&counter] {
+        std::this_thread::sleep_for(std::chrono::microseconds(200));
+        counter.fetch_add(1);
+      });
+    }
+    pool.Shutdown();  // queued tasks still run to completion
+  }
+  EXPECT_EQ(20, counter.load());
+}
+
+TEST(ThreadPoolTest, ShutdownIsIdempotent) {
+  ThreadPool pool(2);
+  pool.Shutdown();
+  pool.Shutdown();
+  SUCCEED();
+}
+
+TEST(ThreadPoolTest, TasksRunOnMultipleThreads) {
+  ThreadPool pool(4);
+  std::mutex mu;
+  std::set<std::thread::id> seen;
+  std::atomic<int> rendezvous{0};
+  for (int i = 0; i < 4; ++i) {
+    pool.Submit([&] {
+      rendezvous.fetch_add(1);
+      // Hold each worker until all four tasks have started, forcing the
+      // pool to actually use four distinct threads.
+      while (rendezvous.load() < 4) std::this_thread::yield();
+      std::lock_guard<std::mutex> lock(mu);
+      seen.insert(std::this_thread::get_id());
+    });
+  }
+  pool.Drain();
+  EXPECT_EQ(4u, seen.size());
+}
+
+TEST(ThreadPoolTest, FifoOrderWithSingleWorker) {
+  ThreadPool pool(1);
+  std::vector<int> order;
+  for (int i = 0; i < 10; ++i) {
+    pool.Submit([&order, i] { order.push_back(i); });
+  }
+  pool.Drain();
+  ASSERT_EQ(10u, order.size());
+  for (int i = 0; i < 10; ++i) EXPECT_EQ(i, order[static_cast<size_t>(i)]);
+}
+
+TEST(ThreadPoolTest, QueueDepthReflectsBacklog) {
+  ThreadPool pool(1);
+  std::atomic<bool> release{false};
+  pool.Submit([&release] {
+    while (!release.load()) std::this_thread::yield();
+  });
+  // Give the worker a moment to pick up the blocking task.
+  std::this_thread::sleep_for(std::chrono::milliseconds(10));
+  pool.Submit([] {});
+  pool.Submit([] {});
+  EXPECT_EQ(2u, pool.QueueDepth());
+  release.store(true);
+  pool.Drain();
+  EXPECT_EQ(0u, pool.QueueDepth());
+}
+
+}  // namespace
+}  // namespace monarch

@@ -1,0 +1,173 @@
+#include "workload/dataset_generator.h"
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <set>
+
+#include "../test_support.h"
+#include "storage/memory_engine.h"
+#include "tfrecord/index.h"
+#include "tfrecord/reader.h"
+
+namespace monarch::workload {
+namespace {
+
+TEST(DatasetSpecTest, PresetsMatchPaperScaling) {
+  const auto small = DatasetSpec::ImageNet100GiB();
+  const auto large = DatasetSpec::ImageNet200GiB();
+  // The 200 GiB dataset must be ~2x the 100 GiB one, and the 100 GiB one
+  // must fit under the 115 MiB scaled local quota while the 200 GiB one
+  // must not.
+  EXPECT_NEAR(2.0,
+              static_cast<double>(large.approx_total_bytes()) /
+                  static_cast<double>(small.approx_total_bytes()),
+              0.1);
+  EXPECT_LT(small.approx_total_bytes(), 115ULL * 1024 * 1024);
+  EXPECT_GT(large.approx_total_bytes(), 115ULL * 1024 * 1024);
+}
+
+TEST(DatasetSpecTest, ScaleShrinksFileCount) {
+  const auto full = DatasetSpec::ImageNet100GiB(1.0);
+  const auto tenth = DatasetSpec::ImageNet100GiB(0.1);
+  EXPECT_NEAR(0.1,
+              static_cast<double>(tenth.num_files) /
+                  static_cast<double>(full.num_files),
+              0.05);
+}
+
+TEST(RecordFilePathTest, ShardNamingIsStable) {
+  const auto spec = DatasetSpec::Tiny();
+  EXPECT_EQ("tiny/train-00003-of-00008.tfrecord", RecordFilePath(spec, 3));
+}
+
+TEST(SamplePayloadTest, DeterministicPerIdentity) {
+  const auto spec = DatasetSpec::Tiny();
+  EXPECT_EQ(SamplePayload(spec, 1, 2), SamplePayload(spec, 1, 2));
+  EXPECT_NE(SamplePayload(spec, 1, 2), SamplePayload(spec, 1, 3));
+  EXPECT_NE(SamplePayload(spec, 1, 2), SamplePayload(spec, 2, 2));
+}
+
+TEST(SamplePayloadTest, CarriesIdentityHeader) {
+  const auto spec = DatasetSpec::Tiny();
+  const auto payload = SamplePayload(spec, 5, 3);
+  ASSERT_GE(payload.size(), 20u);
+  EXPECT_EQ(std::byte{'M'}, payload[0]);
+  EXPECT_EQ(std::byte{'N'}, payload[1]);
+  EXPECT_EQ(std::byte{'R'}, payload[2]);
+  EXPECT_EQ(std::byte{'C'}, payload[3]);
+  EXPECT_EQ(std::byte{5}, payload[4]);   // file index LSB
+  EXPECT_EQ(std::byte{3}, payload[12]);  // sample index LSB
+}
+
+TEST(SamplePayloadTest, SizeJitterStaysInBand) {
+  auto spec = DatasetSpec::Tiny();
+  spec.mean_sample_bytes = 10000;
+  spec.sample_size_jitter = 0.25;
+  for (std::uint64_t s = 0; s < 200; ++s) {
+    const auto payload = SamplePayload(spec, 0, s);
+    EXPECT_GE(payload.size(), 7500u);
+    EXPECT_LE(payload.size(), 12500u);
+  }
+}
+
+class GenerateDatasetTest : public ::testing::Test {
+ protected:
+  GenerateDatasetTest()
+      : engine_(std::make_shared<storage::MemoryEngine>()) {}
+
+  std::shared_ptr<storage::MemoryEngine> engine_;
+};
+
+TEST_F(GenerateDatasetTest, ProducesManifestMatchingSpec) {
+  const auto spec = DatasetSpec::Tiny();
+  auto manifest = GenerateDataset(*engine_, spec);
+  ASSERT_OK(manifest);
+  EXPECT_EQ(spec.num_files, manifest.value().num_files());
+  EXPECT_EQ(spec.num_files, manifest.value().file_sizes.size());
+  EXPECT_GT(manifest.value().total_bytes, 0u);
+
+  // Files really exist with the recorded sizes.
+  for (std::size_t i = 0; i < manifest.value().num_files(); ++i) {
+    auto size = engine_->FileSize(manifest.value().file_paths[i]);
+    ASSERT_OK(size);
+    EXPECT_EQ(manifest.value().file_sizes[i], size.value());
+  }
+}
+
+TEST_F(GenerateDatasetTest, FilesAreValidTFRecords) {
+  const auto spec = DatasetSpec::Tiny();
+  auto manifest = GenerateDataset(*engine_, spec);
+  ASSERT_OK(manifest);
+
+  std::uint64_t total_samples = 0;
+  for (const auto& path : manifest.value().file_paths) {
+    tfrecord::EngineSource source(engine_, path);
+    auto index = tfrecord::BuildIndex(source);
+    SCOPED_TRACE(path);
+    ASSERT_OK(index);
+    total_samples += index.value().size();
+
+    tfrecord::TFRecordReader reader(source);
+    while (true) {
+      auto record = reader.ReadRecord();
+      if (!record.ok()) {
+        EXPECT_EQ(StatusCode::kOutOfRange, record.status().code());
+        break;
+      }
+    }
+  }
+  EXPECT_EQ(spec.total_samples(), total_samples);
+}
+
+TEST_F(GenerateDatasetTest, RecordsMatchSamplePayloadOracle) {
+  const auto spec = DatasetSpec::Tiny();
+  ASSERT_OK(GenerateDataset(*engine_, spec));
+
+  tfrecord::EngineSource source(engine_, RecordFilePath(spec, 2));
+  tfrecord::TFRecordReader reader(source);
+  for (std::uint64_t s = 0; s < spec.samples_per_file; ++s) {
+    auto record = reader.ReadRecord();
+    ASSERT_OK(record);
+    EXPECT_EQ(SamplePayload(spec, 2, s), record.value()) << "sample " << s;
+  }
+}
+
+TEST_F(GenerateDatasetTest, DeterministicAcrossRuns) {
+  const auto spec = DatasetSpec::Tiny();
+  auto engine2 = std::make_shared<storage::MemoryEngine>();
+  ASSERT_OK(GenerateDataset(*engine_, spec));
+  ASSERT_OK(GenerateDataset(*engine2, spec));
+
+  const std::string path = RecordFilePath(spec, 0);
+  std::vector<std::byte> a(engine_->FileSize(path).value());
+  std::vector<std::byte> b(engine2->FileSize(path).value());
+  ASSERT_OK(engine_->Read(path, 0, a));
+  ASSERT_OK(engine2->Read(path, 0, b));
+  EXPECT_EQ(a, b);
+}
+
+TEST_F(GenerateDatasetTest, RejectsDegenerateSpecs) {
+  auto spec = DatasetSpec::Tiny();
+  spec.num_files = 0;
+  EXPECT_STATUS_CODE(StatusCode::kInvalidArgument,
+                     GenerateDataset(*engine_, spec));
+}
+
+TEST_F(GenerateDatasetTest, LoadManifestMatchesGenerated) {
+  const auto spec = DatasetSpec::Tiny();
+  auto generated = GenerateDataset(*engine_, spec);
+  ASSERT_OK(generated);
+  auto loaded = LoadManifest(*engine_, spec);
+  ASSERT_OK(loaded);
+  EXPECT_EQ(generated.value().file_paths, loaded.value().file_paths);
+  EXPECT_EQ(generated.value().total_bytes, loaded.value().total_bytes);
+}
+
+TEST_F(GenerateDatasetTest, LoadManifestOnEmptyDirFails) {
+  EXPECT_STATUS_CODE(StatusCode::kNotFound,
+                     LoadManifest(*engine_, DatasetSpec::Tiny()));
+}
+
+}  // namespace
+}  // namespace monarch::workload

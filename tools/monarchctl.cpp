@@ -1,0 +1,319 @@
+// monarchctl — command-line front end for the MONARCH library.
+//
+//   monarchctl gen --dir DIR [--preset tiny|100g|200g] [--scale S]
+//       Generate a synthetic TFRecord dataset into DIR.
+//
+//   monarchctl inspect --dir DIR [--subdir NAME]
+//       Validate every TFRecord file under a dataset directory (CRC
+//       framing) and print per-file record counts.
+//
+//   monarchctl run --config FILE.ini [--epochs N] [--model NAME]
+//       Build a MONARCH hierarchy from an INI file (see core/config.h),
+//       run a training simulation through it, and print per-epoch times
+//       plus tier statistics.
+//
+//   monarchctl replay --dir DIR --trace FILE [--profile ssd|lustre]
+//       Replay a captured I/O trace against a simulated device.
+//
+// Exit code 0 on success, 1 on usage errors, 2 on runtime failures.
+#include <filesystem>
+#include <fstream>
+#include <iostream>
+#include <map>
+#include <optional>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "core/config.h"
+#include "core/monarch.h"
+#include "dlsim/monarch_opener.h"
+#include "dlsim/trainer.h"
+#include "storage/engine_factory.h"
+#include "tfrecord/index.h"
+#include "util/byte_units.h"
+#include "util/table.h"
+#include "workload/dataset_generator.h"
+#include "workload/trace.h"
+
+namespace monarch::ctl {
+namespace {
+
+namespace fs = std::filesystem;
+
+/// Minimal --flag value parser: flags are "--name value"; bare words are
+/// positional (we only use one: the subcommand).
+struct Args {
+  std::string command;
+  std::map<std::string, std::string> flags;
+
+  [[nodiscard]] std::optional<std::string> Get(const std::string& key) const {
+    auto it = flags.find(key);
+    if (it == flags.end()) return std::nullopt;
+    return it->second;
+  }
+
+  [[nodiscard]] std::string GetOr(const std::string& key,
+                                  std::string fallback) const {
+    return Get(key).value_or(std::move(fallback));
+  }
+};
+
+Result<Args> ParseArgs(int argc, char** argv) {
+  Args args;
+  int i = 1;
+  if (i < argc && argv[i][0] != '-') {
+    args.command = argv[i++];
+  }
+  while (i < argc) {
+    std::string flag = argv[i];
+    if (!flag.starts_with("--")) {
+      return InvalidArgumentError("unexpected argument '" + flag + "'");
+    }
+    flag = flag.substr(2);
+    if (i + 1 >= argc) {
+      return InvalidArgumentError("flag --" + flag + " needs a value");
+    }
+    args.flags[flag] = argv[i + 1];
+    i += 2;
+  }
+  return args;
+}
+
+void PrintUsage() {
+  std::cout <<
+      "monarchctl — MONARCH hierarchical storage management CLI\n\n"
+      "  monarchctl gen     --dir DIR [--preset tiny|100g|200g] [--scale S]\n"
+      "  monarchctl inspect --dir DIR [--subdir NAME]\n"
+      "  monarchctl run     --config FILE.ini [--epochs N] [--model lenet|alexnet|resnet50]\n"
+      "  monarchctl replay  --dir DIR --trace FILE [--profile ssd|lustre] [--threads N]\n";
+}
+
+Result<workload::DatasetSpec> PresetSpec(const std::string& preset,
+                                         double scale) {
+  if (preset == "tiny") return workload::DatasetSpec::Tiny();
+  if (preset == "100g") return workload::DatasetSpec::ImageNet100GiB(scale);
+  if (preset == "200g") return workload::DatasetSpec::ImageNet200GiB(scale);
+  return InvalidArgumentError("unknown preset '" + preset +
+                              "' (tiny|100g|200g)");
+}
+
+int CmdGen(const Args& args) {
+  const auto dir = args.Get("dir");
+  if (!dir) {
+    std::cerr << "gen: --dir is required\n";
+    return 1;
+  }
+  const double scale = std::atof(args.GetOr("scale", "1.0").c_str());
+  auto spec = PresetSpec(args.GetOr("preset", "tiny"),
+                         scale > 0 ? scale : 1.0);
+  if (!spec.ok()) {
+    std::cerr << "gen: " << spec.status() << "\n";
+    return 1;
+  }
+  auto engine = storage::MakeRawEngine(*dir);
+  auto manifest = workload::GenerateDataset(*engine, spec.value());
+  if (!manifest.ok()) {
+    std::cerr << "gen: " << manifest.status() << "\n";
+    return 2;
+  }
+  std::cout << "generated " << manifest->num_files() << " record files, "
+            << FormatByteSize(manifest->total_bytes) << " under " << *dir
+            << "/" << spec->directory << "\n";
+  return 0;
+}
+
+int CmdInspect(const Args& args) {
+  const auto dir = args.Get("dir");
+  if (!dir) {
+    std::cerr << "inspect: --dir is required\n";
+    return 1;
+  }
+  auto engine = storage::MakeRawEngine(*dir);
+  auto files = engine->ListFiles(args.GetOr("subdir", ""));
+  if (!files.ok()) {
+    std::cerr << "inspect: " << files.status() << "\n";
+    return 2;
+  }
+
+  Table table({"file", "size", "records", "status"});
+  std::uint64_t total_records = 0;
+  std::uint64_t corrupt = 0;
+  for (const auto& st : files.value()) {
+    if (!st.path.ends_with(".tfrecord")) continue;
+    tfrecord::EngineSource source(engine, st.path);
+    auto index = tfrecord::BuildIndex(source);
+    if (index.ok()) {
+      total_records += index->size();
+      table.AddRow({st.path, FormatByteSize(st.size),
+                    std::to_string(index->size()), "ok"});
+    } else {
+      ++corrupt;
+      table.AddRow({st.path, FormatByteSize(st.size), "-",
+                    index.status().ToString()});
+    }
+  }
+  table.PrintAscii(std::cout);
+  std::cout << "total records: " << total_records
+            << (corrupt > 0 ? "  CORRUPT FILES: " + std::to_string(corrupt)
+                            : "")
+            << "\n";
+  return corrupt > 0 ? 2 : 0;
+}
+
+Result<dlsim::ModelProfile> ModelByName(const std::string& name) {
+  if (name == "lenet") return dlsim::ModelProfile::LeNet();
+  if (name == "alexnet") return dlsim::ModelProfile::AlexNet();
+  if (name == "resnet50") return dlsim::ModelProfile::ResNet50();
+  return InvalidArgumentError("unknown model '" + name +
+                              "' (lenet|alexnet|resnet50)");
+}
+
+int CmdRun(const Args& args) {
+  const auto config_path = args.Get("config");
+  if (!config_path) {
+    std::cerr << "run: --config is required\n";
+    return 1;
+  }
+  std::ifstream in(*config_path);
+  if (!in) {
+    std::cerr << "run: cannot open '" << *config_path << "'\n";
+    return 2;
+  }
+  std::ostringstream text;
+  text << in.rdbuf();
+
+  auto monarch = core::MonarchFromIni(text.str());
+  if (!monarch.ok()) {
+    std::cerr << "run: " << monarch.status() << "\n";
+    return 2;
+  }
+  std::cout << "indexed " << (*monarch)->Stats().files_indexed
+            << " files in "
+            << Table::Num((*monarch)->Stats().metadata_init_seconds, 3)
+            << "s\n";
+
+  // Collect the file list from the namespace.
+  std::vector<std::string> files;
+  for (const auto& entry : (*monarch)->metadata().Snapshot()) {
+    files.push_back(entry.name);
+  }
+  if (files.empty()) {
+    std::cerr << "run: dataset directory is empty\n";
+    return 2;
+  }
+
+  auto model = ModelByName(args.GetOr("model", "lenet"));
+  if (!model.ok()) {
+    std::cerr << "run: " << model.status() << "\n";
+    return 1;
+  }
+  dlsim::TrainerConfig tc;
+  tc.model = model.value();
+  tc.epochs = std::max(1, std::atoi(args.GetOr("epochs", "3").c_str()));
+
+  dlsim::Trainer trainer(files,
+                         std::make_unique<dlsim::MonarchOpener>(**monarch),
+                         tc);
+  std::cout << "training " << tc.model.name << " for " << tc.epochs
+            << " epochs over " << files.size() << " files...\n";
+  auto result = trainer.Train();
+  if (!result.ok()) {
+    std::cerr << "run: training failed: " << result.status() << "\n";
+    return 2;
+  }
+  (*monarch)->DrainPlacements();
+
+  Table epochs({"epoch", "seconds", "samples", "cpu_pct", "gpu_pct"});
+  for (const auto& epoch : result->epochs) {
+    epochs.AddRow({std::to_string(epoch.epoch),
+                   Table::Num(epoch.wall_seconds, 2),
+                   std::to_string(epoch.samples),
+                   Table::Num(epoch.cpu_utilisation * 100, 1),
+                   Table::Num(epoch.gpu_utilisation * 100, 1)});
+  }
+  epochs.PrintAscii(std::cout);
+
+  const auto stats = (*monarch)->Stats();
+  Table tiers({"level", "tier", "reads", "occupancy"});
+  for (std::size_t i = 0; i < stats.levels.size(); ++i) {
+    tiers.AddRow({std::to_string(i), stats.levels[i].tier_name,
+                  std::to_string(stats.levels[i].reads),
+                  FormatByteSize(stats.levels[i].occupancy_bytes)});
+  }
+  tiers.PrintAscii(std::cout);
+  std::cout << "placed=" << stats.placement.completed
+            << " unplaceable=" << stats.placement.rejected_no_space
+            << " staged=" << FormatByteSize(stats.placement.bytes_staged)
+            << "\n";
+  return 0;
+}
+
+int CmdReplay(const Args& args) {
+  const auto dir = args.Get("dir");
+  const auto trace_path = args.Get("trace");
+  if (!dir || !trace_path) {
+    std::cerr << "replay: --dir and --trace are required\n";
+    return 1;
+  }
+  std::ifstream in(*trace_path);
+  if (!in) {
+    std::cerr << "replay: cannot open '" << *trace_path << "'\n";
+    return 2;
+  }
+  std::ostringstream text;
+  text << in.rdbuf();
+  auto events = workload::ParseTrace(text.str());
+  if (!events.ok()) {
+    std::cerr << "replay: " << events.status() << "\n";
+    return 2;
+  }
+
+  const std::string profile = args.GetOr("profile", "ssd");
+  storage::StorageEnginePtr engine;
+  if (profile == "ssd") {
+    engine = storage::MakeLocalSsdEngine(*dir);
+  } else if (profile == "lustre") {
+    engine = storage::MakeLustreEngine(*dir, /*seed=*/1);
+  } else {
+    std::cerr << "replay: unknown profile '" << profile
+              << "' (ssd|lustre)\n";
+    return 1;
+  }
+
+  const int threads = std::max(1, std::atoi(args.GetOr("threads", "4").c_str()));
+  auto stats = workload::ReplayTrace(events.value(), *engine, threads);
+  if (!stats.ok()) {
+    std::cerr << "replay: " << stats.status() << "\n";
+    return 2;
+  }
+  std::cout << "replayed " << stats->ops << " reads, "
+            << FormatByteSize(stats->bytes) << " in "
+            << Table::Num(stats->elapsed_seconds, 2) << "s ("
+            << Table::Num(static_cast<double>(stats->bytes) / 1e6 /
+                              std::max(1e-9, stats->elapsed_seconds),
+                          1)
+            << " MB/s) on the " << profile << " profile\n";
+  return 0;
+}
+
+int Main(int argc, char** argv) {
+  auto args = ParseArgs(argc, argv);
+  if (!args.ok()) {
+    std::cerr << args.status() << "\n";
+    PrintUsage();
+    return 1;
+  }
+  const std::string& command = args->command;
+  if (command == "gen") return CmdGen(*args);
+  if (command == "inspect") return CmdInspect(*args);
+  if (command == "run") return CmdRun(*args);
+  if (command == "replay") return CmdReplay(*args);
+  PrintUsage();
+  return command.empty() ? 1 : 1;
+}
+
+}  // namespace
+}  // namespace monarch::ctl
+
+int main(int argc, char** argv) { return monarch::ctl::Main(argc, argv); }
