@@ -112,6 +112,12 @@ int Run() {
         return 1;
       }
 
+      // Interval baselines: diff two Snapshots around the measured phase
+      // (metadata init and dataset generation don't count; prestaging
+      // does). Reset() would be unsafe here — see io_stats.h.
+      const auto pfs_before = pfs_engine->Stats().Snapshot();
+      const auto local_before = local_engine->Stats().Snapshot();
+
       dlsim::TrainerConfig tc;
       tc.model = config.model;
       tc.epochs = config.epochs;
@@ -145,13 +151,14 @@ int Run() {
       }
       steady_s.Add(steady / std::max(1, env.epochs - 1));
       pfs_reads.Add(static_cast<double>(stats.pfs_reads()));
-      pfs_mib.Add(static_cast<double>(
-                      pfs_engine->Stats().Snapshot().bytes_read) /
-                  static_cast<double>(kMiB));
+      pfs_mib.Add(
+          static_cast<double>(
+              (pfs_engine->Stats().Snapshot() - pfs_before).bytes_read) /
+          static_cast<double>(kMiB));
       placed.Add(static_cast<double>(stats.placement.completed));
       evictions.Add(static_cast<double>(stats.placement.evictions));
-      tier_writes.Add(
-          static_cast<double>(local_engine->Stats().Snapshot().write_ops));
+      tier_writes.Add(static_cast<double>(
+          (local_engine->Stats().Snapshot() - local_before).write_ops));
     }
 
     table.AddRow({arm.name,
@@ -185,4 +192,7 @@ int Run() {
 }  // namespace
 }  // namespace monarch::bench
 
-int main() { return monarch::bench::Run(); }
+int main(int argc, char** argv) {
+  const monarch::bench::TraceOutGuard trace(argc, argv);
+  return monarch::bench::Run();
+}

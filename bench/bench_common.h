@@ -9,15 +9,22 @@
 //   MONARCH_BENCH_RUNS   repetitions per cell   (default 2; paper used 7)
 //   MONARCH_BENCH_SCALE  dataset scale factor   (default 0.5)
 //   MONARCH_BENCH_EPOCHS training epochs        (default 3, as the paper)
+//
+// Every bench also accepts `--trace-out FILE.json` (or the
+// MONARCH_TRACE_OUT environment variable): the whole run is recorded
+// with the obs::EventTracer and exported as Chrome trace_event JSON on
+// exit — see docs/OBSERVABILITY.md §2.
 #pragma once
 
 #include <cstdlib>
+#include <cstring>
 #include <filesystem>
 #include <iostream>
 #include <string>
 #include <vector>
 
 #include "dlsim/setups.h"
+#include "obs/event_tracer.h"
 #include "util/byte_units.h"
 #include "util/histogram.h"
 #include "util/table.h"
@@ -161,5 +168,45 @@ inline std::string RelativeChange(double baseline, double measured) {
   if (baseline <= 0) return "n/a";
   return Table::Pct((measured - baseline) / baseline);
 }
+
+/// RAII wrapper for the benches' `--trace-out FILE.json` flag (the
+/// MONARCH_TRACE_OUT environment variable works too, flag wins): enables
+/// the global EventTracer for the bench's lifetime and exports Chrome
+/// trace JSON at scope exit. Inactive (and free) when neither is given.
+class TraceOutGuard {
+ public:
+  TraceOutGuard(int argc, char** argv) {
+    for (int i = 1; i + 1 < argc; ++i) {
+      if (std::strcmp(argv[i], "--trace-out") == 0) {
+        path_ = argv[i + 1];
+        break;
+      }
+    }
+    if (path_.empty()) {
+      if (const char* env = std::getenv("MONARCH_TRACE_OUT")) path_ = env;
+    }
+    if (!path_.empty()) obs::EventTracer::Global().Enable();
+  }
+
+  ~TraceOutGuard() {
+    if (path_.empty()) return;
+    obs::EventTracer& tracer = obs::EventTracer::Global();
+    tracer.Disable();
+    if (const auto status = tracer.ExportChromeJsonToFile(path_);
+        !status.ok()) {
+      std::cerr << "trace-out: " << status << "\n";
+      return;
+    }
+    std::cout << "trace-out: wrote " << tracer.recorded_events()
+              << " events (" << tracer.dropped_events() << " dropped) to "
+              << path_ << "\n";
+  }
+
+  TraceOutGuard(const TraceOutGuard&) = delete;
+  TraceOutGuard& operator=(const TraceOutGuard&) = delete;
+
+ private:
+  std::string path_;
+};
 
 }  // namespace monarch::bench

@@ -74,19 +74,32 @@ int Run() {
           std::cerr << "setup failed: " << setup.status() << "\n";
           return 1;
         }
+        // Interval measurement around Train(): diff two Snapshots so
+        // setup traffic (dataset staging) is excluded. Reset() would be
+        // unsafe against in-flight readers — see io_stats.h.
+        const auto pfs_before =
+            setup.value().pfs_engine
+                ? setup.value().pfs_engine->Stats().Snapshot()
+                : storage::IoStatsSnapshot{};
+        const auto local_before =
+            setup.value().local_engine
+                ? setup.value().local_engine->Stats().Snapshot()
+                : storage::IoStatsSnapshot{};
         auto result = setup.value().trainer->Train();
         if (!result.ok()) {
           std::cerr << "training failed: " << result.status() << "\n";
           return 1;
         }
         const auto pfs =
-            setup.value().pfs_engine
-                ? setup.value().pfs_engine->Stats().Snapshot()
-                : storage::IoStatsSnapshot{};
+            (setup.value().pfs_engine
+                 ? setup.value().pfs_engine->Stats().Snapshot()
+                 : storage::IoStatsSnapshot{}) -
+            pfs_before;
         const auto local =
-            setup.value().local_engine
-                ? setup.value().local_engine->Stats().Snapshot()
-                : storage::IoStatsSnapshot{};
+            (setup.value().local_engine
+                 ? setup.value().local_engine->Stats().Snapshot()
+                 : storage::IoStatsSnapshot{}) -
+            local_before;
         cell.Accumulate(result.value(), pfs, local, env.epochs);
       }
       std::cout << "  done: " << kind.name << " / " << model.name << "\n";
@@ -118,4 +131,7 @@ int Run() {
 }  // namespace
 }  // namespace monarch::bench
 
-int main() { return monarch::bench::Run(); }
+int main(int argc, char** argv) {
+  const monarch::bench::TraceOutGuard trace(argc, argv);
+  return monarch::bench::Run();
+}

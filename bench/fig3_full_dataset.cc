@@ -84,6 +84,18 @@ int Run() {
           std::cerr << "setup failed: " << setup.status() << "\n";
           return 1;
         }
+        // Interval measurement: snapshot-diff around the training run
+        // (staging by MONARCH's placement pool lands inside the interval,
+        // as it should — it is PFS pressure caused by the job). See
+        // io_stats.h for why diffing beats Reset().
+        const auto pfs_before =
+            setup.value().pfs_engine
+                ? setup.value().pfs_engine->Stats().Snapshot()
+                : storage::IoStatsSnapshot{};
+        const auto local_before =
+            setup.value().local_engine
+                ? setup.value().local_engine->Stats().Snapshot()
+                : storage::IoStatsSnapshot{};
         auto result = setup.value().trainer->Train();
         if (!result.ok()) {
           std::cerr << "training failed: " << result.status() << "\n";
@@ -95,13 +107,15 @@ int Run() {
               setup.value().monarch->Stats().metadata_init_seconds);
         }
         const auto pfs =
-            setup.value().pfs_engine
-                ? setup.value().pfs_engine->Stats().Snapshot()
-                : storage::IoStatsSnapshot{};
+            (setup.value().pfs_engine
+                 ? setup.value().pfs_engine->Stats().Snapshot()
+                 : storage::IoStatsSnapshot{}) -
+            pfs_before;
         const auto local =
-            setup.value().local_engine
-                ? setup.value().local_engine->Stats().Snapshot()
-                : storage::IoStatsSnapshot{};
+            (setup.value().local_engine
+                 ? setup.value().local_engine->Stats().Snapshot()
+                 : storage::IoStatsSnapshot{}) -
+            local_before;
         cell.Accumulate(result.value(), pfs, local, env.epochs);
       }
       std::cout << "  done: " << kind.name << " / " << model.name << "\n";
@@ -159,4 +173,7 @@ int Run() {
 }  // namespace
 }  // namespace monarch::bench
 
-int main() { return monarch::bench::Run(); }
+int main(int argc, char** argv) {
+  const monarch::bench::TraceOutGuard trace(argc, argv);
+  return monarch::bench::Run();
+}

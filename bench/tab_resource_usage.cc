@@ -154,4 +154,7 @@ int Run() {
 }  // namespace
 }  // namespace monarch::bench
 
-int main() { return monarch::bench::Run(); }
+int main(int argc, char** argv) {
+  const monarch::bench::TraceOutGuard trace(argc, argv);
+  return monarch::bench::Run();
+}

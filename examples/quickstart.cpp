@@ -9,11 +9,20 @@
 //      local tier.
 //
 // Build & run:  ./build/examples/quickstart
+//
+// Pass `--trace-out trace.json` to record the whole run with the
+// observability layer and export Chrome trace_event JSON — open the file
+// in chrome://tracing or https://ui.perfetto.dev to see the staging
+// overlap with the epoch-1 reads (docs/OBSERVABILITY.md §3 walks through
+// the result).
+#include <cstring>
 #include <filesystem>
 #include <iostream>
+#include <string>
 #include <vector>
 
 #include "core/monarch.h"
+#include "obs/event_tracer.h"
 #include "storage/engine_factory.h"
 #include "util/byte_units.h"
 #include "workload/dataset_generator.h"
@@ -41,7 +50,13 @@ void PrintTierStats(const core::MonarchStats& stats, const char* moment) {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  std::string trace_out;
+  for (int i = 1; i + 1 < argc; ++i) {
+    if (std::strcmp(argv[i], "--trace-out") == 0) trace_out = argv[i + 1];
+  }
+  if (!trace_out.empty()) obs::EventTracer::Global().Enable();
+
   const fs::path work = fs::temp_directory_path() / "monarch_quickstart";
   fs::remove_all(work);
 
@@ -98,6 +113,20 @@ int main() {
             << " — that is the\nI/O-pressure reduction the paper measures."
             << "\n";
   (*monarch)->Shutdown();
+
+  if (!trace_out.empty()) {
+    obs::EventTracer& tracer = obs::EventTracer::Global();
+    tracer.Disable();
+    if (auto status = tracer.ExportChromeJsonToFile(trace_out); !status.ok()) {
+      std::cerr << "trace export failed: " << status << "\n";
+      return 1;
+    }
+    std::cout << "\nwrote " << tracer.recorded_events()
+              << " trace events to " << trace_out
+              << " — open it in chrome://tracing or https://ui.perfetto.dev"
+              << "\n";
+  }
+
   fs::remove_all(work);
   return 0;
 }

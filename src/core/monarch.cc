@@ -2,9 +2,71 @@
 
 #include <utility>
 
+#include "obs/event_tracer.h"
+#include "util/clock.h"
 #include "util/logging.h"
 
 namespace monarch::core {
+
+namespace {
+
+/// Render one Stats() view as registry samples (the Monarch pull source).
+std::vector<obs::MetricSample> StatsToSamples(const MonarchStats& stats) {
+  std::vector<obs::MetricSample> out;
+  out.reserve(stats.levels.size() * 4 + 9);
+  auto sample = [&out](std::string name, std::string label,
+                       obs::MetricKind kind, std::string unit,
+                       std::uint64_t value, std::string help) {
+    obs::MetricSample s;
+    s.name = std::move(name);
+    s.label = std::move(label);
+    s.kind = kind;
+    s.unit = std::move(unit);
+    if (kind == obs::MetricKind::kGauge) {
+      s.gauge = static_cast<std::int64_t>(value);
+    } else {
+      s.value = value;
+    }
+    s.help = std::move(help);
+    out.push_back(std::move(s));
+  };
+  for (const LevelReadStats& level : stats.levels) {
+    sample("monarch.level.reads", level.tier_name, obs::MetricKind::kCounter,
+           "ops", level.reads, "reads served by this hierarchy level");
+    sample("monarch.level.bytes", level.tier_name, obs::MetricKind::kCounter,
+           "bytes", level.bytes, "bytes served by this hierarchy level");
+    sample("monarch.level.occupancy_bytes", level.tier_name,
+           obs::MetricKind::kGauge, "bytes", level.occupancy_bytes,
+           "bytes currently staged on this level");
+    sample("monarch.level.quota_bytes", level.tier_name,
+           obs::MetricKind::kGauge, "bytes", level.quota_bytes,
+           "configured byte budget of this level (0 = PFS, unbounded)");
+  }
+  const PlacementStats& p = stats.placement;
+  sample("monarch.placement.scheduled", "", obs::MetricKind::kCounter, "ops",
+         p.scheduled, "background placement tasks enqueued");
+  sample("monarch.placement.completed", "", obs::MetricKind::kCounter, "ops",
+         p.completed, "files now served from upper tiers");
+  sample("monarch.placement.rejected_no_space", "", obs::MetricKind::kCounter,
+         "ops", p.rejected_no_space,
+         "placements rejected because no tier had room");
+  sample("monarch.placement.failed", "", obs::MetricKind::kCounter, "ops",
+         p.failed, "placements aborted on backend errors");
+  sample("monarch.placement.bytes_staged", "", obs::MetricKind::kCounter,
+         "bytes", p.bytes_staged, "bytes copied into cache tiers");
+  sample("monarch.placement.evictions", "", obs::MetricKind::kCounter, "ops",
+         p.evictions, "ablation-mode evictions of placed files");
+  sample("monarch.files_indexed", "", obs::MetricKind::kGauge, "files",
+         stats.files_indexed, "files in the virtual namespace");
+  sample("monarch.dataset_bytes", "", obs::MetricKind::kGauge, "bytes",
+         stats.dataset_bytes, "total bytes of the indexed dataset");
+  sample("monarch.metadata_init_us", "", obs::MetricKind::kGauge, "us",
+         static_cast<std::uint64_t>(stats.metadata_init_seconds * 1e6),
+         "duration of the startup metadata-initialization walk");
+  return out;
+}
+
+}  // namespace
 
 Result<std::unique_ptr<Monarch>> Monarch::Create(MonarchConfig config) {
   if (!config.pfs.engine) {
@@ -62,6 +124,19 @@ Monarch::Monarch(MonarchConfig config,
   for (std::size_t i = 0; i < hierarchy_->num_levels(); ++i) {
     served_.push_back(std::make_unique<LevelCounters>());
   }
+
+  obs::MetricsRegistry& registry = obs::MetricsRegistry::Global();
+  read_requests_ = registry.GetCounter(
+      "monarch.read.requests", "ops", "Monarch::Read calls");
+  read_pfs_fallbacks_ = registry.GetCounter(
+      "monarch.read.pfs_fallbacks", "ops",
+      "reads rerouted to the PFS after a tier copy vanished (eviction race)");
+  read_errors_ = registry.GetCounter(
+      "monarch.read.errors", "ops", "Monarch::Read calls that returned an error");
+  read_latency_ = registry.GetHistogram(
+      "monarch.read.latency_us", "us",
+      "end-to-end Monarch::Read latency distribution");
+  obs_source_ = registry.AddSource([this] { return StatsToSamples(Stats()); });
 }
 
 Monarch::~Monarch() { Shutdown(); }
@@ -69,6 +144,24 @@ Monarch::~Monarch() { Shutdown(); }
 Result<std::size_t> Monarch::Read(const std::string& name,
                                   std::uint64_t offset,
                                   std::span<std::byte> dst) {
+  // Instrumentation is lock-free: the counters/histogram below are
+  // relaxed atomics resolved at construction, and the span costs one
+  // atomic load while tracing is disabled.
+  const obs::TraceSpan span("monarch.read", "core");
+  if (read_requests_ != nullptr) read_requests_->Increment();
+  const Stopwatch timer;
+  auto result = ReadImpl(name, offset, dst);
+  if (result.ok()) {
+    if (read_latency_ != nullptr) read_latency_->Record(timer.Elapsed());
+  } else if (read_errors_ != nullptr) {
+    read_errors_->Increment();
+  }
+  return result;
+}
+
+Result<std::size_t> Monarch::ReadImpl(const std::string& name,
+                                      std::uint64_t offset,
+                                      std::span<std::byte> dst) {
   FileInfoPtr info = metadata_.Lookup(name);
   if (!info) {
     // File not in the startup namespace: discover it lazily from the PFS
@@ -93,6 +186,7 @@ Result<std::size_t> Monarch::Read(const std::string& name,
     // The tier copy vanished between the level lookup and the read (an
     // eviction race, possible only in the ablation-mode configuration).
     // The PFS always holds the authoritative copy: fall back to it.
+    if (read_pfs_fallbacks_ != nullptr) read_pfs_fallbacks_->Increment();
     level = hierarchy_->pfs_level();
     read = hierarchy_->Level(level).Read(name, offset, dst);
   }

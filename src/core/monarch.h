@@ -28,6 +28,7 @@
 #include "core/placement_handler.h"
 #include "core/placement_policy.h"
 #include "core/storage_hierarchy.h"
+#include "obs/metrics_registry.h"
 #include "util/status.h"
 
 namespace monarch::core {
@@ -144,6 +145,11 @@ class Monarch {
   explicit Monarch(MonarchConfig config,
                    std::unique_ptr<StorageHierarchy> hierarchy);
 
+  /// Read() minus instrumentation (Read wraps this with the span, the
+  /// request/error counters, and the latency histogram).
+  Result<std::size_t> ReadImpl(const std::string& name, std::uint64_t offset,
+                               std::span<std::byte> dst);
+
   MonarchConfig config_;
   std::unique_ptr<StorageHierarchy> hierarchy_;
   MetadataContainer metadata_;
@@ -157,6 +163,19 @@ class Monarch {
   };
   std::vector<std::unique_ptr<LevelCounters>> served_;
   bool shut_down_ = false;
+
+  // Hot-path instruments (docs/OBSERVABILITY.md §1, `monarch.read.*`).
+  // Resolved once at construction so Read() touches only relaxed atomics
+  // — the registry mutex is never taken on the read path.
+  obs::Counter* read_requests_ = nullptr;
+  obs::Counter* read_pfs_fallbacks_ = nullptr;
+  obs::Counter* read_errors_ = nullptr;
+  obs::Histogram* read_latency_ = nullptr;
+
+  // Pull source exporting Stats() as `monarch.level.*`/`monarch.placement.*`
+  // metrics. Last member: deregisters before the state its callback reads
+  // (hierarchy_, served_, placement_, metadata_) is destroyed.
+  obs::SourceRegistration obs_source_;
 };
 
 }  // namespace monarch::core

@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <utility>
 
+#include "obs/event_tracer.h"
+#include "obs/json.h"
 #include "util/logging.h"
 
 namespace monarch::core {
@@ -39,6 +41,14 @@ void PlacementHandler::SchedulePlacement(
 
 void PlacementHandler::PlaceFile(
     const FileInfoPtr& file, std::optional<std::vector<std::byte>> content) {
+  // Spans the whole schedule→complete staging of one file. Args are only
+  // rendered when tracing is live (active() gate).
+  obs::TraceSpan span("placement.stage", "placement");
+  if (span.active()) {
+    span.set_args_json("\"file\":" + obs::JsonQuote(file->name) +
+                       ",\"bytes\":" + std::to_string(file->size));
+  }
+
   // 1. Choose (and reserve) the destination level.
   std::optional<int> level = policy_->PickLevel(hierarchy_, file->size);
   if (!level.has_value() && options_.enable_eviction) {
@@ -49,6 +59,11 @@ void PlacementHandler::PlaceFile(
     // (the 200 GiB-dataset scenario). Mark it so the read path stops
     // retrying placement on every access.
     rejected_no_space_.fetch_add(1, std::memory_order_relaxed);
+    obs::EventTracer& tracer = obs::EventTracer::Global();
+    if (tracer.enabled()) {
+      tracer.RecordInstant("placement.rejected_no_space", "placement",
+                           "\"file\":" + obs::JsonQuote(file->name));
+    }
     file->AbortFetch(/*permanently=*/true);
     return;
   }
@@ -119,6 +134,12 @@ std::optional<int> PlacementHandler::EvictAndReserve(std::uint64_t needed) {
     if (tier.Delete(vf.name).ok()) {
       tier.Release(vf.size);
       evictions_.fetch_add(1, std::memory_order_relaxed);
+      obs::EventTracer& tracer = obs::EventTracer::Global();
+      if (tracer.enabled()) {
+        tracer.RecordInstant("placement.evict", "placement",
+                             "\"file\":" + obs::JsonQuote(vf.name) +
+                                 ",\"bytes\":" + std::to_string(vf.size));
+      }
     }
     // Retry the policy after each eviction.
     if (auto level = policy_->PickLevel(hierarchy_, needed)) return level;

@@ -2,6 +2,8 @@
 
 #include <utility>
 
+#include "obs/event_tracer.h"
+
 namespace monarch::dlsim {
 
 Trainer::Trainer(std::vector<std::string> files, RecordFileOpenerPtr opener,
@@ -10,6 +12,13 @@ Trainer::Trainer(std::vector<std::string> files, RecordFileOpenerPtr opener,
       opener_(std::move(opener)),
       config_(std::move(config)) {
   config_.loader.preprocess_per_sample = config_.model.preprocess_per_sample;
+  obs::MetricsRegistry& registry = obs::MetricsRegistry::Global();
+  epochs_completed_ = registry.GetCounter(
+      "trainer.epochs_completed", "epochs", "training epochs finished");
+  samples_ = registry.GetCounter(
+      "trainer.samples", "samples", "samples consumed by the training loop");
+  steps_ = registry.GetCounter(
+      "trainer.steps", "steps", "GPU batch steps executed");
 }
 
 Result<TrainingResult> Trainer::Train() {
@@ -24,6 +33,10 @@ Result<TrainingResult> Trainer::Train() {
 }
 
 Result<EpochResult> Trainer::RunEpoch(int epoch) {
+  obs::TraceSpan span("trainer.epoch", "dlsim");
+  if (span.active()) {
+    span.set_args_json("\"epoch\":" + std::to_string(epoch));
+  }
   ResourceMonitor monitor(config_.loader.reader_threads, config_.num_gpus);
   ComputeEngine compute(config_.model, config_.num_gpus);
 
@@ -56,6 +69,9 @@ Result<EpochResult> Trainer::RunEpoch(int epoch) {
   result.wall_seconds = wall.ElapsedSeconds();
   result.samples = samples;
   result.steps = compute.steps();
+  if (epochs_completed_ != nullptr) epochs_completed_->Increment();
+  if (samples_ != nullptr) samples_->Increment(samples);
+  if (steps_ != nullptr) steps_->Increment(compute.steps());
   const auto usage = monitor.Report(wall.Elapsed());
   result.cpu_utilisation = usage.cpu;
   result.gpu_utilisation = usage.gpu;

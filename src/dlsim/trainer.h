@@ -13,6 +13,7 @@
 #include "dlsim/data_loader.h"
 #include "dlsim/record_opener.h"
 #include "dlsim/resource_monitor.h"
+#include "obs/metrics_registry.h"
 #include "util/status.h"
 
 namespace monarch::dlsim {
@@ -61,6 +62,12 @@ class Trainer {
   std::vector<std::string> files_;
   RecordFileOpenerPtr opener_;
   TrainerConfig config_;
+
+  // `trainer.*` instruments (docs/OBSERVABILITY.md §1); process-wide, so
+  // several Trainer instances accumulate into the same counters.
+  obs::Counter* epochs_completed_ = nullptr;
+  obs::Counter* samples_ = nullptr;
+  obs::Counter* steps_ = nullptr;
 };
 
 }  // namespace monarch::dlsim

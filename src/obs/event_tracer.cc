@@ -1,0 +1,198 @@
+#include "obs/event_tracer.h"
+
+#include <algorithm>
+#include <fstream>
+#include <utility>
+
+#include "obs/json.h"
+
+namespace monarch::obs {
+namespace {
+
+// Distinguishes tracer generations process-wide: Enable() stamps the
+// tracer with a fresh value, so a thread's cached buffer association can
+// never survive a re-Enable (or accidentally match a new tracer reusing
+// a destroyed one's address).
+std::atomic<std::uint64_t> g_tracer_generation{0};
+
+/// Per-thread association (tracer, generation) -> ring buffer. A single
+/// entry suffices: production code records into one Global() tracer;
+/// tests that alternate tracers within one thread just pay a re-lookup
+/// (and a fresh ring) per switch.
+struct LocalCache {
+  const void* tracer = nullptr;
+  std::uint64_t generation = 0;
+  std::shared_ptr<void> buffer;  ///< actually ThreadBuffer
+};
+
+thread_local LocalCache t_cache;
+
+}  // namespace
+
+EventTracer& EventTracer::Global() {
+  static EventTracer* const kGlobal = new EventTracer();
+  return *kGlobal;
+}
+
+void EventTracer::Enable(std::size_t events_per_thread) {
+  enabled_.store(false, std::memory_order_release);
+  std::lock_guard<std::mutex> lock(buffers_mu_);
+  buffers_.clear();  // threads still holding old rings write into limbo
+  next_tid_ = 1;
+  capacity_ = events_per_thread == 0 ? 1 : events_per_thread;
+  epoch_start_ = SteadyClock::now();
+  epoch_.store(g_tracer_generation.fetch_add(1, std::memory_order_relaxed) + 1,
+               std::memory_order_release);
+  enabled_.store(true, std::memory_order_release);
+}
+
+std::uint64_t EventTracer::NowMicros() const noexcept {
+  return static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::microseconds>(
+          SteadyClock::now() - epoch_start_)
+          .count());
+}
+
+EventTracer::ThreadBuffer& EventTracer::LocalBuffer() {
+  const std::uint64_t generation = epoch_.load(std::memory_order_acquire);
+  if (t_cache.tracer != this || t_cache.generation != generation ||
+      !t_cache.buffer) {
+    std::lock_guard<std::mutex> lock(buffers_mu_);
+    auto buffer = std::make_shared<ThreadBuffer>(next_tid_++);
+    buffer->capacity = capacity_;
+    buffer->epoch = generation;
+    buffer->ring.reserve(std::min<std::size_t>(buffer->capacity, 1024));
+    buffers_.push_back(buffer);
+    t_cache = LocalCache{this, generation, buffer};
+  }
+  return *static_cast<ThreadBuffer*>(t_cache.buffer.get());
+}
+
+void EventTracer::Push(TraceEvent event) {
+  ThreadBuffer& buffer = LocalBuffer();
+  std::lock_guard<std::mutex> lock(buffer.mu);
+  event.tid = buffer.tid;
+  if (buffer.ring.size() < buffer.capacity) {
+    buffer.ring.push_back(std::move(event));
+    buffer.next = buffer.ring.size() % buffer.capacity;
+  } else {
+    // Full: overwrite the oldest event and account for the loss.
+    buffer.ring[buffer.next] = std::move(event);
+    buffer.next = (buffer.next + 1) % buffer.capacity;
+    ++buffer.dropped;
+  }
+}
+
+void EventTracer::RecordComplete(std::string name, const char* category,
+                                 std::uint64_t ts_us, std::uint64_t dur_us,
+                                 std::string args_json) {
+  if (!enabled()) return;
+  TraceEvent event;
+  event.name = std::move(name);
+  event.category = category;
+  event.phase = 'X';
+  event.ts_us = ts_us;
+  event.dur_us = dur_us;
+  event.args_json = std::move(args_json);
+  Push(std::move(event));
+}
+
+void EventTracer::RecordInstant(std::string name, const char* category,
+                                std::string args_json) {
+  if (!enabled()) return;
+  TraceEvent event;
+  event.name = std::move(name);
+  event.category = category;
+  event.phase = 'i';
+  event.ts_us = NowMicros();
+  event.args_json = std::move(args_json);
+  Push(std::move(event));
+}
+
+std::size_t EventTracer::recorded_events() const {
+  std::lock_guard<std::mutex> lock(buffers_mu_);
+  std::size_t total = 0;
+  for (const auto& buffer : buffers_) {
+    std::lock_guard<std::mutex> buffer_lock(buffer->mu);
+    total += buffer->ring.size();
+  }
+  return total;
+}
+
+std::uint64_t EventTracer::dropped_events() const {
+  std::lock_guard<std::mutex> lock(buffers_mu_);
+  std::uint64_t total = 0;
+  for (const auto& buffer : buffers_) {
+    std::lock_guard<std::mutex> buffer_lock(buffer->mu);
+    total += buffer->dropped;
+  }
+  return total;
+}
+
+void EventTracer::ExportChromeJson(std::ostream& os) const {
+  // Copy the event lists out under the locks, then render unlocked.
+  std::vector<std::shared_ptr<ThreadBuffer>> buffers;
+  {
+    std::lock_guard<std::mutex> lock(buffers_mu_);
+    buffers = buffers_;
+  }
+  std::vector<TraceEvent> events;
+  std::uint64_t dropped = 0;
+  for (const auto& buffer : buffers) {
+    std::lock_guard<std::mutex> buffer_lock(buffer->mu);
+    dropped += buffer->dropped;
+    if (buffer->ring.size() < buffer->capacity) {
+      events.insert(events.end(), buffer->ring.begin(), buffer->ring.end());
+    } else {
+      // Ring wrapped: oldest surviving event sits at `next`.
+      events.insert(events.end(), buffer->ring.begin() +
+                                      static_cast<std::ptrdiff_t>(buffer->next),
+                    buffer->ring.end());
+      events.insert(events.end(), buffer->ring.begin(),
+                    buffer->ring.begin() +
+                        static_cast<std::ptrdiff_t>(buffer->next));
+    }
+  }
+
+  std::string out;
+  out.reserve(events.size() * 96 + 256);
+  out += "{\"displayTimeUnit\":\"ms\",\"traceEvents\":[\n";
+  bool first = true;
+  auto append_event = [&out, &first](const TraceEvent& e) {
+    if (!first) out += ",\n";
+    first = false;
+    out += "{\"name\":" + JsonQuote(e.name);
+    out += ",\"cat\":" + JsonQuote(e.category);
+    out += ",\"ph\":\"";
+    out += e.phase;
+    out += "\",\"ts\":" + std::to_string(e.ts_us);
+    if (e.phase == 'X') out += ",\"dur\":" + std::to_string(e.dur_us);
+    if (e.phase == 'i') out += ",\"s\":\"t\"";  // instant scope: thread
+    out += ",\"pid\":1,\"tid\":" + std::to_string(e.tid);
+    if (!e.args_json.empty()) out += ",\"args\":{" + e.args_json + "}";
+    out += "}";
+  };
+  for (const TraceEvent& e : events) append_event(e);
+  // Report losses inside the trace itself so a viewer sees them.
+  TraceEvent drop_note;
+  drop_note.name = "trace.dropped_events";
+  drop_note.category = "obs";
+  drop_note.phase = 'i';
+  drop_note.ts_us = 0;
+  drop_note.tid = 0;
+  drop_note.args_json = "\"count\":" + std::to_string(dropped);
+  append_event(drop_note);
+  out += "\n]}\n";
+  os << out;
+}
+
+Status EventTracer::ExportChromeJsonToFile(const std::string& path) const {
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  if (!out) return UnavailableError("cannot open '" + path + "' for writing");
+  ExportChromeJson(out);
+  out.flush();
+  if (!out) return UnavailableError("write to '" + path + "' failed");
+  return Status::Ok();
+}
+
+}  // namespace monarch::obs

@@ -1,0 +1,190 @@
+// EventTracer: timestamped span/instant recording with Chrome trace_event
+// JSON export, viewable in chrome://tracing or https://ui.perfetto.dev.
+//
+// Purpose (docs/OBSERVABILITY.md §2): the registry's counters answer "how
+// much", spans answer "when and for how long" — the time dimension behind
+// the paper's first-vs-later-epoch claims. Instrumented spans: storage
+// engine reads/writes, Monarch::Read, placement schedule→complete,
+// evictions, contention-state changes, trainer epochs.
+//
+// Design:
+//  * Disabled by default. A disabled tracer costs one relaxed atomic load
+//    per potential event — cheap enough to leave the instrumentation
+//    compiled into every hot path.
+//  * When enabled, each thread records into its OWN fixed-capacity ring
+//    buffer (registered on first use, kept alive by shared_ptr past
+//    thread exit so export still sees short-lived pool threads). A full
+//    ring overwrites the oldest event and counts the drop — tracing
+//    never blocks or unboundedly grows; you lose history, not progress,
+//    and dropped_events() tells you how much.
+//  * Each ring is guarded by its own mutex. The owning thread is the
+//    only writer, so the lock is uncontended except against a concurrent
+//    export — this keeps export racing writers TSan-clean without
+//    needing a lock-free SPSC queue. (The "no locks on the read path"
+//    guarantee concerns METRICS, which are pure relaxed atomics; tracing
+//    is opt-in and its per-thread lock is uncontended in steady state.)
+//
+// Export format — the Chrome trace_event "JSON object format":
+//   {"displayTimeUnit":"ms","traceEvents":[
+//     {"name":"monarch.read","cat":"core","ph":"X","ts":12,"dur":34,
+//      "pid":1,"tid":2,"args":{"file":"data/f0"}}, ...]}
+// ph "X" = complete event (start ts + dur), ph "i" = instant. Timestamps
+// are microseconds since Enable().
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <ostream>
+#include <string>
+#include <vector>
+
+#include "util/clock.h"
+#include "util/status.h"
+
+namespace monarch::obs {
+
+/// One recorded event. `args_json` is a pre-rendered JSON object body
+/// (e.g. `"file":"a/b"`), empty when the event has no args.
+struct TraceEvent {
+  std::string name;
+  const char* category = "";  ///< must point at a string literal
+  char phase = 'X';           ///< 'X' complete, 'i' instant
+  std::uint64_t ts_us = 0;    ///< microseconds since Enable()
+  std::uint64_t dur_us = 0;   ///< complete events only
+  std::uint32_t tid = 0;
+  std::string args_json;
+};
+
+class EventTracer {
+ public:
+  static constexpr std::size_t kDefaultCapacity = 1 << 16;  ///< per thread
+
+  /// The process-wide tracer every instrumented component records into.
+  static EventTracer& Global();
+
+  /// Instantiable for tests; production code uses Global().
+  EventTracer() = default;
+  EventTracer(const EventTracer&) = delete;
+  EventTracer& operator=(const EventTracer&) = delete;
+
+  /// Start recording. Resets the clock epoch, clears previously recorded
+  /// events, and sizes each thread's ring at `events_per_thread`.
+  void Enable(std::size_t events_per_thread = kDefaultCapacity);
+
+  /// Stop recording; buffered events stay exportable.
+  void Disable() noexcept {
+    enabled_.store(false, std::memory_order_release);
+  }
+
+  /// Acquire load: pairs with Enable()'s release store so a thread that
+  /// sees `true` also sees the reset clock epoch and ring capacity.
+  [[nodiscard]] bool enabled() const noexcept {
+    return enabled_.load(std::memory_order_acquire);
+  }
+
+  /// Record a complete ('X') event. `category` must be a string literal.
+  /// No-op when disabled.
+  void RecordComplete(std::string name, const char* category,
+                      std::uint64_t ts_us, std::uint64_t dur_us,
+                      std::string args_json = {});
+
+  /// Record an instant ('i') event at the current time. No-op when
+  /// disabled.
+  void RecordInstant(std::string name, const char* category,
+                     std::string args_json = {});
+
+  /// Microseconds since Enable() (span start timestamps).
+  [[nodiscard]] std::uint64_t NowMicros() const noexcept;
+
+  /// Events currently buffered across all threads.
+  [[nodiscard]] std::size_t recorded_events() const;
+
+  /// Events overwritten because a thread's ring was full, across all
+  /// threads, since Enable().
+  [[nodiscard]] std::uint64_t dropped_events() const;
+
+  /// Write the Chrome trace_event JSON document. Safe to call while
+  /// other threads are still recording (their in-flight events may or
+  /// may not be included). Events within one thread appear in recording
+  /// order; drops are reported as a process metadata event.
+  void ExportChromeJson(std::ostream& os) const;
+
+  /// ExportChromeJson to `path`; fails if the file cannot be written.
+  Status ExportChromeJsonToFile(const std::string& path) const;
+
+ private:
+  struct ThreadBuffer {
+    explicit ThreadBuffer(std::uint32_t tid_in) : tid(tid_in) {}
+    const std::uint32_t tid;
+    mutable std::mutex mu;
+    std::vector<TraceEvent> ring;   ///< capacity-bounded
+    std::size_t capacity = 0;
+    std::size_t next = 0;           ///< ring write index
+    std::uint64_t epoch = 0;        ///< tracer epoch the ring belongs to
+    std::uint64_t dropped = 0;
+  };
+
+  ThreadBuffer& LocalBuffer();
+  void Push(TraceEvent event);
+
+  std::atomic<bool> enabled_{false};
+  TimePoint epoch_start_{};
+  std::atomic<std::uint64_t> epoch_{0};  ///< bumped by Enable()
+  std::size_t capacity_ = kDefaultCapacity;
+
+  mutable std::mutex buffers_mu_;
+  std::vector<std::shared_ptr<ThreadBuffer>> buffers_;
+  std::uint32_t next_tid_ = 1;
+};
+
+/// RAII span: captures the start time at construction, records one
+/// complete event at destruction. When the tracer is disabled at
+/// construction the span is inert (no allocation, no clock read).
+///
+///   obs::TraceSpan span("monarch.read", "core");        // hot path
+///   obs::TraceSpan span(tracer, "placement.stage", "placement",
+///                       "\"file\":" + JsonQuote(name)); // cold path
+class TraceSpan {
+ public:
+  TraceSpan(const char* name, const char* category)
+      : TraceSpan(EventTracer::Global(), name, category) {}
+
+  TraceSpan(EventTracer& tracer, const char* name, const char* category,
+            std::string args_json = {})
+      : tracer_(tracer), name_(name), category_(category),
+        args_json_(std::move(args_json)), active_(tracer.enabled()) {
+    if (active_) start_us_ = tracer_.NowMicros();
+  }
+
+  ~TraceSpan() {
+    if (active_) {
+      tracer_.RecordComplete(name_, category_, start_us_,
+                             tracer_.NowMicros() - start_us_,
+                             std::move(args_json_));
+    }
+  }
+
+  TraceSpan(const TraceSpan&) = delete;
+  TraceSpan& operator=(const TraceSpan&) = delete;
+
+  /// Whether the span will record — callers gate arg construction on
+  /// this so disabled tracing stays allocation-free.
+  [[nodiscard]] bool active() const noexcept { return active_; }
+
+  /// Attach/replace the span's args (pre-rendered JSON object body).
+  void set_args_json(std::string args_json) {
+    args_json_ = std::move(args_json);
+  }
+
+ private:
+  EventTracer& tracer_;
+  const char* name_;
+  const char* category_;
+  std::string args_json_;
+  std::uint64_t start_us_ = 0;
+  const bool active_;
+};
+
+}  // namespace monarch::obs

@@ -1,0 +1,44 @@
+// Minimal JSON string escaping shared by the metrics and trace exporters.
+// Only what the Chrome trace_event format and the metrics dump need:
+// correct escaping of quotes, backslashes and control characters so file
+// names with arbitrary bytes cannot break the emitted document.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+namespace monarch::obs {
+
+inline void AppendJsonEscaped(std::string& out, std::string_view text) {
+  for (const char c : text) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          static constexpr char kHex[] = "0123456789abcdef";
+          out += "\\u00";
+          out += kHex[(static_cast<unsigned char>(c) >> 4) & 0xF];
+          out += kHex[static_cast<unsigned char>(c) & 0xF];
+        } else {
+          out += c;
+        }
+    }
+  }
+}
+
+/// `text` rendered as a quoted JSON string literal.
+[[nodiscard]] inline std::string JsonQuote(std::string_view text) {
+  std::string out;
+  out.reserve(text.size() + 2);
+  out += '"';
+  AppendJsonEscaped(out, text);
+  out += '"';
+  return out;
+}
+
+}  // namespace monarch::obs

@@ -1,0 +1,203 @@
+#include "obs/metrics_registry.h"
+
+#include <algorithm>
+#include <utility>
+
+#include "obs/json.h"
+
+namespace monarch::obs {
+
+std::string_view MetricKindName(MetricKind kind) noexcept {
+  switch (kind) {
+    case MetricKind::kCounter: return "counter";
+    case MetricKind::kGauge: return "gauge";
+    case MetricKind::kHistogram: return "histogram";
+  }
+  return "unknown";
+}
+
+void SourceRegistration::Release() noexcept {
+  if (registry_ != nullptr) {
+    registry_->RemoveSource(id_);
+    registry_ = nullptr;
+  }
+}
+
+MetricsRegistry& MetricsRegistry::Global() {
+  // Leaked so instrument pointers handed to components never dangle,
+  // even during static destruction of late-exiting threads.
+  static MetricsRegistry* const kGlobal = new MetricsRegistry();
+  return *kGlobal;
+}
+
+Counter* MetricsRegistry::GetCounter(std::string_view name,
+                                     std::string_view unit,
+                                     std::string_view help) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = instruments_.find(name);
+  if (it != instruments_.end()) {
+    return it->second.kind == MetricKind::kCounter ? it->second.counter.get()
+                                                   : nullptr;
+  }
+  Instrument instrument{MetricKind::kCounter, std::string(unit),
+                        std::string(help), std::make_unique<Counter>(),
+                        nullptr, nullptr};
+  Counter* raw = instrument.counter.get();
+  instruments_.emplace(std::string(name), std::move(instrument));
+  return raw;
+}
+
+Gauge* MetricsRegistry::GetGauge(std::string_view name, std::string_view unit,
+                                 std::string_view help) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = instruments_.find(name);
+  if (it != instruments_.end()) {
+    return it->second.kind == MetricKind::kGauge ? it->second.gauge.get()
+                                                 : nullptr;
+  }
+  Instrument instrument{MetricKind::kGauge, std::string(unit),
+                        std::string(help), nullptr, std::make_unique<Gauge>(),
+                        nullptr};
+  Gauge* raw = instrument.gauge.get();
+  instruments_.emplace(std::string(name), std::move(instrument));
+  return raw;
+}
+
+Histogram* MetricsRegistry::GetHistogram(std::string_view name,
+                                         std::string_view unit,
+                                         std::string_view help) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = instruments_.find(name);
+  if (it != instruments_.end()) {
+    return it->second.kind == MetricKind::kHistogram
+               ? it->second.histogram.get()
+               : nullptr;
+  }
+  Instrument instrument{MetricKind::kHistogram, std::string(unit),
+                        std::string(help), nullptr, nullptr,
+                        std::make_unique<Histogram>()};
+  Histogram* raw = instrument.histogram.get();
+  instruments_.emplace(std::string(name), std::move(instrument));
+  return raw;
+}
+
+SourceRegistration MetricsRegistry::AddSource(SourceFn fn) {
+  std::lock_guard<std::mutex> lock(mu_);
+  const std::uint64_t id = next_source_id_++;
+  sources_.emplace(id, std::move(fn));
+  return SourceRegistration(this, id);
+}
+
+void MetricsRegistry::RemoveSource(std::uint64_t id) noexcept {
+  std::lock_guard<std::mutex> lock(mu_);
+  sources_.erase(id);
+}
+
+std::vector<MetricSample> MetricsRegistry::SnapshotLocked() const {
+  std::vector<MetricSample> samples;
+  samples.reserve(instruments_.size());
+  for (const auto& [name, instrument] : instruments_) {
+    MetricSample sample;
+    sample.name = name;
+    sample.unit = instrument.unit;
+    sample.help = instrument.help;
+    sample.kind = instrument.kind;
+    switch (instrument.kind) {
+      case MetricKind::kCounter:
+        sample.value = instrument.counter->Value();
+        break;
+      case MetricKind::kGauge:
+        sample.gauge = instrument.gauge->Value();
+        break;
+      case MetricKind::kHistogram:
+        sample.histogram = instrument.histogram->TakeSnapshot();
+        break;
+    }
+    samples.push_back(std::move(sample));
+  }
+  for (const auto& [id, source] : sources_) {
+    (void)id;
+    std::vector<MetricSample> produced = source();
+    samples.insert(samples.end(),
+                   std::make_move_iterator(produced.begin()),
+                   std::make_move_iterator(produced.end()));
+  }
+  std::sort(samples.begin(), samples.end(),
+            [](const MetricSample& a, const MetricSample& b) {
+              return std::tie(a.name, a.label) < std::tie(b.name, b.label);
+            });
+  return samples;
+}
+
+std::vector<MetricSample> MetricsRegistry::Snapshot() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return SnapshotLocked();
+}
+
+std::vector<std::string> MetricsRegistry::Names() const {
+  std::vector<MetricSample> samples = Snapshot();
+  std::vector<std::string> names;
+  names.reserve(samples.size());
+  for (MetricSample& sample : samples) names.push_back(std::move(sample.name));
+  names.erase(std::unique(names.begin(), names.end()), names.end());
+  return names;
+}
+
+void MetricsRegistry::PrintText(std::ostream& os) const {
+  for (const MetricSample& s : Snapshot()) {
+    os << s.name;
+    if (!s.label.empty()) os << "{" << s.label << "}";
+    os << " " << MetricKindName(s.kind) << " ";
+    switch (s.kind) {
+      case MetricKind::kCounter: os << s.value; break;
+      case MetricKind::kGauge: os << s.gauge; break;
+      case MetricKind::kHistogram:
+        os << "count=" << s.histogram.count << " p50=" << s.histogram.p50_us
+           << " p90=" << s.histogram.p90_us << " p99=" << s.histogram.p99_us
+           << " max=" << s.histogram.max_us;
+        break;
+    }
+    if (!s.unit.empty()) os << " " << s.unit;
+    if (!s.help.empty()) os << "  # " << s.help;
+    os << "\n";
+  }
+}
+
+void MetricsRegistry::PrintJson(std::ostream& os) const {
+  std::string out = "[\n";
+  bool first = true;
+  for (const MetricSample& s : Snapshot()) {
+    if (!first) out += ",\n";
+    first = false;
+    out += "  {\"name\":" + JsonQuote(s.name);
+    out += ",\"label\":" + JsonQuote(s.label);
+    out += ",\"kind\":" + JsonQuote(MetricKindName(s.kind));
+    out += ",\"unit\":" + JsonQuote(s.unit);
+    switch (s.kind) {
+      case MetricKind::kCounter:
+        out += ",\"value\":" + std::to_string(s.value);
+        break;
+      case MetricKind::kGauge:
+        out += ",\"value\":" + std::to_string(s.gauge);
+        break;
+      case MetricKind::kHistogram:
+        out += ",\"count\":" + std::to_string(s.histogram.count);
+        out += ",\"mean_us\":" + std::to_string(s.histogram.mean_us);
+        out += ",\"p50_us\":" + std::to_string(s.histogram.p50_us);
+        out += ",\"p90_us\":" + std::to_string(s.histogram.p90_us);
+        out += ",\"p99_us\":" + std::to_string(s.histogram.p99_us);
+        out += ",\"max_us\":" + std::to_string(s.histogram.max_us);
+        break;
+    }
+    out += ",\"help\":" + JsonQuote(s.help) + "}";
+  }
+  out += "\n]\n";
+  os << out;
+}
+
+std::size_t MetricsRegistry::instrument_count() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return instruments_.size();
+}
+
+}  // namespace monarch::obs

@@ -1,0 +1,225 @@
+// MetricsRegistry: the process-wide metric surface of the MONARCH
+// reproduction (see docs/OBSERVABILITY.md for the full catalogue).
+//
+// The paper's whole evaluation is argued through observables — per-tier
+// read shares, PFS pressure counters, staging progress, first-vs-later
+// epoch timings (§IV) — so this module makes those observables a
+// first-class, self-describing subsystem instead of ad-hoc structs.
+//
+// Two kinds of metric feed one export path:
+//
+//  * OWNED INSTRUMENTS (Counter / Gauge / Histogram): registered once by
+//    name, never removed, updated with relaxed atomics. Components cache
+//    the returned pointer and update it on their hot paths — no lock is
+//    ever taken after registration, which is what keeps Monarch::Read's
+//    instrumentation overhead to a couple of relaxed fetch_adds (asserted
+//    by the TSan CI run; see scripts/check.sh).
+//
+//  * PULL SOURCES: a callback producing MetricSamples at snapshot time,
+//    registered with an RAII handle so per-instance state (a storage
+//    engine's IoStats, a Monarch instance's per-tier counters) can be
+//    exported without copying it into the registry and without dangling
+//    when the instance dies. Sources pay nothing until someone snapshots.
+//
+// Naming convention: metric names are fixed, dotted, lowercase strings
+// ("monarch.placement.completed"); the variable dimension (tier name,
+// engine name) goes into the sample's `label`, never into the name. The
+// doc-catalogue test (tests/obs/doc_catalogue_test.cc) diffs every name
+// the registry exposes at runtime against docs/OBSERVABILITY.md, so a new
+// metric without a catalogue entry fails CI.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <ostream>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "util/histogram.h"
+
+namespace monarch::obs {
+
+/// Monotonic event count (ops, bytes, errors). Increment is wait-free.
+class Counter {
+ public:
+  void Increment(std::uint64_t delta = 1) noexcept {
+    value_.fetch_add(delta, std::memory_order_relaxed);
+  }
+  [[nodiscard]] std::uint64_t Value() const noexcept {
+    return value_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  std::atomic<std::uint64_t> value_{0};
+};
+
+/// Point-in-time signed level (occupancy, queue depth). Set/Add are
+/// wait-free.
+class Gauge {
+ public:
+  void Set(std::int64_t value) noexcept {
+    value_.store(value, std::memory_order_relaxed);
+  }
+  void Add(std::int64_t delta) noexcept {
+    value_.fetch_add(delta, std::memory_order_relaxed);
+  }
+  [[nodiscard]] std::int64_t Value() const noexcept {
+    return value_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  std::atomic<std::int64_t> value_{0};
+};
+
+/// Latency distribution; a thin named wrapper over util's wait-free
+/// log-bucketed LatencyHistogram.
+class Histogram {
+ public:
+  void Record(Duration latency) noexcept { hist_.Record(latency); }
+  void RecordMicros(std::uint64_t us) noexcept { hist_.RecordMicros(us); }
+  [[nodiscard]] LatencyHistogram::Snapshot TakeSnapshot() const {
+    return hist_.TakeSnapshot();
+  }
+
+ private:
+  LatencyHistogram hist_;
+};
+
+enum class MetricKind { kCounter, kGauge, kHistogram };
+
+[[nodiscard]] std::string_view MetricKindName(MetricKind kind) noexcept;
+
+/// One exported time-series point. For counters `value` is set, for
+/// gauges `gauge`, for histograms `histogram`; the other fields are
+/// zero-initialised.
+struct MetricSample {
+  std::string name;   ///< fixed catalogue name ("storage.read_ops")
+  std::string label;  ///< variable dimension ("lustre", "local-ssd"), may be empty
+  std::string unit;   ///< "ops", "bytes", "us", ...
+  std::string help;   ///< one-line meaning, mirrored in docs/OBSERVABILITY.md
+  MetricKind kind = MetricKind::kCounter;
+  std::uint64_t value = 0;
+  std::int64_t gauge = 0;
+  LatencyHistogram::Snapshot histogram;
+};
+
+class MetricsRegistry;
+
+/// RAII handle for a pull source: unregisters on destruction, so a
+/// component whose lifetime is shorter than the process (a storage
+/// engine, a Monarch instance) can export its stats safely. Move-only;
+/// a default-constructed handle is inert.
+class SourceRegistration {
+ public:
+  SourceRegistration() = default;
+  SourceRegistration(MetricsRegistry* registry, std::uint64_t id) noexcept
+      : registry_(registry), id_(id) {}
+  ~SourceRegistration() { Release(); }
+
+  SourceRegistration(SourceRegistration&& other) noexcept
+      : registry_(other.registry_), id_(other.id_) {
+    other.registry_ = nullptr;
+  }
+  SourceRegistration& operator=(SourceRegistration&& other) noexcept {
+    if (this != &other) {
+      Release();
+      registry_ = other.registry_;
+      id_ = other.id_;
+      other.registry_ = nullptr;
+    }
+    return *this;
+  }
+  SourceRegistration(const SourceRegistration&) = delete;
+  SourceRegistration& operator=(const SourceRegistration&) = delete;
+
+  /// Unregister now (idempotent).
+  void Release() noexcept;
+
+ private:
+  MetricsRegistry* registry_ = nullptr;
+  std::uint64_t id_ = 0;
+};
+
+class MetricsRegistry {
+ public:
+  /// The process-wide registry every production component registers into.
+  /// Never destroyed (leaked singleton), so instrument pointers obtained
+  /// from it stay valid for the life of the process.
+  static MetricsRegistry& Global();
+
+  /// Registries are also instantiable for tests and embedders that want
+  /// an isolated metric namespace.
+  MetricsRegistry() = default;
+  MetricsRegistry(const MetricsRegistry&) = delete;
+  MetricsRegistry& operator=(const MetricsRegistry&) = delete;
+
+  /// Get-or-create the named instrument. The returned pointer is stable
+  /// until the registry is destroyed (forever, for Global()) — cache it
+  /// and update lock-free. Re-requesting an existing name returns the
+  /// same instrument (so two Monarch instances share one process-wide
+  /// counter); requesting a name that exists AS A DIFFERENT KIND is a
+  /// registration error and returns nullptr (the duplicate-name
+  /// rejection tested by tests/obs/metrics_registry_test.cc). `unit` and
+  /// `help` are recorded on first registration and not validated after.
+  Counter* GetCounter(std::string_view name, std::string_view unit,
+                      std::string_view help);
+  Gauge* GetGauge(std::string_view name, std::string_view unit,
+                  std::string_view help);
+  Histogram* GetHistogram(std::string_view name, std::string_view unit,
+                          std::string_view help);
+
+  using SourceFn = std::function<std::vector<MetricSample>()>;
+
+  /// Register a pull source. `fn` is called under the registry mutex at
+  /// snapshot time and must stay valid until the returned handle is
+  /// released — hold the handle as the LAST member of the exporting
+  /// object so it unregisters before the state the callback reads dies.
+  [[nodiscard]] SourceRegistration AddSource(SourceFn fn);
+
+  /// All current samples: owned instruments first, then every source's
+  /// output, sorted by (name, label). Sources run under the registry
+  /// lock; values are relaxed-atomic reads, so a snapshot taken under
+  /// concurrent updates is approximate per-metric (never torn).
+  [[nodiscard]] std::vector<MetricSample> Snapshot() const;
+
+  /// Sorted unique metric NAMES currently exposed (owned + sources).
+  /// This is the set docs/OBSERVABILITY.md must cover.
+  [[nodiscard]] std::vector<std::string> Names() const;
+
+  /// Human-readable dump: one line per sample,
+  /// `name{label} kind value unit  # help`.
+  void PrintText(std::ostream& os) const;
+
+  /// Machine-readable dump: a JSON array of sample objects (schema in
+  /// docs/OBSERVABILITY.md).
+  void PrintJson(std::ostream& os) const;
+
+  [[nodiscard]] std::size_t instrument_count() const;
+
+ private:
+  friend class SourceRegistration;
+  void RemoveSource(std::uint64_t id) noexcept;
+
+  struct Instrument {
+    MetricKind kind;
+    std::string unit;
+    std::string help;
+    std::unique_ptr<Counter> counter;
+    std::unique_ptr<Gauge> gauge;
+    std::unique_ptr<Histogram> histogram;
+  };
+
+  [[nodiscard]] std::vector<MetricSample> SnapshotLocked() const;
+
+  mutable std::mutex mu_;
+  std::map<std::string, Instrument, std::less<>> instruments_;
+  std::map<std::uint64_t, SourceFn> sources_;
+  std::uint64_t next_source_id_ = 1;
+};
+
+}  // namespace monarch::obs

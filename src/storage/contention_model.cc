@@ -3,6 +3,9 @@
 #include <cassert>
 #include <cmath>
 
+#include "obs/event_tracer.h"
+#include "obs/json.h"
+
 namespace monarch::storage {
 
 ContentionModel::ContentionModel()
@@ -54,9 +57,18 @@ void ContentionModel::AdvanceLocked(TimePoint now) {
     return;
   }
   // Catch up through any transitions that elapsed since the last call.
+  const std::size_t before = current_;
   while (now >= next_transition_) {
     current_ = SampleNextStateLocked();
     next_transition_ += SampleDwellLocked();
+  }
+  if (current_ != before) {
+    obs::EventTracer& tracer = obs::EventTracer::Global();
+    if (tracer.enabled()) {
+      tracer.RecordInstant(
+          "contention.state", "storage",
+          "\"state\":" + obs::JsonQuote(states_[current_].name));
+    }
   }
 }
 

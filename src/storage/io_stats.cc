@@ -38,4 +38,50 @@ std::string IoStatsSnapshot::ToString() const {
   return buf;
 }
 
+obs::SourceRegistration RegisterIoStats(obs::MetricsRegistry& registry,
+                                        std::string_view engine_name,
+                                        const IoStats* stats) {
+  return registry.AddSource([label = std::string(engine_name), stats]() {
+    const IoStatsSnapshot s = stats->Snapshot();
+    auto counter = [&label](std::string name, std::string unit,
+                            std::string help, std::uint64_t value) {
+      obs::MetricSample sample;
+      sample.name = std::move(name);
+      sample.label = label;
+      sample.unit = std::move(unit);
+      sample.help = std::move(help);
+      sample.kind = obs::MetricKind::kCounter;
+      sample.value = value;
+      return sample;
+    };
+    std::vector<obs::MetricSample> samples;
+    samples.reserve(6);
+    samples.push_back(counter("storage.read_ops", "ops",
+                              "read operations served by this engine",
+                              s.read_ops));
+    samples.push_back(counter("storage.write_ops", "ops",
+                              "write operations served by this engine",
+                              s.write_ops));
+    samples.push_back(counter(
+        "storage.metadata_ops", "ops",
+        "open/stat/list operations (PFS metadata-server traffic)",
+        s.metadata_ops));
+    samples.push_back(counter("storage.bytes_read", "bytes",
+                              "payload bytes read from this engine",
+                              s.bytes_read));
+    samples.push_back(counter("storage.bytes_written", "bytes",
+                              "payload bytes written to this engine",
+                              s.bytes_written));
+    obs::MetricSample latency;
+    latency.name = "storage.read_latency_us";
+    latency.label = label;
+    latency.unit = "us";
+    latency.help = "per-read latency distribution of this engine";
+    latency.kind = obs::MetricKind::kHistogram;
+    latency.histogram = stats->ReadLatency();
+    samples.push_back(std::move(latency));
+    return samples;
+  });
+}
+
 }  // namespace monarch::storage

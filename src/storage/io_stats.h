@@ -4,12 +4,18 @@
 // pressure on the PFS backend?" — answered entirely in terms of the
 // counters below (data ops, metadata ops, bytes moved), so every storage
 // engine updates an IoStats and the bench harnesses diff them.
+//
+// Measuring an interval: take a Snapshot() before, a Snapshot() after,
+// and subtract (`after - before`) — that is what every bench harness
+// does. Avoid Reset() for interval measurement; see its comment for why.
 #pragma once
 
 #include <atomic>
 #include <cstdint>
 #include <string>
+#include <string_view>
 
+#include "obs/metrics_registry.h"
 #include "util/histogram.h"
 
 namespace monarch::storage {
@@ -66,6 +72,20 @@ class IoStats {
     return read_latency_.TakeSnapshot();
   }
 
+  /// Zero every counter and the latency histogram.
+  ///
+  /// NOT atomic as a whole: each counter is cleared individually, so a
+  /// Snapshot() (or a writer) racing a Reset() observes a MIX of pre-
+  /// and post-reset values — e.g. `read_ops` already zeroed but
+  /// `bytes_read` not yet — and an op recorded during the race may be
+  /// half-erased (its op count cleared, its bytes kept). That skew is
+  /// unbounded relative to the counter magnitudes, unlike the benign
+  /// per-counter approximation of Snapshot() itself.
+  ///
+  /// Reset() is therefore only safe while no reader or writer is active
+  /// (e.g. test setup). To measure an interval on a live engine, diff
+  /// two Snapshots instead — the header comment's pattern, used by all
+  /// bench harnesses.
   void Reset() noexcept {
     read_ops_.store(0, std::memory_order_relaxed);
     write_ops_.store(0, std::memory_order_relaxed);
@@ -83,5 +103,14 @@ class IoStats {
   std::atomic<std::uint64_t> bytes_written_{0};
   LatencyHistogram read_latency_;
 };
+
+/// Export `stats` through `registry` as the `storage.*` metric family
+/// (docs/OBSERVABILITY.md §1), labelled with the engine's name. Pull-
+/// based: nothing is copied until a snapshot asks. The caller must keep
+/// `stats` alive until the returned handle is destroyed — engines hold
+/// the handle as their last member so it deregisters first.
+[[nodiscard]] obs::SourceRegistration RegisterIoStats(
+    obs::MetricsRegistry& registry, std::string_view engine_name,
+    const IoStats* stats);
 
 }  // namespace monarch::storage

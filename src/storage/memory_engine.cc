@@ -4,15 +4,20 @@
 #include <cstring>
 #include <mutex>
 
+#include "obs/event_tracer.h"
 #include "util/clock.h"
 
 namespace monarch::storage {
 
-MemoryEngine::MemoryEngine(std::string name) : name_(std::move(name)) {}
+MemoryEngine::MemoryEngine(std::string name)
+    : name_(std::move(name)),
+      stats_reg_(RegisterIoStats(obs::MetricsRegistry::Global(), name_,
+                                 &stats_)) {}
 
 Result<std::size_t> MemoryEngine::Read(const std::string& path,
                                        std::uint64_t offset,
                                        std::span<std::byte> dst) {
+  const obs::TraceSpan span("storage.read", "storage");
   const Stopwatch timer;
   std::shared_lock lock(mu_);
   auto it = files_.find(path);
@@ -33,6 +38,7 @@ Result<std::size_t> MemoryEngine::Read(const std::string& path,
 
 Status MemoryEngine::Write(const std::string& path,
                            std::span<const std::byte> data) {
+  const obs::TraceSpan span("storage.write", "storage");
   std::unique_lock lock(mu_);
   files_[path].assign(data.begin(), data.end());
   stats_.RecordWrite(data.size());

@@ -36,6 +36,9 @@ class MemoryEngine final : public StorageEngine {
   mutable std::shared_mutex mu_;
   // Ordered so ListFiles gets sorted output for free.
   std::map<std::string, std::vector<std::byte>> files_;
+  // Last member: deregisters from the global MetricsRegistry before
+  // stats_ (and files_) are destroyed.
+  obs::SourceRegistration stats_reg_;
 };
 
 }  // namespace monarch::storage

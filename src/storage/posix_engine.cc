@@ -8,6 +8,7 @@
 #include <cstring>
 #include <system_error>
 
+#include "obs/event_tracer.h"
 #include "util/clock.h"
 
 namespace monarch::storage {
@@ -44,7 +45,10 @@ class UniqueFd {
 }  // namespace
 
 PosixEngine::PosixEngine(fs::path root, std::string name)
-    : root_(std::move(root)), name_(std::move(name)) {
+    : root_(std::move(root)),
+      name_(std::move(name)),
+      stats_reg_(RegisterIoStats(obs::MetricsRegistry::Global(), name_,
+                                 &stats_)) {
   std::error_code ec;
   fs::create_directories(root_, ec);
 }
@@ -56,6 +60,7 @@ fs::path PosixEngine::Resolve(const std::string& path) const {
 Result<std::size_t> PosixEngine::Read(const std::string& path,
                                       std::uint64_t offset,
                                       std::span<std::byte> dst) {
+  const obs::TraceSpan span("storage.read", "storage");
   const Stopwatch timer;
   const fs::path full = Resolve(path);
   UniqueFd fd(::open(full.c_str(), O_RDONLY));
@@ -79,6 +84,7 @@ Result<std::size_t> PosixEngine::Read(const std::string& path,
 
 Status PosixEngine::Write(const std::string& path,
                           std::span<const std::byte> data) {
+  const obs::TraceSpan span("storage.write", "storage");
   const fs::path full = Resolve(path);
   std::error_code ec;
   fs::create_directories(full.parent_path(), ec);

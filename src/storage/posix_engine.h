@@ -37,6 +37,10 @@ class PosixEngine final : public StorageEngine {
   std::filesystem::path root_;
   std::string name_;
   IoStats stats_;
+  // Last member: deregisters from the global MetricsRegistry before
+  // stats_ is destroyed, so a concurrent snapshot never reads a dead
+  // IoStats.
+  obs::SourceRegistration stats_reg_;
 };
 
 }  // namespace monarch::storage

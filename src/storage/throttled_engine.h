@@ -16,7 +16,10 @@ namespace monarch::storage {
 class ThrottledEngine final : public StorageEngine {
  public:
   ThrottledEngine(StorageEnginePtr inner, DeviceModelPtr device)
-      : inner_(std::move(inner)), device_(std::move(device)) {}
+      : inner_(std::move(inner)),
+        device_(std::move(device)),
+        stats_reg_(RegisterIoStats(obs::MetricsRegistry::Global(), Name(),
+                                   &stats_)) {}
 
   Result<std::size_t> Read(const std::string& path, std::uint64_t offset,
                            std::span<std::byte> dst) override {
@@ -87,6 +90,8 @@ class ThrottledEngine final : public StorageEngine {
   StorageEnginePtr inner_;
   DeviceModelPtr device_;
   IoStats stats_;
+  // Last member: deregisters before stats_ dies.
+  obs::SourceRegistration stats_reg_;
 };
 
 }  // namespace monarch::storage

@@ -1,0 +1,388 @@
+#include "obs/event_tracer.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <map>
+#include <memory>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <variant>
+#include <vector>
+
+#include "obs/json.h"
+
+namespace monarch::obs {
+namespace {
+
+// ---------------------------------------------------------------------
+// Minimal recursive-descent JSON parser, just enough to round-trip the
+// exporter's output and prove it is structurally valid Chrome trace JSON.
+// Throws std::runtime_error on malformed input (failing the test).
+// ---------------------------------------------------------------------
+struct JsonValue;
+using JsonObject = std::map<std::string, JsonValue>;
+using JsonArray = std::vector<JsonValue>;
+
+struct JsonValue {
+  std::variant<std::nullptr_t, bool, double, std::string,
+               std::shared_ptr<JsonObject>, std::shared_ptr<JsonArray>>
+      value;
+
+  [[nodiscard]] bool is_object() const {
+    return std::holds_alternative<std::shared_ptr<JsonObject>>(value);
+  }
+  [[nodiscard]] const JsonObject& object() const {
+    return *std::get<std::shared_ptr<JsonObject>>(value);
+  }
+  [[nodiscard]] bool is_array() const {
+    return std::holds_alternative<std::shared_ptr<JsonArray>>(value);
+  }
+  [[nodiscard]] const JsonArray& array() const {
+    return *std::get<std::shared_ptr<JsonArray>>(value);
+  }
+  [[nodiscard]] const std::string& str() const {
+    return std::get<std::string>(value);
+  }
+  [[nodiscard]] double num() const { return std::get<double>(value); }
+};
+
+class JsonParser {
+ public:
+  explicit JsonParser(std::string_view text) : text_(text) {}
+
+  JsonValue Parse() {
+    JsonValue v = ParseValue();
+    SkipSpace();
+    if (pos_ != text_.size()) Fail("trailing characters");
+    return v;
+  }
+
+ private:
+  [[noreturn]] void Fail(const std::string& what) const {
+    throw std::runtime_error("JSON error at " + std::to_string(pos_) + ": " +
+                             what);
+  }
+
+  void SkipSpace() {
+    while (pos_ < text_.size() &&
+           (text_[pos_] == ' ' || text_[pos_] == '\n' ||
+            text_[pos_] == '\r' || text_[pos_] == '\t')) {
+      ++pos_;
+    }
+  }
+
+  char Peek() {
+    SkipSpace();
+    if (pos_ >= text_.size()) Fail("unexpected end");
+    return text_[pos_];
+  }
+
+  void Expect(char c) {
+    if (Peek() != c) Fail(std::string("expected '") + c + "'");
+    ++pos_;
+  }
+
+  JsonValue ParseValue() {
+    switch (Peek()) {
+      case '{': return ParseObject();
+      case '[': return ParseArray();
+      case '"': return JsonValue{ParseString()};
+      case 't': Literal("true"); return JsonValue{true};
+      case 'f': Literal("false"); return JsonValue{false};
+      case 'n': Literal("null"); return JsonValue{nullptr};
+      default: return ParseNumber();
+    }
+  }
+
+  void Literal(std::string_view word) {
+    if (text_.substr(pos_, word.size()) != word) Fail("bad literal");
+    pos_ += word.size();
+  }
+
+  JsonValue ParseObject() {
+    Expect('{');
+    auto object = std::make_shared<JsonObject>();
+    if (Peek() == '}') {
+      ++pos_;
+      return JsonValue{object};
+    }
+    while (true) {
+      std::string key = ParseString();
+      Expect(':');
+      (*object)[std::move(key)] = ParseValue();
+      if (Peek() == ',') {
+        ++pos_;
+        continue;
+      }
+      Expect('}');
+      return JsonValue{object};
+    }
+  }
+
+  JsonValue ParseArray() {
+    Expect('[');
+    auto array = std::make_shared<JsonArray>();
+    if (Peek() == ']') {
+      ++pos_;
+      return JsonValue{array};
+    }
+    while (true) {
+      array->push_back(ParseValue());
+      if (Peek() == ',') {
+        ++pos_;
+        continue;
+      }
+      Expect(']');
+      return JsonValue{array};
+    }
+  }
+
+  std::string ParseString() {
+    Expect('"');
+    std::string out;
+    while (pos_ < text_.size() && text_[pos_] != '"') {
+      char c = text_[pos_++];
+      if (c != '\\') {
+        out.push_back(c);
+        continue;
+      }
+      if (pos_ >= text_.size()) Fail("dangling escape");
+      char esc = text_[pos_++];
+      switch (esc) {
+        case '"': out.push_back('"'); break;
+        case '\\': out.push_back('\\'); break;
+        case '/': out.push_back('/'); break;
+        case 'n': out.push_back('\n'); break;
+        case 'r': out.push_back('\r'); break;
+        case 't': out.push_back('\t'); break;
+        case 'b': out.push_back('\b'); break;
+        case 'f': out.push_back('\f'); break;
+        case 'u': {
+          if (pos_ + 4 > text_.size()) Fail("short \\u escape");
+          const unsigned code =
+              static_cast<unsigned>(std::stoul(
+                  std::string(text_.substr(pos_, 4)), nullptr, 16));
+          pos_ += 4;
+          out.push_back(static_cast<char>(code));  // ASCII range only
+          break;
+        }
+        default: Fail("unknown escape");
+      }
+    }
+    Expect('"');
+    return out;
+  }
+
+  JsonValue ParseNumber() {
+    const std::size_t start = pos_;
+    while (pos_ < text_.size() &&
+           (std::isdigit(static_cast<unsigned char>(text_[pos_])) != 0 ||
+            text_[pos_] == '-' || text_[pos_] == '+' || text_[pos_] == '.' ||
+            text_[pos_] == 'e' || text_[pos_] == 'E')) {
+      ++pos_;
+    }
+    if (start == pos_) Fail("bad number");
+    return JsonValue{std::stod(std::string(text_.substr(start, pos_ - start)))};
+  }
+
+  std::string_view text_;
+  std::size_t pos_ = 0;
+};
+
+/// Export `tracer` and parse the document, returning the traceEvents.
+JsonArray ExportedEvents(const EventTracer& tracer) {
+  std::ostringstream os;
+  tracer.ExportChromeJson(os);
+  JsonValue document = JsonParser(os.str()).Parse();
+  EXPECT_TRUE(document.is_object());
+  const JsonObject& root = document.object();
+  EXPECT_EQ("ms", root.at("displayTimeUnit").str());
+  EXPECT_TRUE(root.at("traceEvents").is_array());
+  return root.at("traceEvents").array();
+}
+
+const JsonObject* FindEvent(const JsonArray& events, const std::string& name) {
+  for (const JsonValue& event : events) {
+    if (event.object().at("name").str() == name) return &event.object();
+  }
+  return nullptr;
+}
+
+// ---------------------------------------------------------------------
+
+TEST(EventTracerTest, DisabledTracerRecordsNothing) {
+  EventTracer tracer;
+  EXPECT_FALSE(tracer.enabled());
+  tracer.RecordComplete("ignored", "test", 0, 1);
+  tracer.RecordInstant("ignored", "test");
+  { TraceSpan span(tracer, "ignored", "test"); EXPECT_FALSE(span.active()); }
+  EXPECT_EQ(0u, tracer.recorded_events());
+}
+
+TEST(EventTracerTest, RecordsWhenEnabled) {
+  EventTracer tracer;
+  tracer.Enable();
+  tracer.RecordComplete("op", "test", 10, 5);
+  tracer.RecordInstant("marker", "test");
+  EXPECT_EQ(2u, tracer.recorded_events());
+  EXPECT_EQ(0u, tracer.dropped_events());
+  tracer.Disable();
+  EXPECT_EQ(2u, tracer.recorded_events());  // still exportable
+}
+
+TEST(EventTracerTest, SpanNestingIsContained) {
+  EventTracer tracer;
+  tracer.Enable();
+  {
+    TraceSpan outer(tracer, "outer", "test");
+    ASSERT_TRUE(outer.active());
+    {
+      TraceSpan inner(tracer, "inner", "test");
+      std::this_thread::sleep_for(std::chrono::milliseconds(1));
+    }
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+  tracer.Disable();
+
+  const JsonArray events = ExportedEvents(tracer);
+  const JsonObject* outer = FindEvent(events, "outer");
+  const JsonObject* inner = FindEvent(events, "inner");
+  ASSERT_NE(nullptr, outer);
+  ASSERT_NE(nullptr, inner);
+  EXPECT_EQ("X", outer->at("ph").str());
+  // The inner span starts no earlier and ends no later than the outer.
+  EXPECT_GE(inner->at("ts").num(), outer->at("ts").num());
+  EXPECT_LE(inner->at("ts").num() + inner->at("dur").num(),
+            outer->at("ts").num() + outer->at("dur").num());
+  // Same thread -> same tid.
+  EXPECT_EQ(outer->at("tid").num(), inner->at("tid").num());
+}
+
+TEST(EventTracerTest, RingOverflowDropsOldestAndCountsDrops) {
+  EventTracer tracer;
+  tracer.Enable(/*events_per_thread=*/4);
+  for (int i = 0; i < 10; ++i) {
+    tracer.RecordInstant("e" + std::to_string(i), "test");
+  }
+  tracer.Disable();
+  EXPECT_EQ(4u, tracer.recorded_events());
+  EXPECT_EQ(6u, tracer.dropped_events());
+
+  const JsonArray events = ExportedEvents(tracer);
+  // The last four events survive; the oldest six were overwritten.
+  for (int i = 0; i < 6; ++i) {
+    EXPECT_EQ(nullptr, FindEvent(events, "e" + std::to_string(i)));
+  }
+  std::vector<std::string> survivors;
+  for (int i = 6; i < 10; ++i) {
+    const std::string name = "e" + std::to_string(i);
+    ASSERT_NE(nullptr, FindEvent(events, name));
+    survivors.push_back(name);
+  }
+  // And the export reports the drop count as a metadata instant.
+  const JsonObject* drops = FindEvent(events, "trace.dropped_events");
+  ASSERT_NE(nullptr, drops);
+  EXPECT_EQ(6, drops->at("args").object().at("count").num());
+}
+
+TEST(EventTracerTest, ExportIsValidChromeTraceJsonWithArgs) {
+  EventTracer tracer;
+  tracer.Enable();
+  tracer.RecordComplete("read", "storage", 100, 25,
+                        "\"file\":" + JsonQuote("dir/a \"quoted\" name\n"));
+  tracer.Disable();
+
+  const JsonArray events = ExportedEvents(tracer);
+  const JsonObject* read = FindEvent(events, "read");
+  ASSERT_NE(nullptr, read);
+  EXPECT_EQ("storage", read->at("cat").str());
+  EXPECT_EQ("X", read->at("ph").str());
+  EXPECT_EQ(100, read->at("ts").num());
+  EXPECT_EQ(25, read->at("dur").num());
+  EXPECT_EQ(1, read->at("pid").num());
+  EXPECT_GE(read->at("tid").num(), 1);
+  // Args survive the escape/parse round trip byte-for-byte.
+  EXPECT_EQ("dir/a \"quoted\" name\n",
+            read->at("args").object().at("file").str());
+}
+
+TEST(EventTracerTest, ExportToFileRoundTrips) {
+  EventTracer tracer;
+  tracer.Enable();
+  tracer.RecordInstant("file.marker", "test");
+  tracer.Disable();
+
+  const auto path = std::filesystem::temp_directory_path() /
+                    ("monarch_trace_test_" + std::to_string(::getpid()) +
+                     ".json");
+  ASSERT_TRUE(tracer.ExportChromeJsonToFile(path.string()).ok());
+  std::ifstream in(path);
+  ASSERT_TRUE(in.good());
+  std::ostringstream text;
+  text << in.rdbuf();
+  std::filesystem::remove(path);
+
+  const JsonValue document = JsonParser(text.str()).Parse();
+  ASSERT_TRUE(document.is_object());
+  EXPECT_NE(nullptr,
+            FindEvent(document.object().at("traceEvents").array(),
+                      "file.marker"));
+}
+
+TEST(EventTracerTest, ThreadsGetDistinctTids) {
+  EventTracer tracer;
+  tracer.Enable();
+  std::thread t1([&] { tracer.RecordInstant("thread1", "test"); });
+  std::thread t2([&] { tracer.RecordInstant("thread2", "test"); });
+  t1.join();
+  t2.join();
+  tracer.Disable();
+
+  const JsonArray events = ExportedEvents(tracer);
+  const JsonObject* e1 = FindEvent(events, "thread1");
+  const JsonObject* e2 = FindEvent(events, "thread2");
+  ASSERT_NE(nullptr, e1);
+  ASSERT_NE(nullptr, e2);
+  EXPECT_NE(e1->at("tid").num(), e2->at("tid").num());
+}
+
+TEST(EventTracerTest, ReEnableClearsPreviousEpoch) {
+  EventTracer tracer;
+  tracer.Enable();
+  tracer.RecordInstant("old", "test");
+  tracer.Enable();  // new epoch: old events and drops are discarded
+  tracer.RecordInstant("new", "test");
+  tracer.Disable();
+  EXPECT_EQ(1u, tracer.recorded_events());
+  const JsonArray events = ExportedEvents(tracer);
+  EXPECT_EQ(nullptr, FindEvent(events, "old"));
+  EXPECT_NE(nullptr, FindEvent(events, "new"));
+}
+
+TEST(EventTracerTest, ConcurrentRecordAndExportIsSafe) {
+  EventTracer tracer;
+  tracer.Enable(/*events_per_thread=*/256);
+  std::atomic<bool> stop{false};
+  std::thread writer([&] {
+    int i = 0;
+    while (!stop.load(std::memory_order_relaxed)) {
+      tracer.RecordInstant("spin", "test");
+      if (++i > 100000) break;
+    }
+  });
+  for (int i = 0; i < 20; ++i) {
+    std::ostringstream os;
+    tracer.ExportChromeJson(os);  // must not crash or deadlock vs writer
+    EXPECT_FALSE(os.str().empty());
+  }
+  stop.store(true);
+  writer.join();
+  tracer.Disable();
+}
+
+}  // namespace
+}  // namespace monarch::obs

@@ -1,0 +1,195 @@
+#include "obs/metrics_registry.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <sstream>
+#include <thread>
+#include <vector>
+
+namespace monarch::obs {
+namespace {
+
+TEST(MetricsRegistryTest, CounterRegistersAndCounts) {
+  MetricsRegistry registry;
+  Counter* counter = registry.GetCounter("test.requests", "ops", "requests");
+  ASSERT_NE(nullptr, counter);
+  counter->Increment();
+  counter->Increment(4);
+  EXPECT_EQ(5u, counter->Value());
+}
+
+TEST(MetricsRegistryTest, GaugeSetAndAdd) {
+  MetricsRegistry registry;
+  Gauge* gauge = registry.GetGauge("test.depth", "items", "queue depth");
+  ASSERT_NE(nullptr, gauge);
+  gauge->Set(10);
+  gauge->Add(-3);
+  EXPECT_EQ(7, gauge->Value());
+}
+
+TEST(MetricsRegistryTest, HistogramRecords) {
+  MetricsRegistry registry;
+  Histogram* hist = registry.GetHistogram("test.latency_us", "us", "latency");
+  ASSERT_NE(nullptr, hist);
+  hist->RecordMicros(100);
+  hist->RecordMicros(200);
+  const auto snap = hist->TakeSnapshot();
+  EXPECT_EQ(2u, snap.count);
+}
+
+TEST(MetricsRegistryTest, SameNameSameKindReturnsSameInstrument) {
+  MetricsRegistry registry;
+  Counter* a = registry.GetCounter("test.shared", "ops", "first");
+  Counter* b = registry.GetCounter("test.shared", "ops", "second caller");
+  ASSERT_NE(nullptr, a);
+  EXPECT_EQ(a, b);  // two components share one process-wide counter
+  a->Increment();
+  EXPECT_EQ(1u, b->Value());
+  EXPECT_EQ(1u, registry.instrument_count());
+}
+
+TEST(MetricsRegistryTest, DuplicateNameDifferentKindIsRejected) {
+  MetricsRegistry registry;
+  ASSERT_NE(nullptr, registry.GetCounter("test.clash", "ops", "a counter"));
+  EXPECT_EQ(nullptr, registry.GetGauge("test.clash", "ops", "not a gauge"));
+  EXPECT_EQ(nullptr,
+            registry.GetHistogram("test.clash", "us", "not a histogram"));
+  // The original registration is untouched.
+  EXPECT_EQ(1u, registry.instrument_count());
+  EXPECT_NE(nullptr, registry.GetCounter("test.clash", "ops", "a counter"));
+}
+
+TEST(MetricsRegistryTest, ConcurrentUpdatesAreLossless) {
+  MetricsRegistry registry;
+  Counter* counter = registry.GetCounter("test.concurrent", "ops", "");
+  constexpr int kThreads = 8;
+  constexpr int kIncrements = 10000;
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([counter] {
+      for (int i = 0; i < kIncrements; ++i) counter->Increment();
+    });
+  }
+  for (auto& thread : threads) thread.join();
+  EXPECT_EQ(static_cast<std::uint64_t>(kThreads) * kIncrements,
+            counter->Value());
+}
+
+TEST(MetricsRegistryTest, SnapshotWhileUpdatingIsConsistent) {
+  MetricsRegistry registry;
+  Counter* counter = registry.GetCounter("test.live", "ops", "");
+  std::atomic<bool> stop{false};
+  std::thread writer([&] {
+    while (!stop.load(std::memory_order_relaxed)) counter->Increment();
+  });
+  std::uint64_t last = 0;
+  for (int i = 0; i < 100; ++i) {
+    const auto samples = registry.Snapshot();
+    ASSERT_EQ(1u, samples.size());
+    EXPECT_EQ("test.live", samples[0].name);
+    // Counter values observed across snapshots are monotone.
+    EXPECT_GE(samples[0].value, last);
+    last = samples[0].value;
+  }
+  stop.store(true);
+  writer.join();
+}
+
+TEST(MetricsRegistryTest, SnapshotIsSortedByNameAndLabel) {
+  MetricsRegistry registry;
+  registry.GetCounter("zzz.last", "ops", "");
+  registry.GetCounter("aaa.first", "ops", "");
+  auto reg = registry.AddSource([] {
+    MetricSample m1;
+    m1.name = "mmm.middle";
+    m1.label = "b";
+    MetricSample m2;
+    m2.name = "mmm.middle";
+    m2.label = "a";
+    return std::vector<MetricSample>{m1, m2};
+  });
+  const auto samples = registry.Snapshot();
+  ASSERT_EQ(4u, samples.size());
+  EXPECT_EQ("aaa.first", samples[0].name);
+  EXPECT_EQ("mmm.middle", samples[1].name);
+  EXPECT_EQ("a", samples[1].label);
+  EXPECT_EQ("b", samples[2].label);
+  EXPECT_EQ("zzz.last", samples[3].name);
+}
+
+TEST(MetricsRegistryTest, SourceRegistrationIsRaii) {
+  MetricsRegistry registry;
+  {
+    auto reg = registry.AddSource([] {
+      MetricSample sample;
+      sample.name = "test.from_source";
+      sample.value = 42;
+      return std::vector<MetricSample>{sample};
+    });
+    const auto samples = registry.Snapshot();
+    ASSERT_EQ(1u, samples.size());
+    EXPECT_EQ(42u, samples[0].value);
+  }
+  // Handle destroyed -> source gone; no dangling callback runs.
+  EXPECT_TRUE(registry.Snapshot().empty());
+}
+
+TEST(MetricsRegistryTest, SourceRegistrationMoveTransfersOwnership) {
+  MetricsRegistry registry;
+  SourceRegistration outer;
+  {
+    auto inner = registry.AddSource(
+        [] { return std::vector<MetricSample>{MetricSample{}}; });
+    outer = std::move(inner);
+  }
+  EXPECT_EQ(1u, registry.Snapshot().size());  // survived the inner scope
+  outer.Release();
+  EXPECT_TRUE(registry.Snapshot().empty());
+}
+
+TEST(MetricsRegistryTest, NamesAreSortedAndUnique) {
+  MetricsRegistry registry;
+  registry.GetCounter("b.two", "ops", "");
+  registry.GetCounter("a.one", "ops", "");
+  auto reg = registry.AddSource([] {
+    MetricSample m1;
+    m1.name = "c.three";
+    m1.label = "x";
+    MetricSample m2;
+    m2.name = "c.three";  // same name, second label: one catalogue entry
+    m2.label = "y";
+    return std::vector<MetricSample>{m1, m2};
+  });
+  const auto names = registry.Names();
+  EXPECT_EQ((std::vector<std::string>{"a.one", "b.two", "c.three"}), names);
+}
+
+TEST(MetricsRegistryTest, PrintTextContainsEverySample) {
+  MetricsRegistry registry;
+  registry.GetCounter("test.printed", "ops", "help text here")->Increment(7);
+  std::ostringstream os;
+  registry.PrintText(os);
+  const std::string text = os.str();
+  EXPECT_NE(std::string::npos, text.find("test.printed"));
+  EXPECT_NE(std::string::npos, text.find("7"));
+  EXPECT_NE(std::string::npos, text.find("help text here"));
+}
+
+TEST(MetricsRegistryTest, PrintJsonEscapesAndNests) {
+  MetricsRegistry registry;
+  registry.GetCounter("test.json", "ops", "say \"hi\"");
+  std::ostringstream os;
+  registry.PrintJson(os);
+  const std::string json = os.str();
+  EXPECT_NE(std::string::npos, json.find("\"test.json\""));
+  EXPECT_NE(std::string::npos, json.find("\\\"hi\\\""));  // escaped quote
+}
+
+TEST(MetricsRegistryTest, GlobalIsASingleton) {
+  EXPECT_EQ(&MetricsRegistry::Global(), &MetricsRegistry::Global());
+}
+
+}  // namespace
+}  // namespace monarch::obs

@@ -15,6 +15,17 @@
 //   monarchctl replay --dir DIR --trace FILE [--profile ssd|lustre]
 //       Replay a captured I/O trace against a simulated device.
 //
+//   monarchctl metrics dump [--format text|json] [--workload demo|none]
+//       Print every metric the process-wide MetricsRegistry exposes
+//       (docs/OBSERVABILITY.md catalogue). The built-in demo workload —
+//       a small in-memory MONARCH hierarchy read twice — populates the
+//       registry so the dump shows live values.
+//
+//   monarchctl trace export FILE.json [--workload demo|none]
+//       Record the demo workload with the EventTracer enabled and write
+//       Chrome trace_event JSON to FILE.json (open in chrome://tracing
+//       or https://ui.perfetto.dev).
+//
 // Exit code 0 on success, 1 on usage errors, 2 on runtime failures.
 #include <filesystem>
 #include <fstream>
@@ -29,7 +40,10 @@
 #include "core/monarch.h"
 #include "dlsim/monarch_opener.h"
 #include "dlsim/trainer.h"
+#include "obs/event_tracer.h"
+#include "obs/metrics_registry.h"
 #include "storage/engine_factory.h"
+#include "storage/memory_engine.h"
 #include "tfrecord/index.h"
 #include "util/byte_units.h"
 #include "util/table.h"
@@ -42,9 +56,11 @@ namespace {
 namespace fs = std::filesystem;
 
 /// Minimal --flag value parser: flags are "--name value"; bare words are
-/// positional (we only use one: the subcommand).
+/// positional (the subcommand plus, for `metrics`/`trace`, a verb and an
+/// output path).
 struct Args {
   std::string command;
+  std::vector<std::string> positionals;  ///< bare words after the command
   std::map<std::string, std::string> flags;
 
   [[nodiscard]] std::optional<std::string> Get(const std::string& key) const {
@@ -68,7 +84,9 @@ Result<Args> ParseArgs(int argc, char** argv) {
   while (i < argc) {
     std::string flag = argv[i];
     if (!flag.starts_with("--")) {
-      return InvalidArgumentError("unexpected argument '" + flag + "'");
+      args.positionals.push_back(std::move(flag));
+      ++i;
+      continue;
     }
     flag = flag.substr(2);
     if (i + 1 >= argc) {
@@ -86,7 +104,9 @@ void PrintUsage() {
       "  monarchctl gen     --dir DIR [--preset tiny|100g|200g] [--scale S]\n"
       "  monarchctl inspect --dir DIR [--subdir NAME]\n"
       "  monarchctl run     --config FILE.ini [--epochs N] [--model lenet|alexnet|resnet50]\n"
-      "  monarchctl replay  --dir DIR --trace FILE [--profile ssd|lustre] [--threads N]\n";
+      "  monarchctl replay  --dir DIR --trace FILE [--profile ssd|lustre] [--threads N]\n"
+      "  monarchctl metrics dump [--format text|json] [--workload demo|none]\n"
+      "  monarchctl trace   export FILE.json [--workload demo|none]\n";
 }
 
 Result<workload::DatasetSpec> PresetSpec(const std::string& preset,
@@ -297,6 +317,109 @@ int CmdReplay(const Args& args) {
   return 0;
 }
 
+/// The built-in observability demo: a two-tier in-memory hierarchy whose
+/// dataset is read for two "epochs", so the first pass stages files and
+/// the second serves them from the cache tier. Exercises the storage,
+/// core, and trainer instrumentation without touching the host disk.
+/// Returns the live instance so the caller can dump/export while its
+/// pull sources (per-tier stats, engine IoStats) are still registered.
+Result<std::unique_ptr<core::Monarch>> RunDemoWorkload() {
+  auto pfs = std::make_shared<storage::MemoryEngine>("demo-pfs");
+  const std::vector<std::byte> payload(4096);
+  for (int i = 0; i < 8; ++i) {
+    MONARCH_RETURN_IF_ERROR(
+        pfs->Write("data/f" + std::to_string(i) + ".bin", payload));
+  }
+
+  core::MonarchConfig config;
+  config.cache_tiers.push_back(core::TierSpec{
+      "demo-ssd", std::make_shared<storage::MemoryEngine>("demo-ssd"),
+      /*quota_bytes=*/1ull << 20});
+  config.pfs = core::TierSpec{"demo-pfs", std::move(pfs), 0};
+  config.dataset_dir = "data";
+  MONARCH_ASSIGN_OR_RETURN(auto monarch,
+                           core::Monarch::Create(std::move(config)));
+
+  std::vector<std::byte> buffer(4096);
+  for (int epoch = 0; epoch < 2; ++epoch) {
+    for (const auto& entry : monarch->metadata().Snapshot()) {
+      MONARCH_ASSIGN_OR_RETURN(std::size_t n,
+                               monarch->Read(entry.name, 0, buffer));
+      (void)n;
+    }
+    monarch->DrainPlacements();
+  }
+  return monarch;
+}
+
+int CmdMetrics(const Args& args) {
+  if (args.positionals.empty() || args.positionals[0] != "dump") {
+    std::cerr << "metrics: expected 'metrics dump'\n";
+    return 1;
+  }
+  const std::string format = args.GetOr("format", "text");
+  if (format != "text" && format != "json") {
+    std::cerr << "metrics: unknown --format '" << format
+              << "' (text|json)\n";
+    return 1;
+  }
+  const std::string wl = args.GetOr("workload", "demo");
+  if (wl != "demo" && wl != "none") {
+    std::cerr << "metrics: unknown --workload '" << wl << "' (demo|none)\n";
+    return 1;
+  }
+  std::unique_ptr<core::Monarch> demo;  // kept alive across the dump
+  if (wl == "demo") {
+    auto result = RunDemoWorkload();
+    if (!result.ok()) {
+      std::cerr << "metrics: demo workload failed: " << result.status()
+                << "\n";
+      return 2;
+    }
+    demo = std::move(result).value();
+  }
+  if (format == "json") {
+    obs::MetricsRegistry::Global().PrintJson(std::cout);
+    std::cout << "\n";
+  } else {
+    obs::MetricsRegistry::Global().PrintText(std::cout);
+  }
+  return 0;
+}
+
+int CmdTraceExport(const Args& args) {
+  if (args.positionals.size() < 2 || args.positionals[0] != "export") {
+    std::cerr << "trace: expected 'trace export FILE.json'\n";
+    return 1;
+  }
+  const std::string& out_path = args.positionals[1];
+  const std::string wl = args.GetOr("workload", "demo");
+  if (wl != "demo" && wl != "none") {
+    std::cerr << "trace: unknown --workload '" << wl << "' (demo|none)\n";
+    return 1;
+  }
+  obs::EventTracer& tracer = obs::EventTracer::Global();
+  if (wl == "demo") {
+    tracer.Enable();
+    auto result = RunDemoWorkload();
+    tracer.Disable();
+    if (!result.ok()) {
+      std::cerr << "trace: demo workload failed: " << result.status()
+                << "\n";
+      return 2;
+    }
+  }
+  if (const Status status = tracer.ExportChromeJsonToFile(out_path);
+      !status.ok()) {
+    std::cerr << "trace: " << status << "\n";
+    return 2;
+  }
+  std::cout << "wrote " << tracer.recorded_events() << " events ("
+            << tracer.dropped_events() << " dropped) to " << out_path
+            << "\n";
+  return 0;
+}
+
 int Main(int argc, char** argv) {
   auto args = ParseArgs(argc, argv);
   if (!args.ok()) {
@@ -309,6 +432,8 @@ int Main(int argc, char** argv) {
   if (command == "inspect") return CmdInspect(*args);
   if (command == "run") return CmdRun(*args);
   if (command == "replay") return CmdReplay(*args);
+  if (command == "metrics") return CmdMetrics(*args);
+  if (command == "trace") return CmdTraceExport(*args);
   PrintUsage();
   return command.empty() ? 1 : 1;
 }
