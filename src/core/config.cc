@@ -42,6 +42,68 @@ Result<std::uint64_t> ParseU64(const std::string& value, int line_no) {
   return out;
 }
 
+Result<double> ParseDouble(const std::string& value, int line_no) {
+  double out = 0;
+  auto [p, ec] =
+      std::from_chars(value.data(), value.data() + value.size(), out);
+  if (ec != std::errc{} || p != value.data() + value.size()) {
+    return InvalidArgumentError("line " + std::to_string(line_no) +
+                                ": bad number '" + value + "'");
+  }
+  return out;
+}
+
+Status ApplyResilienceKey(ResilienceOptions& r, const std::string& key,
+                          const std::string& value, int line_no) {
+  if (key == "retry_max_attempts") {
+    MONARCH_ASSIGN_OR_RETURN(const std::uint64_t n, ParseU64(value, line_no));
+    r.retry.max_attempts = static_cast<int>(n);
+  } else if (key == "retry_initial_backoff_us") {
+    MONARCH_ASSIGN_OR_RETURN(const std::uint64_t us, ParseU64(value, line_no));
+    r.retry.initial_backoff = Micros(static_cast<std::int64_t>(us));
+  } else if (key == "retry_multiplier") {
+    MONARCH_ASSIGN_OR_RETURN(r.retry.backoff_multiplier,
+                             ParseDouble(value, line_no));
+  } else if (key == "retry_max_backoff_us") {
+    MONARCH_ASSIGN_OR_RETURN(const std::uint64_t us, ParseU64(value, line_no));
+    r.retry.max_backoff = Micros(static_cast<std::int64_t>(us));
+  } else if (key == "retry_budget_us") {
+    MONARCH_ASSIGN_OR_RETURN(const std::uint64_t us, ParseU64(value, line_no));
+    r.retry.budget = Micros(static_cast<std::int64_t>(us));
+  } else if (key == "health_enabled") {
+    MONARCH_ASSIGN_OR_RETURN(r.health.enabled, ParseBool(value, line_no));
+  } else if (key == "health_window") {
+    MONARCH_ASSIGN_OR_RETURN(const std::uint64_t n, ParseU64(value, line_no));
+    r.health.window = static_cast<std::size_t>(n);
+  } else if (key == "health_min_samples") {
+    MONARCH_ASSIGN_OR_RETURN(const std::uint64_t n, ParseU64(value, line_no));
+    r.health.min_samples = static_cast<std::size_t>(n);
+  } else if (key == "health_error_threshold") {
+    MONARCH_ASSIGN_OR_RETURN(r.health.error_threshold,
+                             ParseDouble(value, line_no));
+  } else if (key == "health_cooldown_us") {
+    MONARCH_ASSIGN_OR_RETURN(const std::uint64_t us, ParseU64(value, line_no));
+    r.health.cooldown = Micros(static_cast<std::int64_t>(us));
+  } else if (key == "health_half_open_successes") {
+    MONARCH_ASSIGN_OR_RETURN(const std::uint64_t n, ParseU64(value, line_no));
+    r.health.half_open_successes = static_cast<int>(n);
+  } else if (key == "verify_staged_writes") {
+    MONARCH_ASSIGN_OR_RETURN(r.verify_staged_writes, ParseBool(value, line_no));
+  } else if (key == "verify_on_read") {
+    MONARCH_ASSIGN_OR_RETURN(r.verify_on_read, ParseBool(value, line_no));
+  } else if (key == "max_placement_attempts") {
+    MONARCH_ASSIGN_OR_RETURN(const std::uint64_t n, ParseU64(value, line_no));
+    r.max_placement_attempts = static_cast<int>(n);
+  } else if (key == "restage_after_quarantine") {
+    MONARCH_ASSIGN_OR_RETURN(r.restage_after_quarantine,
+                             ParseBool(value, line_no));
+  } else {
+    return InvalidArgumentError("line " + std::to_string(line_no) +
+                                ": unknown resilience key '" + key + "'");
+  }
+  return Status::Ok();
+}
+
 Status ApplyTierKey(ParsedTier& tier, const std::string& key,
                     const std::string& value, int line_no) {
   if (key == "name") {
@@ -69,7 +131,7 @@ Result<ParsedConfig> ParseConfig(const std::string& ini_text) {
   std::map<int, ParsedTier> tiers;
   bool saw_pfs = false;
 
-  enum class Section { kNone, kMonarch, kTier, kPfs };
+  enum class Section { kNone, kMonarch, kTier, kPfs, kResilience };
   Section section = Section::kNone;
   int tier_index = -1;
 
@@ -96,6 +158,8 @@ Result<ParsedConfig> ParseConfig(const std::string& ini_text) {
       } else if (name == "pfs") {
         section = Section::kPfs;
         saw_pfs = true;
+      } else if (name == "resilience") {
+        section = Section::kResilience;
       } else if (name.starts_with("tier.")) {
         MONARCH_ASSIGN_OR_RETURN(
             const std::uint64_t idx,
@@ -143,6 +207,10 @@ Result<ParsedConfig> ParseConfig(const std::string& ini_text) {
         break;
       case Section::kPfs:
         MONARCH_RETURN_IF_ERROR(ApplyTierKey(config.pfs, key, value, line_no));
+        break;
+      case Section::kResilience:
+        MONARCH_RETURN_IF_ERROR(
+            ApplyResilienceKey(config.resilience, key, value, line_no));
         break;
     }
   }
@@ -202,6 +270,7 @@ Result<MonarchConfig> BuildMonarchConfig(const ParsedConfig& parsed) {
   config.dataset_dir = parsed.dataset_dir;
   config.placement.num_threads = parsed.placement_threads;
   config.placement.fetch_full_file_on_partial_read = parsed.fetch_full_file;
+  config.resilience = parsed.resilience;
 
   for (const ParsedTier& tier : parsed.cache_tiers) {
     TierSpec spec;

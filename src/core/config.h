@@ -21,6 +21,23 @@
 //   profile = lustre        ; lustre | lustre-quiet | raw
 //   root = /tmp/monarch/pfs
 //   seed = 42
+//
+//   [resilience]            ; optional — defaults match ResilienceOptions
+//   retry_max_attempts = 4
+//   retry_initial_backoff_us = 50
+//   retry_multiplier = 2.0
+//   retry_max_backoff_us = 5000
+//   retry_budget_us = 20000
+//   health_enabled = true
+//   health_window = 64
+//   health_min_samples = 16
+//   health_error_threshold = 0.5
+//   health_cooldown_us = 100000
+//   health_half_open_successes = 3
+//   verify_staged_writes = true
+//   verify_on_read = false
+//   max_placement_attempts = 3
+//   restage_after_quarantine = true
 #pragma once
 
 #include <cstdint>
@@ -48,6 +65,8 @@ struct ParsedConfig {
   bool fetch_full_file = true;
   std::vector<ParsedTier> cache_tiers;  ///< level order
   ParsedTier pfs;
+  /// `[resilience]` section; defaults when the section is absent.
+  ResilienceOptions resilience;
 };
 
 /// Parse the INI text. Unknown sections/keys are errors (config typos

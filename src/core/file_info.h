@@ -43,6 +43,18 @@ struct FileInfo {
   /// (the paper's design deliberately never evicts; §III-A).
   std::atomic<std::uint64_t> last_access{0};
 
+  /// CRC32C of the staged tier copy, recorded by the placement handler
+  /// when the copy is written; kNoStagedCrc while no (verified) copy
+  /// exists. Stored widened to 64 bits so the sentinel cannot collide
+  /// with a real checksum.
+  static constexpr std::uint64_t kNoStagedCrc = ~0ull;
+  std::atomic<std::uint64_t> staged_crc{kNoStagedCrc};
+
+  /// Failed staging attempts so far; once this reaches the configured
+  /// cap the placement handler marks the file kUnplaceable so a broken
+  /// file cannot hammer the staging pool on every access.
+  std::atomic<int> fetch_failures{0};
+
   /// One-way CAS used by the read path to claim the background fetch.
   bool TryBeginFetch() noexcept {
     PlacementState expected = PlacementState::kPfsOnly;
@@ -56,9 +68,14 @@ struct FileInfo {
   }
 
   void AbortFetch(bool permanently) noexcept {
+    staged_crc.store(kNoStagedCrc, std::memory_order_release);
     state.store(permanently ? PlacementState::kUnplaceable
                             : PlacementState::kPfsOnly,
                 std::memory_order_release);
+  }
+
+  [[nodiscard]] bool HasStagedCrc() const noexcept {
+    return staged_crc.load(std::memory_order_acquire) != kNoStagedCrc;
   }
 };
 

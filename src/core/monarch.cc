@@ -1,9 +1,13 @@
 #include "core/monarch.h"
 
+#include <functional>
+#include <string_view>
 #include <utility>
 
 #include "obs/event_tracer.h"
+#include "obs/json.h"
 #include "util/clock.h"
+#include "util/crc32c.h"
 #include "util/logging.h"
 
 namespace monarch::core {
@@ -13,7 +17,7 @@ namespace {
 /// Render one Stats() view as registry samples (the Monarch pull source).
 std::vector<obs::MetricSample> StatsToSamples(const MonarchStats& stats) {
   std::vector<obs::MetricSample> out;
-  out.reserve(stats.levels.size() * 4 + 9);
+  out.reserve(stats.levels.size() * 6 + 12);
   auto sample = [&out](std::string name, std::string label,
                        obs::MetricKind kind, std::string unit,
                        std::uint64_t value, std::string help) {
@@ -41,6 +45,14 @@ std::vector<obs::MetricSample> StatsToSamples(const MonarchStats& stats) {
     sample("monarch.level.quota_bytes", level.tier_name,
            obs::MetricKind::kGauge, "bytes", level.quota_bytes,
            "configured byte budget of this level (0 = PFS, unbounded)");
+    sample("monarch.level.health_state", level.tier_name,
+           obs::MetricKind::kGauge, "state",
+           static_cast<std::uint64_t>(level.circuit_state),
+           "circuit-breaker state of this level (0 closed, 1 half-open, "
+           "2 open)");
+    sample("monarch.level.circuit_opens", level.tier_name,
+           obs::MetricKind::kCounter, "events", level.circuit_opens,
+           "times this level's circuit breaker tripped open");
   }
   const PlacementStats& p = stats.placement;
   sample("monarch.placement.scheduled", "", obs::MetricKind::kCounter, "ops",
@@ -56,6 +68,14 @@ std::vector<obs::MetricSample> StatsToSamples(const MonarchStats& stats) {
          "bytes", p.bytes_staged, "bytes copied into cache tiers");
   sample("monarch.placement.evictions", "", obs::MetricKind::kCounter, "ops",
          p.evictions, "ablation-mode evictions of placed files");
+  sample("monarch.placement.retries", "", obs::MetricKind::kCounter, "ops",
+         p.retries, "failed stagings left retryable for a later access");
+  sample("monarch.placement.quarantined", "", obs::MetricKind::kCounter, "ops",
+         p.quarantined,
+         "staged copies deleted because their bytes failed CRC verification");
+  sample("monarch.placement.abandoned", "", obs::MetricKind::kCounter, "ops",
+         p.abandoned,
+         "files marked unplaceable after exhausting max_placement_attempts");
   sample("monarch.files_indexed", "", obs::MetricKind::kGauge, "files",
          stats.files_indexed, "files in the virtual namespace");
   sample("monarch.dataset_bytes", "", obs::MetricKind::kGauge, "bytes",
@@ -89,11 +109,16 @@ Result<std::unique_ptr<Monarch>> Monarch::Create(MonarchConfig config) {
                                   "' needs a nonzero quota");
     }
     drivers.push_back(std::make_unique<StorageDriver>(
-        tier.name, tier.engine, tier.quota_bytes, /*read_only=*/false));
+        tier.name, tier.engine, tier.quota_bytes, /*read_only=*/false,
+        config.resilience.retry, config.resilience.health));
   }
+  // The PFS gets the retry envelope too but no live breaker: it is the
+  // authoritative copy, so routing around it is never an option
+  // (StorageHierarchy::NextServingLevel always admits it regardless).
   drivers.push_back(std::make_unique<StorageDriver>(
       config.pfs.name.empty() ? "pfs" : config.pfs.name, config.pfs.engine,
-      /*quota_bytes=*/0, /*read_only=*/true));
+      /*quota_bytes=*/0, /*read_only=*/true, config.resilience.retry,
+      config.resilience.health));
 
   MONARCH_ASSIGN_OR_RETURN(auto hierarchy,
                            StorageHierarchy::Create(std::move(drivers)));
@@ -102,12 +127,26 @@ Result<std::unique_ptr<Monarch>> Monarch::Create(MonarchConfig config) {
       new Monarch(std::move(config), std::move(hierarchy)));
 
   // Metadata initialization phase: walk the dataset directory on the PFS
-  // and build the virtual namespace (§III-B startup flow).
-  MONARCH_ASSIGN_OR_RETURN(
-      const std::uint64_t indexed,
-      monarch->metadata_.Populate(monarch->hierarchy_->Pfs().engine(),
-                                  monarch->config_.dataset_dir,
-                                  monarch->hierarchy_->pfs_level()));
+  // and build the virtual namespace (§III-B startup flow). Retried on
+  // transient failures — the walk is idempotent (Register dedups), so a
+  // flaky PFS listing must not kill the job before it starts.
+  Backoff backoff(monarch->config_.resilience.retry,
+                  std::hash<std::string>{}(monarch->config_.dataset_dir));
+  Result<std::uint64_t> populated = monarch->metadata_.Populate(
+      monarch->hierarchy_->Pfs().engine(), monarch->config_.dataset_dir,
+      monarch->hierarchy_->pfs_level());
+  while (!populated.ok() && IsRetryableError(populated.status())) {
+    const auto delay = backoff.NextDelay();
+    if (!delay.has_value()) break;
+    MLOG_WARN << "monarch: metadata walk of '" << monarch->config_.dataset_dir
+              << "' failed transiently (" << populated.status()
+              << "); retrying";
+    PreciseSleep(*delay);
+    populated = monarch->metadata_.Populate(
+        monarch->hierarchy_->Pfs().engine(), monarch->config_.dataset_dir,
+        monarch->hierarchy_->pfs_level());
+  }
+  MONARCH_ASSIGN_OR_RETURN(const std::uint64_t indexed, std::move(populated));
   MLOG_INFO << "monarch: indexed " << indexed << " files from '"
             << monarch->config_.dataset_dir << "' in "
             << monarch->metadata_.init_seconds() << "s";
@@ -119,7 +158,8 @@ Monarch::Monarch(MonarchConfig config,
     : config_(std::move(config)), hierarchy_(std::move(hierarchy)) {
   if (!config_.policy) config_.policy = MakeFirstFitPolicy();
   placement_ = std::make_unique<PlacementHandler>(
-      *hierarchy_, metadata_, std::move(config_.policy), config_.placement);
+      *hierarchy_, metadata_, std::move(config_.policy), config_.placement,
+      config_.resilience);
   served_.reserve(hierarchy_->num_levels());
   for (std::size_t i = 0; i < hierarchy_->num_levels(); ++i) {
     served_.push_back(std::make_unique<LevelCounters>());
@@ -133,6 +173,10 @@ Monarch::Monarch(MonarchConfig config,
       "reads rerouted to the PFS after a tier copy vanished (eviction race)");
   read_errors_ = registry.GetCounter(
       "monarch.read.errors", "ops", "Monarch::Read calls that returned an error");
+  read_degraded_fallbacks_ = registry.GetCounter(
+      "monarch.read.degraded_fallbacks", "ops",
+      "reads a cache tier failed to serve (error, open breaker, or corrupt "
+      "copy) that the PFS absorbed");
   read_latency_ = registry.GetHistogram(
       "monarch.read.latency_us", "us",
       "end-to-end Monarch::Read latency distribution");
@@ -178,16 +222,37 @@ Result<std::size_t> Monarch::ReadImpl(const std::string& name,
       std::memory_order_relaxed);
 
   // ① consult the namespace for the file's current level, ② read from
-  // that tier's driver.
+  // that tier's driver — unless its circuit breaker is open, in which
+  // case the tier is skipped without a doomed attempt. The file's only
+  // other copy is the authoritative one on the PFS, so every rung of the
+  // degradation ladder lands there.
+  const int pfs = hierarchy_->pfs_level();
   int level = info->level.load(std::memory_order_acquire);
+  if (level != pfs && hierarchy_->NextServingLevel(level) != level) {
+    CountDegradedFallback("circuit_open", name, level);
+    level = pfs;
+  }
+
   auto read = hierarchy_->Level(level).Read(name, offset, dst);
-  if (!read.ok() && level != hierarchy_->pfs_level() &&
-      read.status().code() == StatusCode::kNotFound) {
-    // The tier copy vanished between the level lookup and the read (an
-    // eviction race, possible only in the ablation-mode configuration).
-    // The PFS always holds the authoritative copy: fall back to it.
-    if (read_pfs_fallbacks_ != nullptr) read_pfs_fallbacks_->Increment();
-    level = hierarchy_->pfs_level();
+  if (read.ok() && level != pfs &&
+      !VerifyTierRead(info, level, offset, dst, read.value())) {
+    // The staged copy is corrupt: it has been quarantined; re-read the
+    // authoritative bytes.
+    CountDegradedFallback("corruption", name, level);
+    level = pfs;
+    read = hierarchy_->Level(level).Read(name, offset, dst);
+  }
+  if (!read.ok() && level != pfs) {
+    // Any upper-tier failure degrades to the PFS rather than surfacing to
+    // the framework: kNotFound means the copy vanished (eviction race or
+    // quarantine on another thread); everything else is a tier fault that
+    // survived the driver's retries.
+    if (read.status().code() == StatusCode::kNotFound) {
+      if (read_pfs_fallbacks_ != nullptr) read_pfs_fallbacks_->Increment();
+    } else {
+      CountDegradedFallback("tier_error", name, level);
+    }
+    level = pfs;
     read = hierarchy_->Level(level).Read(name, offset, dst);
   }
   if (!read.ok()) return read;
@@ -214,6 +279,45 @@ Result<std::size_t> Monarch::ReadImpl(const std::string& name,
     }
   }
   return read;
+}
+
+bool Monarch::VerifyTierRead(const FileInfoPtr& info, int level,
+                             std::uint64_t offset,
+                             std::span<const std::byte> data, std::size_t n) {
+  // Only whole-file reads can be checked against the staged-copy CRC —
+  // chunked reads would need per-block checksums. That covers the dlsim
+  // trainer (sample == file) and any full-fetch read path.
+  if (!config_.resilience.verify_on_read) return true;
+  if (offset != 0 || n != info->size || !info->HasStagedCrc()) return true;
+  const std::uint64_t expected =
+      info->staged_crc.load(std::memory_order_acquire);
+  if (Crc32c(data.subspan(0, n)) == expected) return true;
+  MLOG_WARN << "read of '" << info->name << "' from tier '"
+            << hierarchy_->Level(level).name()
+            << "' failed CRC verification; quarantining the copy";
+  placement_->QuarantineCopy(info);
+  return false;
+}
+
+void Monarch::CountDegradedFallback(const char* cause, const std::string& name,
+                                    int level) {
+  if (read_degraded_fallbacks_ != nullptr) {
+    read_degraded_fallbacks_->Increment();
+  }
+  if (std::string_view(cause) == "circuit_open") {
+    fallbacks_circuit_open_.fetch_add(1, std::memory_order_relaxed);
+  } else if (std::string_view(cause) == "corruption") {
+    fallbacks_corruption_.fetch_add(1, std::memory_order_relaxed);
+  } else {
+    fallbacks_tier_error_.fetch_add(1, std::memory_order_relaxed);
+  }
+  obs::EventTracer& tracer = obs::EventTracer::Global();
+  if (tracer.enabled()) {
+    tracer.RecordInstant(
+        "monarch.read.fallback", "resilience",
+        "\"file\":" + obs::JsonQuote(name) + ",\"cause\":\"" + cause +
+            "\",\"tier\":" + obs::JsonQuote(hierarchy_->Level(level).name()));
+  }
 }
 
 Result<std::uint64_t> Monarch::FileSize(const std::string& name) {
@@ -288,9 +392,22 @@ MonarchStats Monarch::Stats() const {
     level.bytes = served_[i]->bytes.load(std::memory_order_relaxed);
     level.occupancy_bytes = driver.occupancy_bytes();
     level.quota_bytes = driver.quota_bytes();
+    level.circuit_state = driver.health().state();
+    level.circuit_opens = driver.health().circuit_opens();
+    level.error_rate = driver.health().error_rate();
+    level.retries = driver.retries();
     stats.levels.push_back(std::move(level));
   }
   stats.placement = placement_->Stats();
+  stats.fallbacks_circuit_open =
+      fallbacks_circuit_open_.load(std::memory_order_relaxed);
+  stats.fallbacks_tier_error =
+      fallbacks_tier_error_.load(std::memory_order_relaxed);
+  stats.fallbacks_corruption =
+      fallbacks_corruption_.load(std::memory_order_relaxed);
+  stats.degraded_fallbacks = stats.fallbacks_circuit_open +
+                             stats.fallbacks_tier_error +
+                             stats.fallbacks_corruption;
   stats.files_indexed = metadata_.FileCount();
   stats.dataset_bytes = metadata_.TotalBytes();
   stats.metadata_init_seconds = metadata_.init_seconds();

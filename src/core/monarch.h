@@ -27,7 +27,9 @@
 #include "core/metadata_container.h"
 #include "core/placement_handler.h"
 #include "core/placement_policy.h"
+#include "core/resilience.h"
 #include "core/storage_hierarchy.h"
+#include "core/tier_health.h"
 #include "obs/metrics_registry.h"
 #include "util/status.h"
 
@@ -50,6 +52,10 @@ struct MonarchConfig {
   /// Directory on the PFS to index at startup.
   std::string dataset_dir;
   PlacementOptions placement;
+  /// Fault-tolerance knobs: driver retry policy, per-tier circuit
+  /// breakers, staged-copy verification (ISSUE 2; `[resilience]` in the
+  /// INI dialect).
+  ResilienceOptions resilience;
   /// Placement policy; FirstFit (the paper's) when null.
   PlacementPolicyPtr policy;
   /// Remove staged copies from the cache tiers on Shutdown (§III-A's
@@ -65,6 +71,13 @@ struct LevelReadStats {
   std::uint64_t bytes = 0;
   std::uint64_t occupancy_bytes = 0;
   std::uint64_t quota_bytes = 0;
+  /// Tier health (core/tier_health.h): breaker state, times it opened,
+  /// current error-rate estimate, and transient errors absorbed by the
+  /// driver's retry loop.
+  CircuitState circuit_state = CircuitState::kClosed;
+  std::uint64_t circuit_opens = 0;
+  double error_rate = 0;
+  std::uint64_t retries = 0;
 };
 
 struct MonarchStats {
@@ -73,6 +86,13 @@ struct MonarchStats {
   std::uint64_t files_indexed = 0;
   std::uint64_t dataset_bytes = 0;
   double metadata_init_seconds = 0;
+
+  /// Degradation-ladder outcomes (ISSUE 2): reads that a cache tier
+  /// failed to serve but the PFS rescued, broken down by cause.
+  std::uint64_t degraded_fallbacks = 0;       ///< sum of the three below
+  std::uint64_t fallbacks_circuit_open = 0;   ///< tier skipped, breaker open
+  std::uint64_t fallbacks_tier_error = 0;     ///< tier read failed after retries
+  std::uint64_t fallbacks_corruption = 0;     ///< staged copy failed its CRC
 
   /// Reads served by the last level (the shared PFS).
   [[nodiscard]] std::uint64_t pfs_reads() const {
@@ -150,6 +170,17 @@ class Monarch {
   Result<std::size_t> ReadImpl(const std::string& name, std::uint64_t offset,
                                std::span<std::byte> dst);
 
+  /// Full-file tier reads against a recorded CRC when verify_on_read is
+  /// set. Returns false when the copy is corrupt (and quarantines it).
+  bool VerifyTierRead(const FileInfoPtr& info, int level, std::uint64_t offset,
+                      std::span<const std::byte> data, std::size_t n);
+
+  /// Count one rung of the degradation ladder: a read the tier at `level`
+  /// could not serve and the PFS absorbed. `cause` is one of
+  /// "circuit_open" | "tier_error" | "corruption".
+  void CountDegradedFallback(const char* cause, const std::string& name,
+                             int level);
+
   MonarchConfig config_;
   std::unique_ptr<StorageHierarchy> hierarchy_;
   MetadataContainer metadata_;
@@ -170,7 +201,13 @@ class Monarch {
   obs::Counter* read_requests_ = nullptr;
   obs::Counter* read_pfs_fallbacks_ = nullptr;
   obs::Counter* read_errors_ = nullptr;
+  obs::Counter* read_degraded_fallbacks_ = nullptr;
   obs::Histogram* read_latency_ = nullptr;
+
+  // Per-cause fallback tallies behind `monarch.read.degraded_fallbacks`.
+  std::atomic<std::uint64_t> fallbacks_circuit_open_{0};
+  std::atomic<std::uint64_t> fallbacks_tier_error_{0};
+  std::atomic<std::uint64_t> fallbacks_corruption_{0};
 
   // Pull source exporting Stats() as `monarch.level.*`/`monarch.placement.*`
   // metrics. Last member: deregisters before the state its callback reads

@@ -5,6 +5,7 @@
 
 #include "obs/event_tracer.h"
 #include "obs/json.h"
+#include "util/crc32c.h"
 #include "util/logging.h"
 
 namespace monarch::core {
@@ -12,11 +13,13 @@ namespace monarch::core {
 PlacementHandler::PlacementHandler(StorageHierarchy& hierarchy,
                                    MetadataContainer& metadata,
                                    PlacementPolicyPtr policy,
-                                   PlacementOptions options)
+                                   PlacementOptions options,
+                                   ResilienceOptions resilience)
     : hierarchy_(hierarchy),
       metadata_(metadata),
       policy_(std::move(policy)),
       options_(options),
+      resilience_(resilience),
       pool_(static_cast<std::size_t>(std::max(1, options.num_threads))) {}
 
 PlacementHandler::~PlacementHandler() {
@@ -37,6 +40,27 @@ void PlacementHandler::SchedulePlacement(
                 content = std::move(content)]() mutable {
     PlaceFile(file, std::move(content));
   });
+}
+
+void PlacementHandler::RecordStagingFailure(const FileInfoPtr& file) {
+  failed_.fetch_add(1, std::memory_order_relaxed);
+  const int failures =
+      file->fetch_failures.fetch_add(1, std::memory_order_acq_rel) + 1;
+  if (failures >= resilience_.max_placement_attempts) {
+    abandoned_.fetch_add(1, std::memory_order_relaxed);
+    obs::EventTracer& tracer = obs::EventTracer::Global();
+    if (tracer.enabled()) {
+      tracer.RecordInstant("placement.abandoned", "resilience",
+                           "\"file\":" + obs::JsonQuote(file->name) +
+                               ",\"attempts\":" + std::to_string(failures));
+    }
+    MLOG_WARN << "giving up staging '" << file->name << "' after " << failures
+              << " failed attempts; it stays PFS-resident";
+    file->AbortFetch(/*permanently=*/true);
+  } else {
+    retries_.fetch_add(1, std::memory_order_relaxed);
+    file->AbortFetch(/*permanently=*/false);
+  }
 }
 
 void PlacementHandler::PlaceFile(
@@ -78,12 +102,15 @@ void PlacementHandler::PlaceFile(
       MLOG_WARN << "placement read of '" << file->name
                 << "' failed: " << read.status();
       destination.Release(file->size);
-      failed_.fetch_add(1, std::memory_order_relaxed);
-      file->AbortFetch(/*permanently=*/false);
+      RecordStagingFailure(file);
       return;
     }
     content = std::move(buffer);
   }
+
+  // Checksum the authoritative bytes before they leave our hands: this is
+  // the reference the staged copy must match, now and on later reads.
+  const std::uint32_t crc = Crc32c(*content);
 
   // 3. Write the staged copy and publish the new location (⑤/⑥).
   const Status written = destination.Write(file->name, *content);
@@ -91,14 +118,85 @@ void PlacementHandler::PlaceFile(
     MLOG_WARN << "placement write of '" << file->name << "' to tier '"
               << destination.name() << "' failed: " << written;
     destination.Release(file->size);
-    failed_.fetch_add(1, std::memory_order_relaxed);
-    file->AbortFetch(/*permanently=*/false);
+    RecordStagingFailure(file);
     return;
   }
 
+  // 4. Optionally read the copy back and prove the bytes landed intact —
+  // a corrupted staged copy must degrade to a failed placement, never get
+  // published as a serving replica.
+  if (resilience_.verify_staged_writes) {
+    std::vector<std::byte> readback(file->size);
+    auto verify = destination.Read(file->name, 0, readback);
+    const bool intact = verify.ok() && verify.value() == file->size &&
+                        Crc32c(readback) == crc;
+    if (!intact) {
+      MLOG_WARN << "staged copy of '" << file->name << "' on tier '"
+                << destination.name() << "' failed verification; deleting";
+      // We still hold the Reserve for this copy, so the quota comes back
+      // whether or not the delete found anything on disk.
+      (void)destination.Delete(file->name);
+      destination.Release(file->size);
+      quarantined_.fetch_add(1, std::memory_order_relaxed);
+      obs::EventTracer& tracer = obs::EventTracer::Global();
+      if (tracer.enabled()) {
+        tracer.RecordInstant("placement.quarantine", "resilience",
+                             "\"file\":" + obs::JsonQuote(file->name) +
+                                 ",\"tier\":" +
+                                 obs::JsonQuote(destination.name()) +
+                                 ",\"phase\":\"stage\"");
+      }
+      RecordStagingFailure(file);
+      return;
+    }
+  }
+
+  // Record the checksum before publishing the level so any reader that
+  // observes kPlaced also observes the CRC it may verify against.
+  file->staged_crc.store(crc, std::memory_order_release);
+  file->fetch_failures.store(0, std::memory_order_relaxed);
   file->FinishFetch(*level);
   completed_.fetch_add(1, std::memory_order_relaxed);
   bytes_staged_.fetch_add(file->size, std::memory_order_relaxed);
+}
+
+bool PlacementHandler::QuarantineCopy(const FileInfoPtr& file) {
+  // Claim the file exactly like an eviction: kPlaced -> kFetching stops
+  // concurrent readers from trusting its level while we delete the copy.
+  PlacementState expected = PlacementState::kPlaced;
+  if (!file->state.compare_exchange_strong(expected, PlacementState::kFetching,
+                                           std::memory_order_acq_rel)) {
+    return false;  // already being fetched/evicted/quarantined elsewhere
+  }
+  const int level = file->level.load(std::memory_order_acquire);
+  if (level == hierarchy_.pfs_level()) {
+    // Nothing staged to quarantine (level already points at the source).
+    file->state.store(PlacementState::kPlaced, std::memory_order_release);
+    return false;
+  }
+  StorageDriver& tier = hierarchy_.Level(level);
+  file->level.store(hierarchy_.pfs_level(), std::memory_order_release);
+  if (tier.Delete(file->name).ok()) {
+    tier.Release(file->size);
+  }
+  quarantined_.fetch_add(1, std::memory_order_relaxed);
+  obs::EventTracer& tracer = obs::EventTracer::Global();
+  if (tracer.enabled()) {
+    tracer.RecordInstant("placement.quarantine", "resilience",
+                         "\"file\":" + obs::JsonQuote(file->name) +
+                             ",\"tier\":" + obs::JsonQuote(tier.name()) +
+                             ",\"phase\":\"read\"");
+  }
+  MLOG_WARN << "quarantined corrupt copy of '" << file->name << "' on tier '"
+            << tier.name() << "'; reads fall back to the PFS";
+  // A corrupt copy counts toward the per-file cap so persistent
+  // corruption eventually parks the file as unplaceable; with
+  // restage_after_quarantine off the file is parked immediately.
+  const int failures =
+      file->fetch_failures.fetch_add(1, std::memory_order_acq_rel) + 1;
+  file->AbortFetch(/*permanently=*/!resilience_.restage_after_quarantine ||
+                   failures >= resilience_.max_placement_attempts);
+  return true;
 }
 
 std::optional<int> PlacementHandler::EvictAndReserve(std::uint64_t needed) {
@@ -157,6 +255,9 @@ PlacementStats PlacementHandler::Stats() const {
   s.failed = failed_.load(std::memory_order_relaxed);
   s.bytes_staged = bytes_staged_.load(std::memory_order_relaxed);
   s.evictions = evictions_.load(std::memory_order_relaxed);
+  s.retries = retries_.load(std::memory_order_relaxed);
+  s.quarantined = quarantined_.load(std::memory_order_relaxed);
+  s.abandoned = abandoned_.load(std::memory_order_relaxed);
   return s;
 }
 

@@ -9,8 +9,19 @@
 //      already pulled (when the framework requested the whole file) or a
 //      fresh full read from the PFS (the partial-read optimisation that
 //      gives MONARCH its first-epoch edge, §III-B),
-//   3. writes the copy to the chosen tier and flips the file's level so
-//      subsequent reads are served from it.
+//   3. writes the copy to the chosen tier — recording its CRC32C and,
+//      when verify_staged_writes is on, reading it back to prove the
+//      bytes landed intact — and flips the file's level so subsequent
+//      reads are served from it.
+//
+// Failure handling (ISSUE 2): backend I/O is retried inside the storage
+// drivers; a staging attempt that still fails is re-tried on a later
+// access until the per-file cap (max_placement_attempts) marks the file
+// unplaceable, so a broken file degrades to PFS-resident instead of
+// hammering the pool every epoch. A staged copy whose checksum does not
+// match is QUARANTINED: deleted, its quota released, and the file reset
+// to PFS-resident — corruption degrades to vanilla-PFS performance,
+// never wrong bytes.
 //
 // No evictions happen under the paper's policy: with random per-epoch
 // access every file is equally likely to be read, so replacement would
@@ -27,6 +38,7 @@
 #include "core/file_info.h"
 #include "core/metadata_container.h"
 #include "core/placement_policy.h"
+#include "core/resilience.h"
 #include "core/storage_hierarchy.h"
 #include "util/thread_pool.h"
 
@@ -55,12 +67,16 @@ struct PlacementStats {
   std::uint64_t failed = 0;        ///< backend errors during staging
   std::uint64_t bytes_staged = 0;
   std::uint64_t evictions = 0;     ///< ablation mode only
+  std::uint64_t retries = 0;       ///< failed stagings left retryable
+  std::uint64_t quarantined = 0;   ///< copies deleted on CRC mismatch
+  std::uint64_t abandoned = 0;     ///< files past max_placement_attempts
 };
 
 class PlacementHandler {
  public:
   PlacementHandler(StorageHierarchy& hierarchy, MetadataContainer& metadata,
-                   PlacementPolicyPtr policy, PlacementOptions options);
+                   PlacementPolicyPtr policy, PlacementOptions options,
+                   ResilienceOptions resilience = {});
   ~PlacementHandler();
 
   PlacementHandler(const PlacementHandler&) = delete;
@@ -72,6 +88,13 @@ class PlacementHandler {
   /// itself. Never blocks the caller.
   void SchedulePlacement(FileInfoPtr file,
                          std::optional<std::vector<std::byte>> content);
+
+  /// Remove `file`'s tier copy because its bytes failed verification:
+  /// claim it (kPlaced -> kFetching), delete the copy, release the
+  /// quota, and reset the file to PFS-resident (or unplaceable once past
+  /// the failure cap). Returns false when another thread already holds
+  /// the file in a non-kPlaced state. Thread-safe.
+  bool QuarantineCopy(const FileInfoPtr& file);
 
   /// Stop scheduling new placements (e.g. the integration layer signals
   /// the end of epoch 1 when tiers filled); in-flight tasks finish.
@@ -86,10 +109,17 @@ class PlacementHandler {
   [[nodiscard]] const PlacementOptions& options() const noexcept {
     return options_;
   }
+  [[nodiscard]] const ResilienceOptions& resilience() const noexcept {
+    return resilience_;
+  }
 
  private:
   void PlaceFile(const FileInfoPtr& file,
                  std::optional<std::vector<std::byte>> content);
+  /// Count one failed staging attempt and either leave the file
+  /// retryable (a later access re-claims it) or mark it unplaceable once
+  /// the per-file cap is hit.
+  void RecordStagingFailure(const FileInfoPtr& file);
   /// Eviction ablation: free >= `needed` bytes on some writable level and
   /// retry the policy. Returns the reserved level or nullopt.
   std::optional<int> EvictAndReserve(std::uint64_t needed);
@@ -98,6 +128,7 @@ class PlacementHandler {
   MetadataContainer& metadata_;
   PlacementPolicyPtr policy_;
   PlacementOptions options_;
+  ResilienceOptions resilience_;
   ThreadPool pool_;
 
   std::atomic<bool> stopped_{false};
@@ -107,6 +138,9 @@ class PlacementHandler {
   std::atomic<std::uint64_t> failed_{0};
   std::atomic<std::uint64_t> bytes_staged_{0};
   std::atomic<std::uint64_t> evictions_{0};
+  std::atomic<std::uint64_t> retries_{0};
+  std::atomic<std::uint64_t> quarantined_{0};
+  std::atomic<std::uint64_t> abandoned_{0};
 };
 
 }  // namespace monarch::core

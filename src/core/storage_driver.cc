@@ -1,14 +1,23 @@
 #include "core/storage_driver.h"
 
+#include <functional>
+
 namespace monarch::core {
 
 StorageDriver::StorageDriver(std::string name,
                              storage::StorageEnginePtr engine,
-                             std::uint64_t quota_bytes, bool read_only)
+                             std::uint64_t quota_bytes, bool read_only,
+                             RetryPolicy retry, TierHealthOptions health)
     : name_(std::move(name)),
       engine_(std::move(engine)),
       quota_(quota_bytes),
-      read_only_(read_only) {}
+      read_only_(read_only),
+      retry_(retry),
+      health_(name_, health) {
+  retries_ = obs::MetricsRegistry::Global().GetCounter(
+      "storage.retries", "ops",
+      "engine operations retried after a transient (UNAVAILABLE) failure");
+}
 
 bool StorageDriver::Reserve(std::uint64_t bytes) noexcept {
   if (read_only_) return false;
@@ -36,12 +45,55 @@ std::uint64_t StorageDriver::free_bytes() const noexcept {
   return used >= quota_ ? 0 : quota_ - used;
 }
 
+void StorageDriver::CountRetry() noexcept {
+  retries_local_.fetch_add(1, std::memory_order_relaxed);
+  if (retries_ != nullptr) retries_->Increment();
+}
+
+Result<std::size_t> StorageDriver::Read(const std::string& path,
+                                        std::uint64_t offset,
+                                        std::span<std::byte> dst) {
+  // Salt the jitter stream per (tier, file) so concurrent retries across
+  // files don't sleep in lockstep, while staying deterministic per run.
+  Backoff backoff(retry_, std::hash<std::string>{}(name_ + path));
+  for (;;) {
+    auto read = engine_->Read(path, offset, dst);
+    if (read.ok()) {
+      health_.RecordSuccess();
+      return read;
+    }
+    if (!IsRetryableError(read.status())) {
+      // kNotFound etc. are misses, not tier failures — don't poison the
+      // health window with them.
+      return read;
+    }
+    health_.RecordFailure();
+    const auto delay = backoff.NextDelay();
+    if (!delay.has_value()) return read;
+    CountRetry();
+    PreciseSleep(*delay);
+  }
+}
+
 Status StorageDriver::Write(const std::string& path,
                             std::span<const std::byte> data) {
   if (read_only_) {
     return FailedPreconditionError("write to read-only tier '" + name_ + "'");
   }
-  return engine_->Write(path, data);
+  Backoff backoff(retry_, std::hash<std::string>{}(name_ + path) ^ 0x57u);
+  for (;;) {
+    const Status written = engine_->Write(path, data);
+    if (written.ok()) {
+      health_.RecordSuccess();
+      return written;
+    }
+    if (!IsRetryableError(written)) return written;
+    health_.RecordFailure();
+    const auto delay = backoff.NextDelay();
+    if (!delay.has_value()) return written;
+    CountRetry();
+    PreciseSleep(*delay);
+  }
 }
 
 Status StorageDriver::Delete(const std::string& path) {

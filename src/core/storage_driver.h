@@ -1,7 +1,11 @@
 // StorageDriver: one level of the storage hierarchy (§III-A). Wraps a
 // storage engine with the tier's governing properties — mount path
-// semantics come from the engine; the driver adds the storage quota and
-// its race-free occupancy accounting.
+// semantics come from the engine; the driver adds the storage quota,
+// race-free occupancy accounting, and the tier's fault-tolerance
+// envelope: transient (kUnavailable) engine errors are retried with
+// bounded backoff (core/resilience.h) and every outcome feeds the tier's
+// circuit breaker (core/tier_health.h) so the read path can route around
+// a persistently failing tier.
 #pragma once
 
 #include <atomic>
@@ -10,6 +14,9 @@
 #include <span>
 #include <string>
 
+#include "core/resilience.h"
+#include "core/tier_health.h"
+#include "obs/metrics_registry.h"
 #include "storage/storage_engine.h"
 #include "util/status.h"
 
@@ -19,8 +26,12 @@ class StorageDriver {
  public:
   /// `quota_bytes == 0` means unlimited (used for the PFS level, which is
   /// a read-only data source and never receives placements).
+  /// `retry`/`health` default to the stock policies of
+  /// core/resilience.h; pass MonarchConfig::resilience-derived values to
+  /// tune them per deployment.
   StorageDriver(std::string name, storage::StorageEnginePtr engine,
-                std::uint64_t quota_bytes, bool read_only);
+                std::uint64_t quota_bytes, bool read_only,
+                RetryPolicy retry = {}, TierHealthOptions health = {});
 
   /// Atomically reserve `bytes` of quota. Fails (false) when the tier
   /// would overflow — the caller then tries the next level down.
@@ -29,13 +40,15 @@ class StorageDriver {
   /// Return reserved quota (placement failed or file evicted).
   void Release(std::uint64_t bytes) noexcept;
 
+  /// Read through the engine, retrying transient failures per the retry
+  /// policy. Every attempt's outcome feeds the tier health tracker;
+  /// kNotFound (a legitimate miss or an eviction race) does not.
   Result<std::size_t> Read(const std::string& path, std::uint64_t offset,
-                           std::span<std::byte> dst) {
-    return engine_->Read(path, offset, dst);
-  }
+                           std::span<std::byte> dst);
 
-  /// Write a staged copy. The caller must hold a successful Reserve for
-  /// data.size() — the driver checks read_only but trusts the accounting.
+  /// Write a staged copy, with the same retry/health envelope as Read.
+  /// The caller must hold a successful Reserve for data.size() — the
+  /// driver checks read_only but trusts the accounting.
   Status Write(const std::string& path, std::span<const std::byte> data);
 
   Status Delete(const std::string& path);
@@ -48,17 +61,35 @@ class StorageDriver {
   }
   [[nodiscard]] std::uint64_t free_bytes() const noexcept;
 
+  [[nodiscard]] TierHealth& health() noexcept { return health_; }
+  [[nodiscard]] const TierHealth& health() const noexcept { return health_; }
+
+  /// Ops retried by this driver (transient errors absorbed before the
+  /// caller saw them); also accumulated into the process-wide
+  /// `storage.retries` counter.
+  [[nodiscard]] std::uint64_t retries() const noexcept {
+    return retries_local_.load(std::memory_order_relaxed);
+  }
+
   [[nodiscard]] storage::StorageEngine& engine() noexcept { return *engine_; }
   [[nodiscard]] storage::IoStatsSnapshot StatsSnapshot() const {
     return engine_->Stats().Snapshot();
   }
 
  private:
+  /// Note one absorbed retry (per-driver count + process-wide counter).
+  void CountRetry() noexcept;
+
   std::string name_;
   storage::StorageEnginePtr engine_;
   std::uint64_t quota_;
   bool read_only_;
   std::atomic<std::uint64_t> occupancy_{0};
+
+  RetryPolicy retry_;
+  TierHealth health_;
+  std::atomic<std::uint64_t> retries_local_{0};
+  obs::Counter* retries_ = nullptr;  ///< `storage.retries`
 };
 
 using StorageDriverPtr = std::unique_ptr<StorageDriver>;

@@ -23,6 +23,15 @@ Result<std::unique_ptr<StorageHierarchy>> StorageHierarchy::Create(
       new StorageHierarchy(std::move(drivers)));
 }
 
+int StorageHierarchy::NextServingLevel(int from) noexcept {
+  int level = from < 0 ? 0 : from;
+  while (level < pfs_level() &&
+         !drivers_[static_cast<std::size_t>(level)]->health().AllowRequest()) {
+    ++level;
+  }
+  return level;
+}
+
 std::uint64_t StorageHierarchy::TotalWritableFreeBytes() const noexcept {
   std::uint64_t total = 0;
   for (std::size_t i = 0; i + 1 < drivers_.size(); ++i) {

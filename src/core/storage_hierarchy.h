@@ -40,6 +40,12 @@ class StorageHierarchy {
     return *drivers_.back();
   }
 
+  /// The first level >= `from` whose circuit breaker currently admits
+  /// requests. The PFS level is always admitted: it holds the
+  /// authoritative copy and there is nothing below it to fall back to,
+  /// so even an unhealthy PFS is worth trying.
+  [[nodiscard]] int NextServingLevel(int from) noexcept;
+
   /// Sum of free bytes over writable levels — placement stops for a file
   /// bigger than this.
   [[nodiscard]] std::uint64_t TotalWritableFreeBytes() const noexcept;

@@ -1,7 +1,11 @@
-// FaultyEngine: failure-injection decorator for tests. Fails operations
-// either probabilistically (seeded) or via an explicit one-shot trigger,
-// returning UNAVAILABLE — the transient-error path tier drivers and the
-// placement handler must survive.
+// FaultyEngine: failure-injection decorator for tests. Covers the whole
+// StorageEngine surface:
+//   - probabilistic (seeded) or explicit one-shot UNAVAILABLE failures on
+//     reads, writes, and metadata ops (FileSize/Exists/ListFiles),
+//   - silent corruption: a read succeeds but a byte in the returned data
+//     is flipped — the case only checksums can catch,
+//   - outage windows: every injectable op fails for a fixed duration (or
+//     until Heal()), the scenario that trips a tier's circuit breaker.
 #pragma once
 
 #include <atomic>
@@ -12,6 +16,7 @@
 #include <utility>
 
 #include "storage/storage_engine.h"
+#include "util/clock.h"
 #include "util/rng.h"
 
 namespace monarch::storage {
@@ -21,6 +26,11 @@ class FaultyEngine final : public StorageEngine {
   struct FaultSpec {
     double read_failure_rate = 0.0;
     double write_failure_rate = 0.0;
+    /// Applies to FileSize, Exists, and ListFiles.
+    double metadata_failure_rate = 0.0;
+    /// Probability that a successful read is silently corrupted (one byte
+    /// flipped). Counted separately from failures: the caller sees OK.
+    double read_corruption_rate = 0.0;
     std::uint64_t seed = 42;
   };
 
@@ -31,9 +41,35 @@ class FaultyEngine final : public StorageEngine {
   void FailNextReads(int n) { forced_read_failures_.store(n); }
   /// Make the next `n` writes fail regardless of rates.
   void FailNextWrites(int n) { forced_write_failures_.store(n); }
+  /// Make the next `n` metadata ops (FileSize/Exists/ListFiles) fail.
+  void FailNextMetadataOps(int n) { forced_metadata_failures_.store(n); }
+  /// Silently corrupt the next `n` successful reads.
+  void CorruptNextReads(int n) { forced_corruptions_.store(n); }
 
+  /// Hard-down window: every injectable op fails until `duration` elapses.
+  void FailFor(monarch::Duration duration) {
+    outage_until_ns_.store(
+        monarch::SteadyClock::now().time_since_epoch().count() +
+        std::chrono::duration_cast<monarch::Duration>(duration).count());
+  }
+  /// Hard-down until Heal() is called.
+  void FailUntilHealed() { outage_until_ns_.store(-1); }
+  /// End any outage window immediately.
+  void Heal() { outage_until_ns_.store(0); }
+  [[nodiscard]] bool in_outage() const noexcept {
+    const std::int64_t until = outage_until_ns_.load();
+    if (until == 0) return false;
+    if (until < 0) return true;
+    return monarch::SteadyClock::now().time_since_epoch().count() < until;
+  }
+
+  /// UNAVAILABLE errors injected so far (outage + forced + probabilistic).
   [[nodiscard]] std::uint64_t injected_failures() const noexcept {
     return injected_.load();
+  }
+  /// Reads whose payload was silently corrupted.
+  [[nodiscard]] std::uint64_t injected_corruptions() const noexcept {
+    return corrupted_.load();
   }
 
   Result<std::size_t> Read(const std::string& path, std::uint64_t offset,
@@ -41,7 +77,16 @@ class FaultyEngine final : public StorageEngine {
     if (ShouldFail(forced_read_failures_, spec_.read_failure_rate)) {
       return UnavailableError("injected read fault on '" + path + "'");
     }
-    return inner_->Read(path, offset, dst);
+    auto read = inner_->Read(path, offset, dst);
+    if (read.ok() && read.value() > 0 &&
+        ShouldTrigger(forced_corruptions_, spec_.read_corruption_rate)) {
+      // Flip one bit somewhere in the returned payload; deterministic for
+      // a given seed, invisible without a checksum.
+      const std::size_t victim = NextIndex(read.value());
+      dst[victim] ^= std::byte{0x20};
+      corrupted_.fetch_add(1);
+    }
+    return read;
   }
 
   Status Write(const std::string& path,
@@ -56,12 +101,21 @@ class FaultyEngine final : public StorageEngine {
     return inner_->Delete(path);
   }
   Result<std::uint64_t> FileSize(const std::string& path) override {
+    if (ShouldFail(forced_metadata_failures_, spec_.metadata_failure_rate)) {
+      return UnavailableError("injected stat fault on '" + path + "'");
+    }
     return inner_->FileSize(path);
   }
   Result<bool> Exists(const std::string& path) override {
+    if (ShouldFail(forced_metadata_failures_, spec_.metadata_failure_rate)) {
+      return UnavailableError("injected stat fault on '" + path + "'");
+    }
     return inner_->Exists(path);
   }
   Result<std::vector<FileStat>> ListFiles(const std::string& dir) override {
+    if (ShouldFail(forced_metadata_failures_, spec_.metadata_failure_rate)) {
+      return UnavailableError("injected listing fault on '" + dir + "'");
+    }
     return inner_->ListFiles(dir);
   }
 
@@ -71,22 +125,30 @@ class FaultyEngine final : public StorageEngine {
   }
 
  private:
-  bool ShouldFail(std::atomic<int>& forced, double rate) {
+  /// Forced counter / probability draw, without counting an injection.
+  bool ShouldTrigger(std::atomic<int>& forced, double rate) {
     int n = forced.load();
     while (n > 0) {
-      if (forced.compare_exchange_weak(n, n - 1)) {
-        injected_.fetch_add(1);
-        return true;
-      }
+      if (forced.compare_exchange_weak(n, n - 1)) return true;
     }
     if (rate > 0.0) {
       std::lock_guard<std::mutex> lock(rng_mu_);
-      if (rng_.NextDouble() < rate) {
-        injected_.fetch_add(1);
-        return true;
-      }
+      return rng_.NextDouble() < rate;
     }
     return false;
+  }
+
+  bool ShouldFail(std::atomic<int>& forced, double rate) {
+    if (in_outage() || ShouldTrigger(forced, rate)) {
+      injected_.fetch_add(1);
+      return true;
+    }
+    return false;
+  }
+
+  std::size_t NextIndex(std::size_t bound) {
+    std::lock_guard<std::mutex> lock(rng_mu_);
+    return static_cast<std::size_t>(rng_.NextBounded(bound));
   }
 
   StorageEnginePtr inner_;
@@ -95,7 +157,12 @@ class FaultyEngine final : public StorageEngine {
   Xoshiro256 rng_;
   std::atomic<int> forced_read_failures_{0};
   std::atomic<int> forced_write_failures_{0};
+  std::atomic<int> forced_metadata_failures_{0};
+  std::atomic<int> forced_corruptions_{0};
+  /// 0 = no outage, -1 = until Heal(), >0 = steady-clock deadline (ns).
+  std::atomic<std::int64_t> outage_until_ns_{0};
   std::atomic<std::uint64_t> injected_{0};
+  std::atomic<std::uint64_t> corrupted_{0};
 };
 
 }  // namespace monarch::storage

@@ -124,7 +124,10 @@ TEST_F(PlacementHandlerTest, PfsReadFailureReleasesReservationAndRetries) {
   Build({100}, {}, faulty);
   auto file = AddPfsFile("f", "0123456789");
 
-  faulty->FailNextReads(1);
+  // A single transient failure is absorbed by the driver's retry layer
+  // (core/resilience.h) and staging succeeds on the spot; to make the
+  // placement itself fail the fault has to outlast the attempt budget.
+  faulty->FailNextReads(100);
   ASSERT_TRUE(file->TryBeginFetch());
   handler_->SchedulePlacement(file, std::nullopt);
   handler_->Drain();
@@ -134,8 +137,10 @@ TEST_F(PlacementHandlerTest, PfsReadFailureReleasesReservationAndRetries) {
   EXPECT_EQ(0u, hierarchy_->Level(0).occupancy_bytes())
       << "failed placement must release its reservation";
   EXPECT_EQ(1u, handler_->Stats().failed);
+  EXPECT_EQ(1u, handler_->Stats().retries);
 
-  // A later attempt succeeds.
+  // A later attempt succeeds once the fault clears.
+  faulty->FailNextReads(0);
   ASSERT_TRUE(file->TryBeginFetch());
   handler_->SchedulePlacement(file, std::nullopt);
   handler_->Drain();

@@ -61,12 +61,76 @@ TEST(FaultyEngineTest, ProbabilisticFailuresApproximateRate) {
   EXPECT_NEAR(0.3, static_cast<double>(failures) / kTrials, 0.05);
 }
 
-TEST(FaultyEngineTest, MetadataOpsUnaffected) {
+TEST(FaultyEngineTest, MetadataOpsUnaffectedByReadFaults) {
   auto engine = MakeFaulty();
   ASSERT_OK(engine->Write("f", Bytes("abc")));
   engine->FailNextReads(5);
   EXPECT_EQ(3u, engine->FileSize("f").value());
   EXPECT_TRUE(engine->Exists("f").value());
+}
+
+TEST(FaultyEngineTest, ForcedMetadataFailuresHitWholeStatSurface) {
+  auto engine = MakeFaulty();
+  ASSERT_OK(engine->Write("d/f", Bytes("abc")));
+  engine->FailNextMetadataOps(3);
+  EXPECT_STATUS_CODE(StatusCode::kUnavailable, engine->FileSize("d/f"));
+  EXPECT_STATUS_CODE(StatusCode::kUnavailable, engine->Exists("d/f"));
+  EXPECT_STATUS_CODE(StatusCode::kUnavailable, engine->ListFiles("d"));
+  EXPECT_EQ(3u, engine->injected_failures());
+  // Data ops never shared the forced-metadata budget.
+  std::vector<std::byte> buf(3);
+  ASSERT_OK(engine->Read("d/f", 0, buf));
+  EXPECT_EQ(1u, engine->ListFiles("d").value().size());
+}
+
+TEST(FaultyEngineTest, CorruptionFlipsExactlyOneByteAndCounts) {
+  auto engine = MakeFaulty();
+  ASSERT_OK(engine->Write("f", Bytes("hello world")));
+  engine->CorruptNextReads(1);
+
+  std::vector<std::byte> corrupt(11);
+  ASSERT_OK(engine->Read("f", 0, corrupt));
+  std::vector<std::byte> clean(11);
+  ASSERT_OK(engine->Read("f", 0, clean));
+
+  int diffs = 0;
+  for (std::size_t i = 0; i < clean.size(); ++i) {
+    if (clean[i] != corrupt[i]) ++diffs;
+  }
+  EXPECT_EQ(1, diffs);
+  EXPECT_EQ(1u, engine->injected_corruptions());
+  // Corruption is silent: the op succeeded, so no failure was counted.
+  EXPECT_EQ(0u, engine->injected_failures());
+}
+
+TEST(FaultyEngineTest, OutageWindowFailsEverythingUntilHealed) {
+  auto engine = MakeFaulty();
+  ASSERT_OK(engine->Write("f", Bytes("abc")));
+  engine->FailUntilHealed();
+  EXPECT_TRUE(engine->in_outage());
+
+  std::vector<std::byte> buf(3);
+  EXPECT_STATUS_CODE(StatusCode::kUnavailable, engine->Read("f", 0, buf));
+  EXPECT_STATUS_CODE(StatusCode::kUnavailable, engine->Write("g", Bytes("x")));
+  EXPECT_STATUS_CODE(StatusCode::kUnavailable, engine->FileSize("f"));
+  EXPECT_EQ(3u, engine->injected_failures());
+
+  engine->Heal();
+  EXPECT_FALSE(engine->in_outage());
+  ASSERT_OK(engine->Read("f", 0, buf));
+}
+
+TEST(FaultyEngineTest, TimedOutageExpiresOnItsOwn) {
+  auto engine = MakeFaulty();
+  ASSERT_OK(engine->Write("f", Bytes("abc")));
+  engine->FailFor(Millis(5));
+  EXPECT_TRUE(engine->in_outage());
+  std::vector<std::byte> buf(3);
+  EXPECT_STATUS_CODE(StatusCode::kUnavailable, engine->Read("f", 0, buf));
+
+  PreciseSleep(Millis(8));
+  EXPECT_FALSE(engine->in_outage());
+  ASSERT_OK(engine->Read("f", 0, buf));
 }
 
 TEST(FaultyEngineTest, DeterministicForSeed) {
