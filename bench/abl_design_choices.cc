@@ -55,6 +55,7 @@ int Run() {
   Table table({"arm", "prestage_s", "total_s", "epoch1_s", "steady_epoch_s",
                "pfs_reads", "pfs_MiB", "placed", "evictions",
                "tier_writes"});
+  std::vector<std::pair<std::string, double>> json_metrics;
 
   for (const AblationArm& arm : arms) {
     RunningSummary total_s;
@@ -167,6 +168,10 @@ int Run() {
                   MeanSd(pfs_reads, 0), MeanSd(pfs_mib, 1),
                   MeanSd(placed, 0), MeanSd(evictions, 0),
                   MeanSd(tier_writes, 0)});
+    json_metrics.emplace_back(arm.name + ".total_s", total_s.mean());
+    json_metrics.emplace_back(arm.name + ".epoch1_s", epoch1_s.mean());
+    json_metrics.emplace_back(arm.name + ".pfs_reads", pfs_reads.mean());
+    json_metrics.emplace_back(arm.name + ".evictions", evictions.mean());
     std::cout << "  done: " << arm.name << "\n";
   }
 
@@ -185,6 +190,7 @@ int Run() {
       "staging cost in front of training; total time-to-trained-model "
       "is the\nsame or worse, which is why the paper places during "
       "epoch 1.\n";
+  WriteBenchJson(env, "abl_design_choices", {}, json_metrics);
   env.Cleanup();
   return 0;
 }

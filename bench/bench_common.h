@@ -16,15 +16,20 @@
 // exit — see docs/OBSERVABILITY.md §2.
 #pragma once
 
+#include <cmath>
 #include <cstdlib>
 #include <cstring>
 #include <filesystem>
+#include <fstream>
 #include <iostream>
+#include <sstream>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "dlsim/setups.h"
 #include "obs/event_tracer.h"
+#include "obs/json.h"
 #include "util/byte_units.h"
 #include "util/histogram.h"
 #include "util/table.h"
@@ -88,6 +93,11 @@ struct CellResult {
   RunningSummary pfs_read_ops;
   RunningSummary pfs_total_ops;
   RunningSummary local_read_ops;
+  // MONARCH-only staging telemetry (empty for vanilla setups).
+  RunningSummary prefetch_scheduled;
+  RunningSummary prefetch_completed;
+  RunningSummary prefetch_hits;
+  RunningSummary donated_mib;
 
   void Accumulate(const dlsim::TrainingResult& result,
                   const storage::IoStatsSnapshot& pfs,
@@ -115,6 +125,18 @@ struct CellResult {
     pfs_read_ops.Add(static_cast<double>(pfs.read_ops));
     pfs_total_ops.Add(static_cast<double>(pfs.total_ops()));
     local_read_ops.Add(static_cast<double>(local.read_ops));
+  }
+
+  /// MONARCH arms call this once per run so BENCH_*.json can report
+  /// prefetch effectiveness next to the wall times.
+  void AccumulateMonarch(const core::MonarchStats& stats) {
+    prefetch_scheduled.Add(
+        static_cast<double>(stats.placement.prefetch_scheduled));
+    prefetch_completed.Add(
+        static_cast<double>(stats.placement.prefetch_completed));
+    prefetch_hits.Add(static_cast<double>(stats.prefetch_hits));
+    donated_mib.Add(static_cast<double>(stats.placement.donated_bytes) /
+                    static_cast<double>(kMiB));
   }
 };
 
@@ -161,6 +183,91 @@ inline void PrintPfsPressureTable(const std::string& title,
                   MeanSd(cell.local_read_ops, 0)});
   }
   table.PrintAscii(std::cout);
+}
+
+/// One JSON number (JSON has no NaN/Inf — render those as null).
+inline std::string JsonNum(double value) {
+  if (!std::isfinite(value)) return "null";
+  std::ostringstream out;
+  out.precision(10);
+  out << value;
+  return out.str();
+}
+
+/// Where BENCH_<name>.json lands: $MONARCH_BENCH_JSON_DIR, else the
+/// current directory.
+inline std::filesystem::path BenchJsonPath(const std::string& bench_name) {
+  std::filesystem::path dir = ".";
+  if (const char* env = std::getenv("MONARCH_BENCH_JSON_DIR")) dir = env;
+  return dir / ("BENCH_" + bench_name + ".json");
+}
+
+/// Machine-readable companion to the ASCII tables: every bench writes
+/// BENCH_<name>.json with its per-cell epoch times, per-tier read shares,
+/// and prefetch effectiveness, plus free-form scalar `metrics` for
+/// bench-specific numbers. Scripts (scripts/bench_smoke.sh) and CI diff
+/// these instead of scraping stdout.
+inline void WriteBenchJson(
+    const BenchEnv& env, const std::string& bench_name,
+    const std::vector<CellResult>& cells,
+    const std::vector<std::pair<std::string, double>>& metrics = {}) {
+  std::ostringstream json;
+  json << "{\n  \"bench\": " << obs::JsonQuote(bench_name)
+       << ",\n  \"runs\": " << env.runs << ",\n  \"scale\": "
+       << JsonNum(env.scale) << ",\n  \"epochs\": " << env.epochs
+       << ",\n  \"cells\": [";
+  for (std::size_t i = 0; i < cells.size(); ++i) {
+    const CellResult& cell = cells[i];
+    json << (i == 0 ? "\n" : ",\n") << "    {\"setup\": "
+         << obs::JsonQuote(cell.setup) << ", \"model\": "
+         << obs::JsonQuote(cell.model) << ",\n     \"epoch_seconds_mean\": [";
+    for (std::size_t e = 0; e < cell.epoch_seconds.size(); ++e) {
+      json << (e == 0 ? "" : ", ") << JsonNum(cell.epoch_seconds[e].mean());
+    }
+    json << "], \"epoch_seconds_sd\": [";
+    for (std::size_t e = 0; e < cell.epoch_seconds.size(); ++e) {
+      json << (e == 0 ? "" : ", ") << JsonNum(cell.epoch_seconds[e].stddev());
+    }
+    json << "],\n     \"total_seconds_mean\": "
+         << JsonNum(cell.total_seconds.mean()) << ", \"total_seconds_sd\": "
+         << JsonNum(cell.total_seconds.stddev());
+    // Per-tier read share: what fraction of this run's reads the local
+    // tier absorbed (0 when the setup never touches a local tier).
+    const double pfs_reads = cell.pfs_read_ops.mean();
+    const double local_reads = cell.local_read_ops.mean();
+    const double total_reads = pfs_reads + local_reads;
+    json << ",\n     \"pfs_read_ops_mean\": " << JsonNum(pfs_reads)
+         << ", \"local_read_ops_mean\": " << JsonNum(local_reads)
+         << ", \"local_read_share\": "
+         << JsonNum(total_reads > 0 ? local_reads / total_reads : 0.0);
+    if (cell.prefetch_scheduled.count() > 0) {
+      const double scheduled = cell.prefetch_scheduled.mean();
+      const double hits = cell.prefetch_hits.mean();
+      json << ",\n     \"prefetch_scheduled_mean\": " << JsonNum(scheduled)
+           << ", \"prefetch_completed_mean\": "
+           << JsonNum(cell.prefetch_completed.mean())
+           << ", \"prefetch_hits_mean\": " << JsonNum(hits)
+           << ", \"prefetch_hit_rate\": "
+           << JsonNum(scheduled > 0 ? hits / scheduled : 0.0)
+           << ", \"donated_mib_mean\": " << JsonNum(cell.donated_mib.mean());
+    }
+    json << "}";
+  }
+  json << (cells.empty() ? "]" : "\n  ]") << ",\n  \"metrics\": {";
+  for (std::size_t i = 0; i < metrics.size(); ++i) {
+    json << (i == 0 ? "" : ", ") << obs::JsonQuote(metrics[i].first) << ": "
+         << JsonNum(metrics[i].second);
+  }
+  json << "}\n}\n";
+
+  const std::filesystem::path path = BenchJsonPath(bench_name);
+  std::ofstream out(path);
+  out << json.str();
+  if (!out) {
+    std::cerr << "bench-json: failed to write " << path << "\n";
+    return;
+  }
+  std::cout << "bench-json: wrote " << path.string() << "\n";
 }
 
 /// Relative change text, e.g. "-33.1%" of b versus a.

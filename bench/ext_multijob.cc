@@ -31,6 +31,7 @@ int Run() {
               "Multi-job interference on a shared PFS (LeNet)");
   Table table({"jobs", "setup", "mean_epoch_s", "epoch1_s", "steady_s",
                "per-job_total_s", "aggregate_pfs_reads"});
+  std::vector<std::pair<std::string, double>> json_metrics;
 
   for (const int num_jobs : {1, 2, 4}) {
     for (const bool use_monarch : {false, true}) {
@@ -54,6 +55,8 @@ int Run() {
         return 1;
       }
 
+      const std::string arm_key = std::string(use_monarch ? "monarch" : "vanilla") +
+                                  ".jobs" + std::to_string(num_jobs);
       RunningSummary epoch1;
       RunningSummary steady;
       for (const auto& job : result.value().jobs) {
@@ -69,6 +72,11 @@ int Run() {
                     Table::Num(steady.mean(), 2),
                     Table::Num(result.value().MeanTotalSeconds(), 2),
                     std::to_string(result.value().TotalPfsReadOps())});
+      json_metrics.emplace_back(arm_key + ".epoch1_s", epoch1.mean());
+      json_metrics.emplace_back(arm_key + ".steady_epoch_s", steady.mean());
+      json_metrics.emplace_back(
+          arm_key + ".pfs_reads",
+          static_cast<double>(result.value().TotalPfsReadOps()));
       std::cout << "  done: jobs=" << num_jobs << " "
                 << (use_monarch ? "monarch" : "vanilla") << "\n";
     }
@@ -80,6 +88,7 @@ int Run() {
       "(jobs split the shared\nPFS); MONARCH's steady-state epochs stay "
       "near the single-job local time because the\njobs leave the PFS "
       "after staging — the aggregate-PFS-reads column shows why.\n";
+  WriteBenchJson(env, "ext_multijob", {}, json_metrics);
   env.Cleanup();
   return 0;
 }

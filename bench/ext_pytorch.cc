@@ -54,6 +54,7 @@ int Run() {
               "PyTorch-style map-style loading (random per-sample access)");
   Table table({"arm", "epoch1_s", "mean_epoch_s", "pfs_reads",
                "files_placed"});
+  std::vector<std::pair<std::string, double>> json_metrics;
 
   for (const Arm& arm : arms) {
     const auto pfs_root = env.work_dir / "pfs";
@@ -134,6 +135,13 @@ int Run() {
                   Table::Num(result.epoch_seconds_mean, 2),
                   std::to_string(result.pfs_reads),
                   std::to_string(result.placed)});
+    json_metrics.emplace_back(arm.name + ".epoch1_s", result.epoch1_seconds);
+    json_metrics.emplace_back(arm.name + ".mean_epoch_s",
+                              result.epoch_seconds_mean);
+    json_metrics.emplace_back(arm.name + ".pfs_reads",
+                              static_cast<double>(result.pfs_reads));
+    json_metrics.emplace_back(arm.name + ".files_placed",
+                              static_cast<double>(result.placed));
     std::cout << "  done: " << arm.name << "\n";
   }
 
@@ -144,6 +152,7 @@ int Run() {
       "leaves MONARCH at vanilla speed\nwith zero files placed, while the "
       "paper's configuration stages the dataset from\nthe first samples "
       "drawn and pulls steady-state epochs down to local speed.\n";
+  WriteBenchJson(env, "ext_pytorch", {}, json_metrics);
   env.Cleanup();
   return 0;
 }

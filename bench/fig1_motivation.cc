@@ -8,6 +8,11 @@
 //   - vanilla-caching pays a first-epoch penalty versus vanilla-lustre
 //     (inline copy to local), then matches vanilla-local in epochs 2-3;
 //   - vanilla-lustre shows the largest run-to-run spread (contention).
+//
+// Two MONARCH arms ride along for the staging-pipeline comparison:
+// demand-only ("monarch") and look-ahead ("monarch-prefetch", lookahead
+// 8). BENCH_fig1.json records both so the first-epoch win of prefetching
+// is machine-checkable.
 #include <functional>
 #include <iostream>
 
@@ -52,6 +57,24 @@ int Run() {
                              config.model.name),
              config);
        }},
+      {"monarch",
+       [&](const ExperimentConfig& config, int run) {
+         return dlsim::MakeMonarchSetup(
+             env.work_dir / ("pfs_r" + std::to_string(run)),
+             env.work_dir / ("local_mn" + std::to_string(run) + "_" +
+                             config.model.name),
+             config);
+       }},
+      {"monarch-prefetch",
+       [&](const ExperimentConfig& config, int run) {
+         ExperimentConfig prefetching = config;
+         prefetching.prefetch_lookahead = 8;
+         return dlsim::MakeMonarchSetup(
+             env.work_dir / ("pfs_r" + std::to_string(run)),
+             env.work_dir / ("local_mp" + std::to_string(run) + "_" +
+                             config.model.name),
+             prefetching);
+       }},
   };
 
   std::vector<CellResult> cells;
@@ -90,6 +113,10 @@ int Run() {
           std::cerr << "training failed: " << result.status() << "\n";
           return 1;
         }
+        if (setup.value().monarch) {
+          setup.value().monarch->DrainPlacements();
+          cell.AccumulateMonarch(setup.value().monarch->Stats());
+        }
         const auto pfs =
             (setup.value().pfs_engine
                  ? setup.value().pfs_engine->Stats().Snapshot()
@@ -110,20 +137,42 @@ int Run() {
   PrintEpochTable("Figure 1: per-epoch training time (seconds, mean±sd)",
                   cells, env.epochs);
 
-  // The paper's §II headline deltas.
+  // The paper's §II headline deltas, plus the MONARCH riders.
   PrintBanner(std::cout,
               "Figure 1 summary: total-time change vs vanilla-lustre");
-  Table summary({"model", "vanilla-local", "vanilla-caching"});
+  Table summary({"model", "vanilla-local", "vanilla-caching", "monarch",
+                 "monarch-prefetch"});
   for (std::size_t m = 0; m < models.size(); ++m) {
     const double lustre = cells[m].total_seconds.mean();
     const double local = cells[models.size() + m].total_seconds.mean();
     const double caching = cells[2 * models.size() + m].total_seconds.mean();
+    const double monarch = cells[3 * models.size() + m].total_seconds.mean();
+    const double prefetch =
+        cells[4 * models.size() + m].total_seconds.mean();
     summary.AddRow({models[m].name, RelativeChange(lustre, local),
-                    RelativeChange(lustre, caching)});
+                    RelativeChange(lustre, caching),
+                    RelativeChange(lustre, monarch),
+                    RelativeChange(lustre, prefetch)});
   }
   summary.PrintAscii(std::cout);
 
+  // The staging-pipeline headline: does look-ahead beat demand-only
+  // placement in epoch 1 (same config, same seeds)?
+  PrintBanner(std::cout,
+              "Figure 1 detail: first-epoch time, demand vs prefetch");
+  Table first_epoch({"model", "monarch", "monarch-prefetch", "change"});
+  for (std::size_t m = 0; m < models.size(); ++m) {
+    const double demand = cells[3 * models.size() + m].epoch_seconds[0].mean();
+    const double prefetch =
+        cells[4 * models.size() + m].epoch_seconds[0].mean();
+    first_epoch.AddRow({models[m].name, Table::Num(demand, 2),
+                        Table::Num(prefetch, 2),
+                        RelativeChange(demand, prefetch)});
+  }
+  first_epoch.PrintAscii(std::cout);
+
   PrintPfsPressureTable("Figure 1: backend I/O operations per run", cells);
+  WriteBenchJson(env, "fig1", cells);
   env.Cleanup();
   return 0;
 }

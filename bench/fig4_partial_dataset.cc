@@ -139,6 +139,7 @@ int Run() {
           placed_fraction.Add(
               static_cast<double>(stats.placement.completed) /
               static_cast<double>(stats.files_indexed));
+          cell.AccumulateMonarch(stats);
         } else {
           vanilla_steady_pfs_reads.Add(steady_reads);
         }
@@ -204,6 +205,13 @@ int Run() {
             << MeanSd(metadata_init_seconds, 4)
             << "  (paper: ~52 s at full scale, ~2x the 100 GiB dataset)\n";
 
+  WriteBenchJson(
+      env, "fig4", cells,
+      {{"metadata_init_seconds_mean", metadata_init_seconds.mean()},
+       {"vanilla_steady_pfs_reads_mean", vanilla_steady_pfs_reads.mean()},
+       {"monarch_steady_pfs_reads_mean", monarch_steady_pfs_reads.mean()},
+       {"monarch_epoch1_pfs_reads_mean", monarch_epoch1_pfs_reads.mean()},
+       {"placed_fraction_mean", placed_fraction.mean()}});
   env.Cleanup();
   return 0;
 }

@@ -5,7 +5,10 @@
 // the middleware's own cost with device models and disks taken out).
 #include <benchmark/benchmark.h>
 
+#include <cstdlib>
 #include <memory>
+#include <string>
+#include <string_view>
 #include <vector>
 
 #include "core/monarch.h"
@@ -170,4 +173,32 @@ BENCHMARK(BM_MetadataPopulate)->Arg(1000)->Arg(10000);
 }  // namespace
 }  // namespace monarch
 
-BENCHMARK_MAIN();
+// Like BENCHMARK_MAIN(), but defaults --benchmark_out to
+// BENCH_micro_components.json (in $MONARCH_BENCH_JSON_DIR when set) so
+// this binary emits machine-readable results like the figure benches do.
+int main(int argc, char** argv) {
+  bool has_out = false;
+  for (int i = 1; i < argc; ++i) {
+    if (std::string_view(argv[i]).starts_with("--benchmark_out=")) {
+      has_out = true;
+    }
+  }
+  std::vector<char*> args(argv, argv + argc);
+  std::string out_flag;
+  std::string format_flag = "--benchmark_out_format=json";
+  if (!has_out) {
+    std::string dir = ".";
+    if (const char* env = std::getenv("MONARCH_BENCH_JSON_DIR")) dir = env;
+    out_flag = "--benchmark_out=" + dir + "/BENCH_micro_components.json";
+    args.push_back(out_flag.data());
+    args.push_back(format_flag.data());
+  }
+  int args_count = static_cast<int>(args.size());
+  benchmark::Initialize(&args_count, args.data());
+  if (benchmark::ReportUnrecognizedArguments(args_count, args.data())) {
+    return 1;
+  }
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

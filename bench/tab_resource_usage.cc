@@ -147,6 +147,7 @@ int Run() {
       "lustre); ResNet-50 stays ~constant at high GPU / low CPU;\npeak "
       "memory is flat across setups (bounded prefetch buffer).\n";
 
+  WriteBenchJson(env, "tab_resource_usage", cells);
   env.Cleanup();
   return 0;
 }

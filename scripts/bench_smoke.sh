@@ -1,0 +1,35 @@
+#!/usr/bin/env bash
+# Reduced-scale smoke pass over the headline figure benches (fig1, fig3),
+# producing BENCH_fig1.json / BENCH_fig3.json for quick inspection and
+# for the demand-vs-prefetch first-epoch comparison.
+#
+# Usage: scripts/bench_smoke.sh [output-dir]
+#   output-dir   where the BENCH_*.json files land (default: bench-results)
+#
+# Knobs (inherited by the benches, see bench/bench_common.h):
+#   MONARCH_BENCH_RUNS (default 1), MONARCH_BENCH_SCALE (default 0.15),
+#   MONARCH_BENCH_EPOCHS (default 2)
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+OUT_DIR="${1:-bench-results}"
+mkdir -p "$OUT_DIR"
+
+if [[ ! -x build/bench/fig1_motivation || ! -x build/bench/fig3_full_dataset ]]; then
+  echo "bench binaries missing — build first: cmake -B build && cmake --build build -j" >&2
+  exit 1
+fi
+
+export MONARCH_BENCH_RUNS="${MONARCH_BENCH_RUNS:-1}"
+export MONARCH_BENCH_SCALE="${MONARCH_BENCH_SCALE:-0.15}"
+export MONARCH_BENCH_EPOCHS="${MONARCH_BENCH_EPOCHS:-2}"
+export MONARCH_BENCH_JSON_DIR="$OUT_DIR"
+
+echo "bench smoke: runs=$MONARCH_BENCH_RUNS scale=$MONARCH_BENCH_SCALE epochs=$MONARCH_BENCH_EPOCHS -> $OUT_DIR"
+
+./build/bench/fig1_motivation
+./build/bench/fig3_full_dataset
+
+echo
+echo "wrote:"
+ls -l "$OUT_DIR"/BENCH_fig1.json "$OUT_DIR"/BENCH_fig3.json

@@ -123,6 +123,26 @@ Status ApplyTierKey(ParsedTier& tier, const std::string& key,
   return Status::Ok();
 }
 
+Status ApplyPlacementKey(ParsedConfig& config, const std::string& key,
+                         const std::string& value, int line_no) {
+  if (key == "staging_buffer_bytes") {
+    MONARCH_ASSIGN_OR_RETURN(config.staging_buffer_bytes,
+                             ParseByteSize(value));
+  } else if (key == "staging_chunk_bytes") {
+    MONARCH_ASSIGN_OR_RETURN(config.staging_chunk_bytes, ParseByteSize(value));
+  } else if (key == "tier_inflight_cap_bytes") {
+    MONARCH_ASSIGN_OR_RETURN(config.tier_inflight_cap_bytes,
+                             ParseByteSize(value));
+  } else if (key == "prefetch_lookahead") {
+    MONARCH_ASSIGN_OR_RETURN(const std::uint64_t n, ParseU64(value, line_no));
+    config.prefetch_lookahead = static_cast<int>(n);
+  } else {
+    return InvalidArgumentError("line " + std::to_string(line_no) +
+                                ": unknown placement key '" + key + "'");
+  }
+  return Status::Ok();
+}
+
 }  // namespace
 
 Result<ParsedConfig> ParseConfig(const std::string& ini_text) {
@@ -131,7 +151,7 @@ Result<ParsedConfig> ParseConfig(const std::string& ini_text) {
   std::map<int, ParsedTier> tiers;
   bool saw_pfs = false;
 
-  enum class Section { kNone, kMonarch, kTier, kPfs, kResilience };
+  enum class Section { kNone, kMonarch, kTier, kPfs, kPlacement, kResilience };
   Section section = Section::kNone;
   int tier_index = -1;
 
@@ -158,6 +178,8 @@ Result<ParsedConfig> ParseConfig(const std::string& ini_text) {
       } else if (name == "pfs") {
         section = Section::kPfs;
         saw_pfs = true;
+      } else if (name == "placement") {
+        section = Section::kPlacement;
       } else if (name == "resilience") {
         section = Section::kResilience;
       } else if (name.starts_with("tier.")) {
@@ -207,6 +229,10 @@ Result<ParsedConfig> ParseConfig(const std::string& ini_text) {
         break;
       case Section::kPfs:
         MONARCH_RETURN_IF_ERROR(ApplyTierKey(config.pfs, key, value, line_no));
+        break;
+      case Section::kPlacement:
+        MONARCH_RETURN_IF_ERROR(
+            ApplyPlacementKey(config, key, value, line_no));
         break;
       case Section::kResilience:
         MONARCH_RETURN_IF_ERROR(
@@ -270,6 +296,10 @@ Result<MonarchConfig> BuildMonarchConfig(const ParsedConfig& parsed) {
   config.dataset_dir = parsed.dataset_dir;
   config.placement.num_threads = parsed.placement_threads;
   config.placement.fetch_full_file_on_partial_read = parsed.fetch_full_file;
+  config.placement.staging_buffer_bytes = parsed.staging_buffer_bytes;
+  config.placement.staging_chunk_bytes = parsed.staging_chunk_bytes;
+  config.placement.tier_inflight_cap_bytes = parsed.tier_inflight_cap_bytes;
+  config.placement.prefetch_lookahead = parsed.prefetch_lookahead;
   config.resilience = parsed.resilience;
 
   for (const ParsedTier& tier : parsed.cache_tiers) {

@@ -22,6 +22,12 @@
 //   root = /tmp/monarch/pfs
 //   seed = 42
 //
+//   [placement]             ; optional — staging-pipeline knobs
+//   staging_buffer_bytes = 64MiB   ; chunk-buffer-pool budget
+//   staging_chunk_bytes = 4MiB     ; copy granularity
+//   tier_inflight_cap_bytes = 0    ; prefetch in-flight cap per tier
+//   prefetch_lookahead = 0         ; hinted files staged ahead (0 = off)
+//
 //   [resilience]            ; optional — defaults match ResilienceOptions
 //   retry_max_attempts = 4
 //   retry_initial_backoff_us = 50
@@ -63,6 +69,11 @@ struct ParsedConfig {
   std::string dataset_dir;
   int placement_threads = 6;
   bool fetch_full_file = true;
+  /// `[placement]` section; defaults match PlacementOptions.
+  std::uint64_t staging_buffer_bytes = PlacementOptions{}.staging_buffer_bytes;
+  std::uint64_t staging_chunk_bytes = PlacementOptions{}.staging_chunk_bytes;
+  std::uint64_t tier_inflight_cap_bytes = 0;
+  int prefetch_lookahead = 0;
   std::vector<ParsedTier> cache_tiers;  ///< level order
   ParsedTier pfs;
   /// `[resilience]` section; defaults when the section is absent.

@@ -55,6 +55,11 @@ struct FileInfo {
   /// file cannot hammer the staging pool on every access.
   std::atomic<int> fetch_failures{0};
 
+  /// Set when a look-ahead hint (not a demand read) claimed this file's
+  /// fetch. The read path exchanges it back to false on the first demand
+  /// read served from a cache tier — that exchange is one prefetch hit.
+  std::atomic<bool> prefetched{false};
+
   /// One-way CAS used by the read path to claim the background fetch.
   bool TryBeginFetch() noexcept {
     PlacementState expected = PlacementState::kPfsOnly;

@@ -1,5 +1,6 @@
 #include "core/monarch.h"
 
+#include <algorithm>
 #include <functional>
 #include <string_view>
 #include <utility>
@@ -76,6 +77,40 @@ std::vector<obs::MetricSample> StatsToSamples(const MonarchStats& stats) {
   sample("monarch.placement.abandoned", "", obs::MetricKind::kCounter, "ops",
          p.abandoned,
          "files marked unplaceable after exhausting max_placement_attempts");
+  sample("monarch.placement.prefetch_scheduled", "", obs::MetricKind::kCounter,
+         "ops", p.prefetch_scheduled,
+         "look-ahead hints enqueued on the prefetch lane");
+  sample("monarch.placement.prefetch_completed", "", obs::MetricKind::kCounter,
+         "ops", p.prefetch_completed,
+         "prefetch-lane copies published to a cache tier");
+  sample("monarch.placement.prefetch_promoted", "", obs::MetricKind::kCounter,
+         "ops", p.prefetch_promoted,
+         "queued prefetches moved to the demand lane by an overtaking read");
+  sample("monarch.placement.prefetch_cancelled", "", obs::MetricKind::kCounter,
+         "ops", p.prefetch_cancelled,
+         "hints dropped before staging (no space, stop, or shutdown)");
+  sample("monarch.placement.prefetch_hits", "", obs::MetricKind::kCounter,
+         "ops", stats.prefetch_hits,
+         "demand reads served from a copy a look-ahead hint staged");
+  sample("monarch.placement.chunks_copied", "", obs::MetricKind::kCounter,
+         "chunks", p.chunks_copied,
+         "fixed-size chunk writes performed by the staging pipeline");
+  sample("monarch.placement.donated_bytes", "", obs::MetricKind::kCounter,
+         "bytes", p.donated_bytes,
+         "triggering-read bytes reused by staging instead of re-read");
+  sample("monarch.placement.queue_depth", "demand", obs::MetricKind::kGauge,
+         "tasks", p.queue_depth_demand, "staging tasks waiting, by lane");
+  sample("monarch.placement.queue_depth", "prefetch", obs::MetricKind::kGauge,
+         "tasks", p.queue_depth_prefetch, "staging tasks waiting, by lane");
+  sample("monarch.placement.inflight_bytes", "", obs::MetricKind::kGauge,
+         "bytes", p.inflight_bytes,
+         "bytes of staging copies currently in flight across all tiers");
+  sample("monarch.placement.buffer_pool_used_bytes", "",
+         obs::MetricKind::kGauge, "bytes", p.buffer_pool_used_bytes,
+         "chunk-buffer bytes currently leased by staging copies");
+  sample("monarch.placement.buffer_pool_capacity_bytes", "",
+         obs::MetricKind::kGauge, "bytes", p.buffer_pool_capacity_bytes,
+         "configured chunk-buffer budget (staging_buffer_bytes)");
   sample("monarch.files_indexed", "", obs::MetricKind::kGauge, "files",
          stats.files_indexed, "files in the virtual namespace");
   sample("monarch.dataset_bytes", "", obs::MetricKind::kGauge, "bytes",
@@ -261,22 +296,44 @@ Result<std::size_t> Monarch::ReadImpl(const std::string& name,
   counters.reads.fetch_add(1, std::memory_order_relaxed);
   counters.bytes.fetch_add(read.value(), std::memory_order_relaxed);
 
+  if (level != pfs && info->prefetched.exchange(false)) {
+    // First demand read of a copy that a look-ahead hint staged: the
+    // prefetch paid off before demand ever touched the PFS.
+    prefetch_hits_.fetch_add(1, std::memory_order_relaxed);
+  }
+
   // First access to a PFS-resident file: claim it and stage a copy in the
-  // background (③/④). When the framework's request already covered the
-  // whole file, hand those bytes to the placement task so the PFS is not
-  // read twice; otherwise the task fetches the full content itself — the
-  // §III-B partial-read optimisation (disabled => only full reads stage).
-  if (level == hierarchy_->pfs_level() && !placement_->stopped()) {
+  // background (③/④). Any leading bytes the framework's request already
+  // pulled are donated to the placement task — the full file when the
+  // read covered it (old fast path), a prefix otherwise — so the staging
+  // pipeline never re-reads them from the PFS. The §III-B partial-read
+  // optimisation fetches the rest in the background (disabled => only
+  // full reads stage).
+  if (level == pfs && !placement_->stopped()) {
     const bool full_read = offset == 0 && read.value() == info->size;
     if (full_read || placement_->options().fetch_full_file_on_partial_read) {
       if (info->TryBeginFetch()) {
         std::optional<std::vector<std::byte>> content;
-        if (full_read) {
-          content.emplace(dst.begin(), dst.begin() + read.value());
+        if (offset == 0 && read.value() > 0) {
+          content.emplace(dst.begin(),
+                          dst.begin() + static_cast<std::ptrdiff_t>(
+                                            read.value()));
         }
         placement_->SchedulePlacement(info, std::move(content));
+      } else if (info->state.load(std::memory_order_acquire) ==
+                 PlacementState::kFetching) {
+        // Someone else holds the fetch — possibly a hint still queued
+        // behind other speculative work. Demand has overtaken it: move
+        // it to the demand lane.
+        placement_->PromoteToDemand(info);
       }
     }
+  }
+
+  // Keep the look-ahead window rolling: a demand read of a hinted file
+  // moves the cursor past it and claims the next files in order.
+  if (offset == 0 && hints_active_.load(std::memory_order_acquire)) {
+    AdvancePrefetchCursor(name);
   }
   return read;
 }
@@ -320,6 +377,72 @@ void Monarch::CountDegradedFallback(const char* cause, const std::string& name,
   }
 }
 
+void Monarch::HintUpcoming(std::span<const std::string> upcoming) {
+  if (placement_->options().prefetch_lookahead <= 0) return;
+  std::size_t installed = 0;
+  {
+    std::lock_guard lock(hint_mu_);
+    hinted_order_.clear();
+    hint_index_.clear();
+    hinted_order_.reserve(upcoming.size());
+    for (const std::string& name : upcoming) {
+      FileInfoPtr info = metadata_.Lookup(name);
+      if (!info) continue;  // unknown files cannot be prefetched
+      hint_index_.emplace(name, hinted_order_.size());
+      hinted_order_.push_back(std::move(info));
+    }
+    hint_cursor_ = 0;
+    hint_scheduled_ = 0;
+    installed = hinted_order_.size();
+    hints_active_.store(installed != 0, std::memory_order_release);
+  }
+  obs::EventTracer& tracer = obs::EventTracer::Global();
+  if (tracer.enabled()) {
+    tracer.RecordInstant("placement.hint", "placement",
+                         "\"files\":" + std::to_string(installed));
+  }
+  TopUpPrefetch();
+}
+
+void Monarch::AdvancePrefetchCursor(const std::string& name) {
+  bool advanced = false;
+  {
+    std::lock_guard lock(hint_mu_);
+    auto it = hint_index_.find(name);
+    if (it == hint_index_.end()) return;
+    if (it->second >= hint_cursor_) {
+      hint_cursor_ = it->second + 1;
+      advanced = true;
+    }
+  }
+  if (advanced) TopUpPrefetch();
+}
+
+void Monarch::TopUpPrefetch() {
+  if (placement_->stopped()) return;
+  // Claim under the lock (so the window accounting stays consistent),
+  // enqueue outside it (SchedulePlacement takes the handler's own lock).
+  std::vector<FileInfoPtr> claimed;
+  {
+    std::lock_guard lock(hint_mu_);
+    const auto lookahead =
+        static_cast<std::size_t>(placement_->options().prefetch_lookahead);
+    const std::size_t limit =
+        std::min(hinted_order_.size(), hint_cursor_ + lookahead);
+    for (; hint_scheduled_ < limit; ++hint_scheduled_) {
+      const FileInfoPtr& info = hinted_order_[hint_scheduled_];
+      if (info->TryBeginFetch()) {
+        info->prefetched.store(true, std::memory_order_release);
+        claimed.push_back(info);
+      }
+    }
+  }
+  for (FileInfoPtr& info : claimed) {
+    placement_->SchedulePlacement(std::move(info), std::nullopt,
+                                  StagingLane::kPrefetch);
+  }
+}
+
 Result<std::uint64_t> Monarch::FileSize(const std::string& name) {
   if (FileInfoPtr info = metadata_.Lookup(name)) return info->size;
   return hierarchy_->Pfs().engine().FileSize(name);
@@ -337,7 +460,13 @@ std::uint64_t Monarch::Prestage(bool block) {
   return scheduled;
 }
 
-void Monarch::StopPlacement() noexcept { placement_->StopScheduling(); }
+void Monarch::StopPlacement() noexcept {
+  placement_->StopScheduling();
+  // Speculative work is pointless once placement stops: drop queued
+  // hints so the files return to the retryable PFS-only state.
+  hints_active_.store(false, std::memory_order_release);
+  placement_->CancelPrefetches();
+}
 
 void Monarch::DrainPlacements() { placement_->Drain(); }
 
@@ -377,6 +506,9 @@ void Monarch::Shutdown() {
   shut_down_ = true;
   if (config_.cleanup_staged_on_shutdown) CleanupStagedCopies();
   placement_->StopScheduling();
+  hints_active_.store(false, std::memory_order_release);
+  // Don't make shutdown wait on speculative copies that nothing will read.
+  placement_->CancelPrefetches();
   placement_->Drain();
 }
 
@@ -399,6 +531,7 @@ MonarchStats Monarch::Stats() const {
     stats.levels.push_back(std::move(level));
   }
   stats.placement = placement_->Stats();
+  stats.prefetch_hits = prefetch_hits_.load(std::memory_order_relaxed);
   stats.fallbacks_circuit_open =
       fallbacks_circuit_open_.load(std::memory_order_relaxed);
   stats.fallbacks_tier_error =

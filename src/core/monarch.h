@@ -20,8 +20,10 @@
 
 #include <cstdint>
 #include <memory>
+#include <mutex>
 #include <span>
 #include <string>
+#include <unordered_map>
 #include <vector>
 
 #include "core/metadata_container.h"
@@ -87,6 +89,10 @@ struct MonarchStats {
   std::uint64_t dataset_bytes = 0;
   double metadata_init_seconds = 0;
 
+  /// Demand reads served from a cache tier whose copy a look-ahead hint
+  /// (HintUpcoming) staged before the read arrived.
+  std::uint64_t prefetch_hits = 0;
+
   /// Degradation-ladder outcomes (ISSUE 2): reads that a cache tier
   /// failed to serve but the PFS rescued, broken down by cause.
   std::uint64_t degraded_fallbacks = 0;       ///< sum of the three below
@@ -124,6 +130,15 @@ class Monarch {
   /// File size from the virtual namespace (no backend round trip for
   /// indexed files).
   Result<std::uint64_t> FileSize(const std::string& name);
+
+  /// Publish the upcoming read order (a data loader calls this with each
+  /// epoch's shuffled file list before reading it). When
+  /// `[placement] prefetch_lookahead` is nonzero, a prefetch cursor
+  /// stages up to that many hinted files ahead of the newest demand
+  /// read on the PREFETCH lane — speculative work that never delays or
+  /// evicts demand staging. Replaces any previous hint list; a no-op
+  /// when look-ahead is disabled.
+  void HintUpcoming(std::span<const std::string> upcoming);
 
   /// Stage the dataset into the cache tiers BEFORE training — the
   /// §III-A placement-timing alternative (i). Schedules a background
@@ -181,12 +196,32 @@ class Monarch {
   void CountDegradedFallback(const char* cause, const std::string& name,
                              int level);
 
+  /// A demand read of `name` landed: advance the prefetch cursor past it
+  /// and top up the look-ahead window with new PREFETCH-lane claims.
+  void AdvancePrefetchCursor(const std::string& name);
+  /// Claim hinted files in [scheduled, cursor + lookahead) that are still
+  /// PFS-only and enqueue them on the prefetch lane. Caller must NOT hold
+  /// hint_mu_.
+  void TopUpPrefetch();
+
   MonarchConfig config_;
   std::unique_ptr<StorageHierarchy> hierarchy_;
   MetadataContainer metadata_;
   std::unique_ptr<PlacementHandler> placement_;
 
   std::atomic<std::uint64_t> access_clock_{0};
+
+  // Look-ahead prefetch state (tentpole (3), DESIGN.md "staging
+  // pipeline"). `hints_active_` lets the read path skip the mutex
+  // entirely while no hint list is installed.
+  std::atomic<bool> hints_active_{false};
+  std::atomic<std::uint64_t> prefetch_hits_{0};
+  std::mutex hint_mu_;
+  std::vector<FileInfoPtr> hinted_order_;               ///< under hint_mu_
+  std::unordered_map<std::string, std::size_t> hint_index_;  ///< under hint_mu_
+  std::size_t hint_cursor_ = 0;     ///< first hint not yet demand-read
+  std::size_t hint_scheduled_ = 0;  ///< first hint not yet claimed
+
   /// reads/bytes served per hierarchy level (vector sized at Create).
   struct LevelCounters {
     std::atomic<std::uint64_t> reads{0};

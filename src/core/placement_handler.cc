@@ -10,6 +10,14 @@
 
 namespace monarch::core {
 
+namespace {
+
+const char* LaneName(StagingLane lane) {
+  return lane == StagingLane::kDemand ? "demand" : "prefetch";
+}
+
+}  // namespace
+
 PlacementHandler::PlacementHandler(StorageHierarchy& hierarchy,
                                    MetadataContainer& metadata,
                                    PlacementPolicyPtr policy,
@@ -20,30 +28,171 @@ PlacementHandler::PlacementHandler(StorageHierarchy& hierarchy,
       policy_(std::move(policy)),
       options_(options),
       resilience_(resilience),
-      pool_(static_cast<std::size_t>(std::max(1, options.num_threads))) {}
+      pool_(options.staging_buffer_bytes,
+            std::min<std::uint64_t>(
+                std::max<std::uint64_t>(1, options.staging_chunk_bytes),
+                std::max<std::uint64_t>(1, options.staging_buffer_bytes))),
+      inflight_bytes_(hierarchy.num_levels(), 0) {
+  const int n = std::max(1, options_.num_threads);
+  workers_.reserve(static_cast<std::size_t>(n));
+  for (int i = 0; i < n; ++i) {
+    workers_.emplace_back([this] { WorkerLoop(); });
+  }
+}
 
 PlacementHandler::~PlacementHandler() {
   StopScheduling();
-  pool_.Shutdown();
+  CancelPrefetches();
+  {
+    std::lock_guard lock(mu_);
+    shutdown_ = true;
+  }
+  cv_.notify_all();
+  for (std::thread& worker : workers_) {
+    if (worker.joinable()) worker.join();
+  }
+  // A prefetch copy that was running during shutdown may have parked
+  // itself after the cancel above; return those files to the retryable
+  // state instead of leaving them stuck in kFetching.
+  CancelPrefetches();
 }
 
 void PlacementHandler::SchedulePlacement(
-    FileInfoPtr file, std::optional<std::vector<std::byte>> content) {
+    FileInfoPtr file, std::optional<std::vector<std::byte>> content,
+    StagingLane lane) {
   if (stopped_.load(std::memory_order_relaxed)) {
+    if (lane == StagingLane::kPrefetch) {
+      prefetch_cancelled_.fetch_add(1, std::memory_order_relaxed);
+      file->prefetched.store(false, std::memory_order_relaxed);
+    }
     file->AbortFetch(/*permanently=*/false);
     return;
   }
   scheduled_.fetch_add(1, std::memory_order_relaxed);
-  // The task owns the FileInfo reference and (optionally) the content the
+  if (lane == StagingLane::kPrefetch) {
+    prefetch_scheduled_.fetch_add(1, std::memory_order_relaxed);
+  }
+  // The task owns the FileInfo reference and (optionally) the bytes the
   // read path already fetched, avoiding a second PFS read (§III-B, ③/④).
-  pool_.Submit([this, file = std::move(file),
-                content = std::move(content)]() mutable {
-    PlaceFile(file, std::move(content));
-  });
+  {
+    std::lock_guard lock(mu_);
+    auto& queue = lane == StagingLane::kDemand ? demand_q_ : prefetch_q_;
+    queue.push_back(StagingTask{std::move(file), std::move(content), lane});
+  }
+  cv_.notify_one();
+}
+
+bool PlacementHandler::PromoteToDemand(const FileInfoPtr& file) {
+  StagingTask task;
+  {
+    std::lock_guard lock(mu_);
+    auto match = [&file](const StagingTask& t) { return t.file == file; };
+    auto it = std::find_if(prefetch_q_.begin(), prefetch_q_.end(), match);
+    if (it != prefetch_q_.end()) {
+      task = std::move(*it);
+      prefetch_q_.erase(it);
+    } else {
+      auto dit = std::find_if(deferred_.begin(), deferred_.end(), match);
+      if (dit == deferred_.end()) return false;
+      task = std::move(*dit);
+      deferred_.erase(dit);
+    }
+    task.lane = StagingLane::kDemand;
+    demand_q_.push_back(std::move(task));
+  }
+  prefetch_promoted_.fetch_add(1, std::memory_order_relaxed);
+  obs::EventTracer& tracer = obs::EventTracer::Global();
+  if (tracer.enabled()) {
+    tracer.RecordInstant("placement.promote", "placement",
+                         "\"file\":" + obs::JsonQuote(file->name));
+  }
+  cv_.notify_one();
+  return true;
+}
+
+std::size_t PlacementHandler::CancelPrefetches() {
+  std::vector<StagingTask> cancelled;
+  {
+    std::lock_guard lock(mu_);
+    for (auto& task : prefetch_q_) cancelled.push_back(std::move(task));
+    prefetch_q_.clear();
+    for (auto& task : deferred_) cancelled.push_back(std::move(task));
+    deferred_.clear();
+  }
+  for (const StagingTask& task : cancelled) {
+    task.file->prefetched.store(false, std::memory_order_relaxed);
+    task.file->AbortFetch(/*permanently=*/false);
+    prefetch_cancelled_.fetch_add(1, std::memory_order_relaxed);
+  }
+  drain_cv_.notify_all();
+  return cancelled.size();
+}
+
+void PlacementHandler::WorkerLoop() {
+  for (;;) {
+    StagingTask task;
+    {
+      std::unique_lock lock(mu_);
+      cv_.wait(lock, [this] {
+        return shutdown_ || !demand_q_.empty() || !prefetch_q_.empty();
+      });
+      if (demand_q_.empty() && prefetch_q_.empty()) {
+        // shutdown_ is set and nothing is queued: exit after the last
+        // task finishes (queued tasks still run to completion).
+        return;
+      }
+      if (!demand_q_.empty()) {
+        task = std::move(demand_q_.front());
+        demand_q_.pop_front();
+      } else {
+        task = std::move(prefetch_q_.front());
+        prefetch_q_.pop_front();
+      }
+      ++active_;
+    }
+    PlaceFile(std::move(task));
+    {
+      std::lock_guard lock(mu_);
+      --active_;
+    }
+    drain_cv_.notify_all();
+  }
+}
+
+bool PlacementHandler::AdmitInflight(int level, StagingTask& task) {
+  const std::uint64_t size = task.file->size;
+  const std::uint64_t cap = options_.tier_inflight_cap_bytes;
+  std::lock_guard lock(mu_);
+  auto& inflight = inflight_bytes_[static_cast<std::size_t>(level)];
+  // The `inflight > 0` guard makes parking self-resolving: some other
+  // copy is in flight on this tier, and its FinishInflight (under this
+  // mutex) splices the parked task back into the prefetch queue.
+  if (task.lane == StagingLane::kPrefetch && cap > 0 && inflight > 0 &&
+      inflight + size > cap) {
+    deferred_.push_back(std::move(task));
+    return false;
+  }
+  inflight += size;
+  return true;
+}
+
+void PlacementHandler::FinishInflight(int level, std::uint64_t size) {
+  bool wake = false;
+  {
+    std::lock_guard lock(mu_);
+    inflight_bytes_[static_cast<std::size_t>(level)] -= size;
+    if (!deferred_.empty()) {
+      for (auto& task : deferred_) prefetch_q_.push_back(std::move(task));
+      deferred_.clear();
+      wake = true;
+    }
+  }
+  if (wake) cv_.notify_all();
 }
 
 void PlacementHandler::RecordStagingFailure(const FileInfoPtr& file) {
   failed_.fetch_add(1, std::memory_order_relaxed);
+  file->prefetched.store(false, std::memory_order_relaxed);
   const int failures =
       file->fetch_failures.fetch_add(1, std::memory_order_acq_rel) + 1;
   if (failures >= resilience_.max_placement_attempts) {
@@ -63,92 +212,173 @@ void PlacementHandler::RecordStagingFailure(const FileInfoPtr& file) {
   }
 }
 
-void PlacementHandler::PlaceFile(
-    const FileInfoPtr& file, std::optional<std::vector<std::byte>> content) {
+Status PlacementHandler::StreamCopy(
+    const FileInfoPtr& file, const std::optional<std::vector<std::byte>>& prefix,
+    StorageDriver& destination, std::uint32_t& crc) {
+  const std::uint64_t chunk_bytes = pool_.chunk_bytes();
+  std::uint64_t offset = 0;
+  crc = 0;
+
+  // Donated leading bytes: the triggering partial read already paid the
+  // PFS for these, so they enter the pipeline straight from memory.
+  if (prefix.has_value() && !prefix->empty()) {
+    const std::span<const std::byte> donated(*prefix);
+    while (offset < donated.size()) {
+      const std::size_t n = static_cast<std::size_t>(
+          std::min<std::uint64_t>(chunk_bytes, donated.size() - offset));
+      const auto slice = donated.subspan(static_cast<std::size_t>(offset), n);
+      crc = Crc32c(slice, crc);
+      MONARCH_RETURN_IF_ERROR(destination.WriteAt(file->name, offset, slice));
+      offset += n;
+      chunks_copied_.fetch_add(1, std::memory_order_relaxed);
+    }
+    donated_bytes_.fetch_add(donated.size(), std::memory_order_relaxed);
+  }
+
+  // Stream the remainder from the PFS through one pooled buffer — peak
+  // staging memory is the pool budget, never the file size.
+  if (offset < file->size) {
+    BufferPool::Lease lease = pool_.Acquire();
+    while (offset < file->size) {
+      const std::size_t n = static_cast<std::size_t>(
+          std::min<std::uint64_t>(chunk_bytes, file->size - offset));
+      const std::span<std::byte> buffer(lease.bytes().data(), n);
+      auto read = hierarchy_.Pfs().Read(file->name, offset, buffer);
+      if (!read.ok()) return read.status();
+      if (read.value() != n) {
+        return InternalError("short PFS read of '" + file->name + "' at " +
+                             std::to_string(offset) + ": got " +
+                             std::to_string(read.value()) + " of " +
+                             std::to_string(n) + " bytes");
+      }
+      crc = Crc32c(buffer, crc);
+      MONARCH_RETURN_IF_ERROR(destination.WriteAt(file->name, offset, buffer));
+      offset += n;
+      chunks_copied_.fetch_add(1, std::memory_order_relaxed);
+    }
+  }
+  return Status::Ok();
+}
+
+bool PlacementHandler::VerifyStagedCopy(const FileInfoPtr& file,
+                                        StorageDriver& destination,
+                                        std::uint32_t crc) {
+  const std::uint64_t chunk_bytes = pool_.chunk_bytes();
+  BufferPool::Lease lease = pool_.Acquire();
+  std::uint32_t readback_crc = 0;
+  std::uint64_t offset = 0;
+  while (offset < file->size) {
+    const std::size_t n = static_cast<std::size_t>(
+        std::min<std::uint64_t>(chunk_bytes, file->size - offset));
+    const std::span<std::byte> buffer(lease.bytes().data(), n);
+    auto read = destination.Read(file->name, offset, buffer);
+    if (!read.ok() || read.value() != n) return false;
+    readback_crc = Crc32c(buffer, readback_crc);
+    offset += n;
+  }
+  return readback_crc == crc;
+}
+
+void PlacementHandler::PlaceFile(StagingTask task) {
+  // Own reference, not an alias into the task: parking moves the task
+  // into `deferred_`, which would leave `task.file` null.
+  const FileInfoPtr file = task.file;
   // Spans the whole schedule→complete staging of one file. Args are only
   // rendered when tracing is live (active() gate).
   obs::TraceSpan span("placement.stage", "placement");
   if (span.active()) {
     span.set_args_json("\"file\":" + obs::JsonQuote(file->name) +
-                       ",\"bytes\":" + std::to_string(file->size));
+                       ",\"bytes\":" + std::to_string(file->size) +
+                       ",\"lane\":\"" + LaneName(task.lane) + "\"");
   }
 
-  // 1. Choose (and reserve) the destination level.
+  // 1. Choose (and reserve) the destination level. Only the demand lane
+  // may fall back to eviction: a speculative copy must never push a
+  // placed file out.
   std::optional<int> level = policy_->PickLevel(hierarchy_, file->size);
-  if (!level.has_value() && options_.enable_eviction) {
+  if (!level.has_value() && options_.enable_eviction &&
+      task.lane == StagingLane::kDemand) {
     level = EvictAndReserve(file->size);
   }
   if (!level.has_value()) {
-    // No tier can hold the file: it stays PFS-resident for the whole job
-    // (the 200 GiB-dataset scenario). Mark it so the read path stops
-    // retrying placement on every access.
     rejected_no_space_.fetch_add(1, std::memory_order_relaxed);
     obs::EventTracer& tracer = obs::EventTracer::Global();
     if (tracer.enabled()) {
       tracer.RecordInstant("placement.rejected_no_space", "placement",
                            "\"file\":" + obs::JsonQuote(file->name));
     }
-    file->AbortFetch(/*permanently=*/true);
+    if (task.lane == StagingLane::kPrefetch) {
+      // A prefetch rejection is never permanent: a later demand read may
+      // still place the file (e.g. via the eviction ablation).
+      prefetch_cancelled_.fetch_add(1, std::memory_order_relaxed);
+      file->prefetched.store(false, std::memory_order_relaxed);
+      file->AbortFetch(/*permanently=*/false);
+    } else {
+      // No tier can hold the file: it stays PFS-resident for the whole
+      // job (the 200 GiB-dataset scenario). Mark it so the read path
+      // stops retrying placement on every access.
+      file->AbortFetch(/*permanently=*/true);
+    }
     return;
   }
 
   StorageDriver& destination = hierarchy_.Level(*level);
 
-  // 2. Obtain the full content if the triggering read was partial.
-  if (!content.has_value()) {
-    std::vector<std::byte> buffer(file->size);
-    auto read = hierarchy_.Pfs().Read(file->name, 0, buffer);
-    if (!read.ok() || read.value() != file->size) {
-      MLOG_WARN << "placement read of '" << file->name
-                << "' failed: " << read.status();
-      destination.Release(file->size);
-      RecordStagingFailure(file);
-      return;
-    }
-    content = std::move(buffer);
+  // 2. Per-tier staging-bandwidth cap: a prefetch copy parks while the
+  // tier is saturated (any completion on the tier un-parks it); demand
+  // copies are exempt so a read-triggered stage never waits here.
+  const StagingLane lane = task.lane;
+  if (!AdmitInflight(*level, task)) {
+    destination.Release(file->size);
+    return;
   }
 
-  // Checksum the authoritative bytes before they leave our hands: this is
-  // the reference the staged copy must match, now and on later reads.
-  const std::uint32_t crc = Crc32c(*content);
-
-  // 3. Write the staged copy and publish the new location (⑤/⑥).
-  const Status written = destination.Write(file->name, *content);
+  // 3. Copy. A full-content task (the triggering read covered the whole
+  // file) is a single put of bytes already in memory; anything else is
+  // the chunked pipeline: donated prefix first, then streamed PFS reads.
+  std::uint32_t crc = 0;
+  Status written = Status::Ok();
+  if (task.content.has_value() && task.content->size() == file->size) {
+    crc = Crc32c(*task.content);
+    written = destination.Write(file->name, *task.content);
+  } else {
+    written = StreamCopy(file, task.content, destination, crc);
+  }
   if (!written.ok()) {
-    MLOG_WARN << "placement write of '" << file->name << "' to tier '"
+    MLOG_WARN << "placement copy of '" << file->name << "' to tier '"
               << destination.name() << "' failed: " << written;
+    // A chunked copy may have landed a partial file; remove it so a
+    // retry starts clean and readers never see a truncated copy.
+    (void)destination.Delete(file->name);
     destination.Release(file->size);
+    FinishInflight(*level, file->size);
     RecordStagingFailure(file);
     return;
   }
 
-  // 4. Optionally read the copy back and prove the bytes landed intact —
-  // a corrupted staged copy must degrade to a failed placement, never get
-  // published as a serving replica.
-  if (resilience_.verify_staged_writes) {
-    std::vector<std::byte> readback(file->size);
-    auto verify = destination.Read(file->name, 0, readback);
-    const bool intact = verify.ok() && verify.value() == file->size &&
-                        Crc32c(readback) == crc;
-    if (!intact) {
-      MLOG_WARN << "staged copy of '" << file->name << "' on tier '"
-                << destination.name() << "' failed verification; deleting";
-      // We still hold the Reserve for this copy, so the quota comes back
-      // whether or not the delete found anything on disk.
-      (void)destination.Delete(file->name);
-      destination.Release(file->size);
-      quarantined_.fetch_add(1, std::memory_order_relaxed);
-      obs::EventTracer& tracer = obs::EventTracer::Global();
-      if (tracer.enabled()) {
-        tracer.RecordInstant("placement.quarantine", "resilience",
-                             "\"file\":" + obs::JsonQuote(file->name) +
-                                 ",\"tier\":" +
-                                 obs::JsonQuote(destination.name()) +
-                                 ",\"phase\":\"stage\"");
-      }
-      RecordStagingFailure(file);
-      return;
+  // 4. Optionally read the copy back (chunked, bounded memory) and prove
+  // the bytes landed intact — a corrupted staged copy must degrade to a
+  // failed placement, never get published as a serving replica.
+  if (resilience_.verify_staged_writes &&
+      !VerifyStagedCopy(file, destination, crc)) {
+    MLOG_WARN << "staged copy of '" << file->name << "' on tier '"
+              << destination.name() << "' failed verification; deleting";
+    // We still hold the Reserve for this copy, so the quota comes back
+    // whether or not the delete found anything on disk.
+    (void)destination.Delete(file->name);
+    destination.Release(file->size);
+    FinishInflight(*level, file->size);
+    quarantined_.fetch_add(1, std::memory_order_relaxed);
+    obs::EventTracer& tracer = obs::EventTracer::Global();
+    if (tracer.enabled()) {
+      tracer.RecordInstant("placement.quarantine", "resilience",
+                           "\"file\":" + obs::JsonQuote(file->name) +
+                               ",\"tier\":" +
+                               obs::JsonQuote(destination.name()) +
+                               ",\"phase\":\"stage\"");
     }
+    RecordStagingFailure(file);
+    return;
   }
 
   // Record the checksum before publishing the level so any reader that
@@ -158,6 +388,10 @@ void PlacementHandler::PlaceFile(
   file->FinishFetch(*level);
   completed_.fetch_add(1, std::memory_order_relaxed);
   bytes_staged_.fetch_add(file->size, std::memory_order_relaxed);
+  if (lane == StagingLane::kPrefetch) {
+    prefetch_completed_.fetch_add(1, std::memory_order_relaxed);
+  }
+  FinishInflight(*level, file->size);
 }
 
 bool PlacementHandler::QuarantineCopy(const FileInfoPtr& file) {
@@ -245,7 +479,13 @@ std::optional<int> PlacementHandler::EvictAndReserve(std::uint64_t needed) {
   return std::nullopt;
 }
 
-void PlacementHandler::Drain() { pool_.Drain(); }
+void PlacementHandler::Drain() {
+  std::unique_lock lock(mu_);
+  drain_cv_.wait(lock, [this] {
+    return demand_q_.empty() && prefetch_q_.empty() && deferred_.empty() &&
+           active_ == 0;
+  });
+}
 
 PlacementStats PlacementHandler::Stats() const {
   PlacementStats s;
@@ -258,6 +498,21 @@ PlacementStats PlacementHandler::Stats() const {
   s.retries = retries_.load(std::memory_order_relaxed);
   s.quarantined = quarantined_.load(std::memory_order_relaxed);
   s.abandoned = abandoned_.load(std::memory_order_relaxed);
+  s.prefetch_scheduled = prefetch_scheduled_.load(std::memory_order_relaxed);
+  s.prefetch_completed = prefetch_completed_.load(std::memory_order_relaxed);
+  s.prefetch_promoted = prefetch_promoted_.load(std::memory_order_relaxed);
+  s.prefetch_cancelled = prefetch_cancelled_.load(std::memory_order_relaxed);
+  s.chunks_copied = chunks_copied_.load(std::memory_order_relaxed);
+  s.donated_bytes = donated_bytes_.load(std::memory_order_relaxed);
+  {
+    std::lock_guard lock(mu_);
+    s.queue_depth_demand = demand_q_.size();
+    s.queue_depth_prefetch = prefetch_q_.size() + deferred_.size();
+    s.inflight_bytes_per_level = inflight_bytes_;
+    for (const std::uint64_t bytes : inflight_bytes_) s.inflight_bytes += bytes;
+  }
+  s.buffer_pool_used_bytes = pool_.in_use_bytes();
+  s.buffer_pool_capacity_bytes = pool_.capacity_bytes();
   return s;
 }
 

@@ -1,38 +1,52 @@
-// PlacementHandler: MONARCH's background data-placement engine (§III-A/B).
+// PlacementHandler: MONARCH's background staging engine (§III-A/B),
+// rebuilt as a pipelined, two-lane copy service.
 //
 // When the read path sees a file that only exists on the PFS, it claims
-// the file (FileInfo CAS) and hands it to this module. A dedicated thread
-// pool — the paper configures 6 threads — then:
-//   1. asks the placement policy for a writable level with room
+// the file (FileInfo CAS) and hands it to this module. Dedicated worker
+// threads — the paper configures 6 — then:
+//   1. ask the placement policy for a writable level with room
 //      (first-fit top-down in the paper's configuration),
-//   2. obtains the *full* file content: either the bytes the read path
-//      already pulled (when the framework requested the whole file) or a
-//      fresh full read from the PFS (the partial-read optimisation that
-//      gives MONARCH its first-epoch edge, §III-B),
-//   3. writes the copy to the chosen tier — recording its CRC32C and,
-//      when verify_staged_writes is on, reading it back to prove the
-//      bytes landed intact — and flips the file's level so subsequent
-//      reads are served from it.
+//   2. stream the file tier-to-tier in fixed-size chunks drawn from a
+//      bounded, reusable buffer pool (peak staging memory is
+//      `staging_buffer_bytes`, never a function of file sizes), reusing
+//      any leading bytes the triggering read already pulled instead of
+//      re-reading them from the PFS,
+//   3. publish the copy — recording its incrementally computed CRC32C
+//      and, when verify_staged_writes is on, reading it back chunk by
+//      chunk to prove the bytes landed intact — and flip the file's
+//      level so subsequent reads are served from it.
+//
+// Two lanes: DEMAND tasks come from actual reads and always run first;
+// PREFETCH tasks come from look-ahead hints (Monarch::HintUpcoming) and
+// only run when no demand work is queued. A per-tier in-flight byte cap
+// additionally parks prefetch copies while a tier's staging bandwidth is
+// saturated, so speculative work cannot starve demand staging. A demand
+// read that overtakes a queued prefetch promotes it to the demand lane;
+// prefetch never evicts and a prefetch rejection is never permanent.
 //
 // Failure handling (ISSUE 2): backend I/O is retried inside the storage
 // drivers; a staging attempt that still fails is re-tried on a later
 // access until the per-file cap (max_placement_attempts) marks the file
-// unplaceable, so a broken file degrades to PFS-resident instead of
-// hammering the pool every epoch. A staged copy whose checksum does not
-// match is QUARANTINED: deleted, its quota released, and the file reset
-// to PFS-resident — corruption degrades to vanilla-PFS performance,
-// never wrong bytes.
+// unplaceable. A staged copy whose checksum does not match is
+// QUARANTINED: deleted, its quota released, and the file reset to
+// PFS-resident — corruption degrades to vanilla-PFS performance, never
+// wrong bytes.
 //
 // No evictions happen under the paper's policy: with random per-epoch
 // access every file is equally likely to be read, so replacement would
 // only add tier-to-tier traffic ("I/O trashing"). An optional eviction
-// mode exists purely for the ablation bench that quantifies that claim.
+// mode exists purely for the ablation bench that quantifies that claim
+// — and even there, only the demand lane may evict.
 #pragma once
 
 #include <atomic>
+#include <condition_variable>
 #include <cstdint>
+#include <deque>
 #include <memory>
+#include <mutex>
 #include <optional>
+#include <thread>
 #include <vector>
 
 #include "core/file_info.h"
@@ -40,9 +54,13 @@
 #include "core/placement_policy.h"
 #include "core/resilience.h"
 #include "core/storage_hierarchy.h"
-#include "util/thread_pool.h"
+#include "util/buffer_pool.h"
 
 namespace monarch::core {
+
+/// Which queue a staging task belongs to. Demand tasks (read-triggered)
+/// always pop before prefetch tasks (hint-triggered).
+enum class StagingLane { kDemand, kPrefetch };
 
 struct PlacementOptions {
   /// Background copy threads (paper: 6).
@@ -56,12 +74,32 @@ struct PlacementOptions {
 
   /// Ablation only: evict least-recently-accessed placed files to make
   /// room when the policy finds no space. The paper's design keeps this
-  /// off.
+  /// off; the prefetch lane never evicts even when it is on.
   bool enable_eviction = false;
+
+  /// Total budget for the chunk buffer pool — the hard cap on staging
+  /// memory (`[placement] staging_buffer_bytes`).
+  std::uint64_t staging_buffer_bytes = 64ULL * 1024 * 1024;
+
+  /// Copy granularity: each pooled buffer holds one chunk of this size
+  /// (`[placement] staging_chunk_bytes`).
+  std::uint64_t staging_chunk_bytes = 4ULL * 1024 * 1024;
+
+  /// Per-tier cap on bytes being staged concurrently by the PREFETCH
+  /// lane; 0 = uncapped. While a tier carries this much in-flight
+  /// staging, further prefetch copies park until a copy completes —
+  /// demand staging is exempt (`[placement] tier_inflight_cap_bytes`).
+  std::uint64_t tier_inflight_cap_bytes = 0;
+
+  /// How many hinted files the prefetch cursor keeps in flight ahead of
+  /// the newest demand read; 0 disables look-ahead prefetching
+  /// (`[placement] prefetch_lookahead`). Consumed by Monarch, carried
+  /// here so one options struct configures the whole staging engine.
+  int prefetch_lookahead = 0;
 };
 
 struct PlacementStats {
-  std::uint64_t scheduled = 0;     ///< placement tasks enqueued
+  std::uint64_t scheduled = 0;     ///< placement tasks enqueued (both lanes)
   std::uint64_t completed = 0;     ///< files now served from upper tiers
   std::uint64_t rejected_no_space = 0;
   std::uint64_t failed = 0;        ///< backend errors during staging
@@ -70,6 +108,22 @@ struct PlacementStats {
   std::uint64_t retries = 0;       ///< failed stagings left retryable
   std::uint64_t quarantined = 0;   ///< copies deleted on CRC mismatch
   std::uint64_t abandoned = 0;     ///< files past max_placement_attempts
+
+  // Pipelined-staging telemetry (docs/OBSERVABILITY.md §1).
+  std::uint64_t prefetch_scheduled = 0;  ///< hint-lane tasks enqueued
+  std::uint64_t prefetch_completed = 0;  ///< hint-lane copies published
+  std::uint64_t prefetch_promoted = 0;   ///< hints overtaken by demand reads
+  std::uint64_t prefetch_cancelled = 0;  ///< hints dropped before staging
+  std::uint64_t chunks_copied = 0;       ///< chunk writes across all copies
+  std::uint64_t donated_bytes = 0;       ///< triggering-read bytes reused
+  std::uint64_t queue_depth_demand = 0;  ///< gauge: demand tasks waiting
+  std::uint64_t queue_depth_prefetch = 0; ///< gauge: prefetch waiting+parked
+  std::uint64_t inflight_bytes = 0;      ///< gauge: bytes being copied now
+  /// Per-hierarchy-level breakdown of `inflight_bytes` (monarchctl
+  /// stage-status; the in-flight cap is enforced per tier).
+  std::vector<std::uint64_t> inflight_bytes_per_level;
+  std::uint64_t buffer_pool_used_bytes = 0;      ///< gauge
+  std::uint64_t buffer_pool_capacity_bytes = 0;  ///< gauge
 };
 
 class PlacementHandler {
@@ -82,12 +136,24 @@ class PlacementHandler {
   PlacementHandler(const PlacementHandler&) = delete;
   PlacementHandler& operator=(const PlacementHandler&) = delete;
 
-  /// Called by the read path after it claimed `file` (TryBeginFetch).
-  /// `content`: the full file bytes when the triggering read already
-  /// covered them, otherwise nullopt and the handler reads the PFS copy
-  /// itself. Never blocks the caller.
+  /// Called after `file` was claimed (TryBeginFetch). `content`: bytes
+  /// the triggering read already pulled — the full file, or a leading
+  /// prefix that the chunk pipeline extends with PFS reads (donated
+  /// bytes are never re-read). Never blocks the caller.
   void SchedulePlacement(FileInfoPtr file,
-                         std::optional<std::vector<std::byte>> content);
+                         std::optional<std::vector<std::byte>> content,
+                         StagingLane lane = StagingLane::kDemand);
+
+  /// A demand read overtook a queued (or parked) prefetch of `file`:
+  /// move the task to the demand lane so it stops waiting behind other
+  /// speculative work. Returns false when no queued prefetch matched
+  /// (the copy may already be running or done).
+  bool PromoteToDemand(const FileInfoPtr& file);
+
+  /// Drop every queued/parked prefetch task and return the files to the
+  /// retryable PFS-only state. Used at StopPlacement/shutdown; returns
+  /// the number of cancelled hints.
+  std::size_t CancelPrefetches();
 
   /// Remove `file`'s tier copy because its bytes failed verification:
   /// claim it (kPlaced -> kFetching), delete the copy, release the
@@ -112,24 +178,52 @@ class PlacementHandler {
   [[nodiscard]] const ResilienceOptions& resilience() const noexcept {
     return resilience_;
   }
+  [[nodiscard]] const BufferPool& buffer_pool() const noexcept {
+    return pool_;
+  }
 
  private:
-  void PlaceFile(const FileInfoPtr& file,
-                 std::optional<std::vector<std::byte>> content);
+  struct StagingTask {
+    FileInfoPtr file;
+    std::optional<std::vector<std::byte>> content;
+    StagingLane lane = StagingLane::kDemand;
+  };
+
+  void WorkerLoop();
+  /// Stage one file. Returns normally whether the copy succeeded,
+  /// failed, or was parked on the in-flight cap.
+  void PlaceFile(StagingTask task);
+  /// Chunk loop: write the donated `prefix` (if any), then stream the
+  /// rest of the file from the PFS through one pooled buffer.
+  /// `crc` accumulates over every byte in file order.
+  Status StreamCopy(const FileInfoPtr& file,
+                    const std::optional<std::vector<std::byte>>& prefix,
+                    StorageDriver& destination, std::uint32_t& crc);
+  /// Chunked read-back verification against `crc` (bounded memory).
+  bool VerifyStagedCopy(const FileInfoPtr& file, StorageDriver& destination,
+                        std::uint32_t crc);
   /// Count one failed staging attempt and either leave the file
   /// retryable (a later access re-claims it) or mark it unplaceable once
   /// the per-file cap is hit.
   void RecordStagingFailure(const FileInfoPtr& file);
-  /// Eviction ablation: free >= `needed` bytes on some writable level and
-  /// retry the policy. Returns the reserved level or nullopt.
+  /// Eviction ablation (demand lane only): free >= `needed` bytes on
+  /// some writable level and retry the policy. Returns the reserved
+  /// level or nullopt.
   std::optional<int> EvictAndReserve(std::uint64_t needed);
+
+  /// Take the in-flight accounting for `task`'s copy to `level`. For the
+  /// prefetch lane, parks the task (moving from it) and returns false
+  /// when the tier is already past the cap (progress guaranteed: parking
+  /// requires another copy in flight on that tier).
+  bool AdmitInflight(int level, StagingTask& task);
+  void FinishInflight(int level, std::uint64_t size);
 
   StorageHierarchy& hierarchy_;
   MetadataContainer& metadata_;
   PlacementPolicyPtr policy_;
   PlacementOptions options_;
   ResilienceOptions resilience_;
-  ThreadPool pool_;
+  BufferPool pool_;
 
   std::atomic<bool> stopped_{false};
   std::atomic<std::uint64_t> scheduled_{0};
@@ -141,6 +235,26 @@ class PlacementHandler {
   std::atomic<std::uint64_t> retries_{0};
   std::atomic<std::uint64_t> quarantined_{0};
   std::atomic<std::uint64_t> abandoned_{0};
+  std::atomic<std::uint64_t> prefetch_scheduled_{0};
+  std::atomic<std::uint64_t> prefetch_completed_{0};
+  std::atomic<std::uint64_t> prefetch_promoted_{0};
+  std::atomic<std::uint64_t> prefetch_cancelled_{0};
+  std::atomic<std::uint64_t> chunks_copied_{0};
+  std::atomic<std::uint64_t> donated_bytes_{0};
+
+  // Two-lane work queue. `deferred_` holds prefetch tasks parked by the
+  // per-tier in-flight cap; any copy completion splices them back into
+  // the prefetch queue (under mu_, so no wakeup is lost).
+  mutable std::mutex mu_;
+  std::condition_variable cv_;        ///< workers wait here
+  std::condition_variable drain_cv_;  ///< Drain() waits here
+  std::deque<StagingTask> demand_q_;
+  std::deque<StagingTask> prefetch_q_;
+  std::vector<StagingTask> deferred_;
+  std::vector<std::uint64_t> inflight_bytes_;  ///< per level, under mu_
+  int active_ = 0;
+  bool shutdown_ = false;
+  std::vector<std::thread> workers_;
 };
 
 }  // namespace monarch::core

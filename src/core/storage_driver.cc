@@ -96,6 +96,29 @@ Status StorageDriver::Write(const std::string& path,
   }
 }
 
+Status StorageDriver::WriteAt(const std::string& path, std::uint64_t offset,
+                              std::span<const std::byte> data) {
+  if (read_only_) {
+    return FailedPreconditionError("write to read-only tier '" + name_ + "'");
+  }
+  // Retrying a chunk is safe: WriteAt is an idempotent overwrite of the
+  // same byte range.
+  Backoff backoff(retry_, std::hash<std::string>{}(name_ + path) ^ offset);
+  for (;;) {
+    const Status written = engine_->WriteAt(path, offset, data);
+    if (written.ok()) {
+      health_.RecordSuccess();
+      return written;
+    }
+    if (!IsRetryableError(written)) return written;
+    health_.RecordFailure();
+    const auto delay = backoff.NextDelay();
+    if (!delay.has_value()) return written;
+    CountRetry();
+    PreciseSleep(*delay);
+  }
+}
+
 Status StorageDriver::Delete(const std::string& path) {
   if (read_only_) {
     return FailedPreconditionError("delete on read-only tier '" + name_ +

@@ -51,6 +51,12 @@ class StorageDriver {
   /// driver checks read_only but trusts the accounting.
   Status Write(const std::string& path, std::span<const std::byte> data);
 
+  /// Chunked-staging variant of Write: land `data` at byte `offset` of
+  /// `path` (same retry/health envelope). The caller must hold a Reserve
+  /// covering the file's full size before the first chunk.
+  Status WriteAt(const std::string& path, std::uint64_t offset,
+                 std::span<const std::byte> data);
+
   Status Delete(const std::string& path);
 
   [[nodiscard]] const std::string& name() const noexcept { return name_; }

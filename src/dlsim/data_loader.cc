@@ -21,6 +21,11 @@ EpochLoader::EpochLoader(const std::vector<std::string>& files, int epoch,
                  static_cast<std::uint64_t>(epoch));
   std::shuffle(shuffled_files_.begin(), shuffled_files_.end(), rng);
 
+  // Publish the order before any reader starts — a prefetching opener
+  // (MONARCH look-ahead) wants the hints installed ahead of the first
+  // demand read.
+  opener_.OnEpochOrder(shuffled_files_);
+
   const int readers = std::max(1, config_.reader_threads);
   active_readers_.store(readers);
   readers_.reserve(static_cast<std::size_t>(readers));

@@ -33,6 +33,12 @@ class MonarchOpener final : public RecordFileOpener {
     if (stop_after_first_epoch_ && epoch > 1) monarch_.StopPlacement();
   }
 
+  void OnEpochOrder(const std::vector<std::string>& order) override {
+    // The shuffled order is exactly the upcoming read sequence — feed it
+    // to the look-ahead cursor (a no-op unless prefetch_lookahead > 0).
+    monarch_.HintUpcoming(order);
+  }
+
   [[nodiscard]] std::string Name() const override { return "monarch"; }
 
  private:

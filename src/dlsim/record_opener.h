@@ -9,6 +9,7 @@
 
 #include <memory>
 #include <string>
+#include <vector>
 
 #include "storage/storage_engine.h"
 #include "tfrecord/random_access_source.h"
@@ -27,6 +28,11 @@ class RecordFileOpener {
   /// Epoch boundary notification (1-based epoch about to start). Openers
   /// with epoch-dependent behaviour (cache stage) hook this.
   virtual void OnEpochStart(int /*epoch*/) {}
+
+  /// The loader publishes the epoch's shuffled file order before its
+  /// readers start. Openers backed by a prefetching store (MONARCH's
+  /// look-ahead cursor) hook this; the default ignores it.
+  virtual void OnEpochOrder(const std::vector<std::string>& /*order*/) {}
 
   [[nodiscard]] virtual std::string Name() const = 0;
 };

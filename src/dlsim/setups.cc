@@ -133,6 +133,15 @@ Result<Setup> MakeMonarchSetup(const fs::path& pfs_root,
   monarch_config.pfs = core::TierSpec{"lustre", setup.pfs_engine, 0};
   monarch_config.dataset_dir = config.dataset.directory;
   monarch_config.placement.num_threads = config.placement_threads;
+  monarch_config.placement.prefetch_lookahead = config.prefetch_lookahead;
+  monarch_config.placement.tier_inflight_cap_bytes =
+      config.tier_inflight_cap_bytes;
+  if (config.staging_buffer_bytes != 0) {
+    monarch_config.placement.staging_buffer_bytes = config.staging_buffer_bytes;
+  }
+  if (config.staging_chunk_bytes != 0) {
+    monarch_config.placement.staging_chunk_bytes = config.staging_chunk_bytes;
+  }
   MONARCH_ASSIGN_OR_RETURN(setup.monarch,
                            core::Monarch::Create(std::move(monarch_config)));
 

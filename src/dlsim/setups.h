@@ -30,6 +30,15 @@ struct ExperimentConfig {
   std::uint64_t local_quota_bytes = 115ULL * 1024 * 1024;
   /// MONARCH placement-pool width (paper configuration: 6).
   int placement_threads = 6;
+  /// MONARCH look-ahead: hinted files kept staging ahead of the read
+  /// position (0 = demand-only, the paper's baseline behaviour).
+  int prefetch_lookahead = 0;
+  /// MONARCH staging pipeline: chunk-buffer-pool budget and granularity
+  /// (0 = keep the PlacementOptions defaults).
+  std::uint64_t staging_buffer_bytes = 0;
+  std::uint64_t staging_chunk_bytes = 0;
+  /// MONARCH per-tier prefetch in-flight byte cap (0 = uncapped).
+  std::uint64_t tier_inflight_cap_bytes = 0;
   /// Seed for PFS contention + shuffling; vary per run for error bars.
   std::uint64_t run_seed = 1;
   /// Disable the PFS contention process (fast deterministic tests).

@@ -97,6 +97,14 @@ class FaultyEngine final : public StorageEngine {
     return inner_->Write(path, data);
   }
 
+  Status WriteAt(const std::string& path, std::uint64_t offset,
+                 std::span<const std::byte> data) override {
+    if (ShouldFail(forced_write_failures_, spec_.write_failure_rate)) {
+      return UnavailableError("injected write fault on '" + path + "'");
+    }
+    return inner_->WriteAt(path, offset, data);
+  }
+
   Status Delete(const std::string& path) override {
     return inner_->Delete(path);
   }

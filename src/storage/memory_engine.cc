@@ -45,6 +45,19 @@ Status MemoryEngine::Write(const std::string& path,
   return Status::Ok();
 }
 
+Status MemoryEngine::WriteAt(const std::string& path, std::uint64_t offset,
+                             std::span<const std::byte> data) {
+  const obs::TraceSpan span("storage.write", "storage");
+  std::unique_lock lock(mu_);
+  auto& file = files_[path];
+  if (file.size() < offset + data.size()) file.resize(offset + data.size());
+  if (!data.empty()) {
+    std::memcpy(file.data() + offset, data.data(), data.size());
+  }
+  stats_.RecordWrite(data.size());
+  return Status::Ok();
+}
+
 Status MemoryEngine::Delete(const std::string& path) {
   std::unique_lock lock(mu_);
   stats_.RecordMetadataOp();

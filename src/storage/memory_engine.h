@@ -19,6 +19,8 @@ class MemoryEngine final : public StorageEngine {
                            std::span<std::byte> dst) override;
   Status Write(const std::string& path,
                std::span<const std::byte> data) override;
+  Status WriteAt(const std::string& path, std::uint64_t offset,
+                 std::span<const std::byte> data) override;
   Status Delete(const std::string& path) override;
   Result<std::uint64_t> FileSize(const std::string& path) override;
   Result<bool> Exists(const std::string& path) override;

@@ -106,6 +106,33 @@ Status PosixEngine::Write(const std::string& path,
   return Status::Ok();
 }
 
+Status PosixEngine::WriteAt(const std::string& path, std::uint64_t offset,
+                            std::span<const std::byte> data) {
+  const obs::TraceSpan span("storage.write", "storage");
+  const fs::path full = Resolve(path);
+  std::error_code ec;
+  fs::create_directories(full.parent_path(), ec);
+
+  // O_CREAT without O_TRUNC: earlier chunks of the same staged copy must
+  // survive this write.
+  UniqueFd fd(::open(full.c_str(), O_WRONLY | O_CREAT, 0644));
+  if (fd.get() < 0) return ErrnoStatus("open", path, errno);
+
+  std::size_t total = 0;
+  while (total < data.size()) {
+    const ssize_t n =
+        ::pwrite(fd.get(), data.data() + total, data.size() - total,
+                 static_cast<off_t>(offset + total));
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return ErrnoStatus("pwrite", path, errno);
+    }
+    total += static_cast<std::size_t>(n);
+  }
+  stats_.RecordWrite(data.size());
+  return Status::Ok();
+}
+
 Status PosixEngine::Delete(const std::string& path) {
   std::error_code ec;
   if (!fs::remove(Resolve(path), ec)) {

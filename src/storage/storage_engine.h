@@ -8,6 +8,7 @@
 // RAM (the §VI "more storage layers" tier).
 #pragma once
 
+#include <algorithm>
 #include <cstddef>
 #include <cstdint>
 #include <memory>
@@ -36,10 +37,33 @@ class StorageEngine {
                                    std::uint64_t offset,
                                    std::span<std::byte> dst) = 0;
 
-  /// Create/overwrite `path` with `data` (single atomic-ish put; tiers
-  /// copy whole files, so no partial-write API is needed).
+  /// Create/overwrite `path` with `data` (single atomic-ish put).
   virtual Status Write(const std::string& path,
                        std::span<const std::byte> data) = 0;
+
+  /// Write `data` into `path` at byte `offset`, creating the file (and
+  /// zero-filling any gap) as needed. The staging pipeline streams a file
+  /// as a sequence of chunk-sized WriteAt calls so peak memory stays
+  /// bounded by the buffer pool, not the file size. The generic fallback
+  /// below is read-splice-write; engines with a cheap native partial
+  /// write override it.
+  virtual Status WriteAt(const std::string& path, std::uint64_t offset,
+                         std::span<const std::byte> data) {
+    std::vector<std::byte> whole;
+    auto size = FileSize(path);
+    if (size.ok()) {
+      whole.resize(size.value());
+      auto read = Read(path, 0, whole);
+      if (!read.ok()) return read.status();
+      whole.resize(read.value());
+    }
+    if (whole.size() < offset + data.size()) {
+      whole.resize(offset + data.size());
+    }
+    std::copy(data.begin(), data.end(),
+              whole.begin() + static_cast<std::ptrdiff_t>(offset));
+    return Write(path, whole);
+  }
 
   /// Remove `path`. NotFound if absent.
   virtual Status Delete(const std::string& path) = 0;

@@ -43,6 +43,14 @@ class ThrottledEngine final : public StorageEngine {
     return Status::Ok();
   }
 
+  Status WriteAt(const std::string& path, std::uint64_t offset,
+                 std::span<const std::byte> data) override {
+    MONARCH_RETURN_IF_ERROR(inner_->WriteAt(path, offset, data));
+    device_->ChargeWrite(data.size());
+    stats_.RecordWrite(data.size());
+    return Status::Ok();
+  }
+
   Status Delete(const std::string& path) override {
     device_->ChargeMetadata();
     stats_.RecordMetadataOp();

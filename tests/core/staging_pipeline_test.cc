@@ -1,0 +1,651 @@
+// Pipelined staging engine tests: the two-lane queue (demand priority,
+// promotion, per-tier in-flight caps), the chunked copy path (CRC
+// equivalence with the full-buffer fast path, bounded peak memory,
+// donated prefixes) and the look-ahead prefetch cursor driven through
+// Monarch::HintUpcoming. Suite names (StagingPipeline*, BufferPool*)
+// are part of scripts/check.sh's TSan filter.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <condition_variable>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "../test_support.h"
+#include "core/monarch.h"
+#include "core/placement_handler.h"
+#include "storage/memory_engine.h"
+#include "util/buffer_pool.h"
+#include "util/crc32c.h"
+
+namespace monarch::core {
+namespace {
+
+using monarch::testing::Bytes;
+using monarch::testing::Text;
+
+/// Spin-wait for an asynchronous condition (worker-thread state changes).
+bool WaitFor(const std::function<bool()>& pred, int timeout_ms = 5000) {
+  for (int i = 0; i < timeout_ms; ++i) {
+    if (pred()) return true;
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+  return pred();
+}
+
+/// Memory engine wrapper that records the order files are first written
+/// in and can block the copy of one chosen file until released — the
+/// lever the lane-ordering tests use to hold a worker mid-copy while the
+/// queues fill up behind it.
+class GateEngine : public storage::StorageEngine {
+ public:
+  explicit GateEngine(std::string block_path)
+      : inner_(std::make_shared<storage::MemoryEngine>("gated")),
+        block_path_(std::move(block_path)) {}
+
+  ~GateEngine() override { ReleaseBlocked(); }
+
+  /// Blocks until the gated file's copy has started (and parked itself).
+  void AwaitBlocked() {
+    std::unique_lock lock(mu_);
+    started_cv_.wait(lock, [this] { return blocked_; });
+  }
+
+  void ReleaseBlocked() {
+    {
+      std::lock_guard lock(mu_);
+      released_ = true;
+    }
+    release_cv_.notify_all();
+  }
+
+  [[nodiscard]] std::vector<std::string> write_order() const {
+    std::lock_guard lock(mu_);
+    return order_;
+  }
+
+  Result<std::size_t> Read(const std::string& path, std::uint64_t offset,
+                           std::span<std::byte> dst) override {
+    return inner_->Read(path, offset, dst);
+  }
+  Status Write(const std::string& path,
+               std::span<const std::byte> data) override {
+    RecordAndMaybeBlock(path);
+    return inner_->Write(path, data);
+  }
+  Status WriteAt(const std::string& path, std::uint64_t offset,
+                 std::span<const std::byte> data) override {
+    if (offset == 0) RecordAndMaybeBlock(path);
+    return inner_->WriteAt(path, offset, data);
+  }
+  Status Delete(const std::string& path) override {
+    return inner_->Delete(path);
+  }
+  Result<std::uint64_t> FileSize(const std::string& path) override {
+    return inner_->FileSize(path);
+  }
+  Result<bool> Exists(const std::string& path) override {
+    return inner_->Exists(path);
+  }
+  Result<std::vector<storage::FileStat>> ListFiles(
+      const std::string& dir) override {
+    return inner_->ListFiles(dir);
+  }
+  storage::IoStats& Stats() override { return inner_->Stats(); }
+  [[nodiscard]] std::string Name() const override { return "gate"; }
+
+ private:
+  void RecordAndMaybeBlock(const std::string& path) {
+    std::unique_lock lock(mu_);
+    order_.push_back(path);
+    if (path == block_path_ && !released_) {
+      blocked_ = true;
+      started_cv_.notify_all();
+      release_cv_.wait(lock, [this] { return released_; });
+    }
+  }
+
+  std::shared_ptr<storage::MemoryEngine> inner_;
+  const std::string block_path_;
+  mutable std::mutex mu_;
+  std::condition_variable started_cv_;
+  std::condition_variable release_cv_;
+  std::vector<std::string> order_;
+  bool blocked_ = false;
+  bool released_ = false;
+};
+
+// ---------------------------------------------------------------------------
+// BufferPool
+
+TEST(BufferPoolTest, ReusesBuffersAndTracksPeak) {
+  BufferPool pool(/*capacity_bytes=*/32, /*chunk_bytes=*/8);
+  EXPECT_EQ(8u, pool.chunk_bytes());
+  EXPECT_EQ(32u, pool.capacity_bytes());
+  EXPECT_EQ(0u, pool.in_use_bytes());
+  {
+    auto a = pool.Acquire();
+    auto b = pool.Acquire();
+    EXPECT_EQ(8u, a.bytes().size());
+    EXPECT_EQ(16u, pool.in_use_bytes());
+    EXPECT_EQ(16u, pool.peak_in_use_bytes());
+  }
+  EXPECT_EQ(0u, pool.in_use_bytes());
+  // The high-water mark survives the release; a fresh lease reuses a
+  // pooled buffer without raising it.
+  auto c = pool.Acquire();
+  EXPECT_EQ(8u, pool.in_use_bytes());
+  EXPECT_EQ(16u, pool.peak_in_use_bytes());
+}
+
+TEST(BufferPoolTest, AcquireBlocksWhenBudgetExhausted) {
+  BufferPool pool(/*capacity_bytes=*/8, /*chunk_bytes=*/8);  // one buffer
+  auto held = std::make_unique<BufferPool::Lease>(pool.Acquire());
+
+  std::atomic<bool> acquired{false};
+  std::thread waiter([&] {
+    auto lease = pool.Acquire();
+    acquired.store(true);
+  });
+  std::this_thread::sleep_for(std::chrono::milliseconds(50));
+  EXPECT_FALSE(acquired.load())
+      << "second Acquire must block while the whole budget is leased";
+
+  held.reset();  // return the buffer; the waiter proceeds
+  waiter.join();
+  EXPECT_TRUE(acquired.load());
+  EXPECT_EQ(8u, pool.peak_in_use_bytes()) << "budget was never exceeded";
+}
+
+// ---------------------------------------------------------------------------
+// PlacementHandler two-lane pipeline
+
+class StagingPipelineTest : public ::testing::Test {
+ protected:
+  void Build(std::vector<std::uint64_t> quotas, PlacementOptions options = {},
+             int num_threads = 2,
+             std::shared_ptr<GateEngine> tier0_engine = nullptr) {
+    pfs_engine_ = std::make_shared<storage::MemoryEngine>("pfs");
+    std::vector<StorageDriverPtr> drivers;
+    cache_engines_.clear();
+    for (std::size_t i = 0; i < quotas.size(); ++i) {
+      storage::StorageEnginePtr engine;
+      if (i == 0 && tier0_engine) {
+        engine = tier0_engine;
+      } else {
+        engine =
+            std::make_shared<storage::MemoryEngine>("tier" + std::to_string(i));
+      }
+      cache_engines_.push_back(engine);
+      drivers.push_back(std::make_unique<StorageDriver>(
+          "tier" + std::to_string(i), engine, quotas[i], false));
+    }
+    drivers.push_back(
+        std::make_unique<StorageDriver>("pfs", pfs_engine_, 0, true));
+    hierarchy_ = std::move(StorageHierarchy::Create(std::move(drivers))).value();
+    options.num_threads = num_threads;
+    handler_ = std::make_unique<PlacementHandler>(
+        *hierarchy_, metadata_, MakeFirstFitPolicy(), options);
+  }
+
+  FileInfoPtr AddPfsFile(const std::string& name, const std::string& data) {
+    EXPECT_TRUE(pfs_engine_->Write(name, Bytes(data)).ok());
+    metadata_.Register(name, data.size(), hierarchy_->pfs_level());
+    return metadata_.Lookup(name);
+  }
+
+  /// Claim + schedule in one step (what the read path / hint cursor do).
+  void Stage(const FileInfoPtr& file,
+             std::optional<std::vector<std::byte>> content,
+             StagingLane lane = StagingLane::kDemand) {
+    ASSERT_TRUE(file->TryBeginFetch()) << file->name;
+    handler_->SchedulePlacement(file, std::move(content), lane);
+  }
+
+  storage::StorageEnginePtr pfs_engine_;
+  std::vector<storage::StorageEnginePtr> cache_engines_;
+  std::unique_ptr<StorageHierarchy> hierarchy_;
+  MetadataContainer metadata_;
+  std::unique_ptr<PlacementHandler> handler_;
+};
+
+TEST_F(StagingPipelineTest, ChunkedCopyMatchesFullBufferCrc) {
+  PlacementOptions options;
+  options.staging_chunk_bytes = 7;    // odd size => uneven final chunk
+  options.staging_buffer_bytes = 14;  // two buffers
+  Build({1000}, options);
+
+  std::string payload;
+  for (int i = 0; i < 100; ++i) payload.push_back(static_cast<char>('a' + i % 26));
+
+  auto full = AddPfsFile("full", payload);
+  auto chunked = AddPfsFile("chunked", payload);
+  Stage(full, Bytes(payload));    // fast path: one Write of bytes in memory
+  Stage(chunked, std::nullopt);   // chunk pipeline: streamed PFS reads
+  handler_->Drain();
+
+  ASSERT_EQ(PlacementState::kPlaced, full->state.load());
+  ASSERT_EQ(PlacementState::kPlaced, chunked->state.load());
+
+  // Incremental CRC over chunk boundaries == one-shot CRC of the file.
+  EXPECT_EQ(Crc32c(Bytes(payload)), full->staged_crc.load());
+  EXPECT_EQ(full->staged_crc.load(), chunked->staged_crc.load());
+
+  std::vector<std::byte> staged(payload.size());
+  ASSERT_OK(cache_engines_[0]->Read("chunked", 0, staged));
+  EXPECT_EQ(payload, Text(staged));
+
+  const auto stats = handler_->Stats();
+  EXPECT_GE(stats.chunks_copied, 15u) << "100 bytes / 7-byte chunks";
+}
+
+TEST_F(StagingPipelineTest, PeakStagingMemoryBoundedByPool) {
+  PlacementOptions options;
+  options.staging_buffer_bytes = 4096;  // pool: 4 x 1 KiB chunks
+  options.staging_chunk_bytes = 1024;
+  Build({1 << 20}, options, /*num_threads=*/4);
+
+  // Every file is 16x larger than a chunk and 4x larger than the whole
+  // pool; a naive full-file copy would peak at 8 x 16 KiB.
+  const std::string payload(16 * 1024, 'x');
+  std::vector<FileInfoPtr> files;
+  for (int i = 0; i < 8; ++i) {
+    auto file = AddPfsFile("big" + std::to_string(i), payload);
+    Stage(file, std::nullopt);
+    files.push_back(std::move(file));
+  }
+  handler_->Drain();
+
+  for (const auto& file : files) {
+    EXPECT_EQ(PlacementState::kPlaced, file->state.load()) << file->name;
+  }
+  EXPECT_EQ(4096u, handler_->buffer_pool().capacity_bytes());
+  EXPECT_LE(handler_->buffer_pool().peak_in_use_bytes(),
+            handler_->buffer_pool().capacity_bytes())
+      << "staging memory must stay within staging_buffer_bytes";
+  EXPECT_EQ(8u * 16 * 1024, handler_->Stats().bytes_staged);
+}
+
+TEST_F(StagingPipelineTest, DemandNeverQueuedBehindPrefetch) {
+  auto gate = std::make_shared<GateEngine>("blocker");
+  Build({1000}, {}, /*num_threads=*/1, gate);
+
+  // Park the single worker inside a prefetch copy, then queue more
+  // prefetches and finally one demand task.
+  auto blocker = AddPfsFile("blocker", "bbbbbbbbbb");
+  Stage(blocker, Bytes("bbbbbbbbbb"), StagingLane::kPrefetch);
+  gate->AwaitBlocked();
+
+  std::vector<FileInfoPtr> prefetches;
+  for (int i = 0; i < 4; ++i) {
+    auto file = AddPfsFile("p" + std::to_string(i), "pppppppppp");
+    Stage(file, Bytes("pppppppppp"), StagingLane::kPrefetch);
+    prefetches.push_back(std::move(file));
+  }
+  auto demand = AddPfsFile("demand", "dddddddddd");
+  Stage(demand, Bytes("dddddddddd"), StagingLane::kDemand);
+
+  {
+    const auto stats = handler_->Stats();
+    EXPECT_EQ(1u, stats.queue_depth_demand);
+    EXPECT_EQ(4u, stats.queue_depth_prefetch);
+  }
+
+  gate->ReleaseBlocked();
+  handler_->Drain();
+
+  const auto order = gate->write_order();
+  ASSERT_EQ(6u, order.size());
+  EXPECT_EQ("blocker", order[0]);
+  EXPECT_EQ("demand", order[1])
+      << "the demand task must pop before every queued prefetch";
+  EXPECT_EQ(PlacementState::kPlaced, demand->state.load());
+  for (const auto& file : prefetches) {
+    EXPECT_EQ(PlacementState::kPlaced, file->state.load()) << file->name;
+  }
+  EXPECT_EQ(5u, handler_->Stats().prefetch_scheduled);
+  EXPECT_EQ(5u, handler_->Stats().prefetch_completed);
+}
+
+TEST_F(StagingPipelineTest, InflightCapParksPrefetchButNotDemand) {
+  auto gate = std::make_shared<GateEngine>("blocker");
+  PlacementOptions options;
+  options.tier_inflight_cap_bytes = 10;
+  Build({1000}, options, /*num_threads=*/2, gate);
+
+  // Fill the tier's in-flight budget with a gated demand copy.
+  auto blocker = AddPfsFile("blocker", "bbbbbbbbbb");  // 10 bytes == cap
+  Stage(blocker, Bytes("bbbbbbbbbb"), StagingLane::kDemand);
+  gate->AwaitBlocked();
+
+  // A prefetch copy must park (tier saturated), not run.
+  auto parked = AddPfsFile("parked", "pppppppppp");
+  Stage(parked, Bytes("pppppppppp"), StagingLane::kPrefetch);
+  ASSERT_TRUE(WaitFor([&] {
+    return handler_->Stats().queue_depth_prefetch == 1;
+  })) << "prefetch past the in-flight cap must park, not copy";
+
+  // A demand copy is exempt from the cap and completes while the tier is
+  // still saturated by the blocker.
+  auto demand = AddPfsFile("demand", "dddddddddd");
+  Stage(demand, Bytes("dddddddddd"), StagingLane::kDemand);
+  ASSERT_TRUE(WaitFor([&] {
+    return demand->state.load() == PlacementState::kPlaced;
+  })) << "demand staging must not wait on the prefetch in-flight cap";
+  EXPECT_EQ(1u, handler_->Stats().queue_depth_prefetch)
+      << "the parked prefetch stays parked while the tier is saturated";
+
+  gate->ReleaseBlocked();
+  handler_->Drain();
+  EXPECT_EQ(PlacementState::kPlaced, blocker->state.load());
+  EXPECT_EQ(PlacementState::kPlaced, parked->state.load())
+      << "parked prefetches resume once the tier drains";
+  EXPECT_EQ(0u, handler_->Stats().inflight_bytes);
+}
+
+TEST_F(StagingPipelineTest, PrefetchNeverEvictsEvenInEvictionMode) {
+  PlacementOptions options;
+  options.enable_eviction = true;
+  Build({15}, options);
+
+  auto placed = AddPfsFile("placed", "0123456789");
+  placed->last_access.store(1);
+  Stage(placed, std::nullopt);
+  handler_->Drain();
+  ASSERT_EQ(PlacementState::kPlaced, placed->state.load());
+
+  // Speculative work must not push a placed file out...
+  auto hinted = AddPfsFile("hinted", "0123456789");
+  Stage(hinted, std::nullopt, StagingLane::kPrefetch);
+  handler_->Drain();
+  EXPECT_EQ(PlacementState::kPlaced, placed->state.load());
+  EXPECT_EQ(PlacementState::kPfsOnly, hinted->state.load())
+      << "a prefetch rejection is retryable, never kUnplaceable";
+  EXPECT_EQ(0u, handler_->Stats().evictions);
+  EXPECT_EQ(1u, handler_->Stats().prefetch_cancelled);
+
+  // ...but the same file staged on the demand lane may evict.
+  Stage(hinted, std::nullopt, StagingLane::kDemand);
+  handler_->Drain();
+  EXPECT_EQ(PlacementState::kPlaced, hinted->state.load());
+  EXPECT_EQ(PlacementState::kPfsOnly, placed->state.load());
+  EXPECT_EQ(1u, handler_->Stats().evictions);
+}
+
+TEST_F(StagingPipelineTest, PromoteToDemandJumpsTheQueue) {
+  auto gate = std::make_shared<GateEngine>("blocker");
+  Build({1000}, {}, /*num_threads=*/1, gate);
+
+  auto blocker = AddPfsFile("blocker", "bbbbbbbbbb");
+  Stage(blocker, Bytes("bbbbbbbbbb"), StagingLane::kDemand);
+  gate->AwaitBlocked();
+
+  auto first = AddPfsFile("first", "aaaaaaaaaa");
+  auto second = AddPfsFile("second", "cccccccccc");
+  Stage(first, Bytes("aaaaaaaaaa"), StagingLane::kPrefetch);
+  Stage(second, Bytes("cccccccccc"), StagingLane::kPrefetch);
+
+  // Demand overtakes `second`: it moves to the demand lane and runs
+  // before `first` even though it was queued after it.
+  EXPECT_TRUE(handler_->PromoteToDemand(second));
+  EXPECT_FALSE(handler_->PromoteToDemand(blocker))
+      << "a running copy has left the queues; nothing to promote";
+
+  gate->ReleaseBlocked();
+  handler_->Drain();
+
+  const auto order = gate->write_order();
+  ASSERT_EQ(3u, order.size());
+  EXPECT_EQ("second", order[1]) << "promoted task runs on the demand lane";
+  EXPECT_EQ("first", order[2]);
+  const auto stats = handler_->Stats();
+  EXPECT_EQ(1u, stats.prefetch_promoted);
+  EXPECT_EQ(1u, stats.prefetch_completed)
+      << "a promoted copy completes as demand, not prefetch";
+}
+
+TEST_F(StagingPipelineTest, CancelPrefetchesReturnsFilesRetryable) {
+  auto gate = std::make_shared<GateEngine>("blocker");
+  Build({1000}, {}, /*num_threads=*/1, gate);
+
+  auto blocker = AddPfsFile("blocker", "bbbbbbbbbb");
+  Stage(blocker, Bytes("bbbbbbbbbb"), StagingLane::kDemand);
+  gate->AwaitBlocked();
+
+  std::vector<FileInfoPtr> hinted;
+  for (int i = 0; i < 3; ++i) {
+    auto file = AddPfsFile("h" + std::to_string(i), "hhhhhhhhhh");
+    file->prefetched.store(true);
+    Stage(file, std::nullopt, StagingLane::kPrefetch);
+    hinted.push_back(std::move(file));
+  }
+
+  EXPECT_EQ(3u, handler_->CancelPrefetches());
+  for (const auto& file : hinted) {
+    EXPECT_EQ(PlacementState::kPfsOnly, file->state.load()) << file->name;
+    EXPECT_FALSE(file->prefetched.load()) << file->name;
+  }
+  EXPECT_EQ(3u, handler_->Stats().prefetch_cancelled);
+
+  gate->ReleaseBlocked();
+  handler_->Drain();
+  // Cancelled != abandoned: the files can be staged again later.
+  Stage(hinted[0], std::nullopt, StagingLane::kDemand);
+  handler_->Drain();
+  EXPECT_EQ(PlacementState::kPlaced, hinted[0]->state.load());
+}
+
+TEST_F(StagingPipelineTest, DonatedPrefixIsNotReReadFromPfs) {
+  PlacementOptions options;
+  options.staging_chunk_bytes = 4;
+  options.staging_buffer_bytes = 8;
+  Build({1000}, options);
+
+  const std::string payload = "0123456789ABCDEFGHIJ";  // 20 bytes
+  auto file = AddPfsFile("f", payload);
+  const auto before = pfs_engine_->Stats().Snapshot();
+
+  // The triggering read covered the first 10 bytes; the pipeline must
+  // fetch only the remaining 10 from the PFS.
+  Stage(file, Bytes(payload.substr(0, 10)));
+  handler_->Drain();
+
+  ASSERT_EQ(PlacementState::kPlaced, file->state.load());
+  const auto delta = pfs_engine_->Stats().Snapshot() - before;
+  EXPECT_EQ(10u, delta.bytes_read)
+      << "donated leading bytes must enter the pipeline from memory";
+  EXPECT_EQ(10u, handler_->Stats().donated_bytes);
+
+  std::vector<std::byte> staged(payload.size());
+  ASSERT_OK(cache_engines_[0]->Read("f", 0, staged));
+  EXPECT_EQ(payload, Text(staged));
+  EXPECT_EQ(Crc32c(Bytes(payload)), file->staged_crc.load())
+      << "CRC must accumulate over donated and streamed chunks alike";
+}
+
+// ---------------------------------------------------------------------------
+// Monarch look-ahead prefetching (HintUpcoming -> prefetch cursor)
+
+class StagingPipelineMonarchTest : public ::testing::Test {
+ protected:
+  Result<std::unique_ptr<Monarch>> Build(
+      std::uint64_t local_quota,
+      const std::vector<std::pair<std::string, std::string>>& files,
+      PlacementOptions placement = {}, int num_threads = 2,
+      storage::StorageEnginePtr local_engine = nullptr) {
+    pfs_ = std::make_shared<storage::MemoryEngine>("pfs");
+    local_ = local_engine ? std::move(local_engine)
+                          : std::make_shared<storage::MemoryEngine>("local");
+    for (const auto& [name, data] : files) {
+      EXPECT_TRUE(pfs_->Write("data/" + name, Bytes(data)).ok());
+    }
+    MonarchConfig config;
+    config.cache_tiers.push_back(TierSpec{"local", local_, local_quota});
+    config.pfs = TierSpec{"pfs", pfs_, 0};
+    config.dataset_dir = "data";
+    placement.num_threads = num_threads;
+    config.placement = placement;
+    return Monarch::Create(std::move(config));
+  }
+
+  std::string ReadAll(Monarch& monarch, const std::string& name,
+                      std::size_t size) {
+    std::vector<std::byte> buf(size);
+    auto read = monarch.Read(name, 0, buf);
+    EXPECT_TRUE(read.ok()) << read.status();
+    buf.resize(read.value_or(0));
+    return Text(buf);
+  }
+
+  std::shared_ptr<storage::MemoryEngine> pfs_;
+  storage::StorageEnginePtr local_;
+};
+
+TEST_F(StagingPipelineMonarchTest, HintedEpochServesEntirelyFromCache) {
+  PlacementOptions placement;
+  placement.prefetch_lookahead = 8;
+  auto monarch = Build(1 << 20,
+                       {{"f1", "one"},
+                        {"f2", "two"},
+                        {"f3", "three"},
+                        {"f4", "four"},
+                        {"f5", "five"},
+                        {"f6", "six"}},
+                       placement);
+  ASSERT_OK(monarch);
+
+  const std::vector<std::string> order{"data/f1", "data/f2", "data/f3",
+                                       "data/f4", "data/f5", "data/f6"};
+  monarch.value()->HintUpcoming(order);
+  monarch.value()->DrainPlacements();
+
+  auto stats = monarch.value()->Stats();
+  EXPECT_EQ(6u, stats.placement.prefetch_scheduled);
+  EXPECT_EQ(6u, stats.placement.prefetch_completed);
+
+  EXPECT_EQ("one", ReadAll(**monarch, "data/f1", 3));
+  EXPECT_EQ("three", ReadAll(**monarch, "data/f3", 5));
+  EXPECT_EQ("six", ReadAll(**monarch, "data/f6", 3));
+
+  stats = monarch.value()->Stats();
+  EXPECT_EQ(3u, stats.prefetch_hits)
+      << "every demand read hit a hint-staged copy";
+  EXPECT_EQ(0u, stats.pfs_reads())
+      << "a fully prefetched epoch never touches the PFS on the read path";
+}
+
+TEST_F(StagingPipelineMonarchTest, LookaheadWindowLimitsClaims) {
+  PlacementOptions placement;
+  placement.prefetch_lookahead = 2;
+  auto monarch = Build(1 << 20,
+                       {{"f1", "one"},
+                        {"f2", "two"},
+                        {"f3", "three"},
+                        {"f4", "four"}},
+                       placement);
+  ASSERT_OK(monarch);
+
+  const std::vector<std::string> order{"data/f1", "data/f2", "data/f3",
+                                       "data/f4"};
+  monarch.value()->HintUpcoming(order);
+  monarch.value()->DrainPlacements();
+  EXPECT_EQ(2u, monarch.value()->Stats().placement.prefetch_scheduled)
+      << "the cursor claims at most `lookahead` files ahead of demand";
+
+  // A demand read of f1 moves the cursor and claims f3 (window [f2, f3]).
+  ReadAll(**monarch, "data/f1", 3);
+  monarch.value()->DrainPlacements();
+  EXPECT_EQ(3u, monarch.value()->Stats().placement.prefetch_scheduled);
+
+  // Reading out of hint order still advances past the furthest read.
+  ReadAll(**monarch, "data/f3", 5);
+  monarch.value()->DrainPlacements();
+  EXPECT_EQ(4u, monarch.value()->Stats().placement.prefetch_scheduled);
+}
+
+TEST_F(StagingPipelineMonarchTest, DemandOvertakePromotesQueuedHint) {
+  auto gate = std::make_shared<GateEngine>("data/b");
+  PlacementOptions placement;
+  placement.prefetch_lookahead = 8;
+  auto monarch = Build(
+      1 << 20,
+      {{"b", "blocker-bytes"}, {"f2", "two"}, {"f3", "three"}, {"f4", "four"}},
+      placement, /*num_threads=*/1, gate);
+  ASSERT_OK(monarch);
+
+  // The hint claims all four files; the single worker blocks inside the
+  // first copy, so f2..f4 sit queued on the prefetch lane.
+  const std::vector<std::string> order{"data/b", "data/f2", "data/f3",
+                                       "data/f4"};
+  monarch.value()->HintUpcoming(order);
+  gate->AwaitBlocked();
+
+  // Demand overtakes the queued hint for f3: the read is served from the
+  // PFS now and the copy moves to the demand lane.
+  EXPECT_EQ("three", ReadAll(**monarch, "data/f3", 5));
+  auto stats = monarch.value()->Stats();
+  EXPECT_EQ(1u, stats.placement.prefetch_promoted);
+  EXPECT_EQ(1u, stats.pfs_reads());
+
+  gate->ReleaseBlocked();
+  monarch.value()->DrainPlacements();
+
+  // The promoted copy ran before the remaining hints.
+  const auto write_order = gate->write_order();
+  ASSERT_EQ(4u, write_order.size());
+  EXPECT_EQ("data/f3", write_order[1]);
+  EXPECT_EQ("three", ReadAll(**monarch, "data/f3", 5));
+  EXPECT_EQ(1u, monarch.value()->Stats().pfs_reads())
+      << "after promotion completes, reads serve from the cache tier";
+}
+
+TEST_F(StagingPipelineMonarchTest, StopPlacementCancelsQueuedHints) {
+  auto gate = std::make_shared<GateEngine>("data/b");
+  PlacementOptions placement;
+  placement.prefetch_lookahead = 8;
+  auto monarch = Build(
+      1 << 20,
+      {{"b", "blocker-bytes"}, {"f2", "two"}, {"f3", "three"}, {"f4", "four"}},
+      placement, /*num_threads=*/1, gate);
+  ASSERT_OK(monarch);
+
+  monarch.value()->HintUpcoming(
+      std::vector<std::string>{"data/b", "data/f2", "data/f3", "data/f4"});
+  gate->AwaitBlocked();
+
+  monarch.value()->StopPlacement();
+  gate->ReleaseBlocked();
+  monarch.value()->DrainPlacements();
+
+  const auto stats = monarch.value()->Stats();
+  EXPECT_EQ(3u, stats.placement.prefetch_cancelled)
+      << "queued hints are dropped when placement stops";
+  EXPECT_EQ(1u, stats.placement.completed)
+      << "the in-flight copy runs to completion";
+  // Cancelled files stay readable (from the PFS, placement being stopped).
+  EXPECT_EQ("two", ReadAll(**monarch, "data/f2", 3));
+  EXPECT_EQ("four", ReadAll(**monarch, "data/f4", 4));
+}
+
+TEST_F(StagingPipelineMonarchTest, HintIsNoOpWhenLookaheadDisabled) {
+  auto monarch = Build(1 << 20, {{"f1", "one"}, {"f2", "two"}});
+  ASSERT_OK(monarch);
+
+  monarch.value()->HintUpcoming(
+      std::vector<std::string>{"data/f1", "data/f2"});
+  monarch.value()->DrainPlacements();
+
+  const auto stats = monarch.value()->Stats();
+  EXPECT_EQ(0u, stats.placement.prefetch_scheduled)
+      << "prefetch_lookahead=0 disables the cursor entirely";
+  EXPECT_EQ(0u, stats.placement.scheduled);
+  EXPECT_EQ("one", ReadAll(**monarch, "data/f1", 3));
+}
+
+}  // namespace
+}  // namespace monarch::core
