@@ -13,9 +13,11 @@
 // To measure the steady-state split directly, each run trains in two
 // phases against the same backends: phase 1 is the placement epoch,
 // phase 2 the remaining epochs; PFS counters are diffed per phase.
+#include <algorithm>
 #include <iostream>
 
 #include "bench_common.h"
+#include "dlsim/cluster.h"
 #include "dlsim/monarch_opener.h"
 #include "dlsim/record_opener.h"
 
@@ -35,6 +37,93 @@ dlsim::TrainerConfig PhaseConfig(const ExperimentConfig& config,
   tc.loader.read_chunk_bytes = config.read_chunk_bytes;
   tc.loader.shuffle_seed = config.run_seed;
   return tc;
+}
+
+// Peer-caching extension (ISSUE 4): the same 200 GiB-scale dataset that
+// overflows ONE node's local tier FITS the aggregate quota of two nodes.
+// With cooperative peer caching each node stages its consistent-hash
+// half, reads the other half over the interconnect, and steady-state
+// epochs stop touching the PFS entirely — versus plain MONARCH, where
+// every node re-reads its unplaced ~45% from Lustre each epoch.
+//
+// Steady-state PFS demand reads are estimated from the Monarch level
+// counters: epoch 1 reads each file from the PFS at most once, so
+// max(0, pfs_demand_reads - files) / (E-1) bounds the per-epoch
+// steady-state traffic (exact for the non-peer arm).
+int RunPeerExtension(BenchEnv& env,
+                     std::vector<std::pair<std::string, double>>& json) {
+  PrintBanner(std::cout,
+              "Figure 4 extension: 2 nodes, cooperative peer caching "
+              "(LeNet)");
+  Table table({"setup", "epoch1_s", "steady_s", "pfs_demand_reads",
+               "steady_pfs_reads/epoch", "peer_reads", "peer_GiB"});
+
+  for (const bool peer_sharing : {false, true}) {
+    dlsim::ClusterConfig config;
+    config.num_jobs = 2;
+    config.use_monarch = true;
+    config.peer_sharing = peer_sharing;
+    config.dataset = workload::DatasetSpec::ImageNet200GiB(env.scale);
+    config.model = dlsim::ModelProfile::LeNet();
+    config.epochs = env.epochs;
+    // One node holds ~57% of the dataset; two nodes hold all of it.
+    config.local_quota_bytes = static_cast<std::uint64_t>(
+        115.0 * env.scale * static_cast<double>(kMiB));
+    config.seed = 11;
+
+    auto result = dlsim::RunClusterExperiment(
+        env.work_dir / "pfs_peer",
+        env.work_dir / (peer_sharing ? "peer_on" : "peer_off"), config);
+    if (!result.ok()) {
+      std::cerr << "peer extension run failed: " << result.status() << "\n";
+      return 1;
+    }
+
+    RunningSummary epoch1;
+    RunningSummary steady;
+    double pfs_demand = 0;
+    double peer_reads = 0;
+    double files = 0;
+    for (const auto& job : result.value().jobs) {
+      epoch1.Add(job.training.EpochSeconds(1));
+      for (int e = 2; e <= env.epochs; ++e) {
+        steady.Add(job.training.EpochSeconds(e));
+      }
+      const auto& stats = job.monarch_stats;
+      pfs_demand += static_cast<double>(stats.pfs_reads());
+      files += static_cast<double>(stats.files_indexed);
+      const int peer_level = static_cast<int>(stats.levels.size()) - 2;
+      if (peer_sharing && peer_level >= 1) {
+        peer_reads += static_cast<double>(
+            stats.levels[static_cast<std::size_t>(peer_level)].reads);
+      }
+    }
+    const double steady_pfs =
+        env.epochs > 1
+            ? std::max(0.0, pfs_demand - files) / (env.epochs - 1)
+            : 0.0;
+    const double gib = static_cast<double>(1ULL << 30);
+    const std::string key =
+        peer_sharing ? "peer.monarch-peer" : "peer.monarch";
+    table.AddRow({peer_sharing ? "monarch-peer" : "monarch",
+                  Table::Num(epoch1.mean(), 2), Table::Num(steady.mean(), 2),
+                  Table::Num(pfs_demand, 0), Table::Num(steady_pfs, 1),
+                  Table::Num(peer_reads, 0),
+                  Table::Num(static_cast<double>(result.value().peer_bytes) /
+                                 gib,
+                             3)});
+    json.emplace_back(key + ".steady_pfs_reads_per_epoch", steady_pfs);
+    json.emplace_back(key + ".pfs_demand_reads", pfs_demand);
+    json.emplace_back(key + ".peer_reads", peer_reads);
+    std::cout << "  done: peer extension "
+              << (peer_sharing ? "monarch-peer" : "monarch") << "\n";
+  }
+  table.PrintAscii(std::cout);
+  std::cout << "(dataset > one node's quota but <= the 2-node aggregate: "
+               "with peer sharing the\nsteady-state PFS column collapses "
+               "to ~0 — the unplaced remainder is served by the\npeer "
+               "that owns it instead of Lustre)\n";
+  return 0;
 }
 
 int Run() {
@@ -205,13 +294,16 @@ int Run() {
             << MeanSd(metadata_init_seconds, 4)
             << "  (paper: ~52 s at full scale, ~2x the 100 GiB dataset)\n";
 
-  WriteBenchJson(
-      env, "fig4", cells,
-      {{"metadata_init_seconds_mean", metadata_init_seconds.mean()},
-       {"vanilla_steady_pfs_reads_mean", vanilla_steady_pfs_reads.mean()},
-       {"monarch_steady_pfs_reads_mean", monarch_steady_pfs_reads.mean()},
-       {"monarch_epoch1_pfs_reads_mean", monarch_epoch1_pfs_reads.mean()},
-       {"placed_fraction_mean", placed_fraction.mean()}});
+  std::vector<std::pair<std::string, double>> json_metrics{
+      {"metadata_init_seconds_mean", metadata_init_seconds.mean()},
+      {"vanilla_steady_pfs_reads_mean", vanilla_steady_pfs_reads.mean()},
+      {"monarch_steady_pfs_reads_mean", monarch_steady_pfs_reads.mean()},
+      {"monarch_epoch1_pfs_reads_mean", monarch_epoch1_pfs_reads.mean()},
+      {"placed_fraction_mean", placed_fraction.mean()}};
+
+  if (const int rc = RunPeerExtension(env, json_metrics); rc != 0) return rc;
+
+  WriteBenchJson(env, "fig4", cells, json_metrics);
   env.Cleanup();
   return 0;
 }

@@ -1,0 +1,190 @@
+#include "cluster/file_directory.h"
+
+#include <algorithm>
+
+#include "obs/event_tracer.h"
+#include "obs/json.h"
+
+namespace monarch::cluster {
+
+namespace {
+
+/// Virtual nodes per cluster member. Enough to spread shard boundaries
+/// evenly for small clusters without making the ring search noticeable.
+constexpr int kVirtualNodes = 64;
+
+}  // namespace
+
+FileDirectory::FileDirectory(int num_nodes, int replication,
+                             std::size_t shards)
+    : num_nodes_(std::max(num_nodes, 1)),
+      replication_(std::clamp(replication, 1, std::max(num_nodes, 1))),
+      map_(shards) {
+  ring_.reserve(static_cast<std::size_t>(num_nodes_) * kVirtualNodes);
+  for (int node = 0; node < num_nodes_; ++node) {
+    for (int replica = 0; replica < kVirtualNodes; ++replica) {
+      const std::string key =
+          "node-" + std::to_string(node) + "#" + std::to_string(replica);
+      ring_.emplace_back(RingHash(key), node);
+    }
+  }
+  std::sort(ring_.begin(), ring_.end());
+
+  remote_hits_.reserve(static_cast<std::size_t>(num_nodes_));
+  for (int node = 0; node < num_nodes_; ++node) {
+    remote_hits_.push_back(std::make_unique<std::atomic<std::uint64_t>>(0));
+  }
+
+  obs::MetricsRegistry& registry = obs::MetricsRegistry::Global();
+  lookups_ = registry.GetCounter(
+      "cluster.directory.lookups", "ops",
+      "remote-copy lookups against the cluster file directory");
+  remote_hits_total_ = registry.GetCounter(
+      "cluster.directory.remote_hits", "ops",
+      "peer reads resolved to another node's staged copy");
+  obs_source_ = registry.AddSource([this] {
+    std::vector<obs::MetricSample> out;
+    obs::MetricSample entries;
+    entries.name = "cluster.directory.entries";
+    entries.kind = obs::MetricKind::kGauge;
+    entries.unit = "files";
+    entries.gauge = static_cast<std::int64_t>(this->entries());
+    entries.help = "files the cluster directory has seen placed";
+    out.push_back(std::move(entries));
+    obs::MetricSample placed;
+    placed.name = "cluster.directory.placed";
+    placed.kind = obs::MetricKind::kGauge;
+    placed.unit = "copies";
+    placed.gauge = static_cast<std::int64_t>(placed_copies());
+    placed.help = "staged copies currently advertised across the cluster";
+    out.push_back(std::move(placed));
+    return out;
+  });
+}
+
+std::uint64_t FileDirectory::RingHash(const std::string& key) {
+  // FNV-1a 64-bit: stable across platforms, unlike std::hash.
+  std::uint64_t h = 14695981039346656037ull;
+  for (const char c : key) {
+    h ^= static_cast<std::uint8_t>(c);
+    h *= 1099511628211ull;
+  }
+  return h;
+}
+
+int FileDirectory::PrimaryOwner(const std::string& name) const {
+  return OwnerNodes(name).front();
+}
+
+std::vector<int> FileDirectory::OwnerNodes(const std::string& name) const {
+  std::vector<int> owners;
+  owners.reserve(static_cast<std::size_t>(replication_));
+  const std::uint64_t point = RingHash(name);
+  auto it = std::lower_bound(
+      ring_.begin(), ring_.end(), point,
+      [](const auto& entry, std::uint64_t p) { return entry.first < p; });
+  // Walk the ring clockwise collecting distinct nodes; wraps at the end.
+  for (std::size_t step = 0;
+       step < ring_.size() && owners.size() <
+                                  static_cast<std::size_t>(replication_);
+       ++step, ++it) {
+    if (it == ring_.end()) it = ring_.begin();
+    if (std::find(owners.begin(), owners.end(), it->second) == owners.end()) {
+      owners.push_back(it->second);
+    }
+  }
+  return owners;
+}
+
+bool FileDirectory::IsOwner(const std::string& name, int node) const {
+  const std::vector<int> owners = OwnerNodes(name);
+  return std::find(owners.begin(), owners.end(), node) != owners.end();
+}
+
+void FileDirectory::MarkPlaced(const std::string& name, int node, int level) {
+  map_.Insert(name, Entry{});
+  map_.Update(name, [&](Entry& entry) {
+    if (std::find(entry.holders.begin(), entry.holders.end(), node) ==
+        entry.holders.end()) {
+      entry.holders.push_back(node);
+    }
+    entry.level = level;
+  });
+  obs::EventTracer& tracer = obs::EventTracer::Global();
+  if (tracer.enabled()) {
+    tracer.RecordInstant("directory.place", "cluster",
+                         "\"file\":" + obs::JsonQuote(name) +
+                             ",\"node\":" + std::to_string(node) +
+                             ",\"level\":" + std::to_string(level));
+  }
+}
+
+void FileDirectory::MarkEvicted(const std::string& name, int node) {
+  const bool known = map_.Update(name, [&](Entry& entry) {
+    entry.holders.erase(
+        std::remove(entry.holders.begin(), entry.holders.end(), node),
+        entry.holders.end());
+  });
+  if (!known) return;
+  obs::EventTracer& tracer = obs::EventTracer::Global();
+  if (tracer.enabled()) {
+    tracer.RecordInstant("directory.evict", "cluster",
+                         "\"file\":" + obs::JsonQuote(name) +
+                             ",\"node\":" + std::to_string(node));
+  }
+}
+
+std::optional<int> FileDirectory::PlacedHolder(const std::string& name,
+                                               int exclude_node) const {
+  if (lookups_ != nullptr) lookups_->Increment();
+  const std::optional<Entry> entry = map_.Find(name);
+  if (!entry.has_value() || entry->holders.empty()) return std::nullopt;
+  // Prefer holders in ring order so replicated shards spread peer load
+  // the same deterministic way staging spread the copies.
+  for (const int owner : OwnerNodes(name)) {
+    if (owner == exclude_node) continue;
+    if (std::find(entry->holders.begin(), entry->holders.end(), owner) !=
+        entry->holders.end()) {
+      return owner;
+    }
+  }
+  for (const int holder : entry->holders) {
+    if (holder != exclude_node) return holder;
+  }
+  return std::nullopt;
+}
+
+void FileDirectory::CountRemoteHit(int node) {
+  if (node < 0 || node >= num_nodes_) return;
+  remote_hits_[static_cast<std::size_t>(node)]->fetch_add(
+      1, std::memory_order_relaxed);
+  if (remote_hits_total_ != nullptr) remote_hits_total_->Increment();
+}
+
+std::uint64_t FileDirectory::entries() const { return map_.Size(); }
+
+std::uint64_t FileDirectory::placed_copies() const {
+  std::uint64_t total = 0;
+  map_.ForEach([&total](const std::string&, const Entry& entry) {
+    total += entry.holders.size();
+  });
+  return total;
+}
+
+DirectoryNodeStats FileDirectory::StatsFor(int node) const {
+  DirectoryNodeStats stats;
+  stats.node = node;
+  if (node < 0 || node >= num_nodes_) return stats;
+  stats.remote_hits = remote_hits_[static_cast<std::size_t>(node)]->load(
+      std::memory_order_relaxed);
+  map_.ForEach([&](const std::string& name, const Entry& entry) {
+    if (PrimaryOwner(name) == node) ++stats.owned;
+    if (std::find(entry.holders.begin(), entry.holders.end(), node) !=
+        entry.holders.end()) {
+      ++stats.placed;
+    }
+  });
+  return stats;
+}
+
+}  // namespace monarch::cluster

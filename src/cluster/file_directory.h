@@ -1,0 +1,118 @@
+// FileDirectory: the cluster-wide placement map behind cooperative peer
+// caching (ISSUE 4). Every node runs its own Monarch instance; the
+// directory is the piece they share. It answers two questions:
+//
+//   * ownership — which node is responsible for STAGING a file. Decided
+//     by a consistent-hash ring fixed at construction, so each node
+//     stages exactly its shard of the dataset and the aggregate PFS
+//     staging traffic is the dataset once, not once per node.
+//   * placement — which nodes currently HOLD a staged copy. Updated by
+//     the placement callbacks (core/PeerView) as copies are published,
+//     evicted, or quarantined, and consulted by the read path to route
+//     demand reads owner-first before falling back to the PFS.
+//
+// Built on util/ShardedMap: lookups from every node's reader threads and
+// updates from every node's placement pool proceed under striped locks.
+// The ownership ring itself is immutable after construction and read
+// lock-free. Entries are never erased — an evicted file keeps its row
+// with an empty holder list, which keeps Mark/lookup races benign.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <optional>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "obs/metrics_registry.h"
+#include "util/sharded_map.h"
+
+namespace monarch::cluster {
+
+/// Per-node view of the directory for status tooling (monarchctl
+/// peer-status): how much of the namespace the node owns, how many copies
+/// it currently holds, and how often peers pulled from it.
+struct DirectoryNodeStats {
+  int node = 0;
+  std::uint64_t owned = 0;        ///< entries whose primary owner is node
+  std::uint64_t placed = 0;       ///< entries node currently holds
+  std::uint64_t remote_hits = 0;  ///< peer reads served from node's copy
+};
+
+class FileDirectory {
+ public:
+  /// `num_nodes` cluster members (node ids 0..num_nodes-1), each file
+  /// owned by `replication` distinct nodes (clamped to num_nodes), map
+  /// striped over `shards` locks.
+  explicit FileDirectory(int num_nodes, int replication = 1,
+                         std::size_t shards = 16);
+
+  FileDirectory(const FileDirectory&) = delete;
+  FileDirectory& operator=(const FileDirectory&) = delete;
+
+  [[nodiscard]] int num_nodes() const noexcept { return num_nodes_; }
+  [[nodiscard]] int replication() const noexcept { return replication_; }
+
+  /// The node responsible for staging `name` (first owner on the ring).
+  [[nodiscard]] int PrimaryOwner(const std::string& name) const;
+
+  /// The `replication` distinct nodes that should stage `name`, primary
+  /// first (ring walk order).
+  [[nodiscard]] std::vector<int> OwnerNodes(const std::string& name) const;
+
+  /// Whether `node` is one of OwnerNodes(name) — the staging gate each
+  /// Monarch instance consults before claiming a file.
+  [[nodiscard]] bool IsOwner(const std::string& name, int node) const;
+
+  /// `node` published a readable copy of `name` on its tier `level`.
+  void MarkPlaced(const std::string& name, int node, int level);
+
+  /// `node` dropped its copy (eviction, quarantine, or cleanup).
+  void MarkEvicted(const std::string& name, int node);
+
+  /// A node currently holding a staged copy of `name`, excluding
+  /// `exclude_node` (the asker — its own copies are served locally).
+  /// Owners are preferred in ring order so replicas share load the same
+  /// way staging did. nullopt when no peer holds the file.
+  [[nodiscard]] std::optional<int> PlacedHolder(const std::string& name,
+                                                int exclude_node) const;
+
+  /// Count one peer read served from `node`'s copy (resolver callback).
+  void CountRemoteHit(int node);
+
+  /// Files known to the directory (placed at least once).
+  [[nodiscard]] std::uint64_t entries() const;
+  /// Currently placed (name, node) pairs across the cluster.
+  [[nodiscard]] std::uint64_t placed_copies() const;
+
+  [[nodiscard]] DirectoryNodeStats StatsFor(int node) const;
+
+ private:
+  struct Entry {
+    std::vector<int> holders;  ///< nodes with a readable copy, unordered
+    int level = -1;            ///< tier level at the most recent placement
+  };
+
+  /// Hash ring point for (node, replica) — stable FNV-1a, independent of
+  /// std::hash so ownership is reproducible across runs and platforms.
+  [[nodiscard]] static std::uint64_t RingHash(const std::string& key);
+
+  const int num_nodes_;
+  const int replication_;
+  /// Immutable sorted (point, node) ring of virtual nodes; ownership
+  /// lookups binary-search it lock-free.
+  std::vector<std::pair<std::uint64_t, int>> ring_;
+
+  ShardedMap<std::string, Entry> map_;
+  std::vector<std::unique_ptr<std::atomic<std::uint64_t>>> remote_hits_;
+
+  // docs/OBSERVABILITY.md `cluster.directory.*`.
+  obs::Counter* lookups_ = nullptr;
+  obs::Counter* remote_hits_total_ = nullptr;
+  // Last member: the source callback reads map_ and remote_hits_.
+  obs::SourceRegistration obs_source_;
+};
+
+}  // namespace monarch::cluster

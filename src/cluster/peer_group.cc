@@ -1,0 +1,104 @@
+#include "cluster/peer_group.h"
+
+#include <optional>
+#include <string>
+#include <utility>
+
+#include "net/peer_engine.h"
+#include "util/status.h"
+
+namespace monarch::cluster {
+
+namespace {
+
+/// Resolves a peer read to the holder node's registered local engine.
+/// Excludes the asking node: its own copies are served locally by its
+/// hierarchy, never through the interconnect.
+class GroupResolver final : public net::PeerEngine::Resolver {
+ public:
+  GroupResolver(PeerGroup* group, int self) : group_(group), self_(self) {}
+
+  Result<storage::StorageEnginePtr> ResolveHolder(
+      const std::string& path) override {
+    const std::optional<int> holder =
+        group_->directory().PlacedHolder(path, self_);
+    if (!holder.has_value()) {
+      return NotFoundError("no peer holds a staged copy of '" + path + "'");
+    }
+    storage::StorageEnginePtr engine = group_->NodeEngine(*holder);
+    if (!engine) {
+      return NotFoundError("peer node " + std::to_string(*holder) +
+                           " holds '" + path +
+                           "' but has no registered engine");
+    }
+    group_->directory().CountRemoteHit(*holder);
+    return engine;
+  }
+
+ private:
+  PeerGroup* group_;
+  const int self_;
+};
+
+/// Glues one node's Monarch placement callbacks and staging gate to the
+/// shared directory (the core-side half of the peer tier).
+class DirectoryPeerView final : public core::PeerView {
+ public:
+  DirectoryPeerView(PeerGroup* group, int self)
+      : group_(group), self_(self) {}
+
+  bool HasRemoteCopy(const std::string& name) override {
+    return group_->directory().PlacedHolder(name, self_).has_value();
+  }
+
+  bool ShouldStageLocally(const std::string& name) override {
+    return group_->directory().IsOwner(name, self_);
+  }
+
+  void OnStaged(const std::string& name, int level) override {
+    group_->directory().MarkPlaced(name, self_, level);
+  }
+
+  void OnDropped(const std::string& name) override {
+    group_->directory().MarkEvicted(name, self_);
+  }
+
+ private:
+  PeerGroup* group_;
+  const int self_;
+};
+
+}  // namespace
+
+PeerGroup::PeerGroup(int num_nodes, PeerOptions options)
+    : directory_(num_nodes, options.replication, options.directory_shards) {
+  net::NetworkProfile profile = net::NetworkProfile::ClusterInterconnect();
+  profile.bandwidth_bps = options.interconnect_bandwidth_bps;
+  profile.hop_latency = options.interconnect_latency;
+  network_ = std::make_shared<net::NetworkModel>(profile);
+  engines_.resize(static_cast<std::size_t>(directory_.num_nodes()));
+}
+
+void PeerGroup::RegisterNode(int node, storage::StorageEnginePtr engine) {
+  if (node < 0 || node >= num_nodes()) return;
+  std::lock_guard lock(engines_mu_);
+  engines_[static_cast<std::size_t>(node)] = std::move(engine);
+}
+
+storage::StorageEnginePtr PeerGroup::NodeEngine(int node) const {
+  if (node < 0 || node >= num_nodes()) return nullptr;
+  std::lock_guard lock(engines_mu_);
+  return engines_[static_cast<std::size_t>(node)];
+}
+
+storage::StorageEnginePtr PeerGroup::MakePeerEngine(int node) {
+  return std::make_shared<net::PeerEngine>(
+      "peer" + std::to_string(node),
+      std::make_shared<GroupResolver>(this, node), network_);
+}
+
+core::PeerViewPtr PeerGroup::MakePeerView(int node) {
+  return std::make_shared<DirectoryPeerView>(this, node);
+}
+
+}  // namespace monarch::cluster

@@ -1,0 +1,89 @@
+// PeerGroup: per-cluster wiring for cooperative peer caching (ISSUE 4).
+//
+// One PeerGroup represents the set of nodes sharing their local tiers.
+// It owns the cluster FileDirectory and the simulated interconnect
+// (net/NetworkModel, one shared token bucket — concurrent peer transfers
+// contend for the same fabric), and hands each node the two objects its
+// Monarch instance needs:
+//
+//   * MakePeerEngine(node) — a net/PeerEngine whose resolver looks up a
+//     remote holder in the directory (excluding the node itself) and
+//     serves the read from that holder's registered local engine through
+//     the network model. Plug it in as MonarchConfig::peer_tier.
+//   * MakePeerView(node)   — the core/PeerView gluing the node's
+//     placement callbacks and staging gate to the directory. Plug it in
+//     as MonarchConfig::peer_view.
+//
+// Usage (dlsim::RunClusterExperiment):
+//   cluster::PeerGroup group(num_jobs, options);
+//   for each job j:  group.RegisterNode(j, local_engine_j);
+//   for each job j:  config.peer_tier = {"peer", group.MakePeerEngine(j)};
+//                    config.peer_view = group.MakePeerView(j);
+#pragma once
+
+#include <memory>
+#include <mutex>
+#include <vector>
+
+#include "cluster/file_directory.h"
+#include "core/peer_view.h"
+#include "net/network_model.h"
+#include "storage/storage_engine.h"
+#include "util/clock.h"
+
+namespace monarch::cluster {
+
+struct PeerOptions {
+  /// Interconnect bandwidth shared by all peer transfers.
+  double interconnect_bandwidth_bps = 1.2e9;
+  /// One-way hop latency charged per peer RPC/transfer.
+  Duration interconnect_latency = Micros(150);
+  /// Lock stripes of the cluster file directory.
+  std::size_t directory_shards = 16;
+  /// Distinct owner nodes staging each file (1 = no redundancy).
+  int replication = 1;
+};
+
+class PeerGroup {
+ public:
+  explicit PeerGroup(int num_nodes, PeerOptions options = {});
+
+  PeerGroup(const PeerGroup&) = delete;
+  PeerGroup& operator=(const PeerGroup&) = delete;
+
+  /// Install `engine` as node `node`'s local tier — the engine peer reads
+  /// of that node's copies are served from. Must be called for every node
+  /// before the first read; reads resolved to an unregistered node fail
+  /// as kNotFound (and degrade to the PFS).
+  void RegisterNode(int node, storage::StorageEnginePtr engine);
+
+  /// The peer tier engine for node `node` (read-only; name "peer<node>").
+  [[nodiscard]] storage::StorageEnginePtr MakePeerEngine(int node);
+
+  /// The placement/staging view for node `node`.
+  [[nodiscard]] core::PeerViewPtr MakePeerView(int node);
+
+  [[nodiscard]] FileDirectory& directory() noexcept { return directory_; }
+  [[nodiscard]] const FileDirectory& directory() const noexcept {
+    return directory_;
+  }
+  [[nodiscard]] const net::NetworkModelPtr& network() const noexcept {
+    return network_;
+  }
+  [[nodiscard]] int num_nodes() const noexcept {
+    return directory_.num_nodes();
+  }
+
+  /// The engine registered for `node`, or null. Used by the resolver.
+  [[nodiscard]] storage::StorageEnginePtr NodeEngine(int node) const;
+
+ private:
+  FileDirectory directory_;
+  net::NetworkModelPtr network_;
+  /// Guards engines_: registration races resolver lookups in tests that
+  /// bring nodes up while others already read.
+  mutable std::mutex engines_mu_;
+  std::vector<storage::StorageEnginePtr> engines_;
+};
+
+}  // namespace monarch::cluster

@@ -143,6 +143,32 @@ Status ApplyPlacementKey(ParsedConfig& config, const std::string& key,
   return Status::Ok();
 }
 
+Status ApplyPeerKey(ParsedPeer& peer, const std::string& key,
+                    const std::string& value, int line_no) {
+  if (key == "enabled") {
+    MONARCH_ASSIGN_OR_RETURN(peer.enabled, ParseBool(value, line_no));
+  } else if (key == "interconnect_bandwidth") {
+    MONARCH_ASSIGN_OR_RETURN(peer.interconnect_bandwidth_bps,
+                             ParseByteSize(value));
+  } else if (key == "interconnect_latency_us") {
+    MONARCH_ASSIGN_OR_RETURN(peer.interconnect_latency_us,
+                             ParseU64(value, line_no));
+  } else if (key == "directory_shards") {
+    MONARCH_ASSIGN_OR_RETURN(peer.directory_shards, ParseU64(value, line_no));
+  } else if (key == "replication") {
+    MONARCH_ASSIGN_OR_RETURN(const std::uint64_t n, ParseU64(value, line_no));
+    if (n == 0) {
+      return InvalidArgumentError("line " + std::to_string(line_no) +
+                                  ": replication must be >= 1");
+    }
+    peer.replication = static_cast<int>(n);
+  } else {
+    return InvalidArgumentError("line " + std::to_string(line_no) +
+                                ": unknown peer key '" + key + "'");
+  }
+  return Status::Ok();
+}
+
 }  // namespace
 
 Result<ParsedConfig> ParseConfig(const std::string& ini_text) {
@@ -151,7 +177,15 @@ Result<ParsedConfig> ParseConfig(const std::string& ini_text) {
   std::map<int, ParsedTier> tiers;
   bool saw_pfs = false;
 
-  enum class Section { kNone, kMonarch, kTier, kPfs, kPlacement, kResilience };
+  enum class Section {
+    kNone,
+    kMonarch,
+    kTier,
+    kPfs,
+    kPlacement,
+    kResilience,
+    kPeer
+  };
   Section section = Section::kNone;
   int tier_index = -1;
 
@@ -182,6 +216,8 @@ Result<ParsedConfig> ParseConfig(const std::string& ini_text) {
         section = Section::kPlacement;
       } else if (name == "resilience") {
         section = Section::kResilience;
+      } else if (name == "peer") {
+        section = Section::kPeer;
       } else if (name.starts_with("tier.")) {
         MONARCH_ASSIGN_OR_RETURN(
             const std::uint64_t idx,
@@ -237,6 +273,10 @@ Result<ParsedConfig> ParseConfig(const std::string& ini_text) {
       case Section::kResilience:
         MONARCH_RETURN_IF_ERROR(
             ApplyResilienceKey(config.resilience, key, value, line_no));
+        break;
+      case Section::kPeer:
+        MONARCH_RETURN_IF_ERROR(
+            ApplyPeerKey(config.peer, key, value, line_no));
         break;
     }
   }

@@ -44,6 +44,13 @@
 //   verify_on_read = false
 //   max_placement_attempts = 3
 //   restage_after_quarantine = true
+//
+//   [peer]                  ; optional — cooperative peer caching (ISSUE 4)
+//   enabled = true
+//   interconnect_bandwidth = 1200MB   ; shared fabric, bytes/second
+//   interconnect_latency_us = 150     ; one-way hop latency
+//   directory_shards = 16             ; cluster file-directory stripes
+//   replication = 1                   ; owner nodes staging each file
 #pragma once
 
 #include <cstdint>
@@ -65,6 +72,23 @@ struct ParsedTier {
   std::uint64_t seed = 42;
 };
 
+/// `[peer]` section (ISSUE 4): cooperative peer caching. Engine-free —
+/// BuildMonarchConfig ignores it (a single Monarch instance has no
+/// peers); the cluster integration layer (dlsim::RunClusterExperiment,
+/// the multi-job benches) turns these knobs into a cluster::PeerGroup
+/// and installs each node's peer tier and view.
+struct ParsedPeer {
+  bool enabled = false;
+  /// Shared interconnect bandwidth, bytes/second (byte-size syntax).
+  std::uint64_t interconnect_bandwidth_bps = 1'200'000'000;
+  /// One-way hop latency charged per peer RPC/transfer.
+  std::uint64_t interconnect_latency_us = 150;
+  /// Lock stripes of the cluster file directory.
+  std::uint64_t directory_shards = 16;
+  /// Distinct owner nodes staging each file.
+  int replication = 1;
+};
+
 struct ParsedConfig {
   std::string dataset_dir;
   int placement_threads = 6;
@@ -78,6 +102,8 @@ struct ParsedConfig {
   ParsedTier pfs;
   /// `[resilience]` section; defaults when the section is absent.
   ResilienceOptions resilience;
+  /// `[peer]` section; disabled when the section is absent.
+  ParsedPeer peer;
 };
 
 /// Parse the INI text. Unknown sections/keys are errors (config typos

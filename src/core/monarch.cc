@@ -133,7 +133,7 @@ Result<std::unique_ptr<Monarch>> Monarch::Create(MonarchConfig config) {
   }
 
   std::vector<StorageDriverPtr> drivers;
-  drivers.reserve(config.cache_tiers.size() + 1);
+  drivers.reserve(config.cache_tiers.size() + 2);
   for (TierSpec& tier : config.cache_tiers) {
     if (!tier.engine) {
       return InvalidArgumentError("cache tier '" + tier.name +
@@ -145,6 +145,26 @@ Result<std::unique_ptr<Monarch>> Monarch::Create(MonarchConfig config) {
     }
     drivers.push_back(std::make_unique<StorageDriver>(
         tier.name, tier.engine, tier.quota_bytes, /*read_only=*/false,
+        config.resilience.retry, config.resilience.health));
+  }
+  // Cooperative peer tier (ISSUE 4): a read-only level directly above
+  // the PFS serving other nodes' staged copies over the interconnect.
+  // Quota 0 — the bytes are accounted on the owning nodes — and guarded
+  // by retries and a circuit breaker like any tier, so a sick peer
+  // degrades to the PFS instead of stalling the job.
+  if (config.peer_tier.has_value()) {
+    if (!config.peer_tier->engine) {
+      return InvalidArgumentError("peer tier '" + config.peer_tier->name +
+                                  "' has no engine");
+    }
+    if (config.peer_view == nullptr) {
+      return InvalidArgumentError(
+          "config.peer_tier requires config.peer_view (the cluster "
+          "directory that knows which peers hold which files)");
+    }
+    drivers.push_back(std::make_unique<StorageDriver>(
+        config.peer_tier->name.empty() ? "peer" : config.peer_tier->name,
+        config.peer_tier->engine, /*quota_bytes=*/0, /*read_only=*/true,
         config.resilience.retry, config.resilience.health));
   }
   // The PFS gets the retry envelope too but no live breaker: it is the
@@ -194,7 +214,7 @@ Monarch::Monarch(MonarchConfig config,
   if (!config_.policy) config_.policy = MakeFirstFitPolicy();
   placement_ = std::make_unique<PlacementHandler>(
       *hierarchy_, metadata_, std::move(config_.policy), config_.placement,
-      config_.resilience);
+      config_.resilience, config_.peer_view);
   served_.reserve(hierarchy_->num_levels());
   for (std::size_t i = 0; i < hierarchy_->num_levels(); ++i) {
     served_.push_back(std::make_unique<LevelCounters>());
@@ -262,14 +282,28 @@ Result<std::size_t> Monarch::ReadImpl(const std::string& name,
   // other copy is the authoritative one on the PFS, so every rung of the
   // degradation ladder lands there.
   const int pfs = hierarchy_->pfs_level();
+  const int peer = hierarchy_->peer_level();
   int level = info->level.load(std::memory_order_acquire);
   if (level != pfs && hierarchy_->NextServingLevel(level) != level) {
     CountDegradedFallback("circuit_open", name, level);
     level = pfs;
   }
 
+  // Peer rung (ISSUE 4): a PFS-resident file that another node already
+  // staged is closer over the interconnect than on the shared PFS. Route
+  // the read to the peer level when the cluster directory advertises a
+  // remote copy and the peer breaker admits requests.
+  if (level == pfs && peer >= 0 && config_.peer_view != nullptr &&
+      config_.peer_view->HasRemoteCopy(name)) {
+    if (hierarchy_->Level(peer).health().AllowRequest()) {
+      level = peer;
+    } else {
+      CountDegradedFallback("circuit_open", name, peer);
+    }
+  }
+
   auto read = hierarchy_->Level(level).Read(name, offset, dst);
-  if (read.ok() && level != pfs &&
+  if (read.ok() && level != pfs && level != peer &&
       !VerifyTierRead(info, level, offset, dst, read.value())) {
     // The staged copy is corrupt: it has been quarantined; re-read the
     // authoritative bytes.
@@ -281,8 +315,14 @@ Result<std::size_t> Monarch::ReadImpl(const std::string& name,
     // Any upper-tier failure degrades to the PFS rather than surfacing to
     // the framework: kNotFound means the copy vanished (eviction race or
     // quarantine on another thread); everything else is a tier fault that
-    // survived the driver's retries.
-    if (read.status().code() == StatusCode::kNotFound) {
+    // survived the driver's retries. Peer failures are counted apart so
+    // the cluster benches can reconcile interconnect rescue traffic.
+    if (level == peer) {
+      CountDegradedFallback(read.status().code() == StatusCode::kNotFound
+                                ? "peer_miss"
+                                : "peer_error",
+                            name, level);
+    } else if (read.status().code() == StatusCode::kNotFound) {
       if (read_pfs_fallbacks_ != nullptr) read_pfs_fallbacks_->Increment();
     } else {
       CountDegradedFallback("tier_error", name, level);
@@ -309,7 +349,12 @@ Result<std::size_t> Monarch::ReadImpl(const std::string& name,
   // pipeline never re-reads them from the PFS. The §III-B partial-read
   // optimisation fetches the rest in the background (disabled => only
   // full reads stage).
-  if (level == pfs && !placement_->stopped()) {
+  // Shard ownership (ISSUE 4): with a peer view installed, each node
+  // stages only the files it owns — demand reads of peer-owned files go
+  // owner-first / PFS-second and never trigger local staging.
+  if (level == pfs && !placement_->stopped() &&
+      (config_.peer_view == nullptr ||
+       config_.peer_view->ShouldStageLocally(name))) {
     const bool full_read = offset == 0 && read.value() == info->size;
     if (full_read || placement_->options().fetch_full_file_on_partial_read) {
       if (info->TryBeginFetch()) {
@@ -365,6 +410,10 @@ void Monarch::CountDegradedFallback(const char* cause, const std::string& name,
     fallbacks_circuit_open_.fetch_add(1, std::memory_order_relaxed);
   } else if (std::string_view(cause) == "corruption") {
     fallbacks_corruption_.fetch_add(1, std::memory_order_relaxed);
+  } else if (std::string_view(cause) == "peer_miss") {
+    fallbacks_peer_miss_.fetch_add(1, std::memory_order_relaxed);
+  } else if (std::string_view(cause) == "peer_error") {
+    fallbacks_peer_error_.fetch_add(1, std::memory_order_relaxed);
   } else {
     fallbacks_tier_error_.fetch_add(1, std::memory_order_relaxed);
   }
@@ -431,6 +480,12 @@ void Monarch::TopUpPrefetch() {
         std::min(hinted_order_.size(), hint_cursor_ + lookahead);
     for (; hint_scheduled_ < limit; ++hint_scheduled_) {
       const FileInfoPtr& info = hinted_order_[hint_scheduled_];
+      // Hints for peer-owned files are skipped, not claimed: the owner
+      // stages them and this node reads them over the interconnect.
+      if (config_.peer_view != nullptr &&
+          !config_.peer_view->ShouldStageLocally(info->name)) {
+        continue;
+      }
       if (info->TryBeginFetch()) {
         info->prefetched.store(true, std::memory_order_release);
         claimed.push_back(info);
@@ -451,6 +506,12 @@ Result<std::uint64_t> Monarch::FileSize(const std::string& name) {
 std::uint64_t Monarch::Prestage(bool block) {
   std::uint64_t scheduled = 0;
   for (const auto& entry : metadata_.Snapshot()) {
+    // Shard ownership (ISSUE 4): prestage only this node's shard; the
+    // rest of the dataset reaches it through the peer tier.
+    if (config_.peer_view != nullptr &&
+        !config_.peer_view->ShouldStageLocally(entry.name)) {
+      continue;
+    }
     FileInfoPtr info = metadata_.Lookup(entry.name);
     if (!info || !info->TryBeginFetch()) continue;
     placement_->SchedulePlacement(std::move(info), std::nullopt);
@@ -492,6 +553,8 @@ std::uint64_t Monarch::CleanupStagedCopies() {
     const int level = info->level.load(std::memory_order_acquire);
     info->level.store(pfs_level, std::memory_order_release);
     info->AbortFetch(/*permanently=*/false);
+    // Retract the cluster-directory advertisement before the bytes go.
+    if (config_.peer_view != nullptr) config_.peer_view->OnDropped(info->name);
     StorageDriver& tier = hierarchy_->Level(level);
     if (tier.Delete(info->name).ok()) {
       tier.Release(info->size);
@@ -538,9 +601,14 @@ MonarchStats Monarch::Stats() const {
       fallbacks_tier_error_.load(std::memory_order_relaxed);
   stats.fallbacks_corruption =
       fallbacks_corruption_.load(std::memory_order_relaxed);
-  stats.degraded_fallbacks = stats.fallbacks_circuit_open +
-                             stats.fallbacks_tier_error +
-                             stats.fallbacks_corruption;
+  stats.fallbacks_peer_miss =
+      fallbacks_peer_miss_.load(std::memory_order_relaxed);
+  stats.fallbacks_peer_error =
+      fallbacks_peer_error_.load(std::memory_order_relaxed);
+  stats.degraded_fallbacks =
+      stats.fallbacks_circuit_open + stats.fallbacks_tier_error +
+      stats.fallbacks_corruption + stats.fallbacks_peer_miss +
+      stats.fallbacks_peer_error;
   stats.files_indexed = metadata_.FileCount();
   stats.dataset_bytes = metadata_.TotalBytes();
   stats.metadata_init_seconds = metadata_.init_seconds();

@@ -21,12 +21,14 @@
 #include <cstdint>
 #include <memory>
 #include <mutex>
+#include <optional>
 #include <span>
 #include <string>
 #include <unordered_map>
 #include <vector>
 
 #include "core/metadata_container.h"
+#include "core/peer_view.h"
 #include "core/placement_handler.h"
 #include "core/placement_policy.h"
 #include "core/resilience.h"
@@ -51,6 +53,15 @@ struct MonarchConfig {
   std::vector<TierSpec> cache_tiers;
   /// The PFS holding the dataset (becomes the read-only last level).
   TierSpec pfs;
+  /// Optional cooperative peer-cache tier (ISSUE 4): an engine serving
+  /// other nodes' staged copies over the interconnect, slotted directly
+  /// above the PFS as a read-only level. `quota_bytes` is ignored (the
+  /// bytes live on the peers). Requires `peer_view`.
+  std::optional<TierSpec> peer_tier;
+  /// Cluster placement knowledge backing the peer tier: shard ownership
+  /// for staging decisions, remote-copy lookups for the read path, and
+  /// the directory callbacks placement notifies. Null = single node.
+  PeerViewPtr peer_view;
   /// Directory on the PFS to index at startup.
   std::string dataset_dir;
   PlacementOptions placement;
@@ -95,10 +106,12 @@ struct MonarchStats {
 
   /// Degradation-ladder outcomes (ISSUE 2): reads that a cache tier
   /// failed to serve but the PFS rescued, broken down by cause.
-  std::uint64_t degraded_fallbacks = 0;       ///< sum of the three below
+  std::uint64_t degraded_fallbacks = 0;       ///< sum of the five below
   std::uint64_t fallbacks_circuit_open = 0;   ///< tier skipped, breaker open
   std::uint64_t fallbacks_tier_error = 0;     ///< tier read failed after retries
   std::uint64_t fallbacks_corruption = 0;     ///< staged copy failed its CRC
+  std::uint64_t fallbacks_peer_miss = 0;      ///< peer copy vanished mid-read
+  std::uint64_t fallbacks_peer_error = 0;     ///< peer read failed after retries
 
   /// Reads served by the last level (the shared PFS).
   [[nodiscard]] std::uint64_t pfs_reads() const {
@@ -192,7 +205,8 @@ class Monarch {
 
   /// Count one rung of the degradation ladder: a read the tier at `level`
   /// could not serve and the PFS absorbed. `cause` is one of
-  /// "circuit_open" | "tier_error" | "corruption".
+  /// "circuit_open" | "tier_error" | "corruption" | "peer_miss" |
+  /// "peer_error".
   void CountDegradedFallback(const char* cause, const std::string& name,
                              int level);
 
@@ -243,6 +257,8 @@ class Monarch {
   std::atomic<std::uint64_t> fallbacks_circuit_open_{0};
   std::atomic<std::uint64_t> fallbacks_tier_error_{0};
   std::atomic<std::uint64_t> fallbacks_corruption_{0};
+  std::atomic<std::uint64_t> fallbacks_peer_miss_{0};
+  std::atomic<std::uint64_t> fallbacks_peer_error_{0};
 
   // Pull source exporting Stats() as `monarch.level.*`/`monarch.placement.*`
   // metrics. Last member: deregisters before the state its callback reads

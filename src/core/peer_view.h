@@ -1,0 +1,45 @@
+// PeerView: what one Monarch instance (one node) sees of the cluster's
+// cooperative peer cache (ISSUE 4). Implemented by the cluster layer on
+// top of its FileDirectory; core stays free of any cluster dependency.
+//
+// The contract mirrors the directory protocol in DESIGN.md:
+//  * consistent-hash shard ownership decides WHO stages a file —
+//    ShouldStageLocally() gates every local staging trigger (demand,
+//    prefetch, prestage), so each file is pulled from the PFS by its
+//    owner node(s) only, once cluster-wide;
+//  * HasRemoteCopy() is the read path's peer rung — true when some OTHER
+//    node currently advertises a placed copy this node could fetch over
+//    the interconnect instead of hitting the PFS;
+//  * OnStaged()/OnDropped() keep the directory in sync with this node's
+//    placements (publish, quarantine, eviction, cleanup).
+#pragma once
+
+#include <memory>
+#include <string>
+
+namespace monarch::core {
+
+class PeerView {
+ public:
+  virtual ~PeerView() = default;
+
+  /// Some other node holds a placed copy of `name` (serve it via the
+  /// peer tier before falling back to the PFS).
+  virtual bool HasRemoteCopy(const std::string& name) = 0;
+
+  /// This node is a shard owner of `name` and may stage it locally.
+  /// False means the file belongs to a peer's shard: read it owner-first
+  /// over the interconnect, never copy it into this node's tiers.
+  virtual bool ShouldStageLocally(const std::string& name) = 0;
+
+  /// This node published a placed copy of `name` on its local `level`.
+  virtual void OnStaged(const std::string& name, int level) = 0;
+
+  /// This node's placed copy of `name` is gone (quarantine, eviction,
+  /// shutdown cleanup) — stop advertising it to peers.
+  virtual void OnDropped(const std::string& name) = 0;
+};
+
+using PeerViewPtr = std::shared_ptr<PeerView>;
+
+}  // namespace monarch::core

@@ -22,12 +22,14 @@ PlacementHandler::PlacementHandler(StorageHierarchy& hierarchy,
                                    MetadataContainer& metadata,
                                    PlacementPolicyPtr policy,
                                    PlacementOptions options,
-                                   ResilienceOptions resilience)
+                                   ResilienceOptions resilience,
+                                   PeerViewPtr peer_view)
     : hierarchy_(hierarchy),
       metadata_(metadata),
       policy_(std::move(policy)),
       options_(options),
       resilience_(resilience),
+      peer_view_(std::move(peer_view)),
       pool_(options.staging_buffer_bytes,
             std::min<std::uint64_t>(
                 std::max<std::uint64_t>(1, options.staging_chunk_bytes),
@@ -386,6 +388,8 @@ void PlacementHandler::PlaceFile(StagingTask task) {
   file->staged_crc.store(crc, std::memory_order_release);
   file->fetch_failures.store(0, std::memory_order_relaxed);
   file->FinishFetch(*level);
+  // Advertise the copy to the cluster once it is actually readable.
+  if (peer_view_ != nullptr) peer_view_->OnStaged(file->name, *level);
   completed_.fetch_add(1, std::memory_order_relaxed);
   bytes_staged_.fetch_add(file->size, std::memory_order_relaxed);
   if (lane == StagingLane::kPrefetch) {
@@ -410,6 +414,7 @@ bool PlacementHandler::QuarantineCopy(const FileInfoPtr& file) {
   }
   StorageDriver& tier = hierarchy_.Level(level);
   file->level.store(hierarchy_.pfs_level(), std::memory_order_release);
+  if (peer_view_ != nullptr) peer_view_->OnDropped(file->name);
   if (tier.Delete(file->name).ok()) {
     tier.Release(file->size);
   }
@@ -462,6 +467,7 @@ std::optional<int> PlacementHandler::EvictAndReserve(std::uint64_t needed) {
     const int victim_level = vf.level.load(std::memory_order_acquire);
     StorageDriver& tier = hierarchy_.Level(victim_level);
     vf.level.store(hierarchy_.pfs_level(), std::memory_order_release);
+    if (peer_view_ != nullptr) peer_view_->OnDropped(vf.name);
     vf.AbortFetch(/*permanently=*/false);  // back to PFS-only
     if (tier.Delete(vf.name).ok()) {
       tier.Release(vf.size);

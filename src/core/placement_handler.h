@@ -51,6 +51,7 @@
 
 #include "core/file_info.h"
 #include "core/metadata_container.h"
+#include "core/peer_view.h"
 #include "core/placement_policy.h"
 #include "core/resilience.h"
 #include "core/storage_hierarchy.h"
@@ -128,9 +129,13 @@ struct PlacementStats {
 
 class PlacementHandler {
  public:
+  /// `peer_view`, when set, is notified of every publish/drop of a
+  /// placed copy so the cluster's FileDirectory tracks what this node
+  /// can serve to peers (ISSUE 4).
   PlacementHandler(StorageHierarchy& hierarchy, MetadataContainer& metadata,
                    PlacementPolicyPtr policy, PlacementOptions options,
-                   ResilienceOptions resilience = {});
+                   ResilienceOptions resilience = {},
+                   PeerViewPtr peer_view = nullptr);
   ~PlacementHandler();
 
   PlacementHandler(const PlacementHandler&) = delete;
@@ -223,6 +228,7 @@ class PlacementHandler {
   PlacementPolicyPtr policy_;
   PlacementOptions options_;
   ResilienceOptions resilience_;
+  PeerViewPtr peer_view_;
   BufferPool pool_;
 
   std::atomic<bool> stopped_{false};

@@ -12,15 +12,27 @@ Result<std::unique_ptr<StorageHierarchy>> StorageHierarchy::Create(
     return InvalidArgumentError(
         "the last hierarchy level must be the read-only PFS source");
   }
+  // One read-only peer-cache level is allowed directly above the PFS
+  // (ISSUE 4); every level above that must be writable.
+  int peer_level = -1;
+  const std::size_t last_cache = drivers.size() - 2;
+  if (drivers[last_cache]->read_only()) {
+    if (drivers.size() < 3) {
+      return InvalidArgumentError(
+          "a hierarchy needs at least one writable tier above the "
+          "read-only levels");
+    }
+    peer_level = static_cast<int>(last_cache);
+  }
   for (std::size_t i = 0; i + 1 < drivers.size(); ++i) {
-    if (drivers[i]->read_only()) {
+    if (drivers[i]->read_only() && static_cast<int>(i) != peer_level) {
       return InvalidArgumentError("tier '" + drivers[i]->name() +
                                   "' (level " + std::to_string(i) +
                                   ") must be writable");
     }
   }
   return std::unique_ptr<StorageHierarchy>(
-      new StorageHierarchy(std::move(drivers)));
+      new StorageHierarchy(std::move(drivers), peer_level));
 }
 
 int StorageHierarchy::NextServingLevel(int from) noexcept {
@@ -35,6 +47,9 @@ int StorageHierarchy::NextServingLevel(int from) noexcept {
 std::uint64_t StorageHierarchy::TotalWritableFreeBytes() const noexcept {
   std::uint64_t total = 0;
   for (std::size_t i = 0; i + 1 < drivers_.size(); ++i) {
+    // A read-only peer level reports unlimited free space (quota 0); it
+    // can never hold a placement, so it must not count.
+    if (drivers_[i]->read_only()) continue;
     total += drivers_[i]->free_bytes();
   }
   return total;

@@ -3,6 +3,12 @@
 // holds the full dataset. The system designer fixes the order at
 // configuration time (this repo orders by descending performance, as the
 // paper does, but any criterion works).
+//
+// ISSUE 4 adds an optional PEER level: a second read-only level slotted
+// directly above the PFS, backed by other cluster nodes' local tiers
+// reached over the interconnect (net/PeerEngine). It serves reads like
+// any tier — circuit-breaker-guarded, retried by its driver — but never
+// receives placements (read-only, so Reserve() always fails).
 #pragma once
 
 #include <cstddef>
@@ -17,7 +23,9 @@ namespace monarch::core {
 class StorageHierarchy {
  public:
   /// `drivers` ordered level 0..N-1; the last must be the read-only PFS
-  /// level and every other level must be writable.
+  /// level. Every other level must be writable, except that the level
+  /// immediately above the PFS may be a second read-only driver — the
+  /// peer-cache tier (there must still be at least one writable level).
   static Result<std::unique_ptr<StorageHierarchy>> Create(
       std::vector<StorageDriverPtr> drivers);
 
@@ -28,6 +36,10 @@ class StorageHierarchy {
   [[nodiscard]] int pfs_level() const noexcept {
     return static_cast<int>(drivers_.size()) - 1;
   }
+
+  /// Index of the read-only peer-cache level, or -1 when the hierarchy
+  /// has none. When present it is always pfs_level()-1.
+  [[nodiscard]] int peer_level() const noexcept { return peer_level_; }
 
   [[nodiscard]] StorageDriver& Level(int level) noexcept {
     return *drivers_[static_cast<std::size_t>(level)];
@@ -47,14 +59,17 @@ class StorageHierarchy {
   [[nodiscard]] int NextServingLevel(int from) noexcept;
 
   /// Sum of free bytes over writable levels — placement stops for a file
-  /// bigger than this.
+  /// bigger than this. Read-only levels (peer cache, PFS) report
+  /// unlimited free space and are excluded.
   [[nodiscard]] std::uint64_t TotalWritableFreeBytes() const noexcept;
 
  private:
-  explicit StorageHierarchy(std::vector<StorageDriverPtr> drivers)
-      : drivers_(std::move(drivers)) {}
+  explicit StorageHierarchy(std::vector<StorageDriverPtr> drivers,
+                            int peer_level)
+      : drivers_(std::move(drivers)), peer_level_(peer_level) {}
 
   std::vector<StorageDriverPtr> drivers_;
+  int peer_level_ = -1;
 };
 
 }  // namespace monarch::core

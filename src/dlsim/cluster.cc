@@ -3,6 +3,7 @@
 #include <mutex>
 #include <thread>
 
+#include "cluster/peer_group.h"
 #include "dlsim/monarch_opener.h"
 #include "dlsim/record_opener.h"
 #include "storage/device_model.h"
@@ -38,6 +39,12 @@ std::uint64_t ClusterResult::TotalPfsReadOps() const {
   return total;
 }
 
+std::uint64_t ClusterResult::TotalPfsReadBytes() const {
+  std::uint64_t total = 0;
+  for (const JobResult& job : jobs) total += job.pfs_stats.bytes_read;
+  return total;
+}
+
 Result<ClusterResult> RunClusterExperiment(const fs::path& pfs_root,
                                            const fs::path& local_root,
                                            const ClusterConfig& config) {
@@ -63,6 +70,21 @@ Result<ClusterResult> RunClusterExperiment(const fs::path& pfs_root,
   // no synthetic process needed.
   auto shared_pfs_device =
       std::make_shared<storage::DeviceModel>(storage::DeviceProfile::LustrePfs());
+
+  // Cooperative peer caching: one directory + one interconnect shared by
+  // every monarch job. Outlives the Monarch instances below (their read
+  // paths hold PeerViews pointing into the group).
+  std::unique_ptr<cluster::PeerGroup> peer_group;
+  if (config.use_monarch && config.peer_sharing) {
+    cluster::PeerOptions peer_options;
+    peer_options.interconnect_bandwidth_bps = config.interconnect_bandwidth_bps;
+    peer_options.interconnect_latency =
+        Micros(static_cast<std::int64_t>(config.interconnect_latency_us));
+    peer_options.directory_shards = config.directory_shards;
+    peer_options.replication = config.peer_replication;
+    peer_group =
+        std::make_unique<cluster::PeerGroup>(config.num_jobs, peer_options);
+  }
 
   struct Job {
     storage::StorageEnginePtr pfs_engine;
@@ -98,6 +120,14 @@ Result<ClusterResult> RunClusterExperiment(const fs::path& pfs_root,
       monarch_config.pfs = core::TierSpec{"lustre", job.pfs_engine, 0};
       monarch_config.dataset_dir = config.dataset.directory;
       monarch_config.placement.num_threads = config.placement_threads;
+      if (peer_group) {
+        // Register this node's local tier as a peer-read source, then
+        // give its Monarch the peer tier + the directory-backed view.
+        peer_group->RegisterNode(j, job.local_engine);
+        monarch_config.peer_tier =
+            core::TierSpec{"peer", peer_group->MakePeerEngine(j), 0};
+        monarch_config.peer_view = peer_group->MakePeerView(j);
+      }
       MONARCH_ASSIGN_OR_RETURN(
           job.monarch, core::Monarch::Create(std::move(monarch_config)));
       opener = std::make_unique<MonarchOpener>(*job.monarch);
@@ -131,7 +161,15 @@ Result<ClusterResult> RunClusterExperiment(const fs::path& pfs_root,
       jobs[j].monarch->DrainPlacements();
       job_result.monarch_stats = jobs[j].monarch->Stats();
     }
+    if (peer_group) {
+      job_result.peer_stats =
+          peer_group->directory().StatsFor(static_cast<int>(j));
+    }
     result.jobs.push_back(std::move(job_result));
+  }
+  if (peer_group) {
+    result.peer_transfers = peer_group->network()->transfers();
+    result.peer_bytes = peer_group->network()->bytes_transferred();
   }
   return result;
 }

@@ -21,6 +21,7 @@
 #include <string>
 #include <vector>
 
+#include "cluster/file_directory.h"
 #include "core/monarch.h"
 #include "dlsim/trainer.h"
 #include "workload/dataset_generator.h"
@@ -40,6 +41,19 @@ struct ClusterConfig {
   std::uint64_t local_quota_bytes = 115ULL * 1024 * 1024;
   int placement_threads = 6;
   std::uint64_t seed = 1;
+
+  /// Cooperative peer caching (ISSUE 4; `[peer]` in the INI dialect).
+  /// When set (monarch jobs only), the K nodes share one cluster
+  /// FileDirectory: each stages only its consistent-hash shard of the
+  /// dataset, and demand reads of the other shards go to the owning
+  /// node's local tier over a simulated interconnect before falling back
+  /// to the PFS. Aggregate PFS staging traffic drops from K× the dataset
+  /// to ~1×.
+  bool peer_sharing = false;
+  double interconnect_bandwidth_bps = 1.2e9;
+  std::uint64_t interconnect_latency_us = 150;
+  std::size_t directory_shards = 16;
+  int peer_replication = 1;
 };
 
 struct JobResult {
@@ -47,14 +61,22 @@ struct JobResult {
   TrainingResult training;
   storage::IoStatsSnapshot pfs_stats;   ///< this job's PFS traffic
   core::MonarchStats monarch_stats;     ///< zero-initialised for vanilla
+  /// Directory view of this node (zero when peer_sharing is off).
+  cluster::DirectoryNodeStats peer_stats;
 };
 
 struct ClusterResult {
   std::vector<JobResult> jobs;
+  /// Interconnect totals (zero when peer_sharing is off).
+  std::uint64_t peer_transfers = 0;
+  std::uint64_t peer_bytes = 0;
 
   [[nodiscard]] double MeanEpochSeconds() const;
   [[nodiscard]] double MeanTotalSeconds() const;
   [[nodiscard]] std::uint64_t TotalPfsReadOps() const;
+  /// Bytes every job together pulled from the shared PFS (reads +
+  /// staging) — the ≤1.3×-dataset acceptance number for peer sharing.
+  [[nodiscard]] std::uint64_t TotalPfsReadBytes() const;
 };
 
 /// Run `config.num_jobs` training jobs concurrently (one host thread

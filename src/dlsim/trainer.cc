@@ -3,6 +3,7 @@
 #include <utility>
 
 #include "obs/event_tracer.h"
+#include "util/crc32c.h"
 
 namespace monarch::dlsim {
 
@@ -48,9 +49,11 @@ Result<EpochResult> Trainer::RunEpoch(int epoch) {
   // reader threads, so epoch time converges to max(I/O+preproc, compute).
   std::uint64_t samples = 0;
   std::uint64_t in_batch = 0;
+  std::uint64_t digest = 0;
   while (auto sample = loader.queue().Pop()) {
     monitor.AddMemory(-static_cast<std::int64_t>(sample->payload.size()));
     ++samples;
+    digest += Crc32c(sample->payload);
     if (++in_batch == config_.batch_size) {
       compute.Step(in_batch);
       in_batch = 0;
@@ -69,6 +72,7 @@ Result<EpochResult> Trainer::RunEpoch(int epoch) {
   result.wall_seconds = wall.ElapsedSeconds();
   result.samples = samples;
   result.steps = compute.steps();
+  result.sample_digest = digest;
   if (epochs_completed_ != nullptr) epochs_completed_->Increment();
   if (samples_ != nullptr) samples_->Increment(samples);
   if (steps_ != nullptr) steps_->Increment(compute.steps());

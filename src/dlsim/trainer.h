@@ -34,6 +34,12 @@ struct EpochResult {
   double cpu_utilisation = 0;       ///< 0..1
   double gpu_utilisation = 0;       ///< 0..1
   std::int64_t peak_memory_bytes = 0;
+  /// Order-insensitive content digest of every sample consumed this
+  /// epoch: the commutative sum of per-sample CRC32Cs (the loader queue's
+  /// pop order is nondeterministic, so a sequential hash would not be
+  /// comparable across runs). Equal digests == byte-identical batches,
+  /// whatever tier or peer served the reads.
+  std::uint64_t sample_digest = 0;
 };
 
 struct TrainingResult {

@@ -1,0 +1,79 @@
+// NetworkModel: the simulated compute-cluster interconnect behind the
+// cooperative peer cache (ISSUE 4). Mirrors storage/device_model.h: a
+// configured bandwidth becomes a token bucket shared by every transfer
+// crossing the fabric, and each operation pays a fixed per-hop latency.
+//
+// One instance per interconnect; every PeerEngine in the cluster shares
+// the same model (and therefore the same bandwidth), so node A pulling a
+// file from node B slows node C's peer reads — the same real-contention
+// trick the shared-PFS device model plays, applied to the network.
+//
+// Profiles are expressed at the benches' 1/1000 simulation scale, like
+// DeviceProfile: what matters is the *ratio* to the storage devices —
+// a node-local interconnect (Infiniband class) is far wider than one
+// client's share of a saturated Lustre mount and its round trip is an
+// order of magnitude cheaper than an OSS round trip, which is exactly
+// why peer-served reads beat PFS re-staging.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+
+#include "obs/metrics_registry.h"
+#include "util/clock.h"
+#include "util/rate_limiter.h"
+
+namespace monarch::net {
+
+struct NetworkProfile {
+  std::string name = "interconnect";
+  /// Aggregate fabric bandwidth shared by all peer transfers.
+  double bandwidth_bps = 1.2e9;
+  /// Fixed cost of one traversal (request or response) between nodes.
+  Duration hop_latency = Micros(150);
+
+  /// HPC-cluster interconnect at simulation scale: ~3x the local-SSD
+  /// read bandwidth and ~1/8 the Lustre per-op latency, so a peer hop is
+  /// decisively cheaper than a PFS round trip but not free.
+  static NetworkProfile ClusterInterconnect();
+};
+
+class NetworkModel {
+ public:
+  explicit NetworkModel(NetworkProfile profile);
+
+  /// Block for the simulated duration of moving `bytes` across the
+  /// fabric (one hop of latency plus the bandwidth share).
+  void ChargeTransfer(std::uint64_t bytes);
+
+  /// Block for one metadata round trip (directory lookup, stat).
+  void ChargeRpc();
+
+  [[nodiscard]] const NetworkProfile& profile() const noexcept {
+    return profile_;
+  }
+
+  /// Expected uncontended service time for a transfer of `bytes` —
+  /// calibration checks, mirroring DeviceModel::PredictRead.
+  [[nodiscard]] Duration PredictTransfer(std::uint64_t bytes) const;
+
+  [[nodiscard]] std::uint64_t transfers() const noexcept {
+    return transfers_local_.load(std::memory_order_relaxed);
+  }
+  [[nodiscard]] std::uint64_t bytes_transferred() const noexcept {
+    return bytes_local_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  NetworkProfile profile_;
+  RateLimiter bucket_;
+  std::atomic<std::uint64_t> transfers_local_{0};
+  std::atomic<std::uint64_t> bytes_local_{0};
+  obs::Counter* transfers_ = nullptr;       ///< `net.transfers`
+  obs::Counter* bytes_transferred_ = nullptr;  ///< `net.bytes_transferred`
+};
+
+using NetworkModelPtr = std::shared_ptr<NetworkModel>;
+
+}  // namespace monarch::net

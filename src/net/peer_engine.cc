@@ -1,0 +1,87 @@
+#include "net/peer_engine.h"
+
+#include <utility>
+
+#include "obs/event_tracer.h"
+#include "obs/json.h"
+
+namespace monarch::net {
+
+PeerEngine::PeerEngine(std::string name, ResolverPtr resolver,
+                       NetworkModelPtr network)
+    : name_(std::move(name)),
+      resolver_(std::move(resolver)),
+      network_(std::move(network)),
+      stats_reg_(storage::RegisterIoStats(obs::MetricsRegistry::Global(),
+                                          Name(), &stats_)) {}
+
+Result<std::size_t> PeerEngine::Read(const std::string& path,
+                                     std::uint64_t offset,
+                                     std::span<std::byte> dst) {
+  obs::TraceSpan span("peer.read", "net");
+  const Stopwatch timer;
+  MONARCH_ASSIGN_OR_RETURN(storage::StorageEnginePtr holder,
+                           resolver_->ResolveHolder(path));
+  // The serving node's device really does the read (its cost is charged
+  // by that engine), then the bytes cross the fabric.
+  MONARCH_ASSIGN_OR_RETURN(const std::size_t n,
+                           holder->Read(path, offset, dst));
+  network_->ChargeTransfer(n);
+  stats_.RecordRead(n, timer.Elapsed());
+  if (span.active()) {
+    span.set_args_json("\"file\":" + obs::JsonQuote(path) +
+                       ",\"bytes\":" + std::to_string(n));
+  }
+  return n;
+}
+
+Status PeerEngine::Write(const std::string& path,
+                         std::span<const std::byte> data) {
+  (void)path;
+  (void)data;
+  return FailedPreconditionError("peer tier '" + name_ + "' is read-only");
+}
+
+Status PeerEngine::WriteAt(const std::string& path, std::uint64_t offset,
+                           std::span<const std::byte> data) {
+  (void)path;
+  (void)offset;
+  (void)data;
+  return FailedPreconditionError("peer tier '" + name_ + "' is read-only");
+}
+
+Status PeerEngine::Delete(const std::string& path) {
+  (void)path;
+  return FailedPreconditionError("peer tier '" + name_ + "' is read-only");
+}
+
+Result<std::uint64_t> PeerEngine::FileSize(const std::string& path) {
+  network_->ChargeRpc();
+  stats_.RecordMetadataOp();
+  MONARCH_ASSIGN_OR_RETURN(storage::StorageEnginePtr holder,
+                           resolver_->ResolveHolder(path));
+  return holder->FileSize(path);
+}
+
+Result<bool> PeerEngine::Exists(const std::string& path) {
+  network_->ChargeRpc();
+  stats_.RecordMetadataOp();
+  auto holder = resolver_->ResolveHolder(path);
+  if (!holder.ok()) {
+    if (holder.status().code() == StatusCode::kNotFound) return false;
+    return holder.status();
+  }
+  return holder.value()->Exists(path);
+}
+
+Result<std::vector<storage::FileStat>> PeerEngine::ListFiles(
+    const std::string& dir) {
+  (void)dir;
+  // A peer tier has no namespace of its own — the FileDirectory is the
+  // cluster-wide namespace, and the local metadata container already
+  // indexed the dataset from the PFS.
+  return FailedPreconditionError("peer tier '" + name_ +
+                                 "' does not enumerate files");
+}
+
+}  // namespace monarch::net

@@ -1,0 +1,69 @@
+// PeerEngine: a StorageEngine whose bytes live on ANOTHER node's local
+// tier, reached over the simulated interconnect (ISSUE 4, the kPeer
+// hierarchy level).
+//
+// The engine itself knows nothing about the cluster: a Resolver —
+// implemented by cluster::PeerGroup against the FileDirectory — maps a
+// path to the engine of some node currently holding a placed copy.
+// Reads then flow remote-engine -> network model, so a peer read pays
+// BOTH the owner's device cost (its SSD really is busy serving us) and
+// the fabric transfer, exactly like a remote read in FanStore/Hoard.
+//
+// Peer tiers are strictly read-only caches of other nodes' staged
+// copies: Write/WriteAt/Delete fail with kFailedPrecondition, and the
+// StorageDriver above is constructed read-only so placement never
+// reserves space here.
+#pragma once
+
+#include <memory>
+#include <string>
+
+#include "net/network_model.h"
+#include "storage/storage_engine.h"
+
+namespace monarch::net {
+
+class PeerEngine final : public storage::StorageEngine {
+ public:
+  /// Maps a path to the engine of a node holding a placed copy.
+  /// Implementations return kNotFound when no peer currently holds the
+  /// file — the miss the degradation ladder turns into a PFS fallback.
+  class Resolver {
+   public:
+    virtual ~Resolver() = default;
+    virtual Result<storage::StorageEnginePtr> ResolveHolder(
+        const std::string& path) = 0;
+  };
+  using ResolverPtr = std::shared_ptr<Resolver>;
+
+  PeerEngine(std::string name, ResolverPtr resolver, NetworkModelPtr network);
+
+  Result<std::size_t> Read(const std::string& path, std::uint64_t offset,
+                           std::span<std::byte> dst) override;
+  Status Write(const std::string& path,
+               std::span<const std::byte> data) override;
+  Status WriteAt(const std::string& path, std::uint64_t offset,
+                 std::span<const std::byte> data) override;
+  Status Delete(const std::string& path) override;
+  Result<std::uint64_t> FileSize(const std::string& path) override;
+  Result<bool> Exists(const std::string& path) override;
+  Result<std::vector<storage::FileStat>> ListFiles(
+      const std::string& dir) override;
+
+  storage::IoStats& Stats() override { return stats_; }
+  [[nodiscard]] std::string Name() const override { return name_; }
+
+  [[nodiscard]] const NetworkModelPtr& network() const noexcept {
+    return network_;
+  }
+
+ private:
+  std::string name_;
+  ResolverPtr resolver_;
+  NetworkModelPtr network_;
+  storage::IoStats stats_;
+  // Last member: deregisters before stats_ dies.
+  obs::SourceRegistration stats_reg_;
+};
+
+}  // namespace monarch::net

@@ -1,0 +1,175 @@
+#include "cluster/file_directory.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+#include <string>
+#include <thread>
+#include <vector>
+
+namespace monarch::cluster {
+namespace {
+
+std::string File(int i) { return "data/f" + std::to_string(i) + ".bin"; }
+
+TEST(FileDirectoryTest, OwnershipIsDeterministicAndInRange) {
+  FileDirectory a(4);
+  FileDirectory b(4);
+  for (int i = 0; i < 64; ++i) {
+    const int owner = a.PrimaryOwner(File(i));
+    EXPECT_GE(owner, 0);
+    EXPECT_LT(owner, 4);
+    // Same ring parameters -> same owner, across instances (and runs:
+    // the ring hash is FNV-1a, not std::hash).
+    EXPECT_EQ(owner, b.PrimaryOwner(File(i)));
+    EXPECT_TRUE(a.IsOwner(File(i), owner));
+  }
+}
+
+TEST(FileDirectoryTest, OwnershipCoversAllNodes) {
+  // With 64 virtual nodes per member, a few hundred files should land on
+  // every member of a small cluster.
+  FileDirectory directory(4);
+  std::set<int> seen;
+  for (int i = 0; i < 256; ++i) seen.insert(directory.PrimaryOwner(File(i)));
+  EXPECT_EQ(4u, seen.size());
+}
+
+TEST(FileDirectoryTest, ReplicationYieldsDistinctOwnersPrimaryFirst) {
+  FileDirectory directory(5, /*replication=*/3);
+  EXPECT_EQ(3, directory.replication());
+  for (int i = 0; i < 32; ++i) {
+    const auto owners = directory.OwnerNodes(File(i));
+    ASSERT_EQ(3u, owners.size());
+    EXPECT_EQ(directory.PrimaryOwner(File(i)), owners.front());
+    std::set<int> distinct(owners.begin(), owners.end());
+    EXPECT_EQ(3u, distinct.size());
+    for (const int node : owners) EXPECT_TRUE(directory.IsOwner(File(i), node));
+  }
+}
+
+TEST(FileDirectoryTest, ReplicationClampedToClusterSize) {
+  FileDirectory directory(2, /*replication=*/8);
+  EXPECT_EQ(2, directory.replication());
+  EXPECT_EQ(2u, directory.OwnerNodes(File(0)).size());
+}
+
+TEST(FileDirectoryTest, PlacedHolderExcludesAskerAndTracksEviction) {
+  FileDirectory directory(3);
+  EXPECT_FALSE(directory.PlacedHolder(File(0), 0).has_value());
+
+  directory.MarkPlaced(File(0), /*node=*/1, /*level=*/0);
+  EXPECT_EQ(1, directory.PlacedHolder(File(0), 0).value());
+  EXPECT_EQ(1, directory.PlacedHolder(File(0), 2).value());
+  // The holder itself gets no peer: its copy is local.
+  EXPECT_FALSE(directory.PlacedHolder(File(0), 1).has_value());
+
+  directory.MarkEvicted(File(0), 1);
+  EXPECT_FALSE(directory.PlacedHolder(File(0), 0).has_value());
+  // Entries survive eviction with an empty holder list.
+  EXPECT_EQ(1u, directory.entries());
+  EXPECT_EQ(0u, directory.placed_copies());
+}
+
+TEST(FileDirectoryTest, DuplicatePlacementsAndUnknownEvictionsAreBenign) {
+  FileDirectory directory(2);
+  directory.MarkPlaced(File(0), 0, 0);
+  directory.MarkPlaced(File(0), 0, 0);  // re-stage after quarantine
+  EXPECT_EQ(1u, directory.placed_copies());
+  directory.MarkEvicted(File(1), 0);  // never placed
+  directory.MarkEvicted(File(0), 1);  // placed by someone else
+  EXPECT_EQ(1u, directory.placed_copies());
+  EXPECT_EQ(0, directory.PlacedHolder(File(0), 1).value());
+}
+
+TEST(FileDirectoryTest, StatsForCountsOwnedPlacedAndRemoteHits) {
+  FileDirectory directory(2);
+  std::vector<std::uint64_t> owned(2, 0);
+  for (int i = 0; i < 16; ++i) {
+    const int owner = directory.PrimaryOwner(File(i));
+    ++owned[static_cast<std::size_t>(owner)];
+    directory.MarkPlaced(File(i), owner, 0);
+  }
+  directory.CountRemoteHit(0);
+  directory.CountRemoteHit(0);
+  directory.CountRemoteHit(1);
+
+  for (int node = 0; node < 2; ++node) {
+    const DirectoryNodeStats stats = directory.StatsFor(node);
+    EXPECT_EQ(node, stats.node);
+    EXPECT_EQ(owned[static_cast<std::size_t>(node)], stats.owned);
+    EXPECT_EQ(owned[static_cast<std::size_t>(node)], stats.placed);
+  }
+  EXPECT_EQ(2u, directory.StatsFor(0).remote_hits);
+  EXPECT_EQ(1u, directory.StatsFor(1).remote_hits);
+  EXPECT_EQ(16u, directory.entries());
+  EXPECT_EQ(16u, directory.placed_copies());
+}
+
+// Satellite (f): the dedicated TSan stress — N threads hammering the
+// directory with the register/lookup/evict mix every node's reader and
+// placement threads produce concurrently. Run under check.sh's TSan leg
+// (filter `FileDirectory*`); assertions here only pin the invariants that
+// survive any interleaving.
+TEST(FileDirectoryStressTest, ConcurrentRegisterLookupEvict) {
+  constexpr int kNodes = 4;
+  constexpr int kFiles = 64;
+  constexpr int kRounds = 200;
+  FileDirectory directory(kNodes, /*replication=*/2, /*shards=*/8);
+
+  // Seed the map so the very first reader pass already resolves holders —
+  // the threads below then race placement churn against lookups.
+  for (int i = 0; i < kFiles; ++i) {
+    directory.MarkPlaced(File(i), directory.PrimaryOwner(File(i)), 0);
+  }
+
+  std::vector<std::thread> threads;
+  threads.reserve(kNodes * 2);
+  for (int node = 0; node < kNodes; ++node) {
+    // Placement thread: place and evict this node's shard, repeatedly —
+    // the evict-race side of the stress.
+    threads.emplace_back([&directory, node] {
+      for (int round = 0; round < kRounds; ++round) {
+        for (int i = 0; i < kFiles; ++i) {
+          if (!directory.IsOwner(File(i), node)) continue;
+          directory.MarkPlaced(File(i), node, 0);
+          if (round % 3 == 2) directory.MarkEvicted(File(i), node);
+        }
+      }
+    });
+    // Reader thread: resolve holders and poll stats while placement churns.
+    threads.emplace_back([&directory, node] {
+      std::uint64_t hits = 0;
+      for (int round = 0; round < kRounds; ++round) {
+        for (int i = 0; i < kFiles; ++i) {
+          const auto holder = directory.PlacedHolder(File(i), node);
+          if (holder.has_value()) {
+            ASSERT_NE(node, holder.value());
+            directory.CountRemoteHit(holder.value());
+            ++hits;
+          }
+        }
+        (void)directory.StatsFor(node);
+        (void)directory.placed_copies();
+      }
+      EXPECT_GT(hits, 0u);
+    });
+  }
+  for (auto& thread : threads) thread.join();
+
+  // Quiesced invariants: every file was placed at least once (entries
+  // stick), and remote-hit tallies equal what the readers recorded.
+  EXPECT_EQ(static_cast<std::uint64_t>(kFiles), directory.entries());
+  std::uint64_t placed = 0;
+  std::uint64_t hits = 0;
+  for (int node = 0; node < kNodes; ++node) {
+    placed += directory.StatsFor(node).placed;
+    hits += directory.StatsFor(node).remote_hits;
+  }
+  EXPECT_EQ(placed, directory.placed_copies());
+  EXPECT_GT(hits, 0u);
+}
+
+}  // namespace
+}  // namespace monarch::cluster

@@ -113,6 +113,49 @@ TEST(ParseConfigTest, RejectsStructuralErrors) {
                   "[tier.0]\nprofile=ram\nquota=1\n[pfs]\nprofile=raw\nroot=/p\n"));
 }
 
+TEST(ParseConfigTest, PeerSectionDisabledByDefault) {
+  auto parsed = ParseConfig(kValidIni);
+  ASSERT_OK(parsed);
+  EXPECT_FALSE(parsed.value().peer.enabled);
+  EXPECT_EQ(1'200'000'000u, parsed.value().peer.interconnect_bandwidth_bps);
+  EXPECT_EQ(150u, parsed.value().peer.interconnect_latency_us);
+  EXPECT_EQ(16u, parsed.value().peer.directory_shards);
+  EXPECT_EQ(1, parsed.value().peer.replication);
+}
+
+TEST(ParseConfigTest, ParsesPeerSection) {
+  auto parsed = ParseConfig(
+      "[monarch]\ndataset_dir=d\n"
+      "[tier.0]\nprofile=ram\nquota=1KiB\n"
+      "[pfs]\nprofile=raw\nroot=/p\n"
+      "[peer]\n"
+      "enabled = true\n"
+      "interconnect_bandwidth = 2GiB\n"
+      "interconnect_latency_us = 80\n"
+      "directory_shards = 32\n"
+      "replication = 2\n");
+  ASSERT_OK(parsed);
+  EXPECT_TRUE(parsed.value().peer.enabled);
+  EXPECT_EQ(2_GiB, parsed.value().peer.interconnect_bandwidth_bps);
+  EXPECT_EQ(80u, parsed.value().peer.interconnect_latency_us);
+  EXPECT_EQ(32u, parsed.value().peer.directory_shards);
+  EXPECT_EQ(2, parsed.value().peer.replication);
+}
+
+TEST(ParseConfigTest, RejectsBadPeerKeys) {
+  constexpr const char* kBase =
+      "[monarch]\ndataset_dir=d\n[tier.0]\nprofile=ram\nquota=1KiB\n"
+      "[pfs]\nprofile=raw\nroot=/p\n";
+  EXPECT_STATUS_CODE(StatusCode::kInvalidArgument,
+                     ParseConfig(std::string(kBase) + "[peer]\ntypo=1\n"));
+  EXPECT_STATUS_CODE(
+      StatusCode::kInvalidArgument,
+      ParseConfig(std::string(kBase) + "[peer]\nreplication=0\n"));
+  EXPECT_STATUS_CODE(
+      StatusCode::kInvalidArgument,
+      ParseConfig(std::string(kBase) + "[peer]\nenabled=maybe\n"));
+}
+
 TEST(BuildMonarchConfigTest, UnknownProfileRejected) {
   ParsedConfig parsed;
   parsed.dataset_dir = "d";

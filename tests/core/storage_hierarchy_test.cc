@@ -63,6 +63,57 @@ TEST(StorageHierarchyTest, ThreeLevelHierarchy) {
   EXPECT_EQ(2, hierarchy.value()->pfs_level());
 }
 
+TEST(StorageHierarchyTest, AcceptsPeerLevelAbovePfs) {
+  // ISSUE 4 shape: local cache, read-only peer tier, PFS.
+  std::vector<StorageDriverPtr> drivers;
+  drivers.push_back(Driver("ssd", 100, false));
+  drivers.push_back(Driver("peer", 0, true));
+  drivers.push_back(Driver("pfs", 0, true));
+  auto hierarchy = StorageHierarchy::Create(std::move(drivers));
+  ASSERT_OK(hierarchy);
+  EXPECT_EQ(3u, hierarchy.value()->num_levels());
+  EXPECT_EQ(2, hierarchy.value()->pfs_level());
+  EXPECT_EQ(1, hierarchy.value()->peer_level());
+}
+
+TEST(StorageHierarchyTest, PeerLevelAbsentByDefault) {
+  std::vector<StorageDriverPtr> drivers;
+  drivers.push_back(Driver("ssd", 100, false));
+  drivers.push_back(Driver("pfs", 0, true));
+  auto hierarchy = StorageHierarchy::Create(std::move(drivers));
+  ASSERT_OK(hierarchy);
+  EXPECT_EQ(-1, hierarchy.value()->peer_level());
+}
+
+TEST(StorageHierarchyTest, RejectsPeerLevelWithoutWritableTier) {
+  // A peer tier may not stand in for the mandatory writable cache level.
+  std::vector<StorageDriverPtr> drivers;
+  drivers.push_back(Driver("peer", 0, true));
+  drivers.push_back(Driver("pfs", 0, true));
+  EXPECT_STATUS_CODE(StatusCode::kInvalidArgument,
+                     StorageHierarchy::Create(std::move(drivers)));
+}
+
+TEST(StorageHierarchyTest, RejectsReadOnlyLevelBelowPeerSlot) {
+  // Read-only is only legal directly above the PFS, nowhere lower.
+  std::vector<StorageDriverPtr> drivers;
+  drivers.push_back(Driver("frozen", 0, true));
+  drivers.push_back(Driver("ssd", 100, false));
+  drivers.push_back(Driver("pfs", 0, true));
+  EXPECT_STATUS_CODE(StatusCode::kInvalidArgument,
+                     StorageHierarchy::Create(std::move(drivers)));
+}
+
+TEST(StorageHierarchyTest, TotalWritableFreeBytesSkipsPeerLevel) {
+  std::vector<StorageDriverPtr> drivers;
+  drivers.push_back(Driver("ssd", 100, false));
+  drivers.push_back(Driver("peer", 0, true));
+  drivers.push_back(Driver("pfs", 0, true));
+  auto hierarchy = StorageHierarchy::Create(std::move(drivers));
+  ASSERT_OK(hierarchy);
+  EXPECT_EQ(100u, hierarchy.value()->TotalWritableFreeBytes());
+}
+
 TEST(StorageHierarchyTest, TotalWritableFreeBytesExcludesPfs) {
   std::vector<StorageDriverPtr> drivers;
   drivers.push_back(Driver("ram", 50, false));

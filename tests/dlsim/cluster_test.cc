@@ -108,5 +108,109 @@ TEST_F(ClusterTest, JobsShufflesDiffer) {
   EXPECT_GT(b.read_ops, 0u);
 }
 
+// ---------------------------------------------------------------------
+// ISSUE 4 satellite (c): seeded 2-job runs must deliver byte-identical
+// batches whichever storage path serves them, and every job's PFS
+// traffic must reconcile against its MONARCH accounting.
+
+TEST_F(ClusterTest, SeededRunsDeliverByteIdenticalBatchesAcrossArms) {
+  // Same seed, three arms: vanilla, monarch, monarch+peer. The trainer
+  // digests every sample payload (order-insensitive CRC sum), so equal
+  // digests mean every epoch consumed exactly the same bytes regardless
+  // of which tier — PFS, local, or a peer's local over the fabric —
+  // served each read.
+  ClusterConfig vanilla_config = MiniConfig(2, false);
+  vanilla_config.seed = 77;
+  ClusterConfig monarch_config = MiniConfig(2, true);
+  monarch_config.seed = 77;
+  ClusterConfig peer_config = MiniConfig(2, true);
+  peer_config.seed = 77;
+  peer_config.peer_sharing = true;
+
+  auto vanilla = RunClusterExperiment(dir_.Sub("pfs"), dir_.Sub("dv"),
+                                      vanilla_config);
+  ASSERT_OK(vanilla);
+  auto monarch = RunClusterExperiment(dir_.Sub("pfs"), dir_.Sub("dm"),
+                                      monarch_config);
+  ASSERT_OK(monarch);
+  auto peer = RunClusterExperiment(dir_.Sub("pfs"), dir_.Sub("dp"),
+                                   peer_config);
+  ASSERT_OK(peer);
+
+  for (std::size_t j = 0; j < 2; ++j) {
+    const auto& v_epochs = vanilla.value().jobs[j].training.epochs;
+    const auto& m_epochs = monarch.value().jobs[j].training.epochs;
+    const auto& p_epochs = peer.value().jobs[j].training.epochs;
+    ASSERT_EQ(v_epochs.size(), m_epochs.size());
+    ASSERT_EQ(v_epochs.size(), p_epochs.size());
+    for (std::size_t e = 0; e < v_epochs.size(); ++e) {
+      EXPECT_NE(0u, v_epochs[e].sample_digest);
+      EXPECT_EQ(v_epochs[e].sample_digest, m_epochs[e].sample_digest)
+          << "job " << j << " epoch " << e << ": monarch diverged";
+      EXPECT_EQ(v_epochs[e].sample_digest, p_epochs[e].sample_digest)
+          << "job " << j << " epoch " << e << ": monarch-peer diverged";
+    }
+  }
+}
+
+TEST_F(ClusterTest, PerJobPfsTrafficReconcilesWithMonarchAccounting) {
+  for (const bool peer_sharing : {false, true}) {
+    ClusterConfig config = MiniConfig(2, true);
+    config.peer_sharing = peer_sharing;
+    auto result = RunClusterExperiment(
+        dir_.Sub("pfs"), dir_.Sub(peer_sharing ? "rp" : "rm"), config);
+    ASSERT_OK(result);
+    for (const auto& job : result.value().jobs) {
+      // Everything this job pulled from the shared PFS is either a
+      // demand read served by the PFS level or a staging copy (minus the
+      // chunks donated by the triggering demand read).
+      const auto& stats = job.monarch_stats;
+      EXPECT_EQ(job.pfs_stats.bytes_read,
+                stats.levels.back().bytes + stats.placement.bytes_staged -
+                    stats.placement.donated_bytes)
+          << "job " << job.job_index << " peer_sharing=" << peer_sharing;
+      EXPECT_EQ(0u, stats.degraded_fallbacks)
+          << "clean run must not exercise the degradation ladder";
+    }
+  }
+}
+
+TEST_F(ClusterTest, PeerSharingShardsStagingAndCutsPfsTraffic) {
+  ClusterConfig config = MiniConfig(2, true);
+  auto solo = RunClusterExperiment(dir_.Sub("pfs"), dir_.Sub("ns"), config);
+  ASSERT_OK(solo);
+  config.peer_sharing = true;
+  auto shared = RunClusterExperiment(dir_.Sub("pfs"), dir_.Sub("ps"), config);
+  ASSERT_OK(shared);
+
+  // Without peer sharing every node stages the whole dataset; with it
+  // the shards partition the namespace, so the cluster pulls fewer bytes
+  // from the PFS and moves the difference over the interconnect.
+  EXPECT_LT(shared.value().TotalPfsReadBytes(),
+            solo.value().TotalPfsReadBytes());
+  EXPECT_GT(shared.value().peer_transfers, 0u);
+  EXPECT_GT(shared.value().peer_bytes, 0u);
+
+  const std::uint64_t num_files = workload::DatasetSpec::Tiny().num_files;
+  std::uint64_t owned = 0;
+  std::uint64_t placed = 0;
+  for (const auto& job : shared.value().jobs) {
+    owned += job.peer_stats.owned;
+    placed += job.peer_stats.placed;
+    // Each node staged exactly its shard, nothing else.
+    EXPECT_EQ(job.peer_stats.placed, job.monarch_stats.placement.completed)
+        << "job " << job.job_index;
+  }
+  EXPECT_EQ(num_files, owned);
+  EXPECT_EQ(num_files, placed);
+
+  // The non-peer arm reports no directory or fabric activity.
+  EXPECT_EQ(0u, solo.value().peer_transfers);
+  for (const auto& job : solo.value().jobs) {
+    EXPECT_EQ(0u, job.peer_stats.owned + job.peer_stats.placed +
+                      job.peer_stats.remote_hits);
+  }
+}
+
 }  // namespace
 }  // namespace monarch::dlsim

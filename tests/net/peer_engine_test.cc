@@ -1,0 +1,137 @@
+#include "net/peer_engine.h"
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "../test_support.h"
+#include "net/network_model.h"
+#include "storage/memory_engine.h"
+
+namespace monarch::net {
+namespace {
+
+using monarch::testing::Bytes;
+using monarch::testing::Text;
+
+TEST(NetworkModelTest, PredictTransferScalesWithBytes) {
+  NetworkProfile profile;
+  profile.bandwidth_bps = 1e9;
+  profile.hop_latency = Micros(100);
+  NetworkModel model(profile);
+  const auto small = model.PredictTransfer(4096);
+  const auto large = model.PredictTransfer(1 << 20);
+  EXPECT_GE(small.count(), Micros(100).count());  // at least one hop
+  EXPECT_GT(large.count(), small.count());
+}
+
+TEST(NetworkModelTest, ChargeTransferCounts) {
+  NetworkProfile profile = NetworkProfile::ClusterInterconnect();
+  profile.hop_latency = Micros(0);  // keep the test fast
+  NetworkModel model(profile);
+  model.ChargeTransfer(1024);
+  model.ChargeTransfer(2048);
+  model.ChargeRpc();
+  EXPECT_EQ(2u, model.transfers());
+  EXPECT_EQ(3072u, model.bytes_transferred());
+}
+
+/// Resolver over a fixed holder engine; kNotFound when disabled.
+class FixedResolver final : public PeerEngine::Resolver {
+ public:
+  explicit FixedResolver(storage::StorageEnginePtr holder)
+      : holder_(std::move(holder)) {}
+
+  Result<storage::StorageEnginePtr> ResolveHolder(
+      const std::string& path) override {
+    ++resolutions_;
+    if (holder_ == nullptr) {
+      return NotFoundError("no peer holds '" + path + "'");
+    }
+    return holder_;
+  }
+
+  void Drop() { holder_ = nullptr; }
+  [[nodiscard]] int resolutions() const noexcept { return resolutions_; }
+
+ private:
+  storage::StorageEnginePtr holder_;
+  int resolutions_ = 0;
+};
+
+struct PeerWorld {
+  std::shared_ptr<storage::MemoryEngine> holder =
+      std::make_shared<storage::MemoryEngine>("remote-ssd");
+  std::shared_ptr<FixedResolver> resolver =
+      std::make_shared<FixedResolver>(holder);
+  NetworkModelPtr network;
+  std::unique_ptr<PeerEngine> peer;
+
+  PeerWorld() {
+    NetworkProfile profile = NetworkProfile::ClusterInterconnect();
+    profile.hop_latency = Micros(0);
+    network = std::make_shared<NetworkModel>(profile);
+    peer = std::make_unique<PeerEngine>("peer0", resolver, network);
+  }
+};
+
+TEST(PeerEngineTest, ReadServesRemoteCopyAndChargesFabric) {
+  PeerWorld world;
+  ASSERT_OK(world.holder->Write("data/a.bin", Bytes("remote payload")));
+
+  std::vector<std::byte> buffer(14);
+  auto read = world.peer->Read("data/a.bin", 0, buffer);
+  ASSERT_OK(read);
+  EXPECT_EQ(14u, read.value());
+  EXPECT_EQ("remote payload", Text(buffer));
+  // The transfer crossed the simulated fabric and the remote device.
+  EXPECT_EQ(1u, world.network->transfers());
+  EXPECT_EQ(14u, world.network->bytes_transferred());
+  EXPECT_EQ(1u, world.holder->Stats().Snapshot().read_ops);
+  EXPECT_EQ(1u, world.peer->Stats().Snapshot().read_ops);
+}
+
+TEST(PeerEngineTest, ResolverMissIsNotFound) {
+  PeerWorld world;
+  world.resolver->Drop();
+  std::vector<std::byte> buffer(8);
+  EXPECT_STATUS_CODE(StatusCode::kNotFound,
+                     world.peer->Read("data/a.bin", 0, buffer));
+  // A miss never touches the fabric's data path.
+  EXPECT_EQ(0u, world.network->transfers());
+}
+
+TEST(PeerEngineTest, MissingFileOnHolderPropagates) {
+  PeerWorld world;
+  std::vector<std::byte> buffer(8);
+  EXPECT_STATUS_CODE(StatusCode::kNotFound,
+                     world.peer->Read("data/ghost.bin", 0, buffer));
+}
+
+TEST(PeerEngineTest, WritesAreRejectedReadOnly) {
+  PeerWorld world;
+  EXPECT_STATUS_CODE(StatusCode::kFailedPrecondition,
+                     world.peer->Write("data/a.bin", Bytes("x")));
+  EXPECT_STATUS_CODE(StatusCode::kFailedPrecondition,
+                     world.peer->WriteAt("data/a.bin", 0, Bytes("x")));
+  EXPECT_STATUS_CODE(StatusCode::kFailedPrecondition,
+                     world.peer->Delete("data/a.bin"));
+}
+
+TEST(PeerEngineTest, MetadataOpsResolveThroughDirectory) {
+  PeerWorld world;
+  ASSERT_OK(world.holder->Write("data/a.bin", Bytes("0123456789")));
+  auto size = world.peer->FileSize("data/a.bin");
+  ASSERT_OK(size);
+  EXPECT_EQ(10u, size.value());
+  auto exists = world.peer->Exists("data/a.bin");
+  ASSERT_OK(exists);
+  EXPECT_TRUE(exists.value());
+  EXPECT_GE(world.resolver->resolutions(), 2);
+}
+
+}  // namespace
+}  // namespace monarch::net

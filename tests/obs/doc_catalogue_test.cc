@@ -14,6 +14,7 @@
 #include <string>
 #include <vector>
 
+#include "cluster/peer_group.h"
 #include "core/monarch.h"
 #include "dlsim/monarch_opener.h"
 #include "dlsim/trainer.h"
@@ -74,6 +75,18 @@ std::set<std::string> RuntimeNames() {
   std::vector<std::byte> buffer(512);
   EXPECT_TRUE((*monarch)->Read("data/f0.bin", 0, buffer).ok());
   (*monarch)->DrainPlacements();
+
+  // The cooperative peer cache (ISSUE 4): constructing the PeerGroup
+  // registers the net.* and cluster.directory.* instruments; one resolved
+  // peer read keeps the fixture live like the Monarch read above.
+  cluster::PeerGroup group(2);
+  auto holder = std::make_shared<storage::MemoryEngine>("catalogue-holder");
+  EXPECT_TRUE(holder->Write("data/f0.bin", payload).ok());
+  group.RegisterNode(0, std::make_shared<storage::MemoryEngine>("n0"));
+  group.RegisterNode(1, holder);
+  group.directory().MarkPlaced("data/f0.bin", 1, 0);
+  auto peer_engine = group.MakePeerEngine(0);
+  EXPECT_TRUE(peer_engine->Read("data/f0.bin", 0, buffer).ok());
 
   // Constructing a Trainer registers the trainer.* counters.
   dlsim::TrainerConfig tc;

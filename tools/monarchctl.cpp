@@ -41,6 +41,15 @@
 //       (retries, degraded fallbacks, circuit-breaker state,
 //       quarantines). Exit 0 iff training saw zero errors.
 //
+//   monarchctl peer-status [--nodes N] [--files N] [--epochs N]
+//                          [--replication R]
+//       Cooperative-peer-cache demo (DESIGN.md "Cooperative peer
+//       cache"): N in-memory nodes share one cluster directory, each
+//       stages its consistent-hash shard, and later epochs read the
+//       other shards over the simulated interconnect. Prints per-node
+//       owned/placed/remote-hit counts plus directory and interconnect
+//       totals.
+//
 // Exit code 0 on success, 1 on usage errors, 2 on runtime failures.
 #include <filesystem>
 #include <fstream>
@@ -51,6 +60,7 @@
 #include <string>
 #include <vector>
 
+#include "cluster/peer_group.h"
 #include "core/config.h"
 #include "core/monarch.h"
 #include "dlsim/monarch_opener.h"
@@ -125,7 +135,8 @@ void PrintUsage() {
       "  monarchctl trace   export FILE.json [--workload demo|none]\n"
       "  monarchctl stage-status [--files N] [--lookahead N] [--read-fraction F]\n"
       "  monarchctl faults  [--local-rate R] [--pfs-rate R] [--corrupt-rate R]\n"
-      "                     [--epochs N] [--files N] [--outage-epoch E]\n";
+      "                     [--epochs N] [--files N] [--outage-epoch E]\n"
+      "  monarchctl peer-status [--nodes N] [--files N] [--epochs N] [--replication R]\n";
 }
 
 Result<workload::DatasetSpec> PresetSpec(const std::string& preset,
@@ -681,6 +692,99 @@ int CmdFaults(const Args& args) {
   return 2;
 }
 
+/// The ISSUE-4 cooperative-caching demo: N in-memory "nodes" (one
+/// Monarch instance each) over ONE shared dataset, wired through a
+/// cluster::PeerGroup. Epoch 1 stages each node's consistent-hash shard;
+/// epoch 2+ serves the other shards over the simulated interconnect.
+/// Dumps the per-node directory view the satellite asks for.
+int CmdPeerStatus(const Args& args) {
+  const int nodes = std::max(2, std::atoi(args.GetOr("nodes", "3").c_str()));
+  const int num_files =
+      std::max(1, std::atoi(args.GetOr("files", "8").c_str()));
+  const int epochs = std::max(1, std::atoi(args.GetOr("epochs", "2").c_str()));
+  const int replication =
+      std::max(1, std::atoi(args.GetOr("replication", "1").c_str()));
+
+  constexpr std::size_t kFileBytes = 4096;
+  auto pfs = std::make_shared<storage::MemoryEngine>("demo-pfs");
+  const std::vector<std::byte> payload(kFileBytes);
+  for (int i = 0; i < num_files; ++i) {
+    if (auto s = pfs->Write("data/f" + std::to_string(i) + ".bin", payload);
+        !s.ok()) {
+      std::cerr << "peer-status: seeding dataset failed: " << s << "\n";
+      return 2;
+    }
+  }
+
+  cluster::PeerOptions options;
+  options.replication = replication;
+  cluster::PeerGroup group(nodes, options);
+
+  std::vector<std::unique_ptr<core::Monarch>> instances;
+  for (int n = 0; n < nodes; ++n) {
+    auto local = std::make_shared<storage::MemoryEngine>(
+        "local" + std::to_string(n));
+    group.RegisterNode(n, local);
+    core::MonarchConfig config;
+    config.cache_tiers.push_back(
+        core::TierSpec{"local" + std::to_string(n), local,
+                       /*quota_bytes=*/1ull << 20});
+    config.peer_tier = core::TierSpec{"peer", group.MakePeerEngine(n), 0};
+    config.peer_view = group.MakePeerView(n);
+    config.pfs = core::TierSpec{"demo-pfs", pfs, 0};
+    config.dataset_dir = "data";
+    auto monarch = core::Monarch::Create(std::move(config));
+    if (!monarch.ok()) {
+      std::cerr << "peer-status: node " << n << ": " << monarch.status()
+                << "\n";
+      return 2;
+    }
+    instances.push_back(std::move(monarch).value());
+  }
+
+  // Epochs run node-by-node so the demo is deterministic: after epoch 1
+  // every shard is staged on its owner, so epoch 2's foreign reads all
+  // travel the interconnect.
+  std::vector<std::byte> buffer(kFileBytes);
+  for (int epoch = 0; epoch < epochs; ++epoch) {
+    for (auto& node : instances) {
+      for (const auto& entry : node->metadata().Snapshot()) {
+        if (auto read = node->Read(entry.name, 0, buffer); !read.ok()) {
+          std::cerr << "peer-status: read failed: " << read.status() << "\n";
+          return 2;
+        }
+      }
+    }
+    for (auto& node : instances) node->DrainPlacements();
+  }
+
+  std::cout << "cooperative peer cache status (demo: " << nodes << " nodes, "
+            << num_files << " files, " << epochs << " epochs, replication "
+            << replication << ")\n";
+  Table table({"node", "owned", "placed", "remote_hits", "peer_reads",
+               "pfs_reads", "peer_fallbacks"});
+  for (int n = 0; n < nodes; ++n) {
+    const auto peer_stats = group.directory().StatsFor(n);
+    const auto stats = instances[static_cast<std::size_t>(n)]->Stats();
+    const auto& peer_level =
+        stats.levels[stats.levels.size() - 2];  // always present here
+    table.AddRow({std::to_string(n), std::to_string(peer_stats.owned),
+                  std::to_string(peer_stats.placed),
+                  std::to_string(peer_stats.remote_hits),
+                  std::to_string(peer_level.reads),
+                  std::to_string(stats.pfs_reads()),
+                  std::to_string(stats.fallbacks_peer_miss +
+                                 stats.fallbacks_peer_error)});
+  }
+  table.PrintAscii(std::cout);
+  std::cout << "directory: entries=" << group.directory().entries()
+            << " placed_copies=" << group.directory().placed_copies() << "\n"
+            << "interconnect: transfers=" << group.network()->transfers()
+            << " bytes=" << FormatByteSize(group.network()->bytes_transferred())
+            << "\n";
+  return 0;
+}
+
 int Main(int argc, char** argv) {
   auto args = ParseArgs(argc, argv);
   if (!args.ok()) {
@@ -697,6 +801,7 @@ int Main(int argc, char** argv) {
   if (command == "trace") return CmdTraceExport(*args);
   if (command == "stage-status") return CmdStageStatus(*args);
   if (command == "faults") return CmdFaults(*args);
+  if (command == "peer-status") return CmdPeerStatus(*args);
   PrintUsage();
   return command.empty() ? 1 : 1;
 }
