@@ -1,0 +1,186 @@
+// Extension experiment (ISSUE 5): checkpoint write path — direct-PFS
+// write-through vs the write-back checkpoint tier.
+//
+// Both arms push the SAME deterministic checkpoint stream (so the durable
+// end state is byte-identical) into a contended Lustre-profile PFS, with
+// a fixed "compute" gap between saves standing in for the training steps
+// between checkpoint triggers:
+//   - direct-pfs: every Save is a synchronous CRC-verified PFS write —
+//     the trainer stalls for the whole PFS round trip (the vanilla
+//     framework saver);
+//   - write-back: Save returns once the checkpoint is committed on the
+//     local SSD tier; the background drain lane overlaps the PFS push
+//     with the compute gaps and Flush waits out the remainder.
+// Expected shape: write-back stall_s collapses to roughly the local-SSD
+// write time while both arms end with every checkpoint durable and
+// CRC-identical on the PFS. durable_s shows the write-back arm paying
+// the PFS cost in the background, not on the training path.
+#include <chrono>
+#include <iostream>
+#include <thread>
+#include <vector>
+
+#include "bench_common.h"
+#include "ckpt/checkpoint_manager.h"
+#include "ckpt/direct_pfs_sink.h"
+#include "core/storage_hierarchy.h"
+#include "storage/engine_factory.h"
+#include "util/clock.h"
+#include "util/crc32c.h"
+
+namespace monarch::bench {
+namespace {
+
+/// The deterministic per-checkpoint payload both arms save: pattern
+/// bytes derived from the ordinal, so equal ordinals => equal bytes =>
+/// equal CRCs across arms.
+std::vector<std::byte> Payload(std::size_t bytes, int ordinal) {
+  std::vector<std::byte> payload(bytes);
+  std::uint64_t state = static_cast<std::uint64_t>(ordinal) * 1099511628211ull;
+  for (std::byte& b : payload) {
+    state = state * 6364136223846793005ull + 1442695040888963407ull;
+    b = static_cast<std::byte>(state >> 56);
+  }
+  return payload;
+}
+
+struct ArmResult {
+  double stall_seconds = 0;    ///< summed Save() latency (the training stall)
+  double durable_seconds = 0;  ///< start -> everything durable on the PFS
+  std::vector<std::uint32_t> crcs;  ///< durable CRC per checkpoint, in order
+};
+
+int Run() {
+  BenchEnv env = BenchEnv::FromEnvironment("checkpoint");
+  const int saves = EnvInt("MONARCH_BENCH_CKPTS", 6);
+  const auto bytes = static_cast<std::size_t>(
+      16.0 * env.scale * static_cast<double>(kMiB));
+  constexpr auto kComputeGap = std::chrono::milliseconds(25);
+  std::cout << "ext_checkpoint: saves=" << saves << " bytes="
+            << FormatByteSize(bytes) << " runs=" << env.runs << "\n";
+
+  PrintBanner(std::cout,
+              "Checkpoint stall: direct-PFS write-through vs write-back tier");
+
+  RunningSummary direct_stall, direct_durable, wb_stall, wb_durable;
+  bool crc_match = true;
+
+  for (int run = 0; run < env.runs; ++run) {
+    // Arm 1: write-through straight into the contended PFS.
+    ArmResult direct;
+    {
+      auto pfs = storage::MakeLustreEngine(
+          (env.work_dir / ("direct_pfs_r" + std::to_string(run))).string(),
+          /*seed=*/7, /*contended=*/true);
+      ckpt::DirectPfsSink sink(pfs);
+      const Stopwatch total;
+      for (int i = 0; i < saves; ++i) {
+        const auto payload = Payload(bytes, i);
+        const Stopwatch stall;
+        if (auto s = sink.Save("model-s" + std::to_string(i), payload);
+            !s.ok()) {
+          std::cerr << "direct save failed: " << s << "\n";
+          return 1;
+        }
+        direct.stall_seconds += stall.ElapsedSeconds();
+        direct.crcs.push_back(Crc32c(payload));
+        std::this_thread::sleep_for(kComputeGap);
+      }
+      direct.durable_seconds = total.ElapsedSeconds();
+    }
+
+    // Arm 2: write-back through a local-SSD tier, drained asynchronously
+    // into an identically contended PFS.
+    ArmResult wb;
+    {
+      const auto root = env.work_dir / ("wb_r" + std::to_string(run));
+      std::vector<core::StorageDriverPtr> drivers;
+      drivers.push_back(std::make_unique<core::StorageDriver>(
+          "local-ssd", storage::MakeLocalSsdEngine((root / "ssd").string()),
+          /*quota_bytes=*/static_cast<std::uint64_t>(bytes) * saves * 2,
+          /*read_only=*/false));
+      drivers.push_back(std::make_unique<core::StorageDriver>(
+          "pfs", storage::MakeLustreEngine((root / "pfs").string(),
+                                           /*seed=*/7, /*contended=*/true),
+          /*quota_bytes=*/0, /*read_only=*/true));
+      auto hierarchy = core::StorageHierarchy::Create(std::move(drivers));
+      if (!hierarchy.ok()) {
+        std::cerr << "hierarchy: " << hierarchy.status() << "\n";
+        return 1;
+      }
+      ckpt::CheckpointManager manager(**hierarchy, {});
+      const Stopwatch total;
+      for (int i = 0; i < saves; ++i) {
+        const auto payload = Payload(bytes, i);
+        const Stopwatch stall;
+        if (auto s = manager.Save("model-s" + std::to_string(i), payload);
+            !s.ok()) {
+          std::cerr << "write-back save failed: " << s << "\n";
+          return 1;
+        }
+        wb.stall_seconds += stall.ElapsedSeconds();
+        std::this_thread::sleep_for(kComputeGap);
+      }
+      if (auto s = manager.Flush(); !s.ok()) {
+        std::cerr << "flush failed: " << s << "\n";
+        return 1;
+      }
+      wb.durable_seconds = total.ElapsedSeconds();
+      for (const auto& entry : manager.ManifestView()) {
+        if (entry.state != ckpt::CkptState::kDurable) {
+          std::cerr << "checkpoint " << entry.name << " not durable\n";
+          return 1;
+        }
+        wb.crcs.push_back(entry.crc);
+      }
+    }
+
+    // Equal end-state durability: both arms must hold the same
+    // CRC-verified bytes on their PFS.
+    crc_match = crc_match && direct.crcs == wb.crcs;
+    direct_stall.Add(direct.stall_seconds);
+    direct_durable.Add(direct.durable_seconds);
+    wb_stall.Add(wb.stall_seconds);
+    wb_durable.Add(wb.durable_seconds);
+    std::cout << "  run " << run + 1 << "/" << env.runs << ": stall "
+              << Table::Num(direct.stall_seconds, 3) << "s -> "
+              << Table::Num(wb.stall_seconds, 3) << "s, crc "
+              << (direct.crcs == wb.crcs ? "match" : "MISMATCH") << "\n";
+  }
+
+  Table table({"arm", "stall_s", "durable_s", "saves", "ckpt_bytes"});
+  table.AddRow({"direct-pfs", MeanSd(direct_stall, 3), MeanSd(direct_durable, 3),
+                std::to_string(saves), FormatByteSize(bytes)});
+  table.AddRow({"write-back", MeanSd(wb_stall, 3), MeanSd(wb_durable, 3),
+                std::to_string(saves), FormatByteSize(bytes)});
+  table.PrintAscii(std::cout);
+  std::cout << "\nReading: stall_s is what the training loop pays; "
+            << "write-back vs direct-pfs: "
+            << RelativeChange(direct_stall.mean(), wb_stall.mean())
+            << ". Both arms end with every checkpoint durable on the PFS ("
+            << (crc_match ? "CRCs identical" : "CRC MISMATCH — BUG") << "); "
+            << "the write-back arm pays the PFS inside durable_s, "
+            << "overlapped with compute.\n";
+
+  WriteBenchJson(env, "ext_checkpoint", {},
+                 {{"direct.stall_s", direct_stall.mean()},
+                  {"direct.durable_s", direct_durable.mean()},
+                  {"writeback.stall_s", wb_stall.mean()},
+                  {"writeback.durable_s", wb_durable.mean()},
+                  {"stall_ratio", direct_stall.mean() > 0
+                                      ? wb_stall.mean() / direct_stall.mean()
+                                      : 0.0},
+                  {"crc_match", crc_match ? 1.0 : 0.0},
+                  {"saves", static_cast<double>(saves)},
+                  {"ckpt_bytes", static_cast<double>(bytes)}});
+  env.Cleanup();
+  return crc_match ? 0 : 1;
+}
+
+}  // namespace
+}  // namespace monarch::bench
+
+int main(int argc, char** argv) {
+  const monarch::bench::TraceOutGuard trace(argc, argv);
+  return monarch::bench::Run();
+}

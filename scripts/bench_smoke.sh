@@ -1,9 +1,11 @@
 #!/usr/bin/env bash
 # Reduced-scale smoke pass over the headline figure benches (fig1, fig3)
-# plus the multi-job peer-sharing experiment (ext_multijob), producing
-# BENCH_fig1.json / BENCH_fig3.json / BENCH_ext_multijob.json for quick
-# inspection, the demand-vs-prefetch first-epoch comparison, and the
-# vanilla / monarch / monarch-peer PFS-traffic comparison.
+# plus the multi-job peer-sharing experiment (ext_multijob) and the
+# checkpoint write-back comparison (ext_checkpoint), producing
+# BENCH_fig1.json / BENCH_fig3.json / BENCH_ext_multijob.json /
+# BENCH_ext_checkpoint.json for quick inspection: the demand-vs-prefetch
+# first-epoch comparison, the vanilla / monarch / monarch-peer
+# PFS-traffic comparison, and the direct-PFS vs write-back stall gap.
 #
 # Usage: scripts/bench_smoke.sh [output-dir]
 #   output-dir   where the BENCH_*.json files land (default: bench-results)
@@ -18,7 +20,7 @@ OUT_DIR="${1:-bench-results}"
 mkdir -p "$OUT_DIR"
 
 if [[ ! -x build/bench/fig1_motivation || ! -x build/bench/fig3_full_dataset \
-      || ! -x build/bench/ext_multijob ]]; then
+      || ! -x build/bench/ext_multijob || ! -x build/bench/ext_checkpoint ]]; then
   echo "bench binaries missing — build first: cmake -B build && cmake --build build -j" >&2
   exit 1
 fi
@@ -36,8 +38,9 @@ echo "bench smoke: runs=$MONARCH_BENCH_RUNS scale=$MONARCH_BENCH_SCALE epochs=$M
 # internally (the K-job runs multiply the work), so the smoke default of
 # 0.15 runs the 1/2/4-job grid, all three arms, in well under a minute.
 ./build/bench/ext_multijob
+./build/bench/ext_checkpoint
 
 echo
 echo "wrote:"
 ls -l "$OUT_DIR"/BENCH_fig1.json "$OUT_DIR"/BENCH_fig3.json \
-      "$OUT_DIR"/BENCH_ext_multijob.json
+      "$OUT_DIR"/BENCH_ext_multijob.json "$OUT_DIR"/BENCH_ext_checkpoint.json

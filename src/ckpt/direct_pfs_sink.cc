@@ -1,0 +1,68 @@
+#include "ckpt/direct_pfs_sink.h"
+
+#include <algorithm>
+#include <utility>
+
+#include "util/crc32c.h"
+
+namespace monarch::ckpt {
+
+DirectPfsSink::DirectPfsSink(storage::StorageEnginePtr pfs_engine,
+                             DirectPfsOptions options)
+    : options_(std::move(options)),
+      driver_("pfs-ckpt-direct", std::move(pfs_engine),
+              /*quota_bytes=*/0, /*read_only=*/false, options_.retry,
+              options_.health) {}
+
+Status DirectPfsSink::Save(const std::string& name,
+                           std::span<const std::byte> data) {
+  if (name.empty() || data.empty()) {
+    return InvalidArgumentError("invalid checkpoint save '" + name + "'");
+  }
+  const std::string path = PathFor(name);
+  for (std::size_t offset = 0; offset < data.size();
+       offset += options_.chunk_bytes) {
+    const std::size_t n = std::min(options_.chunk_bytes, data.size() - offset);
+    MONARCH_RETURN_IF_ERROR(
+        driver_.WriteAt(path, offset, data.subspan(offset, n)));
+  }
+
+  // Equal-durability rule: a Save only returns after the PFS copy
+  // checksums (the write-back arm proves the same before `durable`).
+  const std::uint32_t crc = Crc32c(data);
+  std::vector<std::byte> readback(data.size());
+  MONARCH_ASSIGN_OR_RETURN(const std::size_t read,
+                           driver_.Read(path, 0, readback));
+  if (read != data.size() || Crc32c(readback) != crc) {
+    (void)driver_.Delete(path);
+    return DataLossError("direct PFS checkpoint '" + name +
+                         "' failed CRC verification");
+  }
+
+  std::lock_guard<std::mutex> lock(mu_);
+  saved_[name] = Saved{data.size(), crc};
+  return Status::Ok();
+}
+
+Result<std::vector<std::byte>> DirectPfsSink::Restore(
+    const std::string& name) {
+  Saved saved;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    auto it = saved_.find(name);
+    if (it == saved_.end()) {
+      return NotFoundError("no checkpoint named '" + name + "'");
+    }
+    saved = it->second;
+  }
+  std::vector<std::byte> data(saved.bytes);
+  MONARCH_ASSIGN_OR_RETURN(const std::size_t read,
+                           driver_.Read(PathFor(name), 0, data));
+  if (read != saved.bytes || Crc32c(data) != saved.crc) {
+    return DataLossError("checkpoint '" + name +
+                         "' failed CRC verification on the PFS");
+  }
+  return data;
+}
+
+}  // namespace monarch::ckpt

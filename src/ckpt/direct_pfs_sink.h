@@ -1,0 +1,58 @@
+// DirectPfsSink: the write-through baseline the write-back tier is
+// measured against (bench/ext_checkpoint). Every Save is a synchronous,
+// CRC-verified chunked write straight to the PFS — exactly the burst a
+// vanilla framework inflicts on the shared filesystem, and exactly the
+// stall the CheckpointManager hides. Same retry envelope, same
+// durability guarantee (verified PFS copy on return), so the bench
+// compares stall time at equal end-state safety.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "core/checkpoint_sink.h"
+#include "core/storage_driver.h"
+
+namespace monarch::ckpt {
+
+struct DirectPfsOptions {
+  std::string dir = "ckpt";
+  std::size_t chunk_bytes = std::size_t{1} << 22;  // 4 MiB
+  core::RetryPolicy retry;
+  core::TierHealthOptions health;
+};
+
+class DirectPfsSink final : public core::CheckpointSink {
+ public:
+  DirectPfsSink(storage::StorageEnginePtr pfs_engine,
+                DirectPfsOptions options = {});
+
+  Status Save(const std::string& name,
+              std::span<const std::byte> data) override;
+  Result<std::vector<std::byte>> Restore(const std::string& name) override;
+
+  /// Write-through: everything is already durable.
+  Status Flush() override { return Status::Ok(); }
+
+ private:
+  struct Saved {
+    std::uint64_t bytes = 0;
+    std::uint32_t crc = 0;
+  };
+
+  [[nodiscard]] std::string PathFor(const std::string& name) const {
+    return options_.dir + "/" + name;
+  }
+
+  DirectPfsOptions options_;
+  core::StorageDriver driver_;
+  std::mutex mu_;
+  std::map<std::string, Saved> saved_;
+};
+
+}  // namespace monarch::ckpt

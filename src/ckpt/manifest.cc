@@ -1,0 +1,148 @@
+#include "ckpt/manifest.h"
+
+#include <charconv>
+#include <cstdio>
+#include <span>
+#include <string_view>
+#include <vector>
+
+#include "util/crc32c.h"
+
+namespace monarch::ckpt {
+
+namespace {
+
+constexpr std::string_view kOpNames[] = {"begin",   "local", "draining",
+                                         "durable", "evict", "prune"};
+
+/// Parse one unsigned field; false on malformed input.
+template <typename T>
+bool ParseField(std::string_view text, T& out) {
+  const auto result =
+      std::from_chars(text.data(), text.data() + text.size(), out);
+  return result.ec == std::errc{} && result.ptr == text.data() + text.size();
+}
+
+/// Split `line` on single spaces (records never contain runs of spaces).
+std::vector<std::string_view> SplitFields(std::string_view line) {
+  std::vector<std::string_view> fields;
+  std::size_t start = 0;
+  while (start <= line.size()) {
+    const std::size_t space = line.find(' ', start);
+    if (space == std::string_view::npos) {
+      fields.push_back(line.substr(start));
+      break;
+    }
+    fields.push_back(line.substr(start, space - start));
+    start = space + 1;
+  }
+  return fields;
+}
+
+/// Decode one journal line into `record`; false when torn or corrupt.
+bool DecodeLine(std::string_view line, ManifestRecord& record) {
+  const std::size_t hash = line.rfind(" #");
+  if (hash == std::string_view::npos) return false;
+  const std::string_view payload = line.substr(0, hash);
+  std::uint32_t stored_crc = 0;
+  {
+    const std::string_view trailer = line.substr(hash + 2);
+    const auto result = std::from_chars(
+        trailer.data(), trailer.data() + trailer.size(), stored_crc, 16);
+    if (result.ec != std::errc{} ||
+        result.ptr != trailer.data() + trailer.size()) {
+      return false;
+    }
+  }
+  if (Crc32c(payload.data(), payload.size()) != stored_crc) return false;
+
+  const auto fields = SplitFields(payload);
+  if (fields.size() != 6) return false;
+  bool known_op = false;
+  for (std::size_t i = 0; i < std::size(kOpNames); ++i) {
+    if (fields[0] == kOpNames[i]) {
+      record.op = static_cast<ManifestOp>(i);
+      known_op = true;
+      break;
+    }
+  }
+  if (!known_op) return false;
+  record.name = std::string(fields[2]);
+  std::int64_t level = 0;
+  if (!ParseField(fields[1], record.gen) ||
+      !ParseField(fields[3], record.bytes) ||
+      !ParseField(fields[4], record.crc) || !ParseField(fields[5], level)) {
+    return false;
+  }
+  record.level = static_cast<int>(level);
+  return !record.name.empty();
+}
+
+}  // namespace
+
+const char* ManifestOpName(ManifestOp op) noexcept {
+  return kOpNames[static_cast<std::size_t>(op)].data();
+}
+
+std::string ManifestJournal::Encode(const ManifestRecord& record) {
+  std::string payload = std::string(ManifestOpName(record.op)) + " " +
+                        std::to_string(record.gen) + " " + record.name + " " +
+                        std::to_string(record.bytes) + " " +
+                        std::to_string(record.crc) + " " +
+                        std::to_string(record.level);
+  char crc_hex[16];
+  std::snprintf(crc_hex, sizeof crc_hex, "%08x",
+                Crc32c(payload.data(), payload.size()));
+  return payload + " #" + crc_hex + "\n";
+}
+
+ManifestJournal::ManifestJournal(core::StorageDriver& driver, std::string path)
+    : driver_(driver), path_(std::move(path)) {}
+
+Result<ManifestReplay> ManifestJournal::Load() {
+  std::lock_guard<std::mutex> lock(mu_);
+  ManifestReplay replay;
+  tail_ = 0;
+
+  auto exists = driver_.engine().Exists(path_);
+  MONARCH_RETURN_IF_ERROR(exists.status());
+  if (!exists.value()) return replay;
+
+  MONARCH_ASSIGN_OR_RETURN(const std::uint64_t size,
+                           driver_.engine().FileSize(path_));
+  std::vector<std::byte> raw(size);
+  if (size > 0) {
+    MONARCH_ASSIGN_OR_RETURN(const std::size_t read,
+                             driver_.Read(path_, 0, raw));
+    raw.resize(read);
+  }
+  const std::string_view text(reinterpret_cast<const char*>(raw.data()),
+                              raw.size());
+
+  std::size_t offset = 0;
+  while (offset < text.size()) {
+    const std::size_t newline = text.find('\n', offset);
+    if (newline == std::string_view::npos) break;  // torn: no newline yet
+    ManifestRecord record;
+    if (!DecodeLine(text.substr(offset, newline - offset), record)) break;
+    replay.records.push_back(std::move(record));
+    offset = newline + 1;
+  }
+  replay.valid_bytes = offset;
+  replay.torn_tail_bytes = text.size() - offset;
+  tail_ = offset;
+  return replay;
+}
+
+Status ManifestJournal::Append(const ManifestRecord& record) {
+  const std::string line = Encode(record);
+  std::lock_guard<std::mutex> lock(mu_);
+  MONARCH_RETURN_IF_ERROR(driver_.WriteAt(
+      path_, tail_,
+      std::span<const std::byte>(
+          reinterpret_cast<const std::byte*>(line.data()), line.size())));
+  tail_ += line.size();
+  return Status::Ok();
+}
+
+}  // namespace monarch::ckpt

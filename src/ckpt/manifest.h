@@ -1,0 +1,91 @@
+// Checkpoint manifest: an append-only, per-node journal that is the
+// atomic commit point of every checkpoint state transition.
+//
+// StorageEngine has no rename, so the classic temp-file + rename commit
+// is expressed one level up: checkpoint bytes stream to their data path
+// first, and only a `local` journal record — carrying the byte count and
+// the CRC32C of the payload — makes the copy *visible*. Restore consults
+// the manifest, never the directory, so a torn data write is
+// unreachable; a torn journal record is caught because every record
+// carries its own CRC32C trailer and replay stops at the first record
+// that fails it (the torn tail is then overwritten by the next append).
+//
+// Record grammar (one line per record, '#'-separated CRC trailer):
+//   <op> <gen> <name> <bytes> <crc> <level> #<crc32c-of-payload-hex>
+// ops:
+//   begin    write started (data path may hold a partial copy)
+//   local    committed on a cache tier             -> state kLocal
+//   draining drain to the PFS started              -> state kDraining
+//   durable  PFS copy complete and CRC-verified    -> state kDurable
+//   evict    local copy deleted (quota released), PFS copy remains
+//   prune    checkpoint retired (keep-last-K); all copies deleted
+#pragma once
+
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "core/storage_driver.h"
+#include "util/status.h"
+
+namespace monarch::ckpt {
+
+enum class ManifestOp {
+  kBegin,
+  kLocal,
+  kDraining,
+  kDurable,
+  kEvict,
+  kPrune,
+};
+
+[[nodiscard]] const char* ManifestOpName(ManifestOp op) noexcept;
+
+struct ManifestRecord {
+  ManifestOp op = ManifestOp::kBegin;
+  std::uint64_t gen = 0;       ///< monotone per-save id; orders retention
+  std::string name;            ///< checkpoint name (no whitespace)
+  std::uint64_t bytes = 0;     ///< payload size (begin/local/durable)
+  std::uint32_t crc = 0;       ///< payload CRC32C (local/durable)
+  int level = -1;              ///< cache level of the local copy (local)
+};
+
+/// Result of replaying the journal from disk.
+struct ManifestReplay {
+  std::vector<ManifestRecord> records;  ///< valid records, journal order
+  std::uint64_t valid_bytes = 0;        ///< offset appends resume at
+  std::uint64_t torn_tail_bytes = 0;    ///< bytes dropped after the last
+                                        ///< record that verified
+};
+
+/// The journal file, accessed through a StorageDriver so appends get the
+/// tier's retry envelope. Appends are serialised by a mutex; a record is
+/// on disk when Append returns.
+class ManifestJournal {
+ public:
+  /// `driver` must outlive the journal; `path` is the journal file's
+  /// engine path. The journal occupies no quota (metadata, a few hundred
+  /// bytes per checkpoint).
+  ManifestJournal(core::StorageDriver& driver, std::string path);
+
+  /// Parse the on-disk journal. Resets the append offset to just past
+  /// the last valid record, so the next Append overwrites any torn tail.
+  Result<ManifestReplay> Load();
+
+  Status Append(const ManifestRecord& record);
+
+  [[nodiscard]] const std::string& path() const noexcept { return path_; }
+
+  /// Serialise one record (with CRC trailer and trailing newline) —
+  /// exposed so crash tests can fabricate journal states.
+  [[nodiscard]] static std::string Encode(const ManifestRecord& record);
+
+ private:
+  core::StorageDriver& driver_;
+  const std::string path_;
+  std::mutex mu_;
+  std::uint64_t tail_ = 0;  ///< append offset (past the last valid record)
+};
+
+}  // namespace monarch::ckpt

@@ -169,6 +169,38 @@ Status ApplyPeerKey(ParsedPeer& peer, const std::string& key,
   return Status::Ok();
 }
 
+Status ApplyCheckpointKey(ParsedCheckpoint& ckpt, const std::string& key,
+                          const std::string& value, int line_no) {
+  if (key == "enabled") {
+    MONARCH_ASSIGN_OR_RETURN(ckpt.enabled, ParseBool(value, line_no));
+  } else if (key == "dir") {
+    if (value.empty()) {
+      return InvalidArgumentError("line " + std::to_string(line_no) +
+                                  ": checkpoint dir must be non-empty");
+    }
+    ckpt.dir = value;
+  } else if (key == "keep_last") {
+    MONARCH_ASSIGN_OR_RETURN(const std::uint64_t n, ParseU64(value, line_no));
+    ckpt.keep_last = static_cast<int>(n);
+  } else if (key == "drain_bandwidth") {
+    MONARCH_ASSIGN_OR_RETURN(ckpt.drain_bandwidth_bytes_per_sec,
+                             ParseByteSize(value));
+  } else if (key == "drain_threads") {
+    MONARCH_ASSIGN_OR_RETURN(const std::uint64_t n, ParseU64(value, line_no));
+    if (n == 0) {
+      return InvalidArgumentError("line " + std::to_string(line_no) +
+                                  ": drain_threads must be >= 1");
+    }
+    ckpt.drain_threads = static_cast<int>(n);
+  } else if (key == "verify_on_restore") {
+    MONARCH_ASSIGN_OR_RETURN(ckpt.verify_on_restore, ParseBool(value, line_no));
+  } else {
+    return InvalidArgumentError("line " + std::to_string(line_no) +
+                                ": unknown checkpoint key '" + key + "'");
+  }
+  return Status::Ok();
+}
+
 }  // namespace
 
 Result<ParsedConfig> ParseConfig(const std::string& ini_text) {
@@ -184,7 +216,8 @@ Result<ParsedConfig> ParseConfig(const std::string& ini_text) {
     kPfs,
     kPlacement,
     kResilience,
-    kPeer
+    kPeer,
+    kCheckpoint
   };
   Section section = Section::kNone;
   int tier_index = -1;
@@ -218,6 +251,8 @@ Result<ParsedConfig> ParseConfig(const std::string& ini_text) {
         section = Section::kResilience;
       } else if (name == "peer") {
         section = Section::kPeer;
+      } else if (name == "checkpoint") {
+        section = Section::kCheckpoint;
       } else if (name.starts_with("tier.")) {
         MONARCH_ASSIGN_OR_RETURN(
             const std::uint64_t idx,
@@ -277,6 +312,10 @@ Result<ParsedConfig> ParseConfig(const std::string& ini_text) {
       case Section::kPeer:
         MONARCH_RETURN_IF_ERROR(
             ApplyPeerKey(config.peer, key, value, line_no));
+        break;
+      case Section::kCheckpoint:
+        MONARCH_RETURN_IF_ERROR(
+            ApplyCheckpointKey(config.checkpoint, key, value, line_no));
         break;
     }
   }

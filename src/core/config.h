@@ -51,6 +51,14 @@
 //   interconnect_latency_us = 150     ; one-way hop latency
 //   directory_shards = 16             ; cluster file-directory stripes
 //   replication = 1                   ; owner nodes staging each file
+//
+//   [checkpoint]            ; optional — write-back checkpoint tier (ISSUE 5)
+//   enabled = true
+//   dir = ckpt                        ; namespace prefix for checkpoint files
+//   keep_last = 3                     ; retention window (0 = keep all)
+//   drain_bandwidth = 200MB           ; PFS drain cap, bytes/second (0 = off)
+//   drain_threads = 1
+//   verify_on_restore = true
 #pragma once
 
 #include <cstdint>
@@ -89,6 +97,22 @@ struct ParsedPeer {
   int replication = 1;
 };
 
+/// `[checkpoint]` section (ISSUE 5): write-back checkpoint tier. Engine-
+/// free like ParsedPeer — BuildMonarchConfig ignores it; the integration
+/// layer (dlsim trainer harnesses, the checkpoint benches) turns these
+/// knobs into a ckpt::CheckpointManager over the node's hierarchy.
+struct ParsedCheckpoint {
+  bool enabled = false;
+  /// Namespace prefix for checkpoint data files and the manifest.
+  std::string dir = "ckpt";
+  /// Retention window applied once a checkpoint is durable (0 = keep all).
+  int keep_last = 0;
+  /// Drain bandwidth cap, bytes/second (byte-size syntax; 0 = uncapped).
+  std::uint64_t drain_bandwidth_bytes_per_sec = 0;
+  int drain_threads = 1;
+  bool verify_on_restore = true;
+};
+
 struct ParsedConfig {
   std::string dataset_dir;
   int placement_threads = 6;
@@ -104,6 +128,8 @@ struct ParsedConfig {
   ResilienceOptions resilience;
   /// `[peer]` section; disabled when the section is absent.
   ParsedPeer peer;
+  /// `[checkpoint]` section; disabled when the section is absent.
+  ParsedCheckpoint checkpoint;
 };
 
 /// Parse the INI text. Unknown sections/keys are errors (config typos

@@ -67,8 +67,9 @@ std::vector<obs::MetricSample> StatsToSamples(const MonarchStats& stats) {
          p.failed, "placements aborted on backend errors");
   sample("monarch.placement.bytes_staged", "", obs::MetricKind::kCounter,
          "bytes", p.bytes_staged, "bytes copied into cache tiers");
-  sample("monarch.placement.evictions", "", obs::MetricKind::kCounter, "ops",
-         p.evictions, "ablation-mode evictions of placed files");
+  // `monarch.placement.evictions` is an owned registry counter
+  // (PlacementHandler ctor), not a per-instance sample — the ablation
+  // benches read it like every other placement stat.
   sample("monarch.placement.retries", "", obs::MetricKind::kCounter, "ops",
          p.retries, "failed stagings left retryable for a later access");
   sample("monarch.placement.quarantined", "", obs::MetricKind::kCounter, "ops",

@@ -35,6 +35,9 @@ PlacementHandler::PlacementHandler(StorageHierarchy& hierarchy,
                 std::max<std::uint64_t>(1, options.staging_chunk_bytes),
                 std::max<std::uint64_t>(1, options.staging_buffer_bytes))),
       inflight_bytes_(hierarchy.num_levels(), 0) {
+  evictions_counter_ = obs::MetricsRegistry::Global().GetCounter(
+      "monarch.placement.evictions", "ops",
+      "ablation-mode evictions of placed files");
   const int n = std::max(1, options_.num_threads);
   workers_.reserve(static_cast<std::size_t>(n));
   for (int i = 0; i < n; ++i) {
@@ -472,6 +475,7 @@ std::optional<int> PlacementHandler::EvictAndReserve(std::uint64_t needed) {
     if (tier.Delete(vf.name).ok()) {
       tier.Release(vf.size);
       evictions_.fetch_add(1, std::memory_order_relaxed);
+      evictions_counter_->Increment();
       obs::EventTracer& tracer = obs::EventTracer::Global();
       if (tracer.enabled()) {
         tracer.RecordInstant("placement.evict", "placement",

@@ -55,6 +55,7 @@
 #include "core/placement_policy.h"
 #include "core/resilience.h"
 #include "core/storage_hierarchy.h"
+#include "obs/metrics_registry.h"
 #include "util/buffer_pool.h"
 
 namespace monarch::core {
@@ -247,6 +248,12 @@ class PlacementHandler {
   std::atomic<std::uint64_t> prefetch_cancelled_{0};
   std::atomic<std::uint64_t> chunks_copied_{0};
   std::atomic<std::uint64_t> donated_bytes_{0};
+
+  /// Process-wide `monarch.placement.evictions` (docs/OBSERVABILITY.md
+  /// §1), owned like `storage.retries`: resolved once at construction so
+  /// the eviction ablation reports through the registry like every other
+  /// placement stat (the per-instance count stays in Stats()).
+  obs::Counter* evictions_counter_ = nullptr;
 
   // Two-lane work queue. `deferred_` holds prefetch tasks parked by the
   // per-tier in-flight cap; any copy completion splices them back into

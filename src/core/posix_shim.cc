@@ -1,5 +1,8 @@
 #include "core/posix_shim.h"
 
+#include <algorithm>
+#include <utility>
+
 namespace monarch::core {
 
 Result<int> PosixShim::Open(const std::string& name) {
@@ -8,6 +11,20 @@ Result<int> PosixShim::Open(const std::string& name) {
   std::lock_guard<std::mutex> lock(mu_);
   const int fd = next_fd_++;
   open_files_.emplace(fd, name);
+  return fd;
+}
+
+Result<int> PosixShim::OpenForWrite(const std::string& name) {
+  if (checkpoint_sink_ == nullptr) {
+    return FailedPreconditionError(
+        "shim has no checkpoint sink: writes are not intercepted");
+  }
+  if (name.empty()) {
+    return InvalidArgumentError("empty file name");
+  }
+  std::lock_guard<std::mutex> lock(mu_);
+  const int fd = next_fd_++;
+  write_files_.emplace(fd, WriteFile{name, {}});
   return fd;
 }
 
@@ -27,23 +44,55 @@ Result<std::size_t> PosixShim::Pread(int fd, std::uint64_t offset,
   return monarch_.Read(name, offset, dst);
 }
 
+Result<std::size_t> PosixShim::Pwrite(int fd, std::uint64_t offset,
+                                      std::span<const std::byte> data) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = write_files_.find(fd);
+  if (it == write_files_.end()) {
+    return FailedPreconditionError("pwrite on non-write descriptor " +
+                                   std::to_string(fd));
+  }
+  std::vector<std::byte>& buffer = it->second.buffer;
+  const std::size_t end = static_cast<std::size_t>(offset) + data.size();
+  if (buffer.size() < end) buffer.resize(end);
+  std::copy(data.begin(), data.end(),
+            buffer.begin() + static_cast<std::ptrdiff_t>(offset));
+  return data.size();
+}
+
 Result<std::uint64_t> PosixShim::Fstat(int fd) {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    auto it = write_files_.find(fd);
+    if (it != write_files_.end()) return it->second.buffer.size();
+  }
   MONARCH_ASSIGN_OR_RETURN(const std::string name, NameFor(fd));
   return monarch_.FileSize(name);
 }
 
 Status PosixShim::Close(int fd) {
-  std::lock_guard<std::mutex> lock(mu_);
-  if (open_files_.erase(fd) == 0) {
-    return FailedPreconditionError("close of bad file descriptor " +
-                                   std::to_string(fd));
+  WriteFile committed;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    auto it = write_files_.find(fd);
+    if (it != write_files_.end()) {
+      committed = std::move(it->second);
+      write_files_.erase(it);
+    } else {
+      if (open_files_.erase(fd) == 0) {
+        return FailedPreconditionError("close of bad file descriptor " +
+                                       std::to_string(fd));
+      }
+      return Status::Ok();
+    }
   }
-  return Status::Ok();
+  // Commit outside the fd-table lock: Save may block on a local write.
+  return checkpoint_sink_->Save(committed.name, committed.buffer);
 }
 
 std::size_t PosixShim::open_count() const {
   std::lock_guard<std::mutex> lock(mu_);
-  return open_files_.size();
+  return open_files_.size() + write_files_.size();
 }
 
 }  // namespace monarch::core

@@ -4,6 +4,12 @@
 // TensorFlow POSIX driver the paper patched — needs this thin fd-to-name
 // table at the interception point. The shim demonstrates that the
 // middleware really can live "at the POSIX layer" (§III).
+//
+// ISSUE 5 adds the write path: OpenForWrite/Pwrite buffer a checkpoint
+// the way a framework's saver streams one out, and Close commits the
+// assembled bytes through a CheckpointSink (ckpt::CheckpointManager for
+// write-back, ckpt::DirectPfsSink for write-through) — the POSIX-level
+// interception point for checkpoint writes, mirroring the read path's.
 #pragma once
 
 #include <cstdint>
@@ -11,7 +17,9 @@
 #include <span>
 #include <string>
 #include <unordered_map>
+#include <vector>
 
+#include "core/checkpoint_sink.h"
 #include "core/monarch.h"
 
 namespace monarch::core {
@@ -19,6 +27,11 @@ namespace monarch::core {
 class PosixShim {
  public:
   explicit PosixShim(Monarch& monarch) : monarch_(monarch) {}
+
+  /// `checkpoint_sink` (borrowed; may be null) enables the write path:
+  /// descriptors from OpenForWrite commit through it on Close.
+  PosixShim(Monarch& monarch, CheckpointSink* checkpoint_sink)
+      : monarch_(monarch), checkpoint_sink_(checkpoint_sink) {}
 
   PosixShim(const PosixShim&) = delete;
   PosixShim& operator=(const PosixShim&) = delete;
@@ -28,24 +41,44 @@ class PosixShim {
   /// fds past stdio).
   Result<int> Open(const std::string& name);
 
+  /// Open `name` for writing (O_WRONLY|O_CREAT|O_TRUNC semantics).
+  /// Bytes accumulate in the shim until Close commits them through the
+  /// checkpoint sink. FAILED_PRECONDITION when no sink is attached.
+  Result<int> OpenForWrite(const std::string& name);
+
   /// pread(2) semantics: read dst.size() bytes at `offset` from `fd`.
   Result<std::size_t> Pread(int fd, std::uint64_t offset,
                             std::span<std::byte> dst);
 
-  /// fstat-like size query.
+  /// pwrite(2) semantics on a write descriptor: land `data` at `offset`
+  /// of the buffered file (sparse gaps read back as zero bytes).
+  Result<std::size_t> Pwrite(int fd, std::uint64_t offset,
+                             std::span<const std::byte> data);
+
+  /// fstat-like size query (buffered size for write descriptors).
   Result<std::uint64_t> Fstat(int fd);
 
-  /// Close `fd`. FAILED_PRECONDITION on double close / bad fd.
+  /// Close `fd`. FAILED_PRECONDITION on double close / bad fd. Closing a
+  /// write descriptor commits the buffered bytes through the checkpoint
+  /// sink — the commit's status is Close's status, and the descriptor is
+  /// released either way.
   Status Close(int fd);
 
   [[nodiscard]] std::size_t open_count() const;
 
  private:
+  struct WriteFile {
+    std::string name;
+    std::vector<std::byte> buffer;
+  };
+
   Result<std::string> NameFor(int fd) const;
 
   Monarch& monarch_;
+  CheckpointSink* checkpoint_sink_ = nullptr;
   mutable std::mutex mu_;
   std::unordered_map<int, std::string> open_files_;
+  std::unordered_map<int, WriteFile> write_files_;
   int next_fd_ = 3;
 };
 

@@ -1,11 +1,36 @@
 #include "dlsim/trainer.h"
 
+#include <algorithm>
+#include <chrono>
 #include <utility>
 
 #include "obs/event_tracer.h"
 #include "util/crc32c.h"
 
 namespace monarch::dlsim {
+
+namespace {
+
+/// Deterministic model-state bytes for checkpoint (epoch, ordinal):
+/// splitmix64 stream over a seed derived from both, so every sink —
+/// direct-PFS or write-back — receives byte-identical checkpoints and
+/// the benches can compare end-state CRCs across arms.
+std::vector<std::byte> CheckpointPayload(std::uint64_t bytes, int epoch,
+                                         std::uint64_t ordinal) {
+  std::vector<std::byte> payload(bytes);
+  std::uint64_t state =
+      (static_cast<std::uint64_t>(epoch) << 32 | ordinal) + 0x9E3779B97F4A7C15ull;
+  for (std::byte& b : payload) {
+    state += 0x9E3779B97F4A7C15ull;
+    std::uint64_t z = state;
+    z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ull;
+    z = (z ^ (z >> 27)) * 0x94D049BB133111EBull;
+    b = static_cast<std::byte>((z ^ (z >> 31)) >> 56);
+  }
+  return payload;
+}
+
+}  // namespace
 
 Trainer::Trainer(std::vector<std::string> files, RecordFileOpenerPtr opener,
                  TrainerConfig config)
@@ -20,6 +45,9 @@ Trainer::Trainer(std::vector<std::string> files, RecordFileOpenerPtr opener,
       "trainer.samples", "samples", "samples consumed by the training loop");
   steps_ = registry.GetCounter(
       "trainer.steps", "steps", "GPU batch steps executed");
+  checkpoints_ = registry.GetCounter(
+      "trainer.checkpoints", "ckpts",
+      "checkpoints the training loop saved through its sink");
 }
 
 Result<TrainingResult> Trainer::Train() {
@@ -50,6 +78,30 @@ Result<EpochResult> Trainer::RunEpoch(int epoch) {
   std::uint64_t samples = 0;
   std::uint64_t in_batch = 0;
   std::uint64_t digest = 0;
+  double checkpoint_seconds = 0;
+  std::uint64_t checkpoints_written = 0;
+  const bool checkpointing =
+      config_.checkpoint_sink != nullptr && config_.checkpoint_every_steps > 0;
+  // Synchronous saver, like the framework hooks the paper targets: the
+  // loop stalls until Save returns (write-back sinks return once the
+  // bytes land locally; direct-PFS sinks block for the full PFS write).
+  auto maybe_checkpoint = [&]() -> Status {
+    if (!checkpointing ||
+        compute.steps() % config_.checkpoint_every_steps != 0) {
+      return Status::Ok();
+    }
+    const std::uint64_t ordinal = ++checkpoints_written;
+    const std::string name = config_.checkpoint_prefix + "-e" +
+                             std::to_string(epoch) + "-s" +
+                             std::to_string(compute.steps());
+    const std::vector<std::byte> payload =
+        CheckpointPayload(config_.checkpoint_bytes, epoch, ordinal);
+    const Stopwatch stall;
+    MONARCH_RETURN_IF_ERROR(config_.checkpoint_sink->Save(name, payload));
+    checkpoint_seconds += stall.ElapsedSeconds();
+    if (checkpoints_ != nullptr) checkpoints_->Increment();
+    return Status::Ok();
+  };
   while (auto sample = loader.queue().Pop()) {
     monitor.AddMemory(-static_cast<std::int64_t>(sample->payload.size()));
     ++samples;
@@ -57,9 +109,13 @@ Result<EpochResult> Trainer::RunEpoch(int epoch) {
     if (++in_batch == config_.batch_size) {
       compute.Step(in_batch);
       in_batch = 0;
+      MONARCH_RETURN_IF_ERROR(maybe_checkpoint());
     }
   }
-  if (in_batch > 0) compute.Step(in_batch);  // final partial batch
+  if (in_batch > 0) {  // final partial batch
+    compute.Step(in_batch);
+    MONARCH_RETURN_IF_ERROR(maybe_checkpoint());
+  }
   loader.Finish();
   MONARCH_RETURN_IF_ERROR(loader.status());
 
@@ -73,6 +129,13 @@ Result<EpochResult> Trainer::RunEpoch(int epoch) {
   result.samples = samples;
   result.steps = compute.steps();
   result.sample_digest = digest;
+  result.compute_seconds =
+      std::chrono::duration<double>(compute.busy_time()).count();
+  result.checkpoint_seconds = checkpoint_seconds;
+  result.read_stall_seconds =
+      std::max(0.0, result.wall_seconds - result.compute_seconds -
+                        result.checkpoint_seconds);
+  result.checkpoints_written = checkpoints_written;
   if (epochs_completed_ != nullptr) epochs_completed_->Increment();
   if (samples_ != nullptr) samples_->Increment(samples);
   if (steps_ != nullptr) steps_->Increment(compute.steps());

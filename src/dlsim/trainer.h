@@ -9,6 +9,7 @@
 #include <string>
 #include <vector>
 
+#include "core/checkpoint_sink.h"
 #include "dlsim/compute_model.h"
 #include "dlsim/data_loader.h"
 #include "dlsim/record_opener.h"
@@ -24,6 +25,19 @@ struct TrainerConfig {
   std::uint64_t batch_size = 256;   ///< global batch across all GPUs
   int num_gpus = 4;                 ///< the Frontera node's 4 GPUs
   LoaderConfig loader;
+
+  // Checkpoint cadence (ISSUE 5). When `checkpoint_sink` is set and
+  // `checkpoint_every_steps` > 0 the training loop emits a model
+  // checkpoint every N GPU steps through the sink — synchronously, the
+  // way framework savers stall the loop — so the per-epoch stall split
+  // below shows exactly what the write-back tier buys. The payload is
+  // derived deterministically from (epoch, step), so two trainers with
+  // different sinks (direct-PFS vs write-back) produce byte-identical
+  // checkpoint streams.
+  core::CheckpointSink* checkpoint_sink = nullptr;  ///< borrowed; may be null
+  std::uint64_t checkpoint_every_steps = 0;         ///< 0 = checkpoints off
+  std::uint64_t checkpoint_bytes = 64ull << 20;     ///< model-state size
+  std::string checkpoint_prefix = "model";          ///< sink file-name prefix
 };
 
 struct EpochResult {
@@ -40,6 +54,14 @@ struct EpochResult {
   /// comparable across runs). Equal digests == byte-identical batches,
   /// whatever tier or peer served the reads.
   std::uint64_t sample_digest = 0;
+  /// Stall split (ISSUE 5): wall time divides into GPU compute, time the
+  /// loop spent blocked inside checkpoint Save calls, and the remainder
+  /// attributed to input stalls (reads + preprocessing the prefetch
+  /// pipeline failed to hide; clamped at zero).
+  double compute_seconds = 0;
+  double checkpoint_seconds = 0;
+  double read_stall_seconds = 0;
+  std::uint64_t checkpoints_written = 0;
 };
 
 struct TrainingResult {
@@ -74,6 +96,7 @@ class Trainer {
   obs::Counter* epochs_completed_ = nullptr;
   obs::Counter* samples_ = nullptr;
   obs::Counter* steps_ = nullptr;
+  obs::Counter* checkpoints_ = nullptr;
 };
 
 }  // namespace monarch::dlsim

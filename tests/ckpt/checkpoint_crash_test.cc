@@ -1,0 +1,210 @@
+// Crash consistency (ISSUE 5 acceptance): the manifest journal is the
+// commit point, so whatever instant the process dies at, a recovering
+// manager serves either the previous or the new checkpoint — never a
+// mix — interrupted drains resume, torn journal tails are dropped, and
+// bytes drained reconcile with bytes durable.
+//
+// The "kill" primitive: destroying a CheckpointManager without Flush.
+// Shutdown stops the drain lane wherever it happens to be; the engines
+// (the "disks") survive into the next manager, which recovers from the
+// journal exactly as a restarted node would.
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "../test_support.h"
+#include "ckpt/checkpoint_manager.h"
+#include "ckpt/manifest.h"
+#include "storage/faulty_engine.h"
+#include "storage/memory_engine.h"
+#include "util/crc32c.h"
+
+namespace monarch::ckpt {
+namespace {
+
+using monarch::testing::Bytes;
+
+/// The surviving "disks": engines outlive manager instances. Each Boot()
+/// builds a fresh hierarchy (fresh quota ledger, as after a restart) over
+/// the same engines.
+struct Node {
+  std::shared_ptr<storage::MemoryEngine> local =
+      std::make_shared<storage::MemoryEngine>("local");
+  std::shared_ptr<storage::MemoryEngine> pfs_inner =
+      std::make_shared<storage::MemoryEngine>("pfs");
+  std::shared_ptr<storage::FaultyEngine> pfs =
+      std::make_shared<storage::FaultyEngine>(
+          pfs_inner, storage::FaultyEngine::FaultSpec{});
+  std::unique_ptr<core::StorageHierarchy> hierarchy;
+
+  std::unique_ptr<CheckpointManager> Boot(std::uint64_t quota = 1 << 20,
+                                          CheckpointOptions options = {}) {
+    std::vector<core::StorageDriverPtr> drivers;
+    drivers.push_back(std::make_unique<core::StorageDriver>(
+        "local", local, quota, /*read_only=*/false));
+    drivers.push_back(std::make_unique<core::StorageDriver>(
+        "pfs", pfs, 0, /*read_only=*/true));
+    hierarchy =
+        std::move(core::StorageHierarchy::Create(std::move(drivers))).value();
+    return std::make_unique<CheckpointManager>(*hierarchy, options);
+  }
+
+  /// Append raw bytes to the journal file, as a torn/fabricated record.
+  void AppendToJournal(const std::string& text) {
+    std::uint64_t offset = 0;
+    if (auto size = local->FileSize("ckpt/MANIFEST"); size.ok()) {
+      offset = size.value();
+    }
+    ASSERT_OK(local->WriteAt("ckpt/MANIFEST", offset, Bytes(text)));
+  }
+};
+
+std::vector<std::byte> Payload(std::size_t bytes, int tag) {
+  std::vector<std::byte> data(bytes);
+  for (std::size_t i = 0; i < bytes; ++i) {
+    data[i] = static_cast<std::byte>((i * 13 + static_cast<std::size_t>(tag)) &
+                                     0xFF);
+  }
+  return data;
+}
+
+TEST(CheckpointCrashTest, TornJournalTailDroppedAndOverwritten) {
+  Node node;
+  const auto data = Payload(6'000, 1);
+  {
+    auto manager = node.Boot();
+    ASSERT_OK(manager->Save("model", data));
+    ASSERT_OK(manager->Flush());
+  }
+  // The crash tore the tail mid-append: half a record, no CRC trailer.
+  node.AppendToJournal("local 99 half-written-rec");
+
+  {
+    auto manager = node.Boot();
+    EXPECT_GT(manager->GetStats().torn_tail_bytes, 0u);
+    auto restored = manager->Restore("model");
+    ASSERT_OK(restored);
+    EXPECT_EQ(data, restored.value());
+    // The next append lands over the torn tail...
+    ASSERT_OK(manager->Save("model2", Payload(2'000, 2)));
+    ASSERT_OK(manager->Flush());
+  }
+  {
+    // ...so the next recovery sees a clean journal with both entries.
+    auto manager = node.Boot();
+    EXPECT_EQ(0u, manager->GetStats().torn_tail_bytes);
+    EXPECT_EQ(2u, manager->ManifestView().size());
+  }
+}
+
+TEST(CheckpointCrashTest, MidWriteCrashNeverExposesPartialCheckpoint) {
+  Node node;
+  const auto v1 = Payload(5'000, 1);
+  {
+    auto manager = node.Boot();
+    ASSERT_OK(manager->Save("model", v1));
+    ASSERT_OK(manager->Flush());
+  }
+
+  // Crash mid-write of generation 2: `begin` journalled, a *partial* new
+  // payload on the local tier, no commit record.
+  const auto v2 = Payload(5'000, 2);
+  node.AppendToJournal(ManifestJournal::Encode(
+      {ManifestOp::kBegin, 2, "model", v2.size(), Crc32c(v2), -1}));
+  ASSERT_OK(node.local->Write(
+      "ckpt/model.g2",
+      std::span<const std::byte>(v2).first(1'000)));  // torn data write
+
+  auto manager = node.Boot();
+  // Never a mix: restore returns the previous checkpoint, whole.
+  auto restored = manager->Restore("model");
+  ASSERT_OK(restored);
+  EXPECT_EQ(v1, restored.value());
+  EXPECT_EQ(1u, manager->GetStats().dropped_orphans);
+  // The orphaned partial copy is gone.
+  auto exists = node.local->Exists("ckpt/model.g2");
+  ASSERT_OK(exists);
+  EXPECT_FALSE(exists.value());
+}
+
+TEST(CheckpointCrashTest, CommittedButLostLocalCopyIsPrunedNotServed) {
+  Node node;
+  node.pfs->FailUntilHealed();  // hold the drain down until the kill
+  {
+    auto manager = node.Boot();
+    ASSERT_OK(manager->Save("model", Payload(3'000, 1)));
+    // Killed before the drain finished (no Flush).
+  }
+  node.pfs->Heal();
+  // The "disk" lost the committed local copy too (worst case: the tier
+  // died with the node). Nothing is durable and nothing is mixed.
+  ASSERT_OK(node.local->Delete("ckpt/model.g1"));
+
+  auto manager = node.Boot();
+  EXPECT_STATUS_CODE(StatusCode::kNotFound, manager->Restore("model"));
+  EXPECT_GE(manager->GetStats().dropped_orphans, 1u);
+}
+
+TEST(CheckpointCrashTest, InterruptedDrainResumesAndReconciles) {
+  Node node;
+  const auto a = Payload(8'000, 1);
+  const auto b = Payload(9'000, 2);
+  node.pfs->FailUntilHealed();  // PFS outage: drains cannot complete
+  {
+    auto manager = node.Boot();
+    ASSERT_OK(manager->Save("ckpt-a", a));
+    ASSERT_OK(manager->Save("ckpt-b", b));
+    // Kill mid-drain: both checkpoints committed locally, neither
+    // durable. Shutdown leaves them journalled.
+    EXPECT_EQ(2u, manager->GetStats().pending_drains);
+  }
+
+  node.pfs->Heal();
+  auto manager = node.Boot();
+  EXPECT_EQ(2u, manager->GetStats().resumed_drains);
+  ASSERT_OK(manager->Flush());
+
+  // Reconciliation: bytes drained == bytes durable on the PFS, and the
+  // durable copies checksum exactly.
+  const auto stats = manager->GetStats();
+  EXPECT_EQ(a.size() + b.size(), stats.drain_bytes);
+  std::vector<std::byte> out_a(a.size());
+  ASSERT_OK(node.pfs_inner->Read("ckpt/ckpt-a.g1", 0, out_a));
+  EXPECT_EQ(a, out_a);
+  std::vector<std::byte> out_b(b.size());
+  ASSERT_OK(node.pfs_inner->Read("ckpt/ckpt-b.g2", 0, out_b));
+  EXPECT_EQ(b, out_b);
+
+  for (const auto& entry : manager->ManifestView()) {
+    EXPECT_EQ(CkptState::kDurable, entry.state) << entry.name;
+  }
+}
+
+TEST(CheckpointCrashTest, CrashAfterDurableRecordIsIdempotent) {
+  Node node;
+  const auto data = Payload(4'000, 1);
+  {
+    auto manager = node.Boot();
+    ASSERT_OK(manager->Save("model", data));
+    ASSERT_OK(manager->Flush());
+  }
+  // Crash landed *between* the drain's `durable` journal append and
+  // anything after it — replay a second `draining` record as if the
+  // next boot's drain restarted and died again; durability must win.
+  node.AppendToJournal(ManifestJournal::Encode(
+      {ManifestOp::kDraining, 1, "model", data.size(), Crc32c(data), 0}));
+
+  auto manager = node.Boot();
+  // `durable` was journalled before the crash, so the re-drain either
+  // already happened or is re-run idempotently; either way restore
+  // serves complete bytes and Flush converges.
+  ASSERT_OK(manager->Flush());
+  auto restored = manager->Restore("model");
+  ASSERT_OK(restored);
+  EXPECT_EQ(data, restored.value());
+}
+
+}  // namespace
+}  // namespace monarch::ckpt

@@ -1,0 +1,217 @@
+// CheckpointManager happy paths (ISSUE 5): save/restore roundtrips,
+// state transitions, keep-last-K retention, eviction under quota
+// pressure, quota interplay with the shared placement ledger, and the
+// direct-to-PFS last rung.
+#include "ckpt/checkpoint_manager.h"
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <vector>
+
+#include "../test_support.h"
+#include "storage/memory_engine.h"
+#include "util/crc32c.h"
+
+namespace monarch::ckpt {
+namespace {
+
+using monarch::testing::Bytes;
+
+struct Rig {
+  std::shared_ptr<storage::MemoryEngine> local_engine =
+      std::make_shared<storage::MemoryEngine>("local");
+  std::shared_ptr<storage::MemoryEngine> pfs_engine =
+      std::make_shared<storage::MemoryEngine>("pfs");
+  std::unique_ptr<core::StorageHierarchy> hierarchy;
+
+  explicit Rig(std::uint64_t local_quota) {
+    std::vector<core::StorageDriverPtr> drivers;
+    drivers.push_back(std::make_unique<core::StorageDriver>(
+        "local", local_engine, local_quota, /*read_only=*/false));
+    drivers.push_back(std::make_unique<core::StorageDriver>(
+        "pfs", pfs_engine, 0, /*read_only=*/true));
+    hierarchy =
+        std::move(core::StorageHierarchy::Create(std::move(drivers))).value();
+  }
+};
+
+std::vector<std::byte> Payload(std::size_t bytes, int tag) {
+  std::vector<std::byte> data(bytes);
+  for (std::size_t i = 0; i < bytes; ++i) {
+    data[i] = static_cast<std::byte>((i * 7 + static_cast<std::size_t>(tag)) &
+                                     0xFF);
+  }
+  return data;
+}
+
+TEST(CheckpointManagerTest, SaveRestoreRoundtripServedLocally) {
+  Rig rig(1 << 20);
+  CheckpointManager manager(*rig.hierarchy, {});
+  const auto data = Payload(10'000, 1);
+  ASSERT_OK(manager.Save("model", data));
+
+  auto restored = manager.Restore("model");
+  ASSERT_OK(restored);
+  EXPECT_EQ(data, restored.value());
+
+  const auto stats = manager.GetStats();
+  EXPECT_EQ(1u, stats.saves);
+  EXPECT_EQ(data.size(), stats.save_bytes);
+  EXPECT_EQ(1u, stats.restores_local);
+  EXPECT_EQ(0u, stats.restores_pfs);
+  EXPECT_EQ(0u, stats.direct_pfs_writes);
+}
+
+TEST(CheckpointManagerTest, FlushDrainsToDurablePfsCopy) {
+  Rig rig(1 << 20);
+  CheckpointManager manager(*rig.hierarchy, {});
+  const auto data = Payload(50'000, 2);
+  ASSERT_OK(manager.Save("model", data));
+  ASSERT_OK(manager.Flush());
+
+  const auto view = manager.ManifestView();
+  ASSERT_EQ(1u, view.size());
+  EXPECT_EQ(CkptState::kDurable, view[0].state);
+  EXPECT_TRUE(view[0].local_present);
+  EXPECT_EQ(Crc32c(data), view[0].crc);
+
+  // The gen-qualified PFS copy really exists and holds the exact bytes.
+  auto exists = rig.pfs_engine->Exists("ckpt/model.g1");
+  ASSERT_OK(exists);
+  EXPECT_TRUE(exists.value());
+  std::vector<std::byte> pfs_copy(data.size());
+  ASSERT_OK(rig.pfs_engine->Read("ckpt/model.g1", 0, pfs_copy));
+  EXPECT_EQ(data, pfs_copy);
+
+  const auto stats = manager.GetStats();
+  EXPECT_EQ(1u, stats.drains_completed);
+  EXPECT_EQ(data.size(), stats.drain_bytes);
+  EXPECT_EQ(0u, stats.pending_drains);
+}
+
+TEST(CheckpointManagerTest, RestoreReturnsNewestGeneration) {
+  Rig rig(1 << 20);
+  CheckpointManager manager(*rig.hierarchy, {});
+  const auto v1 = Payload(4'000, 1);
+  const auto v2 = Payload(4'000, 2);
+  ASSERT_OK(manager.Save("model", v1));
+  ASSERT_OK(manager.Save("model", v2));
+  auto restored = manager.Restore("model");
+  ASSERT_OK(restored);
+  EXPECT_EQ(v2, restored.value());
+}
+
+TEST(CheckpointManagerTest, KeepLastKPrunesOldDurableCheckpoints) {
+  Rig rig(1 << 20);
+  CheckpointOptions options;
+  options.keep_last = 2;
+  CheckpointManager manager(*rig.hierarchy, options);
+  for (int i = 0; i < 5; ++i) {
+    ASSERT_OK(manager.Save("step-" + std::to_string(i), Payload(2'000, i)));
+    ASSERT_OK(manager.Flush());  // make it durable so retention can act
+  }
+
+  const auto view = manager.ManifestView();
+  ASSERT_EQ(2u, view.size());
+  EXPECT_EQ("step-3", view[0].name);
+  EXPECT_EQ("step-4", view[1].name);
+  EXPECT_GE(manager.GetStats().pruned, 3u);
+
+  // Pruned checkpoints are gone everywhere: manifest, local tier, PFS.
+  auto pfs0 = rig.pfs_engine->Exists("ckpt/step-0.g1");
+  ASSERT_OK(pfs0);
+  EXPECT_FALSE(pfs0.value());
+  EXPECT_STATUS_CODE(StatusCode::kNotFound, manager.Restore("step-0"));
+}
+
+TEST(CheckpointManagerTest, EvictsDurableLocalCopiesUnderQuotaPressure) {
+  constexpr std::size_t kBytes = 10'000;
+  Rig rig(kBytes * 2 + kBytes / 2);  // room for two and a half checkpoints
+  CheckpointManager manager(*rig.hierarchy, {});
+  for (int i = 0; i < 4; ++i) {
+    ASSERT_OK(manager.Save("step-" + std::to_string(i), Payload(kBytes, i)));
+    // Flush so older checkpoints become durable — i.e. evictable.
+    ASSERT_OK(manager.Flush());
+  }
+  const auto stats = manager.GetStats();
+  EXPECT_GE(stats.local_evictions, 1u);
+  EXPECT_EQ(4u, stats.saves);
+  EXPECT_EQ(0u, stats.direct_pfs_writes);  // eviction kept Save local
+
+  // An evicted checkpoint restores from its durable PFS copy.
+  auto restored = manager.Restore("step-0");
+  ASSERT_OK(restored);
+  EXPECT_EQ(Payload(kBytes, 0), restored.value());
+  EXPECT_GE(manager.GetStats().restores_pfs, 1u);
+}
+
+TEST(CheckpointManagerTest, QuotaReservationsTrackLocalCopies) {
+  constexpr std::uint64_t kQuota = 100'000;
+  constexpr std::size_t kBytes = 30'000;
+  Rig rig(kQuota);
+  CheckpointManager manager(*rig.hierarchy, {});
+  const std::uint64_t free_before = rig.hierarchy->Level(0).free_bytes();
+  ASSERT_OK(manager.Save("model", Payload(kBytes, 1)));
+  // The local copy holds a real reservation in the shared ledger — the
+  // same one the read path's placements draw from.
+  EXPECT_EQ(free_before - kBytes, rig.hierarchy->Level(0).free_bytes());
+  EXPECT_EQ(kBytes, manager.GetStats().local_bytes);
+}
+
+TEST(CheckpointManagerTest, FallsBackToDirectPfsWhenNoTierHasRoom) {
+  Rig rig(/*local_quota=*/100);  // smaller than any checkpoint
+  CheckpointManager manager(*rig.hierarchy, {});
+  const auto data = Payload(5'000, 3);
+  ASSERT_OK(manager.Save("model", data));
+
+  const auto stats = manager.GetStats();
+  EXPECT_EQ(1u, stats.direct_pfs_writes);
+  EXPECT_EQ(0u, stats.pending_drains);  // already durable, nothing to drain
+
+  const auto view = manager.ManifestView();
+  ASSERT_EQ(1u, view.size());
+  EXPECT_EQ(CkptState::kDurable, view[0].state);
+  EXPECT_FALSE(view[0].local_present);
+
+  auto restored = manager.Restore("model");
+  ASSERT_OK(restored);
+  EXPECT_EQ(data, restored.value());
+  EXPECT_EQ(1u, manager.GetStats().restores_pfs);
+}
+
+TEST(CheckpointManagerTest, CorruptLocalCopyQuarantinedAndServedFromPfs) {
+  Rig rig(1 << 20);
+  CheckpointManager manager(*rig.hierarchy, {});
+  const auto data = Payload(8'000, 4);
+  ASSERT_OK(manager.Save("model", data));
+  ASSERT_OK(manager.Flush());
+
+  // Flip bytes in the local copy behind the manager's back.
+  ASSERT_OK(rig.local_engine->WriteAt("ckpt/model.g1", 100, Bytes("garbage")));
+
+  auto restored = manager.Restore("model");
+  ASSERT_OK(restored);
+  EXPECT_EQ(data, restored.value());  // the verified PFS copy won
+
+  const auto stats = manager.GetStats();
+  EXPECT_EQ(1u, stats.local_quarantined);
+  EXPECT_EQ(1u, stats.restores_pfs);
+  auto local = rig.local_engine->Exists("ckpt/model.g1");
+  ASSERT_OK(local);
+  EXPECT_FALSE(local.value());  // quarantined copy deleted
+}
+
+TEST(CheckpointManagerTest, RejectsInvalidNamesAndEmptyPayloads) {
+  Rig rig(1 << 20);
+  CheckpointManager manager(*rig.hierarchy, {});
+  EXPECT_STATUS_CODE(StatusCode::kInvalidArgument,
+                     manager.Save("", Payload(10, 0)));
+  EXPECT_STATUS_CODE(StatusCode::kInvalidArgument,
+                     manager.Save("bad name", Payload(10, 0)));
+  EXPECT_STATUS_CODE(StatusCode::kInvalidArgument, manager.Save("ok", {}));
+  EXPECT_STATUS_CODE(StatusCode::kNotFound, manager.Restore("missing"));
+}
+
+}  // namespace
+}  // namespace monarch::ckpt

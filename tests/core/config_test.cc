@@ -156,6 +156,58 @@ TEST(ParseConfigTest, RejectsBadPeerKeys) {
       ParseConfig(std::string(kBase) + "[peer]\nenabled=maybe\n"));
 }
 
+TEST(ParseConfigTest, CheckpointSectionDisabledByDefault) {
+  auto parsed = ParseConfig(
+      "[monarch]\ndataset_dir=d\n[tier.0]\nprofile=ram\nquota=1KiB\n"
+      "[pfs]\nprofile=raw\nroot=/p\n");
+  ASSERT_OK(parsed);
+  EXPECT_FALSE(parsed.value().checkpoint.enabled);
+  EXPECT_EQ("ckpt", parsed.value().checkpoint.dir);
+  EXPECT_EQ(0, parsed.value().checkpoint.keep_last);
+  EXPECT_EQ(0u, parsed.value().checkpoint.drain_bandwidth_bytes_per_sec);
+  EXPECT_EQ(1, parsed.value().checkpoint.drain_threads);
+  EXPECT_TRUE(parsed.value().checkpoint.verify_on_restore);
+}
+
+TEST(ParseConfigTest, ParsesCheckpointSection) {
+  auto parsed = ParseConfig(
+      "[monarch]\ndataset_dir=d\n[tier.0]\nprofile=ram\nquota=1KiB\n"
+      "[pfs]\nprofile=raw\nroot=/p\n"
+      "[checkpoint]\n"
+      "enabled = true\n"
+      "dir = checkpoints\n"
+      "keep_last = 3\n"
+      "drain_bandwidth = 200MiB\n"
+      "drain_threads = 2\n"
+      "verify_on_restore = false\n");
+  ASSERT_OK(parsed);
+  EXPECT_TRUE(parsed.value().checkpoint.enabled);
+  EXPECT_EQ("checkpoints", parsed.value().checkpoint.dir);
+  EXPECT_EQ(3, parsed.value().checkpoint.keep_last);
+  EXPECT_EQ(200ull << 20,
+            parsed.value().checkpoint.drain_bandwidth_bytes_per_sec);
+  EXPECT_EQ(2, parsed.value().checkpoint.drain_threads);
+  EXPECT_FALSE(parsed.value().checkpoint.verify_on_restore);
+}
+
+TEST(ParseConfigTest, RejectsBadCheckpointKeys) {
+  constexpr const char* kBase =
+      "[monarch]\ndataset_dir=d\n[tier.0]\nprofile=ram\nquota=1KiB\n"
+      "[pfs]\nprofile=raw\nroot=/p\n";
+  EXPECT_STATUS_CODE(
+      StatusCode::kInvalidArgument,
+      ParseConfig(std::string(kBase) + "[checkpoint]\ntypo=1\n"));
+  EXPECT_STATUS_CODE(
+      StatusCode::kInvalidArgument,
+      ParseConfig(std::string(kBase) + "[checkpoint]\ndrain_threads=0\n"));
+  EXPECT_STATUS_CODE(
+      StatusCode::kInvalidArgument,
+      ParseConfig(std::string(kBase) + "[checkpoint]\ndir=\n"));
+  EXPECT_STATUS_CODE(
+      StatusCode::kInvalidArgument,
+      ParseConfig(std::string(kBase) + "[checkpoint]\nenabled=maybe\n"));
+}
+
 TEST(BuildMonarchConfigTest, UnknownProfileRejected) {
   ParsedConfig parsed;
   parsed.dataset_dir = "d";

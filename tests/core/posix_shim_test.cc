@@ -107,6 +107,80 @@ TEST_F(PosixShimTest, ReadsGoThroughMonarchPlacement) {
   EXPECT_TRUE(local_->Exists("data/f2").value());
 }
 
+/// Write-path stub (ISSUE 5): records what Close commits.
+class StubSink final : public CheckpointSink {
+ public:
+  Status Save(const std::string& name,
+              std::span<const std::byte> data) override {
+    names.push_back(name);
+    payloads.emplace_back(data.begin(), data.end());
+    return next_save;
+  }
+  Result<std::vector<std::byte>> Restore(const std::string&) override {
+    return NotFoundError("stub");
+  }
+  Status Flush() override { return Status::Ok(); }
+
+  std::vector<std::string> names;
+  std::vector<std::vector<std::byte>> payloads;
+  Status next_save = Status::Ok();
+};
+
+TEST_F(PosixShimTest, WriteDescriptorCommitsThroughSinkOnClose) {
+  StubSink sink;
+  PosixShim shim(*monarch_, &sink);
+  auto fd = shim.OpenForWrite("ckpt/model");
+  ASSERT_OK(fd);
+  EXPECT_EQ(1u, shim.open_count());
+
+  // The framework saver streams out of order and leaves a sparse gap;
+  // the shim must assemble pwrite(2) semantics: gap reads back as zeros.
+  ASSERT_OK(shim.Pwrite(fd.value(), 6, Bytes("world")));
+  ASSERT_OK(shim.Pwrite(fd.value(), 0, Bytes("hello")));
+  EXPECT_EQ(11u, shim.Fstat(fd.value()).value());
+
+  EXPECT_TRUE(sink.names.empty()) << "nothing commits before Close";
+  ASSERT_OK(shim.Close(fd.value()));
+  EXPECT_EQ(0u, shim.open_count());
+  ASSERT_EQ(1u, sink.names.size());
+  EXPECT_EQ("ckpt/model", sink.names[0]);
+  EXPECT_EQ(std::string("hello\0world", 11), Text(sink.payloads[0]));
+}
+
+TEST_F(PosixShimTest, OpenForWriteWithoutSinkIsFailedPrecondition) {
+  EXPECT_STATUS_CODE(StatusCode::kFailedPrecondition,
+                     shim_->OpenForWrite("ckpt/model"));
+}
+
+TEST_F(PosixShimTest, CloseSurfacesSinkErrorButReleasesDescriptor) {
+  StubSink sink;
+  sink.next_save = UnavailableError("pfs down");
+  PosixShim shim(*monarch_, &sink);
+  auto fd = shim.OpenForWrite("ckpt/model");
+  ASSERT_OK(fd);
+  ASSERT_OK(shim.Pwrite(fd.value(), 0, Bytes("x")));
+  EXPECT_STATUS_CODE(StatusCode::kUnavailable, shim.Close(fd.value()));
+  // The descriptor is gone either way — a retry needs a fresh open.
+  EXPECT_EQ(0u, shim.open_count());
+  EXPECT_STATUS_CODE(StatusCode::kFailedPrecondition,
+                     shim.Close(fd.value()));
+}
+
+TEST_F(PosixShimTest, PwriteOnReadDescriptorFails) {
+  StubSink sink;
+  PosixShim shim(*monarch_, &sink);
+  auto fd = shim.Open("data/f1");
+  ASSERT_OK(fd);
+  EXPECT_STATUS_CODE(StatusCode::kFailedPrecondition,
+                     shim.Pwrite(fd.value(), 0, Bytes("x")));
+  // And reads don't see write descriptors.
+  auto wfd = shim.OpenForWrite("ckpt/model");
+  ASSERT_OK(wfd);
+  std::vector<std::byte> buf(4);
+  EXPECT_STATUS_CODE(StatusCode::kFailedPrecondition,
+                     shim.Pread(wfd.value(), 0, buf));
+}
+
 TEST_F(PosixShimTest, ConcurrentOpensGetUniqueFds) {
   std::vector<std::thread> threads;
   std::mutex mu;

@@ -14,8 +14,10 @@
 #include <string>
 #include <vector>
 
+#include "ckpt/checkpoint_manager.h"
 #include "cluster/peer_group.h"
 #include "core/monarch.h"
+#include "core/storage_hierarchy.h"
 #include "dlsim/monarch_opener.h"
 #include "dlsim/trainer.h"
 #include "obs/metrics_registry.h"
@@ -94,6 +96,23 @@ std::set<std::string> RuntimeNames() {
   dlsim::Trainer trainer({},
                          std::make_unique<dlsim::MonarchOpener>(**monarch),
                          tc);
+
+  // The write-back checkpoint tier (ISSUE 5): constructing the manager
+  // registers the ckpt.* instruments; one save+flush drives the drain
+  // lane so the fixture stays live.
+  std::vector<core::StorageDriverPtr> ckpt_drivers;
+  ckpt_drivers.push_back(std::make_unique<core::StorageDriver>(
+      "ckpt-local", std::make_shared<storage::MemoryEngine>("ckpt-local"),
+      /*quota_bytes=*/1ull << 20, /*read_only=*/false));
+  ckpt_drivers.push_back(std::make_unique<core::StorageDriver>(
+      "ckpt-pfs", std::make_shared<storage::MemoryEngine>("ckpt-pfs"), 0,
+      /*read_only=*/true));
+  auto ckpt_hierarchy =
+      std::move(core::StorageHierarchy::Create(std::move(ckpt_drivers)))
+          .value();
+  ckpt::CheckpointManager ckpt_manager(*ckpt_hierarchy, {});
+  EXPECT_TRUE(ckpt_manager.Save("catalogue", payload).ok());
+  EXPECT_TRUE(ckpt_manager.Flush().ok());
 
   const auto names = obs::MetricsRegistry::Global().Names();
   return {names.begin(), names.end()};

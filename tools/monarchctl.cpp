@@ -50,6 +50,14 @@
 //       owned/placed/remote-hit counts plus directory and interconnect
 //       totals.
 //
+//   monarchctl ckpt-status [--saves N] [--bytes SIZE] [--keep K]
+//                          [--drain-bandwidth RATE]
+//       Write-back checkpoint demo (DESIGN.md "Checkpoint write-back"):
+//       save N checkpoints through a CheckpointManager over an
+//       in-memory two-level hierarchy, drain them to the demo PFS under
+//       an optional bandwidth cap, then print the manifest table
+//       (gen/name/bytes/crc/state/local) and the manager's counters.
+//
 // Exit code 0 on success, 1 on usage errors, 2 on runtime failures.
 #include <filesystem>
 #include <fstream>
@@ -60,8 +68,10 @@
 #include <string>
 #include <vector>
 
+#include "ckpt/checkpoint_manager.h"
 #include "cluster/peer_group.h"
 #include "core/config.h"
+#include "core/storage_hierarchy.h"
 #include "core/monarch.h"
 #include "dlsim/monarch_opener.h"
 #include "dlsim/trainer.h"
@@ -136,7 +146,8 @@ void PrintUsage() {
       "  monarchctl stage-status [--files N] [--lookahead N] [--read-fraction F]\n"
       "  monarchctl faults  [--local-rate R] [--pfs-rate R] [--corrupt-rate R]\n"
       "                     [--epochs N] [--files N] [--outage-epoch E]\n"
-      "  monarchctl peer-status [--nodes N] [--files N] [--epochs N] [--replication R]\n";
+      "  monarchctl peer-status [--nodes N] [--files N] [--epochs N] [--replication R]\n"
+      "  monarchctl ckpt-status [--saves N] [--bytes SIZE] [--keep K] [--drain-bandwidth RATE]\n";
 }
 
 Result<workload::DatasetSpec> PresetSpec(const std::string& preset,
@@ -785,6 +796,86 @@ int CmdPeerStatus(const Args& args) {
   return 0;
 }
 
+/// The ISSUE-5 write-back checkpoint demo: a CheckpointManager over an
+/// in-memory two-level hierarchy saves N checkpoints, drains them to the
+/// demo PFS (optionally bandwidth-capped), and dumps the manifest table
+/// the satellite asks for.
+int CmdCkptStatus(const Args& args) {
+  const int saves = std::max(1, std::atoi(args.GetOr("saves", "6").c_str()));
+  const int keep = std::max(0, std::atoi(args.GetOr("keep", "0").c_str()));
+  const auto bytes = ParseByteSize(args.GetOr("bytes", "256KiB"));
+  const auto bandwidth = ParseByteSize(args.GetOr("drain-bandwidth", "0"));
+  if (!bytes.ok() || !bandwidth.ok()) {
+    std::cerr << "ckpt-status: " << (bytes.ok() ? bandwidth : bytes).status()
+              << "\n";
+    return 1;
+  }
+
+  // Local quota of 4 checkpoints: with more saves than that, the demo
+  // also shows durable-copy eviction under capacity pressure.
+  std::vector<core::StorageDriverPtr> drivers;
+  drivers.push_back(std::make_unique<core::StorageDriver>(
+      "local-ram", std::make_shared<storage::MemoryEngine>("local-ram"),
+      bytes.value() * 4 + 4096, /*read_only=*/false));
+  drivers.push_back(std::make_unique<core::StorageDriver>(
+      "demo-pfs", std::make_shared<storage::MemoryEngine>("demo-pfs"),
+      /*quota_bytes=*/0, /*read_only=*/true));
+  auto hierarchy = core::StorageHierarchy::Create(std::move(drivers));
+  if (!hierarchy.ok()) {
+    std::cerr << "ckpt-status: " << hierarchy.status() << "\n";
+    return 2;
+  }
+
+  ckpt::CheckpointOptions options;
+  options.keep_last = keep;
+  options.drain_bandwidth_bytes_per_sec = bandwidth.value();
+  options.chunk_bytes = 64 * 1024;
+  options.buffer_bytes = 256 * 1024;
+  ckpt::CheckpointManager manager(**hierarchy, options);
+
+  std::vector<std::byte> payload(bytes.value());
+  for (int i = 0; i < saves; ++i) {
+    for (std::size_t j = 0; j < payload.size(); ++j) {
+      payload[j] = static_cast<std::byte>((j + static_cast<std::size_t>(i)) &
+                                          0xFF);
+    }
+    if (auto s = manager.Save("model-" + std::to_string(i), payload); !s.ok()) {
+      std::cerr << "ckpt-status: save failed: " << s << "\n";
+      return 2;
+    }
+  }
+  if (auto s = manager.Flush(); !s.ok()) {
+    std::cerr << "ckpt-status: flush failed: " << s << "\n";
+    return 2;
+  }
+
+  std::cout << "checkpoint write-back status (demo: " << saves << " saves of "
+            << FormatByteSize(bytes.value()) << ", keep-last "
+            << (keep == 0 ? std::string("all") : std::to_string(keep))
+            << ", drain cap "
+            << (bandwidth.value() == 0
+                    ? std::string("none")
+                    : FormatByteSize(bandwidth.value()) + "/s")
+            << ")\n";
+  Table table({"gen", "name", "bytes", "crc32c", "state", "local"});
+  for (const auto& entry : manager.ManifestView()) {
+    std::ostringstream crc;
+    crc << std::hex << entry.crc;
+    table.AddRow({std::to_string(entry.gen), entry.name,
+                  std::to_string(entry.bytes), crc.str(),
+                  ckpt::CkptStateName(entry.state),
+                  entry.local_present ? "yes" : "no"});
+  }
+  table.PrintAscii(std::cout);
+  const auto stats = manager.GetStats();
+  std::cout << "saves=" << stats.saves << " drained="
+            << stats.drains_completed << " drain_bytes=" << stats.drain_bytes
+            << " local_evictions=" << stats.local_evictions
+            << " pruned=" << stats.pruned
+            << " pending=" << stats.pending_drains << "\n";
+  return 0;
+}
+
 int Main(int argc, char** argv) {
   auto args = ParseArgs(argc, argv);
   if (!args.ok()) {
@@ -802,6 +893,7 @@ int Main(int argc, char** argv) {
   if (command == "stage-status") return CmdStageStatus(*args);
   if (command == "faults") return CmdFaults(*args);
   if (command == "peer-status") return CmdPeerStatus(*args);
+  if (command == "ckpt-status") return CmdCkptStatus(*args);
   PrintUsage();
   return command.empty() ? 1 : 1;
 }
