@@ -1,11 +1,14 @@
 #!/usr/bin/env bash
 # Reduced-scale smoke pass over the headline figure benches (fig1, fig3)
-# plus the multi-job peer-sharing experiment (ext_multijob) and the
-# checkpoint write-back comparison (ext_checkpoint), producing
-# BENCH_fig1.json / BENCH_fig3.json / BENCH_ext_multijob.json /
-# BENCH_ext_checkpoint.json for quick inspection: the demand-vs-prefetch
-# first-epoch comparison, the vanilla / monarch / monarch-peer
-# PFS-traffic comparison, and the direct-PFS vs write-back stall gap.
+# plus the multi-job peer-sharing experiment (ext_multijob), the
+# checkpoint write-back comparison (ext_checkpoint), and the fig4
+# placement-policy sweep (eviction policies vs overcommit, sweep arm
+# only), producing BENCH_fig1.json / BENCH_fig3.json /
+# BENCH_ext_multijob.json / BENCH_ext_checkpoint.json / BENCH_fig4.json
+# for quick inspection: the demand-vs-prefetch first-epoch comparison,
+# the vanilla / monarch / monarch-peer PFS-traffic comparison, the
+# direct-PFS vs write-back stall gap, and the per-policy steady-state
+# hit rates (docs/PLACEMENT.md).
 #
 # Usage: scripts/bench_smoke.sh [output-dir]
 #   output-dir   where the BENCH_*.json files land (default: bench-results)
@@ -20,7 +23,8 @@ OUT_DIR="${1:-bench-results}"
 mkdir -p "$OUT_DIR"
 
 if [[ ! -x build/bench/fig1_motivation || ! -x build/bench/fig3_full_dataset \
-      || ! -x build/bench/ext_multijob || ! -x build/bench/ext_checkpoint ]]; then
+      || ! -x build/bench/ext_multijob || ! -x build/bench/ext_checkpoint \
+      || ! -x build/bench/fig4_partial_dataset ]]; then
   echo "bench binaries missing — build first: cmake -B build && cmake --build build -j" >&2
   exit 1
 fi
@@ -39,8 +43,12 @@ echo "bench smoke: runs=$MONARCH_BENCH_RUNS scale=$MONARCH_BENCH_SCALE epochs=$M
 # 0.15 runs the 1/2/4-job grid, all three arms, in well under a minute.
 ./build/bench/ext_multijob
 ./build/bench/ext_checkpoint
+# Policy-sweep arm only (4 overcommit ratios x 4 eviction policies); the
+# full fig4 figure arms are too slow for a smoke pass.
+MONARCH_FIG4_ARMS=sweep ./build/bench/fig4_partial_dataset
 
 echo
 echo "wrote:"
 ls -l "$OUT_DIR"/BENCH_fig1.json "$OUT_DIR"/BENCH_fig3.json \
-      "$OUT_DIR"/BENCH_ext_multijob.json "$OUT_DIR"/BENCH_ext_checkpoint.json
+      "$OUT_DIR"/BENCH_ext_multijob.json "$OUT_DIR"/BENCH_ext_checkpoint.json \
+      "$OUT_DIR"/BENCH_fig4.json

@@ -125,7 +125,26 @@ Status ApplyTierKey(ParsedTier& tier, const std::string& key,
 
 Status ApplyPlacementKey(ParsedConfig& config, const std::string& key,
                          const std::string& value, int line_no) {
-  if (key == "staging_buffer_bytes") {
+  if (key == "policy") {
+    // Validate eagerly so a typo fails at parse time with a line number,
+    // not later in BuildMonarchConfig.
+    auto policy = MakePlacementPolicyByName(value);
+    if (!policy.ok()) {
+      return InvalidArgumentError("line " + std::to_string(line_no) + ": " +
+                                  policy.status().message());
+    }
+    config.placement_policy = value;
+  } else if (key == "hotspot_decay_interval") {
+    MONARCH_ASSIGN_OR_RETURN(const std::uint64_t n, ParseU64(value, line_no));
+    if (n == 0) {
+      return InvalidArgumentError("line " + std::to_string(line_no) +
+                                  ": hotspot_decay_interval must be >= 1");
+    }
+    config.policy_knobs.hotspot_decay_interval = n;
+  } else if (key == "clairvoyant_protect_window") {
+    MONARCH_ASSIGN_OR_RETURN(config.policy_knobs.clairvoyant_protect_window,
+                             ParseU64(value, line_no));
+  } else if (key == "staging_buffer_bytes") {
     MONARCH_ASSIGN_OR_RETURN(config.staging_buffer_bytes,
                              ParseByteSize(value));
   } else if (key == "staging_chunk_bytes") {
@@ -380,6 +399,9 @@ Result<MonarchConfig> BuildMonarchConfig(const ParsedConfig& parsed) {
   config.placement.tier_inflight_cap_bytes = parsed.tier_inflight_cap_bytes;
   config.placement.prefetch_lookahead = parsed.prefetch_lookahead;
   config.resilience = parsed.resilience;
+  MONARCH_ASSIGN_OR_RETURN(
+      config.policy,
+      MakePlacementPolicyByName(parsed.placement_policy, parsed.policy_knobs));
 
   for (const ParsedTier& tier : parsed.cache_tiers) {
     TierSpec spec;
@@ -393,6 +415,60 @@ Result<MonarchConfig> BuildMonarchConfig(const ParsedConfig& parsed) {
   MONARCH_ASSIGN_OR_RETURN(pfs.engine, MakeEngine(parsed.pfs));
   config.pfs = std::move(pfs);
   return config;
+}
+
+std::vector<ConfigKeyInfo> ConfigKeyCatalogue() {
+  // Keep in lockstep with the Apply*Key functions and the [monarch]
+  // switch above — the config_doc_test feeds every sample below through
+  // ParseConfig and diffs the key set against docs/CONFIG.md.
+  return {
+      {"monarch", "dataset_dir", "data"},
+      {"monarch", "placement_threads", "6"},
+      {"monarch", "fetch_full_file", "true"},
+      {"tier.0", "name", "local-ssd"},
+      {"tier.0", "profile", "ram"},
+      {"tier.0", "root", "/tmp/monarch/ssd"},
+      {"tier.0", "quota", "115MiB"},
+      {"tier.0", "seed", "42"},
+      {"pfs", "name", "lustre"},
+      {"pfs", "profile", "ram"},
+      {"pfs", "root", "/tmp/monarch/pfs"},
+      {"pfs", "quota", "0"},
+      {"pfs", "seed", "42"},
+      {"placement", "policy", "clairvoyant"},
+      {"placement", "staging_buffer_bytes", "64MiB"},
+      {"placement", "staging_chunk_bytes", "4MiB"},
+      {"placement", "tier_inflight_cap_bytes", "0"},
+      {"placement", "prefetch_lookahead", "8"},
+      {"placement", "hotspot_decay_interval", "256"},
+      {"placement", "clairvoyant_protect_window", "64"},
+      {"resilience", "retry_max_attempts", "4"},
+      {"resilience", "retry_initial_backoff_us", "50"},
+      {"resilience", "retry_multiplier", "2.0"},
+      {"resilience", "retry_max_backoff_us", "5000"},
+      {"resilience", "retry_budget_us", "20000"},
+      {"resilience", "health_enabled", "true"},
+      {"resilience", "health_window", "64"},
+      {"resilience", "health_min_samples", "16"},
+      {"resilience", "health_error_threshold", "0.5"},
+      {"resilience", "health_cooldown_us", "100000"},
+      {"resilience", "health_half_open_successes", "3"},
+      {"resilience", "verify_staged_writes", "true"},
+      {"resilience", "verify_on_read", "false"},
+      {"resilience", "max_placement_attempts", "3"},
+      {"resilience", "restage_after_quarantine", "true"},
+      {"peer", "enabled", "true"},
+      {"peer", "interconnect_bandwidth", "1200MiB"},
+      {"peer", "interconnect_latency_us", "150"},
+      {"peer", "directory_shards", "16"},
+      {"peer", "replication", "1"},
+      {"checkpoint", "enabled", "true"},
+      {"checkpoint", "dir", "ckpt"},
+      {"checkpoint", "keep_last", "3"},
+      {"checkpoint", "drain_bandwidth", "200MiB"},
+      {"checkpoint", "drain_threads", "1"},
+      {"checkpoint", "verify_on_restore", "true"},
+  };
 }
 
 Result<std::unique_ptr<Monarch>> MonarchFromIni(const std::string& ini_text) {

@@ -23,10 +23,14 @@
 //   seed = 42
 //
 //   [placement]             ; optional — staging-pipeline knobs
+//   policy = first-fit      ; first-fit | round-robin | lru | hotspot
+//                           ;   | clairvoyant (docs/PLACEMENT.md)
 //   staging_buffer_bytes = 64MiB   ; chunk-buffer-pool budget
 //   staging_chunk_bytes = 4MiB     ; copy granularity
 //   tier_inflight_cap_bytes = 0    ; prefetch in-flight cap per tier
 //   prefetch_lookahead = 0         ; hinted files staged ahead (0 = off)
+//   hotspot_decay_interval = 256   ; accesses between frequency halvings
+//   clairvoyant_protect_window = 64  ; upcoming accesses never evicted
 //
 //   [resilience]            ; optional — defaults match ResilienceOptions
 //   retry_max_attempts = 4
@@ -47,7 +51,7 @@
 //
 //   [peer]                  ; optional — cooperative peer caching (ISSUE 4)
 //   enabled = true
-//   interconnect_bandwidth = 1200MB   ; shared fabric, bytes/second
+//   interconnect_bandwidth = 1200MiB  ; shared fabric, bytes/second
 //   interconnect_latency_us = 150     ; one-way hop latency
 //   directory_shards = 16             ; cluster file-directory stripes
 //   replication = 1                   ; owner nodes staging each file
@@ -56,7 +60,7 @@
 //   enabled = true
 //   dir = ckpt                        ; namespace prefix for checkpoint files
 //   keep_last = 3                     ; retention window (0 = keep all)
-//   drain_bandwidth = 200MB           ; PFS drain cap, bytes/second (0 = off)
+//   drain_bandwidth = 200MiB          ; PFS drain cap, bytes/second (0 = off)
 //   drain_threads = 1
 //   verify_on_restore = true
 #pragma once
@@ -118,10 +122,13 @@ struct ParsedConfig {
   int placement_threads = 6;
   bool fetch_full_file = true;
   /// `[placement]` section; defaults match PlacementOptions.
+  std::string placement_policy = "first-fit";
   std::uint64_t staging_buffer_bytes = PlacementOptions{}.staging_buffer_bytes;
   std::uint64_t staging_chunk_bytes = PlacementOptions{}.staging_chunk_bytes;
   std::uint64_t tier_inflight_cap_bytes = 0;
   int prefetch_lookahead = 0;
+  /// Per-policy eviction knobs (docs/PLACEMENT.md).
+  PlacementPolicyKnobs policy_knobs;
   std::vector<ParsedTier> cache_tiers;  ///< level order
   ParsedTier pfs;
   /// `[resilience]` section; defaults when the section is absent.
@@ -137,8 +144,26 @@ struct ParsedConfig {
 Result<ParsedConfig> ParseConfig(const std::string& ini_text);
 
 /// Instantiate engines per each tier's profile and assemble the
-/// MonarchConfig (policy defaults to first-fit).
+/// MonarchConfig — including the placement policy named by
+/// `[placement] policy` (first-fit when unset).
 Result<MonarchConfig> BuildMonarchConfig(const ParsedConfig& parsed);
+
+/// One INI key the parser accepts: its section, name, and a sample value
+/// the parser is guaranteed to take. `section` is the header as written
+/// ("tier.0" stands in for every tier.N).
+struct ConfigKeyInfo {
+  std::string section;
+  std::string key;
+  std::string sample;
+};
+
+/// Every (section, key) pair ParseConfig accepts, with a valid sample
+/// value each. This is the source of truth the docs/CONFIG.md reference
+/// is checked against (tests/core/config_doc_test.cc): a key added to
+/// the parser must be added here AND documented, or CI fails; a key
+/// listed here that the parser rejects also fails (the test feeds every
+/// sample through ParseConfig).
+std::vector<ConfigKeyInfo> ConfigKeyCatalogue();
 
 /// Convenience: parse + build + Monarch::Create.
 Result<std::unique_ptr<Monarch>> MonarchFromIni(const std::string& ini_text);

@@ -60,6 +60,21 @@ struct FileInfo {
   /// read served from a cache tier — that exchange is one prefetch hit.
   std::atomic<bool> prefetched{false};
 
+  /// In-flight demand reads of this file (ISSUE 6). A nonzero count pins
+  /// the staged copy against eviction: the evictor claims the file, sees
+  /// the pin, and reverts — so an active read never loses its tier copy
+  /// mid-flight. Readers that pin after the evictor's check fall back to
+  /// the PFS exactly like the pre-pinning eviction race.
+  std::atomic<int> read_pins{0};
+
+  /// Latched when a retryable no-space rejection bounced this file (an
+  /// eviction-capable policy refused to make room). The read path skips
+  /// re-claiming a latched file until the next offset-0 read re-arms it:
+  /// chunked readers would otherwise re-enqueue a doomed demand staging
+  /// per chunk and starve the prefetch lane behind the demand lane's
+  /// priority.
+  std::atomic<bool> stage_refused{false};
+
   /// One-way CAS used by the read path to claim the background fetch.
   bool TryBeginFetch() noexcept {
     PlacementState expected = PlacementState::kPfsOnly;

@@ -277,6 +277,20 @@ Result<std::size_t> Monarch::ReadImpl(const std::string& name,
       access_clock_.fetch_add(1, std::memory_order_relaxed) + 1,
       std::memory_order_relaxed);
 
+  // Pin the file for the duration of this read (ISSUE 6): an eviction
+  // that claims it while the pin is held reverts and picks another
+  // victim, so an in-flight demand read never loses its tier copy.
+  info->read_pins.fetch_add(1, std::memory_order_acq_rel);
+  struct PinGuard {
+    FileInfo* file;
+    ~PinGuard() { file->read_pins.fetch_sub(1, std::memory_order_acq_rel); }
+  } pin_guard{info.get()};
+
+  // Policy bookkeeping at file-visit granularity: the loader reads files
+  // in chunks, so only the offset-0 read marks a new access (the
+  // clairvoyant schedule clock and hotspot counters advance here).
+  if (offset == 0) placement_->NoteAccess(*info);
+
   // ① consult the namespace for the file's current level, ② read from
   // that tier's driver — unless its circuit breaker is open, in which
   // case the tier is skipped without a doomed attempt. The file's only
@@ -356,8 +370,14 @@ Result<std::size_t> Monarch::ReadImpl(const std::string& name,
   if (level == pfs && !placement_->stopped() &&
       (config_.peer_view == nullptr ||
        config_.peer_view->ShouldStageLocally(name))) {
+    // An offset-0 read (file open) re-arms a file whose last demand
+    // staging was refused by the eviction policy; later chunks of the
+    // same pass leave the latch alone so one open retries at most once.
+    if (offset == 0) info->stage_refused.store(false, std::memory_order_release);
     const bool full_read = offset == 0 && read.value() == info->size;
-    if (full_read || placement_->options().fetch_full_file_on_partial_read) {
+    if ((full_read ||
+         placement_->options().fetch_full_file_on_partial_read) &&
+        !info->stage_refused.load(std::memory_order_acquire)) {
       if (info->TryBeginFetch()) {
         std::optional<std::vector<std::byte>> content;
         if (offset == 0 && read.value() > 0) {
@@ -452,6 +472,18 @@ void Monarch::HintUpcoming(std::span<const std::string> upcoming) {
                          "\"files\":" + std::to_string(installed));
   }
   TopUpPrefetch();
+}
+
+void Monarch::InstallRunSchedule(
+    const std::vector<std::vector<std::string>>& epochs) {
+  std::vector<std::string> sequence;
+  std::size_t total = 0;
+  for (const auto& epoch : epochs) total += epoch.size();
+  sequence.reserve(total);
+  for (const auto& epoch : epochs) {
+    sequence.insert(sequence.end(), epoch.begin(), epoch.end());
+  }
+  placement_->InstallSchedule(sequence);
 }
 
 void Monarch::AdvancePrefetchCursor(const std::string& name) {

@@ -153,6 +153,15 @@ class Monarch {
   /// when look-ahead is disabled.
   void HintUpcoming(std::span<const std::string> upcoming);
 
+  /// Publish the WHOLE run's access order — every epoch's shuffled file
+  /// list, in epoch order — before training starts (ISSUE 6). The
+  /// concatenated sequence is handed to the placement policy; the
+  /// clairvoyant policy derives per-file next-access times from it and
+  /// evicts Belady-style. Policies without a schedule hook ignore it.
+  /// Unlike HintUpcoming this does not drive the prefetch cursor; the
+  /// per-epoch hints still do that.
+  void InstallRunSchedule(const std::vector<std::vector<std::string>>& epochs);
+
   /// Stage the dataset into the cache tiers BEFORE training — the
   /// §III-A placement-timing alternative (i). Schedules a background
   /// copy for every indexed PFS-resident file (in namespace order) and,
@@ -186,6 +195,10 @@ class Monarch {
 
   [[nodiscard]] const MetadataContainer& metadata() const noexcept {
     return metadata_;
+  }
+  /// The active placement policy (monarchctl stage-status, tests).
+  [[nodiscard]] const PlacementPolicy& policy() const noexcept {
+    return placement_->policy();
   }
   [[nodiscard]] StorageHierarchy& hierarchy() noexcept { return *hierarchy_; }
 

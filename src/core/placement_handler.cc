@@ -35,9 +35,16 @@ PlacementHandler::PlacementHandler(StorageHierarchy& hierarchy,
                 std::max<std::uint64_t>(1, options.staging_chunk_bytes),
                 std::max<std::uint64_t>(1, options.staging_buffer_bytes))),
       inflight_bytes_(hierarchy.num_levels(), 0) {
-  evictions_counter_ = obs::MetricsRegistry::Global().GetCounter(
+  obs::MetricsRegistry& registry = obs::MetricsRegistry::Global();
+  evictions_counter_ = registry.GetCounter(
       "monarch.placement.evictions", "ops",
-      "ablation-mode evictions of placed files");
+      "placed copies dropped to make room for incoming files");
+  evicted_bytes_counter_ = registry.GetCounter(
+      "monarch.placement.evicted_bytes", "bytes",
+      "bytes freed from cache tiers by evictions");
+  eviction_refused_counter_ = registry.GetCounter(
+      "monarch.placement.eviction_refused", "ops",
+      "evictions the policy refused or that freed no usable room");
   const int n = std::max(1, options_.num_threads);
   workers_.reserve(static_cast<std::size_t>(n));
   for (int i = 0; i < n; ++i) {
@@ -297,14 +304,11 @@ void PlacementHandler::PlaceFile(StagingTask task) {
                        ",\"lane\":\"" + LaneName(task.lane) + "\"");
   }
 
-  // 1. Choose (and reserve) the destination level. Only the demand lane
-  // may fall back to eviction: a speculative copy must never push a
-  // placed file out.
+  // 1. Choose (and reserve) the destination level, falling back to
+  // policy-driven eviction when no tier has room (EvictAndReserve gates
+  // on what the policy and lane allow).
   std::optional<int> level = policy_->PickLevel(hierarchy_, file->size);
-  if (!level.has_value() && options_.enable_eviction &&
-      task.lane == StagingLane::kDemand) {
-    level = EvictAndReserve(file->size);
-  }
+  if (!level.has_value()) level = EvictAndReserve(file, task.lane);
   if (!level.has_value()) {
     rejected_no_space_.fetch_add(1, std::memory_order_relaxed);
     obs::EventTracer& tracer = obs::EventTracer::Global();
@@ -314,14 +318,24 @@ void PlacementHandler::PlaceFile(StagingTask task) {
     }
     if (task.lane == StagingLane::kPrefetch) {
       // A prefetch rejection is never permanent: a later demand read may
-      // still place the file (e.g. via the eviction ablation).
+      // still place the file (e.g. after evictions free room).
       prefetch_cancelled_.fetch_add(1, std::memory_order_relaxed);
       file->prefetched.store(false, std::memory_order_relaxed);
       file->AbortFetch(/*permanently=*/false);
+    } else if (options_.enable_eviction || policy_->EvictsUnderPressure()) {
+      // Eviction makes quota headroom dynamic: this rejection only means
+      // the policy protected every current resident (or lost the claim
+      // races), not that the file can never fit. Leave it retryable so a
+      // later access tries again against the then-current occupancy —
+      // but latch stage_refused so chunked readers retry once per file
+      // open instead of once per chunk.
+      file->stage_refused.store(true, std::memory_order_release);
+      file->AbortFetch(/*permanently=*/false);
     } else {
-      // No tier can hold the file: it stays PFS-resident for the whole
-      // job (the 200 GiB-dataset scenario). Mark it so the read path
-      // stops retrying placement on every access.
+      // No tier can hold the file and nothing will ever be evicted: it
+      // stays PFS-resident for the whole job (the 200 GiB-dataset
+      // scenario). Mark it so the read path stops retrying placement on
+      // every access.
       file->AbortFetch(/*permanently=*/true);
     }
     return;
@@ -441,52 +455,92 @@ bool PlacementHandler::QuarantineCopy(const FileInfoPtr& file) {
   return true;
 }
 
-std::optional<int> PlacementHandler::EvictAndReserve(std::uint64_t needed) {
-  // Collect placed files ordered by last access (oldest first).
-  struct Victim {
-    FileInfoPtr file;
-    std::uint64_t stamp;
-  };
-  std::vector<Victim> victims;
-  for (const auto& entry : metadata_.Snapshot()) {
-    if (entry.state != PlacementState::kPlaced) continue;
-    FileInfoPtr info = metadata_.Lookup(entry.name);
-    if (!info) continue;
-    victims.push_back(
-        Victim{info, info->last_access.load(std::memory_order_relaxed)});
+bool PlacementHandler::EvictOne(const FileInfoPtr& victim) {
+  FileInfo& vf = *victim;
+  // Claim the victim: kPlaced -> kFetching blocks concurrent readers
+  // from trusting its level while we delete the copy.
+  PlacementState expected = PlacementState::kPlaced;
+  if (!vf.state.compare_exchange_strong(expected, PlacementState::kFetching,
+                                        std::memory_order_acq_rel)) {
+    return false;
   }
-  std::sort(victims.begin(), victims.end(),
-            [](const Victim& a, const Victim& b) { return a.stamp < b.stamp; });
+  // Read pins (ISSUE 6): a demand read is mid-flight on this file's
+  // staged copy. Revert the claim — its bytes stay until the read ends.
+  // The pin is checked after the claim so a reader that pinned first is
+  // always honoured; one that pins after this check degrades to the
+  // pre-pinning behaviour (kNotFound -> PFS fallback).
+  if (vf.read_pins.load(std::memory_order_acquire) > 0) {
+    vf.state.store(PlacementState::kPlaced, std::memory_order_release);
+    eviction_pinned_skips_.fetch_add(1, std::memory_order_relaxed);
+    return false;
+  }
+  const int victim_level = vf.level.load(std::memory_order_acquire);
+  if (victim_level == hierarchy_.pfs_level()) {
+    // Nothing staged (stale snapshot); leave the file as we found it.
+    vf.state.store(PlacementState::kPlaced, std::memory_order_release);
+    return false;
+  }
+  StorageDriver& tier = hierarchy_.Level(victim_level);
+  vf.level.store(hierarchy_.pfs_level(), std::memory_order_release);
+  if (peer_view_ != nullptr) peer_view_->OnDropped(vf.name);
+  vf.AbortFetch(/*permanently=*/false);  // back to PFS-only
+  if (!tier.Delete(vf.name).ok()) return false;
+  tier.Release(vf.size);
+  evictions_.fetch_add(1, std::memory_order_relaxed);
+  evicted_bytes_.fetch_add(vf.size, std::memory_order_relaxed);
+  evictions_counter_->Increment();
+  evicted_bytes_counter_->Increment(vf.size);
+  obs::EventTracer& tracer = obs::EventTracer::Global();
+  if (tracer.enabled()) {
+    tracer.RecordInstant("placement.evict", "placement",
+                         "\"file\":" + obs::JsonQuote(vf.name) +
+                             ",\"bytes\":" + std::to_string(vf.size) +
+                             ",\"tier\":" + obs::JsonQuote(tier.name()));
+  }
+  return true;
+}
 
-  for (const Victim& victim : victims) {
-    FileInfo& vf = *victim.file;
-    // Claim the victim: kPlaced -> kFetching blocks concurrent readers
-    // from trusting its level while we delete the copy.
-    PlacementState expected = PlacementState::kPlaced;
-    if (!vf.state.compare_exchange_strong(expected, PlacementState::kFetching,
-                                          std::memory_order_acq_rel)) {
-      continue;
-    }
-    const int victim_level = vf.level.load(std::memory_order_acquire);
-    StorageDriver& tier = hierarchy_.Level(victim_level);
-    vf.level.store(hierarchy_.pfs_level(), std::memory_order_release);
-    if (peer_view_ != nullptr) peer_view_->OnDropped(vf.name);
-    vf.AbortFetch(/*permanently=*/false);  // back to PFS-only
-    if (tier.Delete(vf.name).ok()) {
-      tier.Release(vf.size);
-      evictions_.fetch_add(1, std::memory_order_relaxed);
-      evictions_counter_->Increment();
-      obs::EventTracer& tracer = obs::EventTracer::Global();
-      if (tracer.enabled()) {
-        tracer.RecordInstant("placement.evict", "placement",
-                             "\"file\":" + obs::JsonQuote(vf.name) +
-                                 ",\"bytes\":" + std::to_string(vf.size));
-      }
-    }
-    // Retry the policy after each eviction.
-    if (auto level = policy_->PickLevel(hierarchy_, needed)) return level;
+std::optional<int> PlacementHandler::EvictAndReserve(const FileInfoPtr& file,
+                                                     StagingLane lane) {
+  const bool may_evict =
+      lane == StagingLane::kDemand
+          ? options_.enable_eviction || policy_->EvictsUnderPressure()
+          : policy_->PrefetchMayEvict();
+  if (!may_evict) return std::nullopt;
+
+  // The policy ranks; this loop claims and drops. Re-ask PickLevel after
+  // each successful eviction — freed space is first-come-first-served
+  // under concurrent workers, so the reservation is the only proof.
+  for (const FileInfoPtr& victim : policy_->SelectVictims(
+           metadata_, *file, lane == StagingLane::kDemand)) {
+    if (victim == file) continue;
+    if (!EvictOne(victim)) continue;
+    if (auto level = policy_->PickLevel(hierarchy_, file->size)) return level;
+  }
+  eviction_refused_.fetch_add(1, std::memory_order_relaxed);
+  eviction_refused_counter_->Increment();
+  obs::EventTracer& tracer = obs::EventTracer::Global();
+  if (tracer.enabled()) {
+    tracer.RecordInstant("placement.evict_refused", "placement",
+                         "\"file\":" + obs::JsonQuote(file->name) +
+                             ",\"bytes\":" + std::to_string(file->size));
   }
   return std::nullopt;
+}
+
+void PlacementHandler::InstallSchedule(
+    const std::vector<std::string>& sequence) {
+  policy_->OnSchedule(sequence);
+  obs::EventTracer& tracer = obs::EventTracer::Global();
+  if (tracer.enabled()) {
+    tracer.RecordInstant("placement.schedule", "placement",
+                         "\"accesses\":" + std::to_string(sequence.size()) +
+                             ",\"policy\":" + obs::JsonQuote(policy_->Name()));
+  }
+}
+
+void PlacementHandler::NoteAccess(const FileInfo& file) {
+  policy_->OnAccess(file);
 }
 
 void PlacementHandler::Drain() {
@@ -505,6 +559,10 @@ PlacementStats PlacementHandler::Stats() const {
   s.failed = failed_.load(std::memory_order_relaxed);
   s.bytes_staged = bytes_staged_.load(std::memory_order_relaxed);
   s.evictions = evictions_.load(std::memory_order_relaxed);
+  s.evicted_bytes = evicted_bytes_.load(std::memory_order_relaxed);
+  s.eviction_refused = eviction_refused_.load(std::memory_order_relaxed);
+  s.eviction_pinned_skips =
+      eviction_pinned_skips_.load(std::memory_order_relaxed);
   s.retries = retries_.load(std::memory_order_relaxed);
   s.quarantined = quarantined_.load(std::memory_order_relaxed);
   s.abandoned = abandoned_.load(std::memory_order_relaxed);

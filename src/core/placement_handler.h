@@ -32,11 +32,17 @@
 // PFS-resident — corruption degrades to vanilla-PFS performance, never
 // wrong bytes.
 //
-// No evictions happen under the paper's policy: with random per-epoch
-// access every file is equally likely to be read, so replacement would
-// only add tier-to-tier traffic ("I/O trashing"). An optional eviction
-// mode exists purely for the ablation bench that quantifies that claim
-// — and even there, only the demand lane may evict.
+// Evictions (ISSUE 6): the paper's first-fit policy never evicts — with
+// random per-epoch access every file is equally likely, so replacement
+// would only add tier-to-tier traffic ("I/O trashing"). The eviction-
+// capable policies (lru, hotspot, clairvoyant; docs/PLACEMENT.md) make
+// the opposite bet for partial-fit datasets: when PickLevel finds no
+// room, the handler walks the policy's victim ranking and drops placed
+// copies — through the same claim/delete/OnDropped path as quarantine,
+// honouring read pins — until the incoming file fits. The demand lane
+// evicts whenever the policy allows it (or the enable_eviction ablation
+// forces it); the prefetch lane only under clairvoyant, whose
+// speculative copies are certain future reads.
 #pragma once
 
 #include <atomic>
@@ -74,9 +80,11 @@ struct PlacementOptions {
   /// staged.
   bool fetch_full_file_on_partial_read = true;
 
-  /// Ablation only: evict least-recently-accessed placed files to make
-  /// room when the policy finds no space. The paper's design keeps this
-  /// off; the prefetch lane never evicts even when it is on.
+  /// Force the demand lane to evict even under a policy that does not
+  /// evict on its own (FirstFitPolicy's ablation arm: LRU-ordered
+  /// victims). Policies whose EvictsUnderPressure() is true evict
+  /// regardless of this flag; the prefetch lane evicts only when the
+  /// policy's PrefetchMayEvict() allows it (clairvoyant).
   bool enable_eviction = false;
 
   /// Total budget for the chunk buffer pool — the hard cap on staging
@@ -106,7 +114,13 @@ struct PlacementStats {
   std::uint64_t rejected_no_space = 0;
   std::uint64_t failed = 0;        ///< backend errors during staging
   std::uint64_t bytes_staged = 0;
-  std::uint64_t evictions = 0;     ///< ablation mode only
+  std::uint64_t evictions = 0;       ///< placed copies dropped for space
+  std::uint64_t evicted_bytes = 0;   ///< bytes those copies occupied
+  /// Evictions the policy refused (no eligible victim) or that freed no
+  /// usable room — the incoming file stayed rejected.
+  std::uint64_t eviction_refused = 0;
+  /// Victim claims reverted because a demand read held the file pinned.
+  std::uint64_t eviction_pinned_skips = 0;
   std::uint64_t retries = 0;       ///< failed stagings left retryable
   std::uint64_t quarantined = 0;   ///< copies deleted on CRC mismatch
   std::uint64_t abandoned = 0;     ///< files past max_placement_attempts
@@ -168,6 +182,18 @@ class PlacementHandler {
   /// the file in a non-kPlaced state. Thread-safe.
   bool QuarantineCopy(const FileInfoPtr& file);
 
+  /// Forward the whole-run demand access sequence to the policy
+  /// (Monarch::InstallRunSchedule; the clairvoyant policy consumes it).
+  void InstallSchedule(const std::vector<std::string>& sequence);
+
+  /// Forward one demand access to the policy (offset-0 reads only — the
+  /// policy sees file visits, not chunks).
+  void NoteAccess(const FileInfo& file);
+
+  [[nodiscard]] const PlacementPolicy& policy() const noexcept {
+    return *policy_;
+  }
+
   /// Stop scheduling new placements (e.g. the integration layer signals
   /// the end of epoch 1 when tiers filled); in-flight tasks finish.
   void StopScheduling() noexcept { stopped_.store(true); }
@@ -212,10 +238,16 @@ class PlacementHandler {
   /// retryable (a later access re-claims it) or mark it unplaceable once
   /// the per-file cap is hit.
   void RecordStagingFailure(const FileInfoPtr& file);
-  /// Eviction ablation (demand lane only): free >= `needed` bytes on
-  /// some writable level and retry the policy. Returns the reserved
-  /// level or nullopt.
-  std::optional<int> EvictAndReserve(std::uint64_t needed);
+  /// Policy-driven eviction: walk the policy's victim ranking, dropping
+  /// placed copies until PickLevel succeeds for `file`. Returns the
+  /// reserved level, or nullopt when the lane may not evict, the policy
+  /// offered no victims, or the freed space still was not enough.
+  std::optional<int> EvictAndReserve(const FileInfoPtr& file,
+                                     StagingLane lane);
+  /// Drop one placed copy: claim it (kPlaced -> kFetching), honour read
+  /// pins, delete the bytes, release the quota, notify the peer view.
+  /// Returns false when the claim failed or the file was pinned.
+  bool EvictOne(const FileInfoPtr& victim);
 
   /// Take the in-flight accounting for `task`'s copy to `level`. For the
   /// prefetch lane, parks the task (moving from it) and returns false
@@ -239,6 +271,9 @@ class PlacementHandler {
   std::atomic<std::uint64_t> failed_{0};
   std::atomic<std::uint64_t> bytes_staged_{0};
   std::atomic<std::uint64_t> evictions_{0};
+  std::atomic<std::uint64_t> evicted_bytes_{0};
+  std::atomic<std::uint64_t> eviction_refused_{0};
+  std::atomic<std::uint64_t> eviction_pinned_skips_{0};
   std::atomic<std::uint64_t> retries_{0};
   std::atomic<std::uint64_t> quarantined_{0};
   std::atomic<std::uint64_t> abandoned_{0};
@@ -249,11 +284,13 @@ class PlacementHandler {
   std::atomic<std::uint64_t> chunks_copied_{0};
   std::atomic<std::uint64_t> donated_bytes_{0};
 
-  /// Process-wide `monarch.placement.evictions` (docs/OBSERVABILITY.md
-  /// §1), owned like `storage.retries`: resolved once at construction so
-  /// the eviction ablation reports through the registry like every other
-  /// placement stat (the per-instance count stays in Stats()).
+  /// Process-wide eviction counters (docs/OBSERVABILITY.md §1), owned
+  /// like `storage.retries`: resolved once at construction so eviction
+  /// activity reports through the registry like every other placement
+  /// stat (the per-instance counts stay in Stats()).
   obs::Counter* evictions_counter_ = nullptr;
+  obs::Counter* evicted_bytes_counter_ = nullptr;
+  obs::Counter* eviction_refused_counter_ = nullptr;
 
   // Two-lane work queue. `deferred_` holds prefetch tasks parked by the
   // per-tier in-flight cap; any copy completion splices them back into

@@ -1,6 +1,56 @@
 #include "core/placement_policy.h"
 
+#include <algorithm>
+#include <utility>
+
 namespace monarch::core {
+
+namespace {
+
+/// Placed files with a live metadata entry, paired with a ranking key.
+/// The shared scaffolding of every SelectVictims implementation.
+template <typename KeyFn>
+std::vector<FileInfoPtr> RankedPlacedFiles(const MetadataContainer& metadata,
+                                           const FileInfo& incoming,
+                                           KeyFn key, bool ascending) {
+  struct Candidate {
+    FileInfoPtr file;
+    std::uint64_t key;
+  };
+  std::vector<Candidate> candidates;
+  for (const auto& entry : metadata.Snapshot()) {
+    if (entry.state != PlacementState::kPlaced) continue;
+    if (entry.name == incoming.name) continue;
+    FileInfoPtr info = metadata.Lookup(entry.name);
+    if (!info) continue;
+    const std::optional<std::uint64_t> k = key(*info);
+    if (!k.has_value()) continue;  // the key fn vetoed this candidate
+    candidates.push_back(Candidate{std::move(info), *k});
+  }
+  std::stable_sort(candidates.begin(), candidates.end(),
+                   [ascending](const Candidate& a, const Candidate& b) {
+                     return ascending ? a.key < b.key : a.key > b.key;
+                   });
+  std::vector<FileInfoPtr> out;
+  out.reserve(candidates.size());
+  for (Candidate& c : candidates) out.push_back(std::move(c.file));
+  return out;
+}
+
+}  // namespace
+
+std::vector<FileInfoPtr> PlacementPolicy::SelectVictims(
+    const MetadataContainer& metadata, const FileInfo& incoming,
+    bool /*incoming_active*/) {
+  // LRU order: oldest access stamp first. This is both the LruPolicy
+  // ranking and the default for the enable_eviction ablation.
+  return RankedPlacedFiles(
+      metadata, incoming,
+      [](const FileInfo& f) -> std::optional<std::uint64_t> {
+        return f.last_access.load(std::memory_order_relaxed);
+      },
+      /*ascending=*/true);
+}
 
 std::optional<int> FirstFitPolicy::PickLevel(StorageHierarchy& hierarchy,
                                              std::uint64_t bytes) {
@@ -27,11 +77,182 @@ std::optional<int> RoundRobinPolicy::PickLevel(StorageHierarchy& hierarchy,
   return std::nullopt;
 }
 
+HotspotPolicy::HotspotPolicy(std::uint64_t decay_interval)
+    : decay_interval_(std::max<std::uint64_t>(1, decay_interval)) {}
+
+void HotspotPolicy::OnAccess(const FileInfo& file) {
+  std::lock_guard lock(mu_);
+  ++frequency_[file.name];
+  if (++accesses_since_decay_ < decay_interval_) return;
+  // Periodic decay (dm-cache): halve every bucket so heat is recency-
+  // weighted; buckets that reach zero are dropped to bound the map.
+  accesses_since_decay_ = 0;
+  for (auto it = frequency_.begin(); it != frequency_.end();) {
+    it->second /= 2;
+    it = it->second == 0 ? frequency_.erase(it) : std::next(it);
+  }
+}
+
+std::uint64_t HotspotPolicy::FrequencyOf(const std::string& name) const {
+  std::lock_guard lock(mu_);
+  const auto it = frequency_.find(name);
+  return it == frequency_.end() ? 0 : it->second;
+}
+
+std::vector<FileInfoPtr> HotspotPolicy::SelectVictims(
+    const MetadataContainer& metadata, const FileInfo& incoming,
+    bool /*incoming_active*/) {
+  std::lock_guard lock(mu_);
+  // Coldest first: lowest decayed count, ties broken by oldest access.
+  // The count is packed into the key's high bits so one 64-bit sort key
+  // expresses (frequency, recency); counts are capped accordingly.
+  return RankedPlacedFiles(
+      metadata, incoming,
+      [this](const FileInfo& f) -> std::optional<std::uint64_t> {
+        const auto it = frequency_.find(f.name);
+        const std::uint64_t count =
+            std::min<std::uint64_t>(it == frequency_.end() ? 0 : it->second,
+                                    (1ull << 20) - 1);
+        const std::uint64_t stamp =
+            f.last_access.load(std::memory_order_relaxed) &
+            ((1ull << 44) - 1);
+        return (count << 44) | stamp;
+      },
+      /*ascending=*/true);
+}
+
+ClairvoyantPolicy::ClairvoyantPolicy(std::uint64_t protect_window)
+    : protect_window_(protect_window) {}
+
+void ClairvoyantPolicy::OnSchedule(const std::vector<std::string>& sequence) {
+  std::lock_guard lock(mu_);
+  positions_.clear();
+  last_consumed_.clear();
+  clock_ = 0;
+  for (std::uint64_t i = 0; i < sequence.size(); ++i) {
+    positions_[sequence[i]].push_back(i);
+  }
+  schedule_installed_ = !sequence.empty();
+}
+
+std::uint64_t ClairvoyantPolicy::NextAccessLocked(
+    const std::string& name) const {
+  const auto it = positions_.find(name);
+  if (it == positions_.end()) return kNever;
+  std::deque<std::uint64_t>& queue = it->second;
+  while (!queue.empty() && queue.front() < clock_) queue.pop_front();
+  return queue.empty() ? kNever : queue.front();
+}
+
+void ClairvoyantPolicy::OnAccess(const FileInfo& file) {
+  std::lock_guard lock(mu_);
+  if (!schedule_installed_) return;
+  const auto it = positions_.find(file.name);
+  if (it == positions_.end()) return;
+  std::deque<std::uint64_t>& queue = it->second;
+  if (queue.empty()) return;
+  // Consume this file's earliest pending occurrence and advance the
+  // clock to it. Reader threads interleave, so accesses arrive slightly
+  // out of schedule order; max() keeps the clock monotonic.
+  const std::uint64_t position = queue.front();
+  queue.pop_front();
+  clock_ = std::max(clock_, position + 1);
+  last_consumed_[file.name] = position;
+}
+
+std::optional<std::uint64_t> ClairvoyantPolicy::NextAccessOf(
+    const std::string& name) const {
+  std::lock_guard lock(mu_);
+  const std::uint64_t next = NextAccessLocked(name);
+  if (next == kNever) return std::nullopt;
+  return next;
+}
+
+std::uint64_t ClairvoyantPolicy::ScheduleClock() const {
+  std::lock_guard lock(mu_);
+  return clock_;
+}
+
+std::vector<FileInfoPtr> ClairvoyantPolicy::SelectVictims(
+    const MetadataContainer& metadata, const FileInfo& incoming,
+    bool incoming_active) {
+  std::lock_guard lock(mu_);
+  if (!schedule_installed_) {
+    // No schedule (plain HintUpcoming-free runs): degrade to LRU.
+    return PlacementPolicy::SelectVictims(metadata, incoming,
+                                          incoming_active);
+  }
+  // The bar the incoming file must beat. A speculative prefetch is worth
+  // its next scheduled access; a demand staging is being read RIGHT NOW
+  // (its remaining chunks are served from the new copy), so its
+  // effective next access is the current clock no matter what the
+  // schedule says later.
+  const std::uint64_t incoming_next =
+      incoming_active ? clock_ : NextAccessLocked(incoming.name);
+  if (incoming_next == kNever) {
+    // A prefetch of a file the schedule never (again) names: caching it
+    // cannot pay off, so nothing should yield space for it.
+    return {};
+  }
+  // Belady: evict the placed file whose next access is farthest away —
+  // but never one needed within the protect window (those are exactly
+  // what the look-ahead prefetcher just staged), and never one needed
+  // sooner than the incoming file itself.
+  const std::uint64_t horizon = clock_ + protect_window_;
+  return RankedPlacedFiles(
+      metadata, incoming,
+      [this, incoming_next,
+       horizon](const FileInfo& f) -> std::optional<std::uint64_t> {
+        const std::uint64_t next = NextAccessLocked(f.name);
+        if (next != kNever && (next <= horizon || next <= incoming_next)) {
+          return std::nullopt;  // needed soon: protected
+        }
+        // Also protect files consumed recently on the PAST side: a file
+        // whose access just rolled by is likely mid-visit (later chunks
+        // of the same read still being served by parallel readers), and
+        // a freshly demand-placed copy would otherwise be the farthest-
+        // next-access file — evicting it before its own read finishes
+        // throws the copy away at its moment of maximum value. Visits
+        // overlap across reader threads, so the past window is wider
+        // than the schedule-position one.
+        const auto consumed = last_consumed_.find(f.name);
+        if (consumed != last_consumed_.end() &&
+            consumed->second + 4 * protect_window_ >= clock_) {
+          return std::nullopt;
+        }
+        return next;
+      },
+      /*ascending=*/false);
+}
+
 PlacementPolicyPtr MakeFirstFitPolicy() {
   return std::make_unique<FirstFitPolicy>();
 }
 PlacementPolicyPtr MakeRoundRobinPolicy() {
   return std::make_unique<RoundRobinPolicy>();
+}
+PlacementPolicyPtr MakeLruPolicy() { return std::make_unique<LruPolicy>(); }
+PlacementPolicyPtr MakeHotspotPolicy(std::uint64_t decay_interval) {
+  return std::make_unique<HotspotPolicy>(decay_interval);
+}
+PlacementPolicyPtr MakeClairvoyantPolicy(std::uint64_t protect_window) {
+  return std::make_unique<ClairvoyantPolicy>(protect_window);
+}
+
+Result<PlacementPolicyPtr> MakePlacementPolicyByName(
+    const std::string& name, const PlacementPolicyKnobs& knobs) {
+  if (name.empty() || name == "first-fit") return MakeFirstFitPolicy();
+  if (name == "round-robin") return MakeRoundRobinPolicy();
+  if (name == "lru") return MakeLruPolicy();
+  if (name == "hotspot") {
+    return MakeHotspotPolicy(knobs.hotspot_decay_interval);
+  }
+  if (name == "clairvoyant") {
+    return MakeClairvoyantPolicy(knobs.clairvoyant_protect_window);
+  }
+  return InvalidArgumentError(
+      "unknown placement policy '" + name +
+      "' (expected first-fit | round-robin | lru | hotspot | clairvoyant)");
 }
 
 }  // namespace monarch::core

@@ -1,22 +1,48 @@
-// Placement policies: which writable level receives a fetched file.
+// Placement policies: which writable level receives a fetched file, and
+// — since ISSUE 6 — which placed files yield their space when a tier is
+// full.
 //
 // The paper's policy (§III-A) is hierarchical first-fit: fill level 0
 // until its capacity is reached, then level 1, ... until all local levels
-// are full; never evict. RoundRobin and the eviction variant exist for
-// the ablation benches that measure *why* the paper's choice wins.
+// are full; never evict. That collapses on partial-fit datasets (fig4),
+// so the interface now carries an eviction side too:
+//
+//   PickLevel        stage-in decision (reserves quota; race-free)
+//   SelectVictims    evict-out decision: placed files to drop, best first
+//   OnAccess         one demand access of a file (policy bookkeeping)
+//   OnSchedule       the whole run's access sequence, when known
+//
+// Shipped policies (docs/PLACEMENT.md is the handbook):
+//   first-fit    the paper's: fastest-tier-first, never evicts on its own
+//   round-robin  ablation: spread across writable tiers
+//   lru          first-fit staging + least-recently-accessed eviction
+//   hotspot      first-fit staging + dm-cache-style decayed-frequency
+//                eviction (cold files go first)
+//   clairvoyant  first-fit staging + Belady eviction over the whole-run
+//                shuffle schedule (farthest-next-access goes first); the
+//                only policy whose *prefetch* lane may evict, because its
+//                speculative copies are certain future reads
 //
 // PickLevel both selects a level and reserves the quota on it (the
 // reservation is the only way the decision can be made race-free under a
-// concurrent thread pool); the caller must Release on failure.
+// concurrent thread pool); the caller must Release on failure. The
+// eviction hooks are called by the PlacementHandler, which owns the
+// claim/delete/notify mechanics — a policy only ranks candidates.
 #pragma once
 
 #include <atomic>
 #include <cstdint>
+#include <deque>
 #include <memory>
+#include <mutex>
 #include <optional>
 #include <string>
+#include <unordered_map>
+#include <vector>
 
+#include "core/metadata_container.h"
 #include "core/storage_hierarchy.h"
+#include "util/status.h"
 
 namespace monarch::core {
 
@@ -30,13 +56,46 @@ class PlacementPolicy {
                                        std::uint64_t bytes) = 0;
 
   [[nodiscard]] virtual std::string Name() const = 0;
+
+  /// Whether the DEMAND lane may evict placed files when PickLevel finds
+  /// no room. The paper's policies answer no (never evict); the ISSUE 6
+  /// policies answer yes.
+  [[nodiscard]] virtual bool EvictsUnderPressure() const { return false; }
+
+  /// Whether the PREFETCH lane may evict too. Only clairvoyant: its
+  /// speculative copies are certain future reads, so trading a far-future
+  /// file for a near-future one is a guaranteed win, not a gamble.
+  [[nodiscard]] virtual bool PrefetchMayEvict() const { return false; }
+
+  /// The whole run's demand access sequence (every epoch's shuffled file
+  /// order, concatenated), when the integration layer can compute it in
+  /// advance. Replaces any previous schedule. Default: ignored.
+  virtual void OnSchedule(const std::vector<std::string>& /*sequence*/) {}
+
+  /// One demand access of `file` (the read path calls this once per file
+  /// visit, not per chunk). Default: ignored — FileInfo::last_access is
+  /// maintained by the read path regardless.
+  virtual void OnAccess(const FileInfo& /*file*/) {}
+
+  /// Rank placed files as eviction candidates to make room for
+  /// `incoming`, best victim first. `incoming_active` says a demand read
+  /// of `incoming` is in flight right now (placing it also serves that
+  /// read's remaining chunks — its effective next access is *now*);
+  /// false means a speculative prefetch. May return files the caller
+  /// cannot claim (lost races, pinned reads) — the caller walks the list
+  /// until enough space is free. An empty list refuses the eviction. The
+  /// default is LRU order, so any policy combined with the
+  /// `enable_eviction` ablation keeps the pre-ISSUE-6 behaviour.
+  virtual std::vector<FileInfoPtr> SelectVictims(
+      const MetadataContainer& metadata, const FileInfo& incoming,
+      bool incoming_active);
 };
 
 using PlacementPolicyPtr = std::unique_ptr<PlacementPolicy>;
 
 /// The paper's policy: descend from level 0, take the first tier that has
 /// room.
-class FirstFitPolicy final : public PlacementPolicy {
+class FirstFitPolicy : public PlacementPolicy {
  public:
   std::optional<int> PickLevel(StorageHierarchy& hierarchy,
                                std::uint64_t bytes) override;
@@ -55,7 +114,106 @@ class RoundRobinPolicy final : public PlacementPolicy {
   std::atomic<std::uint64_t> next_{0};
 };
 
+/// First-fit staging plus least-recently-accessed eviction: the
+/// schedule-free baseline. Under uniform-random per-epoch access LRU
+/// approximates FIFO and churns (the paper's "I/O trashing" argument),
+/// which is exactly what the fig4 policy sweep quantifies.
+class LruPolicy final : public FirstFitPolicy {
+ public:
+  [[nodiscard]] std::string Name() const override { return "lru"; }
+  [[nodiscard]] bool EvictsUnderPressure() const override { return true; }
+  // SelectVictims: the base-class LRU ranking.
+};
+
+/// First-fit staging plus dm-cache-style hot-spot eviction: per-file
+/// access counts, halved every `decay_interval` accesses so stale heat
+/// drains away; the coldest (lowest count, oldest access) files go first.
+class HotspotPolicy final : public FirstFitPolicy {
+ public:
+  explicit HotspotPolicy(std::uint64_t decay_interval = 256);
+
+  [[nodiscard]] std::string Name() const override { return "hotspot"; }
+  [[nodiscard]] bool EvictsUnderPressure() const override { return true; }
+  void OnAccess(const FileInfo& file) override;
+  std::vector<FileInfoPtr> SelectVictims(const MetadataContainer& metadata,
+                                         const FileInfo& incoming,
+                                         bool incoming_active) override;
+
+  /// Current decayed access count of `name` (tests).
+  [[nodiscard]] std::uint64_t FrequencyOf(const std::string& name) const;
+
+ private:
+  const std::uint64_t decay_interval_;
+  mutable std::mutex mu_;
+  std::unordered_map<std::string, std::uint64_t> frequency_;  ///< under mu_
+  std::uint64_t accesses_since_decay_ = 0;                    ///< under mu_
+};
+
+/// Belady's algorithm over the known whole-run schedule (NoPFS-style):
+/// every epoch's shuffle order derives from a seeded RNG, so the full
+/// access sequence is computable before the run starts. OnSchedule
+/// installs it; OnAccess advances a virtual clock through it; victims are
+/// the placed files whose next access is farthest in the future — and
+/// never a file needed within `protect_window` upcoming accesses, nor one
+/// needed sooner than the incoming file itself. Without a schedule the
+/// policy degrades to LRU (the base-class ranking).
+class ClairvoyantPolicy final : public FirstFitPolicy {
+ public:
+  explicit ClairvoyantPolicy(std::uint64_t protect_window = 64);
+
+  [[nodiscard]] std::string Name() const override { return "clairvoyant"; }
+  [[nodiscard]] bool EvictsUnderPressure() const override { return true; }
+  [[nodiscard]] bool PrefetchMayEvict() const override { return true; }
+  void OnSchedule(const std::vector<std::string>& sequence) override;
+  void OnAccess(const FileInfo& file) override;
+  std::vector<FileInfoPtr> SelectVictims(const MetadataContainer& metadata,
+                                         const FileInfo& incoming,
+                                         bool incoming_active) override;
+
+  /// Schedule position of `name`'s next unconsumed access, or nullopt
+  /// when the schedule never (again) names it (tests/monarchctl).
+  [[nodiscard]] std::optional<std::uint64_t> NextAccessOf(
+      const std::string& name) const;
+  /// Current virtual clock: schedule positions < this are consumed.
+  [[nodiscard]] std::uint64_t ScheduleClock() const;
+
+ private:
+  /// Next unconsumed position of `name`, `kNever` when none. Drops
+  /// positions already behind the clock. Caller holds mu_.
+  std::uint64_t NextAccessLocked(const std::string& name) const;
+
+  static constexpr std::uint64_t kNever = ~0ull;
+
+  const std::uint64_t protect_window_;
+  mutable std::mutex mu_;
+  /// Per-file queue of schedule positions, ascending; fronts already
+  /// behind `clock_` are lazily dropped. Under mu_.
+  mutable std::unordered_map<std::string, std::deque<std::uint64_t>>
+      positions_;
+  /// Last consumed schedule position per file: files within
+  /// `protect_window_` behind the clock are still mid-visit (chunked
+  /// readers) and never evicted. Under mu_.
+  std::unordered_map<std::string, std::uint64_t> last_consumed_;
+  std::uint64_t clock_ = 0;        ///< under mu_
+  bool schedule_installed_ = false;  ///< under mu_
+};
+
 PlacementPolicyPtr MakeFirstFitPolicy();
 PlacementPolicyPtr MakeRoundRobinPolicy();
+PlacementPolicyPtr MakeLruPolicy();
+PlacementPolicyPtr MakeHotspotPolicy(std::uint64_t decay_interval = 256);
+PlacementPolicyPtr MakeClairvoyantPolicy(std::uint64_t protect_window = 64);
+
+/// Per-policy tuning knobs (`[placement]` INI section; docs/CONFIG.md).
+struct PlacementPolicyKnobs {
+  std::uint64_t hotspot_decay_interval = 256;
+  std::uint64_t clairvoyant_protect_window = 64;
+};
+
+/// Construct a policy from its config name: first-fit | round-robin |
+/// lru | hotspot | clairvoyant. Unknown names are errors (config typos
+/// fail before a multi-hour job starts).
+Result<PlacementPolicyPtr> MakePlacementPolicyByName(
+    const std::string& name, const PlacementPolicyKnobs& knobs = {});
 
 }  // namespace monarch::core

@@ -6,21 +6,26 @@
 
 namespace monarch::dlsim {
 
+std::vector<std::string> ShuffledFileOrder(std::vector<std::string> files,
+                                           std::uint64_t shuffle_seed,
+                                           int epoch) {
+  // Per-epoch reshuffle (tf.data reshuffle_each_iteration): mix the epoch
+  // index into the seed so each epoch sees a fresh random file order but
+  // the whole run stays reproducible.
+  Xoshiro256 rng(shuffle_seed * 0x9E3779B97F4A7C15ULL +
+                 static_cast<std::uint64_t>(epoch));
+  std::shuffle(files.begin(), files.end(), rng);
+  return files;
+}
+
 EpochLoader::EpochLoader(const std::vector<std::string>& files, int epoch,
                          RecordFileOpener& opener, ResourceMonitor& monitor,
                          LoaderConfig config)
-    : shuffled_files_(files),
+    : shuffled_files_(ShuffledFileOrder(files, config.shuffle_seed, epoch)),
       opener_(opener),
       monitor_(monitor),
       config_(config),
       queue_(config.prefetch_samples) {
-  // Per-epoch reshuffle (tf.data reshuffle_each_iteration): mix the epoch
-  // index into the seed so each epoch sees a fresh random file order but
-  // the whole run stays reproducible.
-  Xoshiro256 rng(config_.shuffle_seed * 0x9E3779B97F4A7C15ULL +
-                 static_cast<std::uint64_t>(epoch));
-  std::shuffle(shuffled_files_.begin(), shuffled_files_.end(), rng);
-
   // Publish the order before any reader starts — a prefetching opener
   // (MONARCH look-ahead) wants the hints installed ahead of the first
   // demand read.

@@ -39,6 +39,13 @@ class MonarchOpener final : public RecordFileOpener {
     monarch_.HintUpcoming(order);
   }
 
+  void OnRunSchedule(
+      const std::vector<std::vector<std::string>>& epochs) override {
+    // The whole run's access sequence, for Belady-style placement — a
+    // no-op unless the configured policy consumes schedules.
+    monarch_.InstallRunSchedule(epochs);
+  }
+
   [[nodiscard]] std::string Name() const override { return "monarch"; }
 
  private:

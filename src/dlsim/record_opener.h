@@ -34,6 +34,15 @@ class RecordFileOpener {
   /// look-ahead cursor) hook this; the default ignores it.
   virtual void OnEpochOrder(const std::vector<std::string>& /*order*/) {}
 
+  /// The trainer publishes the WHOLE run's access order — one shuffled
+  /// file list per epoch, epoch order — before the first epoch starts
+  /// (the per-epoch shuffles are seeded, so the full sequence is
+  /// computable up front). Openers backed by a schedule-aware store
+  /// (MONARCH's clairvoyant placement policy, ISSUE 6) hook this; the
+  /// default ignores it.
+  virtual void OnRunSchedule(
+      const std::vector<std::vector<std::string>>& /*epochs*/) {}
+
   [[nodiscard]] virtual std::string Name() const = 0;
 };
 

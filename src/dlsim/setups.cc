@@ -142,6 +142,10 @@ Result<Setup> MakeMonarchSetup(const fs::path& pfs_root,
   if (config.staging_chunk_bytes != 0) {
     monarch_config.placement.staging_chunk_bytes = config.staging_chunk_bytes;
   }
+  MONARCH_ASSIGN_OR_RETURN(
+      monarch_config.policy,
+      core::MakePlacementPolicyByName(config.placement_policy,
+                                      config.policy_knobs));
   MONARCH_ASSIGN_OR_RETURN(setup.monarch,
                            core::Monarch::Create(std::move(monarch_config)));
 

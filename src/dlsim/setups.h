@@ -39,6 +39,12 @@ struct ExperimentConfig {
   std::uint64_t staging_chunk_bytes = 0;
   /// MONARCH per-tier prefetch in-flight byte cap (0 = uncapped).
   std::uint64_t tier_inflight_cap_bytes = 0;
+  /// MONARCH placement policy by config name (first-fit | round-robin |
+  /// lru | hotspot | clairvoyant); empty = first-fit. The fig4 policy
+  /// sweep varies this; docs/PLACEMENT.md is the handbook.
+  std::string placement_policy;
+  /// Per-policy eviction knobs (hotspot decay, clairvoyant window).
+  core::PlacementPolicyKnobs policy_knobs;
   /// Seed for PFS contention + shuffling; vary per run for error bars.
   std::uint64_t run_seed = 1;
   /// Disable the PFS contention process (fast deterministic tests).

@@ -51,6 +51,22 @@ Trainer::Trainer(std::vector<std::string> files, RecordFileOpenerPtr opener,
 }
 
 Result<TrainingResult> Trainer::Train() {
+  // Whole-run schedule export (ISSUE 6): every epoch's shuffle order is
+  // deterministic given (seed, epoch), so the full access sequence is
+  // knowable before the first read. Publish it through the opener — the
+  // MONARCH integration feeds it to the clairvoyant placement policy;
+  // every other opener ignores it.
+  {
+    std::vector<std::vector<std::string>> run_schedule;
+    run_schedule.reserve(static_cast<std::size_t>(
+        std::max(0, config_.epochs)));
+    for (int epoch = 1; epoch <= config_.epochs; ++epoch) {
+      run_schedule.push_back(
+          ShuffledFileOrder(files_, config_.loader.shuffle_seed, epoch));
+    }
+    opener_->OnRunSchedule(run_schedule);
+  }
+
   TrainingResult result;
   for (int epoch = 1; epoch <= config_.epochs; ++epoch) {
     opener_->OnEpochStart(epoch);

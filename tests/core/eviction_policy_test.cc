@@ -1,0 +1,375 @@
+// Eviction-correctness tests for the ISSUE 6 placement policies: the
+// policy-side ranking rules (Belady ordering, protect windows, hotspot
+// decay) and the handler-side mechanics they plug into (read pins,
+// peer-directory notifications, dynamic headroom after refusals).
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "../test_support.h"
+#include "cluster/peer_group.h"
+#include "core/metadata_container.h"
+#include "core/placement_handler.h"
+#include "core/placement_policy.h"
+#include "storage/memory_engine.h"
+
+namespace monarch::core {
+namespace {
+
+using monarch::testing::Bytes;
+
+// ---------------------------------------------------------------------
+// Policy-level: victim ranking rules, no handler involved.
+// ---------------------------------------------------------------------
+
+class EvictionPolicyTest : public ::testing::Test {
+ protected:
+  static constexpr int kPfsLevel = 1;
+
+  /// Register a file and mark it placed on level 0.
+  FileInfoPtr Placed(const std::string& name, std::uint64_t last_access = 0) {
+    metadata_.Register(name, 16, kPfsLevel);
+    FileInfoPtr info = metadata_.Lookup(name);
+    info->level.store(0);
+    info->state.store(PlacementState::kPlaced);
+    info->last_access.store(last_access);
+    return info;
+  }
+
+  /// Register a PFS-only file (an eviction's "incoming" side).
+  FileInfoPtr Incoming(const std::string& name) {
+    metadata_.Register(name, 16, kPfsLevel);
+    return metadata_.Lookup(name);
+  }
+
+  static std::vector<std::string> Names(const std::vector<FileInfoPtr>& v) {
+    std::vector<std::string> names;
+    for (const auto& f : v) names.push_back(f->name);
+    return names;
+  }
+
+  MetadataContainer metadata_;
+};
+
+TEST_F(EvictionPolicyTest, FactoryKnowsEveryPolicyAndRejectsTypos) {
+  for (const auto& [name, evicts, prefetch_evicts] :
+       std::vector<std::tuple<std::string, bool, bool>>{
+           {"first-fit", false, false},
+           {"round-robin", false, false},
+           {"lru", true, false},
+           {"hotspot", true, false},
+           {"clairvoyant", true, true}}) {
+    auto policy = MakePlacementPolicyByName(name);
+    ASSERT_TRUE(policy.ok()) << name;
+    EXPECT_EQ((*policy)->Name(), name);
+    EXPECT_EQ((*policy)->EvictsUnderPressure(), evicts) << name;
+    EXPECT_EQ((*policy)->PrefetchMayEvict(), prefetch_evicts) << name;
+  }
+  // "" means "the default" for configs that never set the key.
+  ASSERT_TRUE(MakePlacementPolicyByName("").ok());
+  EXPECT_EQ((*MakePlacementPolicyByName(""))->Name(), "first-fit");
+  EXPECT_FALSE(MakePlacementPolicyByName("belady").ok());
+  EXPECT_FALSE(MakePlacementPolicyByName("LRU").ok()) << "names are exact";
+}
+
+TEST_F(EvictionPolicyTest, LruRanksOldestAccessFirst) {
+  Placed("a", /*last_access=*/30);
+  Placed("b", /*last_access=*/10);
+  Placed("c", /*last_access=*/20);
+  auto incoming = Incoming("d");
+  LruPolicy lru;
+  EXPECT_EQ(Names(lru.SelectVictims(metadata_, *incoming, false)),
+            (std::vector<std::string>{"b", "c", "a"}));
+  // The incoming file itself is never its own victim.
+  auto self = Placed("e", 1);
+  const auto victims = Names(lru.SelectVictims(metadata_, *self, true));
+  EXPECT_EQ(std::count(victims.begin(), victims.end(), "e"), 0);
+}
+
+TEST_F(EvictionPolicyTest, HotspotDecayHalvesCountsAndEvictsColdestFirst) {
+  HotspotPolicy policy(/*decay_interval=*/8);
+  auto hot = Placed("hot");
+  auto cold = Placed("cold");
+  for (int i = 0; i < 6; ++i) policy.OnAccess(*hot);
+  policy.OnAccess(*cold);
+  EXPECT_EQ(policy.FrequencyOf("hot"), 6u);
+  EXPECT_EQ(policy.FrequencyOf("cold"), 1u);
+
+  auto incoming = Incoming("new");
+  auto victims = Names(policy.SelectVictims(metadata_, *incoming, true));
+  ASSERT_EQ(victims.size(), 2u);
+  EXPECT_EQ(victims.front(), "cold");
+
+  // The 8th access triggers the dm-cache halving; zeroed buckets drop.
+  policy.OnAccess(*hot);
+  EXPECT_EQ(policy.FrequencyOf("hot"), 3u);
+  EXPECT_EQ(policy.FrequencyOf("cold"), 0u);
+}
+
+TEST_F(EvictionPolicyTest, ClairvoyantTracksScheduleClockAndNextAccess) {
+  ClairvoyantPolicy policy(/*protect_window=*/2);
+  auto a = Placed("a");
+  auto b = Placed("b");
+  policy.OnSchedule({"a", "b", "a", "c"});
+  EXPECT_EQ(policy.ScheduleClock(), 0u);
+  ASSERT_TRUE(policy.NextAccessOf("a").has_value());
+  EXPECT_EQ(*policy.NextAccessOf("a"), 0u);
+  EXPECT_EQ(*policy.NextAccessOf("b"), 1u);
+  EXPECT_FALSE(policy.NextAccessOf("never-named").has_value());
+
+  policy.OnAccess(*a);
+  EXPECT_EQ(policy.ScheduleClock(), 1u);
+  EXPECT_EQ(*policy.NextAccessOf("a"), 2u);
+  policy.OnAccess(*b);
+  policy.OnAccess(*a);
+  EXPECT_EQ(policy.ScheduleClock(), 3u);
+  EXPECT_FALSE(policy.NextAccessOf("a").has_value())
+      << "both occurrences consumed";
+
+  // Reinstalling a schedule resets the clock and the consumed history.
+  policy.OnSchedule({"b", "a"});
+  EXPECT_EQ(policy.ScheduleClock(), 0u);
+  EXPECT_EQ(*policy.NextAccessOf("a"), 1u);
+}
+
+TEST_F(EvictionPolicyTest, ClairvoyantEvictsFarthestNextAccess) {
+  ClairvoyantPolicy policy(/*protect_window=*/0);
+  Placed("soon");
+  Placed("later");
+  Placed("farthest");
+  auto incoming = Incoming("incoming");
+  policy.OnSchedule({"incoming", "soon", "later", "farthest"});
+  const auto victims =
+      Names(policy.SelectVictims(metadata_, *incoming, false));
+  // Belady: farthest next access first; "soon"/"later" rank behind it
+  // but are still offered (the handler stops once space suffices).
+  ASSERT_FALSE(victims.empty());
+  EXPECT_EQ(victims.front(), "farthest");
+}
+
+TEST_F(EvictionPolicyTest, ClairvoyantNeverEvictsWithinProtectWindow) {
+  ClairvoyantPolicy policy(/*protect_window=*/4);
+  Placed("imminent");   // next access 1: inside the window
+  Placed("far");        // next access 20: evictable
+  auto incoming = Incoming("incoming");
+  std::vector<std::string> schedule(21, "filler");
+  schedule[1] = "imminent";
+  schedule[10] = "incoming";
+  schedule[20] = "far";
+  policy.OnSchedule(schedule);
+  const auto victims =
+      Names(policy.SelectVictims(metadata_, *incoming, false));
+  EXPECT_EQ(std::count(victims.begin(), victims.end(), "imminent"), 0)
+      << "a file needed within the protect window must never be a victim";
+  EXPECT_EQ(victims, std::vector<std::string>{"far"});
+}
+
+TEST_F(EvictionPolicyTest, ClairvoyantProtectsSoonerNeededResidents) {
+  // The resident is needed BEFORE the incoming prefetch: evicting it
+  // would trade a near hit for a far one, so the eviction is refused.
+  ClairvoyantPolicy policy(/*protect_window=*/0);
+  Placed("resident");
+  auto incoming = Incoming("incoming");
+  policy.OnSchedule({"filler", "resident", "incoming"});
+  EXPECT_TRUE(policy.SelectVictims(metadata_, *incoming, false).empty());
+
+  // The same incoming file being demand-read RIGHT NOW is worth "now":
+  // the resident's position 1 is later than the clock, so it yields.
+  // (Past-side protection does not apply — "resident" was never read.)
+  const auto victims =
+      Names(policy.SelectVictims(metadata_, *incoming, true));
+  EXPECT_EQ(victims, std::vector<std::string>{"resident"});
+}
+
+TEST_F(EvictionPolicyTest, ClairvoyantRefusesPrefetchOfNeverAgainFile) {
+  ClairvoyantPolicy policy(/*protect_window=*/0);
+  Placed("resident");
+  auto incoming = Incoming("one-shot");
+  policy.OnSchedule({"one-shot", "filler", "resident"});
+  policy.OnAccess(*incoming);  // its only occurrence is consumed
+  // A speculative prefetch of a never-again file cannot pay off.
+  EXPECT_TRUE(policy.SelectVictims(metadata_, *incoming, false).empty());
+  // But an active demand read of it still deserves the space.
+  EXPECT_FALSE(policy.SelectVictims(metadata_, *incoming, true).empty());
+}
+
+TEST_F(EvictionPolicyTest, ClairvoyantProtectsRecentlyConsumedFiles) {
+  // Past-side protection: a file whose schedule position just rolled by
+  // is likely mid-visit (chunked readers) and must not be the victim,
+  // even when its NEXT access is the farthest of all.
+  ClairvoyantPolicy policy(/*protect_window=*/2);
+  auto fresh = Placed("fresh");
+  Placed("other");
+  auto incoming = Incoming("incoming");
+  std::vector<std::string> schedule(30, "filler");
+  schedule[0] = "fresh";
+  schedule[2] = "incoming";
+  schedule[10] = "other";
+  schedule[29] = "fresh";  // farthest next access -> Belady's top pick
+  policy.OnSchedule(schedule);
+  policy.OnAccess(*fresh);  // consume position 0: the visit is in flight
+  const auto victims =
+      Names(policy.SelectVictims(metadata_, *incoming, true));
+  EXPECT_EQ(std::count(victims.begin(), victims.end(), "fresh"), 0)
+      << "consumed within 4x the protect window: still mid-visit";
+  EXPECT_EQ(victims, std::vector<std::string>{"other"});
+}
+
+TEST_F(EvictionPolicyTest, ClairvoyantWithoutScheduleDegradesToLru) {
+  ClairvoyantPolicy policy;
+  Placed("old", /*last_access=*/1);
+  Placed("new", /*last_access=*/2);
+  auto incoming = Incoming("incoming");
+  const auto victims =
+      Names(policy.SelectVictims(metadata_, *incoming, true));
+  EXPECT_EQ(victims, (std::vector<std::string>{"old", "new"}));
+}
+
+// ---------------------------------------------------------------------
+// Handler-level: pins, peer notifications, dynamic headroom.
+// ---------------------------------------------------------------------
+
+class EvictionHandlerTest : public ::testing::Test {
+ protected:
+  void Build(std::uint64_t quota, PlacementPolicyPtr policy,
+             PeerViewPtr peer_view = nullptr) {
+    pfs_engine_ = std::make_shared<storage::MemoryEngine>("pfs");
+    std::vector<StorageDriverPtr> drivers;
+    tier_engine_ = std::make_shared<storage::MemoryEngine>("tier0");
+    drivers.push_back(
+        std::make_unique<StorageDriver>("tier0", tier_engine_, quota, false));
+    drivers.push_back(
+        std::make_unique<StorageDriver>("pfs", pfs_engine_, 0, true));
+    hierarchy_ =
+        std::move(StorageHierarchy::Create(std::move(drivers))).value();
+    PlacementOptions options;
+    options.num_threads = 2;
+    handler_ = std::make_unique<PlacementHandler>(
+        *hierarchy_, metadata_, std::move(policy), options,
+        ResilienceOptions{}, std::move(peer_view));
+  }
+
+  FileInfoPtr AddPfsFile(const std::string& name, const std::string& data) {
+    EXPECT_TRUE(pfs_engine_->Write(name, Bytes(data)).ok());
+    metadata_.Register(name, data.size(), hierarchy_->pfs_level());
+    return metadata_.Lookup(name);
+  }
+
+  /// Claim + demand-stage + drain.
+  void Stage(const FileInfoPtr& file) {
+    ASSERT_TRUE(file->TryBeginFetch());
+    handler_->SchedulePlacement(file, std::nullopt);
+    handler_->Drain();
+  }
+
+  storage::StorageEnginePtr pfs_engine_;
+  storage::StorageEnginePtr tier_engine_;
+  std::unique_ptr<StorageHierarchy> hierarchy_;
+  MetadataContainer metadata_;
+  std::unique_ptr<PlacementHandler> handler_;
+};
+
+TEST_F(EvictionHandlerTest, ReadPinBlocksEvictionUntilReleased) {
+  Build(/*quota=*/15, MakeLruPolicy());
+  auto f1 = AddPfsFile("f1", "0123456789");
+  f1->last_access.store(1);
+  Stage(f1);
+  ASSERT_EQ(PlacementState::kPlaced, f1->state.load());
+
+  // A demand read is mid-flight on f1's staged copy.
+  f1->read_pins.fetch_add(1);
+
+  auto f2 = AddPfsFile("f2", "0123456789");
+  f2->last_access.store(2);
+  Stage(f2);
+
+  // The only victim was pinned: f1 survives with its copy intact, f2
+  // bounces as retryable (not unplaceable) with stage_refused latched.
+  EXPECT_EQ(PlacementState::kPlaced, f1->state.load());
+  EXPECT_EQ(0, f1->level.load());
+  EXPECT_EQ(PlacementState::kPfsOnly, f2->state.load());
+  EXPECT_TRUE(f2->stage_refused.load());
+  const auto stats = handler_->Stats();
+  EXPECT_EQ(0u, stats.evictions);
+  EXPECT_GE(stats.eviction_pinned_skips, 1u);
+  EXPECT_GE(stats.eviction_refused, 1u);
+  std::vector<std::byte> buf(10);
+  EXPECT_TRUE(tier_engine_->Read("f1", 0, buf).ok())
+      << "the pinned copy's bytes must still be on the tier";
+
+  // The pin is released (the read finished): now the eviction goes
+  // through. The next visit's offset-0 read re-arms stage_refused; the
+  // handler-level equivalent is clearing it before re-claiming.
+  f1->read_pins.fetch_sub(1);
+  f2->stage_refused.store(false);
+  Stage(f2);
+  EXPECT_EQ(PlacementState::kPlaced, f2->state.load());
+  EXPECT_EQ(PlacementState::kPfsOnly, f1->state.load());
+  EXPECT_EQ(1u, handler_->Stats().evictions);
+}
+
+TEST_F(EvictionHandlerTest, DynamicHeadroomAfterRefusal) {
+  // Regression for the free-space-only-grows assumption: under an
+  // eviction-capable policy a no-space rejection must stay retryable,
+  // because headroom is dynamic — the same file can fit later once an
+  // eviction frees room. (Under first-fit the same rejection is
+  // terminal: kUnplaceable.)
+  Build(/*quota=*/15, MakeClairvoyantPolicy(/*protect_window=*/0));
+  auto resident = AddPfsFile("resident", "0123456789");
+  Stage(resident);
+  ASSERT_EQ(PlacementState::kPlaced, resident->state.load());
+
+  // The schedule says the resident is needed before "blocked" is ever
+  // read again, so clairvoyant refuses to displace it.
+  auto blocked = AddPfsFile("blocked", "0123456789");
+  handler_->InstallSchedule({"resident", "blocked"});
+  Stage(blocked);
+  EXPECT_EQ(PlacementState::kPfsOnly, blocked->state.load())
+      << "refusal must leave the file retryable, not unplaceable";
+  EXPECT_TRUE(blocked->stage_refused.load());
+  EXPECT_GE(handler_->Stats().eviction_refused, 1u);
+
+  // The schedule advances past the resident's last access: now the same
+  // incoming file wins and the previously-refused placement succeeds.
+  handler_->NoteAccess(*resident);
+  blocked->stage_refused.store(false);
+  Stage(blocked);
+  EXPECT_EQ(PlacementState::kPlaced, blocked->state.load());
+  EXPECT_EQ(PlacementState::kPfsOnly, resident->state.load());
+  EXPECT_EQ(1u, handler_->Stats().evictions);
+  EXPECT_EQ(10u, hierarchy_->Level(0).occupancy_bytes())
+      << "evicted quota must be released, placed quota reserved";
+}
+
+TEST_F(EvictionHandlerTest, EvictionNotifiesPeerDirectory) {
+  // A cooperatively-cached node must stop advertising an evicted copy:
+  // the handler's OnDropped path ends in FileDirectory::MarkEvicted.
+  cluster::PeerGroup group(2);
+  group.RegisterNode(0, std::make_shared<storage::MemoryEngine>("n0"));
+  group.RegisterNode(1, std::make_shared<storage::MemoryEngine>("n1"));
+  Build(/*quota=*/15, MakeLruPolicy(), group.MakePeerView(0));
+
+  auto f1 = AddPfsFile("data/f1", "0123456789");
+  f1->last_access.store(1);
+  Stage(f1);
+  ASSERT_EQ(PlacementState::kPlaced, f1->state.load());
+  EXPECT_TRUE(group.directory().PlacedHolder("data/f1", /*exclude_node=*/1)
+                  .has_value())
+      << "publishing must advertise the copy to peers";
+
+  auto f2 = AddPfsFile("data/f2", "0123456789");
+  f2->last_access.store(2);
+  Stage(f2);
+  ASSERT_EQ(PlacementState::kPfsOnly, f1->state.load());
+  EXPECT_FALSE(group.directory().PlacedHolder("data/f1", /*exclude_node=*/1)
+                   .has_value())
+      << "eviction must retract the peer advertisement (MarkEvicted)";
+  EXPECT_TRUE(group.directory().PlacedHolder("data/f2", /*exclude_node=*/1)
+                  .has_value());
+}
+
+}  // namespace
+}  // namespace monarch::core

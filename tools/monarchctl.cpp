@@ -27,10 +27,14 @@
 //       or https://ui.perfetto.dev).
 //
 //   monarchctl stage-status [--files N] [--lookahead N] [--read-fraction F]
+//                           [--policy NAME] [--quota BYTES]
 //       Drive the pipelined staging engine with a hinted demo workload
-//       and print its status: per-lane queue depths, in-flight bytes per
-//       tier, buffer-pool occupancy, and the prefetch hit/waste
-//       counters (DESIGN.md "Staging pipeline").
+//       and print its status: the active placement policy and its
+//       eviction counters (docs/PLACEMENT.md), per-lane queue depths,
+//       in-flight bytes per tier, buffer-pool occupancy, and the
+//       prefetch hit/waste counters (DESIGN.md "Staging pipeline").
+//       --quota shrinks the demo tier so eviction-capable policies
+//       actually evict.
 //
 //   monarchctl faults [--local-rate R] [--pfs-rate R] [--corrupt-rate R]
 //                     [--epochs N] [--files N] [--outage-epoch E]
@@ -144,6 +148,8 @@ void PrintUsage() {
       "  monarchctl metrics dump [--format text|json] [--workload demo|none]\n"
       "  monarchctl trace   export FILE.json [--workload demo|none]\n"
       "  monarchctl stage-status [--files N] [--lookahead N] [--read-fraction F]\n"
+      "                     [--policy first-fit|round-robin|lru|hotspot|clairvoyant]\n"
+      "                     [--quota BYTES]\n"
       "  monarchctl faults  [--local-rate R] [--pfs-rate R] [--corrupt-rate R]\n"
       "                     [--epochs N] [--files N] [--outage-epoch E]\n"
       "  monarchctl peer-status [--nodes N] [--files N] [--epochs N] [--replication R]\n"
@@ -438,6 +444,9 @@ int CmdStageStatus(const Args& args) {
       std::max(1, std::atoi(args.GetOr("lookahead", "4").c_str()));
   const double read_fraction =
       std::atof(args.GetOr("read-fraction", "0.5").c_str());
+  const std::string policy_name = args.GetOr("policy", "first-fit");
+  const std::uint64_t quota = static_cast<std::uint64_t>(
+      std::atoll(args.GetOr("quota", std::to_string(16ll << 20)).c_str()));
 
   auto pfs = std::make_shared<storage::MemoryEngine>("demo-pfs");
   const std::vector<std::byte> payload(16 * 1024);
@@ -454,12 +463,20 @@ int CmdStageStatus(const Args& args) {
   core::MonarchConfig config;
   config.cache_tiers.push_back(core::TierSpec{
       "demo-ssd", std::make_shared<storage::MemoryEngine>("demo-ssd"),
-      /*quota_bytes=*/16ull << 20});
+      /*quota_bytes=*/std::max<std::uint64_t>(quota, payload.size())});
   config.pfs = core::TierSpec{"demo-pfs", std::move(pfs), 0};
   config.dataset_dir = "data";
   config.placement.prefetch_lookahead = lookahead;
   config.placement.staging_buffer_bytes = 64 * 1024;
   config.placement.staging_chunk_bytes = 4 * 1024;
+  {
+    auto policy = core::MakePlacementPolicyByName(policy_name);
+    if (!policy.ok()) {
+      std::cerr << "stage-status: " << policy.status() << "\n";
+      return 1;
+    }
+    config.policy = std::move(policy).value();
+  }
   auto monarch = core::Monarch::Create(std::move(config));
   if (!monarch.ok()) {
     std::cerr << "stage-status: " << monarch.status() << "\n";
@@ -496,6 +513,14 @@ int CmdStageStatus(const Args& args) {
   std::cout << "staging pipeline status (demo: " << files << " files, "
             << "lookahead " << lookahead << ", " << to_read
             << " demand reads)\n"
+            << "  policy          name=" << monarch.value()->policy().Name()
+            << " evicts_under_pressure="
+            << (monarch.value()->policy().EvictsUnderPressure() ? "yes" : "no")
+            << "\n"
+            << "  evictions       count=" << p.evictions
+            << " bytes=" << FormatByteSize(p.evicted_bytes)
+            << " refused=" << p.eviction_refused
+            << " pinned_skips=" << p.eviction_pinned_skips << "\n"
             << "  queue depth     demand=" << p.queue_depth_demand
             << " prefetch=" << p.queue_depth_prefetch << "\n"
             << "  buffer pool     used=" << FormatByteSize(
