@@ -62,6 +62,9 @@ int Run() {
       config.epochs = env.epochs;
       config.local_quota_bytes = static_cast<std::uint64_t>(
           115.0 * scale * static_cast<double>(kMiB));
+      // Replicated staging (ISSUE 7): every file has two live holders,
+      // so the peer tier keeps serving through single-node loss.
+      if (arm.peer_sharing) config.peer_replication = 2;
       config.seed = 5;
 
       auto result = dlsim::RunClusterExperiment(

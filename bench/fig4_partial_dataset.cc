@@ -71,6 +71,9 @@ int RunPeerExtension(BenchEnv& env,
     // One node holds ~57% of the dataset; two nodes hold all of it.
     config.local_quota_bytes = static_cast<std::uint64_t>(
         115.0 * env.scale * static_cast<double>(kMiB));
+    // Two distinct owners stage every file (ISSUE 7): peer reads survive
+    // a holder loss, at the cost of 2x staged bytes.
+    config.peer_replication = 2;
     config.seed = 11;
 
     auto result = dlsim::RunClusterExperiment(

@@ -1,14 +1,16 @@
 #!/usr/bin/env bash
 # Reduced-scale smoke pass over the headline figure benches (fig1, fig3)
 # plus the multi-job peer-sharing experiment (ext_multijob), the
-# checkpoint write-back comparison (ext_checkpoint), and the fig4
-# placement-policy sweep (eviction policies vs overcommit, sweep arm
-# only), producing BENCH_fig1.json / BENCH_fig3.json /
-# BENCH_ext_multijob.json / BENCH_ext_checkpoint.json / BENCH_fig4.json
+# checkpoint write-back comparison (ext_checkpoint), the node-churn
+# chaos experiment (ext_churn), and the fig4 placement-policy sweep
+# (eviction policies vs overcommit, sweep arm only), producing
+# BENCH_fig1.json / BENCH_fig3.json / BENCH_ext_multijob.json /
+# BENCH_ext_checkpoint.json / BENCH_ext_churn.json / BENCH_fig4.json
 # for quick inspection: the demand-vs-prefetch first-epoch comparison,
 # the vanilla / monarch / monarch-peer PFS-traffic comparison, the
-# direct-PFS vs write-back stall gap, and the per-policy steady-state
-# hit rates (docs/PLACEMENT.md).
+# direct-PFS vs write-back stall gap, the kill/revive digest and
+# replication-repair check, and the per-policy steady-state hit rates
+# (docs/PLACEMENT.md).
 #
 # Usage: scripts/bench_smoke.sh [output-dir]
 #   output-dir   where the BENCH_*.json files land (default: bench-results)
@@ -24,6 +26,7 @@ mkdir -p "$OUT_DIR"
 
 if [[ ! -x build/bench/fig1_motivation || ! -x build/bench/fig3_full_dataset \
       || ! -x build/bench/ext_multijob || ! -x build/bench/ext_checkpoint \
+      || ! -x build/bench/ext_churn \
       || ! -x build/bench/fig4_partial_dataset ]]; then
   echo "bench binaries missing — build first: cmake -B build && cmake --build build -j" >&2
   exit 1
@@ -43,6 +46,10 @@ echo "bench smoke: runs=$MONARCH_BENCH_RUNS scale=$MONARCH_BENCH_SCALE epochs=$M
 # 0.15 runs the 1/2/4-job grid, all three arms, in well under a minute.
 ./build/bench/ext_multijob
 ./build/bench/ext_checkpoint
+# Churn survival: 4 jobs, kill/revive mid-run, digests + replication
+# repair asserted in the JSON (3 epochs minimum so the outage has an
+# epoch boundary to span).
+MONARCH_BENCH_EPOCHS=3 ./build/bench/ext_churn
 # Policy-sweep arm only (4 overcommit ratios x 4 eviction policies); the
 # full fig4 figure arms are too slow for a smoke pass.
 MONARCH_FIG4_ARMS=sweep ./build/bench/fig4_partial_dataset
@@ -51,4 +58,4 @@ echo
 echo "wrote:"
 ls -l "$OUT_DIR"/BENCH_fig1.json "$OUT_DIR"/BENCH_fig3.json \
       "$OUT_DIR"/BENCH_ext_multijob.json "$OUT_DIR"/BENCH_ext_checkpoint.json \
-      "$OUT_DIR"/BENCH_fig4.json
+      "$OUT_DIR"/BENCH_ext_churn.json "$OUT_DIR"/BENCH_fig4.json

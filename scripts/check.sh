@@ -12,19 +12,21 @@ cmake -B build-tsan -G Ninja -DMONARCH_SANITIZE=thread \
       -DMONARCH_BUILD_BENCHMARKS=OFF -DMONARCH_BUILD_EXAMPLES=OFF
 cmake --build build-tsan
 # The observability, placement, staging-pipeline, resilience, peer-
-# cache, and checkpoint suites are the concurrency-critical ones: they
-# assert the lock-free metrics hot path, the tracer's export-vs-writer
-# race, the two-lane staging queue (demand priority, promotion,
+# cache, churn, and checkpoint suites are the concurrency-critical ones:
+# they assert the lock-free metrics hot path, the tracer's export-vs-
+# writer race, the two-lane staging queue (demand priority, promotion,
 # in-flight caps, buffer pool), the circuit-breaker state machine under
 # concurrent readers, the cluster file directory's register/lookup/evict
-# races, and the checkpoint drain lane racing Save/Flush/recovery stay
-# TSan-clean (docs/OBSERVABILITY.md, DESIGN.md "Failure model",
-# "Cooperative peer cache", "Checkpoint write-back").
+# and membership-retraction races, the re-staging pumps draining while
+# membership flips, and the checkpoint drain lane racing Save/Flush/
+# recovery stay TSan-clean (docs/OBSERVABILITY.md, DESIGN.md "Failure
+# model", "Cooperative peer cache", "Cluster failure model",
+# "Checkpoint write-back").
 ./build-tsan/tests/monarch_tests \
-    --gtest_filter='MetricsRegistry*:EventTracer*:DocCatalogue*:ConfigDoc*:PlacementHandler*:Eviction*:StagingPipeline*:BufferPool*:Monarch*:Resilience*:TierHealth*:Peer*:FileDirectory*:NetworkModel*:Cluster*:Ckpt*:Checkpoint*:WriteAtFallback*'
+    --gtest_filter='MetricsRegistry*:EventTracer*:DocCatalogue*:ConfigDoc*:PlacementHandler*:Eviction*:StagingPipeline*:BufferPool*:Monarch*:Resilience*:TierHealth*:Peer*:FileDirectory*:NetworkModel*:Cluster*:Churn*:Membership*:Restage*:Ckpt*:Checkpoint*:WriteAtFallback*'
 # ... and the rest of the suite.
 ./build-tsan/tests/monarch_tests \
-    --gtest_filter='-MetricsRegistry*:EventTracer*:DocCatalogue*:ConfigDoc*:PlacementHandler*:Eviction*:StagingPipeline*:BufferPool*:Monarch*:Resilience*:TierHealth*:Peer*:FileDirectory*:NetworkModel*:Cluster*:Ckpt*:Checkpoint*:WriteAtFallback*'
+    --gtest_filter='-MetricsRegistry*:EventTracer*:DocCatalogue*:ConfigDoc*:PlacementHandler*:Eviction*:StagingPipeline*:BufferPool*:Monarch*:Resilience*:TierHealth*:Peer*:FileDirectory*:NetworkModel*:Cluster*:Churn*:Membership*:Restage*:Ckpt*:Checkpoint*:WriteAtFallback*'
 
 cmake -B build-asan -G Ninja -DMONARCH_SANITIZE=address \
       -DMONARCH_BUILD_BENCHMARKS=OFF -DMONARCH_BUILD_EXAMPLES=OFF

@@ -13,27 +13,53 @@ namespace {
 /// evenly for small clusters without making the ring search noticeable.
 constexpr int kVirtualNodes = 64;
 
+bool Contains(const std::vector<int>& v, int x) {
+  return std::find(v.begin(), v.end(), x) != v.end();
+}
+
 }  // namespace
 
 FileDirectory::FileDirectory(int num_nodes, int replication,
-                             std::size_t shards)
+                             std::size_t shards,
+                             const std::vector<int>& deferred_nodes)
     : num_nodes_(std::max(num_nodes, 1)),
       replication_(std::clamp(replication, 1, std::max(num_nodes, 1))),
       map_(shards) {
-  ring_.reserve(static_cast<std::size_t>(num_nodes_) * kVirtualNodes);
+  vnode_points_.resize(static_cast<std::size_t>(num_nodes_));
   for (int node = 0; node < num_nodes_; ++node) {
+    auto& points = vnode_points_[static_cast<std::size_t>(node)];
+    points.reserve(kVirtualNodes);
     for (int replica = 0; replica < kVirtualNodes; ++replica) {
       const std::string key =
           "node-" + std::to_string(node) + "#" + std::to_string(replica);
-      ring_.emplace_back(RingHash(key), node);
+      points.push_back(RingHash(key));
     }
   }
-  std::sort(ring_.begin(), ring_.end());
+
+  auto initial = std::make_shared<Membership>();
+  initial->version = 1;
+  initial->state.assign(static_cast<std::size_t>(num_nodes_), NodeState::kUp);
+  for (const int node : deferred_nodes) {
+    if (node >= 0 && node < num_nodes_) {
+      initial->state[static_cast<std::size_t>(node)] = NodeState::kAbsent;
+    }
+  }
+  // A cluster with zero initial members is meaningless — keep node 0.
+  if (std::none_of(initial->state.begin(), initial->state.end(),
+                   [](NodeState s) { return s == NodeState::kUp; })) {
+    initial->state[0] = NodeState::kUp;
+  }
+  initial->live_count = static_cast<int>(
+      std::count(initial->state.begin(), initial->state.end(), NodeState::kUp));
+  initial->ring = BuildRing(initial->state);
+  membership_ = std::move(initial);
 
   remote_hits_.reserve(static_cast<std::size_t>(num_nodes_));
   for (int node = 0; node < num_nodes_; ++node) {
     remote_hits_.push_back(std::make_unique<std::atomic<std::uint64_t>>(0));
   }
+  restage_q_.resize(static_cast<std::size_t>(num_nodes_));
+  restage_queued_.resize(static_cast<std::size_t>(num_nodes_));
 
   obs::MetricsRegistry& registry = obs::MetricsRegistry::Global();
   lookups_ = registry.GetCounter(
@@ -42,6 +68,18 @@ FileDirectory::FileDirectory(int num_nodes, int replication,
   remote_hits_total_ = registry.GetCounter(
       "cluster.directory.remote_hits", "ops",
       "peer reads resolved to another node's staged copy");
+  transitions_ = registry.GetCounter(
+      "cluster.membership.transitions", "ops",
+      "cluster membership transitions applied (up/down/join)");
+  restage_enqueued_ = registry.GetCounter(
+      "cluster.restage.enqueued", "files",
+      "repair copies queued to restore replication after churn");
+  restage_completed_ = registry.GetCounter(
+      "cluster.restage.completed", "files",
+      "repair copies claimed and scheduled by the re-staging pumps");
+  restage_bytes_ = registry.GetCounter(
+      "cluster.restage.bytes", "bytes",
+      "bytes staged by replication repair after membership churn");
   obs_source_ = registry.AddSource([this] {
     std::vector<obs::MetricSample> out;
     obs::MetricSample entries;
@@ -58,6 +96,27 @@ FileDirectory::FileDirectory(int num_nodes, int replication,
     placed.gauge = static_cast<std::int64_t>(placed_copies());
     placed.help = "staged copies currently advertised across the cluster";
     out.push_back(std::move(placed));
+    obs::MetricSample version;
+    version.name = "cluster.membership.version";
+    version.kind = obs::MetricKind::kGauge;
+    version.unit = "version";
+    version.gauge = static_cast<std::int64_t>(membership_version());
+    version.help = "current cluster membership version";
+    out.push_back(std::move(version));
+    obs::MetricSample live;
+    live.name = "cluster.membership.live_nodes";
+    live.kind = obs::MetricKind::kGauge;
+    live.unit = "nodes";
+    live.gauge = live_nodes();
+    live.help = "cluster members currently up";
+    out.push_back(std::move(live));
+    obs::MetricSample depth;
+    depth.name = "cluster.restage.queue_depth";
+    depth.kind = obs::MetricKind::kGauge;
+    depth.unit = "files";
+    depth.gauge = static_cast<std::int64_t>(RestageQueueDepth());
+    depth.help = "repair copies still queued across all nodes";
+    out.push_back(std::move(depth));
     return out;
   });
 }
@@ -72,42 +131,285 @@ std::uint64_t FileDirectory::RingHash(const std::string& key) {
   return h;
 }
 
-int FileDirectory::PrimaryOwner(const std::string& name) const {
-  return OwnerNodes(name).front();
+FileDirectory::MembershipPtr FileDirectory::membership() const {
+  std::lock_guard lock(view_mu_);
+  return membership_;
 }
 
-std::vector<int> FileDirectory::OwnerNodes(const std::string& name) const {
+void FileDirectory::Publish(MembershipPtr next) {
+  std::lock_guard lock(view_mu_);
+  membership_ = std::move(next);
+}
+
+std::vector<std::pair<std::uint64_t, int>> FileDirectory::BuildRing(
+    const std::vector<NodeState>& state) const {
+  std::vector<std::pair<std::uint64_t, int>> ring;
+  for (int node = 0; node < num_nodes_; ++node) {
+    if (state[static_cast<std::size_t>(node)] == NodeState::kAbsent) continue;
+    for (const std::uint64_t point :
+         vnode_points_[static_cast<std::size_t>(node)]) {
+      ring.emplace_back(point, node);
+    }
+  }
+  std::sort(ring.begin(), ring.end());
+  return ring;
+}
+
+std::vector<int> FileDirectory::OwnerNodesIn(const Membership& m,
+                                             const std::string& name) const {
   std::vector<int> owners;
-  owners.reserve(static_cast<std::size_t>(replication_));
+  if (m.ring.empty()) return owners;
+  // Degenerate all-down cluster: walk ring order over the non-absent
+  // members so PrimaryOwner stays defined (reads degrade to the PFS
+  // anyway — no live holder ever resolves).
+  const bool live_only = m.live_count > 0;
+  const int target =
+      live_only ? std::min(replication_, m.live_count) : replication_;
+  owners.reserve(static_cast<std::size_t>(target));
   const std::uint64_t point = RingHash(name);
   auto it = std::lower_bound(
-      ring_.begin(), ring_.end(), point,
+      m.ring.begin(), m.ring.end(), point,
       [](const auto& entry, std::uint64_t p) { return entry.first < p; });
   // Walk the ring clockwise collecting distinct nodes; wraps at the end.
   for (std::size_t step = 0;
-       step < ring_.size() && owners.size() <
-                                  static_cast<std::size_t>(replication_);
+       step < m.ring.size() &&
+       owners.size() < static_cast<std::size_t>(target);
        ++step, ++it) {
-    if (it == ring_.end()) it = ring_.begin();
-    if (std::find(owners.begin(), owners.end(), it->second) == owners.end()) {
-      owners.push_back(it->second);
+    if (it == m.ring.end()) it = m.ring.begin();
+    if (live_only &&
+        m.state[static_cast<std::size_t>(it->second)] != NodeState::kUp) {
+      continue;
     }
+    if (!Contains(owners, it->second)) owners.push_back(it->second);
   }
   return owners;
 }
 
-bool FileDirectory::IsOwner(const std::string& name, int node) const {
+int FileDirectory::PrimaryOwner(const std::string& name) const {
   const std::vector<int> owners = OwnerNodes(name);
-  return std::find(owners.begin(), owners.end(), node) != owners.end();
+  return owners.empty() ? 0 : owners.front();
+}
+
+std::vector<int> FileDirectory::OwnerNodes(const std::string& name) const {
+  const MembershipPtr m = membership();
+  return OwnerNodesIn(*m, name);
+}
+
+bool FileDirectory::IsOwner(const std::string& name, int node) const {
+  return Contains(OwnerNodes(name), node);
+}
+
+NodeState FileDirectory::StateOf(int node) const {
+  if (node < 0 || node >= num_nodes_) return NodeState::kAbsent;
+  const MembershipPtr m = membership();
+  return m->state[static_cast<std::size_t>(node)];
+}
+
+std::uint64_t FileDirectory::membership_version() const {
+  return membership()->version;
+}
+
+int FileDirectory::live_nodes() const { return membership()->live_count; }
+
+MembershipDelta FileDirectory::NodeDown(int node) {
+  std::lock_guard transition(transition_mu_);
+  const MembershipPtr old_m = membership();
+  if (node < 0 || node >= num_nodes_ ||
+      old_m->state[static_cast<std::size_t>(node)] != NodeState::kUp) {
+    return MembershipDelta{old_m->version, 0, 0, false};
+  }
+  auto next = std::make_shared<Membership>(*old_m);
+  next->version = old_m->version + 1;
+  next->state[static_cast<std::size_t>(node)] = NodeState::kDown;
+  next->live_count = old_m->live_count - 1;
+  // A down node keeps its vnodes (ownership walks *past* it), so the
+  // ring is unchanged — only the state vector differs.
+  return FinishTransition(old_m, std::move(next), node, "down", node);
+}
+
+MembershipDelta FileDirectory::NodeUp(int node) {
+  std::lock_guard transition(transition_mu_);
+  const MembershipPtr old_m = membership();
+  if (node < 0 || node >= num_nodes_ ||
+      old_m->state[static_cast<std::size_t>(node)] != NodeState::kDown) {
+    return MembershipDelta{old_m->version, 0, 0, false};
+  }
+  auto next = std::make_shared<Membership>(*old_m);
+  next->version = old_m->version + 1;
+  next->state[static_cast<std::size_t>(node)] = NodeState::kUp;
+  next->live_count = old_m->live_count + 1;
+  return FinishTransition(old_m, std::move(next), -1, "up", node);
+}
+
+MembershipDelta FileDirectory::NodeJoin(int node) {
+  std::lock_guard transition(transition_mu_);
+  const MembershipPtr old_m = membership();
+  if (node < 0 || node >= num_nodes_ ||
+      old_m->state[static_cast<std::size_t>(node)] != NodeState::kAbsent) {
+    return MembershipDelta{old_m->version, 0, 0, false};
+  }
+  auto next = std::make_shared<Membership>(*old_m);
+  next->version = old_m->version + 1;
+  next->state[static_cast<std::size_t>(node)] = NodeState::kUp;
+  next->live_count = old_m->live_count + 1;
+  next->ring = BuildRing(next->state);
+  return FinishTransition(old_m, std::move(next), -1, "join", node);
+}
+
+MembershipDelta FileDirectory::FinishTransition(
+    const MembershipPtr& old_m, std::shared_ptr<Membership> next,
+    int retract_node, const char* kind, int node) {
+  MembershipDelta delta;
+  delta.version = next->version;
+  delta.applied = true;
+  // Publish FIRST: from this point no reader resolves a holder that the
+  // new view says is dead — the atomic retraction the tentpole asks for.
+  const MembershipPtr new_m = next;
+  Publish(std::move(next));
+
+  // Ownership-delta scan: diff the owner set of every known file under
+  // the old vs new view, physically retract the downed node's rows, and
+  // queue repair copies for live owners missing a copy.
+  struct Row {
+    std::string name;
+    std::vector<int> holders;
+  };
+  std::vector<Row> rows;
+  rows.reserve(map_.Size());
+  map_.ForEach([&rows](const std::string& name, const Entry& entry) {
+    rows.push_back(Row{name, entry.holders});
+  });
+
+  std::vector<std::string> retracted;
+  {
+    std::lock_guard lock(restage_mu_);
+    for (Row& row : rows) {
+      if (retract_node >= 0 && Contains(row.holders, retract_node)) {
+        retracted.push_back(row.name);
+        row.holders.erase(
+            std::remove(row.holders.begin(), row.holders.end(), retract_node),
+            row.holders.end());
+      }
+      const std::vector<int> old_owners = OwnerNodesIn(*old_m, row.name);
+      const std::vector<int> new_owners = OwnerNodesIn(*new_m, row.name);
+      const bool reowned = old_owners != new_owners;
+      if (reowned) ++delta.files_reowned;
+
+      int live_holders = 0;
+      for (const int holder : row.holders) {
+        if (new_m->state[static_cast<std::size_t>(holder)] == NodeState::kUp) {
+          ++live_holders;
+        }
+      }
+      const int target = std::min(replication_, std::max(new_m->live_count, 1));
+      if (live_holders >= target && !reowned) continue;
+      for (const int owner : new_owners) {
+        if (new_m->state[static_cast<std::size_t>(owner)] != NodeState::kUp) {
+          continue;
+        }
+        if (Contains(row.holders, owner)) continue;
+        if (EnqueueRestageLocked(owner, row.name)) ++delta.restage_enqueued;
+      }
+    }
+  }
+  for (const std::string& name : retracted) {
+    map_.Update(name, [retract_node](Entry& entry) {
+      entry.holders.erase(
+          std::remove(entry.holders.begin(), entry.holders.end(),
+                      retract_node),
+          entry.holders.end());
+    });
+  }
+
+  if (transitions_ != nullptr) transitions_->Increment();
+  if (restage_enqueued_ != nullptr && delta.restage_enqueued > 0) {
+    restage_enqueued_->Increment(delta.restage_enqueued);
+  }
+  restage_enqueued_total_.fetch_add(delta.restage_enqueued,
+                                    std::memory_order_relaxed);
+  obs::EventTracer& tracer = obs::EventTracer::Global();
+  if (tracer.enabled()) {
+    tracer.RecordInstant(
+        "membership.transition", "cluster",
+        "\"kind\":" + obs::JsonQuote(kind) +
+            ",\"node\":" + std::to_string(node) +
+            ",\"version\":" + std::to_string(delta.version) +
+            ",\"reowned\":" + std::to_string(delta.files_reowned) +
+            ",\"restage\":" + std::to_string(delta.restage_enqueued));
+  }
+  return delta;
+}
+
+bool FileDirectory::EnqueueRestageLocked(int node, const std::string& name) {
+  auto& queued = restage_queued_[static_cast<std::size_t>(node)];
+  if (!queued.insert(name).second) return false;
+  restage_q_[static_cast<std::size_t>(node)].push_back(name);
+  return true;
+}
+
+std::vector<std::string> FileDirectory::TakeRestage(int node,
+                                                    std::size_t max_files) {
+  std::vector<std::string> out;
+  if (node < 0 || node >= num_nodes_ || max_files == 0) return out;
+  std::lock_guard lock(restage_mu_);
+  auto& queue = restage_q_[static_cast<std::size_t>(node)];
+  auto& queued = restage_queued_[static_cast<std::size_t>(node)];
+  while (!queue.empty() && out.size() < max_files) {
+    queued.erase(queue.front());
+    out.push_back(std::move(queue.front()));
+    queue.pop_front();
+  }
+  return out;
+}
+
+std::uint64_t FileDirectory::RestageQueueDepth() const {
+  std::lock_guard lock(restage_mu_);
+  std::uint64_t total = 0;
+  for (const auto& queue : restage_q_) total += queue.size();
+  return total;
+}
+
+std::uint64_t FileDirectory::RestageQueueDepth(int node) const {
+  if (node < 0 || node >= num_nodes_) return 0;
+  std::lock_guard lock(restage_mu_);
+  return restage_q_[static_cast<std::size_t>(node)].size();
+}
+
+void FileDirectory::CountRestageCompleted(std::uint64_t bytes) {
+  restage_completed_total_.fetch_add(1, std::memory_order_relaxed);
+  if (restage_completed_ != nullptr) restage_completed_->Increment();
+  if (restage_bytes_ != nullptr && bytes > 0) {
+    restage_bytes_->Increment(bytes);
+  }
+}
+
+ReplicationHealth FileDirectory::CheckReplication() const {
+  ReplicationHealth health;
+  const MembershipPtr m = membership();
+  const int target = std::min(replication_, std::max(m->live_count, 1));
+  map_.ForEach([&](const std::string&, const Entry& entry) {
+    ++health.files;
+    int live_holders = 0;
+    for (const int holder : entry.holders) {
+      if (holder >= 0 && holder < num_nodes_ &&
+          m->state[static_cast<std::size_t>(holder)] == NodeState::kUp) {
+        ++live_holders;
+      }
+    }
+    if (live_holders >= target) {
+      ++health.at_target;
+    } else {
+      ++health.below_target;
+      if (live_holders == 0) ++health.unhosted;
+    }
+  });
+  return health;
 }
 
 void FileDirectory::MarkPlaced(const std::string& name, int node, int level) {
   map_.Insert(name, Entry{});
   map_.Update(name, [&](Entry& entry) {
-    if (std::find(entry.holders.begin(), entry.holders.end(), node) ==
-        entry.holders.end()) {
-      entry.holders.push_back(node);
-    }
+    if (!Contains(entry.holders, node)) entry.holders.push_back(node);
     entry.level = level;
   });
   obs::EventTracer& tracer = obs::EventTracer::Global();
@@ -134,24 +436,36 @@ void FileDirectory::MarkEvicted(const std::string& name, int node) {
   }
 }
 
-std::optional<int> FileDirectory::PlacedHolder(const std::string& name,
-                                               int exclude_node) const {
+std::vector<int> FileDirectory::PlacedHolders(const std::string& name,
+                                              int exclude_node) const {
   if (lookups_ != nullptr) lookups_->Increment();
+  std::vector<int> out;
   const std::optional<Entry> entry = map_.Find(name);
-  if (!entry.has_value() || entry->holders.empty()) return std::nullopt;
+  if (!entry.has_value() || entry->holders.empty()) return out;
+  const MembershipPtr m = membership();
+  const auto is_live = [&](int node) {
+    return node >= 0 && node < num_nodes_ &&
+           m->state[static_cast<std::size_t>(node)] == NodeState::kUp;
+  };
   // Prefer holders in ring order so replicated shards spread peer load
-  // the same deterministic way staging spread the copies.
-  for (const int owner : OwnerNodes(name)) {
-    if (owner == exclude_node) continue;
-    if (std::find(entry->holders.begin(), entry->holders.end(), owner) !=
-        entry->holders.end()) {
-      return owner;
-    }
+  // the same deterministic way staging spread the copies; only LIVE
+  // holders are ever returned (a downed node's ads are ghosts).
+  for (const int owner : OwnerNodesIn(*m, name)) {
+    if (owner == exclude_node || !is_live(owner)) continue;
+    if (Contains(entry->holders, owner)) out.push_back(owner);
   }
   for (const int holder : entry->holders) {
-    if (holder != exclude_node) return holder;
+    if (holder == exclude_node || !is_live(holder)) continue;
+    if (!Contains(out, holder)) out.push_back(holder);
   }
-  return std::nullopt;
+  return out;
+}
+
+std::optional<int> FileDirectory::PlacedHolder(const std::string& name,
+                                               int exclude_node) const {
+  const std::vector<int> holders = PlacedHolders(name, exclude_node);
+  if (holders.empty()) return std::nullopt;
+  return holders.front();
 }
 
 void FileDirectory::CountRemoteHit(int node) {
@@ -175,14 +489,13 @@ DirectoryNodeStats FileDirectory::StatsFor(int node) const {
   DirectoryNodeStats stats;
   stats.node = node;
   if (node < 0 || node >= num_nodes_) return stats;
+  stats.state = StateOf(node);
+  stats.restage_pending = RestageQueueDepth(node);
   stats.remote_hits = remote_hits_[static_cast<std::size_t>(node)]->load(
       std::memory_order_relaxed);
   map_.ForEach([&](const std::string& name, const Entry& entry) {
     if (PrimaryOwner(name) == node) ++stats.owned;
-    if (std::find(entry.holders.begin(), entry.holders.end(), node) !=
-        entry.holders.end()) {
-      ++stats.placed;
-    }
+    if (Contains(entry.holders, node)) ++stats.placed;
   });
   return stats;
 }

@@ -1,28 +1,45 @@
 // FileDirectory: the cluster-wide placement map behind cooperative peer
-// caching (ISSUE 4). Every node runs its own Monarch instance; the
-// directory is the piece they share. It answers two questions:
+// caching (ISSUE 4), grown a versioned membership view (ISSUE 7). Every
+// node runs its own Monarch instance; the directory is the piece they
+// share. It answers three questions:
 //
 //   * ownership — which node is responsible for STAGING a file. Decided
-//     by a consistent-hash ring fixed at construction, so each node
-//     stages exactly its shard of the dataset and the aggregate PFS
-//     staging traffic is the dataset once, not once per node.
+//     by a consistent-hash vnode ring over the *live* membership, so each
+//     node stages exactly its shard of the dataset and the aggregate PFS
+//     staging traffic is the dataset once, not once per node. When a node
+//     dies or joins, ownership walks past it and only ~1/N of the
+//     namespace changes hands (consistent hashing).
 //   * placement — which nodes currently HOLD a staged copy. Updated by
 //     the placement callbacks (core/PeerView) as copies are published,
 //     evicted, or quarantined, and consulted by the read path to route
-//     demand reads owner-first before falling back to the PFS.
+//     demand reads across live holders before falling back to the PFS.
+//   * repair — what must move to restore the replication factor after a
+//     loss (or hand a shard to a joiner). Each membership transition
+//     computes the ownership delta and feeds per-node re-staging queues
+//     drained at bounded rate on the prefetch lane (cluster/RestagePump).
+//
+// Membership is a copy-on-write snapshot (ring + per-node state +
+// version) swapped atomically on every NodeUp/NodeDown/NodeJoin: the
+// instant a node is marked down, every reader's PlacedHolders() stops
+// returning it — advertisements from a downed node are retracted
+// atomically, readers never dial a ghost. The slower map scan that
+// physically erases its holder rows and computes the re-staging delta
+// follows outside the readers' path.
 //
 // Built on util/ShardedMap: lookups from every node's reader threads and
 // updates from every node's placement pool proceed under striped locks.
-// The ownership ring itself is immutable after construction and read
-// lock-free. Entries are never erased — an evicted file keeps its row
-// with an empty holder list, which keeps Mark/lookup races benign.
+// Entries are never erased — an evicted file keeps its row with an empty
+// holder list, which keeps Mark/lookup races benign.
 #pragma once
 
 #include <atomic>
 #include <cstdint>
+#include <deque>
 #include <memory>
+#include <mutex>
 #include <optional>
 #include <string>
+#include <unordered_set>
 #include <utility>
 #include <vector>
 
@@ -31,23 +48,55 @@
 
 namespace monarch::cluster {
 
+/// Membership state of one cluster node.
+enum class NodeState : std::uint8_t {
+  kAbsent = 0,  ///< not yet joined (deferred member)
+  kUp = 1,      ///< live: owns its shard, serves peer reads
+  kDown = 2,    ///< failed: ownership walks past it, ads retracted
+};
+
+/// What one membership transition changed — returned by NodeUp/NodeDown/
+/// NodeJoin so harnesses and tests can assert the consistent-hashing
+/// property (only ~1/N of files re-owned) and the repair work created.
+struct MembershipDelta {
+  std::uint64_t version = 0;          ///< membership version after the change
+  std::uint64_t files_reowned = 0;    ///< entries whose owner set changed
+  std::uint64_t restage_enqueued = 0; ///< (file, node) repair tasks queued
+  bool applied = false;               ///< false: invalid transition, no-op
+};
+
+/// Cluster-wide replication health: live staged copies per file vs the
+/// effective target min(replication, live nodes).
+struct ReplicationHealth {
+  std::uint64_t files = 0;
+  std::uint64_t at_target = 0;
+  std::uint64_t below_target = 0;  ///< fewer live copies than target
+  std::uint64_t unhosted = 0;      ///< no live copy at all (PFS only)
+};
+
 /// Per-node view of the directory for status tooling (monarchctl
-/// peer-status): how much of the namespace the node owns, how many copies
-/// it currently holds, and how often peers pulled from it.
+/// peer-status / cluster-status): how much of the namespace the node
+/// owns, how many copies it currently holds, how often peers pulled from
+/// it, and its membership/repair state.
 struct DirectoryNodeStats {
   int node = 0;
   std::uint64_t owned = 0;        ///< entries whose primary owner is node
   std::uint64_t placed = 0;       ///< entries node currently holds
   std::uint64_t remote_hits = 0;  ///< peer reads served from node's copy
+  NodeState state = NodeState::kUp;
+  std::uint64_t restage_pending = 0;  ///< repair tasks queued for node
 };
 
 class FileDirectory {
  public:
   /// `num_nodes` cluster members (node ids 0..num_nodes-1), each file
-  /// owned by `replication` distinct nodes (clamped to num_nodes), map
-  /// striped over `shards` locks.
+  /// owned by `replication` distinct live nodes (clamped to num_nodes),
+  /// map striped over `shards` locks. Nodes listed in `deferred_nodes`
+  /// start kAbsent (no vnodes) and enter the ring via NodeJoin() — at
+  /// least one node always starts up.
   explicit FileDirectory(int num_nodes, int replication = 1,
-                         std::size_t shards = 16);
+                         std::size_t shards = 16,
+                         const std::vector<int>& deferred_nodes = {});
 
   FileDirectory(const FileDirectory&) = delete;
   FileDirectory& operator=(const FileDirectory&) = delete;
@@ -55,16 +104,48 @@ class FileDirectory {
   [[nodiscard]] int num_nodes() const noexcept { return num_nodes_; }
   [[nodiscard]] int replication() const noexcept { return replication_; }
 
-  /// The node responsible for staging `name` (first owner on the ring).
+  // ---- membership -------------------------------------------------------
+
+  /// Mark `node` failed: bump the version (readers immediately stop
+  /// resolving to it), retract its advertisements, recompute ownership,
+  /// and enqueue re-staging for files that lost a live owner/copy.
+  MembershipDelta NodeDown(int node);
+
+  /// A previously-down member returns. Its surviving local copies are NOT
+  /// assumed: the node re-advertises them itself (MarkPlaced /
+  /// Monarch::ReadvertisePlacedCopies) — ideally *before* NodeUp so the
+  /// rejoin delta sees them and skips redundant repair work.
+  MembershipDelta NodeUp(int node);
+
+  /// A deferred member (kAbsent) joins the ring: its vnodes are added,
+  /// ownership of ~1/N of files moves to it, and the handoff is enqueued
+  /// on its re-staging queue.
+  MembershipDelta NodeJoin(int node);
+
+  [[nodiscard]] NodeState StateOf(int node) const;
+  [[nodiscard]] bool IsLive(int node) const {
+    return StateOf(node) == NodeState::kUp;
+  }
+  /// Monotonic membership version (starts at 1, +1 per transition).
+  [[nodiscard]] std::uint64_t membership_version() const;
+  [[nodiscard]] int live_nodes() const;
+
+  // ---- ownership --------------------------------------------------------
+
+  /// The node responsible for staging `name` (first live owner on the
+  /// ring; falls back to ring order over non-absent members if nothing is
+  /// live so callers never see an empty cluster).
   [[nodiscard]] int PrimaryOwner(const std::string& name) const;
 
-  /// The `replication` distinct nodes that should stage `name`, primary
-  /// first (ring walk order).
+  /// The min(replication, live nodes) distinct live nodes that should
+  /// stage `name`, primary first (ring walk order).
   [[nodiscard]] std::vector<int> OwnerNodes(const std::string& name) const;
 
   /// Whether `node` is one of OwnerNodes(name) — the staging gate each
   /// Monarch instance consults before claiming a file.
   [[nodiscard]] bool IsOwner(const std::string& name, int node) const;
+
+  // ---- placement --------------------------------------------------------
 
   /// `node` published a readable copy of `name` on its tier `level`.
   void MarkPlaced(const std::string& name, int node, int level);
@@ -72,15 +153,45 @@ class FileDirectory {
   /// `node` dropped its copy (eviction, quarantine, or cleanup).
   void MarkEvicted(const std::string& name, int node);
 
-  /// A node currently holding a staged copy of `name`, excluding
+  /// Every LIVE node currently holding a staged copy of `name`, excluding
   /// `exclude_node` (the asker — its own copies are served locally).
-  /// Owners are preferred in ring order so replicas share load the same
-  /// way staging did. nullopt when no peer holds the file.
+  /// Owners come first in ring order, then other live holders; non-live
+  /// holders are never returned. Empty when no live peer holds the file.
+  [[nodiscard]] std::vector<int> PlacedHolders(const std::string& name,
+                                               int exclude_node) const;
+
+  /// First of PlacedHolders() — the ring-order-preferred live holder.
   [[nodiscard]] std::optional<int> PlacedHolder(const std::string& name,
                                                 int exclude_node) const;
 
   /// Count one peer read served from `node`'s copy (resolver callback).
   void CountRemoteHit(int node);
+
+  // ---- re-staging -------------------------------------------------------
+
+  /// Pop up to `max_files` queued repair tasks for `node` (files it now
+  /// owns but holds no live copy of). Consumed by cluster::RestagePump.
+  [[nodiscard]] std::vector<std::string> TakeRestage(int node,
+                                                     std::size_t max_files);
+
+  /// Repair tasks currently queued, cluster-wide / for one node.
+  [[nodiscard]] std::uint64_t RestageQueueDepth() const;
+  [[nodiscard]] std::uint64_t RestageQueueDepth(int node) const;
+
+  /// Record one finished repair copy of `bytes` (pump callback; feeds
+  /// `cluster.restage.completed` / `cluster.restage.bytes`).
+  void CountRestageCompleted(std::uint64_t bytes);
+
+  [[nodiscard]] std::uint64_t restage_enqueued_total() const noexcept {
+    return restage_enqueued_total_.load(std::memory_order_relaxed);
+  }
+  [[nodiscard]] std::uint64_t restage_completed_total() const noexcept {
+    return restage_completed_total_.load(std::memory_order_relaxed);
+  }
+
+  [[nodiscard]] ReplicationHealth CheckReplication() const;
+
+  // ---- stats ------------------------------------------------------------
 
   /// Files known to the directory (placed at least once).
   [[nodiscard]] std::uint64_t entries() const;
@@ -95,23 +206,76 @@ class FileDirectory {
     int level = -1;            ///< tier level at the most recent placement
   };
 
+  /// Copy-on-write membership snapshot: one atomic pointer swap makes a
+  /// transition visible to every reader at once.
+  struct Membership {
+    std::uint64_t version = 1;
+    std::vector<NodeState> state;  ///< indexed by node id
+    /// Sorted (point, node) vnodes of every non-absent member; ownership
+    /// walks it clockwise skipping kDown nodes.
+    std::vector<std::pair<std::uint64_t, int>> ring;
+    int live_count = 0;
+  };
+  using MembershipPtr = std::shared_ptr<const Membership>;
+
   /// Hash ring point for (node, replica) — stable FNV-1a, independent of
   /// std::hash so ownership is reproducible across runs and platforms.
   [[nodiscard]] static std::uint64_t RingHash(const std::string& key);
 
+  [[nodiscard]] MembershipPtr membership() const;
+  void Publish(MembershipPtr next);
+  [[nodiscard]] std::vector<std::pair<std::uint64_t, int>> BuildRing(
+      const std::vector<NodeState>& state) const;
+
+  /// Owners of `name` under snapshot `m` (live-first walk; see
+  /// PrimaryOwner for the all-down fallback).
+  [[nodiscard]] std::vector<int> OwnerNodesIn(const Membership& m,
+                                              const std::string& name) const;
+
+  /// Shared transition tail: publish `next`, retract the ads of
+  /// `retract_node` (or -1), diff ownership old vs new, enqueue repair.
+  MembershipDelta FinishTransition(const MembershipPtr& old_m,
+                                   std::shared_ptr<Membership> next,
+                                   int retract_node, const char* kind,
+                                   int node);
+
+  /// Enqueue (name -> node) repair if not already queued. Caller holds
+  /// restage_mu_. Returns true when freshly queued.
+  bool EnqueueRestageLocked(int node, const std::string& name);
+
   const int num_nodes_;
   const int replication_;
-  /// Immutable sorted (point, node) ring of virtual nodes; ownership
-  /// lookups binary-search it lock-free.
-  std::vector<std::pair<std::uint64_t, int>> ring_;
+  /// Precomputed vnode points per node (hash keys fixed at construction,
+  /// so a node's vnodes land identically whenever it is in the ring).
+  std::vector<std::vector<std::uint64_t>> vnode_points_;
+
+  /// Serializes transitions (held across the ownership-delta scan).
+  std::mutex transition_mu_;
+  /// Guards the snapshot pointer only (swap/copy, never held long).
+  mutable std::mutex view_mu_;
+  MembershipPtr membership_;
 
   ShardedMap<std::string, Entry> map_;
   std::vector<std::unique_ptr<std::atomic<std::uint64_t>>> remote_hits_;
 
-  // docs/OBSERVABILITY.md `cluster.directory.*`.
+  /// Per-node repair queues + dedup sets (a file is queued at most once
+  /// per node until taken).
+  mutable std::mutex restage_mu_;
+  std::vector<std::deque<std::string>> restage_q_;
+  std::vector<std::unordered_set<std::string>> restage_queued_;
+
+  std::atomic<std::uint64_t> restage_enqueued_total_{0};
+  std::atomic<std::uint64_t> restage_completed_total_{0};
+
+  // docs/OBSERVABILITY.md `cluster.directory.*` / `cluster.membership.*`
+  // / `cluster.restage.*`.
   obs::Counter* lookups_ = nullptr;
   obs::Counter* remote_hits_total_ = nullptr;
-  // Last member: the source callback reads map_ and remote_hits_.
+  obs::Counter* transitions_ = nullptr;
+  obs::Counter* restage_enqueued_ = nullptr;
+  obs::Counter* restage_completed_ = nullptr;
+  obs::Counter* restage_bytes_ = nullptr;
+  // Last member: the source callback reads map_, membership_, queues.
   obs::SourceRegistration obs_source_;
 };
 

@@ -1,4 +1,5 @@
-// PeerGroup: per-cluster wiring for cooperative peer caching (ISSUE 4).
+// PeerGroup: per-cluster wiring for cooperative peer caching (ISSUE 4)
+// and the churn-survival machinery on top of it (ISSUE 7).
 //
 // One PeerGroup represents the set of nodes sharing their local tiers.
 // It owns the cluster FileDirectory and the simulated interconnect
@@ -6,13 +7,20 @@
 // contend for the same fabric), and hands each node the two objects its
 // Monarch instance needs:
 //
-//   * MakePeerEngine(node) — a net/PeerEngine whose resolver looks up a
-//     remote holder in the directory (excluding the node itself) and
-//     serves the read from that holder's registered local engine through
-//     the network model. Plug it in as MonarchConfig::peer_tier.
+//   * MakePeerEngine(node) — a net/PeerEngine whose resolver picks a
+//     LIVE holder from the directory (excluding the node itself) by
+//     power-of-two-choices on per-holder in-flight transfers, skips
+//     holders quarantined after consecutive failures, and serves the
+//     read from that holder's registered local engine through the
+//     network model. Plug it in as MonarchConfig::peer_tier.
 //   * MakePeerView(node)   — the core/PeerView gluing the node's
 //     placement callbacks and staging gate to the directory. Plug it in
 //     as MonarchConfig::peer_view.
+//
+// Churn control (ISSUE 7): KillNode/ReviveNode/JoinNode drive the
+// directory's membership AND the fabric's reachability together, so a
+// killed node both disappears from holder resolution and times out any
+// RPC that races the membership change.
 //
 // Usage (dlsim::RunClusterExperiment):
 //   cluster::PeerGroup group(num_jobs, options);
@@ -21,6 +29,7 @@
 //                    config.peer_view = group.MakePeerView(j);
 #pragma once
 
+#include <atomic>
 #include <memory>
 #include <mutex>
 #include <vector>
@@ -42,6 +51,15 @@ struct PeerOptions {
   std::size_t directory_shards = 16;
   /// Distinct owner nodes staging each file (1 = no redundancy).
   int replication = 1;
+  /// Nodes that start OUTSIDE the ring and enter it via JoinNode().
+  std::vector<int> deferred_nodes;
+  /// Distinct holders a peer read tries before the failure escapes to
+  /// the degradation ladder (1 = no replica failover).
+  int max_failover_holders = 2;
+  /// Consecutive transfer failures before a holder is quarantined from
+  /// holder selection (it stays eligible when it is the only choice).
+  int quarantine_failures = 3;
+  Duration quarantine_cooldown = Millis(50);
 };
 
 class PeerGroup {
@@ -63,6 +81,22 @@ class PeerGroup {
   /// The placement/staging view for node `node`.
   [[nodiscard]] core::PeerViewPtr MakePeerView(int node);
 
+  // ---- churn control (ISSUE 7) -----------------------------------------
+
+  /// Fail `node`: fabric RPCs to it time out, the directory retracts its
+  /// ads, ownership shifts, repair work is queued for the survivors.
+  MembershipDelta KillNode(int node);
+
+  /// Bring a killed node back. Call Monarch::ReadvertisePlacedCopies()
+  /// on the node FIRST so its surviving copies are in the directory
+  /// before the rejoin delta decides what still needs repair.
+  MembershipDelta ReviveNode(int node);
+
+  /// A deferred member enters the ring (shard handoff gets queued).
+  MembershipDelta JoinNode(int node);
+
+  // ---- accessors --------------------------------------------------------
+
   [[nodiscard]] FileDirectory& directory() noexcept { return directory_; }
   [[nodiscard]] const FileDirectory& directory() const noexcept {
     return directory_;
@@ -73,17 +107,40 @@ class PeerGroup {
   [[nodiscard]] int num_nodes() const noexcept {
     return directory_.num_nodes();
   }
+  [[nodiscard]] const PeerOptions& options() const noexcept {
+    return options_;
+  }
 
   /// The engine registered for `node`, or null. Used by the resolver.
   [[nodiscard]] storage::StorageEnginePtr NodeEngine(int node) const;
 
+  /// Transfers currently in flight against `node`'s copy (p2c input).
+  [[nodiscard]] int InflightFor(int node) const;
+  /// Whether `node` is currently quarantined from holder selection.
+  [[nodiscard]] bool Quarantined(int node) const;
+
+  // Resolver callbacks (net/PeerEngine::Resolver lifecycle).
+  void OnTransferStart(int node);
+  void OnTransferDone(int node, bool ok);
+
  private:
+  /// Per-holder selection state: in-flight transfers (power-of-two-
+  /// choices) and failure streaks (quarantine).
+  struct HolderState {
+    std::atomic<int> inflight{0};
+    std::atomic<int> fail_streak{0};
+    /// steady_clock::now().time_since_epoch() deadline; 0 = healthy.
+    std::atomic<std::int64_t> quarantined_until_ns{0};
+  };
+
+  PeerOptions options_;
   FileDirectory directory_;
   net::NetworkModelPtr network_;
   /// Guards engines_: registration races resolver lookups in tests that
   /// bring nodes up while others already read.
   mutable std::mutex engines_mu_;
   std::vector<storage::StorageEnginePtr> engines_;
+  std::vector<std::unique_ptr<HolderState>> holder_state_;
 };
 
 }  // namespace monarch::cluster

@@ -1,0 +1,77 @@
+// RestagePump: the bounded-rate drain of one node's re-staging queue
+// (ISSUE 7). Membership transitions enqueue repair work into the
+// FileDirectory (files a node now owns but holds no live copy of); one
+// pump per node pops that queue on a background thread and hands each
+// file to a StageFn — in practice Monarch::RestageFile, which claims the
+// file and schedules a PREFETCH-lane copy, so repair traffic can never
+// starve demand staging.
+//
+// The rate bound is a token bucket over the *scheduled* bytes
+// (restage_bandwidth, 0 = uncapped): after scheduling a copy the pump
+// sleeps that copy's fabric share before popping the next task, keeping
+// replication repair from flooding the PFS right after a failure. A pump
+// whose node is not live idles — a dead node repairs nothing.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <thread>
+
+#include "cluster/file_directory.h"
+#include "util/clock.h"
+#include "util/status.h"
+
+namespace monarch::cluster {
+
+class RestagePump {
+ public:
+  /// Stage one repair copy. Returns the bytes scheduled; 0 = nothing to
+  /// do (not owned any more / already placed) — skipped, not counted.
+  using StageFn = std::function<Result<std::uint64_t>(const std::string&)>;
+
+  struct Options {
+    /// Repair bandwidth cap in bytes/sec (0 = uncapped).
+    double bandwidth_bps = 0;
+    /// Repair tasks popped per queue visit.
+    std::size_t batch_files = 4;
+    /// Idle poll interval when the queue is empty or the node is down.
+    Duration poll = Millis(2);
+  };
+
+  struct PumpStats {
+    std::uint64_t staged_files = 0;
+    std::uint64_t staged_bytes = 0;
+    std::uint64_t skipped = 0;  ///< stale tasks (ownership moved on, etc.)
+  };
+
+  RestagePump(FileDirectory& directory, int node, StageFn stage);
+  RestagePump(FileDirectory& directory, int node, StageFn stage,
+              Options options);
+  ~RestagePump();
+
+  RestagePump(const RestagePump&) = delete;
+  RestagePump& operator=(const RestagePump&) = delete;
+
+  /// Stop draining and join the pump thread. Idempotent.
+  void Stop();
+
+  [[nodiscard]] PumpStats stats() const;
+
+ private:
+  void Run();
+
+  FileDirectory& directory_;
+  const int node_;
+  StageFn stage_;
+  Options options_;
+
+  std::atomic<bool> stop_{false};
+  std::atomic<std::uint64_t> staged_files_{0};
+  std::atomic<std::uint64_t> staged_bytes_{0};
+  std::atomic<std::uint64_t> skipped_{0};
+  std::thread thread_;
+};
+
+}  // namespace monarch::cluster

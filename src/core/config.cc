@@ -181,6 +181,31 @@ Status ApplyPeerKey(ParsedPeer& peer, const std::string& key,
                                   ": replication must be >= 1");
     }
     peer.replication = static_cast<int>(n);
+  } else if (key == "restage_bandwidth") {
+    MONARCH_ASSIGN_OR_RETURN(peer.restage_bandwidth_bps,
+                             ParseByteSize(value));
+  } else if (key == "max_failover_holders") {
+    MONARCH_ASSIGN_OR_RETURN(const std::uint64_t n, ParseU64(value, line_no));
+    if (n == 0) {
+      return InvalidArgumentError("line " + std::to_string(line_no) +
+                                  ": max_failover_holders must be >= 1");
+    }
+    peer.max_failover_holders = static_cast<int>(n);
+  } else if (key == "quarantine_failures") {
+    MONARCH_ASSIGN_OR_RETURN(const std::uint64_t n, ParseU64(value, line_no));
+    if (n == 0) {
+      return InvalidArgumentError("line " + std::to_string(line_no) +
+                                  ": quarantine_failures must be >= 1");
+    }
+    peer.quarantine_failures = static_cast<int>(n);
+  } else if (key == "churn_detection_lag_us") {
+    MONARCH_ASSIGN_OR_RETURN(peer.churn_detection_lag_us,
+                             ParseU64(value, line_no));
+  } else if (key == "churn_random_kills") {
+    MONARCH_ASSIGN_OR_RETURN(peer.churn_random_kills,
+                             ParseU64(value, line_no));
+  } else if (key == "churn_seed") {
+    MONARCH_ASSIGN_OR_RETURN(peer.churn_seed, ParseU64(value, line_no));
   } else {
     return InvalidArgumentError("line " + std::to_string(line_no) +
                                 ": unknown peer key '" + key + "'");
@@ -462,6 +487,12 @@ std::vector<ConfigKeyInfo> ConfigKeyCatalogue() {
       {"peer", "interconnect_latency_us", "150"},
       {"peer", "directory_shards", "16"},
       {"peer", "replication", "1"},
+      {"peer", "restage_bandwidth", "0"},
+      {"peer", "max_failover_holders", "2"},
+      {"peer", "quarantine_failures", "3"},
+      {"peer", "churn_detection_lag_us", "0"},
+      {"peer", "churn_random_kills", "0"},
+      {"peer", "churn_seed", "42"},
       {"checkpoint", "enabled", "true"},
       {"checkpoint", "dir", "ckpt"},
       {"checkpoint", "keep_last", "3"},

@@ -99,6 +99,22 @@ struct ParsedPeer {
   std::uint64_t directory_shards = 16;
   /// Distinct owner nodes staging each file.
   int replication = 1;
+  /// Per-node replication-repair bandwidth cap, bytes/second (byte-size
+  /// syntax; 0 = uncapped). Bounds cluster::RestagePump after churn.
+  std::uint64_t restage_bandwidth_bps = 0;
+  /// Distinct holders a peer read tries before the failure escapes to
+  /// the degradation ladder (1 = no replica failover).
+  int max_failover_holders = 2;
+  /// Consecutive transfer failures before a holder is quarantined from
+  /// holder selection.
+  int quarantine_failures = 3;
+  /// Churn harness (dlsim): how long after a node leaves the fabric the
+  /// directory notices and retracts it — the replica-failover window.
+  std::uint64_t churn_detection_lag_us = 0;
+  /// Seeded random kill/revive pairs injected per run (0 = scripted
+  /// schedule only) and their seed.
+  std::uint64_t churn_random_kills = 0;
+  std::uint64_t churn_seed = 42;
 };
 
 /// `[checkpoint]` section (ISSUE 5): write-back checkpoint tier. Engine-

@@ -366,8 +366,13 @@ Result<std::size_t> Monarch::ReadImpl(const std::string& name,
   // full reads stage).
   // Shard ownership (ISSUE 4): with a peer view installed, each node
   // stages only the files it owns — demand reads of peer-owned files go
-  // owner-first / PFS-second and never trigger local staging.
-  if (level == pfs && !placement_->stopped() &&
+  // owner-first / PFS-second and never trigger local staging. A read
+  // served by a PEER still stages when this node is an owner (ISSUE 7):
+  // with replication > 1 the later owners' reads are satisfied by the
+  // first owner's copy, and without this their replicas would never
+  // materialise — the donated bytes mean the copy costs no extra PFS
+  // traffic.
+  if ((level == pfs || level == peer) && !placement_->stopped() &&
       (config_.peer_view == nullptr ||
        config_.peer_view->ShouldStageLocally(name))) {
     // An offset-0 read (file open) re-arms a file whose last demand
@@ -552,6 +557,44 @@ std::uint64_t Monarch::Prestage(bool block) {
   }
   if (block) placement_->Drain();
   return scheduled;
+}
+
+Result<std::uint64_t> Monarch::RestageFile(const std::string& name) {
+  if (placement_->stopped()) return std::uint64_t{0};
+  // Ownership may have shifted again since the repair task was queued —
+  // re-check the gate at drain time, not enqueue time.
+  if (config_.peer_view != nullptr &&
+      !config_.peer_view->ShouldStageLocally(name)) {
+    return std::uint64_t{0};
+  }
+  FileInfoPtr info = metadata_.Lookup(name);
+  if (!info) {
+    return NotFoundError("restage of unindexed file '" + name + "'");
+  }
+  if (!info->TryBeginFetch()) return std::uint64_t{0};
+  const std::uint64_t size = info->size;
+  // Repair rides the PREFETCH lane: the two-lane pipeline guarantees it
+  // parks behind demand staging and respects the in-flight byte caps.
+  placement_->SchedulePlacement(std::move(info), std::nullopt,
+                                StagingLane::kPrefetch);
+  return size;
+}
+
+std::uint64_t Monarch::ReadvertisePlacedCopies() {
+  if (config_.peer_view == nullptr) return 0;
+  std::uint64_t readvertised = 0;
+  for (const auto& entry : metadata_.Snapshot()) {
+    if (entry.state != PlacementState::kPlaced) continue;
+    FileInfoPtr info = metadata_.Lookup(entry.name);
+    if (!info ||
+        info->state.load(std::memory_order_acquire) != PlacementState::kPlaced) {
+      continue;
+    }
+    config_.peer_view->OnStaged(entry.name,
+                                info->level.load(std::memory_order_acquire));
+    ++readvertised;
+  }
+  return readvertised;
 }
 
 void Monarch::StopPlacement() noexcept {

@@ -171,6 +171,22 @@ class Monarch {
   /// Returns the number of files scheduled.
   std::uint64_t Prestage(bool block = true);
 
+  /// Replication repair after membership churn (ISSUE 7): claim `name`
+  /// if this node now owns it (per the peer view), it is indexed, and it
+  /// is still PFS-resident, then schedule a PREFETCH-lane copy — repair
+  /// traffic rides the speculative lane and can never starve demand
+  /// staging. Returns the bytes scheduled (0 = nothing to do: not owned,
+  /// already placed/fetching, or placement stopped). Driven by
+  /// cluster::RestagePump at bounded rate.
+  Result<std::uint64_t> RestageFile(const std::string& name);
+
+  /// Re-publish every currently-placed local copy to the peer view — a
+  /// revived node's surviving copies re-enter the cluster directory
+  /// (its advertisements were retracted when it was marked down).
+  /// Returns the number of copies re-advertised. No-op without a peer
+  /// view.
+  std::uint64_t ReadvertisePlacedCopies();
+
   /// Stop new placements (integration layer may call this at the end of
   /// the first epoch; optional — placement also self-terminates when the
   /// tiers fill or every file is placed).

@@ -1,19 +1,136 @@
 #include "dlsim/cluster.h"
 
+#include <algorithm>
+#include <chrono>
+#include <condition_variable>
 #include <mutex>
 #include <thread>
 
 #include "cluster/peer_group.h"
+#include "cluster/restage_pump.h"
 #include "dlsim/monarch_opener.h"
 #include "dlsim/record_opener.h"
 #include "storage/device_model.h"
 #include "storage/engine_factory.h"
 #include "storage/posix_engine.h"
 #include "storage/throttled_engine.h"
+#include "util/rng.h"
 
 namespace monarch::dlsim {
 
 namespace fs = std::filesystem;
+
+namespace {
+
+/// Shared churn state: the cluster-wide file-open counter the schedule
+/// keys off, and a per-node read gate. A down node's reader threads park
+/// in AwaitUp — the trainer pauses mid-epoch and resumes on revive, so it
+/// still consumes every sample (digest-comparable against no-churn runs).
+class ChurnGate {
+ public:
+  explicit ChurnGate(int nodes) : down_(static_cast<std::size_t>(nodes), 0) {}
+
+  void CountOpen() {
+    opens_.fetch_add(1, std::memory_order_relaxed);
+  }
+  [[nodiscard]] std::uint64_t opens() const {
+    return opens_.load(std::memory_order_relaxed);
+  }
+
+  void SetDown(int node, bool down) {
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      down_[static_cast<std::size_t>(node)] = down ? 1 : 0;
+    }
+    cv_.notify_all();
+  }
+
+  void AwaitUp(int node) {
+    std::unique_lock<std::mutex> lock(mu_);
+    cv_.wait(lock, [&] {
+      return released_ || down_[static_cast<std::size_t>(node)] == 0;
+    });
+  }
+
+  /// End-of-run failsafe: unblock every parked reader unconditionally.
+  void ReleaseAll() {
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      released_ = true;
+    }
+    cv_.notify_all();
+  }
+
+ private:
+  std::atomic<std::uint64_t> opens_{0};
+  std::mutex mu_;
+  std::condition_variable cv_;
+  std::vector<char> down_;
+  bool released_ = false;
+};
+
+/// Byte-source wrapper parking every ReadAt while the node is down: a
+/// crashed trainer freezes instantly, mid-file included — it must not
+/// keep dialing the dead fabric from sources opened before the kill.
+class GatedSource final : public tfrecord::RandomAccessSource {
+ public:
+  GatedSource(tfrecord::RandomAccessSourcePtr inner,
+              std::shared_ptr<ChurnGate> gate, int node)
+      : inner_(std::move(inner)), gate_(std::move(gate)), node_(node) {}
+
+  Result<std::size_t> ReadAt(std::uint64_t offset,
+                             std::span<std::byte> dst) override {
+    gate_->AwaitUp(node_);
+    return inner_->ReadAt(offset, dst);
+  }
+  Result<std::uint64_t> Size() override { return inner_->Size(); }
+  [[nodiscard]] std::string Name() const override { return inner_->Name(); }
+
+ private:
+  tfrecord::RandomAccessSourcePtr inner_;
+  std::shared_ptr<ChurnGate> gate_;
+  const int node_;
+};
+
+/// Wraps a node's opener with its churn gate: every Open first waits out
+/// any outage of the node, then ticks the cluster-wide open counter that
+/// drives the event schedule.
+class GatedOpener final : public RecordFileOpener {
+ public:
+  GatedOpener(RecordFileOpenerPtr inner, std::shared_ptr<ChurnGate> gate,
+              int node)
+      : inner_(std::move(inner)), gate_(std::move(gate)), node_(node) {}
+
+  Result<tfrecord::RandomAccessSourcePtr> Open(
+      const std::string& path) override {
+    gate_->AwaitUp(node_);
+    gate_->CountOpen();
+    MONARCH_ASSIGN_OR_RETURN(tfrecord::RandomAccessSourcePtr source,
+                             inner_->Open(path));
+    return tfrecord::RandomAccessSourcePtr(std::make_unique<GatedSource>(
+        std::move(source), gate_, node_));
+  }
+
+  void OnEpochStart(int epoch) override { inner_->OnEpochStart(epoch); }
+  void OnEpochOrder(const std::vector<std::string>& order) override {
+    inner_->OnEpochOrder(order);
+  }
+  void OnRunSchedule(
+      const std::vector<std::vector<std::string>>& epochs) override {
+    inner_->OnRunSchedule(epochs);
+  }
+
+  [[nodiscard]] std::string Name() const override {
+    return "gated:" + inner_->Name();
+  }
+
+ private:
+  RecordFileOpenerPtr inner_;
+  std::shared_ptr<ChurnGate> gate_;
+  const int node_;
+};
+
+}  // namespace
 
 double ClusterResult::MeanEpochSeconds() const {
   double total = 0;
@@ -82,8 +199,52 @@ Result<ClusterResult> RunClusterExperiment(const fs::path& pfs_root,
         Micros(static_cast<std::int64_t>(config.interconnect_latency_us));
     peer_options.directory_shards = config.directory_shards;
     peer_options.replication = config.peer_replication;
+    peer_options.deferred_nodes = config.deferred_join_nodes;
     peer_group =
         std::make_unique<cluster::PeerGroup>(config.num_jobs, peer_options);
+  }
+
+  // The chaos schedule: scripted events plus seeded random kill/revive
+  // pairs, all keyed to the cluster-wide open counter. Random kills land
+  // between 15% and 70% of the run's expected opens and revive half an
+  // epoch's worth of opens later.
+  std::vector<ChurnEvent> schedule = config.churn_schedule;
+  if (peer_group && config.churn_random_kills > 0) {
+    Xoshiro256 rng(config.churn_seed);
+    const std::uint64_t opens_per_epoch =
+        manifest.file_paths.size() *
+        static_cast<std::uint64_t>(config.num_jobs);
+    const std::uint64_t total_opens =
+        opens_per_epoch * static_cast<std::uint64_t>(config.epochs);
+    for (int i = 0; i < config.churn_random_kills; ++i) {
+      ChurnEvent kill;
+      kill.kind = ChurnKind::kKill;
+      kill.node = static_cast<int>(
+          rng.NextBounded(static_cast<std::uint64_t>(config.num_jobs)));
+      kill.after_opens =
+          total_opens * 15 / 100 +
+          rng.NextBounded(std::max<std::uint64_t>(total_opens * 55 / 100, 1));
+      ChurnEvent revive;
+      revive.kind = ChurnKind::kRevive;
+      revive.node = kill.node;
+      revive.after_opens = kill.after_opens + opens_per_epoch / 2;
+      schedule.push_back(kill);
+      schedule.push_back(revive);
+    }
+    std::stable_sort(schedule.begin(), schedule.end(),
+                     [](const ChurnEvent& a, const ChurnEvent& b) {
+                       return a.after_opens < b.after_opens;
+                     });
+  }
+  const bool churn_active =
+      peer_group && (!schedule.empty() || !config.deferred_join_nodes.empty());
+  std::shared_ptr<ChurnGate> gate;
+  if (churn_active) {
+    gate = std::make_shared<ChurnGate>(config.num_jobs);
+    // Deferred members read nothing until their join event fires.
+    for (const int node : config.deferred_join_nodes) {
+      gate->SetDown(node, true);
+    }
   }
 
   struct Job {
@@ -131,12 +292,38 @@ Result<ClusterResult> RunClusterExperiment(const fs::path& pfs_root,
       MONARCH_ASSIGN_OR_RETURN(
           job.monarch, core::Monarch::Create(std::move(monarch_config)));
       opener = std::make_unique<MonarchOpener>(*job.monarch);
+      if (gate) {
+        opener = std::make_unique<GatedOpener>(std::move(opener), gate, j);
+      }
     } else {
       opener = std::make_unique<EngineOpener>(job.pfs_engine);
     }
     job.trainer = std::make_unique<Trainer>(manifest.file_paths,
                                             std::move(opener), tc);
   }
+
+  // Replication repair: one bounded-rate pump per node drains the
+  // directory's re-staging queue through that node's prefetch lane.
+  std::vector<std::unique_ptr<cluster::RestagePump>> pumps;
+  if (peer_group) {
+    cluster::RestagePump::Options pump_options;
+    pump_options.bandwidth_bps = config.restage_bandwidth_bps;
+    for (int j = 0; j < config.num_jobs; ++j) {
+      core::Monarch* monarch = jobs[static_cast<std::size_t>(j)].monarch.get();
+      if (monarch == nullptr) continue;
+      pumps.push_back(std::make_unique<cluster::RestagePump>(
+          peer_group->directory(), j,
+          [monarch](const std::string& name) {
+            return monarch->RestageFile(name);
+          },
+          pump_options));
+    }
+  }
+
+  obs::Counter* failover_counter = obs::MetricsRegistry::Global().GetCounter(
+      "net.peer_failover", "ops",
+      "peer reads rescued by another live holder after a replica failed");
+  const std::uint64_t failovers_before = failover_counter->Value();
 
   // Run every job on its own host thread (a "compute node").
   std::vector<Result<TrainingResult>> outcomes(
@@ -148,7 +335,84 @@ Result<ClusterResult> RunClusterExperiment(const fs::path& pfs_root,
     threads.emplace_back(
         [&, j] { outcomes[j] = jobs[j].trainer->Train(); });
   }
+
+  // The chaos driver: fires each scheduled event once the open counter
+  // crosses its threshold. If the counter stalls (every remaining reader
+  // is parked behind a gate, or training already finished) the next event
+  // fires anyway — a revive must not deadlock against the outage it ends.
+  std::uint64_t events_fired = 0;
+  std::thread churn_driver;
+  std::atomic<bool> training_done{false};
+  if (churn_active) {
+    churn_driver = std::thread([&] {
+      using namespace std::chrono_literals;
+      constexpr auto kStallWindow = 700ms;
+      for (const ChurnEvent& event : schedule) {
+        std::uint64_t last_opens = gate->opens();
+        auto last_progress = std::chrono::steady_clock::now();
+        while (gate->opens() < event.after_opens &&
+               !training_done.load(std::memory_order_acquire)) {
+          std::this_thread::sleep_for(2ms);
+          const std::uint64_t now_opens = gate->opens();
+          const auto now = std::chrono::steady_clock::now();
+          if (now_opens != last_opens) {
+            last_opens = now_opens;
+            last_progress = now;
+          } else if (now - last_progress > kStallWindow) {
+            break;  // stalled: fire the event to unwedge the cluster
+          }
+        }
+        switch (event.kind) {
+          case ChurnKind::kKill:
+            // Park the node's readers and take it off the fabric FIRST;
+            // the directory retraction follows after the modelled
+            // detection lag — in that window survivors still resolve the
+            // dead holder, time out, and fail over to a replica.
+            gate->SetDown(event.node, true);
+            peer_group->network()->SetNodeDown(event.node, true);
+            if (config.churn_detection_lag_us > 0) {
+              std::this_thread::sleep_for(std::chrono::microseconds(
+                  config.churn_detection_lag_us));
+            }
+            peer_group->KillNode(event.node);
+            break;
+          case ChurnKind::kRevive: {
+            // Re-advertise the copies that survived on the node's local
+            // tier BEFORE rejoining, so the rejoin delta only repairs
+            // what was actually lost.
+            core::Monarch* monarch =
+                jobs[static_cast<std::size_t>(event.node)].monarch.get();
+            if (monarch != nullptr) monarch->ReadvertisePlacedCopies();
+            peer_group->ReviveNode(event.node);
+            gate->SetDown(event.node, false);
+            break;
+          }
+          case ChurnKind::kJoin:
+            peer_group->JoinNode(event.node);
+            gate->SetDown(event.node, false);
+            break;
+        }
+        ++events_fired;
+      }
+    });
+  }
+
   for (std::thread& t : threads) t.join();
+  training_done.store(true, std::memory_order_release);
+  if (churn_driver.joinable()) churn_driver.join();
+  if (gate) gate->ReleaseAll();
+
+  // Let the repair pumps finish the queued re-staging before stopping
+  // them — replication should be restored by the time we report health.
+  if (peer_group) {
+    const auto drain_deadline =
+        std::chrono::steady_clock::now() + std::chrono::seconds(3);
+    while (peer_group->directory().RestageQueueDepth() > 0 &&
+           std::chrono::steady_clock::now() < drain_deadline) {
+      std::this_thread::sleep_for(std::chrono::milliseconds(5));
+    }
+    for (auto& pump : pumps) pump->Stop();
+  }
 
   ClusterResult result;
   for (std::size_t j = 0; j < jobs.size(); ++j) {
@@ -170,6 +434,16 @@ Result<ClusterResult> RunClusterExperiment(const fs::path& pfs_root,
   if (peer_group) {
     result.peer_transfers = peer_group->network()->transfers();
     result.peer_bytes = peer_group->network()->bytes_transferred();
+    result.churn_events_fired = events_fired;
+    result.membership_version = peer_group->directory().membership_version();
+    result.restage_enqueued =
+        peer_group->directory().restage_enqueued_total();
+    result.restage_completed =
+        peer_group->directory().restage_completed_total();
+    result.restage_queue_end = peer_group->directory().RestageQueueDepth();
+    result.rpc_timeouts = peer_group->network()->rpc_timeouts();
+    result.peer_failovers = failover_counter->Value() - failovers_before;
+    result.replication = peer_group->directory().CheckReplication();
   }
   return result;
 }

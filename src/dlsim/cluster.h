@@ -28,6 +28,18 @@
 
 namespace monarch::dlsim {
 
+/// One scripted membership transition for the chaos harness (ISSUE 7).
+/// Events fire in schedule order once the cluster-wide cumulative
+/// file-open count reaches `after_opens` — a deterministic clock (wall
+/// time varies run to run; the number of record files opened does not).
+enum class ChurnKind { kKill, kRevive, kJoin };
+
+struct ChurnEvent {
+  ChurnKind kind = ChurnKind::kKill;
+  int node = 0;
+  std::uint64_t after_opens = 0;
+};
+
 struct ClusterConfig {
   int num_jobs = 2;
   bool use_monarch = true;
@@ -54,6 +66,27 @@ struct ClusterConfig {
   std::uint64_t interconnect_latency_us = 150;
   std::size_t directory_shards = 16;
   int peer_replication = 1;
+
+  /// Node churn (ISSUE 7; `[peer]` churn_* keys). While a node is down
+  /// its reads gate — the trainer pauses and resumes on revive — so every
+  /// job still consumes every sample and per-epoch digests stay
+  /// comparable against a churn-free run. Killed nodes vanish from
+  /// holder resolution; survivors repair replication through per-node
+  /// RestagePumps on the prefetch lane.
+  std::vector<ChurnEvent> churn_schedule;
+  /// Extra seeded random kill/revive pairs appended to the schedule.
+  int churn_random_kills = 0;
+  std::uint64_t churn_seed = 42;
+  /// Nodes that start OUTSIDE the ring and enter it via a kJoin event
+  /// (their reads gate until the join fires).
+  std::vector<int> deferred_join_nodes;
+  /// Per-node repair-copy bandwidth cap in bytes/sec (0 = uncapped).
+  double restage_bandwidth_bps = 0;
+  /// Failure-detection lag: a kill takes the node off the fabric
+  /// immediately but retracts it from the directory only this much
+  /// later — the window where survivors still dial the dead holder,
+  /// time out, and exercise the replica-failover rung.
+  std::uint64_t churn_detection_lag_us = 0;
 };
 
 struct JobResult {
@@ -70,6 +103,16 @@ struct ClusterResult {
   /// Interconnect totals (zero when peer_sharing is off).
   std::uint64_t peer_transfers = 0;
   std::uint64_t peer_bytes = 0;
+
+  // Churn outcome (defaults without churn / peer sharing).
+  std::uint64_t churn_events_fired = 0;
+  std::uint64_t membership_version = 0;
+  std::uint64_t restage_enqueued = 0;
+  std::uint64_t restage_completed = 0;
+  std::uint64_t restage_queue_end = 0;   ///< repair tasks left after drain
+  std::uint64_t rpc_timeouts = 0;        ///< RPCs that dialed a dead node
+  std::uint64_t peer_failovers = 0;      ///< reads rescued by a replica
+  cluster::ReplicationHealth replication;  ///< post-run, post-repair
 
   [[nodiscard]] double MeanEpochSeconds() const;
   [[nodiscard]] double MeanTotalSeconds() const;

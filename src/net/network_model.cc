@@ -23,6 +23,40 @@ NetworkModel::NetworkModel(NetworkProfile profile)
   bytes_transferred_ = registry.GetCounter(
       "net.bytes_transferred", "bytes",
       "bytes moved across the simulated interconnect");
+  rpc_timeouts_ = registry.GetCounter(
+      "net.rpc_timeouts", "ops",
+      "peer RPCs that timed out against a dead or partitioned node");
+}
+
+void NetworkModel::SetNodeDown(int node, bool down) {
+  if (node < 0 || node >= 64) return;
+  const std::uint64_t bit = 1ull << node;
+  if (down) {
+    down_mask_.fetch_or(bit, std::memory_order_relaxed);
+  } else {
+    down_mask_.fetch_and(~bit, std::memory_order_relaxed);
+  }
+}
+
+void NetworkModel::SetPartition(std::uint64_t group_mask) {
+  partition_mask_.store(group_mask, std::memory_order_relaxed);
+}
+
+bool NetworkModel::Reachable(int from, int to) const {
+  const auto side = [](std::uint64_t mask, int node) {
+    return node >= 0 && node < 64 && (mask & (1ull << node)) != 0;
+  };
+  const std::uint64_t down = down_mask_.load(std::memory_order_relaxed);
+  if (side(down, from) || side(down, to)) return false;
+  const std::uint64_t split = partition_mask_.load(std::memory_order_relaxed);
+  if (split == 0 || from < 0 || to < 0) return true;
+  return side(split, from) == side(split, to);
+}
+
+void NetworkModel::ChargeRpcTimeout() {
+  PreciseSleep(profile_.rpc_timeout);
+  timeouts_local_.fetch_add(1, std::memory_order_relaxed);
+  if (rpc_timeouts_ != nullptr) rpc_timeouts_->Increment();
 }
 
 void NetworkModel::ChargeTransfer(std::uint64_t bytes) {

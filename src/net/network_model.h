@@ -32,6 +32,11 @@ struct NetworkProfile {
   double bandwidth_bps = 1.2e9;
   /// Fixed cost of one traversal (request or response) between nodes.
   Duration hop_latency = Micros(150);
+  /// How long a peer RPC to a dead/partitioned node blocks before the
+  /// caller gives up UNAVAILABLE (ISSUE 7 outage injection). Sized like
+  /// a full PFS round trip at simulation scale: failure detection is
+  /// never cheaper than the slow path it protects.
+  Duration rpc_timeout = Micros(1200);
 
   /// HPC-cluster interconnect at simulation scale: ~3x the local-SSD
   /// read bandwidth and ~1/8 the Lustre per-op latency, so a peer hop is
@@ -50,6 +55,28 @@ class NetworkModel {
   /// Block for one metadata round trip (directory lookup, stat).
   void ChargeRpc();
 
+  // ---- fault injection (ISSUE 7) ---------------------------------------
+  // Node outages and fabric partitions are modelled as reachability: a
+  // peer RPC whose endpoint is down or on the far side of a partition
+  // blocks for `rpc_timeout` (ChargeRpcTimeout) and fails UNAVAILABLE at
+  // the caller. Masks cover node ids 0..63 — beyond that nodes are
+  // always reachable (the virtual-time engine will widen this).
+
+  /// Mark `node` dead (true) or alive (false) on the fabric.
+  void SetNodeDown(int node, bool down);
+
+  /// Split the fabric: nodes whose bit is set in `group_mask` can only
+  /// reach each other, likewise the complement. 0 clears the partition.
+  void SetPartition(std::uint64_t group_mask);
+
+  /// Whether a transfer `from` -> `to` can currently cross the fabric.
+  /// Negative ids (unknown endpoint) are always reachable.
+  [[nodiscard]] bool Reachable(int from, int to) const;
+
+  /// Block for the modelled failure-detection timeout of one dead RPC
+  /// and count it (`net.rpc_timeouts`).
+  void ChargeRpcTimeout();
+
   [[nodiscard]] const NetworkProfile& profile() const noexcept {
     return profile_;
   }
@@ -64,14 +91,22 @@ class NetworkModel {
   [[nodiscard]] std::uint64_t bytes_transferred() const noexcept {
     return bytes_local_.load(std::memory_order_relaxed);
   }
+  [[nodiscard]] std::uint64_t rpc_timeouts() const noexcept {
+    return timeouts_local_.load(std::memory_order_relaxed);
+  }
 
  private:
   NetworkProfile profile_;
   RateLimiter bucket_;
   std::atomic<std::uint64_t> transfers_local_{0};
   std::atomic<std::uint64_t> bytes_local_{0};
+  std::atomic<std::uint64_t> timeouts_local_{0};
+  /// Bit n set = node n dead / in partition group (ids ≥ 64 unaffected).
+  std::atomic<std::uint64_t> down_mask_{0};
+  std::atomic<std::uint64_t> partition_mask_{0};
   obs::Counter* transfers_ = nullptr;       ///< `net.transfers`
   obs::Counter* bytes_transferred_ = nullptr;  ///< `net.bytes_transferred`
+  obs::Counter* rpc_timeouts_ = nullptr;    ///< `net.rpc_timeouts`
 };
 
 using NetworkModelPtr = std::shared_ptr<NetworkModel>;

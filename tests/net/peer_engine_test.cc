@@ -3,6 +3,7 @@
 #include <gtest/gtest.h>
 
 #include <memory>
+#include <span>
 #include <string>
 #include <utility>
 #include <vector>
@@ -39,27 +40,51 @@ TEST(NetworkModelTest, ChargeTransferCounts) {
   EXPECT_EQ(3072u, model.bytes_transferred());
 }
 
-/// Resolver over a fixed holder engine; kNotFound when disabled.
+/// Resolver over a fixed list of (node, engine) holders, served in order,
+/// honouring the exclusion list; kNotFound when none remain.
 class FixedResolver final : public PeerEngine::Resolver {
  public:
-  explicit FixedResolver(storage::StorageEnginePtr holder)
-      : holder_(std::move(holder)) {}
-
-  Result<storage::StorageEnginePtr> ResolveHolder(
-      const std::string& path) override {
-    ++resolutions_;
-    if (holder_ == nullptr) {
-      return NotFoundError("no peer holds '" + path + "'");
-    }
-    return holder_;
+  explicit FixedResolver(storage::StorageEnginePtr holder) {
+    if (holder != nullptr) holders_.push_back({1, std::move(holder)});
   }
 
-  void Drop() { holder_ = nullptr; }
+  Result<Holder> ResolveHolder(const std::string& path,
+                               std::span<const int> exclude) override {
+    ++resolutions_;
+    for (const Holder& h : holders_) {
+      bool skipped = false;
+      for (const int node : exclude) {
+        if (node == h.node) {
+          skipped = true;
+          break;
+        }
+      }
+      if (!skipped) return h;
+    }
+    return NotFoundError("no peer holds '" + path + "'");
+  }
+
+  void OnTransferStart(int /*node*/) override { ++starts_; }
+  void OnTransferDone(int /*node*/, bool ok) override {
+    ++dones_;
+    if (!ok) ++failures_;
+  }
+
+  void AddHolder(int node, storage::StorageEnginePtr engine) {
+    holders_.push_back({node, std::move(engine)});
+  }
+  void Drop() { holders_.clear(); }
   [[nodiscard]] int resolutions() const noexcept { return resolutions_; }
+  [[nodiscard]] int starts() const noexcept { return starts_; }
+  [[nodiscard]] int dones() const noexcept { return dones_; }
+  [[nodiscard]] int failures() const noexcept { return failures_; }
 
  private:
-  storage::StorageEnginePtr holder_;
+  std::vector<Holder> holders_;
   int resolutions_ = 0;
+  int starts_ = 0;
+  int dones_ = 0;
+  int failures_ = 0;
 };
 
 struct PeerWorld {
@@ -73,6 +98,7 @@ struct PeerWorld {
   PeerWorld() {
     NetworkProfile profile = NetworkProfile::ClusterInterconnect();
     profile.hop_latency = Micros(0);
+    profile.rpc_timeout = Micros(1);  // keep failover tests fast
     network = std::make_shared<NetworkModel>(profile);
     peer = std::make_unique<PeerEngine>("peer0", resolver, network);
   }
@@ -119,6 +145,63 @@ TEST(PeerEngineTest, WritesAreRejectedReadOnly) {
                      world.peer->WriteAt("data/a.bin", 0, Bytes("x")));
   EXPECT_STATUS_CODE(StatusCode::kFailedPrecondition,
                      world.peer->Delete("data/a.bin"));
+}
+
+TEST(PeerEngineTest, FailoverRescuesReadFromSecondHolder) {
+  PeerWorld world;
+  ASSERT_OK(world.holder->Write("data/a.bin", Bytes("replica payload")));
+  auto backup = std::make_shared<storage::MemoryEngine>("remote-ssd-2");
+  ASSERT_OK(backup->Write("data/a.bin", Bytes("replica payload")));
+  world.resolver->AddHolder(2, backup);
+
+  // Kill the primary holder on the fabric: the first attempt times out,
+  // and the read is rescued by the second replica.
+  world.network->SetNodeDown(1, true);
+  std::vector<std::byte> buffer(15);
+  auto read = world.peer->Read("data/a.bin", 0, buffer);
+  ASSERT_OK(read);
+  EXPECT_EQ("replica payload", Text(buffer));
+  EXPECT_EQ(1u, world.network->rpc_timeouts());
+  EXPECT_EQ(1, world.resolver->failures());
+  EXPECT_EQ(2, world.resolver->starts());
+  EXPECT_EQ(2, world.resolver->dones());
+  // Only the serving replica's device did a read.
+  EXPECT_EQ(0u, world.holder->Stats().Snapshot().read_ops);
+  EXPECT_EQ(1u, backup->Stats().Snapshot().read_ops);
+}
+
+TEST(PeerEngineTest, AllHoldersDownSurfacesUnavailable) {
+  PeerWorld world;
+  ASSERT_OK(world.holder->Write("data/a.bin", Bytes("replica payload")));
+  world.network->SetNodeDown(1, true);
+  std::vector<std::byte> buffer(15);
+  EXPECT_STATUS_CODE(StatusCode::kUnavailable,
+                     world.peer->Read("data/a.bin", 0, buffer));
+  EXPECT_EQ(1u, world.network->rpc_timeouts());
+}
+
+TEST(PeerEngineTest, PartitionSplitsHolderFromReader) {
+  NetworkProfile profile = NetworkProfile::ClusterInterconnect();
+  profile.hop_latency = Micros(0);
+  profile.rpc_timeout = Micros(1);
+  auto network = std::make_shared<NetworkModel>(profile);
+  auto holder = std::make_shared<storage::MemoryEngine>("remote-ssd");
+  ASSERT_OK(holder->Write("data/a.bin", Bytes("island")));
+  auto resolver = std::make_shared<FixedResolver>(holder);
+  PeerEngine::Options options;
+  options.self_node = 0;
+  PeerEngine peer("peer0", resolver, network, options);
+
+  // Nodes {0} vs {1}: reader and holder land on opposite sides.
+  network->SetPartition(1ull << 0);
+  std::vector<std::byte> buffer(6);
+  EXPECT_STATUS_CODE(StatusCode::kUnavailable,
+                     peer.Read("data/a.bin", 0, buffer));
+
+  // Healing the partition restores the read path.
+  network->SetPartition(0);
+  ASSERT_OK(peer.Read("data/a.bin", 0, buffer));
+  EXPECT_EQ("island", Text(buffer));
 }
 
 TEST(PeerEngineTest, MetadataOpsResolveThroughDirectory) {
