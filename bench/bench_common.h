@@ -16,7 +16,9 @@
 // exit — see docs/OBSERVABILITY.md §2.
 #pragma once
 
+#include <atomic>
 #include <cmath>
+#include <cstdint>
 #include <cstdlib>
 #include <cstring>
 #include <filesystem>
@@ -24,6 +26,7 @@
 #include <iostream>
 #include <sstream>
 #include <string>
+#include <thread>
 #include <utility>
 #include <vector>
 
@@ -139,6 +142,59 @@ struct CellResult {
                     static_cast<double>(kMiB));
   }
 };
+
+/// One measured point of a reader-threads sweep
+/// (bench/micro_read_hotpath.cc): throughput over the whole pool plus
+/// the per-op latency distribution.
+struct SweepPoint {
+  int threads = 0;
+  std::uint64_t ops = 0;
+  double seconds = 0;
+  double ops_per_sec = 0;
+  LatencyHistogram::Snapshot latency;
+};
+
+/// Run one sweep point: `threads` workers, each executing
+/// `ops_per_thread` calls of `per_op(thread_index, op_index)` — per_op
+/// must return only once its read has completed. All workers start on a
+/// shared go-signal so the wall clock covers pure steady-state work, and
+/// every op's latency lands in one shared (wait-free) histogram.
+template <typename PerOp>
+SweepPoint RunThreadSweepPoint(int threads, int ops_per_thread,
+                               PerOp&& per_op) {
+  LatencyHistogram histogram;
+  std::atomic<int> ready{0};
+  std::atomic<bool> go{false};
+  std::vector<std::thread> pool;
+  pool.reserve(static_cast<std::size_t>(threads));
+  for (int t = 0; t < threads; ++t) {
+    pool.emplace_back([&, t] {
+      ready.fetch_add(1, std::memory_order_relaxed);
+      while (!go.load(std::memory_order_acquire)) std::this_thread::yield();
+      for (int i = 0; i < ops_per_thread; ++i) {
+        const Stopwatch op_timer;
+        per_op(t, i);
+        histogram.Record(op_timer.Elapsed());
+      }
+    });
+  }
+  while (ready.load(std::memory_order_relaxed) < threads) {
+    std::this_thread::yield();
+  }
+  const Stopwatch wall;
+  go.store(true, std::memory_order_release);
+  for (std::thread& worker : pool) worker.join();
+
+  SweepPoint point;
+  point.threads = threads;
+  point.ops = static_cast<std::uint64_t>(threads) *
+              static_cast<std::uint64_t>(ops_per_thread);
+  point.seconds = wall.ElapsedSeconds();
+  point.ops_per_sec =
+      point.seconds > 0 ? static_cast<double>(point.ops) / point.seconds : 0;
+  point.latency = histogram.TakeSnapshot();
+  return point;
+}
 
 /// "mean±sd" cell text.
 inline std::string MeanSd(const RunningSummary& summary, int precision = 2) {

@@ -1,0 +1,240 @@
+// micro_read_hotpath: the ISSUE-8 acceptance bench for the async
+// zero-copy read lane.
+//
+// An in-memory two-tier MONARCH instance is fully warmed (every file
+// staged on the local memory tier), then the same stream of whole-file
+// reads is pushed through two arms at 1/8/64 reader threads:
+//
+//   sync_copy       each reader thread calls Monarch::Read into a
+//                   private buffer — the pre-ISSUE-8 hot path, one
+//                   memcpy of the whole file per op.
+//   async_zero_copy each reader thread submits lease-mode ops to the
+//                   ReadRing and blocks on the completion callback —
+//                   the bytes are lent (ReadLease over the engine's
+//                   pages), never copied.
+//
+// The acceptance gate (ISSUE 8): at 64 threads the async zero-copy arm
+// must serve >= 2x the sync copying arm's reads/sec, and at 1 thread
+// its p99 latency must be no worse. Exit code 1 when the gate fails so
+// CI can enforce it; BENCH_read_hotpath.json carries the numbers.
+//
+// Knobs: MONARCH_BENCH_HOTPATH_OPS   total ops per sweep point (default 2048)
+//        MONARCH_BENCH_HOTPATH_BYTES file size in bytes (default 1 MiB)
+//        MONARCH_BENCH_HOTPATH_FILES staged files (default 8)
+
+#include <cstddef>
+#include <cstdint>
+#include <future>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "bench_common.h"
+#include "core/monarch.h"
+#include "core/read_ring.h"
+#include "storage/memory_engine.h"
+#include "util/status.h"
+
+namespace monarch::bench {
+namespace {
+
+struct HotpathSetup {
+  std::unique_ptr<core::Monarch> monarch;
+  std::vector<std::string> names;
+  std::size_t file_bytes = 0;
+};
+
+HotpathSetup BuildWarmInstance(int files, std::size_t file_bytes) {
+  auto pfs = std::make_shared<storage::MemoryEngine>("bench-pfs");
+  HotpathSetup setup;
+  setup.file_bytes = file_bytes;
+  for (int i = 0; i < files; ++i) {
+    std::vector<std::byte> payload(file_bytes);
+    for (std::size_t j = 0; j < payload.size(); ++j) {
+      payload[j] = static_cast<std::byte>(
+          (j * 31 + static_cast<std::size_t>(i)) & 0xFF);
+    }
+    const std::string name = "data/f" + std::to_string(i) + ".bin";
+    if (const Status status = pfs->Write(name, payload); !status.ok()) {
+      std::cerr << "read_hotpath: " << status << "\n";
+      std::exit(2);
+    }
+    setup.names.push_back(name);
+  }
+
+  core::MonarchConfig config;
+  config.cache_tiers.push_back(core::TierSpec{
+      "bench-local", std::make_shared<storage::MemoryEngine>("bench-local"),
+      /*quota_bytes=*/static_cast<std::uint64_t>(files + 1) * file_bytes});
+  config.pfs = core::TierSpec{"bench-pfs", std::move(pfs), 0};
+  config.dataset_dir = "data";
+  auto monarch = core::Monarch::Create(std::move(config));
+  if (!monarch.ok()) {
+    std::cerr << "read_hotpath: " << monarch.status() << "\n";
+    std::exit(2);
+  }
+  setup.monarch = std::move(monarch).value();
+
+  // Warm pass: demand-read every file and drain so the whole dataset is
+  // staged on the local tier before either arm starts.
+  std::vector<std::byte> buf(file_bytes);
+  for (const std::string& name : setup.names) {
+    if (auto read = setup.monarch->Read(name, 0, buf); !read.ok()) {
+      std::cerr << "read_hotpath: warm read failed: " << read.status() << "\n";
+      std::exit(2);
+    }
+  }
+  setup.monarch->DrainPlacements();
+  return setup;
+}
+
+SweepPoint RunSyncCopyPoint(HotpathSetup& setup, int threads,
+                            int ops_per_thread) {
+  return RunThreadSweepPoint(threads, ops_per_thread, [&](int t, int i) {
+    thread_local std::vector<std::byte> buf;
+    buf.resize(setup.file_bytes);
+    const std::string& name =
+        setup.names[static_cast<std::size_t>(t * ops_per_thread + i) %
+                    setup.names.size()];
+    if (auto read = setup.monarch->Read(name, 0, buf); !read.ok()) {
+      std::cerr << "read_hotpath: sync read failed: " << read.status() << "\n";
+      std::exit(2);
+    }
+  });
+}
+
+SweepPoint RunAsyncZeroCopyPoint(HotpathSetup& setup, int threads,
+                                 int ops_per_thread) {
+  core::ReadRing& ring = setup.monarch->read_ring();
+  return RunThreadSweepPoint(threads, ops_per_thread, [&](int t, int i) {
+    std::promise<core::ReadCompletion> done;
+    std::future<core::ReadCompletion> future = done.get_future();
+    std::vector<core::ReadOp> ops(1);
+    ops[0].name = setup.names[static_cast<std::size_t>(t * ops_per_thread + i) %
+                              setup.names.size()];
+    ops[0].lease = true;
+    if (ring.Submit(std::move(ops), [&done](core::ReadCompletion c) {
+          done.set_value(std::move(c));
+        }) != 1) {
+      std::cerr << "read_hotpath: ring refused the op\n";
+      std::exit(2);
+    }
+    core::ReadCompletion completion = future.get();
+    if (!completion.bytes.ok() ||
+        completion.lease.size() != setup.file_bytes) {
+      std::cerr << "read_hotpath: async read failed\n";
+      std::exit(2);
+    }
+  });
+}
+
+void PrintSweepTable(const std::string& arm,
+                     const std::vector<SweepPoint>& points) {
+  Table table({"arm", "threads", "ops", "ops_per_sec", "p50_us", "p99_us",
+               "p999_us"});
+  for (const SweepPoint& point : points) {
+    table.AddRow({arm, std::to_string(point.threads),
+                  std::to_string(point.ops),
+                  Table::Num(point.ops_per_sec, 0),
+                  std::to_string(point.latency.p50_us),
+                  std::to_string(point.latency.p99_us),
+                  std::to_string(point.latency.p999_us)});
+  }
+  table.PrintAscii(std::cout);
+}
+
+void AppendPointsJson(std::ostringstream& json, const std::string& arm,
+                      const std::vector<SweepPoint>& points, bool& first) {
+  for (const SweepPoint& point : points) {
+    json << (first ? "" : ",") << "\n    {\"arm\": " << obs::JsonQuote(arm)
+         << ", \"threads\": " << point.threads << ", \"ops\": " << point.ops
+         << ", \"ops_per_sec\": " << JsonNum(point.ops_per_sec)
+         << ", \"p50_us\": " << point.latency.p50_us
+         << ", \"p99_us\": " << point.latency.p99_us
+         << ", \"p999_us\": " << point.latency.p999_us << "}";
+    first = false;
+  }
+}
+
+int Run() {
+  const int total_ops = EnvInt("MONARCH_BENCH_HOTPATH_OPS", 2048);
+  const int file_bytes = EnvInt("MONARCH_BENCH_HOTPATH_BYTES", 1 << 20);
+  const int files = EnvInt("MONARCH_BENCH_HOTPATH_FILES", 8);
+  const std::vector<int> thread_counts{1, 8, 64};
+
+  PrintBanner(std::cout,
+              "micro_read_hotpath: sync copy vs async zero-copy reads (" +
+                  std::to_string(files) + " x " +
+                  FormatByteSize(static_cast<std::uint64_t>(file_bytes)) +
+                  " staged in memory)");
+
+  HotpathSetup setup =
+      BuildWarmInstance(files, static_cast<std::size_t>(file_bytes));
+
+  std::vector<SweepPoint> sync_points;
+  std::vector<SweepPoint> async_points;
+  for (const int threads : thread_counts) {
+    const int ops_per_thread = std::max(1, total_ops / threads);
+    sync_points.push_back(RunSyncCopyPoint(setup, threads, ops_per_thread));
+    async_points.push_back(
+        RunAsyncZeroCopyPoint(setup, threads, ops_per_thread));
+  }
+
+  PrintSweepTable("sync_copy", sync_points);
+  PrintSweepTable("async_zero_copy", async_points);
+
+  const SweepPoint& sync_1t = sync_points.front();
+  const SweepPoint& async_1t = async_points.front();
+  const SweepPoint& sync_64t = sync_points.back();
+  const SweepPoint& async_64t = async_points.back();
+  const double speedup_64t =
+      sync_64t.ops_per_sec > 0 ? async_64t.ops_per_sec / sync_64t.ops_per_sec
+                               : 0;
+  const auto ring_stats = setup.monarch->read_ring().Stats();
+
+  // The acceptance gate: >= 2x reads/sec at 64 threads, p99 no worse at
+  // one thread, and every async op actually took the zero-copy lane.
+  const bool throughput_ok = speedup_64t >= 2.0;
+  const bool p99_ok = async_1t.latency.p99_us <= sync_1t.latency.p99_us;
+  const bool lane_ok = ring_stats.copy_reads == 0 &&
+                       ring_stats.zero_copy_reads >= async_64t.ops;
+
+  std::cout << "\nspeedup at 64 threads: " << Table::Num(speedup_64t, 2)
+            << "x (gate >= 2x)  p99 at 1 thread: async="
+            << async_1t.latency.p99_us << "us sync=" << sync_1t.latency.p99_us
+            << "us  zero-copy hit rate: "
+            << Table::Num(100.0 * ring_stats.zero_copy_hit_rate(), 1) << "%\n"
+            << (throughput_ok && p99_ok && lane_ok ? "GATE PASS" : "GATE FAIL")
+            << "\n";
+
+  std::ostringstream json;
+  json << "{\n  \"bench\": \"read_hotpath\",\n  \"file_bytes\": " << file_bytes
+       << ",\n  \"files\": " << files << ",\n  \"points\": [";
+  bool first = true;
+  AppendPointsJson(json, "sync_copy", sync_points, first);
+  AppendPointsJson(json, "async_zero_copy", async_points, first);
+  json << "\n  ],\n  \"metrics\": {\"speedup_64t\": " << JsonNum(speedup_64t)
+       << ", \"sync_p99_us_1t\": " << sync_1t.latency.p99_us
+       << ", \"async_p99_us_1t\": " << async_1t.latency.p99_us
+       << ", \"zero_copy_hit_rate\": "
+       << JsonNum(ring_stats.zero_copy_hit_rate())
+       << ", \"gate_pass\": " << ((throughput_ok && p99_ok && lane_ok) ? 1 : 0)
+       << "}\n}\n";
+
+  const std::filesystem::path path = BenchJsonPath("read_hotpath");
+  std::ofstream out(path);
+  out << json.str();
+  if (!out) {
+    std::cerr << "bench-json: failed to write " << path << "\n";
+    return 2;
+  }
+  std::cout << "bench-json: wrote " << path.string() << "\n";
+
+  setup.monarch->Shutdown();
+  return throughput_ok && p99_ok && lane_ok ? 0 : 1;
+}
+
+}  // namespace
+}  // namespace monarch::bench
+
+int main() { return monarch::bench::Run(); }

@@ -3,14 +3,17 @@
 # plus the multi-job peer-sharing experiment (ext_multijob), the
 # checkpoint write-back comparison (ext_checkpoint), the node-churn
 # chaos experiment (ext_churn), and the fig4 placement-policy sweep
-# (eviction policies vs overcommit, sweep arm only), producing
+# (eviction policies vs overcommit, sweep arm only), and the async
+# zero-copy read-path gate (micro_read_hotpath), producing
 # BENCH_fig1.json / BENCH_fig3.json / BENCH_ext_multijob.json /
-# BENCH_ext_checkpoint.json / BENCH_ext_churn.json / BENCH_fig4.json
+# BENCH_ext_checkpoint.json / BENCH_ext_churn.json / BENCH_fig4.json /
+# BENCH_read_hotpath.json
 # for quick inspection: the demand-vs-prefetch first-epoch comparison,
 # the vanilla / monarch / monarch-peer PFS-traffic comparison, the
 # direct-PFS vs write-back stall gap, the kill/revive digest and
-# replication-repair check, and the per-policy steady-state hit rates
-# (docs/PLACEMENT.md).
+# replication-repair check, the per-policy steady-state hit rates
+# (docs/PLACEMENT.md), and the sync-copy vs async-zero-copy reads/sec
+# sweep with its >=2x-at-64-threads acceptance gate (ISSUE 8).
 #
 # Usage: scripts/bench_smoke.sh [output-dir]
 #   output-dir   where the BENCH_*.json files land (default: bench-results)
@@ -27,7 +30,8 @@ mkdir -p "$OUT_DIR"
 if [[ ! -x build/bench/fig1_motivation || ! -x build/bench/fig3_full_dataset \
       || ! -x build/bench/ext_multijob || ! -x build/bench/ext_checkpoint \
       || ! -x build/bench/ext_churn \
-      || ! -x build/bench/fig4_partial_dataset ]]; then
+      || ! -x build/bench/fig4_partial_dataset \
+      || ! -x build/bench/micro_read_hotpath ]]; then
   echo "bench binaries missing — build first: cmake -B build && cmake --build build -j" >&2
   exit 1
 fi
@@ -53,9 +57,14 @@ MONARCH_BENCH_EPOCHS=3 ./build/bench/ext_churn
 # Policy-sweep arm only (4 overcommit ratios x 4 eviction policies); the
 # full fig4 figure arms are too slow for a smoke pass.
 MONARCH_FIG4_ARMS=sweep ./build/bench/fig4_partial_dataset
+# Async read-path gate: sync-copy vs async-zero-copy reads/sec at
+# 1/8/64 threads. Exits non-zero when the >=2x-at-64-threads or the
+# p99-no-worse-at-1-thread gate fails, failing the whole smoke pass.
+./build/bench/micro_read_hotpath
 
 echo
 echo "wrote:"
 ls -l "$OUT_DIR"/BENCH_fig1.json "$OUT_DIR"/BENCH_fig3.json \
       "$OUT_DIR"/BENCH_ext_multijob.json "$OUT_DIR"/BENCH_ext_checkpoint.json \
-      "$OUT_DIR"/BENCH_ext_churn.json "$OUT_DIR"/BENCH_fig4.json
+      "$OUT_DIR"/BENCH_ext_churn.json "$OUT_DIR"/BENCH_fig4.json \
+      "$OUT_DIR"/BENCH_read_hotpath.json

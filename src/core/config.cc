@@ -245,6 +245,31 @@ Status ApplyCheckpointKey(ParsedCheckpoint& ckpt, const std::string& key,
   return Status::Ok();
 }
 
+Status ApplyReadKey(ReadRingOptions& read, const std::string& key,
+                    const std::string& value, int line_no) {
+  if (key == "ring_depth") {
+    MONARCH_ASSIGN_OR_RETURN(const std::uint64_t n, ParseU64(value, line_no));
+    if (n == 0) {
+      return InvalidArgumentError("line " + std::to_string(line_no) +
+                                  ": ring_depth must be >= 1");
+    }
+    read.depth = static_cast<int>(n);
+  } else if (key == "worker_threads") {
+    MONARCH_ASSIGN_OR_RETURN(const std::uint64_t n, ParseU64(value, line_no));
+    if (n == 0) {
+      return InvalidArgumentError("line " + std::to_string(line_no) +
+                                  ": worker_threads must be >= 1");
+    }
+    read.worker_threads = static_cast<int>(n);
+  } else if (key == "zero_copy") {
+    MONARCH_ASSIGN_OR_RETURN(read.zero_copy, ParseBool(value, line_no));
+  } else {
+    return InvalidArgumentError("line " + std::to_string(line_no) +
+                                ": unknown read key '" + key + "'");
+  }
+  return Status::Ok();
+}
+
 }  // namespace
 
 Result<ParsedConfig> ParseConfig(const std::string& ini_text) {
@@ -261,7 +286,8 @@ Result<ParsedConfig> ParseConfig(const std::string& ini_text) {
     kPlacement,
     kResilience,
     kPeer,
-    kCheckpoint
+    kCheckpoint,
+    kRead
   };
   Section section = Section::kNone;
   int tier_index = -1;
@@ -297,6 +323,8 @@ Result<ParsedConfig> ParseConfig(const std::string& ini_text) {
         section = Section::kPeer;
       } else if (name == "checkpoint") {
         section = Section::kCheckpoint;
+      } else if (name == "read") {
+        section = Section::kRead;
       } else if (name.starts_with("tier.")) {
         MONARCH_ASSIGN_OR_RETURN(
             const std::uint64_t idx,
@@ -361,6 +389,10 @@ Result<ParsedConfig> ParseConfig(const std::string& ini_text) {
         MONARCH_RETURN_IF_ERROR(
             ApplyCheckpointKey(config.checkpoint, key, value, line_no));
         break;
+      case Section::kRead:
+        MONARCH_RETURN_IF_ERROR(
+            ApplyReadKey(config.read, key, value, line_no));
+        break;
     }
   }
 
@@ -424,6 +456,7 @@ Result<MonarchConfig> BuildMonarchConfig(const ParsedConfig& parsed) {
   config.placement.tier_inflight_cap_bytes = parsed.tier_inflight_cap_bytes;
   config.placement.prefetch_lookahead = parsed.prefetch_lookahead;
   config.resilience = parsed.resilience;
+  config.read = parsed.read;
   MONARCH_ASSIGN_OR_RETURN(
       config.policy,
       MakePlacementPolicyByName(parsed.placement_policy, parsed.policy_knobs));
@@ -493,6 +526,9 @@ std::vector<ConfigKeyInfo> ConfigKeyCatalogue() {
       {"peer", "churn_detection_lag_us", "0"},
       {"peer", "churn_random_kills", "0"},
       {"peer", "churn_seed", "42"},
+      {"read", "ring_depth", "256"},
+      {"read", "worker_threads", "2"},
+      {"read", "zero_copy", "true"},
       {"checkpoint", "enabled", "true"},
       {"checkpoint", "dir", "ckpt"},
       {"checkpoint", "keep_last", "3"},

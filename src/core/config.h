@@ -56,6 +56,11 @@
 //   directory_shards = 16             ; cluster file-directory stripes
 //   replication = 1                   ; owner nodes staging each file
 //
+//   [read]                  ; optional — async read-ring hot path (ISSUE 8)
+//   ring_depth = 256        ; submission-queue capacity (Submit blocks when full)
+//   worker_threads = 2      ; ring workers draining the queue
+//   zero_copy = true        ; lend pages from memory-backed tiers (off = copy)
+//
 //   [checkpoint]            ; optional — write-back checkpoint tier (ISSUE 5)
 //   enabled = true
 //   dir = ckpt                        ; namespace prefix for checkpoint files
@@ -153,6 +158,8 @@ struct ParsedConfig {
   ParsedPeer peer;
   /// `[checkpoint]` section; disabled when the section is absent.
   ParsedCheckpoint checkpoint;
+  /// `[read]` section; ReadRingOptions defaults when absent.
+  ReadRingOptions read;
 };
 
 /// Parse the INI text. Unknown sections/keys are errors (config typos

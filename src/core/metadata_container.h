@@ -8,6 +8,7 @@
 
 #include <cstdint>
 #include <string>
+#include <string_view>
 #include <vector>
 
 #include "core/file_info.h"
@@ -33,8 +34,11 @@ class MetadataContainer {
   /// that appeared after startup). Returns false if already present.
   bool Register(const std::string& name, std::uint64_t size, int pfs_level);
 
-  [[nodiscard]] FileInfoPtr Lookup(const std::string& name) const {
-    return files_.Find(name).value_or(nullptr);
+  /// Hot-path lookup: probes the RCU snapshot with no mutex when the
+  /// namespace is quiescent, and never builds a temporary key — reader
+  /// threads call this once per Read.
+  [[nodiscard]] FileInfoPtr Lookup(std::string_view name) const {
+    return files_.FindFast(name).value_or(nullptr);
   }
 
   [[nodiscard]] bool Contains(const std::string& name) const {
@@ -61,7 +65,7 @@ class MetadataContainer {
   [[nodiscard]] double init_seconds() const noexcept { return init_seconds_; }
 
  private:
-  ShardedMap<std::string, FileInfoPtr> files_{64};
+  ShardedMap<std::string, FileInfoPtr, StringHash, std::equal_to<>> files_{64};
   std::atomic<std::uint64_t> total_bytes_{0};
   double init_seconds_ = 0;
 };

@@ -236,13 +236,15 @@ Monarch::Monarch(MonarchConfig config,
   read_latency_ = registry.GetHistogram(
       "monarch.read.latency_us", "us",
       "end-to-end Monarch::Read latency distribution");
+  // The ring is always constructed (its instruments are part of the
+  // stable catalogue); idle workers cost two parked threads.
+  ring_ = std::make_unique<ReadRing>(*this, config_.read);
   obs_source_ = registry.AddSource([this] { return StatsToSamples(Stats()); });
 }
 
 Monarch::~Monarch() { Shutdown(); }
 
-Result<std::size_t> Monarch::Read(const std::string& name,
-                                  std::uint64_t offset,
+Result<std::size_t> Monarch::Read(std::string_view name, std::uint64_t offset,
                                   std::span<std::byte> dst) {
   // Instrumentation is lock-free: the counters/histogram below are
   // relaxed atomics resolved at construction, and the span costs one
@@ -259,23 +261,59 @@ Result<std::size_t> Monarch::Read(const std::string& name,
   return result;
 }
 
-Result<std::size_t> Monarch::ReadImpl(const std::string& name,
-                                      std::uint64_t offset,
-                                      std::span<std::byte> dst) {
+Result<ReadLease> Monarch::ReadZeroCopy(std::string_view name,
+                                        std::uint64_t offset,
+                                        std::uint64_t max_bytes,
+                                        bool allow_zero_copy) {
+  const obs::TraceSpan span("monarch.read", "core");
+  if (read_requests_ != nullptr) read_requests_->Increment();
+  const Stopwatch timer;
+  auto result = ReadZeroCopyImpl(name, offset, max_bytes, allow_zero_copy);
+  if (result.ok()) {
+    if (read_latency_ != nullptr) read_latency_->Record(timer.Elapsed());
+  } else if (read_errors_ != nullptr) {
+    read_errors_->Increment();
+  }
+  return result;
+}
+
+Result<FileInfoPtr> Monarch::PrepareRead(std::string_view name,
+                                         std::uint64_t offset) {
   FileInfoPtr info = metadata_.Lookup(name);
   if (!info) {
     // File not in the startup namespace: discover it lazily from the PFS
-    // (keeps the middleware usable when files appear mid-job).
+    // (keeps the middleware usable when files appear mid-job). This cold
+    // path is the one place the read path materialises the key.
+    const std::string owned(name);
     MONARCH_ASSIGN_OR_RETURN(const std::uint64_t size,
-                             hierarchy_->Pfs().engine().FileSize(name));
-    metadata_.Register(name, size, hierarchy_->pfs_level());
+                             hierarchy_->Pfs().engine().FileSize(owned));
+    metadata_.Register(owned, size, hierarchy_->pfs_level());
     info = metadata_.Lookup(name);
-    if (!info) return InternalError("metadata race on '" + name + "'");
+    if (!info) return InternalError("metadata race on '" + owned + "'");
   }
 
   info->last_access.store(
       access_clock_.fetch_add(1, std::memory_order_relaxed) + 1,
       std::memory_order_relaxed);
+
+  // Policy bookkeeping at file-visit granularity: the loader reads files
+  // in chunks, so only the offset-0 read marks a new access (the
+  // clairvoyant schedule clock and hotspot counters advance here).
+  if (offset == 0) placement_->NoteAccess(*info);
+  return info;
+}
+
+int Monarch::ServingLevelHint(std::string_view name) const {
+  if (FileInfoPtr info = metadata_.Lookup(name)) {
+    return info->level.load(std::memory_order_relaxed);
+  }
+  return hierarchy_->pfs_level();
+}
+
+Result<std::size_t> Monarch::ReadImpl(std::string_view name,
+                                      std::uint64_t offset,
+                                      std::span<std::byte> dst) {
+  MONARCH_ASSIGN_OR_RETURN(FileInfoPtr info, PrepareRead(name, offset));
 
   // Pin the file for the duration of this read (ISSUE 6): an eviction
   // that claims it while the pin is held reverts and picks another
@@ -285,11 +323,6 @@ Result<std::size_t> Monarch::ReadImpl(const std::string& name,
     FileInfo* file;
     ~PinGuard() { file->read_pins.fetch_sub(1, std::memory_order_acq_rel); }
   } pin_guard{info.get()};
-
-  // Policy bookkeeping at file-visit granularity: the loader reads files
-  // in chunks, so only the offset-0 read marks a new access (the
-  // clairvoyant schedule clock and hotspot counters advance here).
-  if (offset == 0) placement_->NoteAccess(*info);
 
   // ① consult the namespace for the file's current level, ② read from
   // that tier's driver — unless its circuit breaker is open, in which
@@ -307,9 +340,10 @@ Result<std::size_t> Monarch::ReadImpl(const std::string& name,
   // Peer rung (ISSUE 4): a PFS-resident file that another node already
   // staged is closer over the interconnect than on the shared PFS. Route
   // the read to the peer level when the cluster directory advertises a
-  // remote copy and the peer breaker admits requests.
+  // remote copy and the peer breaker admits requests. (`info->name` is
+  // the owned key — no temporary for the directory lookup.)
   if (level == pfs && peer >= 0 && config_.peer_view != nullptr &&
-      config_.peer_view->HasRemoteCopy(name)) {
+      config_.peer_view->HasRemoteCopy(info->name)) {
     if (hierarchy_->Level(peer).health().AllowRequest()) {
       level = peer;
     } else {
@@ -347,9 +381,98 @@ Result<std::size_t> Monarch::ReadImpl(const std::string& name,
   }
   if (!read.ok()) return read;
 
+  FinishRead(info, name, level, offset, read.value(),
+             offset == 0 && read.value() > 0
+                 ? std::span<const std::byte>(dst.data(), read.value())
+                 : std::span<const std::byte>{});
+  return read;
+}
+
+Result<ReadLease> Monarch::ReadZeroCopyImpl(std::string_view name,
+                                            std::uint64_t offset,
+                                            std::uint64_t max_bytes,
+                                            bool allow_zero_copy) {
+  MONARCH_ASSIGN_OR_RETURN(FileInfoPtr info, PrepareRead(name, offset));
+
+  // Same eviction pin as ReadImpl, but on success its ownership moves
+  // into the returned lease — the copy stays pinned until the caller is
+  // done with the lent bytes, not just until this call returns.
+  info->read_pins.fetch_add(1, std::memory_order_acq_rel);
+  bool pin_transferred = false;
+  struct PinGuard {
+    FileInfo* file;
+    const bool* transferred;
+    ~PinGuard() {
+      if (!*transferred) {
+        file->read_pins.fetch_sub(1, std::memory_order_acq_rel);
+      }
+    }
+  } pin_guard{info.get(), &pin_transferred};
+
+  // Same degradation ladder as ReadImpl, running over lent views.
+  const int pfs = hierarchy_->pfs_level();
+  const int peer = hierarchy_->peer_level();
+  int level = info->level.load(std::memory_order_acquire);
+  if (level != pfs && hierarchy_->NextServingLevel(level) != level) {
+    CountDegradedFallback("circuit_open", name, level);
+    level = pfs;
+  }
+  if (level == pfs && peer >= 0 && config_.peer_view != nullptr &&
+      config_.peer_view->HasRemoteCopy(info->name)) {
+    if (hierarchy_->Level(peer).health().AllowRequest()) {
+      level = peer;
+    } else {
+      CountDegradedFallback("circuit_open", name, peer);
+    }
+  }
+
+  auto view =
+      hierarchy_->Level(level).ReadZeroCopy(name, offset, max_bytes,
+                                            allow_zero_copy);
+  if (view.ok() && level != pfs && level != peer &&
+      !VerifyTierRead(info, level, offset, view.value().data(),
+                      view.value().size())) {
+    // The staged copy is corrupt and has been quarantined; drop the
+    // tainted view and re-read the authoritative bytes.
+    CountDegradedFallback("corruption", name, level);
+    level = pfs;
+    view = hierarchy_->Level(level).ReadZeroCopy(name, offset, max_bytes,
+                                                 allow_zero_copy);
+  }
+  if (!view.ok() && level != pfs) {
+    if (level == peer) {
+      CountDegradedFallback(view.status().code() == StatusCode::kNotFound
+                                ? "peer_miss"
+                                : "peer_error",
+                            name, level);
+    } else if (view.status().code() == StatusCode::kNotFound) {
+      if (read_pfs_fallbacks_ != nullptr) read_pfs_fallbacks_->Increment();
+    } else {
+      CountDegradedFallback("tier_error", name, level);
+    }
+    level = pfs;
+    view = hierarchy_->Level(level).ReadZeroCopy(name, offset, max_bytes,
+                                                 allow_zero_copy);
+  }
+  if (!view.ok()) return view.status();
+
+  FinishRead(info, name, level, offset, view.value().size(),
+             offset == 0 ? view.value().data()
+                         : std::span<const std::byte>{});
+  pin_transferred = true;
+  return ReadLease(std::move(view).value(), std::move(info), level);
+}
+
+void Monarch::FinishRead(const FileInfoPtr& info, std::string_view name,
+                         int level, std::uint64_t offset,
+                         std::size_t bytes_read,
+                         std::span<const std::byte> donated) {
+  const int pfs = hierarchy_->pfs_level();
+  const int peer = hierarchy_->peer_level();
+
   auto& counters = *served_[static_cast<std::size_t>(level)];
   counters.reads.fetch_add(1, std::memory_order_relaxed);
-  counters.bytes.fetch_add(read.value(), std::memory_order_relaxed);
+  counters.bytes.fetch_add(bytes_read, std::memory_order_relaxed);
 
   if (level != pfs && info->prefetched.exchange(false)) {
     // First demand read of a copy that a look-ahead hint staged: the
@@ -374,21 +497,21 @@ Result<std::size_t> Monarch::ReadImpl(const std::string& name,
   // traffic.
   if ((level == pfs || level == peer) && !placement_->stopped() &&
       (config_.peer_view == nullptr ||
-       config_.peer_view->ShouldStageLocally(name))) {
+       config_.peer_view->ShouldStageLocally(info->name))) {
     // An offset-0 read (file open) re-arms a file whose last demand
     // staging was refused by the eviction policy; later chunks of the
     // same pass leave the latch alone so one open retries at most once.
     if (offset == 0) info->stage_refused.store(false, std::memory_order_release);
-    const bool full_read = offset == 0 && read.value() == info->size;
+    const bool full_read = offset == 0 && bytes_read == info->size;
     if ((full_read ||
          placement_->options().fetch_full_file_on_partial_read) &&
         !info->stage_refused.load(std::memory_order_acquire)) {
       if (info->TryBeginFetch()) {
         std::optional<std::vector<std::byte>> content;
-        if (offset == 0 && read.value() > 0) {
-          content.emplace(dst.begin(),
-                          dst.begin() + static_cast<std::ptrdiff_t>(
-                                            read.value()));
+        if (offset == 0 && !donated.empty()) {
+          // The copy happens ONLY when a staging task actually claims
+          // the file — never on the per-read hot path.
+          content.emplace(donated.begin(), donated.end());
         }
         placement_->SchedulePlacement(info, std::move(content));
       } else if (info->state.load(std::memory_order_acquire) ==
@@ -406,7 +529,6 @@ Result<std::size_t> Monarch::ReadImpl(const std::string& name,
   if (offset == 0 && hints_active_.load(std::memory_order_acquire)) {
     AdvancePrefetchCursor(name);
   }
-  return read;
 }
 
 bool Monarch::VerifyTierRead(const FileInfoPtr& info, int level,
@@ -427,7 +549,7 @@ bool Monarch::VerifyTierRead(const FileInfoPtr& info, int level,
   return false;
 }
 
-void Monarch::CountDegradedFallback(const char* cause, const std::string& name,
+void Monarch::CountDegradedFallback(const char* cause, std::string_view name,
                                     int level) {
   if (read_degraded_fallbacks_ != nullptr) {
     read_degraded_fallbacks_->Increment();
@@ -491,7 +613,7 @@ void Monarch::InstallRunSchedule(
   placement_->InstallSchedule(sequence);
 }
 
-void Monarch::AdvancePrefetchCursor(const std::string& name) {
+void Monarch::AdvancePrefetchCursor(std::string_view name) {
   bool advanced = false;
   {
     std::lock_guard lock(hint_mu_);
@@ -536,9 +658,9 @@ void Monarch::TopUpPrefetch() {
   }
 }
 
-Result<std::uint64_t> Monarch::FileSize(const std::string& name) {
+Result<std::uint64_t> Monarch::FileSize(std::string_view name) {
   if (FileInfoPtr info = metadata_.Lookup(name)) return info->size;
-  return hierarchy_->Pfs().engine().FileSize(name);
+  return hierarchy_->Pfs().engine().FileSize(std::string(name));
 }
 
 std::uint64_t Monarch::Prestage(bool block) {
@@ -643,6 +765,9 @@ std::uint64_t Monarch::CleanupStagedCopies() {
 void Monarch::Shutdown() {
   if (shut_down_) return;
   shut_down_ = true;
+  // Quiesce the async ring first: queued ops cancel, in-flight ops finish
+  // against a still-fully-alive instance, workers join.
+  if (ring_) ring_->Shutdown();
   if (config_.cleanup_staged_on_shutdown) CleanupStagedCopies();
   placement_->StopScheduling();
   hints_active_.store(false, std::memory_order_release);

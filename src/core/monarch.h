@@ -19,11 +19,13 @@
 #pragma once
 
 #include <cstdint>
+#include <limits>
 #include <memory>
 #include <mutex>
 #include <optional>
 #include <span>
 #include <string>
+#include <string_view>
 #include <unordered_map>
 #include <vector>
 
@@ -31,10 +33,13 @@
 #include "core/peer_view.h"
 #include "core/placement_handler.h"
 #include "core/placement_policy.h"
+#include "core/read_lease.h"
+#include "core/read_ring.h"
 #include "core/resilience.h"
 #include "core/storage_hierarchy.h"
 #include "core/tier_health.h"
 #include "obs/metrics_registry.h"
+#include "util/sharded_map.h"
 #include "util/status.h"
 
 namespace monarch::core {
@@ -75,6 +80,9 @@ struct MonarchConfig {
   /// ephemeral job model). Off by default so post-mortem inspection of
   /// the tiers remains possible.
   bool cleanup_staged_on_shutdown = false;
+  /// Async submission/completion ring over the read path (`[read]` in
+  /// the INI dialect): ring depth, worker pool size, zero-copy lane.
+  ReadRingOptions read;
 };
 
 /// Per-level share of read traffic, for the PFS-pressure tables.
@@ -136,13 +144,35 @@ class Monarch {
   /// The custom read operation that replaces POSIX pread (§III).
   /// Contrary to pread it takes the *filename*, not a descriptor. Returns
   /// bytes read (0 at EOF). Thread-safe; called concurrently by all of
-  /// the framework's reader threads.
-  Result<std::size_t> Read(const std::string& name, std::uint64_t offset,
+  /// the framework's reader threads. Takes string_view — the hot path
+  /// never copies the key (satellite of the async-read tentpole).
+  Result<std::size_t> Read(std::string_view name, std::uint64_t offset,
                            std::span<std::byte> dst);
+
+  /// Zero-copy variant of Read: instead of filling a caller buffer, the
+  /// serving tier lends (memory-backed tiers) or privately copies
+  /// (POSIX-backed tiers) up to `max_bytes` from `offset`, returned as a
+  /// ReadLease that (a) keeps the underlying page alive and (b) holds the
+  /// file's eviction read-pin until released. Runs the same degradation
+  /// ladder, CRC verification, staging triggers, and prefetch-cursor
+  /// bookkeeping as Read. `allow_zero_copy=false` forces the copying
+  /// lane (the benches' A/B lever).
+  Result<ReadLease> ReadZeroCopy(
+      std::string_view name, std::uint64_t offset,
+      std::uint64_t max_bytes = std::numeric_limits<std::uint64_t>::max(),
+      bool allow_zero_copy = true);
 
   /// File size from the virtual namespace (no backend round trip for
   /// indexed files).
-  Result<std::uint64_t> FileSize(const std::string& name);
+  Result<std::uint64_t> FileSize(std::string_view name);
+
+  /// Cheap, possibly-stale serving-level estimate (the ring's per-tier
+  /// coalescing sort key). Unknown files report the PFS level.
+  [[nodiscard]] int ServingLevelHint(std::string_view name) const;
+
+  /// The async submission/completion ring over this instance's read path
+  /// (always constructed; sized by MonarchConfig::read).
+  [[nodiscard]] ReadRing& read_ring() noexcept { return *ring_; }
 
   /// Publish the upcoming read order (a data loader calls this with each
   /// epoch's shuffled file list before reading it). When
@@ -224,8 +254,25 @@ class Monarch {
 
   /// Read() minus instrumentation (Read wraps this with the span, the
   /// request/error counters, and the latency histogram).
-  Result<std::size_t> ReadImpl(const std::string& name, std::uint64_t offset,
+  Result<std::size_t> ReadImpl(std::string_view name, std::uint64_t offset,
                                std::span<std::byte> dst);
+
+  /// ReadZeroCopy() minus instrumentation.
+  Result<ReadLease> ReadZeroCopyImpl(std::string_view name,
+                                     std::uint64_t offset,
+                                     std::uint64_t max_bytes,
+                                     bool allow_zero_copy);
+
+  /// Shared head of both read paths: look up (or lazily register) the
+  /// file, stamp the access clock, and note the policy access.
+  Result<FileInfoPtr> PrepareRead(std::string_view name, std::uint64_t offset);
+
+  /// Shared tail of both read paths: serve counters, prefetch-hit
+  /// bookkeeping, staging trigger, prefetch-cursor advance. `donated`
+  /// holds the leading bytes of an offset-0 read when available.
+  void FinishRead(const FileInfoPtr& info, std::string_view name, int level,
+                  std::uint64_t offset, std::size_t bytes_read,
+                  std::span<const std::byte> donated);
 
   /// Full-file tier reads against a recorded CRC when verify_on_read is
   /// set. Returns false when the copy is corrupt (and quarantines it).
@@ -236,12 +283,12 @@ class Monarch {
   /// could not serve and the PFS absorbed. `cause` is one of
   /// "circuit_open" | "tier_error" | "corruption" | "peer_miss" |
   /// "peer_error".
-  void CountDegradedFallback(const char* cause, const std::string& name,
+  void CountDegradedFallback(const char* cause, std::string_view name,
                              int level);
 
   /// A demand read of `name` landed: advance the prefetch cursor past it
   /// and top up the look-ahead window with new PREFETCH-lane claims.
-  void AdvancePrefetchCursor(const std::string& name);
+  void AdvancePrefetchCursor(std::string_view name);
   /// Claim hinted files in [scheduled, cursor + lookahead) that are still
   /// PFS-only and enqueue them on the prefetch lane. Caller must NOT hold
   /// hint_mu_.
@@ -261,7 +308,10 @@ class Monarch {
   std::atomic<std::uint64_t> prefetch_hits_{0};
   std::mutex hint_mu_;
   std::vector<FileInfoPtr> hinted_order_;               ///< under hint_mu_
-  std::unordered_map<std::string, std::size_t> hint_index_;  ///< under hint_mu_
+  /// under hint_mu_; transparent hash so the read path probes it with a
+  /// string_view (no temporary key)
+  std::unordered_map<std::string, std::size_t, StringHash, std::equal_to<>>
+      hint_index_;
   std::size_t hint_cursor_ = 0;     ///< first hint not yet demand-read
   std::size_t hint_scheduled_ = 0;  ///< first hint not yet claimed
 
@@ -288,6 +338,10 @@ class Monarch {
   std::atomic<std::uint64_t> fallbacks_corruption_{0};
   std::atomic<std::uint64_t> fallbacks_peer_miss_{0};
   std::atomic<std::uint64_t> fallbacks_peer_error_{0};
+
+  // The async submission/completion ring (declared after everything its
+  // workers touch; destroyed — joining the workers — before any of it).
+  std::unique_ptr<ReadRing> ring_;
 
   // Pull source exporting Stats() as `monarch.level.*`/`monarch.placement.*`
   // metrics. Last member: deregisters before the state its callback reads

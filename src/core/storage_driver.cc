@@ -50,12 +50,14 @@ void StorageDriver::CountRetry() noexcept {
   if (retries_ != nullptr) retries_->Increment();
 }
 
-Result<std::size_t> StorageDriver::Read(const std::string& path,
+Result<std::size_t> StorageDriver::Read(std::string_view path,
                                         std::uint64_t offset,
                                         std::span<std::byte> dst) {
   // Salt the jitter stream per (tier, file) so concurrent retries across
   // files don't sleep in lockstep, while staying deterministic per run.
-  Backoff backoff(retry_, std::hash<std::string>{}(name_ + path));
+  // Hashes are combined instead of concatenated — no per-read allocation.
+  Backoff backoff(retry_, std::hash<std::string>{}(name_) ^
+                              std::hash<std::string_view>{}(path));
   for (;;) {
     auto read = engine_->Read(path, offset, dst);
     if (read.ok()) {
@@ -70,6 +72,32 @@ Result<std::size_t> StorageDriver::Read(const std::string& path,
     health_.RecordFailure();
     const auto delay = backoff.NextDelay();
     if (!delay.has_value()) return read;
+    CountRetry();
+    PreciseSleep(*delay);
+  }
+}
+
+Result<storage::ReadView> StorageDriver::ReadZeroCopy(std::string_view path,
+                                                      std::uint64_t offset,
+                                                      std::uint64_t max_bytes,
+                                                      bool allow_zero_copy) {
+  Backoff backoff(retry_, std::hash<std::string>{}(name_) ^
+                              std::hash<std::string_view>{}(path));
+  for (;;) {
+    // The qualified call is the non-virtual base implementation: always a
+    // private copy routed through the engine's own Read.
+    auto view = allow_zero_copy
+                    ? engine_->ReadZeroCopy(path, offset, max_bytes)
+                    : engine_->storage::StorageEngine::ReadZeroCopy(
+                          path, offset, max_bytes);
+    if (view.ok()) {
+      health_.RecordSuccess();
+      return view;
+    }
+    if (!IsRetryableError(view.status())) return view;
+    health_.RecordFailure();
+    const auto delay = backoff.NextDelay();
+    if (!delay.has_value()) return view;
     CountRetry();
     PreciseSleep(*delay);
   }

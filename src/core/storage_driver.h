@@ -13,6 +13,7 @@
 #include <memory>
 #include <span>
 #include <string>
+#include <string_view>
 
 #include "core/resilience.h"
 #include "core/tier_health.h"
@@ -43,8 +44,18 @@ class StorageDriver {
   /// Read through the engine, retrying transient failures per the retry
   /// policy. Every attempt's outcome feeds the tier health tracker;
   /// kNotFound (a legitimate miss or an eviction race) does not.
-  Result<std::size_t> Read(const std::string& path, std::uint64_t offset,
+  Result<std::size_t> Read(std::string_view path, std::uint64_t offset,
                            std::span<std::byte> dst);
+
+  /// Zero-copy read with the same retry/health envelope as Read: the
+  /// engine lends (or copies, if it can't lend) up to `max_bytes` from
+  /// `offset` as an immutable ReadView. `allow_zero_copy == false`
+  /// forces the base copying fallback even on lending engines — the A/B
+  /// lever the read-hotpath bench uses to isolate the memcpy cost.
+  Result<storage::ReadView> ReadZeroCopy(std::string_view path,
+                                         std::uint64_t offset,
+                                         std::uint64_t max_bytes,
+                                         bool allow_zero_copy = true);
 
   /// Write a staged copy, with the same retry/health envelope as Read.
   /// The caller must hold a successful Reserve for data.size() — the

@@ -15,6 +15,10 @@
 #include "tfrecord/random_access_source.h"
 #include "util/status.h"
 
+namespace monarch::core {
+class ReadRing;
+}  // namespace monarch::core
+
 namespace monarch::dlsim {
 
 class RecordFileOpener {
@@ -42,6 +46,11 @@ class RecordFileOpener {
   /// default ignores it.
   virtual void OnRunSchedule(
       const std::vector<std::vector<std::string>>& /*epochs*/) {}
+
+  /// Async submission ring behind this opener's store, or nullptr when
+  /// the backend has none. A loader with `use_read_ring` set pumps
+  /// whole-file lease reads through it instead of calling Open().
+  [[nodiscard]] virtual core::ReadRing* read_ring() { return nullptr; }
 
   [[nodiscard]] virtual std::string Name() const = 0;
 };

@@ -41,11 +41,14 @@ Result<PeerEngine::Resolver::Holder> PeerEngine::ResolveReachable(
   return holder;
 }
 
-Result<std::size_t> PeerEngine::Read(const std::string& path,
+Result<std::size_t> PeerEngine::Read(std::string_view path_view,
                                      std::uint64_t offset,
                                      std::span<std::byte> dst) {
   obs::TraceSpan span("peer.read", "net");
   const Stopwatch timer;
+  // Resolver and failover bookkeeping key by owned string; one copy per
+  // peer read is fine — the fabric transfer dwarfs it.
+  const std::string path(path_view);
   std::vector<int> tried;
   Status last_failure = Status::Ok();
   const int max_holders = std::max(1, options_.max_holders);
@@ -99,6 +102,52 @@ Result<std::size_t> PeerEngine::Read(const std::string& path,
     }
     resolver_->OnTransferDone(holder.node, false);
     last_failure = read.status();
+    tried.push_back(holder.node);
+  }
+  return last_failure;
+}
+
+Result<storage::ReadView> PeerEngine::ReadZeroCopy(std::string_view path_view,
+                                                   std::uint64_t offset,
+                                                   std::uint64_t max_bytes) {
+  obs::TraceSpan span("peer.read", "net");
+  const Stopwatch timer;
+  const std::string path(path_view);
+  std::vector<int> tried;
+  Status last_failure = Status::Ok();
+  const int max_holders = std::max(1, options_.max_holders);
+  for (int attempt = 0; attempt < max_holders; ++attempt) {
+    auto holder_or = resolver_->ResolveHolder(path, tried);
+    if (!holder_or.ok()) {
+      return attempt == 0 ? holder_or.status() : last_failure;
+    }
+    const Resolver::Holder holder = std::move(holder_or).value();
+    resolver_->OnTransferStart(holder.node);
+    if (!network_->Reachable(options_.self_node, holder.node)) {
+      network_->ChargeRpcTimeout();
+      resolver_->OnTransferDone(holder.node, false);
+      last_failure =
+          UnavailableError("peer node " + std::to_string(holder.node) +
+                           " unreachable serving '" + path + "'");
+      tried.push_back(holder.node);
+      continue;
+    }
+    auto view = holder.engine->ReadZeroCopy(path, offset, max_bytes);
+    if (view.ok()) {
+      resolver_->OnTransferDone(holder.node, true);
+      const std::size_t n = view.value().size();
+      network_->ChargeTransfer(n);
+      stats_.RecordRead(n, timer.Elapsed());
+      if (attempt > 0) failovers_->Increment();
+      if (span.active()) {
+        span.set_args_json("\"file\":" + obs::JsonQuote(path) +
+                           ",\"bytes\":" + std::to_string(n) +
+                           ",\"node\":" + std::to_string(holder.node));
+      }
+      return view;
+    }
+    resolver_->OnTransferDone(holder.node, false);
+    last_failure = view.status();
     tried.push_back(holder.node);
   }
   return last_failure;

@@ -68,8 +68,13 @@ class PeerEngine final : public storage::StorageEngine {
   PeerEngine(std::string name, ResolverPtr resolver, NetworkModelPtr network,
              Options options);
 
-  Result<std::size_t> Read(const std::string& path, std::uint64_t offset,
+  Result<std::size_t> Read(std::string_view path, std::uint64_t offset,
                            std::span<std::byte> dst) override;
+  /// Zero-copy peer read: the holder lends its page across the (modelled)
+  /// fabric — the transfer is still charged, but this node never memcpys.
+  Result<storage::ReadView> ReadZeroCopy(std::string_view path,
+                                         std::uint64_t offset,
+                                         std::uint64_t max_bytes) override;
   Status Write(const std::string& path,
                std::span<const std::byte> data) override;
   Status WriteAt(const std::string& path, std::uint64_t offset,

@@ -154,7 +154,7 @@ void MetricsRegistry::PrintText(std::ostream& os) const {
       case MetricKind::kHistogram:
         os << "count=" << s.histogram.count << " p50=" << s.histogram.p50_us
            << " p90=" << s.histogram.p90_us << " p99=" << s.histogram.p99_us
-           << " max=" << s.histogram.max_us;
+           << " p999=" << s.histogram.p999_us << " max=" << s.histogram.max_us;
         break;
     }
     if (!s.unit.empty()) os << " " << s.unit;
@@ -186,6 +186,7 @@ void MetricsRegistry::PrintJson(std::ostream& os) const {
         out += ",\"p50_us\":" + std::to_string(s.histogram.p50_us);
         out += ",\"p90_us\":" + std::to_string(s.histogram.p90_us);
         out += ",\"p99_us\":" + std::to_string(s.histogram.p99_us);
+        out += ",\"p999_us\":" + std::to_string(s.histogram.p999_us);
         out += ",\"max_us\":" + std::to_string(s.histogram.max_us);
         break;
     }

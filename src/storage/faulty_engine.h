@@ -72,10 +72,11 @@ class FaultyEngine final : public StorageEngine {
     return corrupted_.load();
   }
 
-  Result<std::size_t> Read(const std::string& path, std::uint64_t offset,
+  Result<std::size_t> Read(std::string_view path, std::uint64_t offset,
                            std::span<std::byte> dst) override {
     if (ShouldFail(forced_read_failures_, spec_.read_failure_rate)) {
-      return UnavailableError("injected read fault on '" + path + "'");
+      return UnavailableError("injected read fault on '" + std::string(path) +
+                              "'");
     }
     auto read = inner_->Read(path, offset, dst);
     if (read.ok() && read.value() > 0 &&
@@ -87,6 +88,22 @@ class FaultyEngine final : public StorageEngine {
       corrupted_.fetch_add(1);
     }
     return read;
+  }
+
+  Result<ReadView> ReadZeroCopy(std::string_view path, std::uint64_t offset,
+                                std::uint64_t max_bytes) override {
+    // Corruption must never scribble on a lent page (other readers may
+    // hold views of the same bytes), so when corruption is configured the
+    // copying fallback routes through our own Read and flips a byte in
+    // the private copy instead.
+    if (spec_.read_corruption_rate > 0.0 || forced_corruptions_.load() > 0) {
+      return StorageEngine::ReadZeroCopy(path, offset, max_bytes);
+    }
+    if (ShouldFail(forced_read_failures_, spec_.read_failure_rate)) {
+      return UnavailableError("injected read fault on '" + std::string(path) +
+                              "'");
+    }
+    return inner_->ReadZeroCopy(path, offset, max_bytes);
   }
 
   Status Write(const std::string& path,

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cstring>
 #include <mutex>
+#include <utility>
 
 #include "obs/event_tracer.h"
 #include "util/clock.h"
@@ -14,15 +15,21 @@ MemoryEngine::MemoryEngine(std::string name)
       stats_reg_(RegisterIoStats(obs::MetricsRegistry::Global(), name_,
                                  &stats_)) {}
 
-Result<std::size_t> MemoryEngine::Read(const std::string& path,
+Result<std::size_t> MemoryEngine::Read(std::string_view path,
                                        std::uint64_t offset,
                                        std::span<std::byte> dst) {
   const obs::TraceSpan span("storage.read", "storage");
   const Stopwatch timer;
-  std::shared_lock lock(mu_);
-  auto it = files_.find(path);
-  if (it == files_.end()) return NotFoundError("read '" + path + "'");
-  const auto& data = it->second;
+  Buffer buffer;
+  {
+    std::shared_lock lock(mu_);
+    auto it = files_.find(path);
+    if (it == files_.end()) {
+      return NotFoundError("read '" + std::string(path) + "'");
+    }
+    buffer = it->second;  // pin outside the lock; writers swap, not mutate
+  }
+  const auto& data = *buffer;
   if (offset >= data.size()) {
     stats_.RecordRead(0, timer.Elapsed());
     return static_cast<std::size_t>(0);
@@ -36,11 +43,38 @@ Result<std::size_t> MemoryEngine::Read(const std::string& path,
   return n;
 }
 
+Result<ReadView> MemoryEngine::ReadZeroCopy(std::string_view path,
+                                            std::uint64_t offset,
+                                            std::uint64_t max_bytes) {
+  const obs::TraceSpan span("storage.read", "storage");
+  const Stopwatch timer;
+  Buffer buffer;
+  {
+    std::shared_lock lock(mu_);
+    auto it = files_.find(path);
+    if (it == files_.end()) {
+      return NotFoundError("read '" + std::string(path) + "'");
+    }
+    buffer = it->second;
+  }
+  const auto& data = *buffer;
+  std::span<const std::byte> lent;
+  if (offset < data.size()) {
+    const std::size_t n = static_cast<std::size_t>(
+        std::min<std::uint64_t>(max_bytes, data.size() - offset));
+    lent = std::span<const std::byte>(data.data() + offset, n);
+  }
+  stats_.RecordRead(lent.size(), timer.Elapsed());
+  return ReadView(lent, std::move(buffer), /*zero_copy=*/true);
+}
+
 Status MemoryEngine::Write(const std::string& path,
                            std::span<const std::byte> data) {
   const obs::TraceSpan span("storage.write", "storage");
+  auto buffer = std::make_shared<std::vector<std::byte>>(data.begin(),
+                                                         data.end());
   std::unique_lock lock(mu_);
-  files_[path].assign(data.begin(), data.end());
+  files_[path] = std::move(buffer);
   stats_.RecordWrite(data.size());
   return Status::Ok();
 }
@@ -49,11 +83,19 @@ Status MemoryEngine::WriteAt(const std::string& path, std::uint64_t offset,
                              std::span<const std::byte> data) {
   const obs::TraceSpan span("storage.write", "storage");
   std::unique_lock lock(mu_);
-  auto& file = files_[path];
-  if (file.size() < offset + data.size()) file.resize(offset + data.size());
-  if (!data.empty()) {
-    std::memcpy(file.data() + offset, data.data(), data.size());
+  auto& slot = files_[path];
+  // Copy-on-write: outstanding ReadViews pin the old buffer, so never
+  // mutate a buffer that might be lent out — build the new version aside
+  // and swap it in.
+  auto next = slot ? std::make_shared<std::vector<std::byte>>(*slot)
+                   : std::make_shared<std::vector<std::byte>>();
+  if (next->size() < offset + data.size()) {
+    next->resize(offset + data.size());
   }
+  if (!data.empty()) {
+    std::memcpy(next->data() + offset, data.data(), data.size());
+  }
+  slot = std::move(next);
   stats_.RecordWrite(data.size());
   return Status::Ok();
 }
@@ -70,7 +112,7 @@ Result<std::uint64_t> MemoryEngine::FileSize(const std::string& path) {
   stats_.RecordMetadataOp();
   auto it = files_.find(path);
   if (it == files_.end()) return NotFoundError("stat '" + path + "'");
-  return static_cast<std::uint64_t>(it->second.size());
+  return static_cast<std::uint64_t>(it->second->size());
 }
 
 Result<bool> MemoryEngine::Exists(const std::string& path) {
@@ -91,7 +133,7 @@ Result<std::vector<FileStat>> MemoryEngine::ListFiles(const std::string& dir) {
   for (const auto& [path, data] : files_) {
     if (prefix.empty() || path.starts_with(prefix)) {
       stats_.RecordMetadataOp();
-      out.push_back(FileStat{path, data.size()});
+      out.push_back(FileStat{path, data->size()});
     }
   }
   // A key-value namespace has no empty directories: a prefix with no
@@ -106,7 +148,7 @@ Result<std::vector<FileStat>> MemoryEngine::ListFiles(const std::string& dir) {
 std::uint64_t MemoryEngine::TotalBytes() const {
   std::shared_lock lock(mu_);
   std::uint64_t total = 0;
-  for (const auto& [path, data] : files_) total += data.size();
+  for (const auto& [path, data] : files_) total += data->size();
   return total;
 }
 

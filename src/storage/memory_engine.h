@@ -1,8 +1,14 @@
 // In-RAM engine: the persistent-memory/RAM tier the paper's §VI suggests
 // exploring, and the fast backend for unit tests.
+//
+// Files are held as immutable shared buffers so the zero-copy read lane
+// can lend a page span to callers: a ReadView pins the buffer it was cut
+// from, and writers swap in a fresh buffer instead of mutating in place,
+// so a lent span is never recycled mid-read even across Delete/Write.
 #pragma once
 
 #include <map>
+#include <memory>
 #include <shared_mutex>
 #include <string>
 #include <vector>
@@ -15,8 +21,10 @@ class MemoryEngine final : public StorageEngine {
  public:
   explicit MemoryEngine(std::string name = "ram");
 
-  Result<std::size_t> Read(const std::string& path, std::uint64_t offset,
+  Result<std::size_t> Read(std::string_view path, std::uint64_t offset,
                            std::span<std::byte> dst) override;
+  Result<ReadView> ReadZeroCopy(std::string_view path, std::uint64_t offset,
+                                std::uint64_t max_bytes) override;
   Status Write(const std::string& path,
                std::span<const std::byte> data) override;
   Status WriteAt(const std::string& path, std::uint64_t offset,
@@ -33,11 +41,14 @@ class MemoryEngine final : public StorageEngine {
   [[nodiscard]] std::uint64_t TotalBytes() const;
 
  private:
+  using Buffer = std::shared_ptr<const std::vector<std::byte>>;
+
   std::string name_;
   IoStats stats_;
   mutable std::shared_mutex mu_;
-  // Ordered so ListFiles gets sorted output for free.
-  std::map<std::string, std::vector<std::byte>> files_;
+  // Ordered so ListFiles gets sorted output for free; transparent
+  // comparator so string_view lookups don't build a temporary key.
+  std::map<std::string, Buffer, std::less<>> files_;
   // Last member: deregisters from the global MetricsRegistry before
   // stats_ (and files_) are destroyed.
   obs::SourceRegistration stats_reg_;

@@ -53,18 +53,18 @@ PosixEngine::PosixEngine(fs::path root, std::string name)
   fs::create_directories(root_, ec);
 }
 
-fs::path PosixEngine::Resolve(const std::string& path) const {
+fs::path PosixEngine::Resolve(std::string_view path) const {
   return root_ / path;
 }
 
-Result<std::size_t> PosixEngine::Read(const std::string& path,
+Result<std::size_t> PosixEngine::Read(std::string_view path,
                                       std::uint64_t offset,
                                       std::span<std::byte> dst) {
   const obs::TraceSpan span("storage.read", "storage");
   const Stopwatch timer;
   const fs::path full = Resolve(path);
   UniqueFd fd(::open(full.c_str(), O_RDONLY));
-  if (fd.get() < 0) return ErrnoStatus("open", path, errno);
+  if (fd.get() < 0) return ErrnoStatus("open", std::string(path), errno);
 
   std::size_t total = 0;
   while (total < dst.size()) {
@@ -73,7 +73,7 @@ Result<std::size_t> PosixEngine::Read(const std::string& path,
                 static_cast<off_t>(offset + total));
     if (n < 0) {
       if (errno == EINTR) continue;
-      return ErrnoStatus("pread", path, errno);
+      return ErrnoStatus("pread", std::string(path), errno);
     }
     if (n == 0) break;  // EOF
     total += static_cast<std::size_t>(n);

@@ -15,7 +15,7 @@ class PosixEngine final : public StorageEngine {
   /// if missing.
   explicit PosixEngine(std::filesystem::path root, std::string name = "posix");
 
-  Result<std::size_t> Read(const std::string& path, std::uint64_t offset,
+  Result<std::size_t> Read(std::string_view path, std::uint64_t offset,
                            std::span<std::byte> dst) override;
   Status Write(const std::string& path,
                std::span<const std::byte> data) override;
@@ -34,7 +34,7 @@ class PosixEngine final : public StorageEngine {
   }
 
  private:
-  [[nodiscard]] std::filesystem::path Resolve(const std::string& path) const;
+  [[nodiscard]] std::filesystem::path Resolve(std::string_view path) const;
 
   std::filesystem::path root_;
   std::string name_;

@@ -21,7 +21,7 @@ class ThrottledEngine final : public StorageEngine {
         stats_reg_(RegisterIoStats(obs::MetricsRegistry::Global(), Name(),
                                    &stats_)) {}
 
-  Result<std::size_t> Read(const std::string& path, std::uint64_t offset,
+  Result<std::size_t> Read(std::string_view path, std::uint64_t offset,
                            std::span<std::byte> dst) override {
     const Stopwatch timer;
     auto result = inner_->Read(path, offset, dst);
@@ -31,6 +31,19 @@ class ThrottledEngine final : public StorageEngine {
       // latency (the inner engine recorded raw host latency; reporting
       // uses ours).
       stats_.RecordRead(result.value(), timer.Elapsed());
+    }
+    return result;
+  }
+
+  Result<ReadView> ReadZeroCopy(std::string_view path, std::uint64_t offset,
+                                std::uint64_t max_bytes) override {
+    const Stopwatch timer;
+    auto result = inner_->ReadZeroCopy(path, offset, max_bytes);
+    if (result.ok()) {
+      // The device still served the bytes even if no memcpy happened —
+      // zero-copy removes the CPU copy, not the device transfer.
+      device_->ChargeRead(result.value().size());
+      stats_.RecordRead(result.value().size(), timer.Elapsed());
     }
     return result;
   }

@@ -76,6 +76,7 @@ LatencyHistogram::Snapshot LatencyHistogram::TakeSnapshot() const {
   snap.p50_us = percentile(0.50);
   snap.p90_us = percentile(0.90);
   snap.p99_us = percentile(0.99);
+  snap.p999_us = percentile(0.999);
   return snap;
 }
 
@@ -88,14 +89,15 @@ void LatencyHistogram::Reset() noexcept {
 }
 
 std::string LatencyHistogram::Snapshot::ToString() const {
-  char buf[160];
+  char buf[192];
   std::snprintf(buf, sizeof buf,
                 "n=%llu mean=%.1fus p50=%lluus p90=%lluus p99=%lluus "
-                "min=%lluus max=%lluus",
+                "p999=%lluus min=%lluus max=%lluus",
                 static_cast<unsigned long long>(count), mean_us,
                 static_cast<unsigned long long>(p50_us),
                 static_cast<unsigned long long>(p90_us),
                 static_cast<unsigned long long>(p99_us),
+                static_cast<unsigned long long>(p999_us),
                 static_cast<unsigned long long>(min_us),
                 static_cast<unsigned long long>(max_us));
   return buf;

@@ -36,6 +36,7 @@ class LatencyHistogram {
     std::uint64_t p50_us = 0;
     std::uint64_t p90_us = 0;
     std::uint64_t p99_us = 0;
+    std::uint64_t p999_us = 0;
 
     [[nodiscard]] std::string ToString() const;
   };

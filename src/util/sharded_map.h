@@ -3,20 +3,42 @@
 // (§III-C). Striped locking keeps concurrent lookups from the DL
 // framework's reader threads and updates from the placement thread pool
 // from serialising on one mutex.
+//
+// On top of the striped locks each shard publishes an RCU-style immutable
+// snapshot of its table: FindFast() loads it with one atomic acquire and
+// probes without taking any mutex. Mutators invalidate the snapshot; the
+// next FindFast rebuilds it under the shared lock. Because the metadata
+// namespace is append-mostly (files register once, then only their
+// atomics change), the steady-state read path is mutex-free.
 #pragma once
 
+#include <atomic>
 #include <cstddef>
 #include <functional>
+#include <memory>
 #include <mutex>
 #include <optional>
 #include <shared_mutex>
+#include <string>
+#include <string_view>
 #include <unordered_map>
 #include <utility>
 #include <vector>
 
 namespace monarch {
 
-template <typename K, typename V, typename Hash = std::hash<K>>
+/// Transparent string hash: lets unordered_map keyed by std::string be
+/// probed with a string_view (or char*) without building a temporary
+/// std::string — the per-read allocation the hot path must not pay.
+struct StringHash {
+  using is_transparent = void;
+  [[nodiscard]] std::size_t operator()(std::string_view s) const noexcept {
+    return std::hash<std::string_view>{}(s);
+  }
+};
+
+template <typename K, typename V, typename Hash = std::hash<K>,
+          typename Eq = std::equal_to<K>>
 class ShardedMap {
  public:
   /// `shard_count` is rounded up to a power of two (default 16).
@@ -33,7 +55,9 @@ class ShardedMap {
   bool Insert(const K& key, V value) {
     Shard& shard = ShardFor(key);
     std::unique_lock lock(shard.mu);
-    return shard.map.emplace(key, std::move(value)).second;
+    const bool inserted = shard.map.emplace(key, std::move(value)).second;
+    if (inserted) shard.snapshot.store(nullptr, std::memory_order_release);
+    return inserted;
   }
 
   /// Insert or overwrite.
@@ -41,6 +65,7 @@ class ShardedMap {
     Shard& shard = ShardFor(key);
     std::unique_lock lock(shard.mu);
     shard.map.insert_or_assign(key, std::move(value));
+    shard.snapshot.store(nullptr, std::memory_order_release);
   }
 
   /// Copy out the value for `key`, if present.
@@ -49,6 +74,21 @@ class ShardedMap {
     std::shared_lock lock(shard.mu);
     auto it = shard.map.find(key);
     if (it == shard.map.end()) return std::nullopt;
+    return it->second;
+  }
+
+  /// Mutex-free lookup on the RCU snapshot. `key` can be any type the
+  /// map's (transparent) Hash/Eq accept — a string_view probes a
+  /// string-keyed map with no temporary. When the snapshot is stale
+  /// (first call after a mutation) it is rebuilt under the shared lock;
+  /// quiescent callers touch no lock at all.
+  template <typename Key>
+  [[nodiscard]] std::optional<V> FindFast(const Key& key) const {
+    const Shard& shard = ShardFor(key);
+    SnapshotPtr snap = shard.snapshot.load(std::memory_order_acquire);
+    if (!snap) snap = RebuildSnapshot(shard);
+    auto it = snap->find(key);
+    if (it == snap->end()) return std::nullopt;
     return it->second;
   }
 
@@ -62,11 +102,17 @@ class ShardedMap {
   bool Erase(const K& key) {
     Shard& shard = ShardFor(key);
     std::unique_lock lock(shard.mu);
-    return shard.map.erase(key) > 0;
+    const bool erased = shard.map.erase(key) > 0;
+    if (erased) shard.snapshot.store(nullptr, std::memory_order_release);
+    return erased;
   }
 
   /// Apply `fn(V&)` to the mapped value under the shard's exclusive lock.
   /// Returns false when the key is absent (fn not called).
+  /// NOTE: this mutates the mapped value in place, so it also invalidates
+  /// the shard snapshot. Values that only need atomic-field updates (the
+  /// FileInfoPtr pattern) should Find/FindFast the shared_ptr and mutate
+  /// through it instead — that leaves the snapshot intact.
   template <typename Fn>
   bool Update(const K& key, Fn&& fn) {
     Shard& shard = ShardFor(key);
@@ -74,6 +120,7 @@ class ShardedMap {
     auto it = shard.map.find(key);
     if (it == shard.map.end()) return false;
     std::forward<Fn>(fn)(it->second);
+    shard.snapshot.store(nullptr, std::memory_order_release);
     return true;
   }
 
@@ -102,6 +149,7 @@ class ShardedMap {
     for (Shard& shard : shards_) {
       std::unique_lock lock(shard.mu);
       shard.map.clear();
+      shard.snapshot.store(nullptr, std::memory_order_release);
     }
   }
 
@@ -110,15 +158,37 @@ class ShardedMap {
   }
 
  private:
+  using Map = std::unordered_map<K, V, Hash, Eq>;
+  using SnapshotPtr = std::shared_ptr<const Map>;
+
   struct Shard {
     mutable std::shared_mutex mu;
-    std::unordered_map<K, V, Hash> map;
+    Map map;
+    // RCU publication point: an immutable copy of `map`, or nullptr when
+    // a mutation has invalidated it. Readers retire the old copy via
+    // shared_ptr refcounting — the grace period falls out for free.
+    mutable std::atomic<std::shared_ptr<const Map>> snapshot;
+
+    Shard() = default;
+    Shard(const Shard&) = delete;
+    Shard& operator=(const Shard&) = delete;
+    Shard(Shard&&) noexcept {}
+    Shard& operator=(Shard&&) noexcept { return *this; }
   };
 
-  Shard& ShardFor(const K& key) {
+  [[nodiscard]] SnapshotPtr RebuildSnapshot(const Shard& shard) const {
+    std::shared_lock lock(shard.mu);
+    auto snap = std::make_shared<const Map>(shard.map);
+    shard.snapshot.store(snap, std::memory_order_release);
+    return snap;
+  }
+
+  template <typename Key>
+  Shard& ShardFor(const Key& key) {
     return shards_[Hash{}(key) & (shards_.size() - 1)];
   }
-  const Shard& ShardFor(const K& key) const {
+  template <typename Key>
+  const Shard& ShardFor(const Key& key) const {
     return shards_[Hash{}(key) & (shards_.size() - 1)];
   }
 

@@ -72,9 +72,9 @@ class TracingEngine final : public storage::StorageEngine {
   TracingEngine(storage::StorageEnginePtr inner, TraceRecorder& recorder)
       : inner_(std::move(inner)), recorder_(recorder) {}
 
-  Result<std::size_t> Read(const std::string& path, std::uint64_t offset,
+  Result<std::size_t> Read(std::string_view path, std::uint64_t offset,
                            std::span<std::byte> dst) override {
-    recorder_.Record(TraceOp::kRead, path, offset, dst.size());
+    recorder_.Record(TraceOp::kRead, std::string(path), offset, dst.size());
     return inner_->Read(path, offset, dst);
   }
   Status Write(const std::string& path,

@@ -69,7 +69,7 @@ class GateEngine : public storage::StorageEngine {
     return order_;
   }
 
-  Result<std::size_t> Read(const std::string& path, std::uint64_t offset,
+  Result<std::size_t> Read(std::string_view path, std::uint64_t offset,
                            std::span<std::byte> dst) override {
     return inner_->Read(path, offset, dst);
   }

@@ -25,7 +25,7 @@ class FallbackOnlyEngine final : public StorageEngine {
   explicit FallbackOnlyEngine(StorageEnginePtr inner)
       : inner_(std::move(inner)) {}
 
-  Result<std::size_t> Read(const std::string& path, std::uint64_t offset,
+  Result<std::size_t> Read(std::string_view path, std::uint64_t offset,
                            std::span<std::byte> dst) override {
     return inner_->Read(path, offset, dst);
   }
