@@ -1,0 +1,246 @@
+// Metadata flatness at small-file scale (ISSUE 9). The packing tier
+// lets one job index O(10^6) logical files, so the virtual namespace
+// must stay flat: MetadataContainer lookups may not structurally degrade
+// (longer probe chains, rehash stalls, lock convoys) as the entry count
+// grows three orders of magnitude.
+//
+// The sweep registers 1k -> 1M synthetic small-file names and measures
+// per-lookup latency two ways:
+//   steady p99  — repeated random probes over a fixed sample of names
+//                 (post-warmup, so the cost measured is hash + probe +
+//                 snapshot acquire — the data structure itself). This is
+//                 the GATED number: max/min across the sweep must stay
+//                 within MONARCH_META_P99_DRIFT (default 2.0x).
+//   random p99  — single cold probes across the whole namespace,
+//                 reported (not gated) so DRAM-capacity effects stay
+//                 visible in the JSON.
+//
+// Exit codes: 0 ok, 1 gate failed, 2 setup error.
+#include <algorithm>
+#include <cstdint>
+#include <cstdio>
+#include <iostream>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "bench_common.h"
+#include "core/metadata_container.h"
+#include "util/rng.h"
+
+namespace monarch::bench {
+namespace {
+
+constexpr int kPfsLevel = 1;
+constexpr std::size_t kBatches = 256;
+constexpr std::size_t kOpsPerBatch = 512;
+// Steady-state probe set: small enough that the probed buckets, nodes,
+// keys, and refcount lines stay cache-resident at every namespace size,
+// so the gated number isolates the structure (hash + probe + snapshot
+// acquire) from LLC capacity. The ungated random profile uses a bigger,
+// unwarmed pool to keep the capacity effect visible.
+constexpr std::size_t kSteadyPool = 256;
+constexpr std::size_t kRandomPool = 4096;
+
+std::string NameOf(std::uint64_t index) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "data/class_%03llu/img_%07llu.bin",
+                static_cast<unsigned long long>(index % 997),
+                static_cast<unsigned long long>(index));
+  return buf;
+}
+
+struct LookupProfile {
+  double p50_ns = 0;
+  double p99_ns = 0;
+};
+
+/// Run `kBatches` timed batches of `kOpsPerBatch` lookups drawn from
+/// `pool` and return the per-op latency distribution over batch means.
+/// With `reps` > 1 each batch repeats the identical lookup sequence and
+/// keeps the fastest repetition — min-of-repeats removes scheduler
+/// preemption spikes from the tail so p99 reflects the structure, not
+/// the machine. reps=1 keeps first-touch (cold) costs in the numbers.
+LookupProfile ProfileLookups(const core::MetadataContainer& container,
+                             const std::vector<std::string>& pool,
+                             Xoshiro256& rng, int reps,
+                             std::uint64_t* found) {
+  std::vector<std::size_t> indices(kOpsPerBatch);
+  std::vector<double> per_op_ns;
+  per_op_ns.reserve(kBatches);
+  for (std::size_t b = 0; b < kBatches; ++b) {
+    for (std::size_t i = 0; i < kOpsPerBatch; ++i) {
+      indices[i] = rng.NextBounded(pool.size());
+    }
+    double best_ns = 0;
+    for (int rep = 0; rep < reps; ++rep) {
+      const Stopwatch timer;
+      for (const std::size_t idx : indices) {
+        *found += container.Lookup(pool[idx]) != nullptr;
+      }
+      const double ns = ToSeconds(timer.Elapsed()) * 1e9 /
+                        static_cast<double>(kOpsPerBatch);
+      if (rep == 0 || ns < best_ns) best_ns = ns;
+    }
+    per_op_ns.push_back(best_ns);
+  }
+  std::sort(per_op_ns.begin(), per_op_ns.end());
+  LookupProfile profile;
+  profile.p50_ns = per_op_ns[per_op_ns.size() / 2];
+  profile.p99_ns = per_op_ns[per_op_ns.size() * 99 / 100];
+  return profile;
+}
+
+int Run() {
+  BenchEnv env = BenchEnv::FromEnvironment("micro_metadata_scale");
+  const double drift_limit = EnvDouble("MONARCH_META_P99_DRIFT", 2.0);
+  std::cout << "micro_metadata_scale: scale=" << env.scale
+            << " p99 drift gate=" << drift_limit << "x\n";
+
+  std::vector<std::uint64_t> counts;
+  for (const std::uint64_t base : {1'000ULL, 10'000ULL, 100'000ULL,
+                                   1'000'000ULL}) {
+    const auto scaled = static_cast<std::uint64_t>(
+        std::max(1000.0, static_cast<double>(base) * env.scale));
+    if (counts.empty() || counts.back() < scaled) counts.push_back(scaled);
+  }
+
+  PrintBanner(std::cout,
+              "MetadataContainer lookup latency vs namespace size");
+  Table table({"files", "register_s", "reg_files_per_s", "steady_p50_ns",
+               "steady_p99_ns", "random_p99_ns"});
+  std::vector<std::pair<std::string, double>> json_metrics;
+  std::uint64_t found = 0;
+
+  // Build every namespace size up front so the gated profiles can be
+  // interleaved: host noise (preemption storms, frequency shifts) then
+  // hits all sizes of a round equally instead of falsifying one row.
+  struct SweepPointState {
+    std::uint64_t count = 0;
+    std::unique_ptr<core::MetadataContainer> container;
+    Xoshiro256 rng{0};
+    std::vector<std::string> sample;       ///< steady-state probe set
+    std::vector<std::string> random_pool;  ///< cold whole-namespace set
+    double register_s = 0;
+    LookupProfile steady;
+    LookupProfile random;
+  };
+  std::vector<SweepPointState> points;
+  for (const std::uint64_t count : counts) {
+    SweepPointState point;
+    point.count = count;
+    point.container = std::make_unique<core::MetadataContainer>();
+    const Stopwatch register_timer;
+    for (std::uint64_t i = 0; i < count; ++i) {
+      if (!point.container->Register(NameOf(i), 4096 + (i % 57) * 64,
+                                     kPfsLevel)) {
+        std::cerr << "duplicate register at " << i << "\n";
+        return 2;
+      }
+    }
+    point.register_s = register_timer.ElapsedSeconds();
+    if (point.container->FileCount() != count) {
+      std::cerr << "file count mismatch: " << point.container->FileCount()
+                << "\n";
+      return 2;
+    }
+    point.rng = Xoshiro256(count ^ 0x9E3779B97F4A7C15ULL);
+    point.sample.reserve(kSteadyPool);
+    for (std::size_t i = 0; i < kSteadyPool; ++i) {
+      point.sample.push_back(NameOf(point.rng.NextBounded(count)));
+    }
+    point.random_pool.reserve(kRandomPool);
+    for (std::size_t i = 0; i < kRandomPool; ++i) {
+      point.random_pool.push_back(NameOf(point.rng.NextBounded(count)));
+    }
+    // Warmup passes build the RCU snapshots and fault the probed nodes
+    // in before anything is timed.
+    for (int pass = 0; pass < 4; ++pass) {
+      for (const std::string& name : point.sample) {
+        found += point.container->Lookup(name) != nullptr;
+      }
+    }
+    std::cout << "  registered: " << count << " files in "
+              << Table::Num(point.register_s, 3) << "s\n";
+    points.push_back(std::move(point));
+  }
+
+  // Gated steady-state measurement: several interleaved rounds over all
+  // sizes; the drift ratio is taken from the quietest round (one clean
+  // round shows the structure is flat — a noisy host can wreck any
+  // single round's tail).
+  constexpr int kRounds = 6;
+  double best_ratio = 0;
+  for (int round = 0; round < kRounds; ++round) {
+    std::vector<LookupProfile> profiles;
+    double p99_min = 0;
+    double p99_max = 0;
+    for (SweepPointState& point : points) {
+      const LookupProfile profile = ProfileLookups(
+          *point.container, point.sample, point.rng, /*reps=*/3, &found);
+      if (profiles.empty() || profile.p99_ns < p99_min) {
+        p99_min = profile.p99_ns;
+      }
+      if (profiles.empty() || profile.p99_ns > p99_max) {
+        p99_max = profile.p99_ns;
+      }
+      profiles.push_back(profile);
+    }
+    const double ratio = p99_min > 0 ? p99_max / p99_min : 0.0;
+    if (round == 0 || ratio < best_ratio) {
+      best_ratio = ratio;
+      for (std::size_t i = 0; i < points.size(); ++i) {
+        points[i].steady = profiles[i];
+      }
+    }
+  }
+
+  for (SweepPointState& point : points) {
+    // Cold random probes over the whole namespace (reported, ungated, a
+    // single pass so first-touch misses stay in the numbers): shows the
+    // DRAM/TLB capacity effect the steady gate deliberately excludes.
+    point.random = ProfileLookups(*point.container, point.random_pool,
+                                  point.rng, /*reps=*/1, &found);
+    const std::string label = std::to_string(point.count);
+    table.AddRow({label, Table::Num(point.register_s, 3),
+                  Table::Num(static_cast<double>(point.count) /
+                                 point.register_s, 0),
+                  Table::Num(point.steady.p50_ns, 0),
+                  Table::Num(point.steady.p99_ns, 0),
+                  Table::Num(point.random.p99_ns, 0)});
+    json_metrics.emplace_back(label + ".files",
+                              static_cast<double>(point.count));
+    json_metrics.emplace_back(label + ".register_seconds", point.register_s);
+    json_metrics.emplace_back(label + ".steady_lookup_p50_ns",
+                              point.steady.p50_ns);
+    json_metrics.emplace_back(label + ".steady_lookup_p99_ns",
+                              point.steady.p99_ns);
+    json_metrics.emplace_back(label + ".random_lookup_p99_ns",
+                              point.random.p99_ns);
+  }
+
+  table.PrintAscii(std::cout);
+  const double ratio = best_ratio;
+  json_metrics.emplace_back("steady_p99_drift", ratio);
+  json_metrics.emplace_back("steady_p99_drift_limit", drift_limit);
+  json_metrics.emplace_back("lookups_found", static_cast<double>(found));
+  WriteBenchJson(env, "metadata_scale", {}, json_metrics);
+  env.Cleanup();
+
+  std::cout << "steady p99 drift over sweep: " << Table::Num(ratio, 2)
+            << "x (gate: <= " << drift_limit << "x)\n";
+  if (ratio > drift_limit) {
+    std::cout << "GATE FAILED: lookup p99 drifts with namespace size\n";
+    return 1;
+  }
+  std::cout << "GATE OK: metadata lookups stay flat 1k -> 1M\n";
+  return 0;
+}
+
+}  // namespace
+}  // namespace monarch::bench
+
+int main(int argc, char** argv) {
+  const monarch::bench::TraceOutGuard trace(argc, argv);
+  return monarch::bench::Run();
+}

@@ -3,17 +3,22 @@
 # plus the multi-job peer-sharing experiment (ext_multijob), the
 # checkpoint write-back comparison (ext_checkpoint), the node-churn
 # chaos experiment (ext_churn), and the fig4 placement-policy sweep
-# (eviction policies vs overcommit, sweep arm only), and the async
-# zero-copy read-path gate (micro_read_hotpath), producing
+# (eviction policies vs overcommit, sweep arm only), the async
+# zero-copy read-path gate (micro_read_hotpath), the metadata-flatness
+# gate (micro_metadata_scale), and the small-file packing comparison
+# (ext_smallfile), producing
 # BENCH_fig1.json / BENCH_fig3.json / BENCH_ext_multijob.json /
 # BENCH_ext_checkpoint.json / BENCH_ext_churn.json / BENCH_fig4.json /
-# BENCH_read_hotpath.json
+# BENCH_read_hotpath.json / BENCH_metadata_scale.json /
+# BENCH_ext_smallfile.json
 # for quick inspection: the demand-vs-prefetch first-epoch comparison,
 # the vanilla / monarch / monarch-peer PFS-traffic comparison, the
 # direct-PFS vs write-back stall gap, the kill/revive digest and
 # replication-repair check, the per-policy steady-state hit rates
-# (docs/PLACEMENT.md), and the sync-copy vs async-zero-copy reads/sec
-# sweep with its >=2x-at-64-threads acceptance gate (ISSUE 8).
+# (docs/PLACEMENT.md), the sync-copy vs async-zero-copy reads/sec
+# sweep with its >=2x-at-64-threads acceptance gate (ISSUE 8), the
+# 1k->1M lookup-p99 drift gate, and the packed-vs-naive sparse-PFS /
+# compression / digest gates (ISSUE 9).
 #
 # Usage: scripts/bench_smoke.sh [output-dir]
 #   output-dir   where the BENCH_*.json files land (default: bench-results)
@@ -31,7 +36,9 @@ if [[ ! -x build/bench/fig1_motivation || ! -x build/bench/fig3_full_dataset \
       || ! -x build/bench/ext_multijob || ! -x build/bench/ext_checkpoint \
       || ! -x build/bench/ext_churn \
       || ! -x build/bench/fig4_partial_dataset \
-      || ! -x build/bench/micro_read_hotpath ]]; then
+      || ! -x build/bench/micro_read_hotpath \
+      || ! -x build/bench/micro_metadata_scale \
+      || ! -x build/bench/ext_smallfile ]]; then
   echo "bench binaries missing — build first: cmake -B build && cmake --build build -j" >&2
   exit 1
 fi
@@ -61,10 +68,22 @@ MONARCH_FIG4_ARMS=sweep ./build/bench/fig4_partial_dataset
 # 1/8/64 threads. Exits non-zero when the >=2x-at-64-threads or the
 # p99-no-worse-at-1-thread gate fails, failing the whole smoke pass.
 ./build/bench/micro_read_hotpath
+# Metadata-flatness gate (ISSUE 9): registers the 1k->1M (scaled)
+# namespace sweep and exits non-zero when steady-state lookup p99 drifts
+# more than 2x across it, failing the whole smoke pass.
+./build/bench/micro_metadata_scale
+# Small-file packing gates (ISSUE 9): naive vs packed-none vs packed-lz
+# over the same generated dataset. Exits non-zero when the sparse pass's
+# PFS bytes stop scaling with bytes touched, the lz arm's effective
+# local-tier capacity drops below 1.5x, or the arms' sample digests
+# diverge.
+./build/bench/ext_smallfile
 
 echo
 echo "wrote:"
 ls -l "$OUT_DIR"/BENCH_fig1.json "$OUT_DIR"/BENCH_fig3.json \
       "$OUT_DIR"/BENCH_ext_multijob.json "$OUT_DIR"/BENCH_ext_checkpoint.json \
       "$OUT_DIR"/BENCH_ext_churn.json "$OUT_DIR"/BENCH_fig4.json \
-      "$OUT_DIR"/BENCH_read_hotpath.json
+      "$OUT_DIR"/BENCH_read_hotpath.json \
+      "$OUT_DIR"/BENCH_metadata_scale.json \
+      "$OUT_DIR"/BENCH_ext_smallfile.json

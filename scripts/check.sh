@@ -18,15 +18,17 @@ cmake --build build-tsan
 # in-flight caps, buffer pool), the circuit-breaker state machine under
 # concurrent readers, the cluster file directory's register/lookup/evict
 # and membership-retraction races, the re-staging pumps draining while
-# membership flips, and the checkpoint drain lane racing Save/Flush/
-# recovery stay TSan-clean (docs/OBSERVABILITY.md, DESIGN.md "Failure
-# model", "Cooperative peer cache", "Cluster failure model",
-# "Checkpoint write-back").
+# membership flips, the checkpoint drain lane racing Save/Flush/
+# recovery, and the packing tier's chunk-map claim/publish/evict races
+# under concurrent readers stay TSan-clean (docs/OBSERVABILITY.md,
+# DESIGN.md "Failure model", "Cooperative peer cache", "Cluster failure
+# model", "Checkpoint write-back", "Small-file packing & chunk
+# staging").
 ./build-tsan/tests/monarch_tests \
-    --gtest_filter='MetricsRegistry*:EventTracer*:DocCatalogue*:ConfigDoc*:PlacementHandler*:Eviction*:StagingPipeline*:BufferPool*:Monarch*:Resilience*:TierHealth*:Peer*:FileDirectory*:NetworkModel*:Cluster*:Churn*:Membership*:Restage*:Ckpt*:Checkpoint*:WriteAtFallback*:ReadRing*:ReadLease*'
+    --gtest_filter='MetricsRegistry*:EventTracer*:DocCatalogue*:ConfigDoc*:PlacementHandler*:Eviction*:StagingPipeline*:BufferPool*:Monarch*:Resilience*:TierHealth*:Peer*:FileDirectory*:NetworkModel*:Cluster*:Churn*:Membership*:Restage*:Ckpt*:Checkpoint*:WriteAtFallback*:ReadRing*:ReadLease*:Pack*:Chunk*'
 # ... and the rest of the suite.
 ./build-tsan/tests/monarch_tests \
-    --gtest_filter='-MetricsRegistry*:EventTracer*:DocCatalogue*:ConfigDoc*:PlacementHandler*:Eviction*:StagingPipeline*:BufferPool*:Monarch*:Resilience*:TierHealth*:Peer*:FileDirectory*:NetworkModel*:Cluster*:Churn*:Membership*:Restage*:Ckpt*:Checkpoint*:WriteAtFallback*:ReadRing*:ReadLease*'
+    --gtest_filter='-MetricsRegistry*:EventTracer*:DocCatalogue*:ConfigDoc*:PlacementHandler*:Eviction*:StagingPipeline*:BufferPool*:Monarch*:Resilience*:TierHealth*:Peer*:FileDirectory*:NetworkModel*:Cluster*:Churn*:Membership*:Restage*:Ckpt*:Checkpoint*:WriteAtFallback*:ReadRing*:ReadLease*:Pack*:Chunk*'
 
 cmake -B build-asan -G Ninja -DMONARCH_SANITIZE=address \
       -DMONARCH_BUILD_BENCHMARKS=OFF -DMONARCH_BUILD_EXAMPLES=OFF

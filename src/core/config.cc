@@ -5,6 +5,7 @@
 #include <charconv>
 #include <sstream>
 
+#include "pack/codec.h"
 #include "storage/engine_factory.h"
 #include "util/byte_units.h"
 
@@ -245,6 +246,38 @@ Status ApplyCheckpointKey(ParsedCheckpoint& ckpt, const std::string& key,
   return Status::Ok();
 }
 
+Status ApplyPackKey(pack::PackOptions& pack, const std::string& key,
+                    const std::string& value, int line_no) {
+  if (key == "enabled") {
+    MONARCH_ASSIGN_OR_RETURN(pack.enabled, ParseBool(value, line_no));
+  } else if (key == "chunk_bytes") {
+    MONARCH_ASSIGN_OR_RETURN(pack.chunk_bytes, ParseByteSize(value));
+    if (pack.chunk_bytes == 0) {
+      return InvalidArgumentError("line " + std::to_string(line_no) +
+                                  ": chunk_bytes must be >= 1");
+    }
+  } else if (key == "codec") {
+    // Validate eagerly: a codec typo should fail with a line number, not
+    // silently stage uncompressed.
+    auto codec = pack::CodecByName(value);
+    if (!codec.ok()) {
+      return InvalidArgumentError("line " + std::to_string(line_no) + ": " +
+                                  codec.status().message());
+    }
+    pack.codec = value;
+  } else if (key == "pack_extent_bytes") {
+    MONARCH_ASSIGN_OR_RETURN(pack.pack_extent_bytes, ParseByteSize(value));
+    if (pack.pack_extent_bytes == 0) {
+      return InvalidArgumentError("line " + std::to_string(line_no) +
+                                  ": pack_extent_bytes must be >= 1");
+    }
+  } else {
+    return InvalidArgumentError("line " + std::to_string(line_no) +
+                                ": unknown pack key '" + key + "'");
+  }
+  return Status::Ok();
+}
+
 Status ApplyReadKey(ReadRingOptions& read, const std::string& key,
                     const std::string& value, int line_no) {
   if (key == "ring_depth") {
@@ -287,7 +320,8 @@ Result<ParsedConfig> ParseConfig(const std::string& ini_text) {
     kResilience,
     kPeer,
     kCheckpoint,
-    kRead
+    kRead,
+    kPack
   };
   Section section = Section::kNone;
   int tier_index = -1;
@@ -325,6 +359,8 @@ Result<ParsedConfig> ParseConfig(const std::string& ini_text) {
         section = Section::kCheckpoint;
       } else if (name == "read") {
         section = Section::kRead;
+      } else if (name == "pack") {
+        section = Section::kPack;
       } else if (name.starts_with("tier.")) {
         MONARCH_ASSIGN_OR_RETURN(
             const std::uint64_t idx,
@@ -393,6 +429,10 @@ Result<ParsedConfig> ParseConfig(const std::string& ini_text) {
         MONARCH_RETURN_IF_ERROR(
             ApplyReadKey(config.read, key, value, line_no));
         break;
+      case Section::kPack:
+        MONARCH_RETURN_IF_ERROR(
+            ApplyPackKey(config.pack, key, value, line_no));
+        break;
     }
   }
 
@@ -455,6 +495,15 @@ Result<MonarchConfig> BuildMonarchConfig(const ParsedConfig& parsed) {
   config.placement.staging_chunk_bytes = parsed.staging_chunk_bytes;
   config.placement.tier_inflight_cap_bytes = parsed.tier_inflight_cap_bytes;
   config.placement.prefetch_lookahead = parsed.prefetch_lookahead;
+  if (parsed.pack.enabled &&
+      parsed.pack.chunk_bytes > parsed.staging_chunk_bytes) {
+    return InvalidArgumentError(
+        "[pack] chunk_bytes (" + std::to_string(parsed.pack.chunk_bytes) +
+        ") must not exceed [placement] staging_chunk_bytes (" +
+        std::to_string(parsed.staging_chunk_bytes) +
+        "): staged chunks ride the staging buffer pool");
+  }
+  config.placement.pack = parsed.pack;
   config.resilience = parsed.resilience;
   config.read = parsed.read;
   MONARCH_ASSIGN_OR_RETURN(
@@ -526,6 +575,10 @@ std::vector<ConfigKeyInfo> ConfigKeyCatalogue() {
       {"peer", "churn_detection_lag_us", "0"},
       {"peer", "churn_random_kills", "0"},
       {"peer", "churn_seed", "42"},
+      {"pack", "enabled", "true"},
+      {"pack", "chunk_bytes", "256KiB"},
+      {"pack", "codec", "lz"},
+      {"pack", "pack_extent_bytes", "64MiB"},
       {"read", "ring_depth", "256"},
       {"read", "worker_threads", "2"},
       {"read", "zero_copy", "true"},

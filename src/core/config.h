@@ -56,6 +56,12 @@
 //   directory_shards = 16             ; cluster file-directory stripes
 //   replication = 1                   ; owner nodes staging each file
 //
+//   [pack]                  ; optional — small-file packing tier (ISSUE 9)
+//   enabled = true          ; chunk-granularity staging + pack-index reads
+//   chunk_bytes = 256KiB    ; staging/eviction granularity (<= staging_chunk_bytes)
+//   codec = lz              ; none | lz — per-chunk compression on stage-in
+//   pack_extent_bytes = 64MiB  ; container extent size used by PackWriter
+//
 //   [read]                  ; optional — async read-ring hot path (ISSUE 8)
 //   ring_depth = 256        ; submission-queue capacity (Submit blocks when full)
 //   worker_threads = 2      ; ring workers draining the queue
@@ -76,6 +82,7 @@
 #include <vector>
 
 #include "core/monarch.h"
+#include "pack/options.h"
 #include "util/status.h"
 
 namespace monarch::core {
@@ -160,6 +167,8 @@ struct ParsedConfig {
   ParsedCheckpoint checkpoint;
   /// `[read]` section; ReadRingOptions defaults when absent.
   ReadRingOptions read;
+  /// `[pack]` section (ISSUE 9); disabled when the section is absent.
+  pack::PackOptions pack;
 };
 
 /// Parse the INI text. Unknown sections/keys are errors (config typos

@@ -16,6 +16,8 @@
 #include <memory>
 #include <string>
 
+#include "pack/chunk_map.h"
+
 namespace monarch::core {
 
 enum class PlacementState : int {
@@ -74,6 +76,36 @@ struct FileInfo {
   /// per chunk and starve the prefetch lane behind the demand lane's
   /// priority.
   std::atomic<bool> stage_refused{false};
+
+  /// Chunk-granularity residency (ISSUE 9), lazily allocated by the
+  /// first touch of a file under pack mode and immutable-as-a-pointer
+  /// afterwards: the read hot path does one acquire load, never an
+  /// allocation, and whole-file mode never allocates it at all. Owned
+  /// by this FileInfo (freed in the destructor).
+  std::atomic<pack::ChunkMap*> chunks{nullptr};
+
+  ~FileInfo() { delete chunks.load(std::memory_order_acquire); }
+
+  /// The chunk map, or nullptr while the file has never been touched
+  /// under pack mode.
+  [[nodiscard]] pack::ChunkMap* chunk_map() const noexcept {
+    return chunks.load(std::memory_order_acquire);
+  }
+
+  /// Get-or-create the chunk map (CAS; the loser frees its copy). Only
+  /// the pack-mode read path calls this — once per file, not per read.
+  pack::ChunkMap* EnsureChunkMap(std::uint64_t chunk_bytes) {
+    pack::ChunkMap* existing = chunks.load(std::memory_order_acquire);
+    if (existing != nullptr) return existing;
+    auto* fresh = new pack::ChunkMap(size, chunk_bytes);
+    if (chunks.compare_exchange_strong(existing, fresh,
+                                       std::memory_order_acq_rel,
+                                       std::memory_order_acquire)) {
+      return fresh;
+    }
+    delete fresh;
+    return existing;
+  }
 
   /// One-way CAS used by the read path to claim the background fetch.
   bool TryBeginFetch() noexcept {

@@ -1,11 +1,13 @@
 #include "core/monarch.h"
 
 #include <algorithm>
+#include <cstdio>
 #include <functional>
 #include <string_view>
 #include <utility>
 
 #include "obs/event_tracer.h"
+#include "pack/packed_engine.h"
 #include "obs/json.h"
 #include "util/clock.h"
 #include "util/crc32c.h"
@@ -112,6 +114,17 @@ std::vector<obs::MetricSample> StatsToSamples(const MonarchStats& stats) {
   sample("monarch.placement.buffer_pool_capacity_bytes", "",
          obs::MetricKind::kGauge, "bytes", p.buffer_pool_capacity_bytes,
          "configured chunk-buffer budget (staging_buffer_bytes)");
+  // Pack gauges are emitted unconditionally (zeros without an index) so
+  // the catalogue diff holds on non-pack instances too.
+  sample("monarch.pack.extents", "", obs::MetricKind::kGauge, "extents",
+         stats.pack_extents,
+         "container extents in the loaded pack index (0 = unpacked)");
+  sample("monarch.pack.logical_files", "", obs::MetricKind::kGauge, "files",
+         stats.pack_logical_files,
+         "small logical files aggregated into pack extents");
+  sample("monarch.pack.logical_bytes", "", obs::MetricKind::kGauge, "bytes",
+         stats.pack_logical_bytes,
+         "logical bytes addressed through the pack index");
   sample("monarch.files_indexed", "", obs::MetricKind::kGauge, "files",
          stats.files_indexed, "files in the virtual namespace");
   sample("monarch.dataset_bytes", "", obs::MetricKind::kGauge, "bytes",
@@ -131,6 +144,28 @@ Result<std::unique_ptr<Monarch>> Monarch::Create(MonarchConfig config) {
   if (config.cache_tiers.empty()) {
     return InvalidArgumentError(
         "config needs at least one cache tier above the PFS");
+  }
+
+  // Small-file packing (ISSUE 9): when pack mode is on and the dataset
+  // directory carries a pack index, wrap the PFS engine so the packed
+  // logical files read/list/stat transparently out of their container
+  // extents. kNotFound just means the dataset is loose files — chunk
+  // staging still applies, only the packing layer is absent.
+  pack::PackIndexPtr pack_index;
+  if (config.placement.pack.enabled) {
+    auto loaded = pack::PackIndex::Load(*config.pfs.engine,
+                                        config.dataset_dir);
+    if (loaded.ok()) {
+      pack_index = std::move(loaded).value();
+      config.pfs.engine = std::make_shared<pack::PackedPfsEngine>(
+          config.pfs.engine, pack_index);
+      MLOG_INFO << "monarch: pack index of '" << config.dataset_dir
+                << "': " << pack_index->logical_files()
+                << " logical files in " << pack_index->extent_count()
+                << " extents";
+    } else if (loaded.status().code() != StatusCode::kNotFound) {
+      return loaded.status();
+    }
   }
 
   std::vector<StorageDriverPtr> drivers;
@@ -181,6 +216,7 @@ Result<std::unique_ptr<Monarch>> Monarch::Create(MonarchConfig config) {
 
   std::unique_ptr<Monarch> monarch(
       new Monarch(std::move(config), std::move(hierarchy)));
+  monarch->pack_index_ = std::move(pack_index);
 
   // Metadata initialization phase: walk the dataset directory on the PFS
   // and build the virtual namespace (§III-B startup flow). Retried on
@@ -236,6 +272,12 @@ Monarch::Monarch(MonarchConfig config,
   read_latency_ = registry.GetHistogram(
       "monarch.read.latency_us", "us",
       "end-to-end Monarch::Read latency distribution");
+  chunk_hits_counter_ = registry.GetCounter(
+      "monarch.chunk.hits", "ops",
+      "pack-mode reads fully served from resident chunks on a cache tier");
+  chunk_misses_counter_ = registry.GetCounter(
+      "monarch.chunk.misses", "ops",
+      "pack-mode reads that touched the PFS (non-resident chunks)");
   // The ring is always constructed (its instruments are part of the
   // stable catalogue); idle workers cost two parked threads.
   ring_ = std::make_unique<ReadRing>(*this, config_.read);
@@ -324,6 +366,11 @@ Result<std::size_t> Monarch::ReadImpl(std::string_view name,
     ~PinGuard() { file->read_pins.fetch_sub(1, std::memory_order_acq_rel); }
   } pin_guard{info.get()};
 
+  // Pack mode (ISSUE 9): chunk-granularity serve/claim path.
+  if (placement_->options().pack.enabled) {
+    return ReadChunkedImpl(info, name, offset, dst);
+  }
+
   // ① consult the namespace for the file's current level, ② read from
   // that tier's driver — unless its circuit breaker is open, in which
   // case the tier is skipped without a doomed attempt. The file's only
@@ -409,6 +456,12 @@ Result<ReadLease> Monarch::ReadZeroCopyImpl(std::string_view name,
     }
   } pin_guard{info.get(), &pin_transferred};
 
+  // Pack mode (ISSUE 9): chunk-granularity zero-copy lane.
+  if (placement_->options().pack.enabled) {
+    return ReadZeroCopyChunkedImpl(info, name, offset, max_bytes,
+                                   allow_zero_copy, pin_transferred);
+  }
+
   // Same degradation ladder as ReadImpl, running over lent views.
   const int pfs = hierarchy_->pfs_level();
   const int peer = hierarchy_->peer_level();
@@ -461,6 +514,293 @@ Result<ReadLease> Monarch::ReadZeroCopyImpl(std::string_view name,
                          : std::span<const std::byte>{});
   pin_transferred = true;
   return ReadLease(std::move(view).value(), std::move(info), level);
+}
+
+namespace {
+
+/// Alloc-free (after warmup) chunk-object name for the read hot path:
+/// one thread_local string is reused across calls, so serving a
+/// resident chunk never heap-allocates in steady state.
+const std::string& ChunkObjectNameTL(const std::string& file,
+                                     std::uint32_t chunk) {
+  thread_local std::string object;
+  object.assign(file);
+  object.append("#c");
+  char index[16];
+  const int len = std::snprintf(index, sizeof(index), "%u", chunk);
+  object.append(index, static_cast<std::size_t>(len));
+  return object;
+}
+
+}  // namespace
+
+bool Monarch::ServeResidentChunk(const FileInfoPtr& info, pack::ChunkMap& cm,
+                                 std::uint32_t chunk, int level,
+                                 std::uint64_t offset_in_chunk,
+                                 std::span<std::byte> dst) {
+  const pack::ChunkMap::ChunkMeta meta = cm.Meta(chunk);
+  const std::uint32_t logical_n = cm.ChunkLogicalBytes(chunk);
+  StorageDriver& tier = hierarchy_->Level(level);
+  const pack::Codec* codec = placement_->pack_codec();
+  const std::string& object = ChunkObjectNameTL(info->name, chunk);
+
+  bool corrupt = false;
+  bool served = false;
+  Status error = Status::Ok();
+  if (codec == nullptr) {
+    // Identity codec: the chunk object holds the logical bytes; read the
+    // requested slice straight into the caller's buffer. Whole-chunk
+    // reads are verified against the recorded CRC when verify_on_read is
+    // set (slices would need a full-chunk readback to check).
+    auto read = tier.Read(object, offset_in_chunk, dst);
+    if (!read.ok()) {
+      error = read.status();
+    } else if (read.value() != dst.size()) {
+      corrupt = true;
+    } else if (config_.resilience.verify_on_read && offset_in_chunk == 0 &&
+               dst.size() == logical_n &&
+               Crc32c(std::span<const std::byte>(dst)) != meta.crc_logical) {
+      corrupt = true;
+    } else {
+      served = true;
+    }
+  } else {
+    // Compressed chunk: pull the stored bytes through a reusable
+    // per-thread scratch buffer, verify the stored-side CRC (a corrupt
+    // stream must never reach the decoder), decode — straight into the
+    // caller's buffer when the request covers the whole chunk — and
+    // verify the logical side.
+    thread_local std::vector<std::byte> stored_scratch;
+    thread_local std::vector<std::byte> logical_scratch;
+    stored_scratch.resize(meta.stored_bytes);
+    auto read = tier.Read(object, 0, stored_scratch);
+    if (!read.ok()) {
+      error = read.status();
+    } else if (read.value() != meta.stored_bytes ||
+               Crc32c(std::span<const std::byte>(stored_scratch)) !=
+                   meta.crc_stored) {
+      corrupt = true;
+    } else {
+      const obs::TraceSpan span("pack.decompress", "core");
+      std::span<std::byte> logical;
+      if (offset_in_chunk == 0 && dst.size() == logical_n) {
+        logical = dst;
+      } else {
+        logical_scratch.resize(logical_n);
+        logical = logical_scratch;
+      }
+      if (!codec->Decode(stored_scratch, logical).ok() ||
+          Crc32c(std::span<const std::byte>(logical)) != meta.crc_logical) {
+        corrupt = true;
+      } else {
+        if (logical.data() != dst.data()) {
+          std::copy_n(logical.begin() +
+                          static_cast<std::ptrdiff_t>(offset_in_chunk),
+                      dst.size(), dst.begin());
+        }
+        served = true;
+      }
+    }
+  }
+  if (served) return true;
+
+  if (corrupt) {
+    // Drop the bad copy so a later read re-stages it from the
+    // authoritative extent bytes — corruption degrades to PFS
+    // performance, never wrong bytes.
+    MLOG_WARN << "staged chunk '" << object << "' on tier '" << tier.name()
+              << "' failed verification; dropping it";
+    std::lock_guard lock(cm.placement_mutex());
+    const std::uint64_t stored = cm.TryEvict(chunk);
+    if (stored > 0) {
+      (void)tier.Delete(object);
+      tier.Release(stored);
+    }
+    CountDegradedFallback("corruption", info->name, level);
+  } else if (error.code() == StatusCode::kNotFound) {
+    // Eviction race: the chunk vanished between the residency check and
+    // the read. Same accounting as the whole-file fallback.
+    if (read_pfs_fallbacks_ != nullptr) read_pfs_fallbacks_->Increment();
+  } else {
+    CountDegradedFallback("tier_error", info->name, level);
+  }
+  return false;
+}
+
+void Monarch::TriggerChunkStaging(const FileInfoPtr& info, pack::ChunkMap& cm,
+                                  std::uint64_t offset,
+                                  std::uint64_t length) {
+  if (length == 0 || placement_->stopped()) return;
+  // Shard ownership (ISSUE 4): chunk staging honours the same gate as
+  // whole-file staging.
+  if (config_.peer_view != nullptr &&
+      !config_.peer_view->ShouldStageLocally(info->name)) {
+    return;
+  }
+  // An offset-0 read (file open) re-arms a file whose last chunk staging
+  // was refused for space; later chunks of the same pass stay latched.
+  if (offset == 0) {
+    info->stage_refused.store(false, std::memory_order_release);
+  } else if (info->stage_refused.load(std::memory_order_acquire)) {
+    return;
+  }
+  const std::uint32_t first = cm.ChunkOf(offset);
+  const std::uint32_t last = cm.ChunkOf(offset + length - 1);
+  std::vector<std::uint32_t> claimed;
+  for (std::uint32_t c = first; c <= last; ++c) {
+    if (!cm.IsResident(c) && cm.TryClaim(c)) claimed.push_back(c);
+  }
+  if (claimed.empty()) return;
+  placement_->ScheduleChunkPlacement(info, std::move(claimed));
+}
+
+void Monarch::FinishChunkedMiss(std::string_view name, std::uint64_t offset,
+                                std::size_t bytes_read) {
+  chunk_misses_.fetch_add(1, std::memory_order_relaxed);
+  if (chunk_misses_counter_ != nullptr) chunk_misses_counter_->Increment();
+  auto& counters =
+      *served_[static_cast<std::size_t>(hierarchy_->pfs_level())];
+  counters.reads.fetch_add(1, std::memory_order_relaxed);
+  counters.bytes.fetch_add(bytes_read, std::memory_order_relaxed);
+  if (offset == 0 && hints_active_.load(std::memory_order_acquire)) {
+    AdvancePrefetchCursor(name);
+  }
+}
+
+Result<std::size_t> Monarch::ReadChunkedImpl(const FileInfoPtr& info,
+                                             std::string_view name,
+                                             std::uint64_t offset,
+                                             std::span<std::byte> dst) {
+  const int pfs = hierarchy_->pfs_level();
+  const std::uint64_t length =
+      offset >= info->size
+          ? 0
+          : std::min<std::uint64_t>(dst.size(), info->size - offset);
+  pack::ChunkMap* cm =
+      info->EnsureChunkMap(placement_->options().pack.chunk_bytes);
+
+  // Every overlapping chunk resident → serve the request chunk by chunk
+  // from the assigned tier; no PFS traffic at all.
+  if (length > 0 && cm->RangeResident(offset, length)) {
+    const int level = cm->tier();
+    if (level >= 0 && level != pfs &&
+        hierarchy_->NextServingLevel(level) == level) {
+      std::uint64_t pos = offset;
+      std::span<std::byte> out = dst.subspan(0, length);
+      bool served = true;
+      while (!out.empty()) {
+        const std::uint32_t c = cm->ChunkOf(pos);
+        const std::uint64_t in_chunk = pos - cm->ChunkOffset(c);
+        const std::size_t n = static_cast<std::size_t>(
+            std::min<std::uint64_t>(cm->ChunkLogicalBytes(c) - in_chunk,
+                                    out.size()));
+        if (!ServeResidentChunk(info, *cm, c, level, in_chunk,
+                                out.subspan(0, n))) {
+          served = false;  // counted inside; re-read everything from PFS
+          break;
+        }
+        pos += n;
+        out = out.subspan(n);
+      }
+      if (served) {
+        chunk_hits_.fetch_add(1, std::memory_order_relaxed);
+        if (chunk_hits_counter_ != nullptr) chunk_hits_counter_->Increment();
+        FinishRead(info, name, level, offset,
+                   static_cast<std::size_t>(length), {});
+        return static_cast<std::size_t>(length);
+      }
+    }
+  }
+
+  // Miss (or partially resident, or the tier is sick): the request is
+  // served by the authoritative PFS copy — through the pack index when
+  // the dataset is packed — and the touched chunks are claimed for
+  // background staging. PFS bytes scale with bytes *touched*.
+  auto read = hierarchy_->Level(pfs).Read(name, offset, dst);
+  if (!read.ok()) return read;
+  if (read.value() > 0) {
+    TriggerChunkStaging(info, *cm, offset, read.value());
+  }
+  FinishChunkedMiss(name, offset, read.value());
+  return read;
+}
+
+Result<ReadLease> Monarch::ReadZeroCopyChunkedImpl(
+    FileInfoPtr info, std::string_view name, std::uint64_t offset,
+    std::uint64_t max_bytes, bool allow_zero_copy, bool& pin_transferred) {
+  const int pfs = hierarchy_->pfs_level();
+  const std::uint64_t length =
+      offset >= info->size
+          ? 0
+          : std::min<std::uint64_t>(max_bytes, info->size - offset);
+  pack::ChunkMap* cm =
+      info->EnsureChunkMap(placement_->options().pack.chunk_bytes);
+
+  if (length > 0) {
+    const std::uint32_t c = cm->ChunkOf(offset);
+    const int level = cm->tier();
+    if (cm->IsResident(c) && level >= 0 && level != pfs &&
+        hierarchy_->NextServingLevel(level) == level) {
+      // Serve within the first overlapping chunk, clipped to its end —
+      // short views are legal (ReadZeroCopy callers loop).
+      const std::uint64_t in_chunk = offset - cm->ChunkOffset(c);
+      const std::uint64_t avail = std::min<std::uint64_t>(
+          length, cm->ChunkLogicalBytes(c) - in_chunk);
+      if (placement_->pack_codec() == nullptr) {
+        auto view = hierarchy_->Level(level).ReadZeroCopy(
+            ChunkObjectNameTL(info->name, c), in_chunk, avail,
+            allow_zero_copy);
+        if (view.ok() && view.value().size() == avail) {
+          chunk_hits_.fetch_add(1, std::memory_order_relaxed);
+          if (chunk_hits_counter_ != nullptr) {
+            chunk_hits_counter_->Increment();
+          }
+          FinishRead(info, name, level, offset, view.value().size(), {});
+          pin_transferred = true;
+          return ReadLease(std::move(view).value(), std::move(info), level);
+        }
+        if (!view.ok() &&
+            view.status().code() == StatusCode::kNotFound) {
+          if (read_pfs_fallbacks_ != nullptr) {
+            read_pfs_fallbacks_->Increment();
+          }
+        } else if (!view.ok()) {
+          CountDegradedFallback("tier_error", name, level);
+        }
+      } else {
+        // Compressed chunk: decode the whole chunk into a heap buffer
+        // the returned view keeps alive (zero_copy() reports false —
+        // decompression is inherently a copy).
+        auto logical = std::make_shared<std::vector<std::byte>>(
+            cm->ChunkLogicalBytes(c));
+        if (ServeResidentChunk(info, *cm, c, level, 0, *logical)) {
+          const std::span<const std::byte> data(
+              logical->data() + in_chunk, static_cast<std::size_t>(avail));
+          storage::ReadView view(data, std::move(logical),
+                                 /*zero_copy=*/false);
+          chunk_hits_.fetch_add(1, std::memory_order_relaxed);
+          if (chunk_hits_counter_ != nullptr) {
+            chunk_hits_counter_->Increment();
+          }
+          FinishRead(info, name, level, offset, data.size(), {});
+          pin_transferred = true;
+          return ReadLease(std::move(view), std::move(info), level);
+        }
+      }
+    }
+  }
+
+  // Miss: lend from the PFS (the pack layer serves packed names out of
+  // their extents) and claim whatever the view actually covered.
+  auto view = hierarchy_->Level(pfs).ReadZeroCopy(name, offset, max_bytes,
+                                                  allow_zero_copy);
+  if (!view.ok()) return view.status();
+  if (view.value().size() > 0) {
+    TriggerChunkStaging(info, *cm, offset, view.value().size());
+  }
+  FinishChunkedMiss(name, offset, view.value().size());
+  pin_transferred = true;
+  return ReadLease(std::move(view).value(), std::move(info), pfs);
 }
 
 void Monarch::FinishRead(const FileInfoPtr& info, std::string_view name,
@@ -629,9 +969,12 @@ void Monarch::AdvancePrefetchCursor(std::string_view name) {
 
 void Monarch::TopUpPrefetch() {
   if (placement_->stopped()) return;
+  const bool pack = placement_->options().pack.enabled;
   // Claim under the lock (so the window accounting stays consistent),
   // enqueue outside it (SchedulePlacement takes the handler's own lock).
   std::vector<FileInfoPtr> claimed;
+  std::vector<std::pair<FileInfoPtr, std::vector<std::uint32_t>>>
+      chunk_claimed;
   {
     std::lock_guard lock(hint_mu_);
     const auto lookahead =
@@ -646,7 +989,20 @@ void Monarch::TopUpPrefetch() {
           !config_.peer_view->ShouldStageLocally(info->name)) {
         continue;
       }
-      if (info->TryBeginFetch()) {
+      if (pack) {
+        // Chunked files are prefetched whole, but chunk by chunk: claim
+        // every non-resident chunk instead of the file-level fetch flag.
+        pack::ChunkMap* cm =
+            info->EnsureChunkMap(placement_->options().pack.chunk_bytes);
+        std::vector<std::uint32_t> chunks;
+        for (std::uint32_t c = 0; c < cm->num_chunks(); ++c) {
+          if (!cm->IsResident(c) && cm->TryClaim(c)) chunks.push_back(c);
+        }
+        if (!chunks.empty()) {
+          info->prefetched.store(true, std::memory_order_release);
+          chunk_claimed.emplace_back(info, std::move(chunks));
+        }
+      } else if (info->TryBeginFetch()) {
         info->prefetched.store(true, std::memory_order_release);
         claimed.push_back(info);
       }
@@ -655,6 +1011,10 @@ void Monarch::TopUpPrefetch() {
   for (FileInfoPtr& info : claimed) {
     placement_->SchedulePlacement(std::move(info), std::nullopt,
                                   StagingLane::kPrefetch);
+  }
+  for (auto& [info, chunks] : chunk_claimed) {
+    placement_->ScheduleChunkPlacement(std::move(info), std::move(chunks),
+                                       StagingLane::kPrefetch);
   }
 }
 
@@ -673,7 +1033,20 @@ std::uint64_t Monarch::Prestage(bool block) {
       continue;
     }
     FileInfoPtr info = metadata_.Lookup(entry.name);
-    if (!info || !info->TryBeginFetch()) continue;
+    if (!info) continue;
+    if (placement_->options().pack.enabled) {
+      pack::ChunkMap* cm =
+          info->EnsureChunkMap(placement_->options().pack.chunk_bytes);
+      std::vector<std::uint32_t> chunks;
+      for (std::uint32_t c = 0; c < cm->num_chunks(); ++c) {
+        if (!cm->IsResident(c) && cm->TryClaim(c)) chunks.push_back(c);
+      }
+      if (chunks.empty()) continue;
+      placement_->ScheduleChunkPlacement(std::move(info), std::move(chunks));
+      ++scheduled;
+      continue;
+    }
+    if (!info->TryBeginFetch()) continue;
     placement_->SchedulePlacement(std::move(info), std::nullopt);
     ++scheduled;
   }
@@ -693,8 +1066,20 @@ Result<std::uint64_t> Monarch::RestageFile(const std::string& name) {
   if (!info) {
     return NotFoundError("restage of unindexed file '" + name + "'");
   }
-  if (!info->TryBeginFetch()) return std::uint64_t{0};
   const std::uint64_t size = info->size;
+  if (placement_->options().pack.enabled) {
+    pack::ChunkMap* cm =
+        info->EnsureChunkMap(placement_->options().pack.chunk_bytes);
+    std::vector<std::uint32_t> chunks;
+    for (std::uint32_t c = 0; c < cm->num_chunks(); ++c) {
+      if (!cm->IsResident(c) && cm->TryClaim(c)) chunks.push_back(c);
+    }
+    if (chunks.empty()) return std::uint64_t{0};
+    placement_->ScheduleChunkPlacement(std::move(info), std::move(chunks),
+                                       StagingLane::kPrefetch);
+    return size;
+  }
+  if (!info->TryBeginFetch()) return std::uint64_t{0};
   // Repair rides the PREFETCH lane: the two-lane pipeline guarantees it
   // parks behind demand staging and respects the in-flight byte caps.
   placement_->SchedulePlacement(std::move(info), std::nullopt,
@@ -740,6 +1125,13 @@ std::uint64_t Monarch::CleanupStagedCopies() {
     if (entry.state != PlacementState::kPlaced) continue;
     FileInfoPtr info = metadata_.Lookup(entry.name);
     if (!info) continue;
+    // Chunk-resident files drop all their chunk objects through the
+    // placement handler (which also flips the state back to PFS-only).
+    if (pack::ChunkMap* cm = info->chunk_map();
+        cm != nullptr && cm->ResidentCount() > 0) {
+      if (placement_->EvictChunkCopies(info) > 0) ++removed;
+      continue;
+    }
     // Claim the file (kPlaced -> kFetching) so concurrent readers stop
     // trusting the tier copy, then revert it to PFS-resident.
     PlacementState expected = PlacementState::kPlaced;
@@ -810,6 +1202,13 @@ MonarchStats Monarch::Stats() const {
       stats.fallbacks_circuit_open + stats.fallbacks_tier_error +
       stats.fallbacks_corruption + stats.fallbacks_peer_miss +
       stats.fallbacks_peer_error;
+  stats.chunk_hits = chunk_hits_.load(std::memory_order_relaxed);
+  stats.chunk_misses = chunk_misses_.load(std::memory_order_relaxed);
+  if (pack_index_ != nullptr) {
+    stats.pack_extents = pack_index_->extent_count();
+    stats.pack_logical_files = pack_index_->logical_files();
+    stats.pack_logical_bytes = pack_index_->logical_bytes();
+  }
   stats.files_indexed = metadata_.FileCount();
   stats.dataset_bytes = metadata_.TotalBytes();
   stats.metadata_init_seconds = metadata_.init_seconds();

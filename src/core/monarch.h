@@ -39,6 +39,8 @@
 #include "core/storage_hierarchy.h"
 #include "core/tier_health.h"
 #include "obs/metrics_registry.h"
+#include "pack/chunk_map.h"
+#include "pack/pack_index.h"
 #include "util/sharded_map.h"
 #include "util/status.h"
 
@@ -120,6 +122,18 @@ struct MonarchStats {
   std::uint64_t fallbacks_corruption = 0;     ///< staged copy failed its CRC
   std::uint64_t fallbacks_peer_miss = 0;      ///< peer copy vanished mid-read
   std::uint64_t fallbacks_peer_error = 0;     ///< peer read failed after retries
+
+  /// Chunk-granularity read outcomes (ISSUE 9; pack mode only). A hit is
+  /// a read fully served from resident chunks on a cache tier; a miss
+  /// touched the PFS (and claimed the touched chunks for staging).
+  std::uint64_t chunk_hits = 0;
+  std::uint64_t chunk_misses = 0;
+
+  /// Pack-index shape (zero when the dataset is not packed): container
+  /// extents on the PFS, logical files inside them, and their bytes.
+  std::uint64_t pack_extents = 0;
+  std::uint64_t pack_logical_files = 0;
+  std::uint64_t pack_logical_bytes = 0;
 
   /// Reads served by the last level (the shared PFS).
   [[nodiscard]] std::uint64_t pfs_reads() const {
@@ -248,6 +262,12 @@ class Monarch {
   }
   [[nodiscard]] StorageHierarchy& hierarchy() noexcept { return *hierarchy_; }
 
+  /// The loaded pack index, or null when the dataset directory carries
+  /// no `.pack/index.mpki` (loose files) or pack mode is off.
+  [[nodiscard]] const pack::PackIndexPtr& pack_index() const noexcept {
+    return pack_index_;
+  }
+
  private:
   explicit Monarch(MonarchConfig config,
                    std::unique_ptr<StorageHierarchy> hierarchy);
@@ -286,6 +306,52 @@ class Monarch {
   void CountDegradedFallback(const char* cause, std::string_view name,
                              int level);
 
+  /// Pack mode (ISSUE 9): serve [offset, offset + dst.size()) of a
+  /// chunked file. When every overlapping chunk is resident, the request
+  /// is served chunk by chunk from the assigned tier (decoding through
+  /// the staging codec); otherwise the whole request reads from the
+  /// authoritative PFS — so PFS traffic scales with bytes *touched* —
+  /// and the touched chunks are claimed for demand staging.
+  Result<std::size_t> ReadChunkedImpl(const FileInfoPtr& info,
+                                      std::string_view name,
+                                      std::uint64_t offset,
+                                      std::span<std::byte> dst);
+
+  /// Pack mode, zero-copy lane. A resident first chunk serves a view
+  /// clipped to the chunk boundary (short views are legal — callers
+  /// loop); the compressed codec decodes into a heap buffer the view
+  /// keeps alive (zero_copy() reports false). Anything else falls back
+  /// to the PFS. Sets `pin_transferred` when the returned lease took
+  /// over the caller's read pin.
+  Result<ReadLease> ReadZeroCopyChunkedImpl(FileInfoPtr info,
+                                            std::string_view name,
+                                            std::uint64_t offset,
+                                            std::uint64_t max_bytes,
+                                            bool allow_zero_copy,
+                                            bool& pin_transferred);
+
+  /// Serve one resident chunk slice (`dst` = logical bytes at
+  /// `offset_in_chunk`) from the tier at `level`, decoding when the
+  /// codec is active. Verifies the stored-side CRC before decode and
+  /// the logical-side CRC after; a bad copy is dropped (so staging can
+  /// retry it) and counted as a degraded fallback. Returns false when
+  /// the caller must re-read from the PFS.
+  bool ServeResidentChunk(const FileInfoPtr& info, pack::ChunkMap& cm,
+                          std::uint32_t chunk, int level,
+                          std::uint64_t offset_in_chunk,
+                          std::span<std::byte> dst);
+
+  /// Claim the non-resident chunks overlapping [offset, offset+length)
+  /// and enqueue one demand-lane chunk staging task for them.
+  void TriggerChunkStaging(const FileInfoPtr& info, pack::ChunkMap& cm,
+                           std::uint64_t offset, std::uint64_t length);
+
+  /// Shared tail of the pack-mode PFS miss paths: serve counters and
+  /// the prefetch-cursor advance, WITHOUT the whole-file staging
+  /// trigger of FinishRead (pack mode stages chunks, never files).
+  void FinishChunkedMiss(std::string_view name, std::uint64_t offset,
+                         std::size_t bytes_read);
+
   /// A demand read of `name` landed: advance the prefetch cursor past it
   /// and top up the look-ahead window with new PREFETCH-lane claims.
   void AdvancePrefetchCursor(std::string_view name);
@@ -298,6 +364,9 @@ class Monarch {
   std::unique_ptr<StorageHierarchy> hierarchy_;
   MetadataContainer metadata_;
   std::unique_ptr<PlacementHandler> placement_;
+  /// Set by Create when pack mode found `.pack/index.mpki` in the
+  /// dataset dir (the PFS engine is then a PackedPfsEngine wrapper).
+  pack::PackIndexPtr pack_index_;
 
   std::atomic<std::uint64_t> access_clock_{0};
 
@@ -331,6 +400,13 @@ class Monarch {
   obs::Counter* read_errors_ = nullptr;
   obs::Counter* read_degraded_fallbacks_ = nullptr;
   obs::Histogram* read_latency_ = nullptr;
+
+  // Chunk-read outcomes (pack mode): owned registry counters plus the
+  // per-instance tallies Stats() reports.
+  obs::Counter* chunk_hits_counter_ = nullptr;
+  obs::Counter* chunk_misses_counter_ = nullptr;
+  std::atomic<std::uint64_t> chunk_hits_{0};
+  std::atomic<std::uint64_t> chunk_misses_{0};
 
   // Per-cause fallback tallies behind `monarch.read.degraded_fallbacks`.
   std::atomic<std::uint64_t> fallbacks_circuit_open_{0};

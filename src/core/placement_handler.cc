@@ -1,6 +1,7 @@
 #include "core/placement_handler.h"
 
 #include <algorithm>
+#include <limits>
 #include <utility>
 
 #include "obs/event_tracer.h"
@@ -45,6 +46,29 @@ PlacementHandler::PlacementHandler(StorageHierarchy& hierarchy,
   eviction_refused_counter_ = registry.GetCounter(
       "monarch.placement.eviction_refused", "ops",
       "evictions the policy refused or that freed no usable room");
+  chunk_staged_counter_ = registry.GetCounter(
+      "monarch.chunk.staged", "ops",
+      "chunk copies published to cache tiers (pack mode)");
+  chunk_stored_bytes_counter_ = registry.GetCounter(
+      "monarch.chunk.stored_bytes", "bytes",
+      "post-codec bytes written to cache tiers by chunk staging");
+  chunk_evicted_counter_ = registry.GetCounter(
+      "monarch.chunk.evicted", "ops",
+      "chunk copies dropped from cache tiers");
+  // A logical chunk must fit one pooled buffer: the staging pipeline
+  // reads exactly one chunk per lease.
+  options_.pack.chunk_bytes = std::min<std::uint64_t>(
+      std::max<std::uint64_t>(1, options_.pack.chunk_bytes),
+      pool_.chunk_bytes());
+  if (options_.pack.enabled && options_.pack.codec != "none") {
+    auto codec = pack::CodecByName(options_.pack.codec);
+    if (codec.ok()) {
+      codec_ = codec.value();
+    } else {
+      MLOG_WARN << "unknown pack codec '" << options_.pack.codec
+                << "'; staging chunks uncompressed";
+    }
+  }
   const int n = std::max(1, options_.num_threads);
   workers_.reserve(static_cast<std::size_t>(n));
   for (int i = 0; i < n; ++i) {
@@ -89,7 +113,35 @@ void PlacementHandler::SchedulePlacement(
   {
     std::lock_guard lock(mu_);
     auto& queue = lane == StagingLane::kDemand ? demand_q_ : prefetch_q_;
-    queue.push_back(StagingTask{std::move(file), std::move(content), lane});
+    queue.push_back(StagingTask{std::move(file), std::move(content), lane, {}});
+  }
+  cv_.notify_one();
+}
+
+void PlacementHandler::ScheduleChunkPlacement(FileInfoPtr file,
+                                              std::vector<std::uint32_t> chunks,
+                                              StagingLane lane) {
+  if (chunks.empty()) return;
+  StagingTask task;
+  task.file = std::move(file);
+  task.lane = lane;
+  task.chunks = std::move(chunks);
+  if (stopped_.load(std::memory_order_relaxed)) {
+    if (lane == StagingLane::kPrefetch) {
+      prefetch_cancelled_.fetch_add(1, std::memory_order_relaxed);
+      task.file->prefetched.store(false, std::memory_order_relaxed);
+    }
+    ReleaseChunkClaims(task);
+    return;
+  }
+  scheduled_.fetch_add(1, std::memory_order_relaxed);
+  if (lane == StagingLane::kPrefetch) {
+    prefetch_scheduled_.fetch_add(1, std::memory_order_relaxed);
+  }
+  {
+    std::lock_guard lock(mu_);
+    auto& queue = lane == StagingLane::kDemand ? demand_q_ : prefetch_q_;
+    queue.push_back(std::move(task));
   }
   cv_.notify_one();
 }
@@ -133,7 +185,13 @@ std::size_t PlacementHandler::CancelPrefetches() {
   }
   for (const StagingTask& task : cancelled) {
     task.file->prefetched.store(false, std::memory_order_relaxed);
-    task.file->AbortFetch(/*permanently=*/false);
+    if (task.chunks.empty()) {
+      task.file->AbortFetch(/*permanently=*/false);
+    } else {
+      // Chunk tasks never claimed the file-level fetch; just hand the
+      // chunk claims back so a later read can re-trigger staging.
+      ReleaseChunkClaims(task);
+    }
     prefetch_cancelled_.fetch_add(1, std::memory_order_relaxed);
   }
   drain_cv_.notify_all();
@@ -162,7 +220,11 @@ void PlacementHandler::WorkerLoop() {
       }
       ++active_;
     }
-    PlaceFile(std::move(task));
+    if (task.chunks.empty()) {
+      PlaceFile(std::move(task));
+    } else {
+      PlaceChunks(std::move(task));
+    }
     {
       std::lock_guard lock(mu_);
       --active_;
@@ -308,7 +370,7 @@ void PlacementHandler::PlaceFile(StagingTask task) {
   // policy-driven eviction when no tier has room (EvictAndReserve gates
   // on what the policy and lane allow).
   std::optional<int> level = policy_->PickLevel(hierarchy_, file->size);
-  if (!level.has_value()) level = EvictAndReserve(file, task.lane);
+  if (!level.has_value()) level = EvictAndReserve(file, task.lane, file->size);
   if (!level.has_value()) {
     rejected_no_space_.fetch_add(1, std::memory_order_relaxed);
     obs::EventTracer& tracer = obs::EventTracer::Global();
@@ -457,6 +519,13 @@ bool PlacementHandler::QuarantineCopy(const FileInfoPtr& file) {
 
 bool PlacementHandler::EvictOne(const FileInfoPtr& victim) {
   FileInfo& vf = *victim;
+  // Chunk-resident victims (pack mode) hold per-chunk quota and tier
+  // objects, not a whole-file copy: drop them through the chunk path.
+  if (pack::ChunkMap* cm = vf.chunk_map();
+      cm != nullptr && cm->ResidentCount() > 0) {
+    return EvictChunks(victim,
+                       std::numeric_limits<std::uint64_t>::max()) > 0;
+  }
   // Claim the victim: kPlaced -> kFetching blocks concurrent readers
   // from trusting its level while we delete the copy.
   PlacementState expected = PlacementState::kPlaced;
@@ -501,7 +570,8 @@ bool PlacementHandler::EvictOne(const FileInfoPtr& victim) {
 }
 
 std::optional<int> PlacementHandler::EvictAndReserve(const FileInfoPtr& file,
-                                                     StagingLane lane) {
+                                                     StagingLane lane,
+                                                     std::uint64_t bytes) {
   const bool may_evict =
       lane == StagingLane::kDemand
           ? options_.enable_eviction || policy_->EvictsUnderPressure()
@@ -515,7 +585,7 @@ std::optional<int> PlacementHandler::EvictAndReserve(const FileInfoPtr& file,
            metadata_, *file, lane == StagingLane::kDemand)) {
     if (victim == file) continue;
     if (!EvictOne(victim)) continue;
-    if (auto level = policy_->PickLevel(hierarchy_, file->size)) return level;
+    if (auto level = policy_->PickLevel(hierarchy_, bytes)) return level;
   }
   eviction_refused_.fetch_add(1, std::memory_order_relaxed);
   eviction_refused_counter_->Increment();
@@ -523,9 +593,266 @@ std::optional<int> PlacementHandler::EvictAndReserve(const FileInfoPtr& file,
   if (tracer.enabled()) {
     tracer.RecordInstant("placement.evict_refused", "placement",
                          "\"file\":" + obs::JsonQuote(file->name) +
-                             ",\"bytes\":" + std::to_string(file->size));
+                             ",\"bytes\":" + std::to_string(bytes));
   }
   return std::nullopt;
+}
+
+void PlacementHandler::ReleaseChunkClaims(const StagingTask& task) {
+  pack::ChunkMap* cm = task.file->chunk_map();
+  if (cm == nullptr) return;
+  for (const std::uint32_t c : task.chunks) cm->ReleaseClaim(c);
+  std::lock_guard lock(cm->placement_mutex());
+  cm->MaybeResetTier();
+}
+
+std::uint64_t PlacementHandler::EvictChunks(const FileInfoPtr& victim,
+                                            std::uint64_t needed_bytes) {
+  FileInfo& vf = *victim;
+  pack::ChunkMap* cm = vf.chunk_map();
+  if (cm == nullptr) return 0;
+  // Read pins protect chunked files exactly like whole-file copies: an
+  // active read keeps every resident chunk until it unpins.
+  if (vf.read_pins.load(std::memory_order_acquire) > 0) {
+    eviction_pinned_skips_.fetch_add(1, std::memory_order_relaxed);
+    return 0;
+  }
+  const int level = cm->tier();
+  if (level < 0 || level == hierarchy_.pfs_level()) return 0;
+  StorageDriver& tier = hierarchy_.Level(level);
+  std::uint64_t freed = 0;
+  std::uint64_t dropped = 0;
+  {
+    std::lock_guard lock(cm->placement_mutex());
+    for (std::uint32_t c = 0;
+         c < cm->num_chunks() && freed < needed_bytes; ++c) {
+      const std::uint64_t stored = cm->TryEvict(c);
+      if (stored == 0) continue;
+      (void)tier.Delete(pack::ChunkObjectName(vf.name, c));
+      tier.Release(stored);
+      freed += stored;
+      ++dropped;
+    }
+    if (cm->ResidentCount() == 0) {
+      cm->MaybeResetTier();
+      // The file no longer serves anything from a tier; fold it back to
+      // PFS-resident through the same claim the whole-file evictor uses
+      // (readers mid-lookup fall back to the PFS on kNotFound).
+      PlacementState expected = PlacementState::kPlaced;
+      if (vf.state.compare_exchange_strong(expected,
+                                           PlacementState::kFetching,
+                                           std::memory_order_acq_rel)) {
+        vf.level.store(hierarchy_.pfs_level(), std::memory_order_release);
+        vf.AbortFetch(/*permanently=*/false);
+      }
+    }
+  }
+  if (dropped > 0) {
+    chunks_evicted_.fetch_add(dropped, std::memory_order_relaxed);
+    evicted_bytes_.fetch_add(freed, std::memory_order_relaxed);
+    chunk_evicted_counter_->Increment(dropped);
+    evicted_bytes_counter_->Increment(freed);
+    obs::EventTracer& tracer = obs::EventTracer::Global();
+    if (tracer.enabled()) {
+      tracer.RecordInstant("placement.evict", "placement",
+                           "\"file\":" + obs::JsonQuote(vf.name) +
+                               ",\"bytes\":" + std::to_string(freed) +
+                               ",\"chunks\":" + std::to_string(dropped) +
+                               ",\"tier\":" + obs::JsonQuote(tier.name()));
+    }
+  }
+  return freed;
+}
+
+bool PlacementHandler::EvictForChunkOn(int level, const FileInfoPtr& incoming,
+                                       std::uint64_t stored_bytes,
+                                       StagingLane lane) {
+  const bool may_evict =
+      lane == StagingLane::kDemand
+          ? options_.enable_eviction || policy_->EvictsUnderPressure()
+          : policy_->PrefetchMayEvict();
+  if (!may_evict) return false;
+  StorageDriver& tier = hierarchy_.Level(level);
+  for (const FileInfoPtr& victim : policy_->SelectVictims(
+           metadata_, *incoming, lane == StagingLane::kDemand)) {
+    if (victim == incoming) continue;
+    // Only victims resident on this level can free room here: the
+    // incoming file's chunks are pinned to `level` by the tier
+    // assignment, so space anywhere else does not help.
+    const pack::ChunkMap* vcm = victim->chunk_map();
+    const int victim_level =
+        vcm != nullptr && vcm->ResidentCount() > 0
+            ? vcm->tier()
+            : victim->level.load(std::memory_order_acquire);
+    if (victim_level != level) continue;
+    if (!EvictOne(victim)) continue;
+    if (tier.Reserve(stored_bytes)) return true;
+  }
+  eviction_refused_.fetch_add(1, std::memory_order_relaxed);
+  eviction_refused_counter_->Increment();
+  obs::EventTracer& tracer = obs::EventTracer::Global();
+  if (tracer.enabled()) {
+    tracer.RecordInstant("placement.evict_refused", "placement",
+                         "\"file\":" + obs::JsonQuote(incoming->name) +
+                             ",\"bytes\":" + std::to_string(stored_bytes));
+  }
+  return false;
+}
+
+std::optional<int> PlacementHandler::ReserveChunk(const FileInfoPtr& file,
+                                                  pack::ChunkMap& cm,
+                                                  std::uint64_t stored_bytes,
+                                                  StagingLane lane) {
+  int level = cm.tier();
+  if (level < 0) {
+    // No tier assigned yet: let the policy pick one (reserving the
+    // bytes there), then race to install it as the file's tier.
+    std::optional<int> picked = policy_->PickLevel(hierarchy_, stored_bytes);
+    if (!picked.has_value()) picked = EvictAndReserve(file, lane, stored_bytes);
+    if (!picked.has_value()) return std::nullopt;
+    {
+      std::lock_guard lock(cm.placement_mutex());
+      level = cm.AssignTier(*picked);
+    }
+    if (level == *picked) return level;
+    // Lost the assignment race: hand the reservation back and fall
+    // through to reserve on the winner's tier instead.
+    hierarchy_.Level(*picked).Release(stored_bytes);
+  }
+  StorageDriver& tier = hierarchy_.Level(level);
+  if (tier.Reserve(stored_bytes)) return level;
+  if (EvictForChunkOn(level, file, stored_bytes, lane)) return level;
+  return std::nullopt;
+}
+
+void PlacementHandler::PlaceChunks(StagingTask task) {
+  const FileInfoPtr file = task.file;
+  pack::ChunkMap* cm = file->chunk_map();
+  if (cm == nullptr) return;  // claims imply a map; defensive only
+  obs::TraceSpan span("pack.stage", "placement");
+  if (span.active()) {
+    span.set_args_json("\"file\":" + obs::JsonQuote(file->name) +
+                       ",\"chunks\":" + std::to_string(task.chunks.size()) +
+                       ",\"lane\":\"" + LaneName(task.lane) + "\"");
+  }
+
+  // One pooled lease carries the logical bytes of every chunk in the
+  // task (pack.chunk_bytes is clamped to the pool's chunk size); the
+  // codec output and verification scratch are reused across chunks.
+  BufferPool::Lease lease = pool_.Acquire();
+  std::vector<std::byte> encoded;
+  std::vector<std::byte> readback;
+
+  std::size_t next = 0;
+  bool rejected = false;
+  Status failure = Status::Ok();
+  for (; next < task.chunks.size(); ++next) {
+    const std::uint32_t c = task.chunks[next];
+    const std::uint64_t offset = cm->ChunkOffset(c);
+    const std::uint32_t logical_n = cm->ChunkLogicalBytes(c);
+    const std::span<std::byte> logical(lease.bytes().data(), logical_n);
+    auto read = hierarchy_.Pfs().Read(file->name, offset, logical);
+    if (!read.ok()) {
+      failure = read.status();
+      break;
+    }
+    if (read.value() != logical_n) {
+      failure = InternalError("short PFS read of '" + file->name + "' at " +
+                              std::to_string(offset) + ": got " +
+                              std::to_string(read.value()) + " of " +
+                              std::to_string(logical_n) + " bytes");
+      break;
+    }
+    pack::ChunkMap::ChunkMeta meta;
+    meta.crc_logical = Crc32c(logical);
+    std::span<const std::byte> stored(logical);
+    if (codec_ != nullptr) {
+      const Status encoded_ok = codec_->Encode(logical, encoded);
+      if (!encoded_ok.ok()) {
+        failure = encoded_ok;
+        break;
+      }
+      stored = encoded;
+    }
+    meta.stored_bytes = static_cast<std::uint32_t>(stored.size());
+    meta.crc_stored = Crc32c(stored);
+
+    const std::optional<int> level =
+        ReserveChunk(file, *cm, stored.size(), task.lane);
+    if (!level.has_value()) {
+      rejected = true;
+      break;
+    }
+    StorageDriver& tier = hierarchy_.Level(*level);
+    const std::string object = pack::ChunkObjectName(file->name, c);
+    Status written = tier.Write(object, stored);
+    if (written.ok() && resilience_.verify_staged_writes) {
+      readback.resize(stored.size());
+      auto rb = tier.Read(object, 0, readback);
+      if (!rb.ok() || rb.value() != stored.size() ||
+          Crc32c(std::span<const std::byte>(readback)) != meta.crc_stored) {
+        quarantined_.fetch_add(1, std::memory_order_relaxed);
+        written =
+            DataLossError("staged chunk failed verification: " + object);
+      }
+    }
+    if (!written.ok()) {
+      (void)tier.Delete(object);
+      tier.Release(stored.size());
+      failure = written;
+      break;
+    }
+    {
+      std::lock_guard lock(cm->placement_mutex());
+      if (cm->Publish(c, meta) == 1) {
+        // First resident chunk: the file now serves (partially) from a
+        // tier. Flip the whole-file state so the eviction policies see
+        // it as placed and readers route offset lookups via the map.
+        file->fetch_failures.store(0, std::memory_order_relaxed);
+        file->FinishFetch(*level);
+        completed_.fetch_add(1, std::memory_order_relaxed);
+        if (task.lane == StagingLane::kPrefetch) {
+          prefetch_completed_.fetch_add(1, std::memory_order_relaxed);
+        }
+      }
+    }
+    chunks_staged_.fetch_add(1, std::memory_order_relaxed);
+    chunk_stored_bytes_.fetch_add(stored.size(), std::memory_order_relaxed);
+    bytes_staged_.fetch_add(logical_n, std::memory_order_relaxed);
+    chunk_staged_counter_->Increment();
+    chunk_stored_bytes_counter_->Increment(stored.size());
+  }
+
+  if (next >= task.chunks.size()) return;  // every chunk published
+
+  // Back out the claims we will not stage.
+  StagingTask rest;
+  rest.file = file;
+  rest.chunks.assign(task.chunks.begin() +
+                         static_cast<std::ptrdiff_t>(next),
+                     task.chunks.end());
+  ReleaseChunkClaims(rest);
+  if (rejected) {
+    rejected_no_space_.fetch_add(1, std::memory_order_relaxed);
+    obs::EventTracer& tracer = obs::EventTracer::Global();
+    if (tracer.enabled()) {
+      tracer.RecordInstant("placement.rejected_no_space", "placement",
+                           "\"file\":" + obs::JsonQuote(file->name));
+    }
+    if (task.lane == StagingLane::kPrefetch) {
+      prefetch_cancelled_.fetch_add(1, std::memory_order_relaxed);
+      file->prefetched.store(false, std::memory_order_relaxed);
+    } else {
+      // Latch so chunked readers stop re-enqueueing doomed demand
+      // stagings chunk by chunk; the next offset-0 read re-arms it.
+      file->stage_refused.store(true, std::memory_order_release);
+    }
+    return;
+  }
+  chunk_failures_.fetch_add(1, std::memory_order_relaxed);
+  failed_.fetch_add(1, std::memory_order_relaxed);
+  file->prefetched.store(false, std::memory_order_relaxed);
+  MLOG_WARN << "chunk staging of '" << file->name << "' failed: " << failure;
 }
 
 void PlacementHandler::InstallSchedule(
@@ -572,6 +899,10 @@ PlacementStats PlacementHandler::Stats() const {
   s.prefetch_cancelled = prefetch_cancelled_.load(std::memory_order_relaxed);
   s.chunks_copied = chunks_copied_.load(std::memory_order_relaxed);
   s.donated_bytes = donated_bytes_.load(std::memory_order_relaxed);
+  s.chunks_staged = chunks_staged_.load(std::memory_order_relaxed);
+  s.chunk_stored_bytes = chunk_stored_bytes_.load(std::memory_order_relaxed);
+  s.chunks_evicted = chunks_evicted_.load(std::memory_order_relaxed);
+  s.chunk_failures = chunk_failures_.load(std::memory_order_relaxed);
   {
     std::lock_guard lock(mu_);
     s.queue_depth_demand = demand_q_.size();

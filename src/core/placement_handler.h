@@ -49,6 +49,7 @@
 #include <condition_variable>
 #include <cstdint>
 #include <deque>
+#include <limits>
 #include <memory>
 #include <mutex>
 #include <optional>
@@ -62,6 +63,8 @@
 #include "core/resilience.h"
 #include "core/storage_hierarchy.h"
 #include "obs/metrics_registry.h"
+#include "pack/codec.h"
+#include "pack/options.h"
 #include "util/buffer_pool.h"
 
 namespace monarch::core {
@@ -106,6 +109,13 @@ struct PlacementOptions {
   /// (`[placement] prefetch_lookahead`). Consumed by Monarch, carried
   /// here so one options struct configures the whole staging engine.
   int prefetch_lookahead = 0;
+
+  /// Small-file packing / chunk-granularity staging (ISSUE 9). When
+  /// `pack.enabled`, dataset files are staged, evicted and served chunk
+  /// by chunk through `ScheduleChunkPlacement` instead of whole-file
+  /// `SchedulePlacement`; `pack.chunk_bytes` is clamped to the staging
+  /// chunk size so a logical chunk always fits one pooled buffer.
+  pack::PackOptions pack;
 };
 
 struct PlacementStats {
@@ -140,6 +150,12 @@ struct PlacementStats {
   std::vector<std::uint64_t> inflight_bytes_per_level;
   std::uint64_t buffer_pool_used_bytes = 0;      ///< gauge
   std::uint64_t buffer_pool_capacity_bytes = 0;  ///< gauge
+
+  // Chunk-granularity staging (ISSUE 9; zero when pack mode is off).
+  std::uint64_t chunks_staged = 0;        ///< chunk copies published
+  std::uint64_t chunk_stored_bytes = 0;   ///< post-codec bytes written
+  std::uint64_t chunks_evicted = 0;       ///< chunk copies dropped
+  std::uint64_t chunk_failures = 0;       ///< chunk copies that failed
 };
 
 class PlacementHandler {
@@ -164,6 +180,15 @@ class PlacementHandler {
                          std::optional<std::vector<std::byte>> content,
                          StagingLane lane = StagingLane::kDemand);
 
+  /// Chunk-granularity staging (pack mode). `chunks` are chunk indexes
+  /// the caller already claimed via ChunkMap::TryClaim; the handler
+  /// stages each one — PFS read at the chunk's offset, optional codec
+  /// encode, CRC on both sides — through the same two-lane pipeline and
+  /// releases every claim (publish or back-out). Never blocks.
+  void ScheduleChunkPlacement(FileInfoPtr file,
+                              std::vector<std::uint32_t> chunks,
+                              StagingLane lane = StagingLane::kDemand);
+
   /// A demand read overtook a queued (or parked) prefetch of `file`:
   /// move the task to the demand lane so it stops waiting behind other
   /// speculative work. Returns false when no queued prefetch matched
@@ -181,6 +206,14 @@ class PlacementHandler {
   /// the failure cap). Returns false when another thread already holds
   /// the file in a non-kPlaced state. Thread-safe.
   bool QuarantineCopy(const FileInfoPtr& file);
+
+  /// Drop every resident chunk copy of `file` (pack mode): delete the
+  /// chunk objects, release their quota, and reset the file to
+  /// PFS-resident once nothing remains. Honours read pins. Returns the
+  /// stored bytes freed (Monarch::CleanupStagedCopies, tests).
+  std::uint64_t EvictChunkCopies(const FileInfoPtr& file) {
+    return EvictChunks(file, std::numeric_limits<std::uint64_t>::max());
+  }
 
   /// Forward the whole-run demand access sequence to the policy
   /// (Monarch::InstallRunSchedule; the clairvoyant policy consumes it).
@@ -214,11 +247,19 @@ class PlacementHandler {
     return pool_;
   }
 
+  /// The resolved chunk codec (nullptr = identity / "none"). The read
+  /// path decodes with exactly this codec so both sides always agree.
+  [[nodiscard]] const pack::Codec* pack_codec() const noexcept {
+    return codec_;
+  }
+
  private:
   struct StagingTask {
     FileInfoPtr file;
     std::optional<std::vector<std::byte>> content;
     StagingLane lane = StagingLane::kDemand;
+    /// Claimed chunk indexes (pack mode); empty = whole-file task.
+    std::vector<std::uint32_t> chunks;
   };
 
   void WorkerLoop();
@@ -239,15 +280,39 @@ class PlacementHandler {
   /// the per-file cap is hit.
   void RecordStagingFailure(const FileInfoPtr& file);
   /// Policy-driven eviction: walk the policy's victim ranking, dropping
-  /// placed copies until PickLevel succeeds for `file`. Returns the
-  /// reserved level, or nullopt when the lane may not evict, the policy
-  /// offered no victims, or the freed space still was not enough.
+  /// placed copies until PickLevel succeeds for `bytes` (the whole file,
+  /// or one stored chunk in pack mode). Returns the reserved level, or
+  /// nullopt when the lane may not evict, the policy offered no victims,
+  /// or the freed space still was not enough.
   std::optional<int> EvictAndReserve(const FileInfoPtr& file,
-                                     StagingLane lane);
+                                     StagingLane lane, std::uint64_t bytes);
   /// Drop one placed copy: claim it (kPlaced -> kFetching), honour read
   /// pins, delete the bytes, release the quota, notify the peer view.
-  /// Returns false when the claim failed or the file was pinned.
+  /// Returns false when the claim failed or the file was pinned. A
+  /// chunk-resident victim drops all of its chunks via EvictChunks.
   bool EvictOne(const FileInfoPtr& victim);
+
+  /// Stage the claimed chunks of one task (pack mode).
+  void PlaceChunks(StagingTask task);
+  /// Ensure `file`'s chunk map has a tier and that tier has room for
+  /// `stored_bytes` (reserving them). Evicts per the lane's rules when
+  /// the assigned tier is full. Returns the level, or nullopt when no
+  /// space could be made.
+  std::optional<int> ReserveChunk(const FileInfoPtr& file,
+                                  pack::ChunkMap& cm,
+                                  std::uint64_t stored_bytes,
+                                  StagingLane lane);
+  /// Drop resident chunks of `victim` until at least `needed_bytes` of
+  /// stored bytes were freed (or the file ran dry). Returns bytes freed.
+  std::uint64_t EvictChunks(const FileInfoPtr& victim,
+                            std::uint64_t needed_bytes);
+  /// Policy-ranked eviction restricted to victims resident on `level`
+  /// until Reserve(stored_bytes) succeeds there. Returns success.
+  bool EvictForChunkOn(int level, const FileInfoPtr& incoming,
+                       std::uint64_t stored_bytes, StagingLane lane);
+  /// Back out of a chunk task without staging: release every claim and,
+  /// if the file ended up with no resident chunks, reset its state.
+  void ReleaseChunkClaims(const StagingTask& task);
 
   /// Take the in-flight accounting for `task`'s copy to `level`. For the
   /// prefetch lane, parks the task (moving from it) and returns false
@@ -283,6 +348,14 @@ class PlacementHandler {
   std::atomic<std::uint64_t> prefetch_cancelled_{0};
   std::atomic<std::uint64_t> chunks_copied_{0};
   std::atomic<std::uint64_t> donated_bytes_{0};
+  std::atomic<std::uint64_t> chunks_staged_{0};
+  std::atomic<std::uint64_t> chunk_stored_bytes_{0};
+  std::atomic<std::uint64_t> chunks_evicted_{0};
+  std::atomic<std::uint64_t> chunk_failures_{0};
+
+  /// Codec for chunk staging, resolved once from options_.pack.codec
+  /// (falls back to the identity codec on an unknown name).
+  const pack::Codec* codec_ = nullptr;
 
   /// Process-wide eviction counters (docs/OBSERVABILITY.md §1), owned
   /// like `storage.retries`: resolved once at construction so eviction
@@ -291,6 +364,9 @@ class PlacementHandler {
   obs::Counter* evictions_counter_ = nullptr;
   obs::Counter* evicted_bytes_counter_ = nullptr;
   obs::Counter* eviction_refused_counter_ = nullptr;
+  obs::Counter* chunk_staged_counter_ = nullptr;
+  obs::Counter* chunk_stored_bytes_counter_ = nullptr;
+  obs::Counter* chunk_evicted_counter_ = nullptr;
 
   // Two-lane work queue. `deferred_` holds prefetch tasks parked by the
   // per-tier in-flight cap; any copy completion splices them back into

@@ -1,0 +1,55 @@
+// Pluggable per-chunk staging codecs (FanStore's transparent
+// compression, §PAPERS.md): staged chunks are transformed on the way
+// into a cache tier and inverted on the way out. Two codecs ship:
+//
+//   none  identity — stored bytes == logical bytes
+//   lz    an in-repo LZ77 byte codec (greedy hash-chain matcher,
+//         LZ4-style token stream); no external dependency
+//
+// Codecs are stateless singletons — `CodecByName` hands out shared
+// const instances, so the read and staging paths can keep a raw pointer
+// for the process lifetime. Correctness is *not* the codec's job alone:
+// callers CRC32C both the stored (post-codec) and the logical
+// (pre-codec) bytes and verify on every boundary crossing.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <span>
+#include <string_view>
+#include <vector>
+
+#include "util/status.h"
+
+namespace monarch::pack {
+
+class Codec {
+ public:
+  virtual ~Codec() = default;
+
+  [[nodiscard]] virtual std::string_view Name() const = 0;
+
+  /// Worst-case stored size for `logical_bytes` of input — size staging
+  /// scratch buffers with this.
+  [[nodiscard]] virtual std::size_t MaxStoredSize(
+      std::size_t logical_bytes) const = 0;
+
+  /// Transform `logical` into `stored` (resized to the exact output
+  /// size). Never fails for valid inputs; incompressible data may grow
+  /// up to MaxStoredSize.
+  virtual Status Encode(std::span<const std::byte> logical,
+                        std::vector<std::byte>& stored) const = 0;
+
+  /// Invert Encode. `logical` must be exactly the original size (the
+  /// chunk map knows it). Malformed streams return DATA_LOSS — they
+  /// never read or write out of bounds.
+  virtual Status Decode(std::span<const std::byte> stored,
+                        std::span<std::byte> logical) const = 0;
+};
+
+/// Resolve a config codec name to its process-wide singleton.
+/// Unknown names are INVALID_ARGUMENT (a config typo fails at parse
+/// time, not mid-run).
+Result<const Codec*> CodecByName(std::string_view name);
+
+}  // namespace monarch::pack

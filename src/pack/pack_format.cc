@@ -1,0 +1,123 @@
+#include "pack/pack_format.h"
+
+#include <cstdio>
+#include <cstring>
+#include <utility>
+
+#include "util/crc32c.h"
+
+namespace monarch::pack {
+namespace {
+
+void AppendU32(std::vector<std::byte>& out, std::uint32_t v) {
+  std::byte raw[sizeof(v)];
+  std::memcpy(raw, &v, sizeof(v));
+  out.insert(out.end(), raw, raw + sizeof(v));
+}
+
+void AppendU64(std::vector<std::byte>& out, std::uint64_t v) {
+  std::byte raw[sizeof(v)];
+  std::memcpy(raw, &v, sizeof(v));
+  out.insert(out.end(), raw, raw + sizeof(v));
+}
+
+}  // namespace
+
+std::string IndexPath(const std::string& dataset_dir) {
+  return dataset_dir + "/" + std::string(kPackSubdir) + "/index.mpki";
+}
+
+std::string ExtentPath(const std::string& dataset_dir,
+                       std::uint32_t extent) {
+  char name[32];
+  std::snprintf(name, sizeof(name), "extent-%06u.mpk", extent);
+  return dataset_dir + "/" + std::string(kPackSubdir) + "/" + name;
+}
+
+bool IsPackInternalPath(std::string_view path) {
+  constexpr std::string_view kInner = "/.pack/";
+  constexpr std::string_view kLeading = ".pack/";
+  return path.find(kInner) != std::string_view::npos ||
+         path.substr(0, kLeading.size()) == kLeading;
+}
+
+PackWriter::PackWriter(storage::StorageEngine& engine,
+                       std::string dataset_dir, std::uint64_t extent_bytes)
+    : engine_(engine),
+      dataset_dir_(std::move(dataset_dir)),
+      extent_bytes_(extent_bytes == 0 ? 1 : extent_bytes) {}
+
+Status PackWriter::Add(const std::string& logical_name,
+                       std::span<const std::byte> payload) {
+  if (finished_) {
+    return FailedPreconditionError("PackWriter::Add after Finish");
+  }
+  if (logical_name.empty()) {
+    return InvalidArgumentError("pack: empty logical name");
+  }
+  if (logical_name.find('#') != std::string::npos) {
+    return InvalidArgumentError("pack: '#' is reserved in logical names: " +
+                                logical_name);
+  }
+  if (IsPackInternalPath(logical_name)) {
+    return InvalidArgumentError("pack: logical name inside .pack/: " +
+                                logical_name);
+  }
+  if (!names_.insert(logical_name).second) {
+    return AlreadyExistsError("pack: duplicate logical name: " +
+                              logical_name);
+  }
+
+  Entry entry;
+  entry.name = logical_name;
+  entry.extent = next_extent_;
+  entry.offset = current_.size();
+  entry.length = payload.size();
+  entry.crc32c = Crc32c(payload);
+  entries_.push_back(std::move(entry));
+  current_.insert(current_.end(), payload.begin(), payload.end());
+  logical_bytes_ += payload.size();
+  if (current_.size() >= extent_bytes_) {
+    MONARCH_RETURN_IF_ERROR(FlushExtent());
+  }
+  return Status::Ok();
+}
+
+Status PackWriter::FlushExtent() {
+  if (current_.empty()) return Status::Ok();
+  MONARCH_RETURN_IF_ERROR(
+      engine_.Write(ExtentPath(dataset_dir_, next_extent_), current_));
+  ++next_extent_;
+  current_.clear();
+  return Status::Ok();
+}
+
+Status PackWriter::Finish() {
+  if (finished_) {
+    return FailedPreconditionError("PackWriter::Finish twice");
+  }
+  MONARCH_RETURN_IF_ERROR(FlushExtent());
+  finished_ = true;
+
+  std::vector<std::byte> index;
+  index.reserve(entries_.size() * 64 + 32);
+  for (const char c : kIndexMagic) {
+    index.push_back(static_cast<std::byte>(c));
+  }
+  AppendU32(index, kIndexVersion);
+  AppendU32(index, next_extent_);
+  AppendU64(index, entries_.size());
+  for (const Entry& entry : entries_) {
+    AppendU32(index, static_cast<std::uint32_t>(entry.name.size()));
+    for (const char c : entry.name) {
+      index.push_back(static_cast<std::byte>(c));
+    }
+    AppendU32(index, entry.extent);
+    AppendU64(index, entry.offset);
+    AppendU64(index, entry.length);
+    AppendU32(index, entry.crc32c);
+  }
+  return engine_.Write(IndexPath(dataset_dir_), index);
+}
+
+}  // namespace monarch::pack

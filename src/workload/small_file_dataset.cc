@@ -1,0 +1,108 @@
+#include "workload/small_file_dataset.h"
+
+#include <algorithm>
+#include <cstdio>
+
+#include "pack/pack_format.h"
+#include "util/rng.h"
+
+namespace monarch::workload {
+
+namespace {
+
+std::uint64_t StreamSeed(std::uint64_t seed, std::uint64_t index) {
+  SplitMix64 sm(seed ^ ((index + 1) * 0x9E3779B97F4A7C15ULL));
+  return sm.Next();
+}
+
+}  // namespace
+
+std::string SmallFilePath(const SmallFileSpec& spec, std::uint64_t index) {
+  const std::uint64_t cls =
+      spec.num_classes == 0 ? 0 : index % spec.num_classes;
+  char buf[64];
+  std::snprintf(buf, sizeof buf, "/class_%04llu/img_%07llu.bin",
+                static_cast<unsigned long long>(cls),
+                static_cast<unsigned long long>(index));
+  return spec.directory + buf;
+}
+
+std::vector<std::byte> SmallFilePayload(const SmallFileSpec& spec,
+                                        std::uint64_t index) {
+  Xoshiro256 rng(StreamSeed(spec.seed, index));
+
+  const double jitter =
+      1.0 + spec.file_size_jitter * (2.0 * rng.NextDouble() - 1.0);
+  const auto size = std::max<std::uint64_t>(
+      64, static_cast<std::uint64_t>(
+              static_cast<double>(spec.mean_file_bytes) * jitter));
+
+  std::vector<std::byte> payload(size);
+  // Identity header: "MNRS" magic + file index, so any read path can
+  // verify it got the right file (and the right slice of it).
+  payload[0] = std::byte{'M'};
+  payload[1] = std::byte{'N'};
+  payload[2] = std::byte{'R'};
+  payload[3] = std::byte{'S'};
+  for (int i = 0; i < 8; ++i) {
+    payload[4 + i] = static_cast<std::byte>((index >> (8 * i)) & 0xFFU);
+  }
+
+  // Body: alternating byte runs (compressible) and noise segments, mixed
+  // per run_fraction. Segment lengths are jittered so chunk boundaries
+  // never line up with segment boundaries.
+  std::size_t pos = 20;
+  while (pos < payload.size()) {
+    const std::uint64_t word = rng();
+    const std::size_t seg =
+        std::min<std::size_t>(payload.size() - pos,
+                              32 + static_cast<std::size_t>(word % 97));
+    if (rng.NextDouble() < spec.run_fraction) {
+      const auto fill = static_cast<std::byte>(word & 0xFFU);
+      std::fill_n(payload.begin() + static_cast<std::ptrdiff_t>(pos), seg,
+                  fill);
+    } else {
+      for (std::size_t j = 0; j < seg; ++j) {
+        payload[pos + j] =
+            static_cast<std::byte>((rng() >> ((j % 8) * 8)) & 0xFFU);
+      }
+    }
+    pos += seg;
+  }
+  return payload;
+}
+
+Result<SmallFileManifest> GenerateSmallFiles(storage::StorageEngine& engine,
+                                             const SmallFileSpec& spec) {
+  if (spec.num_files == 0) {
+    return InvalidArgumentError("small-file spec must have files");
+  }
+  SmallFileManifest manifest;
+  manifest.spec = spec;
+  for (std::uint64_t i = 0; i < spec.num_files; ++i) {
+    const std::vector<std::byte> payload = SmallFilePayload(spec, i);
+    MONARCH_RETURN_IF_ERROR(engine.Write(SmallFilePath(spec, i), payload));
+    manifest.total_bytes += payload.size();
+  }
+  return manifest;
+}
+
+Result<SmallFileManifest> GeneratePackedSmallFiles(
+    storage::StorageEngine& engine, const SmallFileSpec& spec) {
+  if (spec.num_files == 0) {
+    return InvalidArgumentError("small-file spec must have files");
+  }
+  pack::PackWriter writer(engine, spec.directory, spec.pack_extent_bytes);
+  for (std::uint64_t i = 0; i < spec.num_files; ++i) {
+    MONARCH_RETURN_IF_ERROR(writer.Add(SmallFilePath(spec, i),
+                                       SmallFilePayload(spec, i)));
+  }
+  MONARCH_RETURN_IF_ERROR(writer.Finish());
+  SmallFileManifest manifest;
+  manifest.spec = spec;
+  manifest.total_bytes = writer.logical_bytes();
+  manifest.extent_count = writer.extents_written();
+  return manifest;
+}
+
+}  // namespace monarch::workload

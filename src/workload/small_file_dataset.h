@@ -1,0 +1,75 @@
+// Million-small-file dataset generator (ISSUE 9).
+//
+// ImageNet-on-disk before sharding is the canonical metadata-killer: one
+// tiny JPEG per sample, fanned out over class directories. This module
+// produces that shape deterministically — `dir/class_XXXX/img_XXXXXXX.bin`
+// trees of jittered tiny files — plus a WebDataset-style packed variant
+// where the same logical files are aggregated into container extents via
+// pack::PackWriter so the PFS sees O(extents) objects instead of
+// O(samples).
+//
+// Unlike SamplePayload (pseudo-JPEG noise, deliberately incompressible),
+// small-file payloads mix byte runs with noise so the pack codec has
+// something to compress — the ext_smallfile bench gates on effective
+// local-tier capacity gained by compression.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "storage/storage_engine.h"
+#include "util/status.h"
+
+namespace monarch::workload {
+
+struct SmallFileSpec {
+  std::string directory = "smallfiles";  ///< engine-relative root
+  std::uint64_t num_files = 1024;
+  std::uint64_t num_classes = 16;        ///< directory fanout
+  std::uint64_t mean_file_bytes = 4 * 1024;
+  double file_size_jitter = 0.5;         ///< +- fraction of the mean
+  /// Fraction of each payload body written as byte runs (compressible);
+  /// the rest is deterministic noise. 0.5 gives the LZ codec roughly 2x.
+  double run_fraction = 0.5;
+  std::uint64_t seed = 9;
+  /// Extent size used by GeneratePackedSmallFiles.
+  std::uint64_t pack_extent_bytes = 64 * 1024 * 1024;
+
+  [[nodiscard]] std::uint64_t approx_total_bytes() const noexcept {
+    return num_files * mean_file_bytes;
+  }
+};
+
+struct SmallFileManifest {
+  SmallFileSpec spec;
+  std::uint64_t total_bytes = 0;   ///< logical bytes across all files
+  std::uint64_t extent_count = 0;  ///< 0 for the loose (unpacked) layout
+
+  [[nodiscard]] std::uint64_t num_files() const noexcept {
+    return spec.num_files;
+  }
+};
+
+/// Engine-relative path of logical file `index`:
+/// `<dir>/class_XXXX/img_XXXXXXX.bin` (class = index % num_classes).
+std::string SmallFilePath(const SmallFileSpec& spec, std::uint64_t index);
+
+/// Deterministic payload of logical file `index`: 20-byte identity
+/// header ("MNRS" magic + index), then a run/noise body per
+/// spec.run_fraction. Tests and benches regenerate expected bytes here.
+std::vector<std::byte> SmallFilePayload(const SmallFileSpec& spec,
+                                        std::uint64_t index);
+
+/// Write the loose layout: one engine object per logical file.
+Result<SmallFileManifest> GenerateSmallFiles(storage::StorageEngine& engine,
+                                             const SmallFileSpec& spec);
+
+/// Write the packed layout: identical logical files aggregated into
+/// `.pack/` container extents (WebDataset-style shards: files appended
+/// in index order, extents cut at spec.pack_extent_bytes) plus the pack
+/// index PackIndex::Load reads back.
+Result<SmallFileManifest> GeneratePackedSmallFiles(
+    storage::StorageEngine& engine, const SmallFileSpec& spec);
+
+}  // namespace monarch::workload

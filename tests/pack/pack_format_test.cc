@@ -1,0 +1,198 @@
+#include "pack/pack_format.h"
+
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "../test_support.h"
+#include "pack/pack_index.h"
+#include "pack/packed_engine.h"
+#include "storage/memory_engine.h"
+#include "util/crc32c.h"
+
+namespace monarch::pack {
+namespace {
+
+using monarch::testing::Bytes;
+using monarch::testing::Text;
+
+std::vector<std::byte> Payload(std::size_t size, std::uint8_t tag) {
+  std::vector<std::byte> out(size);
+  for (std::size_t i = 0; i < size; ++i) {
+    out[i] = static_cast<std::byte>((tag + i * 7) & 0xFFU);
+  }
+  return out;
+}
+
+TEST(PackFormatTest, WriterRoundTripsThroughIndex) {
+  storage::MemoryEngine engine("pfs");
+  PackWriter writer(engine, "data", /*extent_bytes=*/1024);
+  std::vector<std::pair<std::string, std::vector<std::byte>>> files;
+  for (int i = 0; i < 9; ++i) {
+    files.emplace_back("data/f" + std::to_string(i),
+                       Payload(300 + 40 * static_cast<std::size_t>(i),
+                               static_cast<std::uint8_t>(i)));
+    ASSERT_OK(writer.Add(files.back().first, files.back().second));
+  }
+  ASSERT_OK(writer.Finish());
+  EXPECT_EQ(9u, writer.logical_files());
+  EXPECT_GT(writer.extents_written(), 1u)
+      << "1 KiB extents over ~4 KiB of payload must cut several extents";
+
+  auto index = PackIndex::Load(engine, "data");
+  ASSERT_OK(index);
+  EXPECT_EQ(9u, index.value()->logical_files());
+  EXPECT_EQ(writer.extents_written(), index.value()->extent_count());
+  EXPECT_EQ(writer.logical_bytes(), index.value()->logical_bytes());
+
+  for (const auto& [name, payload] : files) {
+    const PackEntry* entry = index.value()->Find(name);
+    ASSERT_NE(nullptr, entry) << name;
+    EXPECT_EQ(payload.size(), entry->length);
+    EXPECT_EQ(Crc32c(payload), entry->crc32c);
+    std::vector<std::byte> readback(entry->length);
+    auto read = engine.Read(index.value()->ExtentPathOf(*entry),
+                            entry->offset, readback);
+    ASSERT_OK(read);
+    ASSERT_EQ(readback.size(), read.value());
+    EXPECT_EQ(payload, readback) << name;
+  }
+}
+
+TEST(PackFormatTest, OversizedFileGetsItsOwnExtent) {
+  storage::MemoryEngine engine("pfs");
+  PackWriter writer(engine, "data", /*extent_bytes=*/256);
+  ASSERT_OK(writer.Add("data/big", Payload(4096, 1)));
+  ASSERT_OK(writer.Add("data/small", Payload(64, 2)));
+  ASSERT_OK(writer.Finish());
+  auto index = PackIndex::Load(engine, "data");
+  ASSERT_OK(index);
+  const PackEntry* big = index.value()->Find("data/big");
+  ASSERT_NE(nullptr, big);
+  EXPECT_EQ(4096u, big->length) << "large files are not split";
+}
+
+TEST(PackFormatTest, WriterRejectsBadNames) {
+  storage::MemoryEngine engine("pfs");
+  PackWriter writer(engine, "data", 1024);
+  ASSERT_OK(writer.Add("data/ok", Payload(16, 0)));
+  EXPECT_STATUS_CODE(StatusCode::kAlreadyExists,
+                     writer.Add("data/ok", Payload(16, 0)));
+  EXPECT_STATUS_CODE(StatusCode::kInvalidArgument,
+                     writer.Add("", Payload(16, 0)));
+  EXPECT_STATUS_CODE(StatusCode::kInvalidArgument,
+                     writer.Add("data/a#c0", Payload(16, 0)));
+  EXPECT_STATUS_CODE(StatusCode::kInvalidArgument,
+                     writer.Add("data/.pack/evil", Payload(16, 0)));
+}
+
+TEST(PackFormatTest, LoadWithoutIndexIsNotFound) {
+  storage::MemoryEngine engine("pfs");
+  EXPECT_STATUS_CODE(StatusCode::kNotFound, PackIndex::Load(engine, "data"));
+}
+
+TEST(PackFormatTest, LoadRejectsTruncatedIndex) {
+  storage::MemoryEngine engine("pfs");
+  PackWriter writer(engine, "data", 1024);
+  ASSERT_OK(writer.Add("data/f", Payload(128, 3)));
+  ASSERT_OK(writer.Finish());
+  const std::string index_path = IndexPath("data");
+  auto size = engine.FileSize(index_path);
+  ASSERT_OK(size);
+  std::vector<std::byte> bytes(size.value() - 3);
+  ASSERT_OK(engine.Read(index_path, 0, bytes));
+  ASSERT_OK(engine.Write(index_path, bytes));
+  EXPECT_STATUS_CODE(StatusCode::kDataLoss, PackIndex::Load(engine, "data"));
+}
+
+TEST(PackFormatTest, InternalPathsAreRecognised) {
+  EXPECT_TRUE(IsPackInternalPath("data/.pack/index.mpki"));
+  EXPECT_TRUE(IsPackInternalPath(".pack/extent-000000.mpk"));
+  EXPECT_FALSE(IsPackInternalPath("data/file.bin"));
+  EXPECT_FALSE(IsPackInternalPath("data/pack/file.bin"));
+}
+
+class PackedEngineTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    base_ = std::make_shared<storage::MemoryEngine>("pfs");
+    PackWriter writer(*base_, "data", 512);
+    for (int i = 0; i < 5; ++i) {
+      payloads_.push_back(Payload(200 + 30 * static_cast<std::size_t>(i),
+                                  static_cast<std::uint8_t>(i)));
+      ASSERT_OK(
+          writer.Add("data/f" + std::to_string(i), payloads_.back()));
+    }
+    ASSERT_OK(writer.Finish());
+    ASSERT_OK(base_->Write("data/loose", Bytes("loose bytes")));
+    auto index = PackIndex::Load(*base_, "data");
+    ASSERT_OK(index);
+    engine_ = std::make_shared<PackedPfsEngine>(base_, index.value());
+  }
+
+  std::shared_ptr<storage::MemoryEngine> base_;
+  std::vector<std::vector<std::byte>> payloads_;
+  std::shared_ptr<PackedPfsEngine> engine_;
+};
+
+TEST_F(PackedEngineTest, ReadsRedirectIntoExtents) {
+  for (int i = 0; i < 5; ++i) {
+    const std::string name = "data/f" + std::to_string(i);
+    auto size = engine_->FileSize(name);
+    ASSERT_OK(size);
+    ASSERT_EQ(payloads_[static_cast<std::size_t>(i)].size(), size.value());
+    std::vector<std::byte> buf(size.value());
+    auto read = engine_->Read(name, 0, buf);
+    ASSERT_OK(read);
+    EXPECT_EQ(payloads_[static_cast<std::size_t>(i)], buf);
+  }
+}
+
+TEST_F(PackedEngineTest, PartialReadsClipAtLogicalEof) {
+  std::vector<std::byte> buf(64);
+  auto read = engine_->Read("data/f0", payloads_[0].size() - 10, buf);
+  ASSERT_OK(read);
+  EXPECT_EQ(10u, read.value())
+      << "reads must clip at the logical file end, not the extent end";
+  auto past = engine_->Read("data/f0", payloads_[0].size() + 5, buf);
+  ASSERT_OK(past);
+  EXPECT_EQ(0u, past.value());
+}
+
+TEST_F(PackedEngineTest, ZeroCopyServesPackedSlices) {
+  auto view = engine_->ReadZeroCopy("data/f1", 8, 32);
+  ASSERT_OK(view);
+  ASSERT_EQ(32u, view.value().size());
+  EXPECT_EQ(0, std::memcmp(view.value().data().data(),
+                           payloads_[1].data() + 8, 32));
+}
+
+TEST_F(PackedEngineTest, LooseFilesStillWork) {
+  std::vector<std::byte> buf(11);
+  ASSERT_OK(engine_->Read("data/loose", 0, buf));
+  EXPECT_EQ("loose bytes", Text(buf));
+}
+
+TEST_F(PackedEngineTest, PackedNamesAreReadOnly) {
+  EXPECT_STATUS_CODE(StatusCode::kFailedPrecondition,
+                     engine_->Write("data/f0", Bytes("nope")));
+  EXPECT_STATUS_CODE(StatusCode::kFailedPrecondition,
+                     engine_->Delete("data/f0"));
+}
+
+TEST_F(PackedEngineTest, ListMergesLogicalNamesAndHidesInternals) {
+  auto files = engine_->ListFiles("data");
+  ASSERT_OK(files);
+  std::vector<std::string> names;
+  for (const auto& st : files.value()) names.push_back(st.path);
+  EXPECT_EQ(6u, names.size()) << "5 packed + 1 loose, no .pack internals";
+  for (const auto& name : names) {
+    EXPECT_FALSE(IsPackInternalPath(name)) << name;
+  }
+  EXPECT_TRUE(std::is_sorted(names.begin(), names.end()));
+}
+
+}  // namespace
+}  // namespace monarch::pack

@@ -36,6 +36,13 @@
 //       --quota shrinks the demo tier so eviction-capable policies
 //       actually evict.
 //
+//   monarchctl pack-status [--files N] [--codec none|lz] [--chunk-bytes N]
+//       Small-file packing demo (ISSUE 9): pack a tiny-file dataset
+//       into container extents, read it sparsely then fully through a
+//       pack-enabled hierarchy, and print the pack index, chunk
+//       residency, stage-in compression ratio, and chunk hit/miss
+//       counters (DESIGN.md "Small-file packing & chunk staging").
+//
 //   monarchctl faults [--local-rate R] [--pfs-rate R] [--corrupt-rate R]
 //                     [--epochs N] [--files N] [--outage-epoch E]
 //       Degradation demo: run the built-in workload through a hierarchy
@@ -99,6 +106,7 @@
 #include "util/byte_units.h"
 #include "util/table.h"
 #include "workload/dataset_generator.h"
+#include "workload/small_file_dataset.h"
 #include "workload/trace.h"
 
 namespace monarch::ctl {
@@ -161,6 +169,7 @@ void PrintUsage() {
       "  monarchctl stage-status [--files N] [--lookahead N] [--read-fraction F]\n"
       "                     [--policy first-fit|round-robin|lru|hotspot|clairvoyant]\n"
       "                     [--quota BYTES]\n"
+      "  monarchctl pack-status [--files N] [--codec none|lz] [--chunk-bytes N]\n"
       "  monarchctl faults  [--local-rate R] [--pfs-rate R] [--corrupt-rate R]\n"
       "                     [--epochs N] [--files N] [--outage-epoch E]\n"
       "  monarchctl peer-status [--nodes N] [--files N] [--epochs N] [--replication R]\n"
@@ -562,6 +571,112 @@ int CmdStageStatus(const Args& args) {
             << "  copy pipeline   chunks_copied=" << p.chunks_copied
             << " donated=" << FormatByteSize(p.donated_bytes)
             << " bytes_staged=" << FormatByteSize(p.bytes_staged) << "\n";
+  return 0;
+}
+
+/// Small-file packing demo (ISSUE 9): pack a tiny-file dataset into
+/// container extents on an in-memory PFS, read it through a pack-enabled
+/// hierarchy — a sparse pass touching one chunk per file, then a full
+/// pass — and print the pack index, chunk residency, compression ratio,
+/// and chunk hit/miss counters.
+int CmdPackStatus(const Args& args) {
+  const int files = std::max(1, std::atoi(args.GetOr("files", "24").c_str()));
+  const std::string codec = args.GetOr("codec", "lz");
+  const std::uint64_t chunk_bytes = static_cast<std::uint64_t>(
+      std::atoll(args.GetOr("chunk-bytes", "1024").c_str()));
+
+  workload::SmallFileSpec spec;
+  spec.directory = "data";
+  spec.num_files = static_cast<std::uint64_t>(files);
+  spec.num_classes = 4;
+  spec.mean_file_bytes = 4 * 1024;
+  spec.pack_extent_bytes = 32 * 1024;
+  auto pfs = std::make_shared<storage::MemoryEngine>("demo-pfs");
+  auto manifest = workload::GeneratePackedSmallFiles(*pfs, spec);
+  if (!manifest.ok()) {
+    std::cerr << "pack-status: " << manifest.status() << "\n";
+    return 2;
+  }
+  auto local = std::make_shared<storage::MemoryEngine>("demo-ssd");
+
+  core::MonarchConfig config;
+  config.cache_tiers.push_back(
+      core::TierSpec{"demo-ssd", local, /*quota_bytes=*/8 << 20});
+  config.pfs = core::TierSpec{"demo-pfs", pfs, 0};
+  config.dataset_dir = "data";
+  config.placement.num_threads = 2;
+  config.placement.pack.enabled = true;
+  config.placement.pack.chunk_bytes = std::max<std::uint64_t>(1, chunk_bytes);
+  config.placement.pack.codec = codec;
+  auto monarch = core::Monarch::Create(std::move(config));
+  if (!monarch.ok()) {
+    std::cerr << "pack-status: " << monarch.status() << "\n";
+    return 2;
+  }
+
+  // Sparse pass: one chunk-sized bite out of every file (cold — all
+  // chunk misses), then let staging land, then a warm re-read of the
+  // same slices (all chunk hits) and a full-file pass.
+  std::vector<std::byte> buffer(16 * 1024);
+  for (int pass = 0; pass < 2; ++pass) {
+    for (int i = 0; i < files; ++i) {
+      const std::string name =
+          workload::SmallFilePath(spec, static_cast<std::uint64_t>(i));
+      auto read = monarch.value()->Read(
+          name, 0, std::span<std::byte>(buffer.data(), chunk_bytes));
+      if (!read.ok()) {
+        std::cerr << "pack-status: read failed: " << read.status() << "\n";
+        return 2;
+      }
+    }
+    monarch.value()->DrainPlacements();
+  }
+  for (int i = 0; i < files; ++i) {
+    const std::string name =
+        workload::SmallFilePath(spec, static_cast<std::uint64_t>(i));
+    auto read = monarch.value()->Read(name, 0, buffer);
+    if (!read.ok()) {
+      std::cerr << "pack-status: read failed: " << read.status() << "\n";
+      return 2;
+    }
+  }
+  monarch.value()->DrainPlacements();
+
+  const auto stats = monarch.value()->Stats();
+  const auto& p = stats.placement;
+  const double ratio =
+      p.chunk_stored_bytes > 0
+          ? static_cast<double>(p.bytes_staged) /
+                static_cast<double>(p.chunk_stored_bytes)
+          : 1.0;
+  const double residency =
+      stats.pack_logical_bytes > 0
+          ? 100.0 * static_cast<double>(p.bytes_staged) /
+                static_cast<double>(stats.pack_logical_bytes)
+          : 0.0;
+  std::cout << "pack status (demo: " << files << " small files, codec "
+            << codec << ", chunk "
+            << FormatByteSize(std::max<std::uint64_t>(1, chunk_bytes))
+            << ")\n"
+            << "  index           extents=" << stats.pack_extents
+            << " logical_files=" << stats.pack_logical_files
+            << " logical_bytes=" << FormatByteSize(stats.pack_logical_bytes)
+            << "\n"
+            << "  residency       chunks_staged=" << p.chunks_staged
+            << " evicted=" << p.chunks_evicted
+            << " staged_logical=" << FormatByteSize(p.bytes_staged)
+            << " (" << Table::Num(std::min(residency, 100.0), 1)
+            << "% of dataset)\n"
+            << "  compression     stored=" << FormatByteSize(
+                   p.chunk_stored_bytes)
+            << " logical=" << FormatByteSize(p.bytes_staged)
+            << " ratio=" << Table::Num(ratio, 2) << "x\n"
+            << "  tier occupancy  " << FormatByteSize(
+                   stats.levels[0].occupancy_bytes)
+            << " of " << FormatByteSize(stats.levels[0].quota_bytes) << "\n"
+            << "  reads           chunk_hits=" << stats.chunk_hits
+            << " chunk_misses=" << stats.chunk_misses
+            << " fallbacks=" << stats.degraded_fallbacks << "\n";
   return 0;
 }
 
@@ -1179,6 +1294,7 @@ int Main(int argc, char** argv) {
   if (command == "metrics") return CmdMetrics(*args);
   if (command == "trace") return CmdTraceExport(*args);
   if (command == "stage-status") return CmdStageStatus(*args);
+  if (command == "pack-status") return CmdPackStatus(*args);
   if (command == "faults") return CmdFaults(*args);
   if (command == "peer-status") return CmdPeerStatus(*args);
   if (command == "cluster-status") return CmdClusterStatus(*args);
