@@ -15,6 +15,7 @@
 
 #include "bench_common.h"
 #include "dlsim/cluster.h"
+#include "qos/tenant.h"
 
 namespace monarch::bench {
 namespace {
@@ -121,6 +122,88 @@ int Run() {
   }
 
   table.PrintAscii(std::cout);
+
+  // QoS arm (ISSUE 10): one trainer shares the cluster with three
+  // full-scan data-prep jobs. With `[qos]` off the scans compete head-on
+  // for the PFS and can evict the trainer's resident working set; with
+  // QoS on each job is a tenant — the scans are squeezed to their
+  // weighted bandwidth share and scan-resistance pins the trainer's
+  // files (cross_class_evictions must stay 0). The hard gates live in
+  // bench/ext_qos; this arm shows the same machinery end-to-end through
+  // the dlsim cluster.
+  PrintBanner(std::cout, "QoS arm: trainer vs 3 full-scan jobs (ISSUE 10)");
+  Table qos_table({"qos", "trainer_epoch1_s", "trainer_steady_s",
+                   "scan_total_s", "x_class_evict", "stage_refusals"});
+  for (const bool qos_on : {false, true}) {
+    dlsim::ClusterConfig config;
+    config.num_jobs = 4;
+    config.use_monarch = true;
+    config.dataset = workload::DatasetSpec::ImageNet100GiB(scale);
+    config.model = dlsim::ModelProfile::LeNet();
+    config.epochs = env.epochs;
+    config.local_quota_bytes = static_cast<std::uint64_t>(
+        115.0 * scale * static_cast<double>(kMiB));
+    config.seed = 7;
+    // Explicit heavyweight trainer share: a tenant's bytes are charged
+    // on the PFS read AND the tier write, so the trainer's nominal share
+    // must cover roughly twice its demand for the broker to stay out of
+    // its way while still squeezing the three scans.
+    config.job_specs = {
+        {dlsim::JobWorkload::kTraining, qos::IoClass::kTraining, 12.0},
+        {dlsim::JobWorkload::kScan, qos::IoClass::kScan, 0},
+        {dlsim::JobWorkload::kScan, qos::IoClass::kScan, 0},
+        {dlsim::JobWorkload::kScan, qos::IoClass::kScan, 0},
+    };
+    if (qos_on) {
+      config.qos.enabled = true;
+      // 2x the PFS device (200 MB/s): the scans' aggregate share lands
+      // under the device bandwidth, leaving the trainer real headroom.
+      config.qos.total_bandwidth_bps = 400e6;
+    }
+
+    auto result = dlsim::RunClusterExperiment(
+        env.work_dir / "pfs",
+        env.work_dir / (std::string("q") + (qos_on ? "on" : "off")), config);
+    if (!result.ok()) {
+      std::cerr << "qos-arm cluster run failed: " << result.status() << "\n";
+      return 1;
+    }
+
+    const dlsim::JobResult& trainer = result.value().jobs.at(0);
+    RunningSummary trainer_steady;
+    for (int e = 2; e <= env.epochs; ++e) {
+      trainer_steady.Add(trainer.training.EpochSeconds(e));
+    }
+    RunningSummary scan_total;
+    std::uint64_t cross_class = 0;
+    std::uint64_t refusals = 0;
+    for (const auto& job : result.value().jobs) {
+      if (job.io_class == qos::IoClass::kScan) {
+        scan_total.Add(job.training.total_seconds);
+      }
+      cross_class += job.monarch_stats.placement.cross_class_evictions;
+      refusals += job.monarch_stats.placement.scan_stage_refusals;
+    }
+
+    const std::string arm_key = qos_on ? "qos.on" : "qos.off";
+    qos_table.AddRow({qos_on ? "on" : "off",
+                      Table::Num(trainer.training.EpochSeconds(1), 2),
+                      Table::Num(trainer_steady.mean(), 2),
+                      Table::Num(scan_total.mean(), 2),
+                      std::to_string(cross_class), std::to_string(refusals)});
+    json_metrics.emplace_back(arm_key + ".trainer_epoch1_s",
+                              trainer.training.EpochSeconds(1));
+    json_metrics.emplace_back(arm_key + ".trainer_steady_s",
+                              trainer_steady.mean());
+    json_metrics.emplace_back(arm_key + ".scan_total_s", scan_total.mean());
+    json_metrics.emplace_back(arm_key + ".cross_class_evictions",
+                              static_cast<double>(cross_class));
+    json_metrics.emplace_back(arm_key + ".scan_stage_refusals",
+                              static_cast<double>(refusals));
+    std::cout << "  done: qos=" << (qos_on ? "on" : "off") << "\n";
+  }
+  qos_table.PrintAscii(std::cout);
+
   std::cout <<
       "\nReading: vanilla steady-state epochs inflate with job count "
       "(jobs split the shared\nPFS); MONARCH's steady-state epochs stay "
@@ -128,7 +211,9 @@ int Run() {
       "after staging — the aggregate-PFS-reads column shows why. The\n"
       "monarch-peer arm shards staging across the jobs: pfs_GiB stays "
       "near 1x the dataset\nregardless of K, with the difference carried "
-      "by the interconnect (peer_GiB).\n";
+      "by the interconnect (peer_GiB). The qos\narm shows class isolation: "
+      "with [qos] on the trainer's epochs are unchanged while\nthe three "
+      "scan jobs absorb the whole squeeze of the weighted shares.\n";
   WriteBenchJson(env, "ext_multijob", {}, json_metrics);
   env.Cleanup();
   return 0;

@@ -1,0 +1,370 @@
+// Extension experiment (ISSUE 10): multi-tenant QoS — per-class latency
+// and throughput isolation as the tenant count ramps, plus scan
+// resistance of the placement tiers.
+//
+// Phase A (bandwidth broker): one interactive tenant (weight 8, small
+// paced reads) shares a metered pipe with N full-scan tenants (weight 2
+// each, back-to-back bulk reads), N ramping 1 -> 32. Every read goes
+// through a StorageDriver whose bytes are charged to the calling
+// thread's ambient tenant. Gates:
+//   - interactive p99 at N=32 stays within 2x of its solo (N=0) figure
+//     (with a small absolute floor so scheduler jitter on a ~50us
+//     memory read can't fail the gate spuriously);
+//   - aggregate scan throughput with the interactive tenant running
+//     stays within 20% of the no-interactive baseline at N=32 (the
+//     broker reserves the interactive share, nothing more).
+//
+// Phase B (scan resistance): a trainer stages its working set into a
+// Monarch cache tier, then re-reads it while a low-retention full-scan
+// tenant sweeps a 4x larger dataset through the same hierarchy (QoS
+// enabled, scan staging cap). Gates:
+//   - zero cross-class evictions (the metric is the reconciliation);
+//   - a post-scan re-read of the whole trainer working set touches the
+//     PFS zero times — the scan never displaced it.
+//
+// Exit 0 iff every gate holds; scripts/bench_smoke.sh runs this binary
+// exit-code-gated.
+#include <atomic>
+#include <cstddef>
+#include <iostream>
+#include <memory>
+#include <span>
+#include <thread>
+#include <vector>
+
+#include "bench_common.h"
+#include "core/monarch.h"
+#include "core/storage_driver.h"
+#include "qos/bandwidth_broker.h"
+#include "qos/tenant.h"
+#include "storage/memory_engine.h"
+#include "util/clock.h"
+#include "util/histogram.h"
+
+namespace monarch::bench {
+namespace {
+
+constexpr double kPipeBytesPerSec = 64.0 * static_cast<double>(kMiB);
+constexpr std::size_t kInteractiveReadBytes = 16 * 1024;
+constexpr std::size_t kScanReadBytes = 64 * 1024;
+constexpr double kPointSeconds = 0.6;
+/// Interactive pacing: ~4 MiB/s offered load — inside the interactive
+/// share even at N=32 (8/72 of the pipe ~ 7.1 MiB/s), so any throttle
+/// wait it does see is an isolation failure, not an overload artefact.
+const Duration kInteractivePace = Millis(4);
+/// Absolute p99 floor for the 2x gate: a throttled read waits tens of
+/// milliseconds, an unthrottled memory read plus scheduler jitter stays
+/// well under this.
+constexpr double kP99FloorUs = 2000.0;
+
+qos::TenantContext MakeTenant(int id, std::string name, qos::IoClass cls,
+                              double weight, bool low_retention = false) {
+  qos::TenantContext tenant;
+  tenant.tenant_id = id;
+  tenant.name = std::move(name);
+  tenant.io_class = cls;
+  tenant.weight = weight;
+  tenant.low_retention = low_retention;
+  return tenant;
+}
+
+struct RampPoint {
+  int scan_tenants = 0;
+  bool interactive = true;
+  double interactive_p99_us = 0;
+  double interactive_mean_us = 0;
+  double scan_mibps = 0;           ///< aggregate over all scan tenants
+  std::uint64_t scan_throttle_waits = 0;
+  std::uint64_t interactive_throttle_waits = 0;
+};
+
+/// One ramp point: N scan tenants (and optionally the interactive one)
+/// hammer a fresh broker + driver for kPointSeconds.
+RampPoint RunRampPoint(int scan_tenants, bool interactive) {
+  qos::BandwidthBroker::Options broker_options;
+  broker_options.total_rate_bps = kPipeBytesPerSec;
+  broker_options.work_conserving = true;
+  auto broker = std::make_shared<qos::BandwidthBroker>(broker_options);
+
+  auto engine = std::make_shared<storage::MemoryEngine>("qos-shared");
+  const std::vector<std::byte> payload(1 << 20);
+  if (!engine->Write("qos/data", payload).ok()) std::abort();
+
+  const auto interactive_tenant =
+      MakeTenant(0, "interactive", qos::IoClass::kInteractive, 8.0);
+  broker->RegisterTenant(interactive_tenant);
+  std::vector<qos::TenantContext> scanners;
+  for (int i = 0; i < scan_tenants; ++i) {
+    scanners.push_back(MakeTenant(1 + i, "scan" + std::to_string(i),
+                                  qos::IoClass::kScan, 2.0,
+                                  /*low_retention=*/true));
+    broker->RegisterTenant(scanners.back());
+  }
+
+  core::StorageDriver driver("qos-tier", engine, /*quota_bytes=*/0,
+                             /*read_only=*/true);
+  driver.SetQosBroker(broker, interactive_tenant);
+
+  std::atomic<bool> stop{false};
+  std::atomic<std::uint64_t> scan_bytes{0};
+  LatencyHistogram interactive_latency;
+
+  std::vector<std::thread> pool;
+  for (const qos::TenantContext& scanner : scanners) {
+    pool.emplace_back([&, scanner] {
+      qos::ScopedTenant scope(scanner);
+      std::vector<std::byte> buffer(kScanReadBytes);
+      std::uint64_t offset = 0;
+      while (!stop.load(std::memory_order_relaxed)) {
+        const auto n = driver.Read("qos/data", offset, buffer);
+        if (!n.ok()) std::abort();
+        scan_bytes.fetch_add(*n, std::memory_order_relaxed);
+        offset = (offset + kScanReadBytes) % (payload.size() / 2);
+      }
+    });
+  }
+  if (interactive) {
+    pool.emplace_back([&] {
+      qos::ScopedTenant scope(interactive_tenant);
+      std::vector<std::byte> buffer(kInteractiveReadBytes);
+      while (!stop.load(std::memory_order_relaxed)) {
+        const Stopwatch op;
+        if (!driver.Read("qos/data", 0, buffer).ok()) std::abort();
+        interactive_latency.Record(op.Elapsed());
+        PreciseSleep(kInteractivePace);
+      }
+    });
+  }
+
+  const Stopwatch wall;
+  PreciseSleep(FromSeconds(kPointSeconds));
+  stop.store(true, std::memory_order_relaxed);
+  for (std::thread& worker : pool) worker.join();
+  const double elapsed = wall.ElapsedSeconds();
+
+  RampPoint point;
+  point.scan_tenants = scan_tenants;
+  point.interactive = interactive;
+  const auto latency = interactive_latency.TakeSnapshot();
+  point.interactive_p99_us = static_cast<double>(latency.p99_us);
+  point.interactive_mean_us = latency.mean_us;
+  point.scan_mibps = static_cast<double>(scan_bytes.load()) /
+                     static_cast<double>(kMiB) / elapsed;
+  for (const auto& usage : broker->Usage()) {
+    if (usage.io_class == qos::IoClass::kScan) {
+      point.scan_throttle_waits += usage.throttle_waits;
+    } else if (usage.tenant_id == 0) {
+      point.interactive_throttle_waits = usage.throttle_waits;
+    }
+  }
+  return point;
+}
+
+struct ScanResistanceResult {
+  std::uint64_t cross_class_evictions = 0;
+  std::uint64_t scan_stage_refusals = 0;
+  std::uint64_t trainer_reread_pfs_ops = 0;  ///< must be 0
+  std::uint64_t trainer_files = 0;
+  std::uint64_t scan_files = 0;
+  bool ok = false;
+};
+
+/// Phase B: trainer working set vs concurrent low-retention full scan
+/// through one QoS-enabled Monarch hierarchy.
+ScanResistanceResult RunScanResistance() {
+  ScanResistanceResult out;
+  constexpr std::size_t kFileBytes = 128 * 1024;
+  constexpr int kTrainerFiles = 16;
+  constexpr int kScanFiles = 64;
+  out.trainer_files = kTrainerFiles;
+  out.scan_files = kScanFiles;
+
+  auto pfs = std::make_shared<storage::MemoryEngine>("qos-pfs");
+  const std::vector<std::byte> payload(kFileBytes);
+  std::vector<std::string> trainer_files;
+  std::vector<std::string> scan_files;
+  for (int i = 0; i < kTrainerFiles; ++i) {
+    trainer_files.push_back("data/train-" + std::to_string(i));
+    if (!pfs->Write(trainer_files.back(), payload).ok()) std::abort();
+  }
+  for (int i = 0; i < kScanFiles; ++i) {
+    scan_files.push_back("data/scan-" + std::to_string(i));
+    if (!pfs->Write(scan_files.back(), payload).ok()) std::abort();
+  }
+
+  const std::uint64_t trainer_bytes =
+      static_cast<std::uint64_t>(kTrainerFiles) * kFileBytes;
+  core::MonarchConfig config;
+  config.cache_tiers.push_back(core::TierSpec{
+      "qos-ram", std::make_shared<storage::MemoryEngine>("qos-ram"),
+      trainer_bytes + trainer_bytes / 2});  // room for the set + a bit
+  config.pfs = core::TierSpec{"qos-pfs", pfs, 0};
+  config.dataset_dir = "data";
+  config.placement.enable_eviction = true;
+  config.placement.qos.enabled = true;
+  config.placement.qos.scan_stage_cap_bytes = trainer_bytes / 2;
+  auto monarch = core::Monarch::Create(std::move(config));
+  if (!monarch.ok()) {
+    std::cerr << "ext_qos: monarch create failed: " << monarch.status()
+              << "\n";
+    return out;
+  }
+
+  const auto trainer =
+      MakeTenant(1, "trainer", qos::IoClass::kTraining, 4.0);
+  const auto scanner = MakeTenant(2, "scanner", qos::IoClass::kScan, 2.0,
+                                  /*low_retention=*/true);
+  const auto read_all = [&](const std::vector<std::string>& files,
+                            const qos::TenantContext& tenant) {
+    qos::ScopedTenant scope(tenant);
+    std::vector<std::byte> buffer(64 * 1024);
+    for (const std::string& file : files) {
+      std::uint64_t offset = 0;
+      while (offset < kFileBytes) {
+        const auto n = (*monarch)->Read(file, offset, buffer);
+        if (!n.ok() || *n == 0) std::abort();
+        offset += *n;
+      }
+    }
+  };
+
+  // Epoch 1: the trainer stages its working set.
+  read_all(trainer_files, trainer);
+  (*monarch)->DrainPlacements();
+
+  // Concurrent phase: the trainer re-reads while the scan sweeps a 4x
+  // larger dataset through the same tiers.
+  std::thread scan_thread([&] { read_all(scan_files, scanner); });
+  read_all(trainer_files, trainer);
+  scan_thread.join();
+  (*monarch)->DrainPlacements();
+
+  // Reconciliation re-read: with the scan finished, every trainer byte
+  // must still come from the cache tier.
+  const std::uint64_t pfs_reads_before = pfs->Stats().Snapshot().read_ops;
+  read_all(trainer_files, trainer);
+  out.trainer_reread_pfs_ops =
+      pfs->Stats().Snapshot().read_ops - pfs_reads_before;
+
+  const core::MonarchStats stats = (*monarch)->Stats();
+  out.cross_class_evictions = stats.placement.cross_class_evictions;
+  out.scan_stage_refusals = stats.placement.scan_stage_refusals;
+  out.ok = true;
+  return out;
+}
+
+int Run() {
+  BenchEnv env = BenchEnv::FromEnvironment("ext_qos");
+  std::vector<std::pair<std::string, double>> json_metrics;
+
+  PrintBanner(std::cout,
+              "Multi-tenant QoS: latency/throughput isolation ramp");
+  std::cout << "pipe=" << FormatByteSize(
+                   static_cast<std::uint64_t>(kPipeBytesPerSec))
+            << "/s interactive=w8@" << kInteractiveReadBytes / 1024
+            << "KiB scan=w2@" << kScanReadBytes / 1024 << "KiB point="
+            << kPointSeconds << "s\n";
+
+  Table table({"scan_tenants", "interactive_p99_us", "interactive_mean_us",
+               "int_waits", "scan_MiB_s", "scan_waits"});
+  const RampPoint solo = RunRampPoint(0, /*interactive=*/true);
+  std::vector<RampPoint> ramp;
+  for (const int n : {1, 2, 4, 8, 16, 32}) {
+    ramp.push_back(RunRampPoint(n, /*interactive=*/true));
+  }
+  const RampPoint scan_baseline = RunRampPoint(32, /*interactive=*/false);
+
+  const auto add_row = [&](const RampPoint& point, const char* label) {
+    table.AddRow({label != nullptr ? label
+                                   : std::to_string(point.scan_tenants),
+                  Table::Num(point.interactive_p99_us, 0),
+                  Table::Num(point.interactive_mean_us, 0),
+                  std::to_string(point.interactive_throttle_waits),
+                  Table::Num(point.scan_mibps, 1),
+                  std::to_string(point.scan_throttle_waits)});
+  };
+  add_row(solo, "0 (solo)");
+  for (const RampPoint& point : ramp) add_row(point, nullptr);
+  add_row(scan_baseline, "32 (no-int)");
+  table.PrintAscii(std::cout);
+
+  json_metrics.emplace_back("interactive_p99_us.n0", solo.interactive_p99_us);
+  for (const RampPoint& point : ramp) {
+    const std::string key = "n" + std::to_string(point.scan_tenants);
+    json_metrics.emplace_back("interactive_p99_us." + key,
+                              point.interactive_p99_us);
+    json_metrics.emplace_back("scan_aggregate_mibps." + key,
+                              point.scan_mibps);
+  }
+  json_metrics.emplace_back("scan_aggregate_mibps.n32_baseline",
+                            scan_baseline.scan_mibps);
+
+  // Gate A1: interactive p99 within 2x of solo (absolute floor for
+  // scheduler jitter on the ~50us unthrottled baseline).
+  const RampPoint& worst = ramp.back();
+  const double p99_budget =
+      std::max(2.0 * solo.interactive_p99_us, kP99FloorUs);
+  const bool p99_ok = worst.interactive_p99_us <= p99_budget;
+  json_metrics.emplace_back("gate.p99_budget_us", p99_budget);
+  std::cout << "\ngate A1: interactive p99 @N=32 "
+            << Table::Num(worst.interactive_p99_us, 0) << "us vs budget "
+            << Table::Num(p99_budget, 0) << "us (solo "
+            << Table::Num(solo.interactive_p99_us, 0) << "us) -> "
+            << (p99_ok ? "PASS" : "FAIL") << "\n";
+
+  // Gate A2: aggregate scan throughput within 20% of the
+  // no-interactive baseline at N=32.
+  const double scan_ratio =
+      scan_baseline.scan_mibps > 0
+          ? worst.scan_mibps / scan_baseline.scan_mibps
+          : 0.0;
+  const bool scan_ok = scan_ratio >= 0.8;
+  json_metrics.emplace_back("gate.scan_throughput_ratio", scan_ratio);
+  std::cout << "gate A2: scan aggregate " << Table::Num(worst.scan_mibps, 1)
+            << " MiB/s vs baseline "
+            << Table::Num(scan_baseline.scan_mibps, 1) << " MiB/s (ratio "
+            << Table::Num(scan_ratio, 3) << ", need >= 0.8) -> "
+            << (scan_ok ? "PASS" : "FAIL") << "\n";
+
+  PrintBanner(std::cout, "Scan resistance: trainer working set vs full scan");
+  const ScanResistanceResult resistance = RunScanResistance();
+  std::cout << "trainer_files=" << resistance.trainer_files
+            << " scan_files=" << resistance.scan_files
+            << " cross_class_evictions=" << resistance.cross_class_evictions
+            << " scan_stage_refusals=" << resistance.scan_stage_refusals
+            << " trainer_reread_pfs_ops=" << resistance.trainer_reread_pfs_ops
+            << "\n";
+  const bool resist_ok = resistance.ok &&
+                         resistance.cross_class_evictions == 0 &&
+                         resistance.trainer_reread_pfs_ops == 0;
+  json_metrics.emplace_back(
+      "gate.cross_class_evictions",
+      static_cast<double>(resistance.cross_class_evictions));
+  json_metrics.emplace_back(
+      "gate.trainer_reread_pfs_ops",
+      static_cast<double>(resistance.trainer_reread_pfs_ops));
+  json_metrics.emplace_back(
+      "scan_stage_refusals",
+      static_cast<double>(resistance.scan_stage_refusals));
+  std::cout << "gate B: cross_class_evictions == 0 and trainer re-read off "
+               "the PFS -> "
+            << (resist_ok ? "PASS" : "FAIL") << "\n";
+
+  WriteBenchJson(env, "ext_qos", {}, json_metrics);
+  env.Cleanup();
+
+  if (p99_ok && scan_ok && resist_ok) {
+    std::cout << "\nISOLATED: all QoS gates hold\n";
+    return 0;
+  }
+  std::cout << "\nFAILED: a QoS gate did not hold\n";
+  return 1;
+}
+
+}  // namespace
+}  // namespace monarch::bench
+
+int main(int argc, char** argv) {
+  monarch::bench::TraceOutGuard trace(argc, argv);
+  return monarch::bench::Run();
+}

@@ -5,12 +5,13 @@
 # chaos experiment (ext_churn), and the fig4 placement-policy sweep
 # (eviction policies vs overcommit, sweep arm only), the async
 # zero-copy read-path gate (micro_read_hotpath), the metadata-flatness
-# gate (micro_metadata_scale), and the small-file packing comparison
-# (ext_smallfile), producing
+# gate (micro_metadata_scale), the small-file packing comparison
+# (ext_smallfile), and the multi-tenant QoS isolation gate (ext_qos),
+# producing
 # BENCH_fig1.json / BENCH_fig3.json / BENCH_ext_multijob.json /
 # BENCH_ext_checkpoint.json / BENCH_ext_churn.json / BENCH_fig4.json /
 # BENCH_read_hotpath.json / BENCH_metadata_scale.json /
-# BENCH_ext_smallfile.json
+# BENCH_ext_smallfile.json / BENCH_ext_qos.json
 # for quick inspection: the demand-vs-prefetch first-epoch comparison,
 # the vanilla / monarch / monarch-peer PFS-traffic comparison, the
 # direct-PFS vs write-back stall gap, the kill/revive digest and
@@ -18,7 +19,8 @@
 # (docs/PLACEMENT.md), the sync-copy vs async-zero-copy reads/sec
 # sweep with its >=2x-at-64-threads acceptance gate (ISSUE 8), the
 # 1k->1M lookup-p99 drift gate, and the packed-vs-naive sparse-PFS /
-# compression / digest gates (ISSUE 9).
+# compression / digest gates (ISSUE 9), and the interactive-p99 /
+# scan-throughput / cross-class-eviction QoS gates (ISSUE 10).
 #
 # Usage: scripts/bench_smoke.sh [output-dir]
 #   output-dir   where the BENCH_*.json files land (default: bench-results)
@@ -38,7 +40,8 @@ if [[ ! -x build/bench/fig1_motivation || ! -x build/bench/fig3_full_dataset \
       || ! -x build/bench/fig4_partial_dataset \
       || ! -x build/bench/micro_read_hotpath \
       || ! -x build/bench/micro_metadata_scale \
-      || ! -x build/bench/ext_smallfile ]]; then
+      || ! -x build/bench/ext_smallfile \
+      || ! -x build/bench/ext_qos ]]; then
   echo "bench binaries missing — build first: cmake -B build && cmake --build build -j" >&2
   exit 1
 fi
@@ -78,6 +81,13 @@ MONARCH_FIG4_ARMS=sweep ./build/bench/fig4_partial_dataset
 # local-tier capacity drops below 1.5x, or the arms' sample digests
 # diverge.
 ./build/bench/ext_smallfile
+# Multi-tenant QoS gates (ISSUE 10): interactive p99 must stay within
+# 2x of its solo baseline as scan tenants ramp, aggregate scan
+# throughput must stay within 20% of the no-interactive baseline, and
+# the concurrent full-scan must never evict the trainer's working set
+# (0 cross-class evictions). Exits non-zero on any gate, failing the
+# whole smoke pass.
+./build/bench/ext_qos
 
 echo
 echo "wrote:"
@@ -86,4 +96,4 @@ ls -l "$OUT_DIR"/BENCH_fig1.json "$OUT_DIR"/BENCH_fig3.json \
       "$OUT_DIR"/BENCH_ext_churn.json "$OUT_DIR"/BENCH_fig4.json \
       "$OUT_DIR"/BENCH_read_hotpath.json \
       "$OUT_DIR"/BENCH_metadata_scale.json \
-      "$OUT_DIR"/BENCH_ext_smallfile.json
+      "$OUT_DIR"/BENCH_ext_smallfile.json "$OUT_DIR"/BENCH_ext_qos.json

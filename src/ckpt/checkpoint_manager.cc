@@ -53,6 +53,13 @@ CheckpointManager::CheckpointManager(core::StorageHierarchy& hierarchy,
     drain_limiter_.emplace(
         static_cast<double>(options_.drain_bandwidth_bytes_per_sec));
   }
+  if (options_.qos_broker != nullptr) {
+    // Attribute every drained byte to the drain tenant: the broker's
+    // weighted shares are what keep a checkpoint flood from starving the
+    // demand classes of the shared PFS (ISSUE 10).
+    options_.qos_broker->RegisterTenant(options_.tenant);
+    pfs_writer_->SetQosBroker(options_.qos_broker, options_.tenant);
+  }
 
   obs::MetricsRegistry& registry = obs::MetricsRegistry::Global();
   saves_ = registry.GetCounter("ckpt.saves", "ops",
@@ -464,6 +471,10 @@ void CheckpointManager::Shutdown() {
 }
 
 void CheckpointManager::DrainLoop() {
+  // Drain workers carry the drain tenant for their whole lifetime: the
+  // local-tier reads in DrainOnce/ChecksumFile and the PFS writes all
+  // charge the drain class, never whichever job triggered the Save.
+  qos::ScopedTenant scope(options_.tenant);
   while (true) {
     std::uint64_t gen = 0;
     Entry snapshot;

@@ -48,6 +48,8 @@
 #include "core/resilience.h"
 #include "core/storage_hierarchy.h"
 #include "obs/metrics_registry.h"
+#include "qos/bandwidth_broker.h"
+#include "qos/tenant.h"
 #include "util/buffer_pool.h"
 #include "util/rate_limiter.h"
 
@@ -94,6 +96,16 @@ struct CheckpointOptions {
   /// Retry/breaker envelope of the internal PFS drain driver.
   core::RetryPolicy retry;
   core::TierHealthOptions health;
+
+  /// Multi-tenant QoS (ISSUE 10): the drain lane's identity. Drain
+  /// workers install this tenant, so with a broker every drained byte is
+  /// charged to the drain class — demand tenants keep their shares even
+  /// while a checkpoint floods toward the PFS.
+  qos::TenantContext tenant{/*tenant_id=*/-1, "ckpt-drain",
+                            qos::IoClass::kDrain, /*weight=*/1.0,
+                            /*low_retention=*/false};
+  /// Broker charged by the internal PFS drain driver; null = none.
+  qos::BandwidthBrokerPtr qos_broker;
 };
 
 class CheckpointManager final : public core::CheckpointSink {

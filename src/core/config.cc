@@ -278,6 +278,47 @@ Status ApplyPackKey(pack::PackOptions& pack, const std::string& key,
   return Status::Ok();
 }
 
+Status ApplyQosKey(qos::QosOptions& q, const std::string& key,
+                   const std::string& value, int line_no) {
+  if (key == "enabled") {
+    MONARCH_ASSIGN_OR_RETURN(q.enabled, ParseBool(value, line_no));
+  } else if (key == "interactive_weight") {
+    MONARCH_ASSIGN_OR_RETURN(q.interactive_weight, ParseDouble(value, line_no));
+  } else if (key == "training_weight") {
+    MONARCH_ASSIGN_OR_RETURN(q.training_weight, ParseDouble(value, line_no));
+  } else if (key == "scan_weight") {
+    MONARCH_ASSIGN_OR_RETURN(q.scan_weight, ParseDouble(value, line_no));
+  } else if (key == "drain_weight") {
+    MONARCH_ASSIGN_OR_RETURN(q.drain_weight, ParseDouble(value, line_no));
+  } else if (key == "tenant_share") {
+    MONARCH_ASSIGN_OR_RETURN(q.tenant_share, ParseDouble(value, line_no));
+  } else if (key == "total_bandwidth") {
+    MONARCH_ASSIGN_OR_RETURN(const std::uint64_t bps, ParseByteSize(value));
+    q.total_bandwidth_bps = static_cast<double>(bps);
+  } else if (key == "admission_queue_threshold") {
+    MONARCH_ASSIGN_OR_RETURN(q.admission_queue_threshold,
+                             ParseDouble(value, line_no));
+  } else if (key == "admission_reject_threshold") {
+    MONARCH_ASSIGN_OR_RETURN(q.admission_reject_threshold,
+                             ParseDouble(value, line_no));
+  } else if (key == "work_conserving") {
+    MONARCH_ASSIGN_OR_RETURN(q.work_conserving, ParseBool(value, line_no));
+  } else if (key == "scan_stage_cap") {
+    MONARCH_ASSIGN_OR_RETURN(q.scan_stage_cap_bytes, ParseByteSize(value));
+  } else {
+    return InvalidArgumentError("line " + std::to_string(line_no) +
+                                ": unknown qos key '" + key + "'");
+  }
+  const bool weights_positive =
+      q.interactive_weight > 0 && q.training_weight > 0 && q.scan_weight > 0 &&
+      q.drain_weight > 0;
+  if (!weights_positive) {
+    return InvalidArgumentError("line " + std::to_string(line_no) +
+                                ": qos class weights must be > 0");
+  }
+  return Status::Ok();
+}
+
 Status ApplyReadKey(ReadRingOptions& read, const std::string& key,
                     const std::string& value, int line_no) {
   if (key == "ring_depth") {
@@ -321,7 +362,8 @@ Result<ParsedConfig> ParseConfig(const std::string& ini_text) {
     kPeer,
     kCheckpoint,
     kRead,
-    kPack
+    kPack,
+    kQos
   };
   Section section = Section::kNone;
   int tier_index = -1;
@@ -361,6 +403,8 @@ Result<ParsedConfig> ParseConfig(const std::string& ini_text) {
         section = Section::kRead;
       } else if (name == "pack") {
         section = Section::kPack;
+      } else if (name == "qos") {
+        section = Section::kQos;
       } else if (name.starts_with("tier.")) {
         MONARCH_ASSIGN_OR_RETURN(
             const std::uint64_t idx,
@@ -433,6 +477,10 @@ Result<ParsedConfig> ParseConfig(const std::string& ini_text) {
         MONARCH_RETURN_IF_ERROR(
             ApplyPackKey(config.pack, key, value, line_no));
         break;
+      case Section::kQos:
+        MONARCH_RETURN_IF_ERROR(
+            ApplyQosKey(config.qos, key, value, line_no));
+        break;
     }
   }
 
@@ -504,6 +552,7 @@ Result<MonarchConfig> BuildMonarchConfig(const ParsedConfig& parsed) {
         "): staged chunks ride the staging buffer pool");
   }
   config.placement.pack = parsed.pack;
+  config.placement.qos = parsed.qos;
   config.resilience = parsed.resilience;
   config.read = parsed.read;
   MONARCH_ASSIGN_OR_RETURN(
@@ -579,6 +628,17 @@ std::vector<ConfigKeyInfo> ConfigKeyCatalogue() {
       {"pack", "chunk_bytes", "256KiB"},
       {"pack", "codec", "lz"},
       {"pack", "pack_extent_bytes", "64MiB"},
+      {"qos", "enabled", "true"},
+      {"qos", "interactive_weight", "8"},
+      {"qos", "training_weight", "4"},
+      {"qos", "scan_weight", "2"},
+      {"qos", "drain_weight", "1"},
+      {"qos", "tenant_share", "1.0"},
+      {"qos", "total_bandwidth", "400MiB"},
+      {"qos", "admission_queue_threshold", "0.85"},
+      {"qos", "admission_reject_threshold", "1.5"},
+      {"qos", "work_conserving", "true"},
+      {"qos", "scan_stage_cap", "64MiB"},
       {"read", "ring_depth", "256"},
       {"read", "worker_threads", "2"},
       {"read", "zero_copy", "true"},

@@ -74,6 +74,19 @@
 //   drain_bandwidth = 200MiB          ; PFS drain cap, bytes/second (0 = off)
 //   drain_threads = 1
 //   verify_on_restore = true
+//
+//   [qos]                   ; optional — multi-tenant QoS (ISSUE 10)
+//   enabled = true          ; weighted fair queue + scan resistance
+//   interactive_weight = 8  ; per-class fair-queue/share weights
+//   training_weight = 4
+//   scan_weight = 2
+//   drain_weight = 1
+//   tenant_share = 1.0      ; this job's weight among cluster tenants
+//   total_bandwidth = 400MiB          ; broker total, bytes/s (0 = no broker)
+//   admission_queue_threshold = 0.85  ; footprint fraction that queues a job
+//   admission_reject_threshold = 1.5  ; footprint multiple that rejects it
+//   work_conserving = true  ; idle tenants lend their share to active ones
+//   scan_stage_cap = 64MiB  ; resident bytes a scan tenant may stage (0 = off)
 #pragma once
 
 #include <cstdint>
@@ -169,6 +182,11 @@ struct ParsedConfig {
   ReadRingOptions read;
   /// `[pack]` section (ISSUE 9); disabled when the section is absent.
   pack::PackOptions pack;
+  /// `[qos]` section (ISSUE 10); disabled when the section is absent.
+  /// BuildMonarchConfig copies it into PlacementOptions; the integration
+  /// layer (dlsim cluster, benches) additionally builds the shared
+  /// BandwidthBroker / AdmissionController from these knobs.
+  qos::QosOptions qos;
 };
 
 /// Parse the INI text. Unknown sections/keys are errors (config typos

@@ -77,6 +77,13 @@ struct FileInfo {
   /// priority.
   std::atomic<bool> stage_refused{false};
 
+  /// Scan-resistance marking (ISSUE 10): set when the staged copy was
+  /// placed on behalf of a low-retention tenant (a full-scan data-prep
+  /// job). Low-retention copies are fair game for any evictor, but a
+  /// low-retention requester may ONLY evict other low-retention copies —
+  /// a scan can never push out a trainer's working set.
+  std::atomic<bool> low_retention{false};
+
   /// Chunk-granularity residency (ISSUE 9), lazily allocated by the
   /// first touch of a file under pack mode and immutable-as-a-pointer
   /// afterwards: the read hot path does one acquire load, never an

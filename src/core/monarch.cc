@@ -105,6 +105,20 @@ std::vector<obs::MetricSample> StatsToSamples(const MonarchStats& stats) {
          "tasks", p.queue_depth_demand, "staging tasks waiting, by lane");
   sample("monarch.placement.queue_depth", "prefetch", obs::MetricKind::kGauge,
          "tasks", p.queue_depth_prefetch, "staging tasks waiting, by lane");
+  // Per-class fair-queue depths (ISSUE 10): same metric, finer labels —
+  // the demand/prefetch labels above stay as lane aggregates.
+  sample("monarch.placement.queue_depth", "interactive",
+         obs::MetricKind::kGauge, "tasks", p.queue_depth_interactive,
+         "staging tasks waiting, by lane");
+  sample("monarch.placement.queue_depth", "training", obs::MetricKind::kGauge,
+         "tasks", p.queue_depth_training, "staging tasks waiting, by lane");
+  sample("monarch.placement.queue_depth", "scan", obs::MetricKind::kGauge,
+         "tasks", p.queue_depth_scan, "staging tasks waiting, by lane");
+  sample("monarch.placement.queue_depth", "drain", obs::MetricKind::kGauge,
+         "tasks", p.queue_depth_drain, "staging tasks waiting, by lane");
+  sample("qos.low_retention_resident_bytes", "", obs::MetricKind::kGauge,
+         "bytes", p.low_retention_resident_bytes,
+         "cache-tier bytes currently held by low-retention (scan) copies");
   sample("monarch.placement.inflight_bytes", "", obs::MetricKind::kGauge,
          "bytes", p.inflight_bytes,
          "bytes of staging copies currently in flight across all tiers");
@@ -278,6 +292,17 @@ Monarch::Monarch(MonarchConfig config,
   chunk_misses_counter_ = registry.GetCounter(
       "monarch.chunk.misses", "ops",
       "pack-mode reads that touched the PFS (non-resident chunks)");
+  // Multi-tenant QoS (ISSUE 10): the broker sits under every tier driver
+  // so each byte — demand reads, staging writes, checkpoint drains — is
+  // charged to the ambient tenant, with this instance's identity as the
+  // fallback for unattributed I/O.
+  if (config_.qos_broker != nullptr) {
+    config_.qos_broker->RegisterTenant(config_.tenant);
+    for (std::size_t i = 0; i < hierarchy_->num_levels(); ++i) {
+      hierarchy_->Level(static_cast<int>(i))
+          .SetQosBroker(config_.qos_broker, config_.tenant);
+    }
+  }
   // The ring is always constructed (its instruments are part of the
   // stable catalogue); idle workers cost two parked threads.
   ring_ = std::make_unique<ReadRing>(*this, config_.read);

@@ -85,6 +85,14 @@ struct MonarchConfig {
   /// Async submission/completion ring over the read path (`[read]` in
   /// the INI dialect): ring depth, worker pool size, zero-copy lane.
   ReadRingOptions read;
+  /// Multi-tenant QoS (ISSUE 10). When set, every tier driver charges
+  /// its bytes through this broker, attributed to the calling thread's
+  /// ambient tenant (qos::CurrentTenant()) with `tenant` as fallback.
+  /// Shared across instances so co-located jobs contend on one budget.
+  qos::BandwidthBrokerPtr qos_broker;
+  /// This instance's own identity: the default attribution for I/O
+  /// issued with no ambient tenant installed.
+  qos::TenantContext tenant;
 };
 
 /// Per-level share of read traffic, for the PFS-pressure tables.

@@ -17,7 +17,44 @@ const char* LaneName(StagingLane lane) {
   return lane == StagingLane::kDemand ? "demand" : "prefetch";
 }
 
+/// The scheduling thread's ambient tenant, or the process default
+/// (training class) when none is installed — QoS-off callers never pay
+/// for attribution.
+qos::TenantContext SnapshotTenant() {
+  const qos::TenantContext* ambient = qos::CurrentTenant();
+  return ambient != nullptr ? *ambient : qos::TenantContext{};
+}
+
 }  // namespace
+
+int PlacementHandler::TaskClass(const StagingTask& task) noexcept {
+  if (task.lane == StagingLane::kPrefetch) {
+    return qos::ClassIndex(qos::IoClass::kPrefetch);
+  }
+  return qos::ClassIndex(task.tenant.io_class);
+}
+
+double PlacementHandler::TaskCost(const StagingTask& task) const noexcept {
+  if (task.chunks.empty()) {
+    return static_cast<double>(task.file->size);
+  }
+  return static_cast<double>(task.chunks.size()) *
+         static_cast<double>(
+             std::max<std::uint64_t>(1, options_.pack.chunk_bytes));
+}
+
+void PlacementHandler::PushLocked(StagingTask task) {
+  const int cls = TaskClass(task);
+  const double cost = TaskCost(task);
+  queue_.Push(cls, cost, std::move(task));
+}
+
+void PlacementHandler::NoteCopyDropped(FileInfo& file) noexcept {
+  if (file.low_retention.exchange(false, std::memory_order_acq_rel)) {
+    low_retention_resident_bytes_.fetch_sub(file.size,
+                                            std::memory_order_relaxed);
+  }
+}
 
 PlacementHandler::PlacementHandler(StorageHierarchy& hierarchy,
                                    MetadataContainer& metadata,
@@ -55,6 +92,28 @@ PlacementHandler::PlacementHandler(StorageHierarchy& hierarchy,
   chunk_evicted_counter_ = registry.GetCounter(
       "monarch.chunk.evicted", "ops",
       "chunk copies dropped from cache tiers");
+  cross_class_counter_ = registry.GetCounter(
+      "qos.cross_class_evictions", "ops",
+      "evictions where a low-retention tenant dropped a demand working-"
+      "set copy (zero by construction)");
+  scan_refusal_counter_ = registry.GetCounter(
+      "qos.scan_stage_refusals", "ops",
+      "scan stagings refused by the low-retention resident cap");
+  // Fair-queue classes (ISSUE 10): interactive and training are the
+  // demand band, scan/drain/prefetch the background band. With QoS off
+  // every class weighs 1 — the queue degenerates to the original
+  // two-lane demand-before-prefetch behaviour.
+  const qos::QosOptions& q = options_.qos;
+  queue_.RegisterClass(qos::ClassIndex(qos::IoClass::kInteractive), 0,
+                       q.enabled ? q.interactive_weight : 1.0);
+  queue_.RegisterClass(qos::ClassIndex(qos::IoClass::kTraining), 0,
+                       q.enabled ? q.training_weight : 1.0);
+  queue_.RegisterClass(qos::ClassIndex(qos::IoClass::kScan), 1,
+                       q.enabled ? q.scan_weight : 1.0);
+  queue_.RegisterClass(qos::ClassIndex(qos::IoClass::kDrain), 1,
+                       q.enabled ? q.drain_weight : 1.0);
+  queue_.RegisterClass(qos::ClassIndex(qos::IoClass::kPrefetch), 1,
+                       q.enabled ? q.drain_weight : 1.0);
   // A logical chunk must fit one pooled buffer: the staging pipeline
   // reads exactly one chunk per lease.
   options_.pack.chunk_bytes = std::min<std::uint64_t>(
@@ -110,10 +169,11 @@ void PlacementHandler::SchedulePlacement(
   }
   // The task owns the FileInfo reference and (optionally) the bytes the
   // read path already fetched, avoiding a second PFS read (§III-B, ③/④).
+  StagingTask task{std::move(file), std::move(content), lane, {},
+                   SnapshotTenant()};
   {
     std::lock_guard lock(mu_);
-    auto& queue = lane == StagingLane::kDemand ? demand_q_ : prefetch_q_;
-    queue.push_back(StagingTask{std::move(file), std::move(content), lane, {}});
+    PushLocked(std::move(task));
   }
   cv_.notify_one();
 }
@@ -126,6 +186,7 @@ void PlacementHandler::ScheduleChunkPlacement(FileInfoPtr file,
   task.file = std::move(file);
   task.lane = lane;
   task.chunks = std::move(chunks);
+  task.tenant = SnapshotTenant();
   if (stopped_.load(std::memory_order_relaxed)) {
     if (lane == StagingLane::kPrefetch) {
       prefetch_cancelled_.fetch_add(1, std::memory_order_relaxed);
@@ -140,29 +201,30 @@ void PlacementHandler::ScheduleChunkPlacement(FileInfoPtr file,
   }
   {
     std::lock_guard lock(mu_);
-    auto& queue = lane == StagingLane::kDemand ? demand_q_ : prefetch_q_;
-    queue.push_back(std::move(task));
+    PushLocked(std::move(task));
   }
   cv_.notify_one();
 }
 
 bool PlacementHandler::PromoteToDemand(const FileInfoPtr& file) {
-  StagingTask task;
+  // The promoting thread is the overtaking demand reader: the task is
+  // re-queued on that reader's class so the copy inherits its urgency.
+  const qos::TenantContext promoter = SnapshotTenant();
   {
     std::lock_guard lock(mu_);
-    auto match = [&file](const StagingTask& t) { return t.file == file; };
-    auto it = std::find_if(prefetch_q_.begin(), prefetch_q_.end(), match);
-    if (it != prefetch_q_.end()) {
-      task = std::move(*it);
-      prefetch_q_.erase(it);
-    } else {
+    auto match = [&file](const StagingTask& t) {
+      return t.file == file && t.lane == StagingLane::kPrefetch;
+    };
+    std::optional<StagingTask> found = queue_.Extract(match);
+    if (!found.has_value()) {
       auto dit = std::find_if(deferred_.begin(), deferred_.end(), match);
       if (dit == deferred_.end()) return false;
-      task = std::move(*dit);
+      found = std::move(*dit);
       deferred_.erase(dit);
     }
-    task.lane = StagingLane::kDemand;
-    demand_q_.push_back(std::move(task));
+    found->lane = StagingLane::kDemand;
+    found->tenant = promoter;
+    PushLocked(std::move(*found));
   }
   prefetch_promoted_.fetch_add(1, std::memory_order_relaxed);
   obs::EventTracer& tracer = obs::EventTracer::Global();
@@ -178,8 +240,9 @@ std::size_t PlacementHandler::CancelPrefetches() {
   std::vector<StagingTask> cancelled;
   {
     std::lock_guard lock(mu_);
-    for (auto& task : prefetch_q_) cancelled.push_back(std::move(task));
-    prefetch_q_.clear();
+    cancelled = queue_.ExtractAll([](const StagingTask& t) {
+      return t.lane == StagingLane::kPrefetch;
+    });
     for (auto& task : deferred_) cancelled.push_back(std::move(task));
     deferred_.clear();
   }
@@ -203,23 +266,20 @@ void PlacementHandler::WorkerLoop() {
     StagingTask task;
     {
       std::unique_lock lock(mu_);
-      cv_.wait(lock, [this] {
-        return shutdown_ || !demand_q_.empty() || !prefetch_q_.empty();
-      });
-      if (demand_q_.empty() && prefetch_q_.empty()) {
+      cv_.wait(lock, [this] { return shutdown_ || !queue_.empty(); });
+      std::optional<StagingTask> popped = queue_.TryPop();
+      if (!popped.has_value()) {
         // shutdown_ is set and nothing is queued: exit after the last
         // task finishes (queued tasks still run to completion).
         return;
       }
-      if (!demand_q_.empty()) {
-        task = std::move(demand_q_.front());
-        demand_q_.pop_front();
-      } else {
-        task = std::move(prefetch_q_.front());
-        prefetch_q_.pop_front();
-      }
+      task = std::move(*popped);
       ++active_;
     }
+    // Re-install the scheduling thread's tenant on this worker so every
+    // byte the copy moves stays attributable across the thread hop.
+    const qos::TenantContext tenant = task.tenant;
+    qos::ScopedTenant scope(tenant);
     if (task.chunks.empty()) {
       PlaceFile(std::move(task));
     } else {
@@ -256,7 +316,7 @@ void PlacementHandler::FinishInflight(int level, std::uint64_t size) {
     std::lock_guard lock(mu_);
     inflight_bytes_[static_cast<std::size_t>(level)] -= size;
     if (!deferred_.empty()) {
-      for (auto& task : deferred_) prefetch_q_.push_back(std::move(task));
+      for (auto& task : deferred_) PushLocked(std::move(task));
       deferred_.clear();
       wake = true;
     }
@@ -366,6 +426,26 @@ void PlacementHandler::PlaceFile(StagingTask task) {
                        ",\"lane\":\"" + LaneName(task.lane) + "\"");
   }
 
+  // Scan resistance (ISSUE 10): a low-retention tenant past its
+  // resident cap is refused — its reads keep being served straight from
+  // the PFS instead of churning the cache tiers.
+  const bool low_retention = task.tenant.low_retention;
+  const std::uint64_t scan_cap = options_.qos.scan_stage_cap_bytes;
+  if (low_retention && scan_cap > 0 &&
+      low_retention_resident_bytes_.load(std::memory_order_relaxed) +
+              file->size >
+          scan_cap) {
+    scan_stage_refusals_.fetch_add(1, std::memory_order_relaxed);
+    scan_refusal_counter_->Increment();
+    if (task.lane == StagingLane::kPrefetch) {
+      prefetch_cancelled_.fetch_add(1, std::memory_order_relaxed);
+      file->prefetched.store(false, std::memory_order_relaxed);
+    }
+    file->stage_refused.store(true, std::memory_order_release);
+    file->AbortFetch(/*permanently=*/false);
+    return;
+  }
+
   // 1. Choose (and reserve) the destination level, falling back to
   // policy-driven eviction when no tier has room (EvictAndReserve gates
   // on what the policy and lane allow).
@@ -466,6 +546,16 @@ void PlacementHandler::PlaceFile(StagingTask task) {
   // observes kPlaced also observes the CRC it may verify against.
   file->staged_crc.store(crc, std::memory_order_release);
   file->fetch_failures.store(0, std::memory_order_relaxed);
+  if (low_retention) {
+    if (!file->low_retention.exchange(true, std::memory_order_acq_rel)) {
+      low_retention_resident_bytes_.fetch_add(file->size,
+                                              std::memory_order_relaxed);
+    }
+  } else {
+    // A demand-class tenant re-staged the file: its copy is a working-
+    // set member again, protected from low-retention evictors.
+    NoteCopyDropped(*file);
+  }
   file->FinishFetch(*level);
   // Advertise the copy to the cluster once it is actually readable.
   if (peer_view_ != nullptr) peer_view_->OnStaged(file->name, *level);
@@ -497,6 +587,7 @@ bool PlacementHandler::QuarantineCopy(const FileInfoPtr& file) {
   if (tier.Delete(file->name).ok()) {
     tier.Release(file->size);
   }
+  NoteCopyDropped(*file);
   quarantined_.fetch_add(1, std::memory_order_relaxed);
   obs::EventTracer& tracer = obs::EventTracer::Global();
   if (tracer.enabled()) {
@@ -519,6 +610,15 @@ bool PlacementHandler::QuarantineCopy(const FileInfoPtr& file) {
 
 bool PlacementHandler::EvictOne(const FileInfoPtr& victim) {
   FileInfo& vf = *victim;
+  // Scan resistance (ISSUE 10): a low-retention requester may only
+  // evict other low-retention copies — it can never push out a demand
+  // working set, so `qos.cross_class_evictions` stays zero by
+  // construction.
+  const qos::TenantContext* requester = qos::CurrentTenant();
+  if (requester != nullptr && requester->low_retention &&
+      !vf.low_retention.load(std::memory_order_acquire)) {
+    return false;
+  }
   // Chunk-resident victims (pack mode) hold per-chunk quota and tier
   // objects, not a whole-file copy: drop them through the chunk path.
   if (pack::ChunkMap* cm = vf.chunk_map();
@@ -555,6 +655,16 @@ bool PlacementHandler::EvictOne(const FileInfoPtr& victim) {
   vf.AbortFetch(/*permanently=*/false);  // back to PFS-only
   if (!tier.Delete(vf.name).ok()) return false;
   tier.Release(vf.size);
+  const bool was_low_retention =
+      vf.low_retention.load(std::memory_order_acquire);
+  NoteCopyDropped(vf);
+  if (requester != nullptr && requester->low_retention &&
+      !was_low_retention) {
+    // Unreachable under the guard above; counted so a future regression
+    // shows up in `qos.cross_class_evictions` instead of hiding.
+    cross_class_evictions_.fetch_add(1, std::memory_order_relaxed);
+    cross_class_counter_->Increment();
+  }
   evictions_.fetch_add(1, std::memory_order_relaxed);
   evicted_bytes_.fetch_add(vf.size, std::memory_order_relaxed);
   evictions_counter_->Increment();
@@ -581,8 +691,18 @@ std::optional<int> PlacementHandler::EvictAndReserve(const FileInfoPtr& file,
   // The policy ranks; this loop claims and drops. Re-ask PickLevel after
   // each successful eviction — freed space is first-come-first-served
   // under concurrent workers, so the reservation is the only proof.
-  for (const FileInfoPtr& victim : policy_->SelectVictims(
-           metadata_, *file, lane == StagingLane::kDemand)) {
+  // Low-retention (scan) copies are tried first: they are explicitly
+  // marked expendable, so demand working sets survive pressure longest.
+  std::vector<FileInfoPtr> victims = policy_->SelectVictims(
+      metadata_, *file, lane == StagingLane::kDemand);
+  if (options_.qos.enabled) {
+    std::stable_partition(victims.begin(), victims.end(),
+                          [](const FileInfoPtr& v) {
+                            return v->low_retention.load(
+                                std::memory_order_acquire);
+                          });
+  }
+  for (const FileInfoPtr& victim : victims) {
     if (victim == file) continue;
     if (!EvictOne(victim)) continue;
     if (auto level = policy_->PickLevel(hierarchy_, bytes)) return level;
@@ -635,6 +755,7 @@ std::uint64_t PlacementHandler::EvictChunks(const FileInfoPtr& victim,
     }
     if (cm->ResidentCount() == 0) {
       cm->MaybeResetTier();
+      NoteCopyDropped(vf);
       // The file no longer serves anything from a tier; fold it back to
       // PFS-resident through the same claim the whole-file evictor uses
       // (readers mid-lookup fall back to the PFS on kNotFound).
@@ -673,8 +794,16 @@ bool PlacementHandler::EvictForChunkOn(int level, const FileInfoPtr& incoming,
           : policy_->PrefetchMayEvict();
   if (!may_evict) return false;
   StorageDriver& tier = hierarchy_.Level(level);
-  for (const FileInfoPtr& victim : policy_->SelectVictims(
-           metadata_, *incoming, lane == StagingLane::kDemand)) {
+  std::vector<FileInfoPtr> victims = policy_->SelectVictims(
+      metadata_, *incoming, lane == StagingLane::kDemand);
+  if (options_.qos.enabled) {
+    std::stable_partition(victims.begin(), victims.end(),
+                          [](const FileInfoPtr& v) {
+                            return v->low_retention.load(
+                                std::memory_order_acquire);
+                          });
+  }
+  for (const FileInfoPtr& victim : victims) {
     if (victim == incoming) continue;
     // Only victims resident on this level can free room here: the
     // incoming file's chunks are pinned to `level` by the tier
@@ -734,6 +863,25 @@ void PlacementHandler::PlaceChunks(StagingTask task) {
     span.set_args_json("\"file\":" + obs::JsonQuote(file->name) +
                        ",\"chunks\":" + std::to_string(task.chunks.size()) +
                        ",\"lane\":\"" + LaneName(task.lane) + "\"");
+  }
+
+  // Scan resistance, chunk flavour: past the cap, refuse instead of
+  // staging (the claims go back so a later read can retry).
+  const bool low_retention = task.tenant.low_retention;
+  const std::uint64_t scan_cap = options_.qos.scan_stage_cap_bytes;
+  if (low_retention && scan_cap > 0 &&
+      low_retention_resident_bytes_.load(std::memory_order_relaxed) +
+              file->size >
+          scan_cap) {
+    scan_stage_refusals_.fetch_add(1, std::memory_order_relaxed);
+    scan_refusal_counter_->Increment();
+    if (task.lane == StagingLane::kPrefetch) {
+      prefetch_cancelled_.fetch_add(1, std::memory_order_relaxed);
+      file->prefetched.store(false, std::memory_order_relaxed);
+    }
+    file->stage_refused.store(true, std::memory_order_release);
+    ReleaseChunkClaims(task);
+    return;
   }
 
   // One pooled lease carries the logical bytes of every chunk in the
@@ -809,6 +957,12 @@ void PlacementHandler::PlaceChunks(StagingTask task) {
         // tier. Flip the whole-file state so the eviction policies see
         // it as placed and readers route offset lookups via the map.
         file->fetch_failures.store(0, std::memory_order_relaxed);
+        if (low_retention &&
+            !file->low_retention.exchange(true,
+                                          std::memory_order_acq_rel)) {
+          low_retention_resident_bytes_.fetch_add(
+              file->size, std::memory_order_relaxed);
+        }
         file->FinishFetch(*level);
         completed_.fetch_add(1, std::memory_order_relaxed);
         if (task.lane == StagingLane::kPrefetch) {
@@ -873,8 +1027,7 @@ void PlacementHandler::NoteAccess(const FileInfo& file) {
 void PlacementHandler::Drain() {
   std::unique_lock lock(mu_);
   drain_cv_.wait(lock, [this] {
-    return demand_q_.empty() && prefetch_q_.empty() && deferred_.empty() &&
-           active_ == 0;
+    return queue_.empty() && deferred_.empty() && active_ == 0;
   });
 }
 
@@ -903,10 +1056,31 @@ PlacementStats PlacementHandler::Stats() const {
   s.chunk_stored_bytes = chunk_stored_bytes_.load(std::memory_order_relaxed);
   s.chunks_evicted = chunks_evicted_.load(std::memory_order_relaxed);
   s.chunk_failures = chunk_failures_.load(std::memory_order_relaxed);
+  s.cross_class_evictions =
+      cross_class_evictions_.load(std::memory_order_relaxed);
+  s.scan_stage_refusals =
+      scan_stage_refusals_.load(std::memory_order_relaxed);
+  s.low_retention_resident_bytes =
+      low_retention_resident_bytes_.load(std::memory_order_relaxed);
   {
     std::lock_guard lock(mu_);
-    s.queue_depth_demand = demand_q_.size();
-    s.queue_depth_prefetch = prefetch_q_.size() + deferred_.size();
+    s.queue_depth_interactive = queue_.class_depth(
+        qos::ClassIndex(qos::IoClass::kInteractive));
+    s.queue_depth_training =
+        queue_.class_depth(qos::ClassIndex(qos::IoClass::kTraining));
+    s.queue_depth_scan =
+        queue_.class_depth(qos::ClassIndex(qos::IoClass::kScan));
+    s.queue_depth_drain =
+        queue_.class_depth(qos::ClassIndex(qos::IoClass::kDrain));
+    // The original two-lane gauges survive as aggregates: every demand-
+    // band class counts as demand, the prefetch class (plus parked
+    // tasks) as prefetch.
+    s.queue_depth_demand = s.queue_depth_interactive +
+                           s.queue_depth_training + s.queue_depth_scan +
+                           s.queue_depth_drain;
+    s.queue_depth_prefetch =
+        queue_.class_depth(qos::ClassIndex(qos::IoClass::kPrefetch)) +
+        deferred_.size();
     s.inflight_bytes_per_level = inflight_bytes_;
     for (const std::uint64_t bytes : inflight_bytes_) s.inflight_bytes += bytes;
   }

@@ -65,6 +65,9 @@
 #include "obs/metrics_registry.h"
 #include "pack/codec.h"
 #include "pack/options.h"
+#include "qos/fair_queue.h"
+#include "qos/options.h"
+#include "qos/tenant.h"
 #include "util/buffer_pool.h"
 
 namespace monarch::core {
@@ -109,6 +112,14 @@ struct PlacementOptions {
   /// (`[placement] prefetch_lookahead`). Consumed by Monarch, carried
   /// here so one options struct configures the whole staging engine.
   int prefetch_lookahead = 0;
+
+  /// Multi-tenant QoS (ISSUE 10). When `qos.enabled`, the two-lane
+  /// queue generalizes to per-class weighted fair queuing (interactive >
+  /// training > scan > drain/prefetch) and low-retention tenants are
+  /// scan-resisted: they may only evict other low-retention copies, and
+  /// `qos.scan_stage_cap_bytes` caps their resident footprint. Off, the
+  /// queue degenerates to the original demand/prefetch behaviour.
+  qos::QosOptions qos;
 
   /// Small-file packing / chunk-granularity staging (ISSUE 9). When
   /// `pack.enabled`, dataset files are staged, evicted and served chunk
@@ -156,6 +167,20 @@ struct PlacementStats {
   std::uint64_t chunk_stored_bytes = 0;   ///< post-codec bytes written
   std::uint64_t chunks_evicted = 0;       ///< chunk copies dropped
   std::uint64_t chunk_failures = 0;       ///< chunk copies that failed
+
+  // Multi-tenant QoS (ISSUE 10; docs/OBSERVABILITY.md §1).
+  std::uint64_t queue_depth_interactive = 0;  ///< gauge: class depth
+  std::uint64_t queue_depth_training = 0;     ///< gauge: class depth
+  std::uint64_t queue_depth_scan = 0;         ///< gauge: class depth
+  std::uint64_t queue_depth_drain = 0;        ///< gauge: class depth
+  /// Evictions where a low-retention requester dropped a non-low-
+  /// retention copy. Zero by construction: the victim walk skips them.
+  std::uint64_t cross_class_evictions = 0;
+  /// Scan stagings refused by `qos.scan_stage_cap_bytes` (the read was
+  /// served straight from the PFS instead of churning the cache).
+  std::uint64_t scan_stage_refusals = 0;
+  /// Gauge: resident bytes currently held by low-retention copies.
+  std::uint64_t low_retention_resident_bytes = 0;
 };
 
 class PlacementHandler {
@@ -260,7 +285,23 @@ class PlacementHandler {
     StagingLane lane = StagingLane::kDemand;
     /// Claimed chunk indexes (pack mode); empty = whole-file task.
     std::vector<std::uint32_t> chunks;
+    /// Who this staging serves, captured from the scheduling thread's
+    /// ambient tenant and re-installed on the worker (ISSUE 10).
+    qos::TenantContext tenant;
   };
+
+  /// Fair-queue class the task is served on: the prefetch lane always
+  /// rides the prefetch class; demand tasks use their tenant's I/O
+  /// class (interactive/training in band 0, scan in band 1).
+  [[nodiscard]] static int TaskClass(const StagingTask& task) noexcept;
+  /// Service cost of the task in bytes (fair-queue finish-tag units).
+  [[nodiscard]] double TaskCost(const StagingTask& task) const noexcept;
+  /// Enqueue on the fair queue. Caller holds mu_.
+  void PushLocked(StagingTask task);
+  /// Low-retention bookkeeping when a staged copy disappears (eviction,
+  /// quarantine): clears the file's marking and returns the resident
+  /// gauge's share.
+  void NoteCopyDropped(FileInfo& file) noexcept;
 
   void WorkerLoop();
   /// Stage one file. Returns normally whether the copy succeeded,
@@ -352,6 +393,9 @@ class PlacementHandler {
   std::atomic<std::uint64_t> chunk_stored_bytes_{0};
   std::atomic<std::uint64_t> chunks_evicted_{0};
   std::atomic<std::uint64_t> chunk_failures_{0};
+  std::atomic<std::uint64_t> cross_class_evictions_{0};
+  std::atomic<std::uint64_t> scan_stage_refusals_{0};
+  std::atomic<std::uint64_t> low_retention_resident_bytes_{0};
 
   /// Codec for chunk staging, resolved once from options_.pack.codec
   /// (falls back to the identity codec on an unknown name).
@@ -367,15 +411,18 @@ class PlacementHandler {
   obs::Counter* chunk_staged_counter_ = nullptr;
   obs::Counter* chunk_stored_bytes_counter_ = nullptr;
   obs::Counter* chunk_evicted_counter_ = nullptr;
+  obs::Counter* cross_class_counter_ = nullptr;   ///< qos.cross_class_evictions
+  obs::Counter* scan_refusal_counter_ = nullptr;  ///< qos.scan_stage_refusals
 
-  // Two-lane work queue. `deferred_` holds prefetch tasks parked by the
-  // per-tier in-flight cap; any copy completion splices them back into
-  // the prefetch queue (under mu_, so no wakeup is lost).
+  // Per-class fair work queue (ISSUE 10; the original two lanes are the
+  // degenerate case: every demand task on the training class, prefetch
+  // on the prefetch class). `deferred_` holds prefetch tasks parked by
+  // the per-tier in-flight cap; any copy completion splices them back
+  // into the queue (under mu_, so no wakeup is lost).
   mutable std::mutex mu_;
   std::condition_variable cv_;        ///< workers wait here
   std::condition_variable drain_cv_;  ///< Drain() waits here
-  std::deque<StagingTask> demand_q_;
-  std::deque<StagingTask> prefetch_q_;
+  qos::FairQueue<StagingTask> queue_;
   std::vector<StagingTask> deferred_;
   std::vector<std::uint64_t> inflight_bytes_;  ///< per level, under mu_
   int active_ = 0;

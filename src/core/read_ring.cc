@@ -56,6 +56,12 @@ std::size_t ReadRing::Submit(std::vector<ReadOp> ops,
                              CompletionFn on_complete) {
   if (ops.empty()) return 0;
   obs::TraceSpan span("readring.submit", "core");
+  // Capture the submitter's tenant once per batch: the ops execute on
+  // ring workers, and attribution must survive the thread hop.
+  std::optional<qos::TenantContext> tenant;
+  if (const qos::TenantContext* ambient = qos::CurrentTenant()) {
+    tenant = *ambient;
+  }
   std::size_t accepted = 0;
   {
     std::unique_lock lock(mu_);
@@ -65,7 +71,7 @@ std::size_t ReadRing::Submit(std::vector<ReadOp> ops,
                queue_.size() < static_cast<std::size_t>(options_.depth);
       });
       if (stop_) break;
-      queue_.push_back(Pending{std::move(op), on_complete});
+      queue_.push_back(Pending{std::move(op), on_complete, tenant});
       ++accepted;
       // Wake a worker per op, not once per batch: a batch deeper than
       // the ring must have workers draining WHILE the submitter is
@@ -206,6 +212,10 @@ void ReadRing::WorkerLoop() {
 }
 
 void ReadRing::Execute(Pending pending) {
+  // Re-install the submitter's tenant for the duration of the op so the
+  // storage drivers charge the right bandwidth share (ISSUE 10).
+  std::optional<qos::ScopedTenant> scope;
+  if (pending.tenant.has_value()) scope.emplace(*pending.tenant);
   ReadCompletion completion;
   completion.user_data = pending.op.user_data;
   if (pending.op.lease) {

@@ -28,6 +28,7 @@
 #include <functional>
 #include <limits>
 #include <mutex>
+#include <optional>
 #include <span>
 #include <string>
 #include <thread>
@@ -35,6 +36,7 @@
 
 #include "core/read_lease.h"
 #include "obs/metrics_registry.h"
+#include "qos/tenant.h"
 #include "util/status.h"
 
 namespace monarch::core {
@@ -137,6 +139,9 @@ class ReadRing {
   struct Pending {
     ReadOp op;
     CompletionFn on_complete;  ///< empty = deliver to completion queue
+    /// Submitter's ambient tenant, re-installed on the executing worker
+    /// so ring reads stay attributable (ISSUE 10). Unset = no tenant.
+    std::optional<qos::TenantContext> tenant;
   };
 
   void WorkerLoop();

@@ -53,6 +53,9 @@ void StorageDriver::CountRetry() noexcept {
 Result<std::size_t> StorageDriver::Read(std::string_view path,
                                         std::uint64_t offset,
                                         std::span<std::byte> dst) {
+  // Charge the tenant before the engine op: the token-bucket wait IS
+  // the bandwidth enforcement (charged once, not per retry attempt).
+  ChargeQos(dst.size());
   // Salt the jitter stream per (tier, file) so concurrent retries across
   // files don't sleep in lockstep, while staying deterministic per run.
   // Hashes are combined instead of concatenated — no per-read allocation.
@@ -81,6 +84,7 @@ Result<storage::ReadView> StorageDriver::ReadZeroCopy(std::string_view path,
                                                       std::uint64_t offset,
                                                       std::uint64_t max_bytes,
                                                       bool allow_zero_copy) {
+  ChargeQos(max_bytes);
   Backoff backoff(retry_, std::hash<std::string>{}(name_) ^
                               std::hash<std::string_view>{}(path));
   for (;;) {
@@ -108,6 +112,7 @@ Status StorageDriver::Write(const std::string& path,
   if (read_only_) {
     return FailedPreconditionError("write to read-only tier '" + name_ + "'");
   }
+  ChargeQos(data.size());
   Backoff backoff(retry_, std::hash<std::string>{}(name_ + path) ^ 0x57u);
   for (;;) {
     const Status written = engine_->Write(path, data);
@@ -129,6 +134,7 @@ Status StorageDriver::WriteAt(const std::string& path, std::uint64_t offset,
   if (read_only_) {
     return FailedPreconditionError("write to read-only tier '" + name_ + "'");
   }
+  ChargeQos(data.size());
   // Retrying a chunk is safe: WriteAt is an idempotent overwrite of the
   // same byte range.
   Backoff backoff(retry_, std::hash<std::string>{}(name_ + path) ^ offset);

@@ -18,6 +18,8 @@
 #include "core/resilience.h"
 #include "core/tier_health.h"
 #include "obs/metrics_registry.h"
+#include "qos/bandwidth_broker.h"
+#include "qos/tenant.h"
 #include "storage/storage_engine.h"
 #include "util/status.h"
 
@@ -88,6 +90,17 @@ class StorageDriver {
     return retries_local_.load(std::memory_order_relaxed);
   }
 
+  /// Install the per-tenant bandwidth broker (ISSUE 10). Every
+  /// Read/Write on this driver then charges its bytes to the calling
+  /// thread's ambient tenant (qos::CurrentTenant()), falling back to
+  /// `default_tenant`, BEFORE the engine op — the token-bucket wait is
+  /// the enforcement. Call before the driver is shared across threads.
+  void SetQosBroker(qos::BandwidthBrokerPtr broker,
+                    qos::TenantContext default_tenant) {
+    qos_broker_ = std::move(broker);
+    default_tenant_ = std::move(default_tenant);
+  }
+
   [[nodiscard]] storage::StorageEngine& engine() noexcept { return *engine_; }
   [[nodiscard]] storage::IoStatsSnapshot StatsSnapshot() const {
     return engine_->Stats().Snapshot();
@@ -96,6 +109,14 @@ class StorageDriver {
  private:
   /// Note one absorbed retry (per-driver count + process-wide counter).
   void CountRetry() noexcept;
+
+  /// Charge `bytes` to the ambient tenant through the broker (no-op
+  /// while no broker is installed or enforcement is off).
+  void ChargeQos(std::uint64_t bytes) {
+    if (qos_broker_ != nullptr && qos_broker_->enabled() && bytes > 0) {
+      qos_broker_->AcquireCurrent(default_tenant_, bytes);
+    }
+  }
 
   std::string name_;
   storage::StorageEnginePtr engine_;
@@ -107,6 +128,9 @@ class StorageDriver {
   TierHealth health_;
   std::atomic<std::uint64_t> retries_local_{0};
   obs::Counter* retries_ = nullptr;  ///< `storage.retries`
+
+  qos::BandwidthBrokerPtr qos_broker_;  ///< null = no enforcement
+  qos::TenantContext default_tenant_;
 };
 
 using StorageDriverPtr = std::unique_ptr<StorageDriver>;

@@ -4,16 +4,22 @@
 #include <chrono>
 #include <condition_variable>
 #include <mutex>
+#include <optional>
+#include <span>
 #include <thread>
 
+#include "ckpt/checkpoint_manager.h"
 #include "cluster/peer_group.h"
 #include "cluster/restage_pump.h"
 #include "dlsim/monarch_opener.h"
 #include "dlsim/record_opener.h"
+#include "qos/admission.h"
+#include "qos/bandwidth_broker.h"
 #include "storage/device_model.h"
 #include "storage/engine_factory.h"
 #include "storage/posix_engine.h"
 #include "storage/throttled_engine.h"
+#include "util/clock.h"
 #include "util/rng.h"
 
 namespace monarch::dlsim {
@@ -129,6 +135,100 @@ class GatedOpener final : public RecordFileOpener {
   std::shared_ptr<ChurnGate> gate_;
   const int node_;
 };
+
+/// Data-prep workload (ISSUE 10): `passes` sequential full-dataset
+/// sweeps, every byte of every file in manifest order. The classic cache
+/// killer — under QoS the scan tenant's low-retention marking keeps it
+/// from evicting any trainer's working set.
+Result<TrainingResult> RunScanJob(const std::vector<std::string>& files,
+                                  RecordFileOpener& opener, int passes,
+                                  std::size_t chunk_bytes) {
+  TrainingResult result;
+  std::vector<std::byte> buffer(std::max<std::size_t>(chunk_bytes, 1));
+  const Stopwatch total;
+  for (int pass = 1; pass <= std::max(passes, 1); ++pass) {
+    opener.OnEpochStart(pass);
+    EpochResult epoch;
+    epoch.epoch = pass;
+    const Stopwatch watch;
+    for (const std::string& path : files) {
+      MONARCH_ASSIGN_OR_RETURN(tfrecord::RandomAccessSourcePtr source,
+                               opener.Open(path));
+      MONARCH_ASSIGN_OR_RETURN(const std::uint64_t size, source->Size());
+      std::uint64_t offset = 0;
+      while (offset < size) {
+        MONARCH_ASSIGN_OR_RETURN(
+            const std::size_t n,
+            source->ReadAt(offset, std::span<std::byte>(buffer)));
+        if (n == 0) break;
+        offset += n;
+      }
+      ++epoch.samples;
+    }
+    epoch.wall_seconds = watch.ElapsedSeconds();
+    result.epochs.push_back(epoch);
+  }
+  result.total_seconds = total.ElapsedSeconds();
+  return result;
+}
+
+/// Model-serving workload (ISSUE 10): restore the model from the
+/// write-back checkpoint tier, then serve latency-sensitive point reads
+/// (one small read per "request"). Reports the per-request p99 — the
+/// number the interactive class's isolation gate is judged on.
+Result<TrainingResult> RunInferenceJob(const std::vector<std::string>& files,
+                                       RecordFileOpener& opener,
+                                       ckpt::CheckpointManager* ckpt,
+                                       std::uint64_t model_bytes,
+                                       int iterations, std::size_t read_bytes,
+                                       std::uint64_t seed, double* p99_us) {
+  if (ckpt != nullptr) {
+    // Publish the model once, as training would have; every iteration
+    // below restores it the way a (re)starting replica does.
+    std::vector<std::byte> model(model_bytes);
+    for (std::size_t i = 0; i < model.size(); ++i) {
+      model[i] = static_cast<std::byte>((i * 131) & 0xff);
+    }
+    MONARCH_RETURN_IF_ERROR(ckpt->Save("serving-model", model));
+    MONARCH_RETURN_IF_ERROR(ckpt->Flush());
+  }
+  TrainingResult result;
+  std::vector<double> latencies_us;
+  std::vector<std::byte> buffer(std::max<std::size_t>(read_bytes, 1));
+  Xoshiro256 rng(seed);
+  const Stopwatch total;
+  for (int it = 1; it <= std::max(iterations, 1); ++it) {
+    EpochResult epoch;
+    epoch.epoch = it;
+    const Stopwatch watch;
+    if (ckpt != nullptr) {
+      MONARCH_RETURN_IF_ERROR(ckpt->Restore("serving-model").status());
+    }
+    for (std::size_t request = 0; request < files.size(); ++request) {
+      const std::string& path =
+          files[rng.NextBounded(static_cast<std::uint64_t>(files.size()))];
+      const Stopwatch request_watch;
+      MONARCH_ASSIGN_OR_RETURN(tfrecord::RandomAccessSourcePtr source,
+                               opener.Open(path));
+      MONARCH_RETURN_IF_ERROR(
+          source->ReadAt(0, std::span<std::byte>(buffer)).status());
+      latencies_us.push_back(request_watch.ElapsedSeconds() * 1e6);
+      ++epoch.samples;
+    }
+    epoch.wall_seconds = watch.ElapsedSeconds();
+    result.epochs.push_back(epoch);
+  }
+  result.total_seconds = total.ElapsedSeconds();
+  if (p99_us != nullptr && !latencies_us.empty()) {
+    std::sort(latencies_us.begin(), latencies_us.end());
+    const std::size_t idx = std::min(
+        latencies_us.size() - 1,
+        static_cast<std::size_t>(0.99 * static_cast<double>(
+                                            latencies_us.size())));
+    *p99_us = latencies_us[idx];
+  }
+  return result;
+}
 
 }  // namespace
 
@@ -247,16 +347,56 @@ Result<ClusterResult> RunClusterExperiment(const fs::path& pfs_root,
     }
   }
 
+  // Multi-tenant QoS (ISSUE 10): one shared broker + admission gate for
+  // the whole cluster; every job becomes a tenant.
+  qos::BandwidthBrokerPtr broker;
+  if (config.qos.enabled && config.qos.total_bandwidth_bps > 0) {
+    qos::BandwidthBroker::Options broker_options;
+    broker_options.total_rate_bps = config.qos.total_bandwidth_bps;
+    broker_options.work_conserving = config.qos.work_conserving;
+    broker = std::make_shared<qos::BandwidthBroker>(broker_options);
+  }
+  std::unique_ptr<qos::AdmissionController> admission;
+  if (config.qos.enabled && config.admission_capacity_bytes > 0) {
+    qos::AdmissionController::Options admission_options;
+    admission_options.capacity_bytes = config.admission_capacity_bytes;
+    admission_options.queue_threshold = config.qos.admission_queue_threshold;
+    admission_options.reject_threshold = config.qos.admission_reject_threshold;
+    admission = std::make_unique<qos::AdmissionController>(admission_options);
+  }
+  // A job's placement footprint: the dataset it will try to keep
+  // resident (every job here trains/scans the same shared dataset).
+  const std::uint64_t job_footprint_bytes = manifest.total_bytes;
+
   struct Job {
     storage::StorageEnginePtr pfs_engine;
     storage::StorageEnginePtr local_engine;
     std::unique_ptr<core::Monarch> monarch;
     std::unique_ptr<Trainer> trainer;
+    JobSpec spec;                       ///< workload + QoS identity
+    qos::TenantContext tenant;
+    /// Set for non-training workloads (the trainer owns it otherwise).
+    RecordFileOpenerPtr opener;
+    /// Inference jobs restore from here (monarch jobs only).
+    std::unique_ptr<ckpt::CheckpointManager> ckpt;
+    bool admitted = true;               ///< written only by the job thread
+    double read_p99_us = 0;
   };
   std::vector<Job> jobs(static_cast<std::size_t>(config.num_jobs));
 
   for (int j = 0; j < config.num_jobs; ++j) {
     Job& job = jobs[static_cast<std::size_t>(j)];
+    if (static_cast<std::size_t>(j) < config.job_specs.size()) {
+      job.spec = config.job_specs[static_cast<std::size_t>(j)];
+    }
+    job.tenant.tenant_id = j;
+    job.tenant.name = "job" + std::to_string(j);
+    job.tenant.io_class = job.spec.io_class;
+    job.tenant.weight = job.spec.weight > 0
+                            ? job.spec.weight
+                            : config.qos.ClassWeight(job.spec.io_class) *
+                                  config.qos.tenant_share;
+    job.tenant.low_retention = job.spec.io_class == qos::IoClass::kScan;
     job.pfs_engine = std::make_shared<storage::ThrottledEngine>(
         std::make_shared<storage::PosixEngine>(pfs_root,
                                                "pfs-job" + std::to_string(j)),
@@ -281,6 +421,11 @@ Result<ClusterResult> RunClusterExperiment(const fs::path& pfs_root,
       monarch_config.pfs = core::TierSpec{"lustre", job.pfs_engine, 0};
       monarch_config.dataset_dir = config.dataset.directory;
       monarch_config.placement.num_threads = config.placement_threads;
+      if (config.qos.enabled) {
+        monarch_config.placement.qos = config.qos;
+        monarch_config.qos_broker = broker;
+        monarch_config.tenant = job.tenant;
+      }
       if (peer_group) {
         // Register this node's local tier as a peer-read source, then
         // give its Monarch the peer tier + the directory-backed view.
@@ -291,15 +436,27 @@ Result<ClusterResult> RunClusterExperiment(const fs::path& pfs_root,
       }
       MONARCH_ASSIGN_OR_RETURN(
           job.monarch, core::Monarch::Create(std::move(monarch_config)));
-      opener = std::make_unique<MonarchOpener>(*job.monarch);
+      auto monarch_opener = std::make_unique<MonarchOpener>(*job.monarch);
+      if (config.qos.enabled) monarch_opener->SetTenant(job.tenant);
+      opener = std::move(monarch_opener);
       if (gate) {
         opener = std::make_unique<GatedOpener>(std::move(opener), gate, j);
+      }
+      if (job.spec.workload == JobWorkload::kInference) {
+        ckpt::CheckpointOptions ckpt_options;
+        ckpt_options.qos_broker = broker;
+        job.ckpt = std::make_unique<ckpt::CheckpointManager>(
+            job.monarch->hierarchy(), std::move(ckpt_options));
       }
     } else {
       opener = std::make_unique<EngineOpener>(job.pfs_engine);
     }
-    job.trainer = std::make_unique<Trainer>(manifest.file_paths,
-                                            std::move(opener), tc);
+    if (job.spec.workload == JobWorkload::kTraining) {
+      job.trainer = std::make_unique<Trainer>(manifest.file_paths,
+                                              std::move(opener), tc);
+    } else {
+      job.opener = std::move(opener);
+    }
   }
 
   // Replication repair: one bounded-rate pump per node drains the
@@ -332,8 +489,39 @@ Result<ClusterResult> RunClusterExperiment(const fs::path& pfs_root,
   std::vector<std::thread> threads;
   threads.reserve(jobs.size());
   for (std::size_t j = 0; j < jobs.size(); ++j) {
-    threads.emplace_back(
-        [&, j] { outcomes[j] = jobs[j].trainer->Train(); });
+    threads.emplace_back([&, j] {
+      Job& job = jobs[j];
+      // Install the job's tenant on its host thread: direct monarch calls
+      // (scan/inference) attribute here; the trainer's reader threads get
+      // theirs from the opener's TenantSource wrapper.
+      std::optional<qos::ScopedTenant> scope;
+      if (config.qos.enabled) scope.emplace(job.tenant);
+      if (admission != nullptr) {
+        if (!admission->AwaitAdmission(job.tenant, job_footprint_bytes)) {
+          job.admitted = false;
+          outcomes[j] = TrainingResult{};  // rejected: the job does no I/O
+          return;
+        }
+      }
+      switch (job.spec.workload) {
+        case JobWorkload::kTraining:
+          outcomes[j] = job.trainer->Train();
+          break;
+        case JobWorkload::kScan:
+          outcomes[j] = RunScanJob(manifest.file_paths, *job.opener,
+                                   config.epochs, config.read_chunk_bytes);
+          break;
+        case JobWorkload::kInference:
+          outcomes[j] = RunInferenceJob(
+              manifest.file_paths, *job.opener, job.ckpt.get(),
+              /*model_bytes=*/std::uint64_t{4} << 20, config.epochs,
+              config.read_chunk_bytes,
+              config.seed * 131 + static_cast<std::uint64_t>(j),
+              &job.read_p99_us);
+          break;
+      }
+      if (admission != nullptr) admission->Release(job.tenant.tenant_id);
+    });
   }
 
   // The chaos driver: fires each scheduled event once the open counter
@@ -421,6 +609,10 @@ Result<ClusterResult> RunClusterExperiment(const fs::path& pfs_root,
     job_result.job_index = static_cast<int>(j);
     job_result.training = std::move(outcomes[j]).value();
     job_result.pfs_stats = jobs[j].pfs_engine->Stats().Snapshot();
+    job_result.io_class = jobs[j].tenant.io_class;
+    job_result.admitted = jobs[j].admitted;
+    job_result.read_p99_us = jobs[j].read_p99_us;
+    if (jobs[j].ckpt) jobs[j].ckpt->Shutdown();
     if (jobs[j].monarch) {
       jobs[j].monarch->DrainPlacements();
       job_result.monarch_stats = jobs[j].monarch->Stats();
@@ -444,6 +636,13 @@ Result<ClusterResult> RunClusterExperiment(const fs::path& pfs_root,
     result.rpc_timeouts = peer_group->network()->rpc_timeouts();
     result.peer_failovers = failover_counter->Value() - failovers_before;
     result.replication = peer_group->directory().CheckReplication();
+  }
+  if (admission != nullptr) {
+    const qos::AdmissionController::Stats admission_stats =
+        admission->GetStats();
+    result.qos_admitted = admission_stats.admitted;
+    result.qos_queued = admission_stats.queued;
+    result.qos_rejected = admission_stats.rejected;
   }
   return result;
 }

@@ -24,6 +24,8 @@
 #include "cluster/file_directory.h"
 #include "core/monarch.h"
 #include "dlsim/trainer.h"
+#include "qos/options.h"
+#include "qos/tenant.h"
 #include "workload/dataset_generator.h"
 
 namespace monarch::dlsim {
@@ -38,6 +40,21 @@ struct ChurnEvent {
   ChurnKind kind = ChurnKind::kKill;
   int node = 0;
   std::uint64_t after_opens = 0;
+};
+
+/// What a job DOES (ISSUE 10). kTraining is the classic epoch loop;
+/// kInference restores a model from the checkpoint tier and serves
+/// latency-sensitive point reads; kScan is a full-dataset data-prep pass
+/// that must never evict a trainer's working set.
+enum class JobWorkload { kTraining, kInference, kScan };
+
+/// Per-job QoS identity. Jobs without a spec default to training.
+struct JobSpec {
+  JobWorkload workload = JobWorkload::kTraining;
+  qos::IoClass io_class = qos::IoClass::kTraining;
+  /// Bandwidth-share weight; 0 = the class default from QosOptions
+  /// scaled by tenant_share.
+  double weight = 0;
 };
 
 struct ClusterConfig {
@@ -87,6 +104,18 @@ struct ClusterConfig {
   /// later — the window where survivors still dial the dead holder,
   /// time out, and exercise the replica-failover rung.
   std::uint64_t churn_detection_lag_us = 0;
+
+  /// Multi-tenant QoS (ISSUE 10; `[qos]` in the INI dialect). When
+  /// qos.enabled each job becomes a tenant: its class rides the staging
+  /// fair queue, its bytes charge a weighted share of one shared
+  /// BandwidthBroker (qos.total_bandwidth_bps > 0), and scan-class jobs
+  /// are scan-resistant (they can never evict demand working sets).
+  qos::QosOptions qos;
+  /// Admission control: cluster cache capacity the committed footprints
+  /// are checked against (0 = admit everything).
+  std::uint64_t admission_capacity_bytes = 0;
+  /// Per-job identity/workload; jobs beyond the vector are training.
+  std::vector<JobSpec> job_specs;
 };
 
 struct JobResult {
@@ -96,6 +125,13 @@ struct JobResult {
   core::MonarchStats monarch_stats;     ///< zero-initialised for vanilla
   /// Directory view of this node (zero when peer_sharing is off).
   cluster::DirectoryNodeStats peer_stats;
+
+  // Multi-tenant QoS (ISSUE 10).
+  qos::IoClass io_class = qos::IoClass::kTraining;
+  /// False when admission control rejected the job (training is empty).
+  bool admitted = true;
+  /// Inference jobs: p99 of per-read service latency, microseconds.
+  double read_p99_us = 0;
 };
 
 struct ClusterResult {
@@ -113,6 +149,11 @@ struct ClusterResult {
   std::uint64_t rpc_timeouts = 0;        ///< RPCs that dialed a dead node
   std::uint64_t peer_failovers = 0;      ///< reads rescued by a replica
   cluster::ReplicationHealth replication;  ///< post-run, post-repair
+
+  // Admission-control outcome (zero when admission is off).
+  std::uint64_t qos_admitted = 0;
+  std::uint64_t qos_queued = 0;
+  std::uint64_t qos_rejected = 0;
 
   [[nodiscard]] double MeanEpochSeconds() const;
   [[nodiscard]] double MeanTotalSeconds() const;

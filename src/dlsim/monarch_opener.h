@@ -8,13 +8,44 @@
 // scheduling placements once the dataset is staged (or the tiers filled).
 #pragma once
 
+#include <memory>
+#include <optional>
 #include <string>
+#include <utility>
 
 #include "core/monarch.h"
 #include "core/monarch_source.h"
 #include "dlsim/record_opener.h"
+#include "qos/tenant.h"
 
 namespace monarch::dlsim {
+
+/// RandomAccessSource decorator that installs a tenant around every read
+/// (ISSUE 10): reader threads the framework owns never see qos::, yet the
+/// bytes they pull still attribute to the job's bandwidth share.
+class TenantSource final : public tfrecord::RandomAccessSource {
+ public:
+  TenantSource(tfrecord::RandomAccessSourcePtr inner,
+               qos::TenantContext tenant)
+      : inner_(std::move(inner)), tenant_(std::move(tenant)) {}
+
+  Result<std::size_t> ReadAt(std::uint64_t offset,
+                             std::span<std::byte> dst) override {
+    qos::ScopedTenant scope(tenant_);
+    return inner_->ReadAt(offset, dst);
+  }
+
+  Result<std::uint64_t> Size() override {
+    qos::ScopedTenant scope(tenant_);
+    return inner_->Size();
+  }
+
+  [[nodiscard]] std::string Name() const override { return inner_->Name(); }
+
+ private:
+  tfrecord::RandomAccessSourcePtr inner_;
+  qos::TenantContext tenant_;
+};
 
 class MonarchOpener final : public RecordFileOpener {
  public:
@@ -23,10 +54,18 @@ class MonarchOpener final : public RecordFileOpener {
       : monarch_(monarch),
         stop_after_first_epoch_(stop_placement_after_first_epoch) {}
 
+  /// Attribute every source this opener hands out (and the epoch-hint
+  /// scheduling it triggers) to `tenant`.
+  void SetTenant(qos::TenantContext tenant) { tenant_ = std::move(tenant); }
+
   Result<tfrecord::RandomAccessSourcePtr> Open(
       const std::string& path) override {
-    return tfrecord::RandomAccessSourcePtr(
-        std::make_unique<core::MonarchSource>(monarch_, path));
+    tfrecord::RandomAccessSourcePtr source =
+        std::make_unique<core::MonarchSource>(monarch_, path);
+    if (tenant_.has_value()) {
+      source = std::make_unique<TenantSource>(std::move(source), *tenant_);
+    }
+    return source;
   }
 
   void OnEpochStart(int epoch) override {
@@ -36,6 +75,10 @@ class MonarchOpener final : public RecordFileOpener {
   void OnEpochOrder(const std::vector<std::string>& order) override {
     // The shuffled order is exactly the upcoming read sequence — feed it
     // to the look-ahead cursor (a no-op unless prefetch_lookahead > 0).
+    // The tenant is installed so the prefetch stagings this schedules
+    // carry the job's identity into the fair queue.
+    std::optional<qos::ScopedTenant> scope;
+    if (tenant_.has_value()) scope.emplace(*tenant_);
     monarch_.HintUpcoming(order);
   }
 
@@ -43,6 +86,8 @@ class MonarchOpener final : public RecordFileOpener {
       const std::vector<std::vector<std::string>>& epochs) override {
     // The whole run's access sequence, for Belady-style placement — a
     // no-op unless the configured policy consumes schedules.
+    std::optional<qos::ScopedTenant> scope;
+    if (tenant_.has_value()) scope.emplace(*tenant_);
     monarch_.InstallRunSchedule(epochs);
   }
 
@@ -55,6 +100,7 @@ class MonarchOpener final : public RecordFileOpener {
  private:
   core::Monarch& monarch_;
   bool stop_after_first_epoch_;
+  std::optional<qos::TenantContext> tenant_;
 };
 
 }  // namespace monarch::dlsim

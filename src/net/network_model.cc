@@ -60,6 +60,12 @@ void NetworkModel::ChargeRpcTimeout() {
 }
 
 void NetworkModel::ChargeTransfer(std::uint64_t bytes) {
+  // Per-tenant share first (who may use the fabric), then the shared
+  // bucket (what the fabric can physically carry).
+  if (qos_broker_ != nullptr && qos_broker_->enabled()) {
+    const qos::TenantContext* tenant = qos::CurrentTenant();
+    if (tenant != nullptr) qos_broker_->Acquire(tenant->tenant_id, bytes);
+  }
   const Duration wait = bucket_.Reserve(static_cast<double>(bytes));
   PreciseSleep(profile_.hop_latency + wait);
   transfers_local_.fetch_add(1, std::memory_order_relaxed);

@@ -21,6 +21,7 @@
 #include <string>
 
 #include "obs/metrics_registry.h"
+#include "qos/bandwidth_broker.h"
 #include "util/clock.h"
 #include "util/rate_limiter.h"
 
@@ -77,6 +78,14 @@ class NetworkModel {
   /// and count it (`net.rpc_timeouts`).
   void ChargeRpcTimeout();
 
+  /// Install the per-tenant bandwidth broker (ISSUE 10): transfers then
+  /// additionally charge the calling thread's ambient tenant, so one
+  /// job's peer traffic cannot crowd out another's fabric share. Install
+  /// before the model is shared across threads.
+  void SetQosBroker(qos::BandwidthBrokerPtr broker) {
+    qos_broker_ = std::move(broker);
+  }
+
   [[nodiscard]] const NetworkProfile& profile() const noexcept {
     return profile_;
   }
@@ -104,6 +113,7 @@ class NetworkModel {
   /// Bit n set = node n dead / in partition group (ids ≥ 64 unaffected).
   std::atomic<std::uint64_t> down_mask_{0};
   std::atomic<std::uint64_t> partition_mask_{0};
+  qos::BandwidthBrokerPtr qos_broker_;      ///< null = no enforcement
   obs::Counter* transfers_ = nullptr;       ///< `net.transfers`
   obs::Counter* bytes_transferred_ = nullptr;  ///< `net.bytes_transferred`
   obs::Counter* rpc_timeouts_ = nullptr;    ///< `net.rpc_timeouts`

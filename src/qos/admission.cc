@@ -1,0 +1,169 @@
+#include "qos/admission.h"
+
+#include <algorithm>
+#include <string>
+
+#include "obs/event_tracer.h"
+#include "obs/json.h"
+
+namespace monarch::qos {
+
+const char* AdmissionDecisionName(AdmissionDecision decision) noexcept {
+  switch (decision) {
+    case AdmissionDecision::kAdmit:
+      return "admit";
+    case AdmissionDecision::kQueue:
+      return "queue";
+    case AdmissionDecision::kReject:
+      return "reject";
+  }
+  return "unknown";
+}
+
+AdmissionController::AdmissionController(Options options)
+    : options_(options) {
+  obs::MetricsRegistry& registry = obs::MetricsRegistry::Global();
+  admitted_counter_ = registry.GetCounter(
+      "qos.admitted", "ops", "jobs admitted by the admission controller");
+  queued_counter_ = registry.GetCounter(
+      "qos.queued", "ops",
+      "admission requests that had to queue behind committed footprints");
+  rejected_counter_ = registry.GetCounter(
+      "qos.rejected", "ops",
+      "jobs rejected because their footprint can never fit");
+  committed_gauge_ = registry.GetGauge(
+      "qos.committed_bytes", "bytes",
+      "placement footprint currently committed by admitted jobs");
+}
+
+AdmissionDecision AdmissionController::DecideLocked(
+    std::uint64_t footprint_bytes) const {
+  if (!enabled()) return AdmissionDecision::kAdmit;
+  const double capacity = static_cast<double>(options_.capacity_bytes);
+  if (static_cast<double>(footprint_bytes) >
+      capacity * options_.reject_threshold) {
+    return AdmissionDecision::kReject;
+  }
+  if (static_cast<double>(committed_bytes_ + footprint_bytes) >
+      capacity * options_.queue_threshold) {
+    return AdmissionDecision::kQueue;
+  }
+  return AdmissionDecision::kAdmit;
+}
+
+void AdmissionController::RecordDecision(const TenantContext& tenant,
+                                         std::uint64_t footprint_bytes,
+                                         AdmissionDecision decision) {
+  switch (decision) {
+    case AdmissionDecision::kAdmit:
+      if (admitted_counter_ != nullptr) admitted_counter_->Increment();
+      break;
+    case AdmissionDecision::kQueue:
+      if (queued_counter_ != nullptr) queued_counter_->Increment();
+      break;
+    case AdmissionDecision::kReject:
+      if (rejected_counter_ != nullptr) rejected_counter_->Increment();
+      break;
+  }
+  obs::EventTracer& tracer = obs::EventTracer::Global();
+  if (tracer.enabled()) {
+    tracer.RecordInstant(
+        "qos.admit", "qos",
+        "\"tenant\":" + obs::JsonQuote(tenant.name) + ",\"decision\":" +
+            obs::JsonQuote(AdmissionDecisionName(decision)) +
+            ",\"footprint\":" + std::to_string(footprint_bytes));
+  }
+}
+
+AdmissionDecision AdmissionController::Request(
+    const TenantContext& tenant, std::uint64_t footprint_bytes) {
+  AdmissionDecision decision;
+  {
+    std::lock_guard lock(mu_);
+    decision = DecideLocked(footprint_bytes);
+    if (decision == AdmissionDecision::kAdmit) {
+      committed_[tenant.tenant_id] += footprint_bytes;
+      committed_bytes_ += footprint_bytes;
+      ++admitted_;
+      if (committed_gauge_ != nullptr) {
+        committed_gauge_->Set(static_cast<std::int64_t>(committed_bytes_));
+      }
+    } else if (decision == AdmissionDecision::kQueue) {
+      ++queued_;
+    } else {
+      ++rejected_;
+    }
+  }
+  RecordDecision(tenant, footprint_bytes, decision);
+  return decision;
+}
+
+bool AdmissionController::AwaitAdmission(const TenantContext& tenant,
+                                         std::uint64_t footprint_bytes) {
+  bool counted_queued = false;
+  std::unique_lock lock(mu_);
+  for (;;) {
+    if (shutdown_) return false;
+    const AdmissionDecision decision = DecideLocked(footprint_bytes);
+    if (decision == AdmissionDecision::kAdmit) {
+      committed_[tenant.tenant_id] += footprint_bytes;
+      committed_bytes_ += footprint_bytes;
+      ++admitted_;
+      if (committed_gauge_ != nullptr) {
+        committed_gauge_->Set(static_cast<std::int64_t>(committed_bytes_));
+      }
+      lock.unlock();
+      RecordDecision(tenant, footprint_bytes, decision);
+      return true;
+    }
+    if (decision == AdmissionDecision::kReject) {
+      ++rejected_;
+      lock.unlock();
+      RecordDecision(tenant, footprint_bytes, decision);
+      return false;
+    }
+    if (!counted_queued) {
+      counted_queued = true;
+      ++queued_;
+      lock.unlock();
+      RecordDecision(tenant, footprint_bytes, decision);
+      lock.lock();
+      continue;  // re-check: state may have moved while unlocked
+    }
+    cv_.wait(lock);
+  }
+}
+
+void AdmissionController::Release(int tenant_id) {
+  {
+    std::lock_guard lock(mu_);
+    auto it = committed_.find(tenant_id);
+    if (it == committed_.end()) return;
+    committed_bytes_ -= std::min(committed_bytes_, it->second);
+    committed_.erase(it);
+    if (committed_gauge_ != nullptr) {
+      committed_gauge_->Set(static_cast<std::int64_t>(committed_bytes_));
+    }
+  }
+  cv_.notify_all();
+}
+
+void AdmissionController::Shutdown() {
+  {
+    std::lock_guard lock(mu_);
+    shutdown_ = true;
+  }
+  cv_.notify_all();
+}
+
+AdmissionController::Stats AdmissionController::GetStats() const {
+  std::lock_guard lock(mu_);
+  Stats stats;
+  stats.admitted = admitted_;
+  stats.queued = queued_;
+  stats.rejected = rejected_;
+  stats.committed_bytes = committed_bytes_;
+  return stats;
+}
+
+}  // namespace monarch::qos

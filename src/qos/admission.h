@@ -1,0 +1,100 @@
+// AdmissionController: keeps new jobs from thrashing resident working
+// sets (ISSUE 10). A job declares its placement footprint (the bytes it
+// wants resident on the cache tiers) before it starts reading; the
+// controller compares committed footprint against tier capacity:
+//
+//   footprint > capacity * reject_threshold          -> kReject
+//   committed + footprint > capacity * queue_threshold -> kQueue
+//   otherwise                                        -> kAdmit
+//
+// Queued jobs wait on a condition variable and are re-evaluated every
+// time an admitted job releases its footprint, so admission order is
+// arrival order with no polling. capacity_bytes == 0 disables the
+// controller (everything admits).
+#pragma once
+
+#include <condition_variable>
+#include <cstdint>
+#include <map>
+#include <mutex>
+
+#include "obs/metrics_registry.h"
+#include "qos/tenant.h"
+
+namespace monarch::qos {
+
+enum class AdmissionDecision { kAdmit, kQueue, kReject };
+
+const char* AdmissionDecisionName(AdmissionDecision decision) noexcept;
+
+class AdmissionController {
+ public:
+  struct Options {
+    /// Cache-tier capacity the committed footprints are measured
+    /// against. 0 = admission control disabled (always admit).
+    std::uint64_t capacity_bytes = 0;
+    /// New work queues once committed bytes would exceed this fraction
+    /// of capacity.
+    double queue_threshold = 0.85;
+    /// A single footprint larger than this multiple of capacity can
+    /// never fit and is rejected outright.
+    double reject_threshold = 1.5;
+  };
+
+  explicit AdmissionController(Options options);
+
+  AdmissionController(const AdmissionController&) = delete;
+  AdmissionController& operator=(const AdmissionController&) = delete;
+
+  /// One admission check. kAdmit commits `footprint_bytes` against the
+  /// tenant until Release(); kQueue/kReject commit nothing.
+  [[nodiscard]] AdmissionDecision Request(const TenantContext& tenant,
+                                          std::uint64_t footprint_bytes);
+
+  /// Request, blocking while the answer is kQueue. Returns true once
+  /// admitted, false when rejected or the controller shut down.
+  [[nodiscard]] bool AwaitAdmission(const TenantContext& tenant,
+                                    std::uint64_t footprint_bytes);
+
+  /// Return the tenant's committed footprint and wake queued waiters.
+  void Release(int tenant_id);
+
+  /// Unblock all waiters (they return false from AwaitAdmission).
+  void Shutdown();
+
+  struct Stats {
+    std::uint64_t admitted = 0;
+    std::uint64_t queued = 0;
+    std::uint64_t rejected = 0;
+    std::uint64_t committed_bytes = 0;
+  };
+  [[nodiscard]] Stats GetStats() const;
+
+  [[nodiscard]] bool enabled() const noexcept {
+    return options_.capacity_bytes > 0;
+  }
+
+ private:
+  AdmissionDecision DecideLocked(std::uint64_t footprint_bytes) const;
+  void RecordDecision(const TenantContext& tenant,
+                      std::uint64_t footprint_bytes,
+                      AdmissionDecision decision);
+
+  Options options_;
+  mutable std::mutex mu_;
+  std::condition_variable cv_;
+  bool shutdown_ = false;
+  std::uint64_t committed_bytes_ = 0;
+  std::map<int, std::uint64_t> committed_;  ///< tenant id -> footprint
+  std::uint64_t admitted_ = 0;
+  std::uint64_t queued_ = 0;
+  std::uint64_t rejected_ = 0;
+
+  // docs/OBSERVABILITY.md §1 "Multi-tenant QoS".
+  obs::Counter* admitted_counter_ = nullptr;   ///< qos.admitted
+  obs::Counter* queued_counter_ = nullptr;     ///< qos.queued
+  obs::Counter* rejected_counter_ = nullptr;   ///< qos.rejected
+  obs::Gauge* committed_gauge_ = nullptr;      ///< qos.committed_bytes
+};
+
+}  // namespace monarch::qos

@@ -8,6 +8,7 @@ namespace monarch {
 RateLimiter::RateLimiter(double rate_per_sec, double burst)
     : rate_(rate_per_sec),
       burst_(burst > 0.0 ? burst : rate_per_sec / 20.0),
+      default_burst_(burst <= 0.0),
       available_(burst_),
       last_refill_(SteadyClock::now()) {
   assert(rate_per_sec > 0.0 && "rate must be positive");
@@ -38,6 +39,12 @@ void RateLimiter::SetRate(double rate_per_sec) {
   std::lock_guard<std::mutex> lock(mu_);
   RefillLocked(SteadyClock::now());
   rate_ = rate_per_sec;
+  // A defaulted burst tracks the rate (1/20 s worth); an explicit burst
+  // is the caller's contract and stays put. Either way the balance must
+  // not exceed the cap, or a big rate-down leaves a stale free bucket —
+  // with many per-tenant limiters that adds up to a leaky total.
+  if (default_burst_) burst_ = rate_ / 20.0;
+  available_ = std::min(available_, burst_);
 }
 
 double RateLimiter::rate_per_sec() const {

@@ -26,7 +26,10 @@ class RateLimiter {
   /// Reserve then PreciseSleep the returned wait.
   void Acquire(double tokens);
 
-  /// Change the refill rate (used when contention squeezes PFS bandwidth).
+  /// Change the refill rate (used when contention squeezes PFS
+  /// bandwidth, and by the QoS broker when tenant shares shift). A
+  /// defaulted burst is rescaled to 1/20 s of the new rate and the
+  /// current balance clamped to it; an explicit burst is kept.
   void SetRate(double rate_per_sec);
 
   [[nodiscard]] double rate_per_sec() const;
@@ -35,9 +38,10 @@ class RateLimiter {
   void RefillLocked(TimePoint now);
 
   mutable std::mutex mu_;
-  double rate_;        ///< tokens per second
-  double burst_;       ///< bucket capacity
-  double available_;   ///< current tokens; may go negative (debt model)
+  double rate_;         ///< tokens per second
+  double burst_;        ///< bucket capacity
+  bool default_burst_;  ///< burst was derived from rate (tracks SetRate)
+  double available_;    ///< current tokens; may go negative (debt model)
   TimePoint last_refill_;
 };
 

@@ -137,7 +137,7 @@ TEST(ConfigDocTest, UnknownKeysAreRejectedPerSection) {
       "profile = ram\n";
   for (const std::string section :
        {"monarch", "tier.0", "pfs", "placement", "resilience", "peer",
-        "checkpoint"}) {
+        "checkpoint", "qos"}) {
     const std::string ini =
         base + "[" + section + "]\nno_such_key = 1\n";
     const auto parsed = ParseConfig(ini);

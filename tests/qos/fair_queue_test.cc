@@ -1,0 +1,140 @@
+#include "qos/fair_queue.h"
+
+#include <gtest/gtest.h>
+
+#include <map>
+#include <vector>
+
+namespace monarch::qos {
+namespace {
+
+TEST(FairQueueTest, FifoWithinSingleClass) {
+  FairQueue<int> queue;
+  queue.RegisterClass(0, /*band=*/0, /*weight=*/1.0);
+  queue.Push(0, 1.0, 10);
+  queue.Push(0, 1.0, 20);
+  queue.Push(0, 1.0, 30);
+  EXPECT_EQ(10, queue.TryPop().value());
+  EXPECT_EQ(20, queue.TryPop().value());
+  EXPECT_EQ(30, queue.TryPop().value());
+  EXPECT_FALSE(queue.TryPop().has_value());
+  EXPECT_TRUE(queue.empty());
+}
+
+TEST(FairQueueTest, LowerBandAlwaysServedFirst) {
+  FairQueue<int> queue;
+  queue.RegisterClass(0, /*band=*/0, /*weight=*/1.0);   // demand
+  queue.RegisterClass(1, /*band=*/1, /*weight=*/100.0); // background
+  // Background queued first and with a huge weight — band priority must
+  // still serve demand before any of it.
+  for (int i = 0; i < 5; ++i) queue.Push(1, 1.0, 100 + i);
+  queue.Push(0, 1e9, 7);  // even an enormous demand cost wins
+  EXPECT_EQ(7, queue.TryPop().value());
+  EXPECT_EQ(100, queue.TryPop().value());
+}
+
+TEST(FairQueueTest, WeightsApportionServiceWithinBand) {
+  FairQueue<int> queue;
+  queue.RegisterClass(0, /*band=*/0, /*weight=*/3.0);
+  queue.RegisterClass(1, /*band=*/0, /*weight=*/1.0);
+  for (int i = 0; i < 40; ++i) {
+    queue.Push(0, 1.0, 0);
+    queue.Push(1, 1.0, 1);
+  }
+  // Drain the first 40 items: SFQ should serve class 0 about 3x as
+  // often as class 1 (finish tags advance at 1/3 vs 1 per item).
+  std::map<int, int> served;
+  for (int i = 0; i < 40; ++i) ++served[queue.TryPop().value()];
+  EXPECT_GE(served[0], 25) << "heavy class under-served";
+  EXPECT_GE(served[1], 5) << "light class starved";
+}
+
+TEST(FairQueueTest, LightClassIsNeverStarved) {
+  FairQueue<int> queue;
+  queue.RegisterClass(0, /*band=*/0, /*weight=*/100.0);
+  queue.RegisterClass(1, /*band=*/0, /*weight=*/0.5);
+  queue.Push(1, 1.0, 1);  // finish tag = 1/0.5 = 2
+  // A continuously backlogged heavy stream advances its finish tags by
+  // 1/100 per item, so the light item is overtaken after at most about
+  // weight-ratio pops — bounded delay, never indefinite starvation.
+  int pops_until_light = 0;
+  for (;;) {
+    queue.Push(0, 1.0, 0);
+    if (queue.TryPop().value() == 1) break;
+    ++pops_until_light;
+    ASSERT_LT(pops_until_light, 1000) << "light class starved";
+  }
+  EXPECT_LE(pops_until_light, 250);
+}
+
+TEST(FairQueueTest, UnregisteredClassAutoRegistersOnLastBand) {
+  FairQueue<int> queue;
+  queue.RegisterClass(0, /*band=*/0, /*weight=*/1.0);
+  queue.RegisterClass(1, /*band=*/1, /*weight=*/1.0);
+  queue.Push(9, 1.0, 99);  // never registered — must not be dropped
+  queue.Push(0, 1.0, 1);
+  EXPECT_EQ(2u, queue.size());
+  EXPECT_EQ(1, queue.TryPop().value()) << "band 0 first";
+  EXPECT_EQ(99, queue.TryPop().value());
+}
+
+TEST(FairQueueTest, ExtractPullsMatchingItem) {
+  FairQueue<int> queue;
+  queue.RegisterClass(0, 0, 1.0);
+  queue.RegisterClass(1, 1, 1.0);
+  queue.Push(1, 1.0, 5);
+  queue.Push(1, 1.0, 6);
+  auto found = queue.Extract([](int v) { return v == 6; });
+  ASSERT_TRUE(found.has_value());
+  EXPECT_EQ(6, *found);
+  EXPECT_EQ(1u, queue.size());
+  EXPECT_FALSE(queue.Extract([](int v) { return v == 42; }).has_value());
+}
+
+TEST(FairQueueTest, ExtractAllDrainsEveryMatch) {
+  FairQueue<int> queue;
+  queue.RegisterClass(0, 0, 1.0);
+  queue.RegisterClass(1, 1, 1.0);
+  queue.Push(0, 1.0, 2);
+  queue.Push(1, 1.0, 4);
+  queue.Push(1, 1.0, 6);
+  queue.Push(0, 1.0, 7);
+  std::vector<int> evens = queue.ExtractAll([](int v) { return v % 2 == 0; });
+  EXPECT_EQ(3u, evens.size());
+  EXPECT_EQ(1u, queue.size());
+  EXPECT_EQ(7, queue.TryPop().value());
+}
+
+TEST(FairQueueTest, ClassDepthTracksQueuedItems) {
+  FairQueue<int> queue;
+  queue.RegisterClass(0, 0, 1.0);
+  queue.RegisterClass(1, 0, 1.0);
+  queue.Push(0, 1.0, 1);
+  queue.Push(0, 1.0, 2);
+  queue.Push(1, 1.0, 3);
+  EXPECT_EQ(2u, queue.class_depth(0));
+  EXPECT_EQ(1u, queue.class_depth(1));
+  EXPECT_EQ(0u, queue.class_depth(7));   // unknown class
+  EXPECT_EQ(0u, queue.class_depth(-1));  // out of range
+  (void)queue.TryPop();
+  EXPECT_EQ(2u, queue.size());
+}
+
+TEST(FairQueueTest, ReRegisterKeepsQueuedItems) {
+  FairQueue<int> queue;
+  queue.RegisterClass(0, /*band=*/1, /*weight=*/1.0);
+  queue.RegisterClass(1, /*band=*/0, /*weight=*/1.0);
+  queue.Push(0, 1.0, 11);
+  queue.Push(1, 1.0, 22);
+  // Promote class 0 to band 0 without losing its queued item.
+  queue.RegisterClass(0, /*band=*/0, /*weight=*/4.0);
+  EXPECT_EQ(2u, queue.size());
+  EXPECT_EQ(1u, queue.class_depth(0));
+  // Both classes now share band 0; both items must drain.
+  EXPECT_TRUE(queue.TryPop().has_value());
+  EXPECT_TRUE(queue.TryPop().has_value());
+  EXPECT_TRUE(queue.empty());
+}
+
+}  // namespace
+}  // namespace monarch::qos

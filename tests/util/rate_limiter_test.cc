@@ -71,5 +71,74 @@ TEST(RateLimiterTest, ConcurrentAcquirersShareTheRate) {
   EXPECT_GT(timer.ElapsedSeconds(), 0.12);
 }
 
+TEST(RateLimiterTest, BurstCapClampsIdleRefill) {
+  RateLimiter limiter(/*rate=*/100000.0, /*burst=*/50.0);
+  limiter.Acquire(50.0);      // drain the bucket
+  PreciseSleep(Millis(50));   // would refill 5000 tokens uncapped
+  // Only the 50-token cap survives the idle period: the first 50 are
+  // free, the next request immediately owes debt.
+  EXPECT_EQ(kZeroDuration, limiter.Reserve(50.0));
+  EXPECT_GT(limiter.Reserve(50.0), kZeroDuration);
+}
+
+TEST(RateLimiterTest, DefaultBurstIsTwentiethOfRate) {
+  RateLimiter limiter(/*rate=*/2000.0);  // default burst = 100 tokens
+  EXPECT_EQ(kZeroDuration, limiter.Reserve(100.0));
+  // The bucket is now empty (modulo a sliver of refill); the next 100
+  // tokens owe close to a full bucket of debt at 2000/s -> ~50ms.
+  EXPECT_GT(ToSeconds(limiter.Reserve(100.0)), 0.02);
+}
+
+TEST(RateLimiterTest, RefillRoundingAccumulatesSmallSlices) {
+  // Many sub-token reservations must not each round their refill down
+  // to zero: 200 x 0.5 tokens at 1000/s is 0.1s of work, not 100 stalls.
+  RateLimiter limiter(/*rate=*/1000.0, /*burst=*/1.0);
+  limiter.Acquire(1.0);  // exhaust burst
+  const Stopwatch timer;
+  for (int i = 0; i < 200; ++i) limiter.Acquire(0.5);
+  const double elapsed = timer.ElapsedSeconds();
+  EXPECT_GT(elapsed, 0.05);
+  EXPECT_LT(elapsed, 0.5);
+}
+
+TEST(RateLimiterTest, SetRateRescalesDefaultBurstAndClampsBalance) {
+  // Defaulted burst (rate/20 = 5000 tokens) must shrink with a big
+  // rate-down, and the already-banked balance must be clamped to it —
+  // otherwise every rate change leaves a stale free bucket behind (the
+  // per-tenant QoS limiters are re-rated constantly).
+  RateLimiter limiter(/*rate=*/100000.0);
+  limiter.SetRate(1000.0);  // new default burst: 50 tokens
+  EXPECT_EQ(kZeroDuration, limiter.Reserve(50.0));
+  const Duration wait = limiter.Reserve(200.0);
+  EXPECT_GT(ToSeconds(wait), 0.1);  // ~200/1000 s of debt, not free
+}
+
+TEST(RateLimiterTest, SetRateKeepsExplicitBurst) {
+  RateLimiter limiter(/*rate=*/1000.0, /*burst=*/500.0);
+  limiter.SetRate(100.0);  // explicit burst is the caller's contract
+  EXPECT_EQ(kZeroDuration, limiter.Reserve(500.0));
+}
+
+TEST(RateLimiterTest, ConcurrentAcquirersSeeRateChange) {
+  // Four threads grind through a slow bucket while the rate is raised
+  // 100x mid-flight: the whole run must finish far sooner than the old
+  // rate would allow, and the debt model must not lose tokens.
+  RateLimiter limiter(/*rate=*/1000.0, /*burst=*/10.0);
+  const Stopwatch timer;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < 4; ++t) {
+    threads.emplace_back([&limiter] {
+      for (int i = 0; i < 10; ++i) limiter.Acquire(100.0);
+    });
+  }
+  PreciseSleep(Millis(50));
+  limiter.SetRate(100000.0);
+  for (auto& t : threads) t.join();
+  // 4000 tokens at the old 1000/s would take ~4s; after the bump the
+  // remainder drains at 100000/s, so well under 2s total.
+  EXPECT_LT(timer.ElapsedSeconds(), 2.0);
+  EXPECT_DOUBLE_EQ(100000.0, limiter.rate_per_sec());
+}
+
 }  // namespace
 }  // namespace monarch
